@@ -1,0 +1,76 @@
+//! Ablation: interleaving (paper §3). Inserting k aligned fields before a
+//! single `write` produces one parallel operation with per-element field
+//! tuples contiguous in the file; writing each field through its own
+//! `write` produces k parallel operations (and a field-major file). The
+//! collective startup latency makes the interleaved plan cheaper — this
+//! bench quantifies it in simulated Paragon seconds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dstreams_bench::machine_virtual_duration;
+use dstreams_collections::{Collection, DistKind, Layout};
+use dstreams_core::{MetaMode, MetaPolicy, OStream, StreamOptions};
+use dstreams_machine::MachineConfig;
+use dstreams_pfs::{Backend, DiskModel, Pfs};
+
+const FIELDS: usize = 4;
+
+fn write_fields(n_elements: usize, interleaved: bool) -> std::time::Duration {
+    let nprocs = 4;
+    let pfs = Pfs::new(nprocs, DiskModel::paragon_pfs(), Backend::Memory);
+    machine_virtual_duration(MachineConfig::paragon(nprocs), move |ctx| {
+        let layout = Layout::dense(n_elements, nprocs, DistKind::Block).unwrap();
+        let fields: Vec<Collection<f64>> = (0..FIELDS)
+            .map(|k| Collection::new(ctx, layout.clone(), |g| (g * k) as f64).unwrap())
+            .collect();
+        let t0 = ctx.now();
+        let opts = StreamOptions {
+            checked: false,
+            meta_policy: MetaPolicy::Force(MetaMode::Gathered),
+            ..Default::default()
+        };
+        let mut s = OStream::create_with(ctx, &pfs, &layout, "il", opts).unwrap();
+        if interleaved {
+            for f in &fields {
+                s.insert_with(f, |v, ins| ins.prim(*v)).unwrap();
+            }
+            s.write().unwrap();
+        } else {
+            for f in &fields {
+                s.insert_with(f, |v, ins| ins.prim(*v)).unwrap();
+                s.write().unwrap();
+            }
+        }
+        s.close().unwrap();
+        ctx.barrier().unwrap();
+        ctx.now() - t0
+    })
+}
+
+fn interleave(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_interleave_vs_separate_writes");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &n in &[256usize, 4096] {
+        for (label, interleaved) in [("interleaved_1_write", true), ("separate_4_writes", false)]
+        {
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
+                b.iter_custom(|iters| (0..iters).map(|_| write_fields(n, interleaved)).sum());
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Plots disabled: virtual-time samples are deterministic (zero
+/// variance), which the plotters backend cannot draw.
+fn config() -> Criterion {
+    Criterion::default().without_plots()
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = interleave
+}
+criterion_main!(benches);

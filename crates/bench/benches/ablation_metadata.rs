@@ -1,0 +1,65 @@
+//! Ablation: the paper's small-collection metadata optimization (§4.1,
+//! write step 1). For collections with few elements, gathering the size
+//! information to node 0 and writing it at the head of its per-node
+//! buffer should beat a separate parallel metadata operation; for large
+//! collections the parallel write should win. This bench sweeps the
+//! collection size and reports simulated Paragon seconds for both
+//! strategies — locating the crossover that justifies `MetaPolicy::Auto`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dstreams_bench::machine_virtual_duration;
+use dstreams_collections::{Collection, DistKind, Layout};
+use dstreams_core::{MetaMode, MetaPolicy, OStream, StreamOptions};
+use dstreams_machine::MachineConfig;
+use dstreams_pfs::{Backend, DiskModel, Pfs};
+
+fn write_once(n_elements: usize, mode: MetaMode) -> std::time::Duration {
+    let nprocs = 4;
+    let pfs = Pfs::new(nprocs, DiskModel::paragon_pfs(), Backend::Memory);
+    machine_virtual_duration(MachineConfig::paragon(nprocs), move |ctx| {
+        let layout = Layout::dense(n_elements, nprocs, DistKind::Block).unwrap();
+        // Small fixed-size elements: metadata cost dominates.
+        let c = Collection::new(ctx, layout.clone(), |g| g as u64).unwrap();
+        let t0 = ctx.now();
+        let opts = StreamOptions {
+            checked: false,
+            meta_policy: MetaPolicy::Force(mode),
+            ..Default::default()
+        };
+        let mut s = OStream::create_with(ctx, &pfs, &layout, "m", opts).unwrap();
+        s.insert_collection(&c).unwrap();
+        s.write().unwrap();
+        s.close().unwrap();
+        ctx.barrier().unwrap();
+        ctx.now() - t0
+    })
+}
+
+fn metadata_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_metadata_gather_vs_parallel");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &n in &[16usize, 64, 256, 1024, 4096, 16384] {
+        for (label, mode) in [("gathered", MetaMode::Gathered), ("parallel", MetaMode::Parallel)]
+        {
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
+                b.iter_custom(|iters| (0..iters).map(|_| write_once(n, mode)).sum());
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Plots disabled: virtual-time samples are deterministic (zero
+/// variance), which the plotters backend cannot draw.
+fn config() -> Criterion {
+    Criterion::default().without_plots()
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = metadata_strategies
+}
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Ablation: `read` vs `unsortedRead` (paper §3). The sorted read routes
+//! every element to its owner under the reader's distribution — an
+//! all-to-all the unsorted read avoids. The gap is the price of index
+//! fidelity; it grows when the reading distribution differs from the
+//! writing one. Reported in simulated Paragon seconds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dstreams_bench::machine_virtual_duration;
+use dstreams_collections::{Collection, DistKind, Layout};
+use dstreams_machine::MachineConfig;
+use dstreams_pfs::{Backend, DiskModel, Pfs};
+use dstreams_scf::methods::{input_dstreams_sorted, input_dstreams_unsorted, output_dstreams};
+use dstreams_scf::{ScfConfig, Segment};
+use dstreams_core::MetaMode;
+
+fn roundtrip(
+    platform: &str,
+    n_segments: usize,
+    sorted: bool,
+    same_dist: bool,
+) -> std::time::Duration {
+    let nprocs = 4;
+    let (mcfg, disk) = match platform {
+        "paragon" => (MachineConfig::paragon(nprocs), DiskModel::paragon_pfs()),
+        // The CM-5 data network is ~8x slower than the Paragon mesh, so
+        // the routing phase of the sorted read is clearly visible there.
+        _ => (MachineConfig::cm5(nprocs), DiskModel::cm5_sfs()),
+    };
+    let pfs = Pfs::new(nprocs, disk, Backend::Memory);
+    machine_virtual_duration(mcfg, move |ctx| {
+        let cfg = ScfConfig::paper(n_segments);
+        let wlayout = Layout::dense(n_segments, nprocs, DistKind::Block).unwrap();
+        let rkind = if same_dist { DistKind::Block } else { DistKind::Cyclic };
+        let rlayout = Layout::dense(n_segments, nprocs, rkind).unwrap();
+        let grid = Collection::new(ctx, wlayout.clone(), |g| cfg.make_segment(g)).unwrap();
+        output_dstreams(ctx, &pfs, &grid, "f", MetaMode::Parallel).unwrap();
+        let mut back = Collection::new(ctx, rlayout, |_| Segment::default()).unwrap();
+        ctx.barrier().unwrap();
+        let t0 = ctx.now();
+        if sorted {
+            input_dstreams_sorted(ctx, &pfs, &mut back, "f").unwrap();
+        } else {
+            input_dstreams_unsorted(ctx, &pfs, &mut back, "f").unwrap();
+        }
+        ctx.barrier().unwrap();
+        ctx.now() - t0
+    })
+}
+
+fn read_vs_unsorted(c: &mut Criterion) {
+    for platform in ["paragon", "cm5"] {
+        let mut group =
+            c.benchmark_group(format!("ablation_read_vs_unsortedRead_{platform}"));
+        group.sample_size(10);
+        group.warm_up_time(std::time::Duration::from_millis(500));
+        group.measurement_time(std::time::Duration::from_secs(2));
+        for &n in &[256usize, 1000] {
+            for (label, sorted, same) in [
+                ("unsortedRead", false, false),
+                ("read_same_dist", true, true),
+                ("read_changed_dist", true, false),
+            ] {
+                group.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
+                    b.iter_custom(|iters| {
+                        (0..iters)
+                            .map(|_| roundtrip(platform, n, sorted, same))
+                            .sum()
+                    });
+                });
+            }
+        }
+        group.finish();
+    }
+}
+
+/// Plots disabled: virtual-time samples are deterministic (zero
+/// variance), which the plotters backend cannot draw.
+fn config() -> Criterion {
+    Criterion::default().without_plots()
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = read_vs_unsorted
+}
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Ablation: shared-memory single-buffer vs per-node-buffer emission
+//! (paper §4: "The implementation for shared-memory multiprocessors is
+//! somewhat simpler; depending on the capabilities of the underlying file
+//! system, the 'per-node' d/stream buffers can be reduced to one or
+//! eliminated"). Both paths produce identical file bytes; this bench
+//! reports their simulated SGI Challenge cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dstreams_bench::machine_virtual_duration;
+use dstreams_collections::{Collection, DistKind, Layout};
+use dstreams_core::{OStream, StreamOptions};
+use dstreams_machine::MachineConfig;
+use dstreams_pfs::{Backend, DiskModel, Pfs};
+use dstreams_scf::ScfConfig;
+
+fn write_once(n_segments: usize, smp: bool) -> std::time::Duration {
+    let nprocs = 8;
+    let pfs = Pfs::new(nprocs, DiskModel::sgi_challenge_fs(), Backend::Memory);
+    machine_virtual_duration(MachineConfig::sgi_challenge(nprocs), move |ctx| {
+        let cfg = ScfConfig::paper(n_segments);
+        let layout = Layout::dense(n_segments, nprocs, DistKind::Block).unwrap();
+        let grid = Collection::new(ctx, layout.clone(), |g| cfg.make_segment(g)).unwrap();
+        ctx.barrier().unwrap();
+        let t0 = ctx.now();
+        let opts = StreamOptions {
+            smp_single_buffer: smp,
+            ..Default::default()
+        };
+        let mut s = OStream::create_with(ctx, &pfs, &layout, "smp", opts).unwrap();
+        s.insert_collection(&grid).unwrap();
+        s.write().unwrap();
+        s.close().unwrap();
+        ctx.barrier().unwrap();
+        ctx.now() - t0
+    })
+}
+
+fn smp_vs_per_node(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_smp_single_buffer");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &n in &[256usize, 1000, 4000] {
+        for (label, smp) in [("per_node_buffers", false), ("single_shared_buffer", true)] {
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
+                b.iter_custom(|iters| (0..iters).map(|_| write_once(n, smp)).sum());
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Plots disabled: virtual-time samples are deterministic (zero
+/// variance), which the plotters backend cannot draw.
+fn config() -> Criterion {
+    Criterion::default().without_plots()
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = smp_vs_per_node
+}
+criterion_main!(benches);

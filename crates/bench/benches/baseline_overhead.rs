@@ -1,0 +1,96 @@
+//! Extension bench: the cost of d/streams' generality against the
+//! fixed-size baselines of the paper's related work (§5), on fixed-size
+//! data where all three libraries apply. Chameleon-style block arrays,
+//! Panda-style schema arrays, and pC++/streams write + read the same
+//! BLOCK-distributed array of fixed 5.6 KB segments; simulated Paragon
+//! seconds.
+//!
+//! The gap between d/streams and the baselines is the cost of its
+//! bookkeeping (size table + record header); on variable-sized data the
+//! baselines do not run at all (tests/baseline_comparison.rs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dstreams_bench::machine_virtual_duration;
+use dstreams_collections::{Collection, DistKind, Layout};
+use dstreams_core::MetaMode;
+use dstreams_fixedio::{chameleon, panda};
+use dstreams_machine::MachineConfig;
+use dstreams_pfs::{Backend, DiskModel, Pfs};
+use dstreams_scf::methods::{input_dstreams_unsorted, output_dstreams};
+use dstreams_scf::{ScfConfig, Segment};
+
+const NPROCS: usize = 4;
+
+fn seg_encode(s: &Segment) -> Vec<u8> {
+    dstreams_core::to_bytes(s, false)
+}
+
+fn seg_decode(s: &mut Segment, b: &[u8]) {
+    dstreams_core::from_bytes(s, b, false).expect("fixed-size segment image");
+}
+
+fn run(n_segments: usize, library: &str) -> std::time::Duration {
+    let pfs = Pfs::new(NPROCS, DiskModel::paragon_pfs(), Backend::Memory);
+    let library = library.to_string();
+    machine_virtual_duration(MachineConfig::paragon(NPROCS), move |ctx| {
+        let cfg = ScfConfig::paper(n_segments);
+        let elem = Segment::serialized_len_for(cfg.particles_per_segment);
+        let layout = Layout::dense(n_segments, NPROCS, DistKind::Block).unwrap();
+        let grid = Collection::new(ctx, layout.clone(), |g| cfg.make_segment(g)).unwrap();
+        let mut back = Collection::new(ctx, layout.clone(), |_| Segment::default()).unwrap();
+        ctx.barrier().unwrap();
+        let t0 = ctx.now();
+        match library.as_str() {
+            "chameleon" => {
+                chameleon::write_block_array(ctx, &pfs, "b", &grid, elem, seg_encode).unwrap();
+                chameleon::read_block_array(ctx, &pfs, "b", &mut back, elem, seg_decode)
+                    .unwrap();
+            }
+            "panda" => {
+                let schema = panda::Schema {
+                    fields: vec![panda::SchemaField {
+                        name: "segment".into(),
+                        elem_size: elem,
+                    }],
+                };
+                panda::write_array(ctx, &pfs, "b", &grid, &schema, |_, s| seg_encode(s))
+                    .unwrap();
+                panda::read_field(ctx, &pfs, "b", &mut back, "segment", seg_decode).unwrap();
+            }
+            _ => {
+                output_dstreams(ctx, &pfs, &grid, "b", MetaMode::Parallel).unwrap();
+                input_dstreams_unsorted(ctx, &pfs, &mut back, "b").unwrap();
+            }
+        }
+        ctx.barrier().unwrap();
+        ctx.now() - t0
+    })
+}
+
+fn baseline_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_overhead_fixed_data");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &n in &[256usize, 1000] {
+        for library in ["chameleon", "panda", "dstreams"] {
+            group.bench_with_input(BenchmarkId::new(library, n), &n, |b, &n| {
+                b.iter_custom(|iters| (0..iters).map(|_| run(n, library)).sum());
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Plots disabled: virtual-time samples are deterministic (zero
+/// variance), which the plotters backend cannot draw.
+fn config() -> Criterion {
+    Criterion::default().without_plots()
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = baseline_overhead
+}
+criterion_main!(benches);

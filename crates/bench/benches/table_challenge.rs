@@ -1,0 +1,112 @@
+//! Criterion regeneration of **Table 3** (uniprocessor SGI Challenge) and
+//! **Table 4** (8-processor SGI Challenge) in simulated platform seconds,
+//! plus a *wall-clock* group that runs the three I/O methods against real
+//! files on the host disk — the modern re-run of the paper's comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dstreams_bench::cell_virtual_duration;
+use dstreams_collections::{Collection, DistKind, Layout};
+use dstreams_core::MetaMode;
+use dstreams_machine::{Machine, MachineConfig};
+use dstreams_pfs::{Backend, DiskModel, Pfs};
+use dstreams_scf::methods::{
+    input_dstreams_unsorted, input_manual, input_unbuffered, output_dstreams, output_manual,
+    output_unbuffered,
+};
+use dstreams_scf::{IoMethod, Platform, ScfConfig, Segment};
+
+fn bench_challenge(c: &mut Criterion, table: &str, nprocs: usize, sizes: &[usize]) {
+    let mut group = c.benchmark_group(table);
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &n_segments in sizes {
+        for method in IoMethod::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(method.label(), n_segments),
+                &n_segments,
+                |b, &n| {
+                    b.iter_custom(|iters| {
+                        (0..iters)
+                            .map(|_| {
+                                cell_virtual_duration(Platform::SgiChallenge, nprocs, n, method)
+                            })
+                            .sum()
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn table3(c: &mut Criterion) {
+    // 20000 segments (112 MB) is exercised by the tables binary; Criterion
+    // sticks to the two smaller columns to keep iteration counts sane.
+    bench_challenge(c, "table3_challenge_1proc", 1, &[1000, 2000]);
+}
+
+fn table4(c: &mut Criterion) {
+    bench_challenge(c, "table4_challenge_8procs", 8, &[1000, 2000, 8000]);
+}
+
+/// Wall-clock on the host: the same three methods against real files.
+fn realdisk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("realdisk_wallclock_4procs");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let nprocs = 4;
+    let n_segments = 256;
+    for method in IoMethod::ALL {
+        group.bench_function(BenchmarkId::new(method.label(), n_segments), |b| {
+            b.iter(|| {
+                let dir = std::env::temp_dir().join(format!(
+                    "dstreams-bench-{}-{:?}",
+                    std::process::id(),
+                    method
+                ));
+                let pfs = Pfs::new(nprocs, DiskModel::instant(), Backend::Disk(dir.clone()));
+                let p = pfs.clone();
+                Machine::run(MachineConfig::functional(nprocs), move |ctx| {
+                    let cfg = ScfConfig::paper(n_segments);
+                    let layout = Layout::dense(n_segments, nprocs, DistKind::Block).unwrap();
+                    let grid =
+                        Collection::new(ctx, layout.clone(), |g| cfg.make_segment(g)).unwrap();
+                    let mut back =
+                        Collection::new(ctx, layout, |_| Segment::default()).unwrap();
+                    match method {
+                        IoMethod::Unbuffered => {
+                            output_unbuffered(ctx, &p, &grid, "w").unwrap();
+                            input_unbuffered(ctx, &p, &mut back, "w").unwrap();
+                        }
+                        IoMethod::ManualBuffered => {
+                            output_manual(ctx, &p, &grid, "w").unwrap();
+                            input_manual(ctx, &p, &mut back, "w", 100).unwrap();
+                        }
+                        IoMethod::DStreams => {
+                            output_dstreams(ctx, &p, &grid, "w", MetaMode::Parallel).unwrap();
+                            input_dstreams_unsorted(ctx, &p, &mut back, "w").unwrap();
+                        }
+                    }
+                })
+                .unwrap();
+                let _ = std::fs::remove_dir_all(&dir);
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Plots disabled: virtual-time samples are deterministic (zero
+/// variance), which the plotters backend cannot draw.
+fn config() -> Criterion {
+    Criterion::default().without_plots()
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = table3, table4, realdisk
+}
+criterion_main!(benches);

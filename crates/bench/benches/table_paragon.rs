@@ -1,0 +1,56 @@
+//! Criterion regeneration of **Table 1** and **Table 2** (Intel Paragon,
+//! 4 and 8 processors): unbuffered vs manual buffering vs pC++/streams,
+//! output followed by input, across the paper's I/O sizes.
+//!
+//! Times reported to Criterion are *simulated Paragon seconds* via
+//! `iter_custom`, so the bench reproduces the published numbers
+//! deterministically (compare with `cargo run -p dstreams-bench --bin
+//! tables --release`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dstreams_bench::cell_virtual_duration;
+use dstreams_scf::{IoMethod, Platform};
+
+fn bench_paragon(c: &mut Criterion, table: &str, nprocs: usize) {
+    let mut group = c.benchmark_group(table);
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &n_segments in &[256usize, 512, 1000, 2000] {
+        for method in IoMethod::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(method.label(), n_segments),
+                &n_segments,
+                |b, &n| {
+                    b.iter_custom(|iters| {
+                        (0..iters)
+                            .map(|_| cell_virtual_duration(Platform::Paragon, nprocs, n, method))
+                            .sum()
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn table1(c: &mut Criterion) {
+    bench_paragon(c, "table1_paragon_4procs", 4);
+}
+
+fn table2(c: &mut Criterion) {
+    bench_paragon(c, "table2_paragon_8procs", 8);
+}
+
+/// Plots disabled: virtual-time samples are deterministic (zero
+/// variance), which the plotters backend cannot draw.
+fn config() -> Criterion {
+    Criterion::default().without_plots()
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = table1, table2
+}
+criterion_main!(benches);

@@ -1,0 +1,275 @@
+//! HPF-style distributions of a template over processors.
+//!
+//! pC++ inherits High Performance Fortran's distribution vocabulary: a
+//! *template* of `n` abstract cells is distributed over `P` processors
+//! BLOCK-wise, CYCLIC-ly, or in blocks of `k` dealt round-robin
+//! (BLOCK-CYCLIC). Collections are then *aligned* to the template (see
+//! [`crate::alignment`]). The paper's example declares
+//! `Distribution d(12, &P, CYCLIC)`.
+
+use crate::error::CollectionError;
+
+/// The distribution pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DistKind {
+    /// Contiguous blocks of `ceil(n / P)` cells per processor.
+    Block,
+    /// Cell `t` on processor `t mod P`.
+    Cyclic,
+    /// Blocks of `k` cells dealt round-robin.
+    BlockCyclic(usize),
+}
+
+impl DistKind {
+    /// Stable numeric code used by the self-describing file format.
+    pub fn code(self) -> u32 {
+        match self {
+            DistKind::Block => 0,
+            DistKind::Cyclic => 1,
+            DistKind::BlockCyclic(_) => 2,
+        }
+    }
+
+    /// Parameter accompanying [`DistKind::code`] (block size, or 0).
+    pub fn param(self) -> u64 {
+        match self {
+            DistKind::BlockCyclic(k) => k as u64,
+            _ => 0,
+        }
+    }
+
+    /// Inverse of [`DistKind::code`]/[`DistKind::param`].
+    pub fn from_code(code: u32, param: u64) -> Option<DistKind> {
+        match code {
+            0 => Some(DistKind::Block),
+            1 => Some(DistKind::Cyclic),
+            2 if param > 0 => Some(DistKind::BlockCyclic(param as usize)),
+            _ => None,
+        }
+    }
+}
+
+/// A template of `len` cells distributed over `nprocs` processors.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Distribution {
+    len: usize,
+    nprocs: usize,
+    kind: DistKind,
+}
+
+impl Distribution {
+    /// Create a distribution; validates parameters.
+    pub fn new(len: usize, nprocs: usize, kind: DistKind) -> Result<Self, CollectionError> {
+        if nprocs == 0 {
+            return Err(CollectionError::BadDistribution(
+                "nprocs must be at least 1".into(),
+            ));
+        }
+        if let DistKind::BlockCyclic(0) = kind {
+            return Err(CollectionError::BadDistribution(
+                "BLOCK-CYCLIC block size must be at least 1".into(),
+            ));
+        }
+        Ok(Distribution { len, nprocs, kind })
+    }
+
+    /// Template length.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the template is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of processors.
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// The distribution pattern.
+    pub fn kind(&self) -> DistKind {
+        self.kind
+    }
+
+    /// Block size of the BLOCK pattern (`ceil(len / nprocs)`, min 1).
+    fn block_size(&self) -> usize {
+        self.len.div_ceil(self.nprocs).max(1)
+    }
+
+    /// Owning processor of template cell `t`.
+    pub fn owner(&self, t: usize) -> Result<usize, CollectionError> {
+        if t >= self.len {
+            return Err(CollectionError::TemplateOverflow {
+                template_index: t,
+                template_len: self.len,
+            });
+        }
+        Ok(match self.kind {
+            DistKind::Block => (t / self.block_size()).min(self.nprocs - 1),
+            DistKind::Cyclic => t % self.nprocs,
+            DistKind::BlockCyclic(k) => (t / k) % self.nprocs,
+        })
+    }
+
+    /// Local slot of template cell `t` on its owner. Local slots on each
+    /// rank are dense, starting at 0, and increase with `t`.
+    pub fn local_index(&self, t: usize) -> Result<usize, CollectionError> {
+        if t >= self.len {
+            return Err(CollectionError::TemplateOverflow {
+                template_index: t,
+                template_len: self.len,
+            });
+        }
+        Ok(match self.kind {
+            DistKind::Block => t - self.owner(t)? * self.block_size(),
+            DistKind::Cyclic => t / self.nprocs,
+            DistKind::BlockCyclic(k) => (t / (k * self.nprocs)) * k + t % k,
+        })
+    }
+
+    /// Number of template cells owned by `rank`.
+    pub fn local_count(&self, rank: usize) -> usize {
+        match self.kind {
+            DistKind::Block => {
+                let b = self.block_size();
+                let start = rank * b;
+                if rank == self.nprocs - 1 {
+                    // The last processor absorbs everything past its start
+                    // (matches `owner`'s min-clamp).
+                    self.len.saturating_sub(start)
+                } else {
+                    self.len.saturating_sub(start).min(b)
+                }
+            }
+            DistKind::Cyclic => {
+                let full = self.len / self.nprocs;
+                full + usize::from(rank < self.len % self.nprocs)
+            }
+            DistKind::BlockCyclic(k) => {
+                let round = k * self.nprocs;
+                let full_rounds = self.len / round;
+                let rem = self.len % round;
+                let mut count = full_rounds * k;
+                // Remaining cells deal blocks of k to ranks 0, 1, ...
+                let start = rank * k;
+                if rem > start {
+                    count += (rem - start).min(k);
+                }
+                count
+            }
+        }
+    }
+
+    /// Template cells owned by `rank`, in local-slot order.
+    pub fn local_cells(&self, rank: usize) -> Vec<usize> {
+        // O(len) scan; distributions in this library are set up once per
+        // stream, not in inner loops.
+        (0..self.len)
+            .filter(|&t| self.owner(t).expect("t < len") == rank)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_consistency(d: &Distribution) {
+        // owner/local_index/local_count/local_cells must agree.
+        let mut counts = vec![0usize; d.nprocs()];
+        for t in 0..d.len() {
+            let o = d.owner(t).unwrap();
+            let l = d.local_index(t).unwrap();
+            assert_eq!(l, counts[o], "cell {t}: local slots must be dense in order");
+            counts[o] += 1;
+        }
+        for (r, &count) in counts.iter().enumerate() {
+            assert_eq!(count, d.local_count(r), "rank {r} count");
+            let cells = d.local_cells(r);
+            assert_eq!(cells.len(), count);
+            for (slot, &t) in cells.iter().enumerate() {
+                assert_eq!(d.owner(t).unwrap(), r);
+                assert_eq!(d.local_index(t).unwrap(), slot);
+            }
+        }
+        assert_eq!(counts.iter().sum::<usize>(), d.len());
+    }
+
+    #[test]
+    fn block_distribution_is_consistent() {
+        for (len, np) in [(12, 4), (13, 4), (3, 4), (0, 2), (16, 1), (7, 3)] {
+            check_consistency(&Distribution::new(len, np, DistKind::Block).unwrap());
+        }
+    }
+
+    #[test]
+    fn cyclic_distribution_is_consistent() {
+        for (len, np) in [(12, 4), (13, 4), (3, 4), (0, 2), (16, 1), (7, 3)] {
+            check_consistency(&Distribution::new(len, np, DistKind::Cyclic).unwrap());
+        }
+    }
+
+    #[test]
+    fn block_cyclic_distribution_is_consistent() {
+        for (len, np, k) in [(12, 4, 2), (13, 4, 3), (3, 4, 2), (25, 3, 4), (16, 1, 5), (9, 2, 10)]
+        {
+            check_consistency(&Distribution::new(len, np, DistKind::BlockCyclic(k)).unwrap());
+        }
+    }
+
+    #[test]
+    fn block_puts_contiguous_ranges_on_each_rank() {
+        let d = Distribution::new(12, 3, DistKind::Block).unwrap();
+        assert_eq!(d.local_cells(0), vec![0, 1, 2, 3]);
+        assert_eq!(d.local_cells(1), vec![4, 5, 6, 7]);
+        assert_eq!(d.local_cells(2), vec![8, 9, 10, 11]);
+    }
+
+    #[test]
+    fn cyclic_deals_cells_round_robin() {
+        let d = Distribution::new(7, 3, DistKind::Cyclic).unwrap();
+        assert_eq!(d.local_cells(0), vec![0, 3, 6]);
+        assert_eq!(d.local_cells(1), vec![1, 4]);
+        assert_eq!(d.local_cells(2), vec![2, 5]);
+    }
+
+    #[test]
+    fn block_cyclic_deals_blocks() {
+        let d = Distribution::new(10, 2, DistKind::BlockCyclic(2)).unwrap();
+        assert_eq!(d.local_cells(0), vec![0, 1, 4, 5, 8, 9]);
+        assert_eq!(d.local_cells(1), vec![2, 3, 6, 7]);
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(Distribution::new(4, 0, DistKind::Block).is_err());
+        assert!(Distribution::new(4, 2, DistKind::BlockCyclic(0)).is_err());
+    }
+
+    #[test]
+    fn out_of_range_cells_are_rejected() {
+        let d = Distribution::new(4, 2, DistKind::Block).unwrap();
+        assert!(d.owner(4).is_err());
+        assert!(d.local_index(4).is_err());
+    }
+
+    #[test]
+    fn kind_codes_roundtrip() {
+        for kind in [DistKind::Block, DistKind::Cyclic, DistKind::BlockCyclic(7)] {
+            assert_eq!(DistKind::from_code(kind.code(), kind.param()), Some(kind));
+        }
+        assert_eq!(DistKind::from_code(99, 0), None);
+        assert_eq!(DistKind::from_code(2, 0), None);
+    }
+
+    #[test]
+    fn more_procs_than_cells_leaves_some_ranks_empty() {
+        let d = Distribution::new(2, 5, DistKind::Block).unwrap();
+        check_consistency(&d);
+        assert_eq!(d.local_count(0), 1);
+        assert_eq!(d.local_count(1), 1);
+        assert_eq!(d.local_count(4), 0);
+    }
+}

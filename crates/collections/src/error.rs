@@ -1,0 +1,95 @@
+//! Error type for the collections layer.
+
+use std::fmt;
+
+use dstreams_machine::MachineError;
+
+/// Errors raised by distribution / collection operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CollectionError {
+    /// An element index was outside the collection.
+    IndexOutOfRange {
+        /// Offending index.
+        index: usize,
+        /// Collection size.
+        len: usize,
+    },
+    /// A template index produced by an alignment fell outside the
+    /// distribution's template.
+    TemplateOverflow {
+        /// Offending template cell.
+        template_index: usize,
+        /// Template size.
+        template_len: usize,
+    },
+    /// An element was accessed on a rank that does not own it.
+    NotLocal {
+        /// Global element index.
+        index: usize,
+        /// Owning rank.
+        owner: usize,
+        /// Accessing rank.
+        rank: usize,
+    },
+    /// A distribution was constructed with invalid parameters.
+    BadDistribution(String),
+    /// Two collections expected to be aligned are not.
+    AlignmentMismatch(String),
+    /// Machine-level failure inside a collection collective.
+    Machine(MachineError),
+}
+
+impl fmt::Display for CollectionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CollectionError::IndexOutOfRange { index, len } => {
+                write!(f, "element index {index} out of range for collection of {len}")
+            }
+            CollectionError::TemplateOverflow {
+                template_index,
+                template_len,
+            } => write!(
+                f,
+                "alignment maps to template cell {template_index}, template has {template_len}"
+            ),
+            CollectionError::NotLocal { index, owner, rank } => write!(
+                f,
+                "element {index} is owned by rank {owner}, accessed from rank {rank}"
+            ),
+            CollectionError::BadDistribution(msg) => write!(f, "bad distribution: {msg}"),
+            CollectionError::AlignmentMismatch(msg) => write!(f, "alignment mismatch: {msg}"),
+            CollectionError::Machine(e) => write!(f, "machine error in collection op: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CollectionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CollectionError::Machine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MachineError> for CollectionError {
+    fn from(e: MachineError) -> Self {
+        CollectionError::Machine(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CollectionError::NotLocal {
+            index: 5,
+            owner: 2,
+            rank: 0,
+        };
+        let s = e.to_string();
+        assert!(s.contains('5') && s.contains('2') && s.contains('0'));
+    }
+}

@@ -1,0 +1,377 @@
+//! Distributed 2-D grids over collections.
+//!
+//! The paper's introduction motivates d/streams with "adaptive parallel
+//! applications using dynamic distributed data structures (e.g.
+//! distributed grids of variable density)". In pC++ such a grid is built
+//! *over the distributed array base*: a 1-D collection whose elements are
+//! grid rows (possibly of varying density). [`Grid2d`] packages that
+//! idiom: row-wise placement via any [`DistKind`], per-cell access and
+//! object-parallel application, and — for BLOCK row placement — the halo
+//! exchange a stencil computation needs.
+//!
+//! Because a `Grid2d` *is* a `Collection<GridRow<T>>`, it streams through
+//! d/streams like any other collection (`GridRow` implements the
+//! element-decomposition contract via the caller's `StreamData` impl; the
+//! `dstreams-core` crate provides one for primitive cell types).
+
+use dstreams_machine::{NodeCtx, Wire};
+
+use crate::collection::Collection;
+use crate::distribution::DistKind;
+use crate::error::CollectionError;
+use crate::layout::Layout;
+
+/// One row of a 2-D grid. The cell vector's length is the row's
+/// *density*; adaptive grids vary it per row.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct GridRow<T> {
+    /// The row's cells.
+    pub cells: Vec<T>,
+}
+
+/// The halo returned by [`Grid2d::exchange_row_halo`]: the neighbor row
+/// above and below this rank's contiguous range (`None` at grid edges).
+pub type RowHalo<T> = (Option<Vec<T>>, Option<Vec<T>>);
+
+/// A distributed 2-D grid: rows placed over ranks, cells local to a row.
+#[derive(Debug)]
+pub struct Grid2d<T> {
+    rows: usize,
+    coll: Collection<GridRow<T>>,
+}
+
+impl<T> Grid2d<T> {
+    /// Build a grid of `rows`, distributing rows by `kind`, with cell
+    /// `(i, j)` initialized by `init`. `density(i)` gives row `i`'s cell
+    /// count (uniform grids pass a constant).
+    pub fn new(
+        ctx: &NodeCtx,
+        rows: usize,
+        kind: DistKind,
+        mut density: impl FnMut(usize) -> usize,
+        mut init: impl FnMut(usize, usize) -> T,
+    ) -> Result<Self, CollectionError> {
+        let layout = Layout::dense(rows, ctx.nprocs(), kind)?;
+        let coll = Collection::new(ctx, layout, |i| GridRow {
+            cells: (0..density(i)).map(|j| init(i, j)).collect(),
+        })?;
+        Ok(Grid2d { rows, coll })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether the grid has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// The underlying collection (for streaming through d/streams).
+    pub fn as_collection(&self) -> &Collection<GridRow<T>> {
+        &self.coll
+    }
+
+    /// Mutable access to the underlying collection.
+    pub fn as_collection_mut(&mut self) -> &mut Collection<GridRow<T>> {
+        &mut self.coll
+    }
+
+    /// Consume the grid, yielding the collection.
+    pub fn into_collection(self) -> Collection<GridRow<T>> {
+        self.coll
+    }
+
+    /// Rebuild a grid view over a collection of rows.
+    pub fn from_collection(coll: Collection<GridRow<T>>) -> Self {
+        Grid2d {
+            rows: coll.len(),
+            coll,
+        }
+    }
+
+    /// Reference to cell `(i, j)` if row `i` is local.
+    pub fn get(&self, i: usize, j: usize) -> Result<&T, CollectionError> {
+        let row = self.coll.get(i)?;
+        row.cells.get(j).ok_or(CollectionError::IndexOutOfRange {
+            index: j,
+            len: row.cells.len(),
+        })
+    }
+
+    /// Mutable reference to cell `(i, j)` if row `i` is local.
+    pub fn get_mut(&mut self, i: usize, j: usize) -> Result<&mut T, CollectionError> {
+        let row = self.coll.get_mut(i)?;
+        let len = row.cells.len();
+        row.cells
+            .get_mut(j)
+            .ok_or(CollectionError::IndexOutOfRange { index: j, len })
+    }
+
+    /// Object-parallel application over every local cell, with its
+    /// `(row, column)` coordinates.
+    pub fn apply_cells(&mut self, mut f: impl FnMut(usize, usize, &mut T)) {
+        self.coll.apply_indexed(|i, row| {
+            for (j, cell) in row.cells.iter_mut().enumerate() {
+                f(i, j, cell);
+            }
+        });
+    }
+
+    /// Total cell count across all ranks.
+    pub fn total_cells(&self, ctx: &NodeCtx) -> Result<u64, CollectionError> {
+        self.coll
+            .reduce(ctx, 0u64, |r| r.cells.len() as u64, |a, b| a + b)
+    }
+}
+
+impl<T: Wire + Clone + Default> Grid2d<T> {
+    /// Exchange boundary rows between neighboring ranks — the halo a
+    /// vertical stencil needs. Requires BLOCK row placement (each rank
+    /// owns one contiguous row range, so "neighbor" is well defined).
+    ///
+    /// Returns `(above, below)`: the last row of the preceding rank's
+    /// range and the first row of the following rank's, `None` at the
+    /// grid edges. Collective.
+    pub fn exchange_row_halo(&self, ctx: &NodeCtx) -> Result<RowHalo<T>, CollectionError> {
+        if self.coll.layout().distribution().kind() != DistKind::Block {
+            return Err(CollectionError::BadDistribution(
+                "halo exchange requires BLOCK row placement".into(),
+            ));
+        }
+        // A rank's range is empty when rows < nprocs; ranks without rows
+        // forward nothing but still participate (all_gather keeps the
+        // call collective and handles skipping empty ranks naturally).
+        let encode = |row: &GridRow<T>| -> Vec<u8> {
+            let mut buf = Vec::new();
+            for c in &row.cells {
+                let w = c.to_wire();
+                buf.extend_from_slice(&(w.len() as u32).to_le_bytes());
+                buf.extend_from_slice(&w);
+            }
+            buf
+        };
+        let decode = |buf: &[u8]| -> Result<Vec<T>, CollectionError> {
+            let mut out = Vec::new();
+            let mut pos = 0usize;
+            while pos < buf.len() {
+                let len = u32::from_le_bytes(
+                    buf.get(pos..pos + 4)
+                        .ok_or_else(|| {
+                            CollectionError::BadDistribution("halo: truncated frame".into())
+                        })?
+                        .try_into()
+                        .expect("4 bytes"),
+                ) as usize;
+                pos += 4;
+                let raw = buf.get(pos..pos + len).ok_or_else(|| {
+                    CollectionError::BadDistribution("halo: truncated cell".into())
+                })?;
+                pos += len;
+                out.push(T::from_wire(raw).ok_or_else(|| {
+                    CollectionError::BadDistribution("halo: undecodable cell".into())
+                })?);
+            }
+            Ok(out)
+        };
+
+        // Share each rank's (first_row_id, first_row, last_row_id,
+        // last_row) and pick neighbors by global row index — robust to
+        // empty ranks without pairwise-messaging gymnastics (halo data is
+        // small: two rows per rank).
+        let mut mine = Vec::new();
+        if self.coll.local_len() > 0 {
+            let ids = self.coll.global_ids();
+            let first = &self.coll.local()[0];
+            let last = &self.coll.local()[self.coll.local_len() - 1];
+            mine.extend_from_slice(&(ids[0] as u64).to_le_bytes());
+            let fe = encode(first);
+            mine.extend_from_slice(&(fe.len() as u64).to_le_bytes());
+            mine.extend_from_slice(&fe);
+            mine.extend_from_slice(&(ids[ids.len() - 1] as u64).to_le_bytes());
+            let le = encode(last);
+            mine.extend_from_slice(&(le.len() as u64).to_le_bytes());
+            mine.extend_from_slice(&le);
+        }
+        let all = ctx.all_gather(mine)?;
+
+        // Decode every rank's boundary advertisement.
+        struct Adv {
+            first_id: usize,
+            first: Vec<u8>,
+            last_id: usize,
+            last: Vec<u8>,
+        }
+        let mut advs: Vec<Adv> = Vec::new();
+        for buf in &all {
+            if buf.is_empty() {
+                continue;
+            }
+            let u64_at = |pos: &mut usize| -> u64 {
+                let v = u64::from_le_bytes(buf[*pos..*pos + 8].try_into().expect("8 bytes"));
+                *pos += 8;
+                v
+            };
+            let mut pos = 0usize;
+            let first_id = u64_at(&mut pos) as usize;
+            let flen = u64_at(&mut pos) as usize;
+            let first = buf[pos..pos + flen].to_vec();
+            pos += flen;
+            let last_id = u64_at(&mut pos) as usize;
+            let llen = u64_at(&mut pos) as usize;
+            let last = buf[pos..pos + llen].to_vec();
+            advs.push(Adv {
+                first_id,
+                first,
+                last_id,
+                last,
+            });
+        }
+
+        let (mut above, mut below) = (None, None);
+        if self.coll.local_len() > 0 {
+            let ids = self.coll.global_ids();
+            let my_first = ids[0];
+            let my_last = ids[ids.len() - 1];
+            if my_first > 0 {
+                let want = my_first - 1;
+                if let Some(a) = advs.iter().find(|a| a.last_id == want) {
+                    above = Some(decode(&a.last)?);
+                } else if let Some(a) = advs.iter().find(|a| a.first_id == want) {
+                    above = Some(decode(&a.first)?);
+                }
+            }
+            if my_last + 1 < self.rows {
+                let want = my_last + 1;
+                if let Some(a) = advs.iter().find(|a| a.first_id == want) {
+                    below = Some(decode(&a.first)?);
+                } else if let Some(a) = advs.iter().find(|a| a.last_id == want) {
+                    below = Some(decode(&a.last)?);
+                }
+            }
+        }
+        Ok((above, below))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dstreams_machine::{Machine, MachineConfig};
+
+    #[test]
+    fn construction_and_cell_access() {
+        Machine::run(MachineConfig::functional(3), |ctx| {
+            let mut grid =
+                Grid2d::new(ctx, 9, DistKind::Block, |_| 4, |i, j| (i * 10 + j) as i64).unwrap();
+            assert_eq!(grid.rows(), 9);
+            for &i in grid.as_collection().global_ids().to_vec().iter() {
+                for j in 0..4 {
+                    assert_eq!(*grid.get(i, j).unwrap(), (i * 10 + j) as i64);
+                }
+                assert!(matches!(
+                    grid.get(i, 4),
+                    Err(CollectionError::IndexOutOfRange { .. })
+                ));
+            }
+            *grid.get_mut(grid.as_collection().global_ids()[0], 0).unwrap() = -1;
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn variable_density_rows() {
+        Machine::run(MachineConfig::functional(2), |ctx| {
+            let grid = Grid2d::new(ctx, 6, DistKind::Block, |i| i + 1, |i, j| (i + j) as u32)
+                .unwrap();
+            let total = grid.total_cells(ctx).unwrap();
+            assert_eq!(total, (1..=6).sum::<usize>() as u64);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn apply_cells_touches_every_cell_once() {
+        Machine::run(MachineConfig::functional(4), |ctx| {
+            let mut grid = Grid2d::new(ctx, 8, DistKind::Block, |_| 3, |_, _| 0u64).unwrap();
+            grid.apply_cells(|i, j, v| *v = (i * 100 + j) as u64);
+            let sum = grid
+                .as_collection()
+                .reduce(
+                    ctx,
+                    0u64,
+                    |r| r.cells.iter().sum::<u64>(),
+                    |a, b| a + b,
+                )
+                .unwrap();
+            let want: u64 = (0..8)
+                .flat_map(|i| (0..3).map(move |j| (i * 100 + j) as u64))
+                .sum();
+            assert_eq!(sum, want);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn halo_exchange_delivers_neighbor_rows() {
+        for np in [1usize, 2, 3, 4] {
+            Machine::run(MachineConfig::functional(np), move |ctx| {
+                let grid =
+                    Grid2d::new(ctx, 8, DistKind::Block, |_| 2, |i, j| (i * 2 + j) as f64)
+                        .unwrap();
+                let (above, below) = grid.exchange_row_halo(ctx).unwrap();
+                let ids = grid.as_collection().global_ids();
+                if ids.is_empty() {
+                    assert!(above.is_none() && below.is_none());
+                    return;
+                }
+                let my_first = ids[0];
+                let my_last = ids[ids.len() - 1];
+                match above {
+                    Some(row) => {
+                        assert!(my_first > 0);
+                        let want = my_first - 1;
+                        assert_eq!(row, vec![(want * 2) as f64, (want * 2 + 1) as f64]);
+                    }
+                    None => assert_eq!(my_first, 0),
+                }
+                match below {
+                    Some(row) => {
+                        assert!(my_last < 7);
+                        let want = my_last + 1;
+                        assert_eq!(row, vec![(want * 2) as f64, (want * 2 + 1) as f64]);
+                    }
+                    None => assert_eq!(my_last, 7),
+                }
+            })
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn halo_requires_block_placement() {
+        Machine::run(MachineConfig::functional(2), |ctx| {
+            let grid = Grid2d::new(ctx, 6, DistKind::Cyclic, |_| 1, |_, _| 0i32).unwrap();
+            assert!(matches!(
+                grid.exchange_row_halo(ctx),
+                Err(CollectionError::BadDistribution(_))
+            ));
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn more_ranks_than_rows_is_fine() {
+        Machine::run(MachineConfig::functional(5), |ctx| {
+            let grid = Grid2d::new(ctx, 3, DistKind::Block, |_| 2, |i, j| (i + j) as u16)
+                .unwrap();
+            // Ranks without rows see no halo; ranks with rows see correct ones.
+            let (above, below) = grid.exchange_row_halo(ctx).unwrap();
+            if grid.as_collection().local_len() == 0 {
+                assert!(above.is_none() && below.is_none());
+            }
+        })
+        .unwrap();
+    }
+}

@@ -1,0 +1,308 @@
+//! A layout = distribution + alignment + element count: everything needed
+//! to know which rank owns which element of a collection, and everything a
+//! d/stream must record in its self-describing file header.
+
+use crate::alignment::Alignment;
+use crate::distribution::{DistKind, Distribution};
+use crate::error::CollectionError;
+
+/// Complete placement description of a collection's elements.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Layout {
+    n_elements: usize,
+    dist: Distribution,
+    align: Alignment,
+}
+
+impl Layout {
+    /// Build a layout of `n_elements` over `dist` via `align`; checks the
+    /// alignment stays inside the template.
+    pub fn new(
+        n_elements: usize,
+        dist: Distribution,
+        align: Alignment,
+    ) -> Result<Self, CollectionError> {
+        if let Some(max) = align.max_cell(n_elements) {
+            if max >= dist.len() {
+                return Err(CollectionError::TemplateOverflow {
+                    template_index: max,
+                    template_len: dist.len(),
+                });
+            }
+        }
+        Ok(Layout {
+            n_elements,
+            dist,
+            align,
+        })
+    }
+
+    /// Identity-aligned layout where the template size equals the element
+    /// count — the common case (the paper's Figure 3 example).
+    pub fn dense(n_elements: usize, nprocs: usize, kind: DistKind) -> Result<Self, CollectionError> {
+        Layout::new(
+            n_elements,
+            Distribution::new(n_elements, nprocs, kind)?,
+            Alignment::identity(),
+        )
+    }
+
+    /// Number of elements in the collection.
+    pub fn len(&self) -> usize {
+        self.n_elements
+    }
+
+    /// Whether the collection is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n_elements == 0
+    }
+
+    /// Machine size the layout was built for.
+    pub fn nprocs(&self) -> usize {
+        self.dist.nprocs()
+    }
+
+    /// The underlying distribution.
+    pub fn distribution(&self) -> &Distribution {
+        &self.dist
+    }
+
+    /// The alignment onto the template.
+    pub fn alignment(&self) -> Alignment {
+        self.align
+    }
+
+    /// Owning rank of element `i`.
+    pub fn owner(&self, i: usize) -> Result<usize, CollectionError> {
+        self.check(i)?;
+        self.dist.owner(self.align.template_cell(i))
+    }
+
+    /// Whether element `i` lives on `rank`.
+    pub fn is_local(&self, i: usize, rank: usize) -> Result<bool, CollectionError> {
+        Ok(self.owner(i)? == rank)
+    }
+
+    /// Global element indices owned by `rank`, in increasing order — this
+    /// is also the order of the rank's local storage and of the rank's
+    /// block in a d/stream file.
+    pub fn local_elements(&self, rank: usize) -> Vec<usize> {
+        (0..self.n_elements)
+            .filter(|&i| self.owner(i).expect("i < len") == rank)
+            .collect()
+    }
+
+    /// Number of elements owned by `rank`.
+    pub fn local_count(&self, rank: usize) -> usize {
+        if self.align == Alignment::identity() && self.dist.len() == self.n_elements {
+            // Dense case: delegate to the O(1) distribution counts.
+            self.dist.local_count(rank)
+        } else {
+            self.local_elements(rank).len()
+        }
+    }
+
+    /// Local slot (position within the owner's storage) of element `i`.
+    pub fn local_slot(&self, i: usize) -> Result<usize, CollectionError> {
+        self.check(i)?;
+        let owner = self.owner(i)?;
+        Ok(self
+            .local_elements(owner)
+            .iter()
+            .position(|&e| e == i)
+            .expect("element is in its owner's list"))
+    }
+
+    fn check(&self, i: usize) -> Result<(), CollectionError> {
+        if i >= self.n_elements {
+            return Err(CollectionError::IndexOutOfRange {
+                index: i,
+                len: self.n_elements,
+            });
+        }
+        Ok(())
+    }
+
+    /// Plain-data descriptor for serialization in d/stream file headers.
+    pub fn descriptor(&self) -> LayoutDescriptor {
+        LayoutDescriptor {
+            n_elements: self.n_elements as u64,
+            template_len: self.dist.len() as u64,
+            nprocs: self.dist.nprocs() as u32,
+            dist_code: self.dist.kind().code(),
+            dist_param: self.dist.kind().param(),
+            align_stride: self.align.stride as u64,
+            align_offset: self.align.offset as u64,
+        }
+    }
+
+    /// Rebuild a layout from a descriptor (e.g. read from a file header).
+    pub fn from_descriptor(d: &LayoutDescriptor) -> Result<Layout, CollectionError> {
+        let kind = DistKind::from_code(d.dist_code, d.dist_param).ok_or_else(|| {
+            CollectionError::BadDistribution(format!(
+                "unknown distribution code {} / param {}",
+                d.dist_code, d.dist_param
+            ))
+        })?;
+        let dist = Distribution::new(d.template_len as usize, d.nprocs as usize, kind)?;
+        let align = Alignment::affine(d.align_stride as usize, d.align_offset as usize)?;
+        Layout::new(d.n_elements as usize, dist, align)
+    }
+
+    /// The same placement re-expressed for a machine of `nprocs` ranks —
+    /// used when a file written on P processors is read on Q (paper §4.1:
+    /// "regardless of differences in the number of processors and
+    /// distribution of the reading and writing arrays").
+    pub fn with_nprocs(&self, nprocs: usize) -> Result<Layout, CollectionError> {
+        Layout::new(
+            self.n_elements,
+            Distribution::new(self.dist.len(), nprocs, self.dist.kind())?,
+            self.align,
+        )
+    }
+}
+
+/// Fixed-width, plain-data image of a [`Layout`] for file headers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayoutDescriptor {
+    /// Element count.
+    pub n_elements: u64,
+    /// Template length.
+    pub template_len: u64,
+    /// Machine size at write time.
+    pub nprocs: u32,
+    /// Distribution pattern code.
+    pub dist_code: u32,
+    /// Distribution parameter (block size for BLOCK-CYCLIC).
+    pub dist_param: u64,
+    /// Alignment stride.
+    pub align_stride: u64,
+    /// Alignment offset.
+    pub align_offset: u64,
+}
+
+impl LayoutDescriptor {
+    /// Serialized size in bytes.
+    pub const WIRE_LEN: usize = 8 + 8 + 4 + 4 + 8 + 8 + 8;
+
+    /// Encode as little-endian bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(Self::WIRE_LEN);
+        v.extend_from_slice(&self.n_elements.to_le_bytes());
+        v.extend_from_slice(&self.template_len.to_le_bytes());
+        v.extend_from_slice(&self.nprocs.to_le_bytes());
+        v.extend_from_slice(&self.dist_code.to_le_bytes());
+        v.extend_from_slice(&self.dist_param.to_le_bytes());
+        v.extend_from_slice(&self.align_stride.to_le_bytes());
+        v.extend_from_slice(&self.align_offset.to_le_bytes());
+        v
+    }
+
+    /// Decode from bytes produced by [`LayoutDescriptor::encode`].
+    pub fn decode(b: &[u8]) -> Option<LayoutDescriptor> {
+        if b.len() != Self::WIRE_LEN {
+            return None;
+        }
+        let u64_at = |o: usize| u64::from_le_bytes(b[o..o + 8].try_into().unwrap());
+        let u32_at = |o: usize| u32::from_le_bytes(b[o..o + 4].try_into().unwrap());
+        Some(LayoutDescriptor {
+            n_elements: u64_at(0),
+            template_len: u64_at(8),
+            nprocs: u32_at(16),
+            dist_code: u32_at(20),
+            dist_param: u64_at(24),
+            align_stride: u64_at(32),
+            align_offset: u64_at(40),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_layout_partitions_all_elements() {
+        for kind in [DistKind::Block, DistKind::Cyclic, DistKind::BlockCyclic(3)] {
+            let l = Layout::dense(13, 4, kind).unwrap();
+            let mut seen = [false; 13];
+            for r in 0..4 {
+                for e in l.local_elements(r) {
+                    assert!(!seen[e], "element {e} owned twice");
+                    seen[e] = true;
+                    assert_eq!(l.owner(e).unwrap(), r);
+                }
+                assert_eq!(l.local_count(r), l.local_elements(r).len());
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    fn aligned_layout_respects_the_affine_map() {
+        // 5 elements at template cells 1, 3, 5, 7, 9 of a 10-cell CYCLIC
+        // template over 2 procs: all odd cells live on rank 1.
+        let dist = Distribution::new(10, 2, DistKind::Cyclic).unwrap();
+        let align = Alignment::affine(2, 1).unwrap();
+        let l = Layout::new(5, dist, align).unwrap();
+        assert_eq!(l.local_count(0), 0);
+        assert_eq!(l.local_count(1), 5);
+        assert_eq!(l.local_elements(1), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn alignment_overflow_is_rejected() {
+        let dist = Distribution::new(10, 2, DistKind::Block).unwrap();
+        let align = Alignment::affine(3, 0).unwrap();
+        // Element 4 maps to cell 12 > 9.
+        assert!(matches!(
+            Layout::new(5, dist, align),
+            Err(CollectionError::TemplateOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn local_slot_matches_position_in_local_elements() {
+        let l = Layout::dense(11, 3, DistKind::Cyclic).unwrap();
+        for r in 0..3 {
+            for (slot, e) in l.local_elements(r).into_iter().enumerate() {
+                assert_eq!(l.local_slot(e).unwrap(), slot);
+            }
+        }
+    }
+
+    #[test]
+    fn descriptor_roundtrips() {
+        let dist = Distribution::new(20, 4, DistKind::BlockCyclic(3)).unwrap();
+        let align = Alignment::affine(2, 1).unwrap();
+        let l = Layout::new(9, dist, align).unwrap();
+        let d = l.descriptor();
+        let bytes = d.encode();
+        assert_eq!(bytes.len(), LayoutDescriptor::WIRE_LEN);
+        let d2 = LayoutDescriptor::decode(&bytes).unwrap();
+        assert_eq!(d, d2);
+        let l2 = Layout::from_descriptor(&d2).unwrap();
+        assert_eq!(l, l2);
+    }
+
+    #[test]
+    fn decode_rejects_wrong_length() {
+        assert!(LayoutDescriptor::decode(&[0u8; 10]).is_none());
+    }
+
+    #[test]
+    fn with_nprocs_redistributes_the_same_elements() {
+        let l = Layout::dense(16, 4, DistKind::Block).unwrap();
+        let l2 = l.with_nprocs(2).unwrap();
+        assert_eq!(l2.len(), 16);
+        assert_eq!(l2.local_count(0), 8);
+        assert_eq!(l2.local_count(1), 8);
+    }
+
+    #[test]
+    fn out_of_range_element_is_rejected() {
+        let l = Layout::dense(4, 2, DistKind::Block).unwrap();
+        assert!(l.owner(4).is_err());
+        assert!(l.local_slot(9).is_err());
+    }
+}

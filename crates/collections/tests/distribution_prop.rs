@@ -1,0 +1,114 @@
+//! Property tests on distribution / alignment / layout arithmetic: the
+//! owner map must be a partition, local slots dense and monotone, and
+//! descriptors must roundtrip, for arbitrary parameters.
+
+use dstreams_collections::{Alignment, DistKind, Distribution, Layout, LayoutDescriptor};
+use proptest::prelude::*;
+
+fn kind_strategy() -> impl Strategy<Value = DistKind> {
+    prop_oneof![
+        Just(DistKind::Block),
+        Just(DistKind::Cyclic),
+        (1usize..6).prop_map(DistKind::BlockCyclic),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn owner_map_is_a_partition(
+        len in 0usize..200,
+        nprocs in 1usize..9,
+        kind in kind_strategy(),
+    ) {
+        let d = Distribution::new(len, nprocs, kind).unwrap();
+        let mut counts = vec![0usize; nprocs];
+        for t in 0..len {
+            let o = d.owner(t).unwrap();
+            prop_assert!(o < nprocs);
+            prop_assert_eq!(d.local_index(t).unwrap(), counts[o]);
+            counts[o] += 1;
+        }
+        for (r, &c) in counts.iter().enumerate() {
+            prop_assert_eq!(c, d.local_count(r));
+            prop_assert_eq!(d.local_cells(r).len(), c);
+        }
+        prop_assert_eq!(counts.iter().sum::<usize>(), len);
+    }
+
+    #[test]
+    fn load_balance_is_within_one_block(
+        len in 1usize..300,
+        nprocs in 1usize..9,
+        kind in kind_strategy(),
+    ) {
+        let d = Distribution::new(len, nprocs, kind).unwrap();
+        let unit = match kind {
+            DistKind::Block => len.div_ceil(nprocs),
+            DistKind::Cyclic => 1,
+            DistKind::BlockCyclic(k) => k,
+        };
+        let counts: Vec<usize> = (0..nprocs).map(|r| d.local_count(r)).collect();
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        prop_assert!(max - min <= unit, "counts {counts:?} unit {unit}");
+    }
+
+    #[test]
+    fn aligned_layouts_partition_their_elements(
+        n in 0usize..60,
+        nprocs in 1usize..6,
+        kind in kind_strategy(),
+        stride in 1usize..4,
+        offset in 0usize..5,
+    ) {
+        let template = stride * n.max(1) + offset + 1;
+        let dist = Distribution::new(template, nprocs, kind).unwrap();
+        let align = Alignment::affine(stride, offset).unwrap();
+        let layout = Layout::new(n, dist, align).unwrap();
+        let mut seen = vec![false; n];
+        for r in 0..nprocs {
+            for e in layout.local_elements(r) {
+                prop_assert!(!seen[e]);
+                seen[e] = true;
+                prop_assert_eq!(layout.owner(e).unwrap(), r);
+            }
+            prop_assert_eq!(layout.local_count(r), layout.local_elements(r).len());
+        }
+        prop_assert!(seen.into_iter().all(|s| s));
+    }
+
+    #[test]
+    fn descriptors_roundtrip(
+        n in 0usize..60,
+        nprocs in 1usize..6,
+        kind in kind_strategy(),
+        stride in 1usize..4,
+        offset in 0usize..5,
+    ) {
+        let template = stride * n.max(1) + offset + 1;
+        let dist = Distribution::new(template, nprocs, kind).unwrap();
+        let align = Alignment::affine(stride, offset).unwrap();
+        let layout = Layout::new(n, dist, align).unwrap();
+        let bytes = layout.descriptor().encode();
+        let d2 = LayoutDescriptor::decode(&bytes).unwrap();
+        prop_assert_eq!(Layout::from_descriptor(&d2).unwrap(), layout);
+    }
+
+    #[test]
+    fn renprocs_preserves_the_element_set(
+        n in 0usize..60,
+        p1 in 1usize..6,
+        p2 in 1usize..6,
+        kind in kind_strategy(),
+    ) {
+        let a = Layout::dense(n, p1, kind).unwrap();
+        let b = a.with_nprocs(p2).unwrap();
+        let mut ea: Vec<usize> = (0..p1).flat_map(|r| a.local_elements(r)).collect();
+        let mut eb: Vec<usize> = (0..p2).flat_map(|r| b.local_elements(r)).collect();
+        ea.sort_unstable();
+        eb.sort_unstable();
+        prop_assert_eq!(ea, eb);
+    }
+}

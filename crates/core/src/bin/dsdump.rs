@@ -1,0 +1,35 @@
+//! dsdump: print the structure of a d/stream file (the ncdump analogue).
+//!
+//! ```text
+//! dsdump FILE...
+//! ```
+//!
+//! Works on files produced by the real-disk PFS backend (or any byte-exact
+//! copy of a d/stream file).
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "-h" || a == "--help") {
+        eprintln!("usage: dsdump FILE...");
+        return ExitCode::from(2);
+    }
+    let mut status = ExitCode::SUCCESS;
+    for path in &args {
+        match std::fs::read(path) {
+            Ok(bytes) => match dstreams_core::inspect_bytes(&bytes) {
+                Ok(summary) => print!("{}", summary.render(path)),
+                Err(e) => {
+                    eprintln!("dsdump: {path}: {e}");
+                    status = ExitCode::FAILURE;
+                }
+            },
+            Err(e) => {
+                eprintln!("dsdump: cannot read {path}: {e}");
+                status = ExitCode::FAILURE;
+            }
+        }
+    }
+    status
+}

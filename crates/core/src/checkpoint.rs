@@ -1,0 +1,316 @@
+//! Rotating checkpoint management on top of d/streams.
+//!
+//! Checkpointing is the paper's first motivating task: "Many long-running
+//! parallel applications need to save the state of complex distributed
+//! data-sets periodically so that computation can be resumed at a later
+//! point. Periodically saving data-sets provides insurance against program
+//! termination by software bugs and job-control facilities."
+//!
+//! [`CheckpointManager`] packages the idiom: numbered checkpoint files, a
+//! replicated manifest recording which generations exist, bounded
+//! retention, and restart from the *newest readable* generation (a
+//! generation whose write was interrupted simply fails validation and the
+//! previous one is used).
+
+use dstreams_collections::{Collection, Layout};
+use dstreams_machine::NodeCtx;
+use dstreams_pfs::Pfs;
+
+use crate::data::StreamData;
+use crate::error::StreamError;
+use crate::istream::IStream;
+use crate::localio::LocalFile;
+use crate::ostream::{OStream, StreamOptions};
+
+/// Manages a rotating series of checkpoint files `<prefix>.<generation>`.
+pub struct CheckpointManager {
+    prefix: String,
+    /// How many recent generations to keep (older files are removed).
+    keep: usize,
+    opts: StreamOptions,
+}
+
+const MANIFEST_MAGIC: &[u8; 8] = b"DSCKPT1\0";
+
+/// Rank-consistent existence check. `Pfs::exists` alone is racy in SPMD
+/// code: a fast rank's subsequent `open(Create)` can register the file
+/// while a slow rank is still asking, sending the ranks down different
+/// branches (and desynchronizing their collectives). Rank 0 samples after
+/// a barrier and broadcasts the verdict, so every rank sees one answer.
+fn exists_consistent(ctx: &NodeCtx, pfs: &Pfs, name: &str) -> Result<bool, StreamError> {
+    ctx.barrier()?;
+    let flag = if ctx.is_root() {
+        vec![u8::from(pfs.exists(name))]
+    } else {
+        Vec::new()
+    };
+    let flag = ctx.broadcast(0, flag)?;
+    Ok(flag.first() == Some(&1))
+}
+
+impl CheckpointManager {
+    /// A manager for checkpoints named `<prefix>.<generation>`, retaining
+    /// the newest `keep` generations (minimum 1).
+    pub fn new(prefix: &str, keep: usize) -> Self {
+        CheckpointManager {
+            prefix: prefix.to_string(),
+            keep: keep.max(1),
+            opts: StreamOptions::default(),
+        }
+    }
+
+    /// Use non-default stream options (e.g. checked mode) for checkpoints.
+    pub fn with_options(mut self, opts: StreamOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    fn file_for(&self, generation: u64) -> String {
+        format!("{}.{}", self.prefix, generation)
+    }
+
+    fn manifest_name(&self) -> String {
+        format!("{}.manifest", self.prefix)
+    }
+
+    /// Generations currently recorded in the manifest, oldest first.
+    /// Returns an empty list when no manifest exists yet.
+    pub fn generations(&self, ctx: &NodeCtx, pfs: &Pfs) -> Result<Vec<u64>, StreamError> {
+        if !exists_consistent(ctx, pfs, &self.manifest_name())? {
+            return Ok(Vec::new());
+        }
+        let mut f = LocalFile::open(ctx, pfs, &self.manifest_name())?;
+        let head = f.read(MANIFEST_MAGIC.len() + 8)?;
+        if &head[..8] != MANIFEST_MAGIC {
+            return Err(StreamError::CorruptRecord(
+                "checkpoint manifest has a bad magic".into(),
+            ));
+        }
+        let count = u64::from_le_bytes(head[8..16].try_into().expect("8 bytes")) as usize;
+        let body = f.read(count * 8)?;
+        Ok(body
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .collect())
+    }
+
+    fn write_manifest(
+        &self,
+        ctx: &NodeCtx,
+        pfs: &Pfs,
+        gens: &[u64],
+    ) -> Result<(), StreamError> {
+        // Rewrite from scratch (manifests are tiny).
+        if exists_consistent(ctx, pfs, &self.manifest_name())? {
+            if ctx.is_root() {
+                let _ = pfs.remove(&self.manifest_name());
+            }
+            ctx.barrier()?;
+        }
+        let mut f = LocalFile::create(ctx, pfs, &self.manifest_name())?;
+        let mut buf = Vec::with_capacity(16 + gens.len() * 8);
+        buf.extend_from_slice(MANIFEST_MAGIC);
+        buf.extend_from_slice(&(gens.len() as u64).to_le_bytes());
+        for g in gens {
+            buf.extend_from_slice(&g.to_le_bytes());
+        }
+        f.write(&buf)?;
+        Ok(())
+    }
+
+    /// Save a checkpoint of `grid` as `generation`. Prunes generations
+    /// beyond the retention limit. Collective.
+    pub fn save<T: StreamData>(
+        &self,
+        ctx: &NodeCtx,
+        pfs: &Pfs,
+        grid: &Collection<T>,
+        generation: u64,
+    ) -> Result<(), StreamError> {
+        let name = self.file_for(generation);
+        // A fresh file per generation: drop any stale leftover first.
+        if exists_consistent(ctx, pfs, &name)? {
+            if ctx.is_root() {
+                let _ = pfs.remove(&name);
+            }
+            ctx.barrier()?;
+        }
+        let mut s = OStream::create_with(ctx, pfs, grid.layout(), &name, self.opts.clone())?;
+        s.insert_collection(grid)?;
+        s.write()?;
+        s.close()?;
+
+        let mut gens = self.generations(ctx, pfs)?;
+        gens.retain(|&g| g != generation);
+        gens.push(generation);
+        gens.sort_unstable();
+        while gens.len() > self.keep {
+            let old = gens.remove(0);
+            ctx.barrier()?;
+            if ctx.is_root() {
+                let _ = pfs.remove(&self.file_for(old));
+            }
+            ctx.barrier()?;
+        }
+        self.write_manifest(ctx, pfs, &gens)
+    }
+
+    /// Restore the newest generation that reads back successfully into a
+    /// collection placed by `layout` (which may differ from the writer's in
+    /// processor count and distribution — checkpoints are self-describing).
+    /// Returns the generation restored.
+    pub fn restore_latest<T: StreamData + Default>(
+        &self,
+        ctx: &NodeCtx,
+        pfs: &Pfs,
+        layout: &Layout,
+        grid: &mut Collection<T>,
+    ) -> Result<u64, StreamError> {
+        let gens = self.generations(ctx, pfs)?;
+        for &generation in gens.iter().rev() {
+            match self.try_restore(ctx, pfs, layout, grid, generation) {
+                Ok(()) => return Ok(generation),
+                Err(_) => continue, // damaged generation: fall back
+            }
+        }
+        Err(StreamError::StateViolation {
+            op: "restore",
+            why: format!("no readable checkpoint under prefix {:?}", self.prefix),
+        })
+    }
+
+    /// Restore one specific generation.
+    pub fn try_restore<T: StreamData + Default>(
+        &self,
+        ctx: &NodeCtx,
+        pfs: &Pfs,
+        layout: &Layout,
+        grid: &mut Collection<T>,
+        generation: u64,
+    ) -> Result<(), StreamError> {
+        let mut r = IStream::open(ctx, pfs, layout, &self.file_for(generation))?;
+        r.read()?;
+        r.extract_collection(grid)?;
+        r.close()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dstreams_collections::DistKind;
+    use dstreams_machine::{Machine, MachineConfig};
+    use dstreams_pfs::OpenMode;
+
+    fn layout(n: usize, np: usize) -> Layout {
+        Layout::dense(n, np, DistKind::Block).unwrap()
+    }
+
+    #[test]
+    fn save_restore_roundtrips_latest_generation() {
+        let pfs = Pfs::in_memory(2);
+        let p = pfs.clone();
+        Machine::run(MachineConfig::functional(2), move |ctx| {
+            let l = layout(8, 2);
+            let mgr = CheckpointManager::new("ck", 3);
+            let mut g = Collection::new(ctx, l.clone(), |i| i as u64).unwrap();
+            for step in 1..=4u64 {
+                g.apply(|v| *v += 100);
+                mgr.save(ctx, &p, &g, step).unwrap();
+            }
+            let mut restored = Collection::new(ctx, l.clone(), |_| 0u64).unwrap();
+            let generation = mgr.restore_latest(ctx, &p, &l, &mut restored).unwrap();
+            assert_eq!(generation, 4);
+            for (gid, v) in restored.iter() {
+                assert_eq!(*v, gid as u64 + 400);
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn retention_prunes_old_generations() {
+        let pfs = Pfs::in_memory(2);
+        let p = pfs.clone();
+        Machine::run(MachineConfig::functional(2), move |ctx| {
+            let l = layout(4, 2);
+            let mgr = CheckpointManager::new("ck", 2);
+            let g = Collection::new(ctx, l.clone(), |i| i as u32).unwrap();
+            for step in 1..=5u64 {
+                mgr.save(ctx, &p, &g, step).unwrap();
+            }
+            assert_eq!(mgr.generations(ctx, &p).unwrap(), vec![4, 5]);
+        })
+        .unwrap();
+        assert!(!pfs.exists("ck.1"));
+        assert!(!pfs.exists("ck.3"));
+        assert!(pfs.exists("ck.4") && pfs.exists("ck.5"));
+    }
+
+    #[test]
+    fn damaged_latest_falls_back_to_previous() {
+        let pfs = Pfs::in_memory(2);
+        let p = pfs.clone();
+        Machine::run(MachineConfig::functional(2), move |ctx| {
+            let l = layout(6, 2);
+            let mgr = CheckpointManager::new("ck", 3);
+            let g = Collection::new(ctx, l.clone(), |i| i as u64 * 7).unwrap();
+            mgr.save(ctx, &p, &g, 1).unwrap();
+            mgr.save(ctx, &p, &g, 2).unwrap();
+
+            // Corrupt generation 2's magic in place (an interrupted write).
+            ctx.barrier().unwrap();
+            if ctx.is_root() {
+                let fh = p.open(false, "ck.2", OpenMode::Read).unwrap();
+                fh.write_at(ctx, 0, b"XXXX").unwrap();
+            }
+            ctx.barrier().unwrap();
+
+            let mut restored = Collection::new(ctx, l.clone(), |_| 0u64).unwrap();
+            let generation = mgr.restore_latest(ctx, &p, &l, &mut restored).unwrap();
+            assert_eq!(generation, 1, "fallback to the readable generation");
+            for (gid, v) in restored.iter() {
+                assert_eq!(*v, gid as u64 * 7);
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn restore_works_across_machine_shapes() {
+        let pfs = Pfs::in_memory(4);
+        let p = pfs.clone();
+        Machine::run(MachineConfig::functional(4), move |ctx| {
+            let l = layout(12, 4);
+            let mgr = CheckpointManager::new("xk", 2);
+            let g = Collection::new(ctx, l.clone(), |i| i as i64 - 5).unwrap();
+            mgr.save(ctx, &p, &g, 9).unwrap();
+        })
+        .unwrap();
+        let p = pfs.clone();
+        Machine::run(MachineConfig::functional(3), move |ctx| {
+            let l = Layout::dense(12, 3, DistKind::Cyclic).unwrap();
+            let mgr = CheckpointManager::new("xk", 2);
+            let mut g = Collection::new(ctx, l.clone(), |_| 0i64).unwrap();
+            assert_eq!(mgr.restore_latest(ctx, &p, &l, &mut g).unwrap(), 9);
+            for (gid, v) in g.iter() {
+                assert_eq!(*v, gid as i64 - 5);
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn empty_manifest_restores_nothing() {
+        let pfs = Pfs::in_memory(2);
+        let p = pfs.clone();
+        Machine::run(MachineConfig::functional(2), move |ctx| {
+            let l = layout(4, 2);
+            let mgr = CheckpointManager::new("none", 2);
+            assert!(mgr.generations(ctx, &p).unwrap().is_empty());
+            let mut g = Collection::new(ctx, l.clone(), |_| 0u8).unwrap();
+            assert!(mgr.restore_latest(ctx, &p, &l, &mut g).is_err());
+        })
+        .unwrap();
+    }
+}

@@ -1,0 +1,223 @@
+//! Error type for the d/streams library.
+
+use std::fmt;
+
+use dstreams_collections::CollectionError;
+use dstreams_machine::MachineError;
+use dstreams_pfs::PfsError;
+
+/// Errors raised by d/stream operations.
+#[derive(Debug)]
+pub enum StreamError {
+    /// A primitive was called in a state where the d/stream interface
+    /// (paper Figure 2) does not allow it.
+    StateViolation {
+        /// The operation attempted.
+        op: &'static str,
+        /// Why it is illegal right now.
+        why: String,
+    },
+    /// `write` was invoked with no pending inserts.
+    EmptyWrite,
+    /// An insert joined an interleave group with a different element count
+    /// (the paper requires arrays inserted between writes to have the same
+    /// size and dimensionality).
+    InterleaveMismatch {
+        /// Elements in the group so far.
+        expected: usize,
+        /// Elements in the offending insert.
+        got: usize,
+    },
+    /// A collection's layout does not match the stream's layout.
+    LayoutMismatch(String),
+    /// The file is not a d/stream file (bad magic).
+    BadMagic,
+    /// The file was written by an incompatible library version.
+    UnsupportedVersion(u32),
+    /// A record header or size table failed to decode.
+    CorruptRecord(String),
+    /// `read` was invoked past the last record in the file.
+    EndOfStream,
+    /// The record holds a different number of elements than the reading
+    /// stream's layout.
+    WrongElementCount {
+        /// Element count in the file record.
+        file: usize,
+        /// Element count of the reading stream.
+        stream: usize,
+    },
+    /// An extraction consumed more bytes from an element than its
+    /// corresponding insert produced.
+    ExtractOverrun {
+        /// Global element index (or file-order index for unsorted reads).
+        element: usize,
+        /// Bytes requested.
+        wanted: usize,
+        /// Bytes remaining.
+        available: usize,
+    },
+    /// More `extract` calls were made than `insert` calls recorded.
+    ExtractCountExceeded {
+        /// Inserts recorded in the file.
+        inserts: usize,
+    },
+    /// `read` was invoked while the previous record still has unconsumed
+    /// data — a missing extract (paper: "every extract must have a
+    /// corresponding insert").
+    UnconsumedData {
+        /// Extract calls still owed.
+        extracts_remaining: usize,
+    },
+    /// Checked mode found a type tag mismatch between insert and extract.
+    TypeMismatch {
+        /// Tag written at insert time.
+        wrote: &'static str,
+        /// Tag requested at extract time.
+        read: &'static str,
+    },
+    /// Checked mode found an element-count mismatch within an insert.
+    CountMismatch {
+        /// Count written.
+        wrote: usize,
+        /// Count requested.
+        read: usize,
+    },
+    /// Writer and reader disagree about checked mode.
+    CheckedModeMismatch {
+        /// Flag stored in the record.
+        file: bool,
+        /// Flag of the reading stream.
+        stream: bool,
+    },
+    /// Underlying PFS failure.
+    Pfs(PfsError),
+    /// Underlying collection failure.
+    Collection(CollectionError),
+    /// Underlying machine failure.
+    Machine(MachineError),
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::StateViolation { op, why } => {
+                write!(f, "d/stream primitive {op:?} not allowed here: {why}")
+            }
+            StreamError::EmptyWrite => write!(f, "write() with no pending inserts"),
+            StreamError::InterleaveMismatch { expected, got } => write!(
+                f,
+                "interleaved insert of {got} elements into a group of {expected} \
+                 (inserts between writes must have equal sizes)"
+            ),
+            StreamError::LayoutMismatch(msg) => write!(f, "layout mismatch: {msg}"),
+            StreamError::BadMagic => write!(f, "not a d/stream file (bad magic)"),
+            StreamError::UnsupportedVersion(v) => {
+                write!(f, "unsupported d/stream file version {v}")
+            }
+            StreamError::CorruptRecord(msg) => write!(f, "corrupt record: {msg}"),
+            StreamError::EndOfStream => write!(f, "no more records in the d/stream file"),
+            StreamError::WrongElementCount { file, stream } => write!(
+                f,
+                "record holds {file} elements but the stream layout has {stream}"
+            ),
+            StreamError::ExtractOverrun {
+                element,
+                wanted,
+                available,
+            } => write!(
+                f,
+                "extract overran element {element}: wanted {wanted} bytes, {available} left"
+            ),
+            StreamError::ExtractCountExceeded { inserts } => write!(
+                f,
+                "extract called more times than the {inserts} recorded inserts"
+            ),
+            StreamError::UnconsumedData { extracts_remaining } => write!(
+                f,
+                "read() while {extracts_remaining} extracts from the previous record are missing"
+            ),
+            StreamError::TypeMismatch { wrote, read } => {
+                write!(f, "checked mode: inserted {wrote}, extracting {read}")
+            }
+            StreamError::CountMismatch { wrote, read } => {
+                write!(f, "checked mode: inserted {wrote} values, extracting {read}")
+            }
+            StreamError::CheckedModeMismatch { file, stream } => write!(
+                f,
+                "record checked-mode flag {file} differs from stream's {stream}"
+            ),
+            StreamError::Pfs(e) => write!(f, "pfs error: {e}"),
+            StreamError::Collection(e) => write!(f, "collection error: {e}"),
+            StreamError::Machine(e) => write!(f, "machine error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StreamError::Pfs(e) => Some(e),
+            StreamError::Collection(e) => Some(e),
+            StreamError::Machine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PfsError> for StreamError {
+    fn from(e: PfsError) -> Self {
+        StreamError::Pfs(e)
+    }
+}
+
+impl From<CollectionError> for StreamError {
+    fn from(e: CollectionError) -> Self {
+        StreamError::Collection(e)
+    }
+}
+
+impl From<MachineError> for StreamError {
+    fn from(e: MachineError) -> Self {
+        StreamError::Machine(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_the_interesting_variants() {
+        let cases: Vec<(StreamError, &str)> = vec![
+            (StreamError::EmptyWrite, "no pending inserts"),
+            (
+                StreamError::InterleaveMismatch {
+                    expected: 10,
+                    got: 12,
+                },
+                "interleaved",
+            ),
+            (StreamError::BadMagic, "magic"),
+            (
+                StreamError::WrongElementCount { file: 5, stream: 6 },
+                "5 elements",
+            ),
+            (
+                StreamError::TypeMismatch {
+                    wrote: "f64",
+                    read: "i32",
+                },
+                "f64",
+            ),
+        ];
+        for (e, needle) in cases {
+            assert!(e.to_string().contains(needle), "{e}");
+        }
+    }
+
+    #[test]
+    fn wrapped_errors_chain_sources() {
+        let e: StreamError = MachineError::EmptyMachine.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,360 @@
+//! The self-describing d/stream file format.
+//!
+//! Layout of a d/stream file (paper §4.1: "information about the
+//! distribution … and about the size of the data to be output from each
+//! element needs to be written to the file prior to the actual data"):
+//!
+//! ```text
+//! FileHeader                     -- once, at offset 0
+//! WriteRecord*                   -- one per write()
+//!
+//! WriteRecord :=
+//!   RecordHeader                 -- fixed 80 bytes
+//!   SizeTable                    -- u64 per element, in writer node order
+//!   Data                         -- element chunks, in writer node order;
+//!                                -- within an element, insert chunks in
+//!                                -- insert order (interleaving)
+//! ```
+//!
+//! Everything a reader needs — writer processor count, distribution,
+//! alignment, element count, per-element sizes — is in the file, which is
+//! why `read()` takes no metadata from the programmer and works across
+//! changes of processor count or distribution.
+
+use dstreams_collections::{Layout, LayoutDescriptor};
+
+use crate::error::StreamError;
+
+/// Magic bytes opening every d/stream file.
+pub const FILE_MAGIC: [u8; 8] = *b"DSTRM1\0\0";
+/// Current format version.
+pub const FORMAT_VERSION: u32 = 1;
+/// Magic bytes opening every write record.
+pub const RECORD_MAGIC: [u8; 4] = *b"DREC";
+
+/// Fixed-size file header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileHeader {
+    /// Format version.
+    pub version: u32,
+    /// Flag bits (bit 0: checked mode).
+    pub flags: u32,
+}
+
+impl FileHeader {
+    /// Serialized length.
+    pub const LEN: usize = 16;
+
+    /// Flag bit: stream was written in checked mode.
+    pub const FLAG_CHECKED: u32 = 1;
+
+    /// Encode to bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(Self::LEN);
+        v.extend_from_slice(&FILE_MAGIC);
+        v.extend_from_slice(&self.version.to_le_bytes());
+        v.extend_from_slice(&self.flags.to_le_bytes());
+        v
+    }
+
+    /// Decode and validate.
+    pub fn decode(b: &[u8]) -> Result<FileHeader, StreamError> {
+        if b.len() < Self::LEN || b[..8] != FILE_MAGIC {
+            return Err(StreamError::BadMagic);
+        }
+        let version = u32::from_le_bytes(b[8..12].try_into().expect("4 bytes"));
+        if version != FORMAT_VERSION {
+            return Err(StreamError::UnsupportedVersion(version));
+        }
+        let flags = u32::from_le_bytes(b[12..16].try_into().expect("4 bytes"));
+        Ok(FileHeader { version, flags })
+    }
+
+    /// Whether checked mode was on.
+    pub fn checked(&self) -> bool {
+        self.flags & Self::FLAG_CHECKED != 0
+    }
+}
+
+/// How the metadata (size table) of a record was produced — an ablation
+/// knob exposed because the paper discusses both strategies (§4.1 step 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetaMode {
+    /// Size information written from all nodes concurrently in a separate
+    /// parallel operation (large collections).
+    Parallel,
+    /// Size information gathered to node 0 and written at the head of its
+    /// per-node buffer (small collections, saves the latency of the extra
+    /// parallel operation).
+    Gathered,
+}
+
+impl MetaMode {
+    fn code(self) -> u32 {
+        match self {
+            MetaMode::Parallel => 0,
+            MetaMode::Gathered => 1,
+        }
+    }
+
+    fn from_code(c: u32) -> Option<MetaMode> {
+        match c {
+            0 => Some(MetaMode::Parallel),
+            1 => Some(MetaMode::Gathered),
+            _ => None,
+        }
+    }
+}
+
+/// Fixed-size header of one write record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordHeader {
+    /// Number of elements in the collection(s) of this record.
+    pub n_elements: u64,
+    /// Number of inserts in the interleave group.
+    pub n_inserts: u32,
+    /// Flag bits (bit 0: checked mode).
+    pub flags: u32,
+    /// Metadata strategy used (informational; the byte layout is the same).
+    pub meta_mode: MetaMode,
+    /// Placement of the writing collection.
+    pub layout: LayoutDescriptor,
+    /// Total bytes in the data region (sum of the size table).
+    pub data_len: u64,
+}
+
+impl RecordHeader {
+    /// Serialized length.
+    pub const LEN: usize = 4 + 8 + 4 + 4 + 4 + LayoutDescriptor::WIRE_LEN + 8;
+
+    /// Flag bit: record written in checked mode.
+    pub const FLAG_CHECKED: u32 = 1;
+
+    /// Encode to bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(Self::LEN);
+        v.extend_from_slice(&RECORD_MAGIC);
+        v.extend_from_slice(&self.n_elements.to_le_bytes());
+        v.extend_from_slice(&self.n_inserts.to_le_bytes());
+        v.extend_from_slice(&self.flags.to_le_bytes());
+        v.extend_from_slice(&self.meta_mode.code().to_le_bytes());
+        v.extend_from_slice(&self.layout.encode());
+        v.extend_from_slice(&self.data_len.to_le_bytes());
+        debug_assert_eq!(v.len(), Self::LEN);
+        v
+    }
+
+    /// Decode and validate.
+    pub fn decode(b: &[u8]) -> Result<RecordHeader, StreamError> {
+        if b.len() < Self::LEN {
+            return Err(StreamError::CorruptRecord(format!(
+                "record header truncated: {} of {} bytes",
+                b.len(),
+                Self::LEN
+            )));
+        }
+        if b[..4] != RECORD_MAGIC {
+            return Err(StreamError::CorruptRecord(
+                "record magic missing (file position desynchronized?)".into(),
+            ));
+        }
+        let u64_at = |o: usize| u64::from_le_bytes(b[o..o + 8].try_into().expect("8 bytes"));
+        let u32_at = |o: usize| u32::from_le_bytes(b[o..o + 4].try_into().expect("4 bytes"));
+        let n_elements = u64_at(4);
+        let n_inserts = u32_at(12);
+        let flags = u32_at(16);
+        let meta_mode = MetaMode::from_code(u32_at(20)).ok_or_else(|| {
+            StreamError::CorruptRecord("unknown metadata mode".into())
+        })?;
+        let layout = LayoutDescriptor::decode(&b[24..24 + LayoutDescriptor::WIRE_LEN])
+            .ok_or_else(|| StreamError::CorruptRecord("bad layout descriptor".into()))?;
+        let data_len = u64_at(24 + LayoutDescriptor::WIRE_LEN);
+        Ok(RecordHeader {
+            n_elements,
+            n_inserts,
+            flags,
+            meta_mode,
+            layout,
+            data_len,
+        })
+    }
+
+    /// Whether checked mode was on.
+    pub fn checked(&self) -> bool {
+        self.flags & Self::FLAG_CHECKED != 0
+    }
+}
+
+/// Encode a size table (u64 per element, writer node order).
+pub fn encode_sizes(sizes: &[u64]) -> Vec<u8> {
+    let mut v = Vec::with_capacity(sizes.len() * 8);
+    for s in sizes {
+        v.extend_from_slice(&s.to_le_bytes());
+    }
+    v
+}
+
+/// Decode a size table of exactly `n` entries.
+pub fn decode_sizes(b: &[u8], n: usize) -> Result<Vec<u64>, StreamError> {
+    if b.len() != n * 8 {
+        return Err(StreamError::CorruptRecord(format!(
+            "size table is {} bytes, expected {}",
+            b.len(),
+            n * 8
+        )));
+    }
+    Ok(b.chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+        .collect())
+}
+
+/// One element's placement in a record's data region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileEntry {
+    /// Global element index.
+    pub global_id: usize,
+    /// Offset within the data region.
+    pub offset: u64,
+    /// Chunk size in bytes (sum over the interleave group's inserts).
+    pub size: u64,
+}
+
+/// Map a size table (writer node order) back to per-element file
+/// positions, using the writer's layout recovered from the record header.
+/// Entries are returned in **file order**.
+pub fn build_file_map(writer_layout: &Layout, sizes_node_order: &[u64]) -> Result<Vec<FileEntry>, StreamError> {
+    if sizes_node_order.len() != writer_layout.len() {
+        return Err(StreamError::CorruptRecord(format!(
+            "size table has {} entries for {} elements",
+            sizes_node_order.len(),
+            writer_layout.len()
+        )));
+    }
+    let mut entries = Vec::with_capacity(writer_layout.len());
+    let mut offset = 0u64;
+    let mut idx = 0usize;
+    for w in 0..writer_layout.nprocs() {
+        for global_id in writer_layout.local_elements(w) {
+            let size = sizes_node_order[idx];
+            entries.push(FileEntry {
+                global_id,
+                offset,
+                size,
+            });
+            offset += size;
+            idx += 1;
+        }
+    }
+    debug_assert_eq!(idx, sizes_node_order.len());
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dstreams_collections::DistKind;
+
+    #[test]
+    fn file_header_roundtrips() {
+        let h = FileHeader {
+            version: FORMAT_VERSION,
+            flags: FileHeader::FLAG_CHECKED,
+        };
+        let b = h.encode();
+        assert_eq!(b.len(), FileHeader::LEN);
+        let h2 = FileHeader::decode(&b).unwrap();
+        assert_eq!(h, h2);
+        assert!(h2.checked());
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_rejected() {
+        let mut b = FileHeader {
+            version: FORMAT_VERSION,
+            flags: 0,
+        }
+        .encode();
+        b[0] = b'X';
+        assert!(matches!(FileHeader::decode(&b), Err(StreamError::BadMagic)));
+
+        let mut b = FileHeader {
+            version: FORMAT_VERSION,
+            flags: 0,
+        }
+        .encode();
+        b[8] = 99;
+        assert!(matches!(
+            FileHeader::decode(&b),
+            Err(StreamError::UnsupportedVersion(99))
+        ));
+        assert!(matches!(
+            FileHeader::decode(&[0u8; 4]),
+            Err(StreamError::BadMagic)
+        ));
+    }
+
+    fn sample_record() -> RecordHeader {
+        let layout = Layout::dense(12, 4, DistKind::Cyclic).unwrap();
+        RecordHeader {
+            n_elements: 12,
+            n_inserts: 3,
+            flags: 0,
+            meta_mode: MetaMode::Gathered,
+            layout: layout.descriptor(),
+            data_len: 4096,
+        }
+    }
+
+    #[test]
+    fn record_header_roundtrips() {
+        let r = sample_record();
+        let b = r.encode();
+        assert_eq!(b.len(), RecordHeader::LEN);
+        let r2 = RecordHeader::decode(&b).unwrap();
+        assert_eq!(r, r2);
+        assert!(!r2.checked());
+    }
+
+    #[test]
+    fn truncated_or_desynced_record_is_rejected() {
+        let b = sample_record().encode();
+        assert!(matches!(
+            RecordHeader::decode(&b[..10]),
+            Err(StreamError::CorruptRecord(_))
+        ));
+        let mut bad = b.clone();
+        bad[0] = b'Z';
+        assert!(matches!(
+            RecordHeader::decode(&bad),
+            Err(StreamError::CorruptRecord(_))
+        ));
+    }
+
+    #[test]
+    fn size_table_roundtrips_and_validates_length() {
+        let sizes = vec![0u64, 17, 5600, u64::from(u32::MAX) + 7];
+        let b = encode_sizes(&sizes);
+        assert_eq!(decode_sizes(&b, 4).unwrap(), sizes);
+        assert!(decode_sizes(&b, 5).is_err());
+        assert!(decode_sizes(&b[1..], 4).is_err());
+    }
+
+    #[test]
+    fn file_map_follows_node_order() {
+        // 5 elements CYCLIC over 2 ranks: rank 0 owns 0,2,4; rank 1 owns 1,3.
+        let layout = Layout::dense(5, 2, DistKind::Cyclic).unwrap();
+        let sizes = vec![10, 20, 30, 40, 50]; // node order: e0,e2,e4,e1,e3
+        let map = build_file_map(&layout, &sizes).unwrap();
+        let ids: Vec<usize> = map.iter().map(|e| e.global_id).collect();
+        assert_eq!(ids, vec![0, 2, 4, 1, 3]);
+        let offsets: Vec<u64> = map.iter().map(|e| e.offset).collect();
+        assert_eq!(offsets, vec![0, 10, 30, 60, 100]);
+        assert_eq!(map[4].size, 50);
+    }
+
+    #[test]
+    fn file_map_rejects_wrong_size_count() {
+        let layout = Layout::dense(5, 2, DistKind::Block).unwrap();
+        assert!(build_file_map(&layout, &[1, 2, 3]).is_err());
+    }
+}

@@ -1,0 +1,250 @@
+//! Offline inspection of d/stream files — the `ncdump`/`h5dump` analogue.
+//!
+//! Because d/stream files are self-describing, a plain byte image is
+//! enough to recover the full structure: every record's element count,
+//! insert count, writer machine size, distribution, alignment, and
+//! per-element sizes. No simulated machine is needed; this module parses
+//! raw bytes (see the `dsdump` binary for the CLI).
+
+use dstreams_collections::Layout;
+
+use crate::error::StreamError;
+use crate::format::{decode_sizes, FileHeader, MetaMode, RecordHeader};
+
+/// Summary of one write record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordSummary {
+    /// Record ordinal in the file (0-based).
+    pub index: usize,
+    /// File offset of the record header.
+    pub offset: u64,
+    /// Elements covered by the record.
+    pub n_elements: usize,
+    /// Inserts in the interleave group.
+    pub n_inserts: u32,
+    /// Whether checked mode was on.
+    pub checked: bool,
+    /// Metadata strategy that produced the record.
+    pub meta_mode: MetaMode,
+    /// Writer's placement (nprocs, distribution, alignment).
+    pub layout: Layout,
+    /// Total data bytes.
+    pub data_len: u64,
+    /// Smallest element, in bytes.
+    pub min_element: u64,
+    /// Largest element, in bytes.
+    pub max_element: u64,
+}
+
+/// Summary of a whole d/stream file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FileSummary {
+    /// File-level header.
+    pub header: FileHeader,
+    /// Per-record summaries, in file order.
+    pub records: Vec<RecordSummary>,
+    /// Total file bytes.
+    pub total_bytes: u64,
+}
+
+/// Parse a complete d/stream file image.
+pub fn inspect_bytes(bytes: &[u8]) -> Result<FileSummary, StreamError> {
+    let header = FileHeader::decode(bytes.get(..FileHeader::LEN).ok_or(StreamError::BadMagic)?)?;
+    let mut records = Vec::new();
+    let mut pos = FileHeader::LEN;
+    let mut index = 0usize;
+    while pos < bytes.len() {
+        let rh_bytes = bytes.get(pos..pos + RecordHeader::LEN).ok_or_else(|| {
+            StreamError::CorruptRecord(format!(
+                "file ends mid-record-header at offset {pos} (of {})",
+                bytes.len()
+            ))
+        })?;
+        let rh = RecordHeader::decode(rh_bytes)?;
+        let n = rh.n_elements as usize;
+        let table_start = pos + RecordHeader::LEN;
+        let table = bytes
+            .get(table_start..table_start + n * 8)
+            .ok_or_else(|| {
+                StreamError::CorruptRecord(format!(
+                    "file ends mid-size-table in record {index} at offset {table_start}"
+                ))
+            })?;
+        let sizes = decode_sizes(table, n)?;
+        let total: u64 = sizes.iter().sum();
+        if total != rh.data_len {
+            return Err(StreamError::CorruptRecord(format!(
+                "record {index}: size table sums to {total}, header claims {}",
+                rh.data_len
+            )));
+        }
+        let data_start = table_start + n * 8;
+        if (data_start as u64 + rh.data_len) as usize > bytes.len() {
+            return Err(StreamError::CorruptRecord(format!(
+                "file ends mid-data in record {index}"
+            )));
+        }
+        let layout = Layout::from_descriptor(&rh.layout)?;
+        records.push(RecordSummary {
+            index,
+            offset: pos as u64,
+            n_elements: n,
+            n_inserts: rh.n_inserts,
+            checked: rh.checked(),
+            meta_mode: rh.meta_mode,
+            layout,
+            data_len: rh.data_len,
+            min_element: sizes.iter().copied().min().unwrap_or(0),
+            max_element: sizes.iter().copied().max().unwrap_or(0),
+        });
+        pos = data_start + rh.data_len as usize;
+        index += 1;
+    }
+    Ok(FileSummary {
+        header,
+        records,
+        total_bytes: bytes.len() as u64,
+    })
+}
+
+impl FileSummary {
+    /// Render a human-readable report.
+    pub fn render(&self, name: &str) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{name}: d/stream file, format v{}, {} bytes, {} record(s){}",
+            self.header.version,
+            self.total_bytes,
+            self.records.len(),
+            if self.header.checked() {
+                ", checked mode"
+            } else {
+                ""
+            }
+        );
+        for r in &self.records {
+            let d = r.layout.distribution();
+            let _ = writeln!(
+                out,
+                "  record {} @ {:>8}: {} elements x {} insert(s), {} data bytes \
+                 (elements {}..{} B), writer: {} procs, {:?} over {} cells, meta {:?}",
+                r.index,
+                r.offset,
+                r.n_elements,
+                r.n_inserts,
+                r.data_len,
+                r.min_element,
+                r.max_element,
+                r.layout.nprocs(),
+                d.kind(),
+                d.len(),
+                r.meta_mode,
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dstreams_collections::{Collection, DistKind};
+    use dstreams_machine::{Machine, MachineConfig};
+    use dstreams_pfs::{OpenMode, Pfs};
+
+    use crate::ostream::OStream;
+
+    fn file_bytes(pfs: &Pfs, name: &'static str) -> Vec<u8> {
+        let p = pfs.clone();
+        Machine::run(MachineConfig::functional(1), move |ctx| {
+            let fh = p.open(false, name, OpenMode::Read).unwrap();
+            let mut buf = vec![0u8; fh.len() as usize];
+            fh.read_at(ctx, 0, &mut buf).unwrap();
+            buf
+        })
+        .unwrap()
+        .remove(0)
+    }
+
+    #[test]
+    fn inspect_recovers_record_structure() {
+        let pfs = Pfs::in_memory(3);
+        let p = pfs.clone();
+        Machine::run(MachineConfig::functional(3), move |ctx| {
+            let layout = Layout::dense(9, 3, DistKind::Cyclic).unwrap();
+            let g = Collection::new(ctx, layout.clone(), |i| vec![i as u8; i]).unwrap();
+            let mut s = OStream::create(ctx, &p, &layout, "f").unwrap();
+            s.insert_collection(&g).unwrap();
+            s.write().unwrap();
+            s.insert_collection(&g).unwrap();
+            s.insert_with(&g, |v, ins| ins.prim(v.len() as u32)).unwrap();
+            s.write().unwrap();
+            s.close().unwrap();
+        })
+        .unwrap();
+
+        let summary = inspect_bytes(&file_bytes(&pfs, "f")).unwrap();
+        assert_eq!(summary.records.len(), 2);
+        let r0 = &summary.records[0];
+        assert_eq!(r0.n_elements, 9);
+        assert_eq!(r0.n_inserts, 1);
+        assert_eq!(r0.layout.nprocs(), 3);
+        assert_eq!(r0.layout.distribution().kind(), DistKind::Cyclic);
+        // Element i is a length-prefixed vec of i bytes: 8 + i.
+        assert_eq!(r0.min_element, 8);
+        assert_eq!(r0.max_element, 8 + 8);
+        let r1 = &summary.records[1];
+        assert_eq!(r1.n_inserts, 2);
+        assert!(r1.data_len > r0.data_len);
+        let report = summary.render("f");
+        assert!(report.contains("2 record(s)"));
+        assert!(report.contains("9 elements"));
+    }
+
+    #[test]
+    fn inspect_rejects_truncation_at_every_region() {
+        let pfs = Pfs::in_memory(2);
+        let p = pfs.clone();
+        Machine::run(MachineConfig::functional(2), move |ctx| {
+            let layout = Layout::dense(6, 2, DistKind::Block).unwrap();
+            let g = Collection::new(ctx, layout.clone(), |i| i as u64).unwrap();
+            let mut s = OStream::create(ctx, &p, &layout, "t").unwrap();
+            s.insert_collection(&g).unwrap();
+            s.write().unwrap();
+            s.close().unwrap();
+        })
+        .unwrap();
+        let bytes = file_bytes(&pfs, "t");
+        assert!(inspect_bytes(&bytes).is_ok());
+        // Header region.
+        assert!(matches!(
+            inspect_bytes(&bytes[..10]),
+            Err(StreamError::BadMagic)
+        ));
+        // Mid record header / size table / data.
+        for cut in [
+            FileHeader::LEN + 10,
+            FileHeader::LEN + RecordHeader::LEN + 8,
+            bytes.len() - 3,
+        ] {
+            assert!(
+                matches!(
+                    inspect_bytes(&bytes[..cut]),
+                    Err(StreamError::CorruptRecord(_))
+                ),
+                "cut at {cut} must be detected"
+            );
+        }
+    }
+
+    #[test]
+    fn inspect_rejects_non_dstream_bytes() {
+        assert!(matches!(
+            inspect_bytes(b"definitely not a dstream"),
+            Err(StreamError::BadMagic)
+        ));
+        assert!(matches!(inspect_bytes(&[]), Err(StreamError::BadMagic)));
+    }
+}

@@ -1,0 +1,417 @@
+//! Input d/streams.
+//!
+//! An [`IStream`] reads write records back: `read` (or `unsorted_read`)
+//! pulls one record's metadata and data into per-node buffers; `extract`
+//! calls then transfer the data into collections.
+//!
+//! * [`IStream::read`] implements the two-phase strategy the paper adopts
+//!   from PASSION: every rank first reads a contiguous slice *conforming
+//!   to the on-disk layout*, then an all-to-all routes each element to its
+//!   owner under the **reader's** distribution — which may differ from the
+//!   writer's in both processor count and pattern.
+//! * [`IStream::unsorted_read`] skips the routing phase entirely: ranks
+//!   take contiguous runs of file-order elements sized to their local
+//!   counts. Element *values* arrive intact but their index assignment is
+//!   arbitrary — the fast path for index-free data (and the primitive used
+//!   in all of the paper's measurements).
+
+use dstreams_collections::{Collection, Layout};
+use dstreams_machine::wire::{frame_blocks, unframe_blocks};
+use dstreams_machine::NodeCtx;
+use dstreams_pfs::{FileHandle, OpenMode, Pfs};
+
+use crate::data::{Extractor, StreamData};
+use crate::error::StreamError;
+use crate::format::{build_file_map, decode_sizes, FileEntry, FileHeader, RecordHeader};
+
+/// State of the record currently buffered in an input stream.
+struct InRecord {
+    header: RecordHeader,
+    /// Per local slot: the element's bytes.
+    element_data: Vec<Vec<u8>>,
+    /// Per local slot: extraction cursor.
+    element_pos: Vec<usize>,
+    /// Per local slot: the element identity (global index for sorted
+    /// reads; file-order index for unsorted reads).
+    element_ids: Vec<usize>,
+    extracts_done: u32,
+}
+
+/// An input d/stream bound to one file and the *reader's* layout.
+pub struct IStream<'a> {
+    ctx: &'a NodeCtx,
+    layout: Layout,
+    fh: FileHandle,
+    /// File offset of the next record (advances in lockstep on all ranks).
+    cursor: u64,
+    current: Option<InRecord>,
+}
+
+impl<'a> IStream<'a> {
+    /// Open an input stream on `name`, extracting into collections placed
+    /// by `layout`. Collective. Validates the d/stream file header.
+    pub fn open(
+        ctx: &'a NodeCtx,
+        pfs: &Pfs,
+        layout: &Layout,
+        name: &str,
+    ) -> Result<Self, StreamError> {
+        if layout.nprocs() != ctx.nprocs() {
+            return Err(StreamError::LayoutMismatch(format!(
+                "layout built for {} procs, machine has {}",
+                layout.nprocs(),
+                ctx.nprocs()
+            )));
+        }
+        let fh = pfs.open(false, name, OpenMode::Read)?;
+        // Rank 0 validates the header; everyone learns the verdict.
+        let verdict = if ctx.is_root() {
+            let mut buf = vec![0u8; FileHeader::LEN];
+            match fh.read_at(ctx, 0, &mut buf) {
+                Ok(()) => match FileHeader::decode(&buf) {
+                    Ok(_) => vec![0u8],
+                    Err(StreamError::UnsupportedVersion(v)) => {
+                        let mut e = vec![2u8];
+                        e.extend_from_slice(&v.to_le_bytes());
+                        e
+                    }
+                    Err(_) => vec![1u8],
+                },
+                Err(_) => vec![1u8],
+            }
+        } else {
+            Vec::new()
+        };
+        let verdict = ctx.broadcast(0, verdict)?;
+        match verdict.first() {
+            Some(0) => {}
+            Some(2) => {
+                let v = u32::from_le_bytes(verdict[1..5].try_into().expect("4 bytes"));
+                return Err(StreamError::UnsupportedVersion(v));
+            }
+            _ => return Err(StreamError::BadMagic),
+        }
+        Ok(IStream {
+            ctx,
+            layout: layout.clone(),
+            fh,
+            cursor: FileHeader::LEN as u64,
+            current: None,
+        })
+    }
+
+    /// The reader layout.
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// Whether the file has another record after the current position.
+    pub fn at_end(&self) -> bool {
+        self.cursor >= self.fh.len()
+    }
+
+    /// The d/stream `read` primitive: buffer the next record, routing
+    /// every element to its owner under the reader's layout so that
+    /// extracted arrays have elements "in exactly the same order as the
+    /// elements of the originally inserted arrays".
+    pub fn read(&mut self) -> Result<(), StreamError> {
+        self.read_impl(true)
+    }
+
+    /// The d/stream `unsortedRead` primitive: buffer the next record
+    /// without inter-processor routing; element-to-index assignment is
+    /// arbitrary (but element-atomic).
+    pub fn unsorted_read(&mut self) -> Result<(), StreamError> {
+        self.read_impl(false)
+    }
+
+    fn read_impl(&mut self, sorted: bool) -> Result<(), StreamError> {
+        if let Some(rec) = &self.current {
+            if rec.extracts_done < rec.header.n_inserts {
+                return Err(StreamError::UnconsumedData {
+                    extracts_remaining: (rec.header.n_inserts - rec.extracts_done) as usize,
+                });
+            }
+        }
+
+        // --- parallel read 1: record header + size table -------------------
+        let header = self.read_header()?;
+        let n = header.n_elements as usize;
+        if n != self.layout.len() {
+            return Err(StreamError::WrongElementCount {
+                file: n,
+                stream: self.layout.len(),
+            });
+        }
+        let sizes = self.read_size_table(n)?;
+        let writer_layout = Layout::from_descriptor(&header.layout)?;
+        let file_map = build_file_map(&writer_layout, &sizes)?;
+        let total: u64 = sizes.iter().sum();
+        if total != header.data_len {
+            return Err(StreamError::CorruptRecord(format!(
+                "size table sums to {total}, header claims {}",
+                header.data_len
+            )));
+        }
+        let data_base = self.cursor + RecordHeader::LEN as u64 + (n as u64) * 8;
+
+        // --- parallel read 2: the data, then (for sorted reads) routing ----
+        let rec = if sorted {
+            self.read_sorted(&header, &file_map, data_base)?
+        } else {
+            self.read_unsorted(&header, &file_map, data_base)?
+        };
+
+        self.cursor = data_base + header.data_len;
+        self.current = Some(rec);
+        Ok(())
+    }
+
+    fn read_header(&mut self) -> Result<RecordHeader, StreamError> {
+        // Rank 0 reads and broadcasts the fixed-size header (its size is
+        // trivial; the *size table* is what gets the parallel read).
+        let blob = if self.ctx.is_root() {
+            if self.fh.len() < self.cursor + RecordHeader::LEN as u64 {
+                Vec::new() // signals end-of-stream
+            } else {
+                let mut buf = vec![0u8; RecordHeader::LEN];
+                match self.fh.read_at(self.ctx, self.cursor, &mut buf) {
+                    Ok(()) => buf,
+                    // Broadcast the failure as end-of-stream rather than
+                    // abandoning the collective mid-flight.
+                    Err(_) => Vec::new(),
+                }
+            }
+        } else {
+            Vec::new()
+        };
+        let blob = self.ctx.broadcast(0, blob)?;
+        if blob.is_empty() {
+            return Err(StreamError::EndOfStream);
+        }
+        RecordHeader::decode(&blob)
+    }
+
+    fn read_size_table(&mut self, n: usize) -> Result<Vec<u64>, StreamError> {
+        // Balanced parallel read of the size table, then all-gather so
+        // every rank holds the whole table.
+        let nprocs = self.ctx.nprocs();
+        let rank = self.ctx.rank();
+        let table_base = self.cursor + RecordHeader::LEN as u64;
+        let lo = (rank * n) / nprocs;
+        let hi = ((rank + 1) * n) / nprocs;
+        let my = self
+            .fh
+            .read_ordered(self.ctx, table_base + lo as u64 * 8, (hi - lo) * 8)?;
+        let slices = self.ctx.all_gather(my)?;
+        let mut full = Vec::with_capacity(n * 8);
+        for s in &slices {
+            full.extend_from_slice(s);
+        }
+        decode_sizes(&full, n)
+    }
+
+    /// Contiguous span (file offset, length, entry range) of file-order
+    /// entries `[lo, hi)`.
+    fn span(file_map: &[FileEntry], data_base: u64, lo: usize, hi: usize) -> (u64, usize) {
+        if lo >= hi {
+            return (data_base, 0);
+        }
+        let start = file_map[lo].offset;
+        let end = file_map[hi - 1].offset + file_map[hi - 1].size;
+        (data_base + start, (end - start) as usize)
+    }
+
+    fn read_sorted(
+        &mut self,
+        header: &RecordHeader,
+        file_map: &[FileEntry],
+        data_base: u64,
+    ) -> Result<InRecord, StreamError> {
+        let nprocs = self.ctx.nprocs();
+        let rank = self.ctx.rank();
+        let n = file_map.len();
+
+        // Phase 1: conforming read — balanced contiguous slices of the
+        // on-disk element sequence.
+        let lo = (rank * n) / nprocs;
+        let hi = ((rank + 1) * n) / nprocs;
+        let (off, len) = Self::span(file_map, data_base, lo, hi);
+        let raw = self.fh.read_ordered(self.ctx, off, len)?;
+
+        // Phase 2: route each element to its owner under the reader layout.
+        let mut parts: Vec<Vec<Vec<u8>>> = vec![Vec::new(); nprocs];
+        let base_off = if lo < hi { file_map[lo].offset } else { 0 };
+        for e in &file_map[lo..hi] {
+            let rel = (e.offset - base_off) as usize;
+            let bytes = &raw[rel..rel + e.size as usize];
+            let owner = self.layout.owner(e.global_id)?;
+            parts[owner].push((e.global_id as u64).to_le_bytes().to_vec());
+            parts[owner].push(bytes.to_vec());
+        }
+        let framed: Vec<Vec<u8>> = parts.iter().map(|p| frame_blocks(p)).collect();
+        self.ctx
+            .charge_memcpy(framed.iter().map(|f| f.len()).sum());
+        let received = self.ctx.all_to_all(framed)?;
+
+        // Place routed elements into local slots (global-index order).
+        let local_ids = self.layout.local_elements(rank);
+        let mut element_data: Vec<Option<Vec<u8>>> = vec![None; local_ids.len()];
+        for buf in received {
+            let blocks = unframe_blocks(&buf).ok_or_else(|| {
+                StreamError::CorruptRecord("sorted read: malformed routing frame".into())
+            })?;
+            for pair in blocks.chunks(2) {
+                let [gid, data] = pair else {
+                    return Err(StreamError::CorruptRecord(
+                        "sorted read: odd routing frame".into(),
+                    ));
+                };
+                let g = u64::from_le_bytes(gid.as_slice().try_into().map_err(|_| {
+                    StreamError::CorruptRecord("sorted read: bad element id".into())
+                })?) as usize;
+                let slot = local_ids.binary_search(&g).map_err(|_| {
+                    StreamError::CorruptRecord(format!(
+                        "sorted read: element {g} routed to non-owner rank {rank}"
+                    ))
+                })?;
+                element_data[slot] = Some(data.clone());
+            }
+        }
+        let element_data: Vec<Vec<u8>> = element_data
+            .into_iter()
+            .enumerate()
+            .map(|(slot, d)| {
+                d.ok_or_else(|| {
+                    StreamError::CorruptRecord(format!(
+                        "sorted read: no data for local slot {slot}"
+                    ))
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        self.ctx
+            .charge_memcpy(element_data.iter().map(|d| d.len()).sum());
+
+        Ok(InRecord {
+            header: header.clone(),
+            element_pos: vec![0; element_data.len()],
+            element_ids: local_ids,
+            element_data,
+            extracts_done: 0,
+        })
+    }
+
+    fn read_unsorted(
+        &mut self,
+        header: &RecordHeader,
+        file_map: &[FileEntry],
+        data_base: u64,
+    ) -> Result<InRecord, StreamError> {
+        let nprocs = self.ctx.nprocs();
+        let rank = self.ctx.rank();
+
+        // Deal file-order elements out in contiguous runs sized by the
+        // reader's local counts: no communication needed.
+        let counts: Vec<usize> = (0..nprocs).map(|r| self.layout.local_count(r)).collect();
+        let lo: usize = counts[..rank].iter().sum();
+        let hi = lo + counts[rank];
+        let (off, len) = Self::span(file_map, data_base, lo, hi);
+        let raw = self.fh.read_ordered(self.ctx, off, len)?;
+
+        let base_off = if lo < hi { file_map[lo].offset } else { 0 };
+        let mut element_data = Vec::with_capacity(hi - lo);
+        let mut element_ids = Vec::with_capacity(hi - lo);
+        for e in &file_map[lo..hi] {
+            let rel = (e.offset - base_off) as usize;
+            element_data.push(raw[rel..rel + e.size as usize].to_vec());
+            element_ids.push(e.global_id);
+        }
+        self.ctx.charge_memcpy(len);
+
+        Ok(InRecord {
+            header: header.clone(),
+            element_pos: vec![0; element_data.len()],
+            element_ids,
+            element_data,
+            extracts_done: 0,
+        })
+    }
+
+    /// Skip the next record without buffering its data (cursor advance
+    /// only — the record header tells us how far). Lets several input
+    /// streams with different layouts share one file: each stream skips
+    /// the records that belong to the others.
+    pub fn skip_record(&mut self) -> Result<(), StreamError> {
+        if let Some(rec) = &self.current {
+            if rec.extracts_done < rec.header.n_inserts {
+                return Err(StreamError::UnconsumedData {
+                    extracts_remaining: (rec.header.n_inserts - rec.extracts_done) as usize,
+                });
+            }
+        }
+        let header = self.read_header()?;
+        self.cursor += (RecordHeader::LEN as u64) + header.n_elements * 8 + header.data_len;
+        Ok(())
+    }
+
+    /// Extract an entire collection: the Rust spelling of `s >> g`.
+    pub fn extract_collection<T: StreamData>(
+        &mut self,
+        c: &mut Collection<T>,
+    ) -> Result<(), StreamError> {
+        self.extract_with(c, |e, ext| e.extract(ext))
+    }
+
+    /// Extract a projection of each element: the Rust spelling of
+    /// `s >> g.numberOfParticles`. The closure must mirror the insertion
+    /// closure used when the record was written.
+    pub fn extract_with<T>(
+        &mut self,
+        c: &mut Collection<T>,
+        f: impl Fn(&mut T, &mut Extractor<'_>) -> Result<(), StreamError>,
+    ) -> Result<(), StreamError> {
+        let rec = self.current.as_mut().ok_or(StreamError::StateViolation {
+            op: "extract",
+            why: "no record buffered — call read() or unsorted_read() first".into(),
+        })?;
+        if rec.extracts_done >= rec.header.n_inserts {
+            return Err(StreamError::ExtractCountExceeded {
+                inserts: rec.header.n_inserts as usize,
+            });
+        }
+        if c.layout() != &self.layout {
+            return Err(StreamError::LayoutMismatch(
+                "extracted collection is not aligned with the stream".into(),
+            ));
+        }
+        let checked = rec.header.checked();
+        let mut moved = 0usize;
+        for (slot, (_gid, elem)) in c.iter_mut().enumerate() {
+            let id = rec.element_ids[slot];
+            let mut ext = Extractor::new(&rec.element_data[slot], rec.element_pos[slot], id, checked);
+            f(elem, &mut ext)?;
+            moved += ext.pos() - rec.element_pos[slot];
+            rec.element_pos[slot] = ext.pos();
+        }
+        self.ctx.charge_memcpy(moved);
+        rec.extracts_done += 1;
+        Ok(())
+    }
+
+    /// The d/stream `close` primitive; errors if a buffered record still
+    /// has unconsumed extracts.
+    pub fn close(self) -> Result<(), StreamError> {
+        if let Some(rec) = &self.current {
+            if rec.extracts_done < rec.header.n_inserts {
+                return Err(StreamError::StateViolation {
+                    op: "close",
+                    why: format!(
+                        "{} extracts missing from the buffered record",
+                        rec.header.n_inserts - rec.extracts_done
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+}

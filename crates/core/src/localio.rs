@@ -1,0 +1,157 @@
+//! Replicated-local I/O (paper §4.2).
+//!
+//! Besides collection I/O, pC++ supports C-stdio-style I/O on *local* data
+//! that is replicated on every node: "the pC++ compiler automatically
+//! transforms programs to insure that local data is output and input by
+//! only one node. For input, the data is broadcast to the rest of the
+//! nodes after it is read." [`LocalFile`] provides exactly those
+//! semantics as library calls: every rank calls the same operations with
+//! the same (replicated) values; physically, only rank 0 touches the file.
+
+use dstreams_machine::NodeCtx;
+use dstreams_pfs::{FileHandle, OpenMode, Pfs};
+
+use crate::error::StreamError;
+
+/// A file accessed with replicated-local semantics.
+pub struct LocalFile<'a> {
+    ctx: &'a NodeCtx,
+    fh: FileHandle,
+    /// Logical cursor, identical on every rank.
+    cursor: u64,
+}
+
+impl<'a> LocalFile<'a> {
+    /// Open (creating if needed). Collective.
+    pub fn create(ctx: &'a NodeCtx, pfs: &Pfs, name: &str) -> Result<Self, StreamError> {
+        let fh = pfs.open(ctx.is_root(), name, OpenMode::Create)?;
+        ctx.barrier()?;
+        Ok(LocalFile { ctx, fh, cursor: 0 })
+    }
+
+    /// Open an existing file for reading. Collective.
+    pub fn open(ctx: &'a NodeCtx, pfs: &Pfs, name: &str) -> Result<Self, StreamError> {
+        let fh = pfs.open(false, name, OpenMode::Read)?;
+        ctx.barrier()?;
+        Ok(LocalFile { ctx, fh, cursor: 0 })
+    }
+
+    /// Current logical position.
+    pub fn pos(&self) -> u64 {
+        self.cursor
+    }
+
+    /// Move the logical position (every rank must seek identically).
+    pub fn seek(&mut self, pos: u64) {
+        self.cursor = pos;
+    }
+
+    /// File size.
+    pub fn len(&self) -> u64 {
+        self.fh.len()
+    }
+
+    /// Whether the file is empty.
+    pub fn is_empty(&self) -> bool {
+        self.fh.is_empty()
+    }
+
+    /// Write replicated data: every rank passes the same bytes; rank 0
+    /// performs the single physical write.
+    pub fn write(&mut self, data: &[u8]) -> Result<(), StreamError> {
+        if self.ctx.is_root() {
+            self.fh.write_at(self.ctx, self.cursor, data)?;
+        }
+        self.cursor += data.len() as u64;
+        // Publish before anyone reads; also equalizes virtual clocks, as
+        // the single writer made everyone wait in reality too.
+        self.ctx.barrier()?;
+        Ok(())
+    }
+
+    /// Read `len` bytes: rank 0 performs the physical read, the result is
+    /// broadcast to all ranks. A failed physical read is broadcast too, so
+    /// every rank returns the error instead of rank 0 abandoning the
+    /// collective (which would deadlock the others).
+    pub fn read(&mut self, len: usize) -> Result<Vec<u8>, StreamError> {
+        let blob = if self.ctx.is_root() {
+            let mut buf = vec![0u8; len + 1];
+            buf[0] = 0; // status: ok
+            match self.fh.read_at(self.ctx, self.cursor, &mut buf[1..]) {
+                Ok(()) => buf,
+                Err(_) => vec![1u8], // status: failed
+            }
+        } else {
+            Vec::new()
+        };
+        let blob = self.ctx.broadcast(0, blob)?;
+        match blob.first() {
+            Some(0) if blob.len() == len + 1 => {
+                self.cursor += len as u64;
+                Ok(blob[1..].to_vec())
+            }
+            _ => Err(StreamError::CorruptRecord(format!(
+                "replicated read of {len} bytes at {} failed",
+                self.cursor
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dstreams_machine::{Machine, MachineConfig};
+    use dstreams_pfs::Pfs;
+
+    #[test]
+    fn replicated_write_happens_once_and_reads_broadcast() {
+        let pfs = Pfs::in_memory(4);
+        let p = pfs.clone();
+        Machine::run(MachineConfig::functional(4), move |ctx| {
+            let mut f = LocalFile::create(ctx, &p, "params").unwrap();
+            // Every rank "writes" the same replicated configuration.
+            f.write(b"nbody=1000;dt=0.01").unwrap();
+            assert_eq!(f.pos(), 18);
+
+            let mut g = LocalFile::open(ctx, &p, "params").unwrap();
+            let data = g.read(18).unwrap();
+            assert_eq!(&data, b"nbody=1000;dt=0.01");
+        })
+        .unwrap();
+        // Physically only rank 0 wrote: exactly one independent write op.
+        // (Reads: one independent op by rank 0 for the read.)
+        assert_eq!(pfs.file_size("params").unwrap(), 18);
+        assert_eq!(pfs.stats().independent_ops, 2);
+    }
+
+    #[test]
+    fn seek_and_partial_reads_work() {
+        let pfs = Pfs::in_memory(2);
+        let p = pfs.clone();
+        Machine::run(MachineConfig::functional(2), move |ctx| {
+            let mut f = LocalFile::create(ctx, &p, "s").unwrap();
+            f.write(b"0123456789").unwrap();
+            f.seek(4);
+            assert_eq!(f.pos(), 4);
+            let mut r = LocalFile::open(ctx, &p, "s").unwrap();
+            r.seek(4);
+            assert_eq!(r.read(3).unwrap(), b"456");
+            assert_eq!(r.pos(), 7);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn read_past_end_fails_on_every_rank() {
+        let pfs = Pfs::in_memory(2);
+        let p = pfs.clone();
+        Machine::run(MachineConfig::functional(2), move |ctx| {
+            let mut f = LocalFile::create(ctx, &p, "short").unwrap();
+            f.write(b"ab").unwrap();
+            let mut r = LocalFile::open(ctx, &p, "short").unwrap();
+            assert!(r.read(10).is_err());
+        })
+        .unwrap();
+    }
+}

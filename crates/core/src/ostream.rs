@@ -1,0 +1,566 @@
+//! Output d/streams.
+//!
+//! An [`OStream`] is the write side of the d/stream abstraction: data from
+//! distributed collections is *inserted* into the stream's buffer and later
+//! *written* to the file in one (or a few) parallel file-system operations.
+//!
+//! The state machine of the paper's Figure 2 is enforced at run time:
+//! `open → (insert⁺ → write)* → close`, with the interleaving constraint
+//! that all inserts between two writes cover collections of the same shape.
+
+use dstreams_collections::Collection;
+use dstreams_collections::Layout;
+use dstreams_machine::{MemoryModel, NodeCtx, SharedBuffer};
+use dstreams_pfs::{FileHandle, OpenMode, Pfs};
+
+use crate::data::{Inserter, StreamData};
+use crate::error::StreamError;
+use crate::format::{encode_sizes, FileHeader, MetaMode, RecordHeader, FORMAT_VERSION};
+
+/// How an output stream chooses its metadata strategy (paper §4.1 step 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetaPolicy {
+    /// Gather to node 0 below `small_threshold` elements, parallel above —
+    /// the adaptive strategy the paper describes.
+    Auto {
+        /// Collections smaller than this use [`MetaMode::Gathered`].
+        small_threshold: usize,
+    },
+    /// Always use the given mode (ablation benches use this).
+    Force(MetaMode),
+}
+
+impl Default for MetaPolicy {
+    fn default() -> Self {
+        // Crossover measured by benches/ablation_metadata.rs on the
+        // Paragon model: gathering beats the extra parallel operation up
+        // to ~8 K elements (64 KB of size info); stay a bit below it.
+        MetaPolicy::Auto {
+            small_threshold: 8192,
+        }
+    }
+}
+
+/// Options for opening streams.
+#[derive(Debug, Clone, Default)]
+pub struct StreamOptions {
+    /// Embed type tags with every insertion and validate them on
+    /// extraction (debugging aid; adds 5 bytes per primitive insertion).
+    pub checked: bool,
+    /// Metadata strategy.
+    pub meta_policy: MetaPolicy,
+    /// Shared-memory single-buffer variant (paper §4: on multiprocessors
+    /// "the per-node d/stream buffers can be reduced to one"): ranks pack
+    /// their blocks into one shared staging buffer in parallel and a
+    /// single processor issues one plain write. Only legal on machines
+    /// with `MemoryModel::Shared`; the file image is identical to the
+    /// per-node variant, so any reader works.
+    pub smp_single_buffer: bool,
+}
+
+/// An output d/stream bound to one file and one collection layout.
+pub struct OStream<'a> {
+    ctx: &'a NodeCtx,
+    layout: Layout,
+    fh: FileHandle,
+    opts: StreamOptions,
+    /// Per-local-slot accumulated bytes for the current interleave group.
+    group: Vec<Vec<u8>>,
+    /// Shared staging buffer (single-buffer SMP variant only).
+    scratch: Option<SharedBuffer>,
+    n_inserts: u32,
+    records_written: usize,
+}
+
+impl<'a> OStream<'a> {
+    /// Open an output stream on `name` for collections placed by `layout`.
+    ///
+    /// Collective: every rank must call it. If the file is empty, the
+    /// d/stream file header is written; otherwise records append after the
+    /// existing content (this is how several streams with differing
+    /// layouts share one file, paper §4.1).
+    pub fn create(
+        ctx: &'a NodeCtx,
+        pfs: &Pfs,
+        layout: &Layout,
+        name: &str,
+    ) -> Result<Self, StreamError> {
+        Self::create_with(ctx, pfs, layout, name, StreamOptions::default())
+    }
+
+    /// [`OStream::create`] with explicit options.
+    pub fn create_with(
+        ctx: &'a NodeCtx,
+        pfs: &Pfs,
+        layout: &Layout,
+        name: &str,
+        opts: StreamOptions,
+    ) -> Result<Self, StreamError> {
+        if layout.nprocs() != ctx.nprocs() {
+            return Err(StreamError::LayoutMismatch(format!(
+                "layout built for {} procs, machine has {}",
+                layout.nprocs(),
+                ctx.nprocs()
+            )));
+        }
+        if opts.smp_single_buffer && ctx.memory_model() != MemoryModel::Shared {
+            return Err(StreamError::StateViolation {
+                op: "open",
+                why: "single-buffer mode requires a shared-memory machine".into(),
+            });
+        }
+        let fh = pfs.open(ctx.is_root(), name, OpenMode::Create)?;
+        let scratch = opts
+            .smp_single_buffer
+            .then(|| pfs.scratch(&format!("__ostream_smp__{name}")));
+        // Open is collective; the file header itself is written lazily
+        // with the first record's metadata operation, so `open` costs no
+        // parallel I/O (matching the paper's oStream constructor, which
+        // only sets up state).
+        ctx.barrier()?;
+        let local_count = layout.local_count(ctx.rank());
+        Ok(OStream {
+            ctx,
+            layout: layout.clone(),
+            fh,
+            opts,
+            group: (0..local_count).map(|_| Vec::new()).collect(),
+            scratch,
+            n_inserts: 0,
+            records_written: 0,
+        })
+    }
+
+    /// The stream's layout.
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// Inserts pending in the current interleave group.
+    pub fn pending_inserts(&self) -> u32 {
+        self.n_inserts
+    }
+
+    /// Records written so far through this stream.
+    pub fn records_written(&self) -> usize {
+        self.records_written
+    }
+
+    /// Insert an entire collection: the Rust spelling of `s << g`.
+    pub fn insert_collection<T: StreamData>(
+        &mut self,
+        c: &Collection<T>,
+    ) -> Result<(), StreamError> {
+        self.insert_with(c, |e, ins| e.insert(ins))
+    }
+
+    /// Insert a projection of each element: the Rust spelling of
+    /// `s << g.numberOfParticles`. The closure decomposes whatever part of
+    /// the element should be inserted.
+    pub fn insert_with<T>(
+        &mut self,
+        c: &Collection<T>,
+        f: impl Fn(&T, &mut Inserter<'_>),
+    ) -> Result<(), StreamError> {
+        if c.layout() != &self.layout {
+            if c.len() != self.layout.len() {
+                // Distinguish the interleave-shape error the paper calls
+                // out from a general placement mismatch.
+                return Err(StreamError::InterleaveMismatch {
+                    expected: self.layout.len(),
+                    got: c.len(),
+                });
+            }
+            return Err(StreamError::LayoutMismatch(
+                "inserted collection is not aligned with the stream".into(),
+            ));
+        }
+        let mut added = 0usize;
+        for (slot, (_gid, elem)) in c.iter().enumerate() {
+            let buf = &mut self.group[slot];
+            let before = buf.len();
+            let mut ins = Inserter::new(buf, self.opts.checked);
+            f(elem, &mut ins);
+            added += buf.len() - before;
+        }
+        // This serialization pass is the single data copy of the paper's
+        // pointer-list design (there the copy happens at write()).
+        self.ctx.charge_memcpy(added);
+        self.n_inserts += 1;
+        Ok(())
+    }
+
+    /// Flush the current interleave group to the file as one write record
+    /// (the d/stream `write` primitive). Collective.
+    pub fn write(&mut self) -> Result<(), StreamError> {
+        if self.n_inserts == 0 {
+            return Err(StreamError::EmptyWrite);
+        }
+        let n = self.layout.len();
+        let local_sizes: Vec<u64> = self.group.iter().map(|b| b.len() as u64).collect();
+        let local_bytes: u64 = local_sizes.iter().sum();
+        let data_len = self.ctx.all_reduce(local_bytes, |a, b| a + b)?;
+
+        let mode = match self.opts.meta_policy {
+            MetaPolicy::Auto { small_threshold } => {
+                if n < small_threshold {
+                    MetaMode::Gathered
+                } else {
+                    MetaMode::Parallel
+                }
+            }
+            MetaPolicy::Force(m) => m,
+        };
+
+        let header = RecordHeader {
+            n_elements: n as u64,
+            n_inserts: self.n_inserts,
+            flags: if self.opts.checked {
+                RecordHeader::FLAG_CHECKED
+            } else {
+                0
+            },
+            meta_mode: mode,
+            layout: self.layout.descriptor(),
+            data_len,
+        };
+
+        // Pack this rank's data block: local elements in slot order, insert
+        // chunks already interleaved per element.
+        let mut data = Vec::with_capacity(local_bytes as usize);
+        for chunk in &self.group {
+            data.extend_from_slice(chunk);
+        }
+        self.ctx.charge_memcpy(data.len());
+
+        // If the file is still empty (consistent across ranks thanks to
+        // the barrier at the head of every collective PFS op), the root
+        // prefixes the d/stream file header to its metadata block.
+        self.ctx.barrier()?;
+        let file_prefix = if self.fh.is_empty() && self.ctx.is_root() {
+            FileHeader {
+                version: FORMAT_VERSION,
+                flags: if self.opts.checked {
+                    FileHeader::FLAG_CHECKED
+                } else {
+                    0
+                },
+            }
+            .encode()
+        } else {
+            Vec::new()
+        };
+
+        if let Some(scratch) = self.scratch.clone() {
+            self.write_smp(&scratch, &header, file_prefix, &local_sizes, &data)?;
+        } else {
+            self.write_per_node(mode, &header, file_prefix, &local_sizes, &data)?;
+        }
+
+        for chunk in &mut self.group {
+            chunk.clear();
+        }
+        self.n_inserts = 0;
+        self.records_written += 1;
+        Ok(())
+    }
+
+    /// Per-node-buffer emission (distributed-memory machines, and the
+    /// default everywhere): collective parallel operations.
+    fn write_per_node(
+        &mut self,
+        mode: MetaMode,
+        header: &RecordHeader,
+        file_prefix: Vec<u8>,
+        local_sizes: &[u64],
+        data: &[u8],
+    ) -> Result<(), StreamError> {
+        match mode {
+            MetaMode::Gathered => {
+                // Size info travels to node 0 and is written at the head
+                // of its per-node buffer: a single parallel operation.
+                let gathered = self.ctx.gather(0, encode_sizes(local_sizes))?;
+                let block = if let Some(tables) = gathered {
+                    let mut b = file_prefix;
+                    b.extend_from_slice(&header.encode());
+                    for t in &tables {
+                        b.extend_from_slice(t);
+                    }
+                    b.extend_from_slice(data);
+                    b
+                } else {
+                    data.to_vec()
+                };
+                self.fh.write_ordered(self.ctx, &block)?;
+            }
+            MetaMode::Parallel => {
+                // Two parallel operations: metadata (record header from
+                // the root, size-table slices from all nodes — one
+                // node-order write yields header-then-sizes), then data.
+                let mut meta = file_prefix;
+                if self.ctx.is_root() {
+                    meta.extend_from_slice(&header.encode());
+                }
+                meta.extend_from_slice(&encode_sizes(local_sizes));
+                self.fh.write_ordered(self.ctx, &meta)?;
+                self.fh.write_ordered(self.ctx, data)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Single-buffer emission (shared-memory machines): every rank packs
+    /// its block into one shared staging buffer in parallel, then rank 0
+    /// issues a single plain write of the whole record. Produces exactly
+    /// the same file bytes as [`OStream::write_per_node`].
+    fn write_smp(
+        &mut self,
+        scratch: &SharedBuffer,
+        header: &RecordHeader,
+        file_prefix: Vec<u8>,
+        local_sizes: &[u64],
+        data: &[u8],
+    ) -> Result<(), StreamError> {
+        let ctx = self.ctx;
+        // Everyone learns every rank's data length (for offsets).
+        let framed = ctx.all_gather((data.len() as u64).to_le_bytes().to_vec())?;
+        let data_lens: Vec<u64> = framed
+            .iter()
+            .map(|b| {
+                Ok(u64::from_le_bytes(b.as_slice().try_into().map_err(|_| {
+                    StreamError::CorruptRecord("smp write: bad length frame".into())
+                })?))
+            })
+            .collect::<Result<_, StreamError>>()?;
+        // Size tables travel to rank 0, which assembles the metadata and
+        // reserves the whole record in the shared buffer.
+        let gathered = ctx.gather(0, encode_sizes(local_sizes))?;
+        let meta_len = if let Some(tables) = gathered {
+            let mut meta = file_prefix;
+            meta.extend_from_slice(&header.encode());
+            for t in &tables {
+                meta.extend_from_slice(t);
+            }
+            let total: u64 = data_lens.iter().sum();
+            scratch.clear();
+            scratch.reserve(meta.len() + total as usize);
+            scratch.write_at(0, &meta);
+            ctx.charge_memcpy(meta.len());
+            (meta.len() as u64).to_le_bytes().to_vec()
+        } else {
+            Vec::new()
+        };
+        // The broadcast doubles as the "buffer is reserved" signal.
+        let meta_len = ctx.broadcast(0, meta_len)?;
+        let meta_len = u64::from_le_bytes(meta_len.as_slice().try_into().map_err(|_| {
+            StreamError::CorruptRecord("smp write: bad metadata length".into())
+        })?);
+        let my_off = meta_len + data_lens[..ctx.rank()].iter().sum::<u64>();
+        scratch.write_at(my_off as usize, data);
+        ctx.charge_memcpy(data.len());
+        // All packing done before the single write.
+        ctx.barrier()?;
+        if ctx.is_root() {
+            let image = scratch.to_vec();
+            // The lone writer pays for streaming the whole image through
+            // one processor — the reason this variant loses to parallel
+            // per-node writes at large sizes.
+            ctx.charge_memcpy(image.len());
+            let base = self.fh.len();
+            self.fh.write_at(ctx, base, &image)?;
+        }
+        ctx.barrier()?;
+        Ok(())
+    }
+
+    /// The d/stream `close` primitive. Errors if inserts are pending
+    /// without a `write` (in pC++ the destructor closes implicitly; Rust
+    /// surfaces the missing-write bug instead of dropping data).
+    pub fn close(self) -> Result<(), StreamError> {
+        if self.n_inserts > 0 {
+            return Err(StreamError::StateViolation {
+                op: "close",
+                why: format!("{} inserts pending without a write()", self.n_inserts),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dstreams_collections::DistKind;
+    use dstreams_machine::{Machine, MachineConfig};
+
+    fn with_machine(np: usize, f: impl Fn(&NodeCtx, &Pfs) + Sync) {
+        let pfs = Pfs::in_memory(np);
+        Machine::run(MachineConfig::functional(np), move |ctx| f(ctx, &pfs)).unwrap();
+    }
+
+    #[test]
+    fn file_header_is_written_once_with_the_first_record() {
+        let pfs = Pfs::in_memory(2);
+        let p = pfs.clone();
+        Machine::run(MachineConfig::functional(2), move |ctx| {
+            let layout = Layout::dense(4, 2, DistKind::Block).unwrap();
+            // Creating (and closing) streams alone writes nothing.
+            let s = OStream::create(ctx, &p, &layout, "f").unwrap();
+            s.close().unwrap();
+            assert_eq!(p.file_size("f").unwrap(), 0);
+            // Two streams, two records: exactly one file header.
+            let c = Collection::new(ctx, layout.clone(), |g| g as u8).unwrap();
+            let mut s1 = OStream::create(ctx, &p, &layout, "f").unwrap();
+            let mut s2 = OStream::create(ctx, &p, &layout, "f").unwrap();
+            s1.insert_collection(&c).unwrap();
+            s1.write().unwrap();
+            s2.insert_collection(&c).unwrap();
+            s2.write().unwrap();
+            s1.close().unwrap();
+            s2.close().unwrap();
+        })
+        .unwrap();
+        use crate::format::RecordHeader;
+        let record = RecordHeader::LEN as u64 + 4 * 8 + 4; // header + sizes + data
+        assert_eq!(
+            pfs.file_size("f").unwrap(),
+            FileHeader::LEN as u64 + 2 * record
+        );
+    }
+
+    #[test]
+    fn write_without_insert_is_rejected() {
+        with_machine(2, |ctx, pfs| {
+            let layout = Layout::dense(4, 2, DistKind::Block).unwrap();
+            let mut s = OStream::create(ctx, pfs, &layout, "f").unwrap();
+            assert!(matches!(s.write(), Err(StreamError::EmptyWrite)));
+        });
+    }
+
+    #[test]
+    fn close_with_pending_inserts_is_rejected() {
+        with_machine(2, |ctx, pfs| {
+            let layout = Layout::dense(4, 2, DistKind::Block).unwrap();
+            let c = Collection::new(ctx, layout.clone(), |g| g as u64).unwrap();
+            let mut s = OStream::create(ctx, pfs, &layout, "f").unwrap();
+            s.insert_collection(&c).unwrap();
+            assert!(matches!(
+                s.close(),
+                Err(StreamError::StateViolation { op: "close", .. })
+            ));
+        });
+    }
+
+    #[test]
+    fn misaligned_collection_is_rejected() {
+        with_machine(2, |ctx, pfs| {
+            let layout = Layout::dense(4, 2, DistKind::Block).unwrap();
+            let other = Layout::dense(4, 2, DistKind::Cyclic).unwrap();
+            let wrong_len = Layout::dense(6, 2, DistKind::Block).unwrap();
+            let c_other = Collection::new(ctx, other, |g| g as u64).unwrap();
+            let c_len = Collection::new(ctx, wrong_len, |g| g as u64).unwrap();
+            let mut s = OStream::create(ctx, pfs, &layout, "f").unwrap();
+            assert!(matches!(
+                s.insert_collection(&c_other),
+                Err(StreamError::LayoutMismatch(_))
+            ));
+            assert!(matches!(
+                s.insert_collection(&c_len),
+                Err(StreamError::InterleaveMismatch {
+                    expected: 4,
+                    got: 6
+                })
+            ));
+        });
+    }
+
+    #[test]
+    fn gathered_and_parallel_modes_produce_identical_bytes() {
+        let run = |mode: MetaMode| {
+            let pfs = Pfs::in_memory(3);
+            let p = pfs.clone();
+            Machine::run(MachineConfig::functional(3), move |ctx| {
+                let layout = Layout::dense(7, 3, DistKind::Cyclic).unwrap();
+                let c = Collection::new(ctx, layout.clone(), |g| vec![g as u8; g + 1]).unwrap();
+                let opts = StreamOptions {
+                    checked: false,
+                    meta_policy: MetaPolicy::Force(mode),
+                    ..Default::default()
+                };
+                let mut s = OStream::create_with(ctx, &p, &layout, "f", opts).unwrap();
+                s.insert_collection(&c).unwrap();
+                s.write().unwrap();
+                s.close().unwrap();
+            })
+            .unwrap();
+            // Snapshot the file image.
+            let size = pfs.file_size("f").unwrap() as usize;
+            let p2 = pfs.clone();
+            let bytes = Machine::run(MachineConfig::functional(1), move |ctx| {
+                let fh = p2.open(false, "f", OpenMode::Read).unwrap();
+                let mut buf = vec![0u8; size];
+                fh.read_at(ctx, 0, &mut buf).unwrap();
+                buf
+            })
+            .unwrap();
+            bytes[0].clone()
+        };
+        let a = run(MetaMode::Gathered);
+        let b = run(MetaMode::Parallel);
+        // Identical except the meta-mode field in the record header: mask it.
+        assert_eq!(a.len(), b.len());
+        let mm_off = FileHeader::LEN + 4 + 8 + 4 + 4; // header + magic + n_elems + n_inserts + flags
+        let mut a2 = a.clone();
+        let mut b2 = b.clone();
+        for buf in [&mut a2, &mut b2] {
+            buf[mm_off..mm_off + 4].fill(0);
+        }
+        assert_eq!(a2, b2, "both metadata strategies must lay out bytes identically");
+    }
+
+    #[test]
+    fn multiple_writes_append_records() {
+        with_machine(2, |ctx, pfs| {
+            let layout = Layout::dense(4, 2, DistKind::Block).unwrap();
+            let c = Collection::new(ctx, layout.clone(), |g| g as u32).unwrap();
+            let mut s = OStream::create(ctx, pfs, &layout, "multi").unwrap();
+            for _ in 0..3 {
+                s.insert_collection(&c).unwrap();
+                s.write().unwrap();
+            }
+            assert_eq!(s.records_written(), 3);
+            s.close().unwrap();
+        });
+    }
+
+    #[test]
+    fn interleaved_inserts_group_per_element() {
+        // Two inserts before one write: each element's chunks must be
+        // adjacent in the file (checked byte-exactly for 1 rank).
+        let pfs = Pfs::in_memory(1);
+        let p = pfs.clone();
+        Machine::run(MachineConfig::functional(1), move |ctx| {
+            let layout = Layout::dense(2, 1, DistKind::Block).unwrap();
+            let c = Collection::new(ctx, layout.clone(), |g| g as u8).unwrap();
+            let mut s = OStream::create(ctx, &p, &layout, "il").unwrap();
+            // Insert the element value, then a second field 10+value.
+            s.insert_with(&c, |e, ins| ins.prim(*e)).unwrap();
+            s.insert_with(&c, |e, ins| ins.prim(*e + 10)).unwrap();
+            s.write().unwrap();
+            s.close().unwrap();
+        })
+        .unwrap();
+        let p2 = pfs.clone();
+        let bytes = Machine::run(MachineConfig::functional(1), move |ctx| {
+            let fh = p2.open(false, "il", OpenMode::Read).unwrap();
+            let size = fh.len() as usize;
+            let mut buf = vec![0u8; size];
+            fh.read_at(ctx, 0, &mut buf).unwrap();
+            buf
+        })
+        .unwrap();
+        // Data region is the last 4 bytes: e0 chunks (0, 10) then e1 (1, 11).
+        let data = &bytes[0][bytes[0].len() - 4..];
+        assert_eq!(data, &[0, 10, 1, 11]);
+    }
+}

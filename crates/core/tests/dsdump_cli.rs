@@ -1,0 +1,50 @@
+//! End-to-end test of the `dsdump` CLI against a real on-disk d/stream
+//! file written through the Disk backend.
+
+use std::process::Command;
+
+use dstreams_collections::{Collection, DistKind, Layout};
+use dstreams_core::OStream;
+use dstreams_machine::{Machine, MachineConfig};
+use dstreams_pfs::{Backend, DiskModel, Pfs};
+
+#[test]
+fn dsdump_reads_real_files() {
+    let dir = std::env::temp_dir().join(format!("dsdump-cli-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let pfs = Pfs::new(2, DiskModel::instant(), Backend::Disk(dir.clone()));
+    let p = pfs.clone();
+    Machine::run(MachineConfig::functional(2), move |ctx| {
+        let layout = Layout::dense(6, 2, DistKind::Cyclic).unwrap();
+        let g = Collection::new(ctx, layout.clone(), |i| vec![i as u8; i + 1]).unwrap();
+        let mut s = OStream::create(ctx, &p, &layout, "dump.dstream").unwrap();
+        s.insert_collection(&g).unwrap();
+        s.write().unwrap();
+        s.close().unwrap();
+    })
+    .unwrap();
+
+    let path = dir.join("dump.dstream");
+    let out = Command::new(env!("CARGO_BIN_EXE_dsdump"))
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let report = String::from_utf8(out.stdout).unwrap();
+    assert!(report.contains("1 record(s)"), "{report}");
+    assert!(report.contains("6 elements"), "{report}");
+    assert!(report.contains("Cyclic"), "{report}");
+    assert!(report.contains("2 procs"), "{report}");
+
+    // Corrupt the magic: dsdump must fail loudly.
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[0] = b'X';
+    std::fs::write(&path, &bytes).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_dsdump"))
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr).unwrap().contains("magic"));
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,125 @@
+//! The shared-memory single-buffer variant (paper §4): same file bytes,
+//! different emission path.
+
+use dstreams_collections::{Collection, DistKind, Layout};
+use dstreams_core::{IStream, OStream, StreamError, StreamOptions};
+use dstreams_machine::{Machine, MachineConfig};
+use dstreams_pfs::{OpenMode, Pfs};
+
+fn write_file(smp: bool, name: &'static str, pfs: &Pfs) {
+    let p = pfs.clone();
+    Machine::run(MachineConfig::sgi_challenge(4), move |ctx| {
+        let layout = Layout::dense(10, 4, DistKind::Cyclic).unwrap();
+        let g = Collection::new(ctx, layout.clone(), |i| vec![i as u8; i + 1]).unwrap();
+        let opts = StreamOptions {
+            smp_single_buffer: smp,
+            ..Default::default()
+        };
+        let mut s = OStream::create_with(ctx, &p, &layout, name, opts).unwrap();
+        s.insert_collection(&g).unwrap();
+        s.insert_with(&g, |v, ins| ins.prim(v.len() as u64)).unwrap();
+        s.write().unwrap();
+        s.close().unwrap();
+    })
+    .unwrap();
+}
+
+fn snapshot(pfs: &Pfs, name: &'static str) -> Vec<u8> {
+    let p = pfs.clone();
+    Machine::run(MachineConfig::functional(1), move |ctx| {
+        let fh = p.open(false, name, OpenMode::Read).unwrap();
+        let mut buf = vec![0u8; fh.len() as usize];
+        fh.read_at(ctx, 0, &mut buf).unwrap();
+        buf
+    })
+    .unwrap()
+    .remove(0)
+}
+
+#[test]
+fn smp_buffer_produces_identical_file_bytes() {
+    let pfs = Pfs::in_memory(4);
+    write_file(false, "per_node", &pfs);
+    write_file(true, "smp", &pfs);
+    let a = snapshot(&pfs, "per_node");
+    let b = snapshot(&pfs, "smp");
+    assert_eq!(a, b, "both emission paths must write the same record image");
+}
+
+#[test]
+fn smp_file_reads_back_on_a_distributed_machine() {
+    let pfs = Pfs::in_memory(4);
+    write_file(true, "smp", &pfs);
+    let p = pfs.clone();
+    Machine::run(MachineConfig::paragon(2), move |ctx| {
+        let layout = Layout::dense(10, 2, DistKind::Block).unwrap();
+        let mut g = Collection::new(ctx, layout.clone(), |_| Vec::<u8>::new()).unwrap();
+        let mut lens = Collection::new(ctx, layout.clone(), |_| 0u64).unwrap();
+        let mut r = IStream::open(ctx, &p, &layout, "smp").unwrap();
+        r.read().unwrap();
+        r.extract_collection(&mut g).unwrap();
+        r.extract_with(&mut lens, |e, ext| {
+            *e = ext.prim()?;
+            Ok(())
+        })
+        .unwrap();
+        r.close().unwrap();
+        for (gid, v) in g.iter() {
+            assert_eq!(v, &vec![gid as u8; gid + 1]);
+        }
+        for (gid, l) in lens.iter() {
+            assert_eq!(*l, gid as u64 + 1);
+        }
+    })
+    .unwrap();
+}
+
+#[test]
+fn smp_mode_is_rejected_on_distributed_memory_machines() {
+    let pfs = Pfs::in_memory(2);
+    let p = pfs.clone();
+    Machine::run(MachineConfig::paragon(2), move |ctx| {
+        let layout = Layout::dense(4, 2, DistKind::Block).unwrap();
+        let opts = StreamOptions {
+            smp_single_buffer: true,
+            ..Default::default()
+        };
+        let Err(err) = OStream::create_with(ctx, &p, &layout, "x", opts) else {
+            panic!("smp mode accepted on a distributed-memory machine");
+        };
+        assert!(matches!(err, StreamError::StateViolation { op: "open", .. }));
+    })
+    .unwrap();
+}
+
+#[test]
+fn smp_multiple_records_roundtrip() {
+    let pfs = Pfs::in_memory(3);
+    let p = pfs.clone();
+    Machine::run(MachineConfig::sgi_challenge(3), move |ctx| {
+        let layout = Layout::dense(7, 3, DistKind::Block).unwrap();
+        let opts = StreamOptions {
+            smp_single_buffer: true,
+            ..Default::default()
+        };
+        let mut s = OStream::create_with(ctx, &p, &layout, "mr", opts).unwrap();
+        for rec in 0..3u64 {
+            let g = Collection::new(ctx, layout.clone(), |i| i as u64 * 100 + rec).unwrap();
+            s.insert_collection(&g).unwrap();
+            s.write().unwrap();
+        }
+        s.close().unwrap();
+
+        let mut r = IStream::open(ctx, &p, &layout, "mr").unwrap();
+        for rec in 0..3u64 {
+            let mut g = Collection::new(ctx, layout.clone(), |_| 0u64).unwrap();
+            r.read().unwrap();
+            r.extract_collection(&mut g).unwrap();
+            for (gid, v) in g.iter() {
+                assert_eq!(*v, gid as u64 * 100 + rec);
+            }
+        }
+        r.close().unwrap();
+    })
+    .unwrap();
+}

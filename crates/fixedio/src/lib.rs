@@ -1,0 +1,122 @@
+//! # dstreams-fixedio — the paper's comparator class of libraries
+//!
+//! The related-work section of *pC++/streams* (§5) situates the library
+//! against contemporaries that "support I/O on distributed arrays of
+//! fixed-sized elements": PetSc/Chameleon (block-distributed arrays) and
+//! Panda (general HPF distributions plus interleaving). This crate
+//! implements both capability levels as working baselines:
+//!
+//! * [`chameleon`] — BLOCK-only arrays, one caller-declared element size,
+//!   no metadata beyond a fixed header;
+//! * [`panda`] — any HPF distribution, multi-field interleaved schemas,
+//!   offsets *computed* from the fixed sizes.
+//!
+//! Both are genuinely useful where their assumptions hold — and both are
+//! structurally unable to store the variable-sized elements (particle
+//! lists, adaptive rows, trees) that d/streams' per-element size
+//! bookkeeping exists for. `tests/baseline_comparison.rs` at the workspace
+//! root demonstrates the boundary in both directions.
+
+#![warn(missing_docs)]
+
+pub mod chameleon;
+pub mod panda;
+
+use std::fmt;
+
+use dstreams_collections::CollectionError;
+use dstreams_machine::MachineError;
+use dstreams_pfs::PfsError;
+
+/// Errors raised by the fixed-size baselines.
+#[derive(Debug)]
+pub enum FixedIoError {
+    /// The Chameleon-style interface accepts BLOCK placement only.
+    BlockOnly,
+    /// An element (or encoder) violated the declared fixed size — the
+    /// failure mode that makes these formats unusable for variable-sized
+    /// data.
+    SizeViolation {
+        /// Offending element's global index (0 when file-level).
+        element: usize,
+        /// Declared bytes.
+        declared: usize,
+        /// Actual bytes.
+        actual: usize,
+    },
+    /// Element counts disagree between file and collection.
+    CountMismatch {
+        /// Count in the file.
+        file: usize,
+        /// Count in the collection.
+        collection: usize,
+    },
+    /// The file is not in this baseline's format.
+    NotAnArrayFile(String),
+    /// A named schema field does not exist.
+    UnknownField(String),
+    /// Underlying PFS failure.
+    Pfs(PfsError),
+    /// Underlying collection failure.
+    Collection(CollectionError),
+    /// Underlying machine failure.
+    Machine(MachineError),
+}
+
+impl fmt::Display for FixedIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FixedIoError::BlockOnly => {
+                write!(f, "this baseline supports BLOCK-distributed arrays only")
+            }
+            FixedIoError::SizeViolation {
+                element,
+                declared,
+                actual,
+            } => write!(
+                f,
+                "element {element}: {actual} bytes violates the fixed size {declared} \
+                 (this format has no per-element size table)"
+            ),
+            FixedIoError::CountMismatch { file, collection } => {
+                write!(f, "file holds {file} elements, collection {collection}")
+            }
+            FixedIoError::NotAnArrayFile(name) => {
+                write!(f, "{name:?} is not a fixed-array file")
+            }
+            FixedIoError::UnknownField(name) => write!(f, "no schema field named {name:?}"),
+            FixedIoError::Pfs(e) => write!(f, "pfs error: {e}"),
+            FixedIoError::Collection(e) => write!(f, "collection error: {e}"),
+            FixedIoError::Machine(e) => write!(f, "machine error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FixedIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FixedIoError::Pfs(e) => Some(e),
+            FixedIoError::Collection(e) => Some(e),
+            FixedIoError::Machine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PfsError> for FixedIoError {
+    fn from(e: PfsError) -> Self {
+        FixedIoError::Pfs(e)
+    }
+}
+
+impl From<CollectionError> for FixedIoError {
+    fn from(e: CollectionError) -> Self {
+        FixedIoError::Collection(e)
+    }
+}
+
+impl From<MachineError> for FixedIoError {
+    fn from(e: MachineError) -> Self {
+        FixedIoError::Machine(e)
+    }
+}

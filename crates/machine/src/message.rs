@@ -1,0 +1,199 @@
+//! Message envelopes and the per-rank mailbox.
+//!
+//! Every rank owns one `Mailbox` holding a receiver for each peer. Receives
+//! are addressed by `(source rank, tag)`; envelopes that arrive before they
+//! are wanted are parked in a pending queue, which is what makes the
+//! simulation deterministic: the *program order* of receives, not the
+//! physical arrival order of threads, decides which message each call
+//! returns.
+
+use std::collections::VecDeque;
+
+use crossbeam::channel::{Receiver, RecvTimeoutError};
+
+use crate::error::MachineError;
+use crate::time::VTime;
+
+/// Message tag. User point-to-point traffic should use tags without the
+/// high bit; the collectives reserve the high-bit space for themselves.
+pub type Tag = u32;
+
+/// Tag namespace reserved by the built-in collectives.
+pub const COLLECTIVE_TAG_BASE: Tag = 0x8000_0000;
+
+/// A message in flight: payload plus the virtual time at which it reaches
+/// the receiver (already including latency and per-byte transfer time).
+#[derive(Debug)]
+pub struct Envelope {
+    /// Sending rank.
+    pub from: usize,
+    /// Application tag.
+    pub tag: Tag,
+    /// Virtual arrival instant at the receiver.
+    pub arrival: VTime,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// How long a blocking receive waits on the physical channel before
+/// declaring the peer dead. Generous: the simulation does no real I/O
+/// waits longer than scheduler noise.
+const RECV_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(60);
+
+/// Per-rank incoming message store.
+pub struct Mailbox {
+    /// `rx[from]` carries envelopes sent by rank `from`.
+    rx: Vec<Receiver<Envelope>>,
+    /// Envelopes received from the channel but not yet claimed, per source.
+    pending: Vec<VecDeque<Envelope>>,
+}
+
+impl Mailbox {
+    /// Build a mailbox from one receiver per peer (index = source rank).
+    pub fn new(rx: Vec<Receiver<Envelope>>) -> Self {
+        let n = rx.len();
+        Mailbox {
+            rx,
+            pending: (0..n).map(|_| VecDeque::new()).collect(),
+        }
+    }
+
+    /// Number of ranks in the machine (including self).
+    pub fn nprocs(&self) -> usize {
+        self.rx.len()
+    }
+
+    /// Blocking receive of the next message from `from` carrying `tag`.
+    ///
+    /// Messages from `from` with other tags are parked and delivered to
+    /// later matching receives in FIFO order per `(from, tag)`.
+    pub fn recv(&mut self, from: usize, tag: Tag) -> Result<Envelope, MachineError> {
+        if from >= self.rx.len() {
+            return Err(MachineError::InvalidRank {
+                rank: from,
+                nprocs: self.rx.len(),
+            });
+        }
+        // First serve from the pending queue.
+        if let Some(pos) = self.pending[from].iter().position(|e| e.tag == tag) {
+            return Ok(self.pending[from].remove(pos).expect("position valid"));
+        }
+        // Otherwise pull from the channel, parking mismatches.
+        loop {
+            match self.rx[from].recv_timeout(RECV_TIMEOUT) {
+                Ok(env) => {
+                    if env.tag == tag {
+                        return Ok(env);
+                    }
+                    self.pending[from].push_back(env);
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    return Err(MachineError::RecvTimeout { from, tag });
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(MachineError::PeerGone { rank: from });
+                }
+            }
+        }
+    }
+
+    /// Blocking receive of the next message carrying `tag` from *any*
+    /// source (the `MPI_ANY_SOURCE` analogue, for master/worker
+    /// patterns). Arrival order across sources is inherently
+    /// scheduling-dependent — callers must not rely on it.
+    pub fn recv_any(&mut self, tag: Tag) -> Result<Envelope, MachineError> {
+        // Serve parked messages first (lowest source rank wins, for what
+        // little determinism that provides).
+        for q in self.pending.iter_mut() {
+            if let Some(pos) = q.iter().position(|e| e.tag == tag) {
+                return Ok(q.remove(pos).expect("position valid"));
+            }
+        }
+        let deadline = std::time::Instant::now() + RECV_TIMEOUT;
+        let mut closed = vec![false; self.rx.len()];
+        loop {
+            let mut sel = crossbeam::channel::Select::new();
+            let mut idx_map = Vec::new();
+            for (i, rx) in self.rx.iter().enumerate() {
+                if !closed[i] {
+                    sel.recv(rx);
+                    idx_map.push(i);
+                }
+            }
+            if idx_map.is_empty() {
+                return Err(MachineError::PeerGone { rank: 0 });
+            }
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            let oper = match sel.select_timeout(remaining) {
+                Ok(o) => o,
+                Err(_) => return Err(MachineError::RecvTimeout { from: usize::MAX, tag }),
+            };
+            let i = idx_map[oper.index()];
+            match oper.recv(&self.rx[i]) {
+                Ok(env) => {
+                    if env.tag == tag {
+                        return Ok(env);
+                    }
+                    self.pending[i].push_back(env);
+                }
+                Err(_) => closed[i] = true,
+            }
+        }
+    }
+
+    /// Count of parked messages (for tests and diagnostics).
+    pub fn pending_count(&self) -> usize {
+        self.pending.iter().map(|q| q.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+
+    fn env(from: usize, tag: Tag, byte: u8) -> Envelope {
+        Envelope {
+            from,
+            tag,
+            arrival: VTime::ZERO,
+            payload: vec![byte],
+        }
+    }
+
+    #[test]
+    fn recv_matches_tag_and_parks_others() {
+        let (tx, rx) = unbounded();
+        let mut mb = Mailbox::new(vec![rx]);
+        tx.send(env(0, 7, 1)).unwrap();
+        tx.send(env(0, 9, 2)).unwrap();
+        tx.send(env(0, 7, 3)).unwrap();
+
+        let got = mb.recv(0, 9).unwrap();
+        assert_eq!(got.payload, vec![2]);
+        assert_eq!(mb.pending_count(), 1); // tag 7 (byte 1) parked
+
+        // FIFO within a tag.
+        assert_eq!(mb.recv(0, 7).unwrap().payload, vec![1]);
+        assert_eq!(mb.recv(0, 7).unwrap().payload, vec![3]);
+        assert_eq!(mb.pending_count(), 0);
+    }
+
+    #[test]
+    fn recv_from_invalid_rank_errors() {
+        let (_tx, rx) = unbounded();
+        let mut mb = Mailbox::new(vec![rx]);
+        assert!(matches!(
+            mb.recv(5, 0),
+            Err(MachineError::InvalidRank { rank: 5, nprocs: 1 })
+        ));
+    }
+
+    #[test]
+    fn disconnected_peer_reports_peer_gone() {
+        let (tx, rx) = unbounded::<Envelope>();
+        drop(tx);
+        let mut mb = Mailbox::new(vec![rx]);
+        assert!(matches!(mb.recv(0, 0), Err(MachineError::PeerGone { rank: 0 })));
+    }
+}

@@ -1,0 +1,320 @@
+//! The per-rank execution context.
+//!
+//! A `NodeCtx` is what the user's SPMD closure receives: it identifies the
+//! rank, carries the virtual clock, and provides point-to-point messaging.
+//! Collective operations (barrier, broadcast, reductions, scans, …) are
+//! methods on `NodeCtx` too, implemented in the collectives module.
+//!
+//! All methods take `&self`: the context is confined to its own thread
+//! (`!Sync` by construction thanks to the interior `RefCell`s), so interior
+//! mutability is safe and keeps the API ergonomic for layered libraries
+//! that each hold a shared reference.
+
+use std::cell::{Cell, RefCell};
+
+use crossbeam::channel::Sender;
+
+use crate::config::{MachineConfig, MemoryModel};
+use crate::error::MachineError;
+use crate::message::{Envelope, Mailbox, Tag};
+use crate::time::{VTime, VirtualClock};
+
+/// Execution context handed to each rank of a machine run.
+pub struct NodeCtx {
+    rank: usize,
+    config: MachineConfig,
+    /// `tx[to]` sends to rank `to`.
+    tx: Vec<Sender<Envelope>>,
+    mailbox: RefCell<Mailbox>,
+    clock: RefCell<VirtualClock>,
+    /// Sequence number for collective operations (tag disambiguation).
+    coll_seq: Cell<u32>,
+}
+
+impl NodeCtx {
+    pub(crate) fn new(
+        rank: usize,
+        config: MachineConfig,
+        tx: Vec<Sender<Envelope>>,
+        mailbox: Mailbox,
+    ) -> Self {
+        NodeCtx {
+            rank,
+            config,
+            tx,
+            mailbox: RefCell::new(mailbox),
+            clock: RefCell::new(VirtualClock::new()),
+            coll_seq: Cell::new(0),
+        }
+    }
+
+    /// This rank's index, in `0..nprocs`.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the machine.
+    #[inline]
+    pub fn nprocs(&self) -> usize {
+        self.tx.len()
+    }
+
+    /// Whether this rank is rank 0 (the conventional coordinator).
+    #[inline]
+    pub fn is_root(&self) -> bool {
+        self.rank == 0
+    }
+
+    /// The machine configuration this run was started with.
+    #[inline]
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Memory model (distributed vs. shared).
+    #[inline]
+    pub fn memory_model(&self) -> MemoryModel {
+        self.config.memory
+    }
+
+    /// Deterministic RNG seed for this rank.
+    pub fn seed(&self) -> u64 {
+        self.config.seed_for_rank(self.rank)
+    }
+
+    // ---- virtual time ----------------------------------------------------
+
+    /// Current virtual time on this rank.
+    pub fn now(&self) -> VTime {
+        self.clock.borrow().now()
+    }
+
+    /// Advance the local clock by `d` (models local work).
+    pub fn advance(&self, d: VTime) {
+        self.clock.borrow_mut().advance(d);
+    }
+
+    /// Synchronize the local clock forward to `t` (no-op if already later).
+    pub fn sync_to(&self, t: VTime) {
+        self.clock.borrow_mut().sync_to(t);
+    }
+
+    /// Charge the cost of copying `bytes` through local memory.
+    pub fn charge_memcpy(&self, bytes: usize) {
+        self.advance(self.config.cpu.memcpy(bytes));
+    }
+
+    // ---- point-to-point messaging ----------------------------------------
+
+    /// Send `payload` to rank `to` with `tag`.
+    ///
+    /// Advances the sender's clock by the send overhead; the arrival time
+    /// stamped on the envelope includes wire latency and per-byte transfer
+    /// time. Self-sends are legal and bypass the wire cost (only the send
+    /// overhead is charged).
+    pub fn send(&self, to: usize, tag: Tag, payload: &[u8]) -> Result<(), MachineError> {
+        if to >= self.tx.len() {
+            return Err(MachineError::InvalidRank {
+                rank: to,
+                nprocs: self.tx.len(),
+            });
+        }
+        let net = &self.config.net;
+        self.advance(net.send_overhead);
+        let arrival = if to == self.rank {
+            self.now()
+        } else {
+            self.now() + net.latency + net.transfer(payload.len())
+        };
+        let env = Envelope {
+            from: self.rank,
+            tag,
+            arrival,
+            payload: payload.to_vec(),
+        };
+        self.tx[to]
+            .send(env)
+            .map_err(|_| MachineError::PeerGone { rank: to })
+    }
+
+    /// Blocking receive of the next message from `from` with `tag`.
+    ///
+    /// Synchronizes the local clock to the message's arrival time and
+    /// charges the receive overhead.
+    pub fn recv(&self, from: usize, tag: Tag) -> Result<Vec<u8>, MachineError> {
+        let env = self.mailbox.borrow_mut().recv(from, tag)?;
+        self.sync_to(env.arrival);
+        self.advance(self.config.net.recv_overhead);
+        Ok(env.payload)
+    }
+
+    /// Send a typed value (any [`crate::Wire`] type) to rank `to`.
+    pub fn send_val<T: crate::Wire>(&self, to: usize, tag: Tag, v: &T) -> Result<(), MachineError> {
+        self.send(to, tag, &v.to_wire())
+    }
+
+    /// Receive a typed value from rank `from`.
+    pub fn recv_val<T: crate::Wire>(&self, from: usize, tag: Tag) -> Result<T, MachineError> {
+        let raw = self.recv(from, tag)?;
+        T::from_wire(&raw).ok_or_else(|| {
+            MachineError::CollectiveMismatch(format!(
+                "typed receive from rank {from} tag {tag:#x}: undecodable payload of {} bytes",
+                raw.len()
+            ))
+        })
+    }
+
+    /// Blocking receive of the next `tag` message from *any* rank — the
+    /// `MPI_ANY_SOURCE` analogue for master/worker patterns. Returns
+    /// `(source, payload)`. Unlike the rest of the machine, the *order*
+    /// in which different sources are served depends on thread scheduling;
+    /// use it only where any order is acceptable.
+    pub fn recv_any(&self, tag: Tag) -> Result<(usize, Vec<u8>), MachineError> {
+        let env = self.mailbox.borrow_mut().recv_any(tag)?;
+        self.sync_to(env.arrival);
+        self.advance(self.config.net.recv_overhead);
+        Ok((env.from, env.payload))
+    }
+
+    /// Next collective sequence number (wraps in the reserved tag space).
+    pub(crate) fn next_coll_tag(&self) -> Tag {
+        let seq = self.coll_seq.get();
+        self.coll_seq.set(seq.wrapping_add(1));
+        crate::message::COLLECTIVE_TAG_BASE | (seq & 0x7fff_ffff)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Machine;
+
+    #[test]
+    fn ranks_and_sizes_are_consistent() {
+        let out = Machine::run(MachineConfig::functional(4), |ctx| {
+            assert_eq!(ctx.nprocs(), 4);
+            assert_eq!(ctx.is_root(), ctx.rank() == 0);
+            ctx.rank()
+        })
+        .unwrap();
+        assert_eq!(out, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn ping_pong_moves_data_and_time() {
+        let mut cfg = MachineConfig::functional(2);
+        cfg.net.latency = VTime::from_micros(10);
+        let times = Machine::run(cfg, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 1, b"ping").unwrap();
+                let pong = ctx.recv(1, 2).unwrap();
+                assert_eq!(pong, b"pong");
+            } else {
+                let ping = ctx.recv(0, 1).unwrap();
+                assert_eq!(ping, b"ping");
+                ctx.send(0, 2, b"pong").unwrap();
+            }
+            ctx.now()
+        })
+        .unwrap();
+        // Round trip over two 10 us hops.
+        assert!(times[0] >= VTime::from_micros(20));
+    }
+
+    #[test]
+    fn self_send_is_legal_and_latency_free() {
+        let mut cfg = MachineConfig::functional(1);
+        cfg.net.latency = VTime::from_millis(100);
+        Machine::run(cfg, |ctx| {
+            let before = ctx.now();
+            ctx.send(0, 5, b"loop").unwrap();
+            let got = ctx.recv(0, 5).unwrap();
+            assert_eq!(got, b"loop");
+            // No 100 ms wire latency charged on the loopback path.
+            assert!(ctx.now().saturating_since(before) < VTime::from_millis(100));
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn send_to_invalid_rank_errors() {
+        Machine::run(MachineConfig::functional(2), |ctx| {
+            let err = ctx.send(7, 0, b"x").unwrap_err();
+            assert!(matches!(err, MachineError::InvalidRank { rank: 7, .. }));
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn recv_any_collects_from_all_workers() {
+        let out = Machine::run(MachineConfig::functional(5), |ctx| {
+            if ctx.is_root() {
+                // Master: collect one result from each worker, any order.
+                let mut seen = std::collections::HashSet::new();
+                for _ in 1..ctx.nprocs() {
+                    let (from, payload) = ctx.recv_any(9).unwrap();
+                    assert_eq!(payload, vec![from as u8 * 3]);
+                    assert!(seen.insert(from), "duplicate result from {from}");
+                }
+                seen.len()
+            } else {
+                ctx.send(0, 9, &[ctx.rank() as u8 * 3]).unwrap();
+                0
+            }
+        })
+        .unwrap();
+        assert_eq!(out[0], 4);
+    }
+
+    #[test]
+    fn recv_any_leaves_other_tags_pending() {
+        Machine::run(MachineConfig::functional(2), |ctx| {
+            if ctx.is_root() {
+                let (from, p) = ctx.recv_any(2).unwrap();
+                assert_eq!((from, p), (1, vec![20]));
+                // The tag-1 message sent first is still retrievable.
+                assert_eq!(ctx.recv(1, 1).unwrap(), vec![10]);
+            } else {
+                ctx.send(0, 1, &[10]).unwrap();
+                ctx.send(0, 2, &[20]).unwrap();
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn typed_send_recv_roundtrips() {
+        Machine::run(MachineConfig::functional(2), |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send_val(1, 3, &1.5f64).unwrap();
+                ctx.send_val(1, 4, &u64::MAX).unwrap();
+            } else {
+                assert_eq!(ctx.recv_val::<f64>(0, 3).unwrap(), 1.5);
+                assert_eq!(ctx.recv_val::<u64>(0, 4).unwrap(), u64::MAX);
+                // Wrong width is caught.
+                ctx.send_val(0, 5, &1u32).unwrap();
+            }
+            if ctx.rank() == 0 {
+                assert!(ctx.recv_val::<u64>(1, 5).is_err());
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn transfer_time_scales_with_payload() {
+        let mut cfg = MachineConfig::functional(2);
+        cfg.net.ns_per_byte = 100.0;
+        let times = Machine::run(cfg, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 0, &[0u8; 1000]).unwrap();
+            } else {
+                ctx.recv(0, 0).unwrap();
+            }
+            ctx.now()
+        })
+        .unwrap();
+        assert!(times[1] >= VTime::from_nanos(100_000));
+    }
+}

@@ -1,0 +1,209 @@
+//! Virtual time.
+//!
+//! The simulated multicomputer tracks a *virtual clock* per rank, in integer
+//! nanoseconds. Virtual time is how the reproduction recovers the paper's
+//! platform contrasts (Intel Paragon vs. SGI Challenge) deterministically on
+//! a single host: every communication and I/O primitive advances the clocks
+//! according to a cost model instead of (or in addition to) consuming real
+//! wall time.
+//!
+//! The propagation rules are the standard conservative ones:
+//!
+//! * local work advances only the local clock;
+//! * a message received at rank *r* sets `clock[r] = max(clock[r], arrival)`
+//!   where `arrival = send_time + latency + bytes * per_byte`;
+//! * a barrier (or any rendezvous, e.g. a collective file-system operation)
+//!   sets every participant's clock to the maximum over participants, plus
+//!   the cost of the operation itself.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in virtual time, in nanoseconds since the start of the machine run.
+///
+/// `VTime` is a monotone, saturating counter: clocks never run backwards and
+/// arithmetic never wraps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VTime(u64);
+
+impl VTime {
+    /// The machine-start instant.
+    pub const ZERO: VTime = VTime(0);
+
+    /// Construct from raw nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        VTime(ns)
+    }
+
+    /// Construct from whole microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        VTime(us * 1_000)
+    }
+
+    /// Construct from whole milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        VTime(ms * 1_000_000)
+    }
+
+    /// Construct from (possibly fractional) seconds. Negative and NaN inputs
+    /// clamp to zero.
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Self {
+        if s.is_finite() && s > 0.0 {
+            VTime((s * 1e9).round() as u64)
+        } else {
+            VTime(0)
+        }
+    }
+
+    /// Raw nanoseconds.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds, as a float (for reporting).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Pointwise maximum — the fundamental synchronization operator.
+    #[inline]
+    pub fn max(self, other: VTime) -> VTime {
+        VTime(self.0.max(other.0))
+    }
+
+    /// Saturating difference (`self - earlier`, or zero).
+    #[inline]
+    pub fn saturating_since(self, earlier: VTime) -> VTime {
+        VTime(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Add for VTime {
+    type Output = VTime;
+    #[inline]
+    fn add(self, rhs: VTime) -> VTime {
+        VTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for VTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: VTime) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub for VTime {
+    type Output = VTime;
+    /// Saturating subtraction: virtual durations are never negative.
+    #[inline]
+    fn sub(self, rhs: VTime) -> VTime {
+        VTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for VTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+/// A per-rank virtual clock.
+///
+/// The clock is owned by exactly one rank thread; synchronization with other
+/// ranks happens by exchanging `VTime` stamps through messages and
+/// rendezvous, never by sharing the clock itself.
+#[derive(Debug, Clone)]
+pub struct VirtualClock {
+    now: VTime,
+}
+
+impl VirtualClock {
+    /// A fresh clock at virtual time zero.
+    pub fn new() -> Self {
+        VirtualClock { now: VTime::ZERO }
+    }
+
+    /// Current virtual time on this rank.
+    #[inline]
+    pub fn now(&self) -> VTime {
+        self.now
+    }
+
+    /// Advance by a duration (local work, I/O service time, …).
+    #[inline]
+    pub fn advance(&mut self, d: VTime) {
+        self.now += d;
+    }
+
+    /// Synchronize forward to `t` if `t` is later (message arrival,
+    /// rendezvous completion). Never moves the clock backwards.
+    #[inline]
+    pub fn sync_to(&mut self, t: VTime) {
+        self.now = self.now.max(t);
+    }
+}
+
+impl Default for VirtualClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_roundtrips() {
+        assert_eq!(VTime::from_micros(3).as_nanos(), 3_000);
+        assert_eq!(VTime::from_millis(3).as_nanos(), 3_000_000);
+        assert_eq!(VTime::from_secs_f64(1.5).as_nanos(), 1_500_000_000);
+        assert!((VTime::from_nanos(250).as_secs_f64() - 2.5e-7).abs() < 1e-15);
+    }
+
+    #[test]
+    fn negative_and_nan_seconds_clamp_to_zero() {
+        assert_eq!(VTime::from_secs_f64(-1.0), VTime::ZERO);
+        assert_eq!(VTime::from_secs_f64(f64::NAN), VTime::ZERO);
+        assert_eq!(VTime::from_secs_f64(f64::NEG_INFINITY), VTime::ZERO);
+    }
+
+    #[test]
+    fn arithmetic_saturates() {
+        let a = VTime::from_nanos(u64::MAX);
+        assert_eq!(a + VTime::from_nanos(10), a);
+        assert_eq!(VTime::from_nanos(3) - VTime::from_nanos(5), VTime::ZERO);
+    }
+
+    #[test]
+    fn clock_is_monotone() {
+        let mut c = VirtualClock::new();
+        c.advance(VTime::from_nanos(100));
+        assert_eq!(c.now().as_nanos(), 100);
+        c.sync_to(VTime::from_nanos(50)); // earlier: no-op
+        assert_eq!(c.now().as_nanos(), 100);
+        c.sync_to(VTime::from_nanos(150));
+        assert_eq!(c.now().as_nanos(), 150);
+    }
+
+    #[test]
+    fn max_and_since() {
+        let a = VTime::from_nanos(10);
+        let b = VTime::from_nanos(20);
+        assert_eq!(a.max(b), b);
+        assert_eq!(b.saturating_since(a).as_nanos(), 10);
+        assert_eq!(a.saturating_since(b).as_nanos(), 0);
+    }
+
+    #[test]
+    fn display_formats_seconds() {
+        assert_eq!(format!("{}", VTime::from_millis(1500)), "1.500000s");
+    }
+}

@@ -1,0 +1,135 @@
+//! Property tests on the machine's collective operations: they must agree
+//! with their sequential definitions for arbitrary machine sizes, payload
+//! sizes, and roots.
+
+use dstreams_machine::{Machine, MachineConfig, VTime};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn broadcast_delivers_the_roots_payload(
+        nprocs in 1usize..7,
+        root_pick in any::<usize>(),
+        len in 0usize..200,
+    ) {
+        let root = root_pick % nprocs;
+        let out = Machine::run(MachineConfig::functional(nprocs), move |ctx| {
+            let mine: Vec<u8> = (0..len).map(|k| (ctx.rank() + k) as u8).collect();
+            ctx.broadcast(root, mine).unwrap()
+        }).unwrap();
+        let want: Vec<u8> = (0..len).map(|k| (root + k) as u8).collect();
+        for got in out {
+            prop_assert_eq!(&got, &want);
+        }
+    }
+
+    #[test]
+    fn all_to_all_is_a_transpose(
+        nprocs in 1usize..7,
+        salt in any::<u8>(),
+    ) {
+        let out = Machine::run(MachineConfig::functional(nprocs), move |ctx| {
+            // parts[to] has a (from, to)-dependent length and content.
+            let parts: Vec<Vec<u8>> = (0..nprocs)
+                .map(|to| vec![salt ^ (ctx.rank() * 16 + to) as u8; (ctx.rank() + to) % 5])
+                .collect();
+            ctx.all_to_all(parts).unwrap()
+        }).unwrap();
+        for (me, got) in out.iter().enumerate() {
+            for (from, buf) in got.iter().enumerate() {
+                prop_assert_eq!(buf, &vec![salt ^ (from * 16 + me) as u8; (from + me) % 5]);
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_equals_the_sequential_fold(
+        nprocs in 1usize..7,
+        values in proptest::collection::vec(any::<u32>(), 7),
+        root_pick in any::<usize>(),
+    ) {
+        let root = root_pick % nprocs;
+        let vals = values.clone();
+        let out = Machine::run(MachineConfig::functional(nprocs), move |ctx| {
+            let v = vals[ctx.rank() % vals.len()] as u64;
+            (
+                ctx.reduce(root, v, |a, b| a.wrapping_add(b)).unwrap(),
+                ctx.all_reduce(v, |a: u64, b| a.wrapping_add(b)).unwrap(),
+            )
+        }).unwrap();
+        let want: u64 = (0..nprocs)
+            .map(|r| values[r % values.len()] as u64)
+            .fold(0u64, |a, b| a.wrapping_add(b));
+        for (rank, (red, allred)) in out.iter().enumerate() {
+            prop_assert_eq!(*allred, want);
+            if rank == root {
+                prop_assert_eq!(*red, Some(want));
+            } else {
+                prop_assert!(red.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn gather_scatter_are_inverses(
+        nprocs in 1usize..7,
+        salt in any::<u8>(),
+    ) {
+        Machine::run(MachineConfig::functional(nprocs), move |ctx| {
+            let mine = vec![salt ^ ctx.rank() as u8; ctx.rank() + 1];
+            let gathered = ctx.gather(0, mine.clone()).unwrap();
+            let parts = gathered.map(|g| g.to_vec());
+            let back = ctx.scatter(0, parts).unwrap();
+            assert_eq!(back, mine);
+        }).unwrap();
+    }
+
+    #[test]
+    fn barrier_times_are_identical_across_ranks(
+        nprocs in 2usize..7,
+        work in proptest::collection::vec(0u64..10_000, 7),
+    ) {
+        let w = work.clone();
+        let times = Machine::run(MachineConfig::paragon(nprocs), move |ctx| {
+            ctx.advance(VTime::from_micros(w[ctx.rank() % w.len()]));
+            ctx.barrier().unwrap();
+            // After a barrier every clock is at least the slowest rank's.
+            ctx.now()
+        }).unwrap();
+        let slowest = (0..nprocs)
+            .map(|r| VTime::from_micros(work[r % work.len()]))
+            .fold(VTime::ZERO, VTime::max);
+        for t in times {
+            prop_assert!(t >= slowest);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn scans_match_their_sequential_definitions(
+        nprocs in 1usize..7,
+        values in proptest::collection::vec(any::<u32>(), 7),
+    ) {
+        let vals = values.clone();
+        let out = Machine::run(MachineConfig::functional(nprocs), move |ctx| {
+            let v = vals[ctx.rank() % vals.len()] as u64;
+            (
+                ctx.scan(v, |a, b| a.wrapping_add(*b)).unwrap(),
+                ctx.exclusive_scan(v, 0u64, |a, b| a.wrapping_add(*b)).unwrap(),
+            )
+        })
+        .unwrap();
+        let mut acc = 0u64;
+        for (r, (inc, exc)) in out.iter().enumerate() {
+            let v = values[r % values.len()] as u64;
+            prop_assert_eq!(*exc, acc, "exclusive prefix at rank {}", r);
+            acc = acc.wrapping_add(v);
+            prop_assert_eq!(*inc, acc, "inclusive prefix at rank {}", r);
+        }
+    }
+}

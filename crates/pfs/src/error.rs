@@ -1,0 +1,102 @@
+//! Error type for the parallel file system.
+
+use std::fmt;
+
+use dstreams_machine::MachineError;
+
+/// Errors raised by PFS operations.
+#[derive(Debug)]
+pub enum PfsError {
+    /// Named file does not exist.
+    NotFound(String),
+    /// Attempt to create a file that already exists with `OpenMode::CreateNew`.
+    AlreadyExists(String),
+    /// A read ran past the end of the file.
+    OutOfBounds {
+        /// File name.
+        file: String,
+        /// Requested offset.
+        offset: u64,
+        /// Requested length.
+        len: usize,
+        /// Actual file size.
+        size: u64,
+    },
+    /// Opening a file for reading that has not been written.
+    EmptyRead(String),
+    /// Underlying real-disk I/O failure (Disk backend only).
+    Io(String),
+    /// A machine-level failure (peer death, collective misuse) surfaced
+    /// through a collective PFS operation.
+    Machine(MachineError),
+    /// Collective PFS call with inconsistent arguments across ranks.
+    CollectiveMismatch(String),
+}
+
+impl fmt::Display for PfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PfsError::NotFound(name) => write!(f, "pfs file not found: {name:?}"),
+            PfsError::AlreadyExists(name) => write!(f, "pfs file already exists: {name:?}"),
+            PfsError::OutOfBounds {
+                file,
+                offset,
+                len,
+                size,
+            } => write!(
+                f,
+                "read [{offset}, {offset}+{len}) out of bounds for {file:?} of size {size}"
+            ),
+            PfsError::EmptyRead(name) => write!(f, "file {name:?} opened for read but is empty"),
+            PfsError::Io(msg) => write!(f, "disk backend I/O error: {msg}"),
+            PfsError::Machine(e) => write!(f, "machine error during pfs collective: {e}"),
+            PfsError::CollectiveMismatch(msg) => {
+                write!(f, "inconsistent collective pfs call: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PfsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PfsError::Machine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MachineError> for PfsError {
+    fn from(e: MachineError) -> Self {
+        PfsError::Machine(e)
+    }
+}
+
+impl From<std::io::Error> for PfsError {
+    fn from(e: std::io::Error) -> Self {
+        PfsError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_file() {
+        let e = PfsError::OutOfBounds {
+            file: "ckpt".into(),
+            offset: 100,
+            len: 8,
+            size: 64,
+        };
+        let s = e.to_string();
+        assert!(s.contains("ckpt") && s.contains("100") && s.contains("64"));
+    }
+
+    #[test]
+    fn machine_error_converts_and_chains() {
+        let e: PfsError = MachineError::EmptyMachine.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

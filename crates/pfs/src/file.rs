@@ -1,0 +1,371 @@
+//! File objects and per-rank file handles.
+//!
+//! A [`FileHandle`] behaves like a POSIX descriptor: it has a private
+//! position and supports independent reads/writes (each charged through the
+//! cost model as a separate OS call — this is the "unbuffered I/O" path of
+//! the paper's benchmark). It also provides the two *collective* operations
+//! the Paragon/CM-5 parallel file systems offered and on which
+//! pC++/streams is built:
+//!
+//! * [`FileHandle::write_ordered`] — every rank contributes one contiguous
+//!   block; the blocks land in the file in **node order** in a single
+//!   parallel operation;
+//! * [`FileHandle::read_ordered`] — every rank reads one contiguous block
+//!   in a single parallel operation.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dstreams_machine::wire::{frame_blocks, unframe_blocks};
+use dstreams_machine::{NodeCtx, VTime};
+use parking_lot::Mutex;
+
+use crate::error::PfsError;
+use crate::model::Regime;
+use crate::pfs::PfsShared;
+use crate::storage::Storage;
+
+/// A file stored in the parallel file system. Shared by all ranks.
+#[derive(Debug)]
+pub struct FileObj {
+    pub(crate) name: String,
+    pub(crate) storage: Mutex<Storage>,
+    /// Shared append cursor for M_LOG-style access.
+    pub(crate) log_cursor: AtomicU64,
+}
+
+impl FileObj {
+    /// File name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Current logical size in bytes.
+    pub fn len(&self) -> u64 {
+        self.storage.lock().len()
+    }
+
+    /// Whether the file is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A per-rank handle to an open PFS file.
+///
+/// Not `Send`: a handle belongs to the rank that opened it (its position is
+/// rank-private state), exactly like a file descriptor in the benchmark's
+/// unbuffered baseline.
+pub struct FileHandle {
+    pub(crate) pfs: Arc<PfsShared>,
+    pub(crate) file: Arc<FileObj>,
+    pub(crate) pos: Cell<u64>,
+    /// Per-handle record counter for M_RECORD-style access.
+    pub(crate) record_seq: Cell<u64>,
+    /// Marker making the handle `!Send`/`!Sync`.
+    pub(crate) _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl FileHandle {
+    /// The underlying file object.
+    pub fn file(&self) -> &Arc<FileObj> {
+        &self.file
+    }
+
+    /// Current private position.
+    pub fn pos(&self) -> u64 {
+        self.pos.get()
+    }
+
+    /// Move the private position.
+    pub fn seek(&self, pos: u64) {
+        self.pos.set(pos);
+    }
+
+    /// Current file size.
+    pub fn len(&self) -> u64 {
+        self.file.len()
+    }
+
+    /// Whether the file is empty.
+    pub fn is_empty(&self) -> bool {
+        self.file.is_empty()
+    }
+
+    // ---- independent operations (the "unbuffered" path) -------------------
+
+    fn charge_independent(&self, ctx: &NodeCtx, bytes: usize) {
+        let traffic = &self.pfs.rank_traffic[ctx.rank()];
+        let before = traffic.load(Ordering::Relaxed);
+        // Working-set estimate: this file's bytes, mirrored on every rank
+        // (symmetric SPMD workloads), flowing through the shared cache.
+        let regime = self
+            .pfs
+            .model
+            .independent_regime(self.file.len(), ctx.nprocs());
+        let cost = self
+            .pfs
+            .model
+            .independent_cost(bytes, regime, ctx.nprocs());
+        ctx.advance(cost);
+        traffic.store(before + bytes as u64, Ordering::Relaxed);
+        self.pfs.stats.independent_ops.fetch_add(1, Ordering::Relaxed);
+        self.pfs
+            .stats
+            .independent_bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+        if regime == Regime::Disk {
+            self.pfs.stats.disk_regime_ops.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Independent write at the private position; advances the position.
+    pub fn write(&self, ctx: &NodeCtx, data: &[u8]) -> Result<(), PfsError> {
+        self.write_at(ctx, self.pos.get(), data)?;
+        self.pos.set(self.pos.get() + data.len() as u64);
+        Ok(())
+    }
+
+    /// Independent read at the private position; advances the position.
+    pub fn read(&self, ctx: &NodeCtx, buf: &mut [u8]) -> Result<(), PfsError> {
+        self.read_at(ctx, self.pos.get(), buf)?;
+        self.pos.set(self.pos.get() + buf.len() as u64);
+        Ok(())
+    }
+
+    /// Independent positioned write (does not move the private position).
+    pub fn write_at(&self, ctx: &NodeCtx, offset: u64, data: &[u8]) -> Result<(), PfsError> {
+        self.charge_independent(ctx, data.len());
+        self.file.storage.lock().write_at(offset, data)
+    }
+
+    /// Independent positioned read (does not move the private position).
+    pub fn read_at(&self, ctx: &NodeCtx, offset: u64, buf: &mut [u8]) -> Result<(), PfsError> {
+        self.charge_independent(ctx, buf.len());
+        self.file
+            .storage
+            .lock()
+            .read_at(offset, buf, &self.file.name)
+    }
+
+    // ---- shared-file independent modes (Paragon NX M_LOG / M_RECORD) ------
+
+    /// M_LOG-style shared append: an independent write at the file's
+    /// shared log cursor, first-come-first-served across ranks. Like the
+    /// real mode, the *order* of records from different ranks is whatever
+    /// the I/O system observed — inherently nondeterministic; use it for
+    /// logs where arrival order is acceptable. Returns the record's
+    /// offset. Do not mix with collective appends on the same file.
+    pub fn append_shared(&self, ctx: &NodeCtx, data: &[u8]) -> Result<u64, PfsError> {
+        let off = self
+            .file
+            .log_cursor
+            .fetch_add(data.len() as u64, Ordering::SeqCst);
+        self.write_at(ctx, off, data)?;
+        Ok(off)
+    }
+
+    /// M_RECORD-style access: every rank writes fixed-length records that
+    /// land in round-robin node order — this rank's `k`-th record occupies
+    /// slot `k * nprocs + rank`. Deterministic layout without any
+    /// coordination (each rank tracks only its own sequence number).
+    /// `data` must fit in `record_size`; shorter records are zero-padded.
+    pub fn write_record(
+        &self,
+        ctx: &NodeCtx,
+        record_size: usize,
+        data: &[u8],
+    ) -> Result<u64, PfsError> {
+        if data.len() > record_size {
+            return Err(PfsError::CollectiveMismatch(format!(
+                "record of {} bytes exceeds the fixed record size {}",
+                data.len(),
+                record_size
+            )));
+        }
+        let seq = self.record_seq.get();
+        self.record_seq.set(seq + 1);
+        let slot = seq * ctx.nprocs() as u64 + ctx.rank() as u64;
+        let off = slot * record_size as u64;
+        let mut padded = data.to_vec();
+        padded.resize(record_size, 0);
+        self.write_at(ctx, off, &padded)?;
+        Ok(slot)
+    }
+
+    /// Read back one M_RECORD slot (any rank may read any slot).
+    pub fn read_record(
+        &self,
+        ctx: &NodeCtx,
+        record_size: usize,
+        slot: u64,
+    ) -> Result<Vec<u8>, PfsError> {
+        let mut buf = vec![0u8; record_size];
+        self.read_at(ctx, slot * record_size as u64, &mut buf)?;
+        Ok(buf)
+    }
+
+    // ---- collective operations (the parallel-file-system path) ------------
+
+    /// Collective node-order append. Every rank must call this with its own
+    /// block (possibly empty); on return the file contains all blocks,
+    /// appended after the previous end of file **in rank order**, and every
+    /// rank knows the offset where *its* block landed.
+    ///
+    /// Cost: a single parallel operation covering all blocks — startup
+    /// latency plus total-bytes over the (possibly knee'd) aggregate PFS
+    /// bandwidth. All ranks leave with synchronized virtual clocks.
+    pub fn write_ordered(&self, ctx: &NodeCtx, block: &[u8]) -> Result<u64, PfsError> {
+        // Make prior independent writes globally visible and align clocks.
+        ctx.barrier()?;
+        // Exchange block sizes; rank 0 supplies the append base.
+        let my_size = (block.len() as u64).to_le_bytes().to_vec();
+        let sizes = ctx.gather(0, my_size)?;
+        let plan = if ctx.is_root() {
+            let sizes: Vec<u64> = sizes
+                .expect("root gathers")
+                .iter()
+                .map(|b| decode_u64(b, "write_ordered size frame"))
+                .collect::<Result<_, _>>()?;
+            let base = self.file.len();
+            let mut blocks = Vec::with_capacity(sizes.len() + 1);
+            blocks.push(base.to_le_bytes().to_vec());
+            for s in &sizes {
+                blocks.push(s.to_le_bytes().to_vec());
+            }
+            frame_blocks(&blocks)
+        } else {
+            Vec::new()
+        };
+        let plan = ctx.broadcast(0, plan)?;
+        let parts = unframe_blocks(&plan).ok_or_else(|| {
+            PfsError::CollectiveMismatch("write_ordered: malformed plan".into())
+        })?;
+        if parts.len() != ctx.nprocs() + 1 {
+            return Err(PfsError::CollectiveMismatch(
+                "write_ordered: plan size mismatch".into(),
+            ));
+        }
+        let base = decode_u64(&parts[0], "write_ordered plan base")?;
+        let sizes: Vec<u64> = parts[1..]
+            .iter()
+            .map(|b| decode_u64(b, "write_ordered plan entry"))
+            .collect::<Result<_, _>>()?;
+        if sizes[ctx.rank()] != block.len() as u64 {
+            return Err(PfsError::CollectiveMismatch(
+                "write_ordered: my block size desynchronized".into(),
+            ));
+        }
+        let my_off = base + sizes[..ctx.rank()].iter().sum::<u64>();
+        let total: u64 = sizes.iter().sum();
+        let max_block = sizes.iter().copied().max().unwrap_or(0);
+
+        // Physical transfer.
+        if !block.is_empty() {
+            self.file.storage.lock().write_at(my_off, block)?;
+        }
+        // Virtual cost of the single parallel operation.
+        let cost = self.pfs.model.collective_cost(total, max_block, ctx.nprocs());
+        ctx.advance(cost);
+        self.account_collective(ctx, total);
+        // All blocks visible before anyone proceeds.
+        ctx.barrier()?;
+        Ok(my_off)
+    }
+
+    /// Collective parallel read: every rank reads `len` bytes at `offset`
+    /// (both per-rank) in one parallel operation. Ranks may pass `len == 0`
+    /// to participate without transferring data.
+    pub fn read_ordered(&self, ctx: &NodeCtx, offset: u64, len: usize) -> Result<Vec<u8>, PfsError> {
+        ctx.barrier()?;
+        // Everyone learns the collective's total and max block for costing.
+        let sizes = ctx.all_gather((len as u64).to_le_bytes().to_vec())?;
+        let sizes: Vec<u64> = sizes
+            .iter()
+            .map(|b| decode_u64(b, "read_ordered size frame"))
+            .collect::<Result<_, _>>()?;
+        let total: u64 = sizes.iter().sum();
+        let max_block = sizes.iter().copied().max().unwrap_or(0);
+
+        let mut buf = vec![0u8; len];
+        if len > 0 {
+            self.file
+                .storage
+                .lock()
+                .read_at(offset, &mut buf, &self.file.name)?;
+        }
+        let cost = self.pfs.model.collective_cost(total, max_block, ctx.nprocs());
+        ctx.advance(cost);
+        self.account_collective(ctx, total);
+        Ok(buf)
+    }
+
+    fn account_collective(&self, ctx: &NodeCtx, total: u64) {
+        // Traffic is shared by the whole machine; attribute an even share
+        // per rank so the cache-occupancy estimate stays rank-local.
+        let share = total / ctx.nprocs() as u64;
+        self.pfs.rank_traffic[ctx.rank()].fetch_add(share, Ordering::Relaxed);
+        self.pfs.stats.collective_ops.fetch_add(1, Ordering::Relaxed);
+        self.pfs
+            .stats
+            .collective_bytes
+            .fetch_add(total / ctx.nprocs().max(1) as u64, Ordering::Relaxed);
+    }
+}
+
+/// Decode a little-endian u64 exchanged during a collective plan.
+fn decode_u64(b: &[u8], what: &str) -> Result<u64, PfsError> {
+    Ok(u64::from_le_bytes(b.try_into().map_err(|_| {
+        PfsError::CollectiveMismatch(format!("malformed {what}"))
+    })?))
+}
+
+/// Aggregate operation counters for a PFS instance.
+#[derive(Debug, Default)]
+pub struct Stats {
+    /// Number of independent (per-rank) operations issued.
+    pub independent_ops: AtomicU64,
+    /// Bytes moved by independent operations.
+    pub independent_bytes: AtomicU64,
+    /// Independent ops that fell into the disk (post-knee) regime.
+    pub disk_regime_ops: AtomicU64,
+    /// Number of collective operations (each counted once per rank / nprocs).
+    pub collective_ops: AtomicU64,
+    /// Bytes moved by collective operations (total across ranks).
+    pub collective_bytes: AtomicU64,
+}
+
+/// A point-in-time copy of [`Stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Independent operations issued.
+    pub independent_ops: u64,
+    /// Bytes moved by independent operations.
+    pub independent_bytes: u64,
+    /// Independent ops in the disk regime.
+    pub disk_regime_ops: u64,
+    /// Collective operations issued (rank-calls).
+    pub collective_ops: u64,
+    /// Bytes moved by collective operations.
+    pub collective_bytes: u64,
+}
+
+impl Stats {
+    /// Snapshot the counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            independent_ops: self.independent_ops.load(Ordering::Relaxed),
+            independent_bytes: self.independent_bytes.load(Ordering::Relaxed),
+            disk_regime_ops: self.disk_regime_ops.load(Ordering::Relaxed),
+            collective_ops: self.collective_ops.load(Ordering::Relaxed),
+            collective_bytes: self.collective_bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The virtual-time cost charged so far is observable through `NodeCtx`;
+/// this helper reports a duration in seconds for table output.
+pub fn secs(t: VTime) -> f64 {
+    t.as_secs_f64()
+}

@@ -1,0 +1,97 @@
+//! Property tests of the PFS against a flat reference model: any sequence
+//! of positioned writes applied through the PFS must leave the same bytes
+//! a plain Vec<u8> model would hold, and `write_ordered` must equal the
+//! rank-order concatenation.
+
+use dstreams_machine::{Machine, MachineConfig};
+use dstreams_pfs::{Backend, DiskModel, OpenMode, Pfs};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn positioned_writes_match_a_flat_model(
+        ops in proptest::collection::vec((0u64..500, proptest::collection::vec(any::<u8>(), 0..60)), 1..20),
+    ) {
+        // Reference model.
+        let mut model: Vec<u8> = Vec::new();
+        for (off, data) in &ops {
+            let end = *off as usize + data.len();
+            if model.len() < end {
+                model.resize(end, 0);
+            }
+            model[*off as usize..end].copy_from_slice(data);
+        }
+
+        let pfs = Pfs::in_memory(1);
+        let p = pfs.clone();
+        let ops2 = ops.clone();
+        let got = Machine::run(MachineConfig::functional(1), move |ctx| {
+            let fh = p.open(true, "model", OpenMode::Create).unwrap();
+            for (off, data) in &ops2 {
+                fh.write_at(ctx, *off, data).unwrap();
+            }
+            let mut buf = vec![0u8; fh.len() as usize];
+            if !buf.is_empty() {
+                fh.read_at(ctx, 0, &mut buf).unwrap();
+            }
+            buf
+        }).unwrap();
+        prop_assert_eq!(&got[0], &model);
+    }
+
+    #[test]
+    fn write_ordered_equals_rank_order_concatenation(
+        nprocs in 1usize..6,
+        lens in proptest::collection::vec(0usize..40, 6),
+        rounds in 1usize..4,
+    ) {
+        let pfs = Pfs::in_memory(nprocs);
+        let p = pfs.clone();
+        let lens2 = lens.clone();
+        Machine::run(MachineConfig::functional(nprocs), move |ctx| {
+            let fh = p.open(ctx.is_root(), "ord", OpenMode::Create).unwrap();
+            for round in 0..rounds {
+                let len = lens2[(ctx.rank() + round) % lens2.len()];
+                let block = vec![(ctx.rank() * 16 + round) as u8; len];
+                fh.write_ordered(ctx, &block).unwrap();
+            }
+        }).unwrap();
+
+        // Reference: concatenate blocks in (round, rank) order.
+        let mut model = Vec::new();
+        for round in 0..rounds {
+            for rank in 0..nprocs {
+                let len = lens[(rank + round) % lens.len()];
+                model.extend(std::iter::repeat_n((rank * 16 + round) as u8, len));
+            }
+        }
+        let p = pfs.clone();
+        let got = Machine::run(MachineConfig::functional(1), move |ctx| {
+            let fh = p.open(false, "ord", OpenMode::Read).unwrap();
+            let mut buf = vec![0u8; fh.len() as usize];
+            if !buf.is_empty() {
+                fh.read_at(ctx, 0, &mut buf).unwrap();
+            }
+            buf
+        }).unwrap();
+        prop_assert_eq!(&got[0], &model);
+    }
+
+    #[test]
+    fn virtual_cost_is_monotone_in_bytes(
+        small in 1usize..1000,
+        extra in 1usize..100_000,
+    ) {
+        let run = |bytes: usize| {
+            let pfs = Pfs::new(2, DiskModel::paragon_pfs(), Backend::Memory);
+            Machine::run(MachineConfig::paragon(2), move |ctx| {
+                let fh = pfs.open(ctx.is_root(), "m", OpenMode::Create).unwrap();
+                fh.write_ordered(ctx, &vec![0u8; bytes]).unwrap();
+                ctx.now()
+            }).unwrap()[0]
+        };
+        prop_assert!(run(small) <= run(small + extra));
+    }
+}

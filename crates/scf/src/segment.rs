@@ -1,0 +1,178 @@
+//! The SCF benchmark's data structure.
+//!
+//! The Self Consistent Field (SCF) cosmology code's "primary data
+//! structure is a one dimensional collection of Segments where each
+//! segment stores data corresponding to several particles. … Per-particle
+//! information includes the x, y, and z coordinates of the particles,
+//! their x, y, and z velocities, and their masses." (paper §4.3)
+
+use dstreams_core::impl_stream_data;
+
+/// One segment: structure-of-arrays over its particles.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct Segment {
+    /// Number of particles in this segment.
+    pub n_particles: i64,
+    /// Particle x coordinates.
+    pub x: Vec<f64>,
+    /// Particle y coordinates.
+    pub y: Vec<f64>,
+    /// Particle z coordinates.
+    pub z: Vec<f64>,
+    /// Particle x velocities.
+    pub vx: Vec<f64>,
+    /// Particle y velocities.
+    pub vy: Vec<f64>,
+    /// Particle z velocities.
+    pub vz: Vec<f64>,
+    /// Particle masses.
+    pub mass: Vec<f64>,
+}
+
+// The inserter mirrors the paper's ParticleList example: the count first,
+// then each per-particle array sized by it (array(ptr, count) style, no
+// per-array length prefixes).
+impl_stream_data!(Segment {
+    prim n_particles,
+    slice x: f64 [n_particles],
+    slice y: f64 [n_particles],
+    slice z: f64 [n_particles],
+    slice vx: f64 [n_particles],
+    slice vy: f64 [n_particles],
+    slice vz: f64 [n_particles],
+    slice mass: f64 [n_particles],
+});
+
+/// Number of per-particle arrays in a segment (x, y, z, vx, vy, vz, mass).
+pub const ARRAYS_PER_SEGMENT: usize = 7;
+
+/// Unbuffered I/O operations needed per segment (count + each array).
+pub const OPS_PER_SEGMENT: usize = ARRAYS_PER_SEGMENT + 1;
+
+impl Segment {
+    /// An empty segment sized for `n` particles (zero-filled).
+    pub fn zeroed(n: usize) -> Segment {
+        Segment {
+            n_particles: n as i64,
+            x: vec![0.0; n],
+            y: vec![0.0; n],
+            z: vec![0.0; n],
+            vx: vec![0.0; n],
+            vy: vec![0.0; n],
+            vz: vec![0.0; n],
+            mass: vec![0.0; n],
+        }
+    }
+
+    /// Particle count.
+    pub fn len(&self) -> usize {
+        self.n_particles as usize
+    }
+
+    /// Whether the segment holds no particles.
+    pub fn is_empty(&self) -> bool {
+        self.n_particles == 0
+    }
+
+    /// Serialized size in bytes (count + 7 arrays of f64).
+    pub fn serialized_len(&self) -> usize {
+        8 + ARRAYS_PER_SEGMENT * self.len() * 8
+    }
+
+    /// Serialized size of a segment holding `n` particles.
+    pub fn serialized_len_for(n: usize) -> usize {
+        8 + ARRAYS_PER_SEGMENT * n * 8
+    }
+
+    /// The seven per-particle arrays, in insertion order.
+    pub fn arrays(&self) -> [&Vec<f64>; ARRAYS_PER_SEGMENT] {
+        [
+            &self.x, &self.y, &self.z, &self.vx, &self.vy, &self.vz, &self.mass,
+        ]
+    }
+
+    /// Mutable access to the seven per-particle arrays, in insertion order.
+    pub fn arrays_mut(&mut self) -> [&mut Vec<f64>; ARRAYS_PER_SEGMENT] {
+        [
+            &mut self.x,
+            &mut self.y,
+            &mut self.z,
+            &mut self.vx,
+            &mut self.vy,
+            &mut self.vz,
+            &mut self.mass,
+        ]
+    }
+
+    /// Internal consistency: every array matches `n_particles`.
+    pub fn is_consistent(&self) -> bool {
+        let n = self.len();
+        self.arrays().iter().all(|a| a.len() == n)
+    }
+
+    /// An order-independent checksum over all particle data, for
+    /// validating unsorted reads.
+    pub fn checksum(&self) -> f64 {
+        self.arrays()
+            .iter()
+            .flat_map(|a| a.iter())
+            .map(|v| v * 1.000001 + 0.5)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: usize, salt: f64) -> Segment {
+        let mut s = Segment::zeroed(n);
+        for (k, arr) in s.arrays_mut().into_iter().enumerate() {
+            for (i, v) in arr.iter_mut().enumerate() {
+                *v = salt + k as f64 * 10.0 + i as f64;
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn serialized_len_matches_the_paper_arithmetic() {
+        // 100 particles per segment is the paper's implied size:
+        // 256 segments * 5608 B = 1.4 MB.
+        assert_eq!(Segment::serialized_len_for(100), 5608);
+        assert!((256.0f64 * 5608.0 / (1024.0 * 1024.0) - 1.369).abs() < 0.01);
+        let s = sample(100, 0.0);
+        assert_eq!(s.serialized_len(), 5608);
+    }
+
+    #[test]
+    fn stream_roundtrip_preserves_all_arrays() {
+        let s = sample(17, 3.0);
+        let buf = dstreams_core::data::to_bytes(&s, false);
+        assert_eq!(buf.len(), s.serialized_len());
+        let mut out = Segment::default();
+        dstreams_core::data::from_bytes(&mut out, &buf, false).unwrap();
+        assert_eq!(out, s);
+    }
+
+    #[test]
+    fn consistency_and_checksum_detect_changes() {
+        let mut s = sample(5, 1.0);
+        assert!(s.is_consistent());
+        let c1 = s.checksum();
+        s.vy[2] += 1.0;
+        assert_ne!(s.checksum(), c1);
+        s.mass.pop();
+        assert!(!s.is_consistent());
+    }
+
+    #[test]
+    fn zero_particle_segment_roundtrips() {
+        let s = Segment::zeroed(0);
+        let buf = dstreams_core::data::to_bytes(&s, false);
+        assert_eq!(buf.len(), 8);
+        let mut out = Segment::zeroed(3);
+        dstreams_core::data::from_bytes(&mut out, &buf, false).unwrap();
+        assert_eq!(out, s);
+    }
+}

@@ -1,0 +1,358 @@
+//! A working Self-Consistent Field (SCF) solver kernel.
+//!
+//! The benchmark reproduces SCF's *I/O skeleton*; this module adds the
+//! computational heart so the examples checkpoint a real simulation. The
+//! SCF method (Hernquist & Ostriker 1992, the paper's reference 12) replaces
+//! O(N²) pairwise gravity with a mean field: each step computes a compact
+//! field representation as *global sums over all particles* — reductions
+//! over the distributed collection, a perfect fit for the machine's
+//! collectives — then evaluates accelerations locally per particle at
+//! O(N) cost.
+//!
+//! This kernel implements the spherically symmetric (l = 0) level of that
+//! scheme. The field representation is the binned enclosed-mass profile
+//! M(<r) (the exact monopole: `a_r = -G·M(<r)/r²`), which keeps the
+//! computation physically correct without the full basis-normalization
+//! apparatus; [`gegenbauer`] provides the Hernquist-Ostriker radial
+//! polynomials for reference (the full code projects onto them). Either
+//! way the *structure* — global coefficient reduction, local field
+//! evaluation, periodic d/stream checkpointing — is the one the paper's
+//! application had.
+
+use dstreams_collections::Collection;
+use dstreams_machine::NodeCtx;
+
+use crate::physics::drift;
+use crate::segment::Segment;
+use crate::ScfError;
+
+/// Gegenbauer polynomials C_n^{3/2}(ξ) for n = 0..=n_max — the radial
+/// basis family of the Hernquist-Ostriker SCF expansion. Standard
+/// recurrence `n C_n^λ = 2(n+λ-1) ξ C_{n-1}^λ - (n+2λ-2) C_{n-2}^λ`.
+pub fn gegenbauer(n_max: usize, xi: f64) -> Vec<f64> {
+    let lambda = 1.5;
+    let mut c = Vec::with_capacity(n_max + 1);
+    c.push(1.0);
+    if n_max >= 1 {
+        c.push(2.0 * lambda * xi);
+    }
+    for n in 2..=n_max {
+        let nf = n as f64;
+        let next =
+            (2.0 * (nf + lambda - 1.0) * xi * c[n - 1] - (nf + 2.0 * lambda - 2.0) * c[n - 2])
+                / nf;
+        c.push(next);
+    }
+    c
+}
+
+/// The radial mean-field solver.
+#[derive(Debug, Clone)]
+pub struct ScfSolver {
+    /// Number of radial bins in the field representation.
+    pub n_bins: usize,
+    /// Outermost bin edge; particles beyond it contribute to the last bin.
+    pub r_max: f64,
+    /// Gravitational constant (simulation units).
+    pub g: f64,
+}
+
+impl Default for ScfSolver {
+    fn default() -> Self {
+        ScfSolver {
+            n_bins: 64,
+            r_max: 16.0,
+            g: 1.0,
+        }
+    }
+}
+
+/// The per-step field representation: a radial mass profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Field {
+    /// Bin edges (len = n_bins + 1, edge 0 = 0).
+    pub edges: Vec<f64>,
+    /// Enclosed mass at each edge (len = n_bins + 1, monotone).
+    pub enclosed: Vec<f64>,
+    /// Gravitational potential at each edge.
+    pub phi: Vec<f64>,
+}
+
+impl ScfSolver {
+    fn edges(&self) -> Vec<f64> {
+        // Geometric spacing resolves the dense center of a Plummer-like
+        // profile far better than linear bins.
+        let mut e = vec![0.0];
+        let r0 = self.r_max / 512.0;
+        for k in 0..self.n_bins {
+            e.push(r0 * (self.r_max / r0).powf(k as f64 / (self.n_bins - 1) as f64));
+        }
+        e
+    }
+
+    /// Compute the field: per-bin mass histograms summed across all ranks
+    /// (the SCF "coefficient" reduction), then the enclosed-mass and
+    /// potential profiles, identical on every rank.
+    pub fn compute_field(
+        &self,
+        ctx: &NodeCtx,
+        grid: &Collection<Segment>,
+    ) -> Result<Field, ScfError> {
+        let edges = self.edges();
+        let mut local = vec![0.0f64; self.n_bins];
+        for (_gid, s) in grid.iter() {
+            for i in 0..s.len() {
+                let r = (s.x[i] * s.x[i] + s.y[i] * s.y[i] + s.z[i] * s.z[i]).sqrt();
+                // Geometric bin index via partition point; clamp outliers
+                // into the last bin.
+                let bin = edges[1..].partition_point(|&e| e < r).min(self.n_bins - 1);
+                local[bin] += s.mass[i];
+            }
+        }
+        // One reduction per coefficient, like the SCF A_nlm sums.
+        let mut shell = Vec::with_capacity(self.n_bins);
+        for v in local {
+            shell.push(ctx.all_reduce(v, |a, b| a + b)?);
+        }
+        let mut enclosed = Vec::with_capacity(self.n_bins + 1);
+        enclosed.push(0.0);
+        for (k, m) in shell.iter().enumerate() {
+            enclosed.push(enclosed[k] + m);
+        }
+        // Potential by inward integration: φ(r_max) = -G M_tot / r_max;
+        // dφ = G M(<r)/r² dr integrated per shell (midpoint rule).
+        let total = *enclosed.last().expect("nonempty");
+        let mut phi = vec![0.0; self.n_bins + 1];
+        phi[self.n_bins] = -self.g * total / edges[self.n_bins].max(1e-12);
+        for k in (0..self.n_bins).rev() {
+            let r_lo = edges[k].max(1e-9);
+            let r_hi = edges[k + 1];
+            let m_mid = 0.5 * (enclosed[k] + enclosed[k + 1]);
+            let r_mid = 0.5 * (r_lo + r_hi);
+            phi[k] = phi[k + 1] - self.g * m_mid / (r_mid * r_mid) * (r_hi - r_lo);
+        }
+        Ok(Field {
+            edges,
+            enclosed,
+            phi,
+        })
+    }
+
+    fn interp(xs: &[f64], ys: &[f64], x: f64) -> f64 {
+        let n = xs.len();
+        if x <= xs[0] {
+            return ys[0];
+        }
+        if x >= xs[n - 1] {
+            return ys[n - 1];
+        }
+        let hi = xs.partition_point(|&e| e < x).max(1);
+        let (x0, x1) = (xs[hi - 1], xs[hi]);
+        let t = if x1 > x0 { (x - x0) / (x1 - x0) } else { 0.0 };
+        ys[hi - 1] + t * (ys[hi] - ys[hi - 1])
+    }
+
+    /// Enclosed mass at radius `r` (interpolated).
+    pub fn enclosed_mass(&self, field: &Field, r: f64) -> f64 {
+        Self::interp(&field.edges, &field.enclosed, r)
+    }
+
+    /// Radial acceleration `a_r(r) = -G M(<r)/r²` (always inward).
+    pub fn radial_acceleration(&self, field: &Field, r: f64) -> f64 {
+        let r = r.max(1e-9);
+        let m = self.enclosed_mass(field, r);
+        -self.g * m / (r * r)
+    }
+
+    /// Potential at radius `r`; beyond the profile it falls off as
+    /// `-G M_tot / r`.
+    pub fn potential(&self, field: &Field, r: f64) -> f64 {
+        let r_max = *field.edges.last().expect("nonempty");
+        if r >= r_max {
+            let total = *field.enclosed.last().expect("nonempty");
+            return -self.g * total / r.max(1e-12);
+        }
+        Self::interp(&field.edges, &field.phi, r)
+    }
+
+    /// Kick: update velocities from the field over `dt` (object-parallel).
+    pub fn kick(&self, grid: &mut Collection<Segment>, field: &Field, dt: f64) {
+        grid.apply(|s| {
+            for i in 0..s.len() {
+                let r = (s.x[i] * s.x[i] + s.y[i] * s.y[i] + s.z[i] * s.z[i])
+                    .sqrt()
+                    .max(1e-9);
+                let ar = self.radial_acceleration(field, r);
+                s.vx[i] += dt * ar * s.x[i] / r;
+                s.vy[i] += dt * ar * s.y[i] / r;
+                s.vz[i] += dt * ar * s.z[i] / r;
+            }
+        });
+    }
+
+    /// One leapfrog step: kick(dt/2) — drift(dt) — kick(dt/2), with the
+    /// field recomputed after the drift (self-consistency).
+    pub fn step(
+        &self,
+        ctx: &NodeCtx,
+        grid: &mut Collection<Segment>,
+        dt: f64,
+    ) -> Result<Field, ScfError> {
+        let f1 = self.compute_field(ctx, grid)?;
+        self.kick(grid, &f1, dt / 2.0);
+        drift(grid, dt);
+        let f2 = self.compute_field(ctx, grid)?;
+        self.kick(grid, &f2, dt / 2.0);
+        Ok(f2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::physics::diagnostics;
+    use crate::workload::ScfConfig;
+    use dstreams_collections::{DistKind, Layout};
+    use dstreams_machine::{Machine, MachineConfig};
+
+    #[test]
+    fn gegenbauer_recurrence_matches_known_values() {
+        // C_0 = 1, C_1 = 3x, C_2 = 7.5x^2 - 1.5, C_3 = 17.5x^3 - 7.5x.
+        let x = 0.4;
+        let c = gegenbauer(3, x);
+        assert!((c[0] - 1.0).abs() < 1e-12);
+        assert!((c[1] - 3.0 * x).abs() < 1e-12);
+        assert!((c[2] - (7.5 * x * x - 1.5)).abs() < 1e-12);
+        assert!((c[3] - (17.5 * x * x * x - 7.5 * x)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn field_is_distribution_invariant() {
+        let solve = |np: usize, kind: DistKind| {
+            Machine::run(MachineConfig::functional(np), move |ctx| {
+                let cfg = ScfConfig::paper(8);
+                let layout = Layout::dense(8, np, kind).unwrap();
+                let grid = Collection::new(ctx, layout, |g| cfg.make_segment(g)).unwrap();
+                ScfSolver::default().compute_field(ctx, &grid).unwrap()
+            })
+            .unwrap()
+            .remove(0)
+        };
+        let a = solve(1, DistKind::Block);
+        let b = solve(4, DistKind::Cyclic);
+        for (x, y) in a.enclosed.iter().zip(&b.enclosed) {
+            assert!((x - y).abs() < 1e-12, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn field_attracts_toward_the_center_and_decays() {
+        Machine::run(MachineConfig::functional(2), |ctx| {
+            let cfg = ScfConfig::paper(8);
+            let layout = Layout::dense(8, 2, DistKind::Block).unwrap();
+            let grid = Collection::new(ctx, layout, |g| cfg.make_segment(g)).unwrap();
+            let solver = ScfSolver::default();
+            let field = solver.compute_field(ctx, &grid).unwrap();
+            for r in [0.5, 1.0, 2.0, 5.0] {
+                let ar = solver.radial_acceleration(&field, r);
+                assert!(ar < 0.0, "a_r({r}) = {ar} must point inward");
+            }
+            let near = solver.radial_acceleration(&field, 2.0).abs();
+            let far = solver.radial_acceleration(&field, 12.0).abs();
+            assert!(far < near);
+            // Enclosed mass is monotone and ends at the total.
+            let d = diagnostics(ctx, &grid).unwrap();
+            for w in field.enclosed.windows(2) {
+                assert!(w[1] >= w[0]);
+            }
+            assert!((field.enclosed.last().unwrap() - d.total_mass).abs() < 1e-12);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn potential_is_monotone_and_matches_far_field() {
+        Machine::run(MachineConfig::functional(2), |ctx| {
+            let cfg = ScfConfig::paper(8);
+            let layout = Layout::dense(8, 2, DistKind::Block).unwrap();
+            let grid = Collection::new(ctx, layout, |g| cfg.make_segment(g)).unwrap();
+            let solver = ScfSolver::default();
+            let field = solver.compute_field(ctx, &grid).unwrap();
+            // φ increases (toward 0) with radius.
+            assert!(solver.potential(&field, 0.5) < solver.potential(&field, 2.0));
+            assert!(solver.potential(&field, 2.0) < solver.potential(&field, 10.0));
+            // Far outside, φ ≈ -G M_tot / r.
+            let total = *field.enclosed.last().unwrap();
+            let r = 40.0;
+            let want = -solver.g * total / r;
+            assert!((solver.potential(&field, r) - want).abs() < 1e-9);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn leapfrog_energy_drift_is_bounded() {
+        Machine::run(MachineConfig::functional(4), |ctx| {
+            let cfg = ScfConfig::paper(12);
+            let layout = Layout::dense(12, 4, DistKind::Block).unwrap();
+            let mut grid = Collection::new(ctx, layout, |g| cfg.make_segment(g)).unwrap();
+            let solver = ScfSolver::default();
+
+            let energy = |ctx: &NodeCtx, grid: &Collection<Segment>, field: &Field| {
+                let d = diagnostics(ctx, grid).unwrap();
+                let mut pe_local = 0.0;
+                for (_g, s) in grid.iter() {
+                    for i in 0..s.len() {
+                        let r = (s.x[i] * s.x[i] + s.y[i] * s.y[i] + s.z[i] * s.z[i]).sqrt();
+                        // Half: the mean-field potential counts each pair twice.
+                        pe_local += 0.5 * s.mass[i] * solver.potential(field, r);
+                    }
+                }
+                let pe = ctx.all_reduce(pe_local, |a, b| a + b).unwrap();
+                d.kinetic_energy + pe
+            };
+
+            let f0 = solver.compute_field(ctx, &grid).unwrap();
+            let e0 = energy(ctx, &grid, &f0);
+            let ke0 = diagnostics(ctx, &grid).unwrap().kinetic_energy;
+            let mut last = f0;
+            for _ in 0..20 {
+                last = solver.step(ctx, &mut grid, 0.01).unwrap();
+            }
+            let e1 = energy(ctx, &grid, &last);
+            // Total energy is a near-cancellation of KE and PE for this
+            // (non-virialized) sample; normalize the drift by the kinetic
+            // scale instead of the tiny total.
+            let denom = ke0.max(1e-6);
+            assert!(
+                ((e1 - e0) / denom).abs() < 0.02,
+                "energy drifted {e0} -> {e1} against KE scale {ke0}"
+            );
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn steps_are_deterministic_across_runs() {
+        let run = || {
+            Machine::run(MachineConfig::functional(3), |ctx| {
+                let cfg = ScfConfig::paper(6);
+                let layout = Layout::dense(6, 3, DistKind::Cyclic).unwrap();
+                let mut grid = Collection::new(ctx, layout, |g| cfg.make_segment(g)).unwrap();
+                let solver = ScfSolver::default();
+                let mut field = None;
+                for _ in 0..3 {
+                    field = Some(solver.step(ctx, &mut grid, 0.02).unwrap());
+                }
+                field.unwrap()
+            })
+            .unwrap()
+            .remove(0)
+        };
+        let a = run();
+        let b = run();
+        for (x, y) in a.enclosed.iter().zip(&b.enclosed) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+}

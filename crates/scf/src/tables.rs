@@ -1,0 +1,233 @@
+//! Definitions of the paper's Tables 1–4 (= Figure 5), with the published
+//! numbers embedded for side-by-side comparison, plus renderers.
+
+use serde::Serialize;
+
+use crate::driver::{run_sizes, Platform, SizeResult};
+use crate::methods::IoMethod;
+use crate::ScfError;
+
+/// Reference numbers for one size column as printed in the paper.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct PaperColumn {
+    /// Size label as printed (e.g. "1.4 MB").
+    pub label: &'static str,
+    /// Segment count.
+    pub n_segments: usize,
+    /// Unbuffered I/O seconds.
+    pub unbuffered: f64,
+    /// Manual buffering seconds.
+    pub manual: f64,
+    /// pC++/streams seconds.
+    pub streams: f64,
+}
+
+impl PaperColumn {
+    /// The paper's "% of Manual Buf." row.
+    pub fn pct_of_manual(&self) -> f64 {
+        100.0 * self.manual / self.streams
+    }
+}
+
+/// One of the paper's benchmark tables.
+#[derive(Debug, Clone, Serialize)]
+pub struct TableSpec {
+    /// Table number in the paper (1–4).
+    pub id: u32,
+    /// Title as printed.
+    pub title: &'static str,
+    /// Platform preset used to regenerate it.
+    #[serde(skip)]
+    pub platform: Platform,
+    /// Processor count.
+    pub nprocs: usize,
+    /// Size columns with the published values.
+    pub columns: Vec<PaperColumn>,
+}
+
+/// Table 1: Benchmark Results on Intel Paragon (4 processors).
+pub fn table1() -> TableSpec {
+    TableSpec {
+        id: 1,
+        title: "Benchmark Results on Intel Paragon (4 processors)",
+        platform: Platform::Paragon,
+        nprocs: 4,
+        columns: vec![
+            PaperColumn { label: "1.4 MB", n_segments: 256, unbuffered: 7.13, manual: 2.14, streams: 2.47 },
+            PaperColumn { label: "2.8 MB", n_segments: 512, unbuffered: 14.73, manual: 3.04, streams: 3.31 },
+            PaperColumn { label: "5.6 MB", n_segments: 1000, unbuffered: 283.00, manual: 5.42, streams: 5.71 },
+            PaperColumn { label: "11.2 MB", n_segments: 2000, unbuffered: 556.78, manual: 54.17, streams: 55.00 },
+        ],
+    }
+}
+
+/// Table 2: Benchmark Results on Intel Paragon (8 processors).
+pub fn table2() -> TableSpec {
+    TableSpec {
+        id: 2,
+        title: "Benchmark Results on Intel Paragon (8 processors)",
+        platform: Platform::Paragon,
+        nprocs: 8,
+        columns: vec![
+            PaperColumn { label: "1.4 MB", n_segments: 256, unbuffered: 7.53, manual: 2.91, streams: 3.36 },
+            PaperColumn { label: "2.8 MB", n_segments: 512, unbuffered: 14.47, manual: 3.75, streams: 4.20 },
+            PaperColumn { label: "5.6 MB", n_segments: 1000, unbuffered: 273.77, manual: 5.72, streams: 6.16 },
+            PaperColumn { label: "11.2 MB", n_segments: 2000, unbuffered: 561.72, manual: 9.69, streams: 10.19 },
+        ],
+    }
+}
+
+/// Table 3: Benchmark Results on Uniprocessor SGI Challenge (preliminary).
+pub fn table3() -> TableSpec {
+    TableSpec {
+        id: 3,
+        title: "Benchmark Results on Uniprocessor SGI Challenge (preliminary)",
+        platform: Platform::SgiChallenge,
+        nprocs: 1,
+        columns: vec![
+            PaperColumn { label: "5.6 MB", n_segments: 1000, unbuffered: 1.68, manual: 1.05, streams: 1.32 },
+            PaperColumn { label: "11.2 MB", n_segments: 2000, unbuffered: 3.42, manual: 2.13, streams: 2.71 },
+            PaperColumn { label: "112 MB", n_segments: 20000, unbuffered: 32.20, manual: 20.9, streams: 21.84 },
+        ],
+    }
+}
+
+/// Table 4: Benchmark Results on Multiprocessor SGI Challenge
+/// (8 processors) (preliminary).
+pub fn table4() -> TableSpec {
+    TableSpec {
+        id: 4,
+        title: "Benchmark Results on Multiprocessor SGI Challenge (8 processors) (preliminary)",
+        platform: Platform::SgiChallenge,
+        nprocs: 8,
+        columns: vec![
+            PaperColumn { label: "5.6 MB", n_segments: 1000, unbuffered: 0.55, manual: 0.22, streams: 0.39 },
+            PaperColumn { label: "11.2 MB", n_segments: 2000, unbuffered: 1.10, manual: 0.34, streams: 0.75 },
+            PaperColumn { label: "44.8 MB", n_segments: 8000, unbuffered: 4.95, manual: 2.38, streams: 2.65 },
+        ],
+    }
+}
+
+/// All four tables.
+pub fn all_tables() -> Vec<TableSpec> {
+    vec![table1(), table2(), table3(), table4()]
+}
+
+/// A regenerated table: paper values next to measured values.
+#[derive(Debug, Clone, Serialize)]
+pub struct TableResult {
+    /// The specification (with paper values).
+    pub spec: TableSpec,
+    /// Measured values, one per column.
+    pub measured: Vec<SizeResult>,
+}
+
+/// Regenerate one table with the virtual-time benchmark.
+pub fn run_table(spec: TableSpec) -> Result<TableResult, ScfError> {
+    let sizes: Vec<usize> = spec.columns.iter().map(|c| c.n_segments).collect();
+    let measured = run_sizes(spec.platform, spec.nprocs, &sizes)?;
+    Ok(TableResult { spec, measured })
+}
+
+impl TableResult {
+    /// Render the table in the paper's layout, with the published value in
+    /// parentheses after each measured one.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let w = 22usize;
+        out.push_str(&format!("Table {}: {}\n", self.spec.id, self.spec.title));
+        out.push_str(&format!(
+            "(simulated platform seconds; paper's published value in parentheses)\n\n{:<18}",
+            "I/O Size"
+        ));
+        for c in &self.spec.columns {
+            out.push_str(&format!("{:>w$}", format!("{} ({})", c.label, c.n_segments)));
+        }
+        out.push('\n');
+        for (k, method) in IoMethod::ALL.into_iter().enumerate() {
+            out.push_str(&format!("{:<18}", method.label()));
+            for (c, m) in self.spec.columns.iter().zip(&self.measured) {
+                let paper = [c.unbuffered, c.manual, c.streams][k];
+                out.push_str(&format!(
+                    "{:>w$}",
+                    format!("{:.2} ({:.2})", m.seconds[k], paper)
+                ));
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!("{:<18}", "% of Manual Buf."));
+        for (c, m) in self.spec.columns.iter().zip(&self.measured) {
+            out.push_str(&format!(
+                "{:>w$}",
+                format!("{:.1}% ({:.1}%)", m.pct_of_manual(), c.pct_of_manual())
+            ));
+        }
+        out.push('\n');
+        out
+    }
+
+    /// Shape checks corresponding to the paper's qualitative claims.
+    /// Returns human-readable violations (empty = all claims hold).
+    pub fn shape_violations(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        for m in &self.measured {
+            let [unbuf, manual, streams] = m.seconds;
+            if unbuf <= streams {
+                v.push(format!(
+                    "table {} @{} segs: buffered should beat unbuffered ({unbuf:.2} vs {streams:.2})",
+                    self.spec.id, m.n_segments
+                ));
+            }
+            if streams < manual {
+                v.push(format!(
+                    "table {} @{} segs: streams cannot beat manual ({streams:.2} vs {manual:.2})",
+                    self.spec.id, m.n_segments
+                ));
+            }
+        }
+        // "The overhead introduced by the library decreases as the I/O
+        // size increases": first vs last column.
+        if let (Some(first), Some(last)) = (self.measured.first(), self.measured.last()) {
+            if last.pct_of_manual() + 1e-9 < first.pct_of_manual() {
+                v.push(format!(
+                    "table {}: %-of-manual should improve with size ({:.1}% -> {:.1}%)",
+                    self.spec.id,
+                    first.pct_of_manual(),
+                    last.pct_of_manual()
+                ));
+            }
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_specs_match_the_paper_percentages() {
+        // Sanity: our embedded paper values reproduce the printed % rows.
+        let t1 = table1();
+        let pcts: Vec<f64> = t1.columns.iter().map(|c| c.pct_of_manual()).collect();
+        let printed = [86.7, 91.9, 95.0, 98.5];
+        for (got, want) in pcts.iter().zip(printed) {
+            assert!((got - want).abs() < 0.4, "{got} vs {want}");
+        }
+        let t4 = table4();
+        let pcts: Vec<f64> = t4.columns.iter().map(|c| c.pct_of_manual()).collect();
+        for (got, want) in pcts.iter().zip([56.0, 45.0, 89.0]) {
+            assert!((got - want).abs() < 1.0, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn all_tables_have_the_paper_shape() {
+        let tables = all_tables();
+        assert_eq!(tables.len(), 4);
+        assert_eq!(tables[0].nprocs, 4);
+        assert_eq!(tables[1].nprocs, 8);
+        assert_eq!(tables[2].nprocs, 1);
+        assert_eq!(tables[3].nprocs, 8);
+    }
+}

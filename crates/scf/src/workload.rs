@@ -1,0 +1,142 @@
+//! Deterministic SCF workload generation.
+//!
+//! Particles are sampled from a Plummer-like spherical model (the SCF code
+//! is a galactic-dynamics N-body simulation) with a deterministic RNG per
+//! segment, so a segment's contents depend only on its global index and
+//! the seed — any rank can regenerate any segment for verification.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::segment::Segment;
+
+/// Workload parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ScfConfig {
+    /// Number of segments in the 1-D collection.
+    pub n_segments: usize,
+    /// Mean particles per segment (the paper's sizes imply 100).
+    pub particles_per_segment: usize,
+    /// Half-width of a uniform jitter on the per-segment particle count
+    /// (0 reproduces the paper's fixed-size benchmark; nonzero exercises
+    /// the variable-size machinery).
+    pub jitter: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl ScfConfig {
+    /// The paper's benchmark shape for a given segment count.
+    pub fn paper(n_segments: usize) -> ScfConfig {
+        ScfConfig {
+            n_segments,
+            particles_per_segment: 100,
+            jitter: 0,
+            seed: 0x5cf,
+        }
+    }
+
+    /// A variable-size variant (for tests of the variable-size machinery).
+    pub fn variable(n_segments: usize, mean: usize, jitter: usize) -> ScfConfig {
+        ScfConfig {
+            n_segments,
+            particles_per_segment: mean,
+            jitter: jitter.min(mean),
+            seed: 0x5cf,
+        }
+    }
+
+    /// Total serialized bytes of the dataset (fixed-size configs only).
+    pub fn dataset_bytes(&self) -> usize {
+        assert_eq!(self.jitter, 0, "dataset_bytes needs fixed-size segments");
+        self.n_segments * Segment::serialized_len_for(self.particles_per_segment)
+    }
+
+    /// Dataset size in binary megabytes.
+    pub fn dataset_mb(&self) -> f64 {
+        self.dataset_bytes() as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Particle count for segment `g`.
+    pub fn particles_in(&self, g: usize) -> usize {
+        if self.jitter == 0 {
+            return self.particles_per_segment;
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed ^ (g as u64).wrapping_mul(0x9e37_79b9));
+        self.particles_per_segment - self.jitter + rng.gen_range(0..=2 * self.jitter)
+    }
+
+    /// Generate segment `g` deterministically.
+    pub fn make_segment(&self, g: usize) -> Segment {
+        let n = self.particles_in(g);
+        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add((g as u64) << 17 | 1));
+        let mut s = Segment::zeroed(n);
+        for i in 0..n {
+            // Plummer-like radial profile: r = a / sqrt(u^(-2/3) - 1).
+            let u: f64 = rng.gen_range(1e-6..1.0f64);
+            let r = 1.0 / (u.powf(-2.0 / 3.0) - 1.0).max(1e-9).sqrt();
+            let cos_t: f64 = rng.gen_range(-1.0..1.0f64);
+            let sin_t = (1.0 - cos_t * cos_t).sqrt();
+            let phi: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+            s.x[i] = r * sin_t * phi.cos();
+            s.y[i] = r * sin_t * phi.sin();
+            s.z[i] = r * cos_t;
+            // Isotropic velocities scaled by the local circular speed.
+            let vscale = (1.0 + r * r).powf(-0.25);
+            s.vx[i] = vscale * rng.gen_range(-1.0..1.0f64);
+            s.vy[i] = vscale * rng.gen_range(-1.0..1.0f64);
+            s.vz[i] = vscale * rng.gen_range(-1.0..1.0f64);
+            s.mass[i] = 1.0 / (self.n_segments.max(1) * n.max(1)) as f64;
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_segment() {
+        let cfg = ScfConfig::paper(16);
+        let a = cfg.make_segment(7);
+        let b = cfg.make_segment(7);
+        assert_eq!(a, b);
+        let c = cfg.make_segment(8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn paper_sizes_match_the_tables() {
+        // 256 → 1.4 MB, 1000 → 5.6 MB (paper labels, decimal-ish).
+        assert!((ScfConfig::paper(256).dataset_mb() - 1.37).abs() < 0.01);
+        assert!((ScfConfig::paper(1000).dataset_mb() - 5.35).abs() < 0.01);
+        assert!((ScfConfig::paper(2000).dataset_mb() - 10.7).abs() < 0.1);
+        assert!((ScfConfig::paper(20000).dataset_mb() - 107.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn jitter_varies_segment_sizes_deterministically() {
+        let cfg = ScfConfig::variable(64, 100, 30);
+        let sizes: Vec<usize> = (0..64).map(|g| cfg.particles_in(g)).collect();
+        assert!(sizes.iter().any(|&n| n != 100), "jitter must vary sizes");
+        assert!(sizes.iter().all(|&n| (70..=130).contains(&n)));
+        let again: Vec<usize> = (0..64).map(|g| cfg.particles_in(g)).collect();
+        assert_eq!(sizes, again);
+        for (g, &size) in sizes.iter().enumerate() {
+            assert_eq!(cfg.make_segment(g).len(), size);
+        }
+    }
+
+    #[test]
+    fn generated_segments_are_physical() {
+        let cfg = ScfConfig::paper(4);
+        let s = cfg.make_segment(0);
+        assert!(s.is_consistent());
+        // Masses positive and normalized-ish, positions finite.
+        assert!(s.mass.iter().all(|&m| m > 0.0));
+        assert!(s.x.iter().all(|v| v.is_finite()));
+        let total_mass: f64 = s.mass.iter().sum();
+        assert!(total_mass > 0.0 && total_mass < 1.0);
+    }
+}

@@ -1,0 +1,181 @@
+//! Abstract syntax of stream-gen declarations.
+
+/// Primitive types the tool understands, named by their Rust images.
+/// C spellings (including multi-word forms like `unsigned long`) are
+/// resolved by [`PrimTy::from_words`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrimTy {
+    /// `char` / `unsigned char` → `u8`
+    U8,
+    /// `signed char` → `i8`
+    I8,
+    /// `short` (and friends) → `i16`
+    I16,
+    /// `unsigned short` → `u16`
+    U16,
+    /// `int` / `signed` → `i32`
+    I32,
+    /// `unsigned` / `unsigned int` → `u32`
+    U32,
+    /// `long` / `long long` → `i64`
+    I64,
+    /// `unsigned long` / `unsigned long long` / `size_t` → `u64`
+    U64,
+    /// `float` → `f32`
+    F32,
+    /// `double` / `long double` → `f64`
+    F64,
+}
+
+/// Words that can begin or continue a C primitive type.
+pub const TYPE_WORDS: &[&str] = &[
+    "char", "short", "int", "long", "unsigned", "signed", "float", "double", "size_t",
+];
+
+impl PrimTy {
+    /// Parse a single C type word (the common case).
+    pub fn from_name(name: &str) -> Option<PrimTy> {
+        PrimTy::from_words(&[name])
+    }
+
+    /// Parse a (possibly multi-word) C type, e.g. `["unsigned", "long"]`.
+    pub fn from_words(words: &[&str]) -> Option<PrimTy> {
+        Some(match words {
+            ["char"] | ["unsigned", "char"] => PrimTy::U8,
+            ["signed", "char"] => PrimTy::I8,
+            ["short"] | ["short", "int"] | ["signed", "short"] | ["signed", "short", "int"] => {
+                PrimTy::I16
+            }
+            ["unsigned", "short"] | ["unsigned", "short", "int"] => PrimTy::U16,
+            ["int"] | ["signed"] | ["signed", "int"] => PrimTy::I32,
+            ["unsigned"] | ["unsigned", "int"] => PrimTy::U32,
+            ["long"] | ["long", "int"] | ["long", "long"] | ["long", "long", "int"]
+            | ["signed", "long"] => PrimTy::I64,
+            ["unsigned", "long"]
+            | ["unsigned", "long", "int"]
+            | ["unsigned", "long", "long"]
+            | ["size_t"] => PrimTy::U64,
+            ["float"] => PrimTy::F32,
+            ["double"] | ["long", "double"] => PrimTy::F64,
+            _ => return None,
+        })
+    }
+
+    /// The Rust type this maps to.
+    pub fn rust(self) -> &'static str {
+        match self {
+            PrimTy::U8 => "u8",
+            PrimTy::I8 => "i8",
+            PrimTy::I16 => "i16",
+            PrimTy::U16 => "u16",
+            PrimTy::I32 => "i32",
+            PrimTy::U32 => "u32",
+            PrimTy::I64 => "i64",
+            PrimTy::U64 => "u64",
+            PrimTy::F32 => "f32",
+            PrimTy::F64 => "f64",
+        }
+    }
+
+    /// Whether the type can size a dynamic array.
+    pub fn is_integer(self) -> bool {
+        !matches!(self, PrimTy::F32 | PrimTy::F64)
+    }
+}
+
+/// A field's element type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ElemTy {
+    /// A C primitive.
+    Prim(PrimTy),
+    /// A user-declared class (streamed recursively).
+    Class(String),
+}
+
+/// The shape of a field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FieldKind {
+    /// A single value: `double x;`
+    Scalar,
+    /// A dynamically sized array whose length lives in another field:
+    /// `double * mass [numberOfParticles];`
+    DynArray {
+        /// The sizing field's name.
+        len_field: String,
+    },
+    /// A fixed-size inline array: `int tags[8];`
+    FixedArray(u64),
+    /// A bare pointer with no size information: `Node * next;` —
+    /// stream-gen cannot stream this and emits the paper's comment hook.
+    RawPointer,
+}
+
+/// One declared field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Field name.
+    pub name: String,
+    /// Element type.
+    pub ty: ElemTy,
+    /// Shape.
+    pub kind: FieldKind,
+    /// Source line (diagnostics).
+    pub line: u32,
+}
+
+/// One declared class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassDecl {
+    /// Class name.
+    pub name: String,
+    /// Fields, in declaration order (= stream order).
+    pub fields: Vec<Field>,
+    /// Source line of the declaration.
+    pub line: u32,
+}
+
+/// A whole declaration file.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    /// Classes in declaration order.
+    pub classes: Vec<ClassDecl>,
+}
+
+impl Program {
+    /// Find a class by name.
+    pub fn class(&self, name: &str) -> Option<&ClassDecl> {
+        self.classes.iter().find(|c| c.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prim_names_map_to_rust() {
+        assert_eq!(PrimTy::from_name("double"), Some(PrimTy::F64));
+        assert_eq!(PrimTy::F64.rust(), "f64");
+        assert_eq!(PrimTy::from_name("int").unwrap().rust(), "i32");
+        assert_eq!(PrimTy::from_name("Position"), None);
+        assert!(PrimTy::I32.is_integer());
+        assert!(!PrimTy::F32.is_integer());
+    }
+
+    #[test]
+    fn multi_word_types_resolve() {
+        for (words, rust) in [
+            (&["unsigned", "long"][..], "u64"),
+            (&["long", "long"][..], "i64"),
+            (&["unsigned", "char"][..], "u8"),
+            (&["signed", "char"][..], "i8"),
+            (&["unsigned", "short"][..], "u16"),
+            (&["long", "double"][..], "f64"),
+            (&["size_t"][..], "u64"),
+        ] {
+            assert_eq!(PrimTy::from_words(words).unwrap().rust(), rust, "{words:?}");
+        }
+        assert_eq!(PrimTy::from_words(&["double", "double"]), None);
+        assert_eq!(PrimTy::from_words(&[]), None);
+    }
+}

@@ -1,0 +1,266 @@
+//! Lexer for the stream-gen declaration language.
+//!
+//! The input is the C++-like subset the paper's Figure 3 declarations are
+//! written in: `class` declarations with primitive, array, pointer-array,
+//! and nested-class fields. Comments (`//` and `/* */`) are skipped but
+//! line numbers are tracked for diagnostics.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// `class` keyword.
+    Class,
+    /// An identifier (type or field name).
+    Ident(String),
+    /// An integer literal (fixed array sizes).
+    Int(u64),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `*`
+    Star,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Class => write!(f, "`class`"),
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Int(v) => write!(f, "integer `{v}`"),
+            Tok::LBrace => write!(f, "`{{`"),
+            Tok::RBrace => write!(f, "`}}`"),
+            Tok::LBracket => write!(f, "`[`"),
+            Tok::RBracket => write!(f, "`]`"),
+            Tok::Semi => write!(f, "`;`"),
+            Tok::Comma => write!(f, "`,`"),
+            Tok::Star => write!(f, "`*`"),
+        }
+    }
+}
+
+/// A token plus its source line (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Lexing / parsing / semantic error with a source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenError {
+    /// 1-based source line (0 = end of input).
+    pub line: u32,
+    /// Human-readable message.
+    pub msg: String,
+}
+
+impl fmt::Display for GenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "at end of input: {}", self.msg)
+        } else {
+            write!(f, "line {}: {}", self.line, self.msg)
+        }
+    }
+}
+
+impl std::error::Error for GenError {}
+
+/// Tokenize `src`.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, GenError> {
+    let mut out = Vec::new();
+    let mut line: u32 = 1;
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start_line = line;
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(GenError {
+                            line: start_line,
+                            msg: "unterminated block comment".into(),
+                        });
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            '{' => {
+                out.push(Spanned { tok: Tok::LBrace, line });
+                i += 1;
+            }
+            '}' => {
+                out.push(Spanned { tok: Tok::RBrace, line });
+                i += 1;
+            }
+            '[' => {
+                out.push(Spanned { tok: Tok::LBracket, line });
+                i += 1;
+            }
+            ']' => {
+                out.push(Spanned { tok: Tok::RBracket, line });
+                i += 1;
+            }
+            ';' => {
+                out.push(Spanned { tok: Tok::Semi, line });
+                i += 1;
+            }
+            ',' => {
+                out.push(Spanned { tok: Tok::Comma, line });
+                i += 1;
+            }
+            '*' => {
+                out.push(Spanned { tok: Tok::Star, line });
+                i += 1;
+            }
+            _ if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let v: u64 = text.parse().map_err(|_| GenError {
+                    line,
+                    msg: format!("integer literal `{text}` out of range"),
+                })?;
+                out.push(Spanned { tok: Tok::Int(v), line });
+            }
+            _ if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let ch = bytes[i] as char;
+                    if ch.is_ascii_alphanumeric() || ch == '_' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let word = &src[start..i];
+                out.push(Spanned {
+                    tok: if word == "class" || word == "struct" {
+                        Tok::Class
+                    } else {
+                        Tok::Ident(word.to_string())
+                    },
+                    line,
+                });
+            }
+            _ => {
+                return Err(GenError {
+                    line,
+                    msg: format!("unexpected character {c:?}"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn lexes_the_paper_declaration() {
+        let got = toks("class Position { double x, y, z; };");
+        assert_eq!(
+            got,
+            vec![
+                Tok::Class,
+                Tok::Ident("Position".into()),
+                Tok::LBrace,
+                Tok::Ident("double".into()),
+                Tok::Ident("x".into()),
+                Tok::Comma,
+                Tok::Ident("y".into()),
+                Tok::Comma,
+                Tok::Ident("z".into()),
+                Tok::Semi,
+                Tok::RBrace,
+                Tok::Semi,
+            ]
+        );
+    }
+
+    #[test]
+    fn struct_keyword_is_an_alias_for_class() {
+        assert_eq!(toks("struct A { };")[0], Tok::Class);
+    }
+
+    #[test]
+    fn comments_are_skipped_but_lines_counted() {
+        let src = "// first line\nclass /* inline */ A {\n// another\n};";
+        let spanned = lex(src).unwrap();
+        assert_eq!(spanned[0].tok, Tok::Class);
+        assert_eq!(spanned[0].line, 2);
+        let rbrace = spanned.iter().find(|s| s.tok == Tok::RBrace).unwrap();
+        assert_eq!(rbrace.line, 4);
+    }
+
+    #[test]
+    fn pointers_brackets_and_numbers() {
+        assert_eq!(
+            toks("double * mass [numberOfParticles]; int tags[8];"),
+            vec![
+                Tok::Ident("double".into()),
+                Tok::Star,
+                Tok::Ident("mass".into()),
+                Tok::LBracket,
+                Tok::Ident("numberOfParticles".into()),
+                Tok::RBracket,
+                Tok::Semi,
+                Tok::Ident("int".into()),
+                Tok::Ident("tags".into()),
+                Tok::LBracket,
+                Tok::Int(8),
+                Tok::RBracket,
+                Tok::Semi,
+            ]
+        );
+    }
+
+    #[test]
+    fn bad_input_is_rejected_with_line_numbers() {
+        let err = lex("class A {\n  int x = 3;\n};").unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = lex("/* never closed").unwrap_err();
+        assert!(err.msg.contains("unterminated"));
+    }
+}

@@ -1,0 +1,50 @@
+//! # dstreams-streamgen — the stream-gen tool
+//!
+//! The paper (§4.2) describes *stream-gen*, a Sage++-based tool that
+//! "analyzes pC++ programs and generates the inserter and extractor
+//! operators for all programmer-defined types", emitting comment hooks
+//! where a pointer field needs programmer guidance. This crate is that
+//! tool for the Rust reproduction: it parses a C++-like declaration
+//! language (the subset the paper's Figure 3 declarations use) and emits
+//! Rust structs plus `dstreams_core::StreamData` impls.
+//!
+//! ```
+//! use dstreams_streamgen::{generate_from_source, GenOptions};
+//!
+//! let code = generate_from_source(
+//!     "class Position { double x, y, z; };",
+//!     GenOptions::default(),
+//!     "example.pcxx",
+//! )
+//! .unwrap();
+//! assert!(code.contains("impl dstreams_core::StreamData for Position"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod codegen;
+pub mod lexer;
+pub mod parser;
+pub mod sema;
+
+pub use ast::{ClassDecl, ElemTy, Field, FieldKind, PrimTy, Program};
+pub use codegen::{generate, snake_case, GenOptions};
+pub use lexer::GenError;
+pub use parser::parse;
+pub use sema::check;
+
+/// Parse, check, and generate in one call. Returns the generated Rust
+/// source, or every diagnostic found.
+pub fn generate_from_source(
+    src: &str,
+    opts: GenOptions,
+    source_name: &str,
+) -> Result<String, Vec<GenError>> {
+    let program = parse(src).map_err(|e| vec![e])?;
+    let errs = check(&program);
+    if !errs.is_empty() {
+        return Err(errs);
+    }
+    Ok(generate(&program, opts, source_name))
+}

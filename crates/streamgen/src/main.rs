@@ -1,0 +1,74 @@
+//! stream-gen CLI: generate `StreamData` impls from declaration files.
+//!
+//! ```text
+//! stream-gen INPUT.pcxx [-o OUTPUT.rs] [--impls-only]
+//! ```
+
+use std::io::Write as _;
+use std::process::ExitCode;
+
+use dstreams_streamgen::{generate_from_source, GenOptions};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut input: Option<String> = None;
+    let mut output: Option<String> = None;
+    let mut opts = GenOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-o" | "--output" => {
+                output = args.get(i + 1).cloned();
+                i += 1;
+            }
+            "--impls-only" => opts.emit_structs = false,
+            "-h" | "--help" => {
+                eprintln!("usage: stream-gen INPUT.pcxx [-o OUTPUT.rs] [--impls-only]");
+                return ExitCode::SUCCESS;
+            }
+            other if input.is_none() => input = Some(other.to_string()),
+            other => {
+                eprintln!("unexpected argument {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+    let Some(input) = input else {
+        eprintln!("usage: stream-gen INPUT.pcxx [-o OUTPUT.rs] [--impls-only]");
+        return ExitCode::from(2);
+    };
+    let src = match std::fs::read_to_string(&input) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("stream-gen: cannot read {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match generate_from_source(&src, opts, &input) {
+        Ok(code) => {
+            match output {
+                Some(path) => {
+                    if let Err(e) = std::fs::write(&path, code) {
+                        eprintln!("stream-gen: cannot write {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    eprintln!("stream-gen: wrote {path}");
+                }
+                None => {
+                    let mut stdout = std::io::stdout().lock();
+                    if stdout.write_all(code.as_bytes()).is_err() {
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(errs) => {
+            for e in errs {
+                eprintln!("stream-gen: {input}: {e}");
+            }
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! Recursive-descent parser for the declaration language.
+//!
+//! Grammar:
+//! ```text
+//! program    := class*
+//! class      := ("class" | "struct") IDENT "{" field* "}" ";"
+//! field      := type declarator ("," declarator)* ";"
+//! type       := IDENT                          -- primitive or class name
+//! declarator := "*"? IDENT array?              -- '*' marks pointer fields
+//! array      := "[" (IDENT | INT) "]"          -- dynamic or fixed size
+//! ```
+//!
+//! `T * name [lenField]` is a dynamic array sized by `lenField`
+//! (the paper's `array(ptr, count)`); `T * name` with no brackets is a raw
+//! pointer stream-gen cannot handle by itself (it gets a comment hook);
+//! `T name [N]` is a fixed inline array.
+
+use crate::ast::{ClassDecl, ElemTy, Field, FieldKind, PrimTy, Program, TYPE_WORDS};
+use crate::lexer::{lex, GenError, Spanned, Tok};
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Spanned> {
+        self.toks.get(self.pos)
+    }
+
+    fn line(&self) -> u32 {
+        self.peek().map(|s| s.line).unwrap_or(0)
+    }
+
+    fn next(&mut self) -> Option<Spanned> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: &Tok) -> Result<(), GenError> {
+        match self.next() {
+            Some(s) if &s.tok == want => Ok(()),
+            Some(s) => Err(GenError {
+                line: s.line,
+                msg: format!("expected {want}, found {}", s.tok),
+            }),
+            None => Err(GenError {
+                line: 0,
+                msg: format!("expected {want}"),
+            }),
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<(String, u32), GenError> {
+        match self.next() {
+            Some(Spanned {
+                tok: Tok::Ident(s),
+                line,
+            }) => Ok((s, line)),
+            Some(s) => Err(GenError {
+                line: s.line,
+                msg: format!("expected {what}, found {}", s.tok),
+            }),
+            None => Err(GenError {
+                line: 0,
+                msg: format!("expected {what}"),
+            }),
+        }
+    }
+
+    fn eat(&mut self, want: &Tok) -> bool {
+        if self.peek().map(|s| &s.tok) == Some(want) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_program(&mut self) -> Result<Program, GenError> {
+        let mut classes = Vec::new();
+        while let Some(s) = self.peek() {
+            if s.tok != Tok::Class {
+                return Err(GenError {
+                    line: s.line,
+                    msg: format!("expected `class`, found {}", s.tok),
+                });
+            }
+            classes.push(self.parse_class()?);
+        }
+        Ok(Program { classes })
+    }
+
+    fn parse_class(&mut self) -> Result<ClassDecl, GenError> {
+        self.expect(&Tok::Class)?;
+        let (name, line) = self.expect_ident("class name")?;
+        self.expect(&Tok::LBrace)?;
+        let mut fields = Vec::new();
+        while self.peek().map(|s| &s.tok) != Some(&Tok::RBrace) {
+            if self.peek().is_none() {
+                return Err(GenError {
+                    line: 0,
+                    msg: format!("class `{name}` is missing its closing `}}`"),
+                });
+            }
+            self.parse_field_stmt(&mut fields)?;
+        }
+        self.expect(&Tok::RBrace)?;
+        self.expect(&Tok::Semi)?;
+        Ok(ClassDecl { name, fields, line })
+    }
+
+    /// One `type declarator, declarator, ... ;` statement. The type may be
+    /// a multi-word C primitive (`unsigned long long`), a single-word
+    /// primitive, or a class name.
+    fn parse_field_stmt(&mut self, out: &mut Vec<Field>) -> Result<(), GenError> {
+        let (first, first_line) = self.expect_ident("a type name")?;
+        let ty = if TYPE_WORDS.contains(&first.as_str()) {
+            // Greedily consume further type words; the first non-type-word
+            // identifier is the declarator.
+            let mut words = vec![first];
+            while let Some(Spanned {
+                tok: Tok::Ident(w), ..
+            }) = self.peek()
+            {
+                if TYPE_WORDS.contains(&w.as_str()) {
+                    let (w, _) = self.expect_ident("a type word")?;
+                    words.push(w);
+                } else {
+                    break;
+                }
+            }
+            let refs: Vec<&str> = words.iter().map(String::as_str).collect();
+            ElemTy::Prim(PrimTy::from_words(&refs).ok_or_else(|| GenError {
+                line: first_line,
+                msg: format!("unknown C type `{}`", words.join(" ")),
+            })?)
+        } else {
+            ElemTy::Class(first)
+        };
+        loop {
+            let is_ptr = self.eat(&Tok::Star);
+            let (name, line) = self.expect_ident("a field name")?;
+            let kind = if self.eat(&Tok::LBracket) {
+                let k = match self.next() {
+                    Some(Spanned {
+                        tok: Tok::Ident(len_field),
+                        ..
+                    }) => FieldKind::DynArray { len_field },
+                    Some(Spanned {
+                        tok: Tok::Int(n), ..
+                    }) => FieldKind::FixedArray(n),
+                    Some(s) => {
+                        return Err(GenError {
+                            line: s.line,
+                            msg: format!("expected array size, found {}", s.tok),
+                        })
+                    }
+                    None => {
+                        return Err(GenError {
+                            line: 0,
+                            msg: "expected array size".into(),
+                        })
+                    }
+                };
+                self.expect(&Tok::RBracket)?;
+                k
+            } else if is_ptr {
+                FieldKind::RawPointer
+            } else {
+                FieldKind::Scalar
+            };
+            out.push(Field {
+                name,
+                ty: ty.clone(),
+                kind,
+                line,
+            });
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        let line = self.line();
+        self.expect(&Tok::Semi).map_err(|e| GenError {
+            line: if e.line == 0 { line } else { e.line },
+            ..e
+        })?;
+        Ok(())
+    }
+}
+
+/// Parse a declaration source file.
+pub fn parse(src: &str) -> Result<Program, GenError> {
+    let toks = lex(src)?;
+    Parser { toks, pos: 0 }.parse_program()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAPER_DECLS: &str = r#"
+        class Position {
+            double x, y, z;
+        };
+        class ParticleList {           // the element class
+            int numberOfParticles;
+            double * mass [numberOfParticles];     // variable sized
+            Position * position [numberOfParticles]; // arrays
+        };
+    "#;
+
+    #[test]
+    fn parses_the_paper_figure3_declarations() {
+        let p = parse(PAPER_DECLS).unwrap();
+        assert_eq!(p.classes.len(), 2);
+        let pos = p.class("Position").unwrap();
+        assert_eq!(pos.fields.len(), 3);
+        assert!(pos
+            .fields
+            .iter()
+            .all(|f| f.kind == FieldKind::Scalar && f.ty == ElemTy::Prim(PrimTy::F64)));
+
+        let pl = p.class("ParticleList").unwrap();
+        assert_eq!(pl.fields[0].name, "numberOfParticles");
+        assert_eq!(pl.fields[0].kind, FieldKind::Scalar);
+        assert_eq!(
+            pl.fields[1].kind,
+            FieldKind::DynArray {
+                len_field: "numberOfParticles".into()
+            }
+        );
+        assert_eq!(pl.fields[2].ty, ElemTy::Class("Position".into()));
+    }
+
+    #[test]
+    fn parses_fixed_arrays_and_raw_pointers() {
+        let p = parse("class A { int tags[8]; A * next; };").unwrap();
+        let a = p.class("A").unwrap();
+        assert_eq!(a.fields[0].kind, FieldKind::FixedArray(8));
+        assert_eq!(a.fields[1].kind, FieldKind::RawPointer);
+    }
+
+    #[test]
+    fn multi_word_types_parse() {
+        let p = parse(
+            "class A { unsigned long count; long long big; unsigned char b; \
+             double * vals [count]; };",
+        )
+        .unwrap();
+        let a = p.class("A").unwrap();
+        assert_eq!(a.fields[0].ty, ElemTy::Prim(PrimTy::U64));
+        assert_eq!(a.fields[1].ty, ElemTy::Prim(PrimTy::I64));
+        assert_eq!(a.fields[2].ty, ElemTy::Prim(PrimTy::U8));
+        assert_eq!(
+            a.fields[3].kind,
+            FieldKind::DynArray {
+                len_field: "count".into()
+            }
+        );
+        // Nonsense combinations are rejected with the full spelling.
+        let err = parse("class B { double long x; };").unwrap_err();
+        assert!(err.msg.contains("double long"), "{}", err.msg);
+    }
+
+    #[test]
+    fn multi_declarators_share_their_type() {
+        let p = parse("class V { float a, b; double c; };").unwrap();
+        let v = p.class("V").unwrap();
+        assert_eq!(v.fields.len(), 3);
+        assert_eq!(v.fields[1].ty, ElemTy::Prim(PrimTy::F32));
+        assert_eq!(v.fields[2].ty, ElemTy::Prim(PrimTy::F64));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse("class A {\n  int x\n};").unwrap_err();
+        assert_eq!(err.line, 3); // the `}` where `;` was expected
+        let err = parse("int x;").unwrap_err();
+        assert!(err.msg.contains("class"));
+        let err = parse("class A { int x[]; };").unwrap_err();
+        assert!(err.msg.contains("array size"));
+        let err = parse("class A { int x; ").unwrap_err();
+        assert!(err.msg.contains("closing"));
+    }
+}

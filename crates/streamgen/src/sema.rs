@@ -1,0 +1,163 @@
+//! Semantic checks on parsed declarations.
+//!
+//! Before code can be generated we verify, with source positions:
+//! * class names are unique; field names unique within a class;
+//! * a dynamic array's length field exists in the same class, is an
+//!   integer scalar, and is declared *before* the array (extraction reads
+//!   fields in order, so the count must already be known);
+//! * nested class types are declared (before use — the stream order is
+//!   the declaration order, mirroring how the paper's tool processed
+//!   complete programs);
+//! * fixed arrays have nonzero size.
+
+use std::collections::HashSet;
+
+use crate::ast::{ElemTy, FieldKind, Program};
+use crate::lexer::GenError;
+
+/// Validate `program`, returning all diagnostics (empty = valid).
+pub fn check(program: &Program) -> Vec<GenError> {
+    let mut errs = Vec::new();
+    let mut class_names: HashSet<&str> = HashSet::new();
+
+    for class in &program.classes {
+        if !class_names.insert(&class.name) {
+            errs.push(GenError {
+                line: class.line,
+                msg: format!("class `{}` declared more than once", class.name),
+            });
+        }
+        let mut seen: HashSet<&str> = HashSet::new();
+        for (idx, field) in class.fields.iter().enumerate() {
+            if !seen.insert(&field.name) {
+                errs.push(GenError {
+                    line: field.line,
+                    msg: format!(
+                        "field `{}` declared more than once in class `{}`",
+                        field.name, class.name
+                    ),
+                });
+            }
+            if let ElemTy::Class(ty) = &field.ty {
+                if !class_names.contains(ty.as_str()) {
+                    errs.push(GenError {
+                        line: field.line,
+                        msg: format!(
+                            "field `{}` has type `{ty}` which is not declared (yet); \
+                             stream-gen requires definition before use",
+                            field.name
+                        ),
+                    });
+                }
+            }
+            match &field.kind {
+                FieldKind::DynArray { len_field } => {
+                    match class.fields[..idx].iter().find(|f| &f.name == len_field) {
+                        None => {
+                            let later = class.fields[idx..].iter().any(|f| &f.name == len_field);
+                            errs.push(GenError {
+                                line: field.line,
+                                msg: if later {
+                                    format!(
+                                        "array `{}` is sized by `{len_field}`, which is declared \
+                                         after it; the count must be streamed first",
+                                        field.name
+                                    )
+                                } else {
+                                    format!(
+                                        "array `{}` is sized by unknown field `{len_field}`",
+                                        field.name
+                                    )
+                                },
+                            });
+                        }
+                        Some(lf) => {
+                            let ok = matches!(
+                                (&lf.ty, &lf.kind),
+                                (ElemTy::Prim(p), FieldKind::Scalar) if p.is_integer()
+                            );
+                            if !ok {
+                                errs.push(GenError {
+                                    line: field.line,
+                                    msg: format!(
+                                        "array `{}` is sized by `{len_field}`, which is not an \
+                                         integer scalar",
+                                        field.name
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                }
+                FieldKind::FixedArray(0) => errs.push(GenError {
+                    line: field.line,
+                    msg: format!("fixed array `{}` has size 0", field.name),
+                }),
+                _ => {}
+            }
+        }
+    }
+    errs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn errs_of(src: &str) -> Vec<String> {
+        check(&parse(src).unwrap())
+            .into_iter()
+            .map(|e| e.msg)
+            .collect()
+    }
+
+    #[test]
+    fn valid_program_has_no_diagnostics() {
+        let src = r#"
+            class Position { double x, y, z; };
+            class ParticleList {
+                int numberOfParticles;
+                double * mass [numberOfParticles];
+                Position * position [numberOfParticles];
+            };
+        "#;
+        assert!(errs_of(src).is_empty());
+    }
+
+    #[test]
+    fn duplicate_class_and_field_names_are_caught() {
+        let errs = errs_of("class A { int x; int x; }; class A { int y; };");
+        assert!(errs.iter().any(|e| e.contains("field `x`")));
+        assert!(errs.iter().any(|e| e.contains("class `A`")));
+    }
+
+    #[test]
+    fn unknown_and_late_length_fields_are_caught() {
+        let errs = errs_of("class A { double * m [n]; };");
+        assert!(errs[0].contains("unknown field `n`"));
+        let errs = errs_of("class A { double * m [n]; int n; };");
+        assert!(errs[0].contains("declared after"));
+    }
+
+    #[test]
+    fn non_integer_length_field_is_caught() {
+        let errs = errs_of("class A { double n; double * m [n]; };");
+        assert!(errs[0].contains("not an integer scalar"));
+    }
+
+    #[test]
+    fn undeclared_nested_class_is_caught() {
+        let errs = errs_of("class A { Missing b; };");
+        assert!(errs[0].contains("`Missing`"));
+        // Use-before-declaration also flagged.
+        let errs = errs_of("class A { B b; }; class B { int x; };");
+        assert!(errs[0].contains("definition before use"));
+    }
+
+    #[test]
+    fn zero_sized_fixed_array_is_caught() {
+        let errs = errs_of("class A { int t[0]; };");
+        assert!(errs[0].contains("size 0"));
+    }
+}

@@ -1,0 +1,68 @@
+//! End-to-end tests of the `stream-gen` CLI binary.
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_stream-gen"))
+}
+
+#[test]
+fn generates_to_stdout() {
+    let dir = std::env::temp_dir().join(format!("sg-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = dir.join("decl.pcxx");
+    std::fs::write(&input, "class P { double x, y; int n; double * w [n]; };").unwrap();
+
+    let out = bin().arg(&input).output().unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let code = String::from_utf8(out.stdout).unwrap();
+    assert!(code.contains("pub struct P"));
+    assert!(code.contains("impl dstreams_core::StreamData for P"));
+    assert!(code.contains("ext.slice_into(&mut self.w, __count)?;"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn writes_output_file_and_supports_impls_only() {
+    let dir = std::env::temp_dir().join(format!("sg-cli2-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = dir.join("decl.pcxx");
+    let output = dir.join("gen.rs");
+    std::fs::write(&input, "class Q { unsigned long id; };").unwrap();
+
+    let out = bin()
+        .arg(&input)
+        .arg("-o")
+        .arg(&output)
+        .arg("--impls-only")
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let code = std::fs::read_to_string(&output).unwrap();
+    assert!(!code.contains("pub struct Q"), "--impls-only must omit structs");
+    assert!(code.contains("impl dstreams_core::StreamData for Q"));
+    assert!(code.contains("self.id = ext.prim()?;"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn reports_diagnostics_with_line_numbers_and_fails() {
+    let dir = std::env::temp_dir().join(format!("sg-cli3-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = dir.join("bad.pcxx");
+    std::fs::write(&input, "class B {\n  double * m [missing];\n};").unwrap();
+
+    let out = bin().arg(&input).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("line 2"), "stderr: {err}");
+    assert!(err.contains("missing"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn missing_input_fails_with_usage() {
+    let out = bin().output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr).unwrap().contains("usage"));
+}

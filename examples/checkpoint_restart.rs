@@ -1,0 +1,128 @@
+//! Checkpointing — the paper's first motivating task.
+//!
+//! An SCF N-body run (a real mean-field gravity solver: global
+//! coefficient reductions, local kicks, leapfrog integration) checkpoints
+//! the distributed grid every few steps. The run then "crashes", and is
+//! *restarted on a different machine*: twice the processors and a
+//! different distribution.
+//! Because d/stream files are self-describing (distribution + per-element
+//! sizes precede the data), the restart just calls `read()` — the library
+//! routes every segment to its new owner.
+//!
+//! Run with: `cargo run --example checkpoint_restart`
+
+use dstreams::prelude::*;
+use dstreams_scf::physics::diagnostics;
+use dstreams_scf::{ScfConfig, ScfSolver, Segment};
+
+const N_SEGMENTS: usize = 24;
+const DT: f64 = 0.05;
+const CRASH_AT_STEP: usize = 5;
+const CHECKPOINT_EVERY: usize = 2;
+
+fn main() {
+    let cfg = ScfConfig::variable(N_SEGMENTS, 40, 15); // variable-sized segments
+    let pfs = Pfs::in_memory(8);
+
+    // ---- original run: 4 processors, BLOCK distribution -----------------
+    let p = pfs.clone();
+    let ckpt_step = Machine::run(MachineConfig::paragon(4), move |ctx| {
+        let layout = Layout::dense(N_SEGMENTS, 4, DistKind::Block).unwrap();
+        let mut grid = Collection::new(ctx, layout.clone(), |g| cfg.make_segment(g)).unwrap();
+        let solver = ScfSolver::default();
+        let mut last_ckpt = 0;
+        for step in 1..=CRASH_AT_STEP {
+            solver.step(ctx, &mut grid, DT).unwrap();
+            if step % CHECKPOINT_EVERY == 0 {
+                let name = format!("ckpt.{step}");
+                let mut s = OStream::create(ctx, &p, &layout, &name).unwrap();
+                s.insert_collection(&grid).unwrap();
+                s.write().unwrap();
+                s.close().unwrap();
+                last_ckpt = step;
+                if ctx.is_root() {
+                    println!("step {step}: checkpointed to {name}");
+                }
+            }
+        }
+        let d = diagnostics(ctx, &grid).unwrap();
+        if ctx.is_root() {
+            println!(
+                "step {CRASH_AT_STEP}: CRASH (simulated). diagnostics at crash: \
+                 KE={:.6}, COM=({:.4}, {:.4}, {:.4})",
+                d.kinetic_energy, d.center_of_mass[0], d.center_of_mass[1], d.center_of_mass[2]
+            );
+        }
+        last_ckpt
+    })
+    .unwrap()[0];
+
+    // ---- restart: 8 processors, CYCLIC distribution ---------------------
+    let p = pfs.clone();
+    Machine::run(MachineConfig::paragon(8), move |ctx| {
+        let layout = Layout::dense(N_SEGMENTS, 8, DistKind::Cyclic).unwrap();
+        let mut grid = Collection::new(ctx, layout.clone(), |_| Segment::default()).unwrap();
+
+        // The reader supplies no metadata: the file knows it was written
+        // by 4 BLOCK-distributed ranks.
+        let name = format!("ckpt.{ckpt_step}");
+        let mut r = IStream::open(ctx, &p, &layout, &name).unwrap();
+        r.read().unwrap(); // sorted read: segments land at their indices
+        r.extract_collection(&mut grid).unwrap();
+        r.close().unwrap();
+
+        let d = diagnostics(ctx, &grid).unwrap();
+        if ctx.is_root() {
+            println!(
+                "restarted from {name} on 8 ranks (CYCLIC): {} particles, KE={:.6}",
+                d.n_particles, d.kinetic_energy
+            );
+        }
+
+        // Recompute the reference state independently and verify the
+        // restart. The restored state is bit-exact w.r.t. the 4-rank run
+        // that wrote it; the reference recomputed *here* on 8 ranks
+        // differs in the last bits because the field reductions associate
+        // per-rank partial sums differently — so compare with a tight
+        // tolerance rather than bitwise.
+        let solver = ScfSolver::default();
+        let mut reference =
+            Collection::new(ctx, layout.clone(), |g| cfg.make_segment(g)).unwrap();
+        for _ in 0..ckpt_step {
+            solver.step(ctx, &mut reference, DT).unwrap();
+        }
+        let mut max_dev = 0.0f64;
+        for ((ga, a), (gb, b)) in grid.iter().zip(reference.iter()) {
+            assert_eq!(ga, gb);
+            assert_eq!(a.n_particles, b.n_particles, "segment {ga} shape");
+            for (arrs_a, arrs_b) in a.arrays().iter().zip(b.arrays().iter()) {
+                for (x, y) in arrs_a.iter().zip(arrs_b.iter()) {
+                    max_dev = max_dev.max((x - y).abs());
+                }
+            }
+        }
+        assert!(max_dev < 1e-9, "restart deviates by {max_dev}");
+        if ctx.is_root() {
+            println!(
+                "restored state matches an independent 8-rank recomputation                  to {max_dev:.2e} (FP reduction-order noise only)"
+            );
+        }
+
+        // ... and the run continues where it left off.
+        for step in (ckpt_step + 1)..=(CRASH_AT_STEP + 2) {
+            solver.step(ctx, &mut grid, DT).unwrap();
+            if ctx.is_root() {
+                println!("step {step}: resumed computation");
+            }
+        }
+        let d = diagnostics(ctx, &grid).unwrap();
+        if ctx.is_root() {
+            println!(
+                "checkpoint_restart: exact restart across machine sizes verified \
+                 (final KE={:.6})",
+                d.kinetic_energy
+            );
+        }
+    })
+    .unwrap();
+}

@@ -1,0 +1,28 @@
+//! # dstreams — Rust reproduction of pC++/streams (PPoPP 1995)
+//!
+//! Umbrella crate re-exporting the whole stack:
+//!
+//! * [`machine`] — simulated multicomputer (ranks, collectives, virtual time);
+//! * [`pfs`] — parallel file system with calibrated platform cost models;
+//! * [`collections`] — pC++-style distributed collections;
+//! * [`core`] — the d/streams library itself;
+//! * [`scf`] — the SCF benchmark that regenerates the paper's tables.
+//!
+//! See the repository README for a quickstart and `DESIGN.md` for the
+//! system inventory.
+
+pub use dstreams_collections as collections;
+pub use dstreams_core as core;
+pub use dstreams_machine as machine;
+pub use dstreams_pfs as pfs;
+pub use dstreams_scf as scf;
+
+/// Convenience prelude with the types most programs need.
+pub mod prelude {
+    pub use dstreams_collections::{Alignment, Collection, DistKind, Distribution, Layout};
+    pub use dstreams_core::{
+        IStream, LocalFile, MetaMode, MetaPolicy, OStream, StreamData, StreamError, StreamOptions,
+    };
+    pub use dstreams_machine::{Machine, MachineConfig, NodeCtx, VTime};
+    pub use dstreams_pfs::{Backend, DiskModel, OpenMode, Pfs};
+}

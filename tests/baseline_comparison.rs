@@ -1,0 +1,191 @@
+//! The paper's related-work claims (§5), demonstrated executably:
+//!
+//! * where elements are fixed-size, the Chameleon- and Panda-style
+//!   baselines and pC++/streams all roundtrip the same data;
+//! * variable-sized elements are *structurally impossible* for the
+//!   baselines (no per-element size table) and routine for d/streams;
+//! * Panda-style interleaving and HPF distributions match d/streams
+//!   feature-for-feature on fixed data — the differentiator is variable
+//!   size plus the object-parallel element model.
+
+use dstreams::collections::{Collection, DistKind, Layout};
+use dstreams::core::{IStream, OStream};
+use dstreams::machine::{Machine, MachineConfig};
+use dstreams::pfs::Pfs;
+use dstreams_core::impl_stream_data;
+use dstreams_fixedio::{chameleon, panda, FixedIoError};
+
+#[derive(Debug, Default, Clone, PartialEq)]
+struct Particles {
+    n: i64,
+    mass: Vec<f64>,
+}
+
+impl_stream_data!(Particles {
+    prim n,
+    slice mass: f64 [n],
+});
+
+#[test]
+fn fixed_size_data_roundtrips_through_all_three_libraries() {
+    let pfs = Pfs::in_memory(4);
+    let p = pfs.clone();
+    Machine::run(MachineConfig::functional(4), move |ctx| {
+        let layout = Layout::dense(12, 4, DistKind::Block).unwrap();
+        let c = Collection::new(ctx, layout.clone(), |i| i as f64 * 2.5).unwrap();
+
+        // Chameleon-style.
+        chameleon::write_block_array(ctx, &p, "cham", &c, 8, |v| v.to_le_bytes().to_vec())
+            .unwrap();
+        // Panda-style.
+        let schema = panda::Schema {
+            fields: vec![panda::SchemaField {
+                name: "value".into(),
+                elem_size: 8,
+            }],
+        };
+        panda::write_array(ctx, &p, "panda", &c, &schema, |_, v| v.to_le_bytes().to_vec())
+            .unwrap();
+        // d/streams.
+        let mut s = OStream::create(ctx, &p, &layout, "dstr").unwrap();
+        s.insert_collection(&c).unwrap();
+        s.write().unwrap();
+        s.close().unwrap();
+
+        // All three read back correctly.
+        let mut a = Collection::new(ctx, layout.clone(), |_| 0.0f64).unwrap();
+        chameleon::read_block_array(ctx, &p, "cham", &mut a, 8, |v, b| {
+            *v = f64::from_le_bytes(b.try_into().expect("8 bytes"));
+        })
+        .unwrap();
+        let mut b = Collection::new(ctx, layout.clone(), |_| 0.0f64).unwrap();
+        panda::read_field(ctx, &p, "panda", &mut b, "value", |v, raw| {
+            *v = f64::from_le_bytes(raw.try_into().expect("8 bytes"));
+        })
+        .unwrap();
+        let mut d = Collection::new(ctx, layout.clone(), |_| 0.0f64).unwrap();
+        let mut r = IStream::open(ctx, &p, &layout, "dstr").unwrap();
+        r.read().unwrap();
+        r.extract_collection(&mut d).unwrap();
+        r.close().unwrap();
+
+        for (((ga, va), (_, vb)), (_, vd)) in a.iter().zip(b.iter()).zip(d.iter()) {
+            assert_eq!(*va, ga as f64 * 2.5);
+            assert_eq!(va, vb);
+            assert_eq!(va, vd);
+        }
+    })
+    .unwrap();
+}
+
+#[test]
+fn variable_sized_elements_separate_dstreams_from_the_baselines() {
+    let pfs = Pfs::in_memory(3);
+    let p = pfs.clone();
+    Machine::run(MachineConfig::functional(3), move |ctx| {
+        let layout = Layout::dense(9, 3, DistKind::Block).unwrap();
+        // Variable-size particle lists: element i holds i % 4 particles.
+        let c = Collection::new(ctx, layout.clone(), |i| Particles {
+            n: (i % 4) as i64,
+            mass: (0..i % 4).map(|k| (i * 10 + k) as f64).collect(),
+        })
+        .unwrap();
+
+        // Chameleon-style: rejected at the first size violation.
+        let err = chameleon::write_block_array(ctx, &p, "c", &c, 16, |e| {
+            let mut v = e.n.to_le_bytes().to_vec();
+            for m in &e.mass {
+                v.extend_from_slice(&m.to_le_bytes());
+            }
+            v
+        })
+        .unwrap_err();
+        assert!(matches!(err, FixedIoError::SizeViolation { .. }));
+
+        // Panda-style: same structural limitation.
+        let schema = panda::Schema {
+            fields: vec![panda::SchemaField {
+                name: "particles".into(),
+                elem_size: 16,
+            }],
+        };
+        let err = panda::write_array(ctx, &p, "pa", &c, &schema, |_, e| {
+            let mut v = e.n.to_le_bytes().to_vec();
+            for m in &e.mass {
+                v.extend_from_slice(&m.to_le_bytes());
+            }
+            v
+        })
+        .unwrap_err();
+        assert!(matches!(err, FixedIoError::SizeViolation { .. }));
+
+        // d/streams: routine — per-element sizes are bookkept in the file.
+        let mut s = OStream::create(ctx, &p, &layout, "d").unwrap();
+        s.insert_collection(&c).unwrap();
+        s.write().unwrap();
+        s.close().unwrap();
+        let mut back = Collection::new(ctx, layout.clone(), |_| Particles::default()).unwrap();
+        let mut r = IStream::open(ctx, &p, &layout, "d").unwrap();
+        r.read().unwrap();
+        r.extract_collection(&mut back).unwrap();
+        r.close().unwrap();
+        for ((ga, a), (_, b)) in c.iter().zip(back.iter()) {
+            assert_eq!(a, b, "element {ga}");
+        }
+    })
+    .unwrap();
+}
+
+#[test]
+fn panda_interleaving_matches_dstreams_interleaving_byte_for_byte() {
+    // Same two fixed-size fields, interleaved, through both libraries: the
+    // *data regions* must be identical byte sequences (headers differ).
+    let pfs = Pfs::in_memory(2);
+    let p = pfs.clone();
+    Machine::run(MachineConfig::functional(2), move |ctx| {
+        let layout = Layout::dense(6, 2, DistKind::Block).unwrap();
+        let a = Collection::new(ctx, layout.clone(), |i| i as f64).unwrap();
+        let b = Collection::new(ctx, layout.clone(), |i| 100.0 + i as f64).unwrap();
+
+        let schema = panda::Schema {
+            fields: vec![
+                panda::SchemaField {
+                    name: "a".into(),
+                    elem_size: 8,
+                },
+                panda::SchemaField {
+                    name: "b".into(),
+                    elem_size: 8,
+                },
+            ],
+        };
+        // Panda writes field pairs per element; mirror with one combined
+        // source collection.
+        let pairs = Collection::new(ctx, layout.clone(), |i| (i as f64, 100.0 + i as f64))
+            .unwrap();
+        panda::write_array(ctx, &p, "pv", &pairs, &schema, |k, (x, y)| {
+            if k == 0 { x } else { y }.to_le_bytes().to_vec()
+        })
+        .unwrap();
+
+        let mut s = OStream::create(ctx, &p, &layout, "dv").unwrap();
+        s.insert_with(&a, |v, ins| ins.prim(*v)).unwrap();
+        s.insert_with(&b, |v, ins| ins.prim(*v)).unwrap();
+        s.write().unwrap();
+        s.close().unwrap();
+
+        // Compare the trailing 96 bytes (6 elements x 2 fields x 8 B).
+        ctx.barrier().unwrap();
+        if ctx.is_root() {
+            let read_tail = |name: &str| {
+                let fh = p.open(false, name, dstreams::pfs::OpenMode::Create).unwrap();
+                let mut buf = vec![0u8; 96];
+                fh.read_at(ctx, fh.len() - 96, &mut buf).unwrap();
+                buf
+            };
+            assert_eq!(read_tail("pv"), read_tail("dv"));
+        }
+        ctx.barrier().unwrap();
+    })
+    .unwrap();
+}

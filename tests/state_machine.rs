@@ -1,0 +1,275 @@
+//! Enforcement of the d/stream state machine (paper Figure 2) and failure
+//! injection: corrupted files, mismatched extracts, and misuse must all
+//! surface as typed errors, never as silent corruption or hangs.
+
+use dstreams::collections::{Collection, DistKind, Layout};
+use dstreams::core::{IStream, OStream, StreamError};
+use dstreams::machine::{Machine, MachineConfig};
+use dstreams::pfs::{OpenMode, Pfs};
+
+fn layout(n: usize, np: usize) -> Layout {
+    Layout::dense(n, np, DistKind::Block).unwrap()
+}
+
+/// Write a simple one-record file of `n` u32 elements.
+fn write_simple(pfs: &Pfs, np: usize, n: usize, name: &str) {
+    let p = pfs.clone();
+    let name = name.to_string();
+    Machine::run(MachineConfig::functional(np), move |ctx| {
+        let l = layout(n, np);
+        let g = Collection::new(ctx, l.clone(), |i| i as u32).unwrap();
+        let mut s = OStream::create(ctx, &p, &l, &name).unwrap();
+        s.insert_collection(&g).unwrap();
+        s.write().unwrap();
+        s.close().unwrap();
+    })
+    .unwrap();
+}
+
+#[test]
+fn extract_before_read_is_a_state_violation() {
+    let pfs = Pfs::in_memory(2);
+    write_simple(&pfs, 2, 6, "f");
+    let p = pfs.clone();
+    Machine::run(MachineConfig::functional(2), move |ctx| {
+        let l = layout(6, 2);
+        let mut g = Collection::new(ctx, l.clone(), |_| 0u32).unwrap();
+        let mut r = IStream::open(ctx, &p, &l, "f").unwrap();
+        let err = r.extract_collection(&mut g).unwrap_err();
+        assert!(matches!(
+            err,
+            StreamError::StateViolation { op: "extract", .. }
+        ));
+    })
+    .unwrap();
+}
+
+#[test]
+fn too_many_extracts_are_rejected() {
+    let pfs = Pfs::in_memory(2);
+    write_simple(&pfs, 2, 6, "f");
+    let p = pfs.clone();
+    Machine::run(MachineConfig::functional(2), move |ctx| {
+        let l = layout(6, 2);
+        let mut g = Collection::new(ctx, l.clone(), |_| 0u32).unwrap();
+        let mut r = IStream::open(ctx, &p, &l, "f").unwrap();
+        r.read().unwrap();
+        r.extract_collection(&mut g).unwrap();
+        // The record held one insert; a second extract has no partner.
+        let err = r.extract_collection(&mut g).unwrap_err();
+        assert!(matches!(
+            err,
+            StreamError::ExtractCountExceeded { inserts: 1 }
+        ));
+    })
+    .unwrap();
+}
+
+#[test]
+fn read_with_missing_extracts_is_rejected() {
+    let pfs = Pfs::in_memory(2);
+    let p = pfs.clone();
+    Machine::run(MachineConfig::functional(2), move |ctx| {
+        let l = layout(6, 2);
+        let g = Collection::new(ctx, l.clone(), |i| i as u32).unwrap();
+        let mut s = OStream::create(ctx, &p, &l, "f").unwrap();
+        for _ in 0..2 {
+            s.insert_collection(&g).unwrap();
+            s.insert_collection(&g).unwrap();
+            s.write().unwrap();
+        }
+        s.close().unwrap();
+
+        let mut h = Collection::new(ctx, l.clone(), |_| 0u32).unwrap();
+        let mut r = IStream::open(ctx, &p, &l, "f").unwrap();
+        r.read().unwrap();
+        r.extract_collection(&mut h).unwrap(); // 1 of 2 extracts
+        let err = r.read().unwrap_err();
+        assert!(matches!(
+            err,
+            StreamError::UnconsumedData {
+                extracts_remaining: 1
+            }
+        ));
+        // Closing in this state is also a violation.
+        let err = r.close().unwrap_err();
+        assert!(matches!(err, StreamError::StateViolation { op: "close", .. }));
+    })
+    .unwrap();
+}
+
+#[test]
+fn extract_overrun_within_an_element_is_caught() {
+    let pfs = Pfs::in_memory(1);
+    write_simple(&pfs, 1, 4, "f"); // elements are 4-byte u32s
+    let p = pfs.clone();
+    Machine::run(MachineConfig::functional(1), move |ctx| {
+        let l = layout(4, 1);
+        let mut g = Collection::new(ctx, l.clone(), |_| 0u64).unwrap();
+        let mut r = IStream::open(ctx, &p, &l, "f").unwrap();
+        r.read().unwrap();
+        // Extracting u64 from 4-byte elements overruns.
+        let err = r
+            .extract_with(&mut g, |e, ext| {
+                *e = ext.prim()?;
+                Ok(())
+            })
+            .unwrap_err();
+        assert!(matches!(err, StreamError::ExtractOverrun { .. }));
+    })
+    .unwrap();
+}
+
+#[test]
+fn not_a_dstream_file_is_rejected_at_open() {
+    let pfs = Pfs::in_memory(2);
+    let p = pfs.clone();
+    Machine::run(MachineConfig::functional(2), move |ctx| {
+        // A raw file that is not a d/stream.
+        let fh = p.open(ctx.is_root(), "raw", OpenMode::Create).unwrap();
+        fh.write_ordered(ctx, b"this is not a dstream file at all").unwrap();
+        let l = layout(4, 2);
+        let Err(err) = IStream::open(ctx, &p, &l, "raw") else {
+            panic!("raw file accepted as a d/stream");
+        };
+        assert!(matches!(err, StreamError::BadMagic));
+        // Missing files are PFS errors.
+        let Err(err) = IStream::open(ctx, &p, &l, "missing") else {
+            panic!("missing file opened");
+        };
+        assert!(matches!(err, StreamError::Pfs(_)));
+    })
+    .unwrap();
+}
+
+#[test]
+fn truncated_file_fails_cleanly_on_all_ranks() {
+    let pfs = Pfs::in_memory(2);
+    write_simple(&pfs, 2, 8, "f");
+
+    // Truncate mid-record by copying a prefix into a new file.
+    let p = pfs.clone();
+    Machine::run(MachineConfig::functional(1), move |ctx| {
+        let src = p.open(false, "f", OpenMode::Read).unwrap();
+        let keep = (src.len() / 2) as usize;
+        let mut buf = vec![0u8; keep];
+        src.read_at(ctx, 0, &mut buf).unwrap();
+        let dst = p.open(true, "trunc", OpenMode::Create).unwrap();
+        dst.write_at(ctx, 0, &buf).unwrap();
+    })
+    .unwrap();
+
+    let p = pfs.clone();
+    Machine::run(MachineConfig::functional(2), move |ctx| {
+        let l = layout(8, 2);
+        let mut r = IStream::open(ctx, &p, &l, "trunc").unwrap();
+        // The header region survived; the data read must fail, and it must
+        // fail on every rank (no hangs).
+        assert!(r.read().is_err());
+    })
+    .unwrap();
+}
+
+#[test]
+fn wrong_element_count_reports_both_sides() {
+    let pfs = Pfs::in_memory(2);
+    write_simple(&pfs, 2, 8, "f");
+    let p = pfs.clone();
+    Machine::run(MachineConfig::functional(2), move |ctx| {
+        let l = layout(10, 2);
+        let mut r = IStream::open(ctx, &p, &l, "f").unwrap();
+        let err = r.read().unwrap_err();
+        assert!(matches!(
+            err,
+            StreamError::WrongElementCount { file: 8, stream: 10 }
+        ));
+    })
+    .unwrap();
+}
+
+#[test]
+fn end_of_stream_is_distinguishable_from_errors() {
+    let pfs = Pfs::in_memory(2);
+    write_simple(&pfs, 2, 6, "f");
+    let p = pfs.clone();
+    Machine::run(MachineConfig::functional(2), move |ctx| {
+        let l = layout(6, 2);
+        let mut g = Collection::new(ctx, l.clone(), |_| 0u32).unwrap();
+        let mut r = IStream::open(ctx, &p, &l, "f").unwrap();
+        r.read().unwrap();
+        r.extract_collection(&mut g).unwrap();
+        assert!(r.at_end());
+        assert!(matches!(r.read(), Err(StreamError::EndOfStream)));
+        // skip_record at end also reports EndOfStream.
+        assert!(matches!(r.skip_record(), Err(StreamError::EndOfStream)));
+        r.close().unwrap();
+    })
+    .unwrap();
+}
+
+#[test]
+fn checked_mode_catches_a_wrong_extraction_mirror() {
+    let pfs = Pfs::in_memory(2);
+    let p = pfs.clone();
+    Machine::run(MachineConfig::functional(2), move |ctx| {
+        let l = layout(4, 2);
+        let g = Collection::new(ctx, l.clone(), |i| i as f64).unwrap();
+        let opts = dstreams::core::StreamOptions {
+            checked: true,
+            ..Default::default()
+        };
+        let mut s = OStream::create_with(ctx, &p, &l, "chk", opts).unwrap();
+        s.insert_collection(&g).unwrap();
+        s.write().unwrap();
+        s.close().unwrap();
+
+        // Reader mirrors the insert with the wrong type: caught by tags.
+        let mut h = Collection::new(ctx, l.clone(), |_| 0i64).unwrap();
+        let mut r = IStream::open(ctx, &p, &l, "chk").unwrap();
+        r.read().unwrap();
+        let err = r
+            .extract_with(&mut h, |e, ext| {
+                *e = ext.prim()?; // i64, but f64 was inserted
+                Ok(())
+            })
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            StreamError::TypeMismatch {
+                wrote: "f64",
+                read: "i64"
+            }
+        ));
+    })
+    .unwrap();
+}
+
+#[test]
+fn unchecked_same_width_misuse_is_the_documented_hazard() {
+    // Without checked mode, extracting i64 where f64 was inserted is NOT
+    // detectable (same width) — the paper's format stores sizes only.
+    // This test documents the behavior boundary.
+    let pfs = Pfs::in_memory(1);
+    let p = pfs.clone();
+    Machine::run(MachineConfig::functional(1), move |ctx| {
+        let l = layout(2, 1);
+        let g = Collection::new(ctx, l.clone(), |i| i as f64 + 0.5).unwrap();
+        let mut s = OStream::create(ctx, &p, &l, "hazard").unwrap();
+        s.insert_collection(&g).unwrap();
+        s.write().unwrap();
+        s.close().unwrap();
+
+        let mut h = Collection::new(ctx, l.clone(), |_| 0i64).unwrap();
+        let mut r = IStream::open(ctx, &p, &l, "hazard").unwrap();
+        r.read().unwrap();
+        // Succeeds (sizes match) but yields reinterpreted bits.
+        r.extract_with(&mut h, |e, ext| {
+            *e = ext.prim()?;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(*h.get(0).unwrap(), (0.5f64).to_bits() as i64);
+        r.close().unwrap();
+    })
+    .unwrap();
+}
