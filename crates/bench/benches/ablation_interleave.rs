@@ -52,8 +52,7 @@ fn interleave(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
     for &n in &[256usize, 4096] {
-        for (label, interleaved) in [("interleaved_1_write", true), ("separate_4_writes", false)]
-        {
+        for (label, interleaved) in [("interleaved_1_write", true), ("separate_4_writes", false)] {
             group.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
                 b.iter_custom(|iters| (0..iters).map(|_| write_fields(n, interleaved)).sum());
             });

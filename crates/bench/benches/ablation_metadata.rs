@@ -41,8 +41,10 @@ fn metadata_strategies(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
     for &n in &[16usize, 64, 256, 1024, 4096, 16384] {
-        for (label, mode) in [("gathered", MetaMode::Gathered), ("parallel", MetaMode::Parallel)]
-        {
+        for (label, mode) in [
+            ("gathered", MetaMode::Gathered),
+            ("parallel", MetaMode::Parallel),
+        ] {
             group.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
                 b.iter_custom(|iters| (0..iters).map(|_| write_once(n, mode)).sum());
             });

@@ -7,11 +7,11 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dstreams_bench::machine_virtual_duration;
 use dstreams_collections::{Collection, DistKind, Layout};
+use dstreams_core::MetaMode;
 use dstreams_machine::MachineConfig;
 use dstreams_pfs::{Backend, DiskModel, Pfs};
 use dstreams_scf::methods::{input_dstreams_sorted, input_dstreams_unsorted, output_dstreams};
 use dstreams_scf::{ScfConfig, Segment};
-use dstreams_core::MetaMode;
 
 fn roundtrip(
     platform: &str,
@@ -30,7 +30,11 @@ fn roundtrip(
     machine_virtual_duration(mcfg, move |ctx| {
         let cfg = ScfConfig::paper(n_segments);
         let wlayout = Layout::dense(n_segments, nprocs, DistKind::Block).unwrap();
-        let rkind = if same_dist { DistKind::Block } else { DistKind::Cyclic };
+        let rkind = if same_dist {
+            DistKind::Block
+        } else {
+            DistKind::Cyclic
+        };
         let rlayout = Layout::dense(n_segments, nprocs, rkind).unwrap();
         let grid = Collection::new(ctx, wlayout.clone(), |g| cfg.make_segment(g)).unwrap();
         output_dstreams(ctx, &pfs, &grid, "f", MetaMode::Parallel).unwrap();
@@ -49,8 +53,7 @@ fn roundtrip(
 
 fn read_vs_unsorted(c: &mut Criterion) {
     for platform in ["paragon", "cm5"] {
-        let mut group =
-            c.benchmark_group(format!("ablation_read_vs_unsortedRead_{platform}"));
+        let mut group = c.benchmark_group(format!("ablation_read_vs_unsortedRead_{platform}"));
         group.sample_size(10);
         group.warm_up_time(std::time::Duration::from_millis(500));
         group.measurement_time(std::time::Duration::from_secs(2));

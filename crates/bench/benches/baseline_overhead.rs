@@ -43,8 +43,7 @@ fn run(n_segments: usize, library: &str) -> std::time::Duration {
         match library.as_str() {
             "chameleon" => {
                 chameleon::write_block_array(ctx, &pfs, "b", &grid, elem, seg_encode).unwrap();
-                chameleon::read_block_array(ctx, &pfs, "b", &mut back, elem, seg_decode)
-                    .unwrap();
+                chameleon::read_block_array(ctx, &pfs, "b", &mut back, elem, seg_decode).unwrap();
             }
             "panda" => {
                 let schema = panda::Schema {
@@ -53,8 +52,7 @@ fn run(n_segments: usize, library: &str) -> std::time::Duration {
                         elem_size: elem,
                     }],
                 };
-                panda::write_array(ctx, &pfs, "b", &grid, &schema, |_, s| seg_encode(s))
-                    .unwrap();
+                panda::write_array(ctx, &pfs, "b", &grid, &schema, |_, s| seg_encode(s)).unwrap();
                 panda::read_field(ctx, &pfs, "b", &mut back, "segment", seg_decode).unwrap();
             }
             _ => {

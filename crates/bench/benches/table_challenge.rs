@@ -73,8 +73,7 @@ fn realdisk(c: &mut Criterion) {
                     let layout = Layout::dense(n_segments, nprocs, DistKind::Block).unwrap();
                     let grid =
                         Collection::new(ctx, layout.clone(), |g| cfg.make_segment(g)).unwrap();
-                    let mut back =
-                        Collection::new(ctx, layout, |_| Segment::default()).unwrap();
+                    let mut back = Collection::new(ctx, layout, |_| Segment::default()).unwrap();
                     match method {
                         IoMethod::Unbuffered => {
                             output_unbuffered(ctx, &p, &grid, "w").unwrap();

@@ -3,6 +3,13 @@
 //!
 //! Usage:
 //!   tables [table1|table2|table3|table4|all] [--json PATH] [--markdown]
+//!   tables trace [--out PATH] [--segments N]
+//!
+//! `--json` output includes per-cell trace op counts (messages, collectives,
+//! PFS operations) next to the simulated seconds. The `trace` subcommand
+//! re-runs one Table 1 cell (pC++/streams on a 4-node Paragon) with event
+//! tracing on and writes a Chrome `trace_event` JSON file that can be opened
+//! in Perfetto (https://ui.perfetto.dev) or `chrome://tracing`.
 //!
 //! Seconds are *simulated platform seconds* from the calibrated cost
 //! models — deterministic and host-independent. The claim being reproduced
@@ -12,8 +19,9 @@
 
 use std::io::Write as _;
 
-use dstreams_scf::tables::{run_table, TableResult};
-use dstreams_scf::{run_sizes, table_by_name, IoMethod, Platform};
+use dstreams_scf::tables::{run_table, run_table_traced, TableResult};
+use dstreams_scf::{run_cell_traced, run_sizes, table_by_name, CellSpec, IoMethod, Platform};
+use dstreams_trace::json::Value;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -31,6 +39,10 @@ fn main() {
             other => which.push(other.to_string()),
         }
         i += 1;
+    }
+    if which.iter().any(|w| w == "trace") {
+        run_trace(&args);
+        return;
     }
     if which.iter().any(|w| w == "sweep") {
         run_sweep();
@@ -66,7 +78,14 @@ fn main() {
             "running {name} ({} on {} procs)...",
             spec.title, spec.nprocs
         );
-        match run_table(spec) {
+        // With --json, trace the runs so per-cell op counts land in the
+        // output; virtual-time seconds are identical either way.
+        let run = if json_path.is_some() {
+            run_table_traced(spec)
+        } else {
+            run_table(spec)
+        };
+        match run {
             Ok(r) => results.push(r),
             Err(e) => {
                 eprintln!("{name} failed: {e}");
@@ -87,7 +106,9 @@ fn main() {
 
     println!("Shape claims (paper §4.3):");
     if violations.is_empty() {
-        println!("  all hold: buffered >> unbuffered, streams tracks manual, overhead shrinks with size");
+        println!(
+            "  all hold: buffered >> unbuffered, streams tracks manual, overhead shrinks with size"
+        );
     } else {
         for v in &violations {
             println!("  VIOLATED: {v}");
@@ -95,15 +116,59 @@ fn main() {
     }
 
     if let Some(path) = json_path {
-        let json = serde_json::to_string_pretty(&results).expect("results serialize");
+        let json = Value::Arr(results.iter().map(TableResult::to_json).collect()).to_json_pretty();
         let mut f = std::fs::File::create(&path).expect("create json output");
         f.write_all(json.as_bytes()).expect("write json output");
+        f.write_all(b"\n").expect("write json output");
         eprintln!("wrote {path}");
     }
 
     if !violations.is_empty() {
         std::process::exit(1);
     }
+}
+
+/// `tables trace`: capture an event trace of one Table 1 cell — the
+/// pC++/streams method on a 4-node Paragon — and write it as Chrome
+/// `trace_event` JSON for Perfetto. Prints the aggregated op counts.
+fn run_trace(args: &[String]) {
+    let mut out_path = "table1_trace.json".to_string();
+    let mut n_segments = 1000usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                if let Some(p) = args.get(i + 1) {
+                    out_path = p.clone();
+                    i += 1;
+                }
+            }
+            "--segments" => {
+                if let Some(n) = args.get(i + 1) {
+                    n_segments = n.parse().expect("--segments takes a number");
+                    i += 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    let spec = CellSpec {
+        platform: Platform::Paragon,
+        nprocs: 4,
+        n_segments,
+        method: IoMethod::DStreams,
+    };
+    eprintln!("tracing Table 1 cell: pC++/streams, Paragon, 4 procs, {n_segments} segments...");
+    let (secs, trace) = run_cell_traced(spec).expect("traced cell");
+    let counts = trace.op_counts();
+    let mut f = std::fs::File::create(&out_path).expect("create trace output");
+    f.write_all(trace.to_chrome_json().as_bytes())
+        .expect("write trace output");
+    println!("simulated seconds (out + in): {secs:.3}");
+    println!("events: {}", trace.len());
+    println!("op counts:\n{}", counts.to_json().to_json_pretty());
+    eprintln!("wrote {out_path} — open it at https://ui.perfetto.dev");
 }
 
 /// Fine-grained size sweep on the Paragon (4 nodes): the "Figure 5 curve"

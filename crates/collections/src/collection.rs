@@ -153,11 +153,7 @@ impl<T> Collection<T> {
         P: Fn(&T) -> U,
         O: Fn(U, U) -> U + Copy,
     {
-        let local = self
-            .local
-            .iter()
-            .map(&project)
-            .fold(identity, &op);
+        let local = self.local.iter().map(&project).fold(identity, &op);
         Ok(ctx.all_reduce(local, op)?)
     }
 
@@ -287,16 +283,17 @@ impl<T> Collection<T> {
                         "redistribute: odd frame".into(),
                     ));
                 };
-                let g = u64::from_le_bytes(gid.as_slice().try_into().map_err(|_| {
-                    CollectionError::BadDistribution("redistribute: bad id".into())
-                })?) as usize;
-                let slot = global_ids.binary_search(&g).map_err(|_| {
-                    CollectionError::NotLocal {
+                let g =
+                    u64::from_le_bytes(gid.as_slice().try_into().map_err(|_| {
+                        CollectionError::BadDistribution("redistribute: bad id".into())
+                    })?) as usize;
+                let slot = global_ids
+                    .binary_search(&g)
+                    .map_err(|_| CollectionError::NotLocal {
                         index: g,
                         owner: new_layout.owner(g).unwrap_or(usize::MAX),
                         rank: ctx.rank(),
-                    }
-                })?;
+                    })?;
                 slots[slot] = Some(deserialize(data));
             }
         }
@@ -341,9 +338,7 @@ impl<T> Collection<T> {
                 let mut out: Vec<Option<Vec<u8>>> = vec![None; self.layout.len()];
                 for buf in per_rank {
                     let blocks = unframe_blocks(&buf).ok_or_else(|| {
-                        CollectionError::BadDistribution(
-                            "gather_to_root: malformed frame".into(),
-                        )
+                        CollectionError::BadDistribution("gather_to_root: malformed frame".into())
                     })?;
                     for pair in blocks.chunks(2) {
                         let [gid, data] = pair else {
@@ -352,9 +347,7 @@ impl<T> Collection<T> {
                             ));
                         };
                         let g = u64::from_le_bytes(gid.as_slice().try_into().map_err(|_| {
-                            CollectionError::BadDistribution(
-                                "gather_to_root: bad id".into(),
-                            )
+                            CollectionError::BadDistribution("gather_to_root: bad id".into())
                         })?) as usize;
                         out[g] = Some(data.clone());
                     }
@@ -452,8 +445,7 @@ mod tests {
     #[test]
     fn gather_to_root_orders_by_global_index() {
         let out = Machine::run(MachineConfig::functional(3), |ctx| {
-            let c =
-                Collection::new(ctx, layout(7, 3, DistKind::Cyclic), |g| g as u8 + 10).unwrap();
+            let c = Collection::new(ctx, layout(7, 3, DistKind::Cyclic), |g| g as u8 + 10).unwrap();
             c.gather_to_root(ctx, |v| vec![*v]).unwrap()
         })
         .unwrap();
@@ -508,7 +500,9 @@ mod tests {
                 Collection::new(ctx, layout(9, 3, DistKind::Cyclic), |g| g as u64 * 11).unwrap();
             // Every rank asks for a different mix, including duplicates.
             let requests: Vec<usize> = vec![0, 8, ctx.rank(), 8];
-            let got = c.fetch_all(ctx, &requests, |v| v.to_le_bytes().to_vec()).unwrap();
+            let got = c
+                .fetch_all(ctx, &requests, |v| v.to_le_bytes().to_vec())
+                .unwrap();
             assert_eq!(got.len(), 4);
             for (ask, bytes) in requests.iter().zip(&got) {
                 let v = u64::from_le_bytes(bytes.as_slice().try_into().unwrap());
@@ -523,7 +517,11 @@ mod tests {
         Machine::run(MachineConfig::functional(2), |ctx| {
             let c = Collection::new(ctx, layout(4, 2, DistKind::Block), |g| g as u8).unwrap();
             // Rank 0 asks for everything; rank 1 asks for nothing.
-            let requests: Vec<usize> = if ctx.is_root() { vec![3, 2, 1, 0] } else { vec![] };
+            let requests: Vec<usize> = if ctx.is_root() {
+                vec![3, 2, 1, 0]
+            } else {
+                vec![]
+            };
             let got = c.fetch_all(ctx, &requests, |v| vec![*v]).unwrap();
             if ctx.is_root() {
                 assert_eq!(got, vec![vec![3], vec![2], vec![1], vec![0]]);
@@ -548,8 +546,8 @@ mod tests {
     fn variable_sized_elements_are_fine() {
         // The whole point of the paper: elements may differ in size.
         Machine::run(MachineConfig::functional(2), |ctx| {
-            let mut c = Collection::new(ctx, layout(6, 2, DistKind::Block), |g| vec![g as u8; g])
-                .unwrap();
+            let mut c =
+                Collection::new(ctx, layout(6, 2, DistKind::Block), |g| vec![g as u8; g]).unwrap();
             c.apply_indexed(|g, v| assert_eq!(v.len(), g));
             let total: u64 = c
                 .reduce(ctx, 0u64, |v| v.len() as u64, |a, b| a + b)

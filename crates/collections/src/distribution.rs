@@ -213,8 +213,14 @@ mod tests {
 
     #[test]
     fn block_cyclic_distribution_is_consistent() {
-        for (len, np, k) in [(12, 4, 2), (13, 4, 3), (3, 4, 2), (25, 3, 4), (16, 1, 5), (9, 2, 10)]
-        {
+        for (len, np, k) in [
+            (12, 4, 2),
+            (13, 4, 3),
+            (3, 4, 2),
+            (25, 3, 4),
+            (16, 1, 5),
+            (9, 2, 10),
+        ] {
             check_consistency(&Distribution::new(len, np, DistKind::BlockCyclic(k)).unwrap());
         }
     }

@@ -43,7 +43,10 @@ impl fmt::Display for CollectionError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CollectionError::IndexOutOfRange { index, len } => {
-                write!(f, "element index {index} out of range for collection of {len}")
+                write!(
+                    f,
+                    "element index {index} out of range for collection of {len}"
+                )
             }
             CollectionError::TemplateOverflow {
                 template_index,

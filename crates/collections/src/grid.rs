@@ -275,7 +275,9 @@ mod tests {
                     Err(CollectionError::IndexOutOfRange { .. })
                 ));
             }
-            *grid.get_mut(grid.as_collection().global_ids()[0], 0).unwrap() = -1;
+            *grid
+                .get_mut(grid.as_collection().global_ids()[0], 0)
+                .unwrap() = -1;
         })
         .unwrap();
     }
@@ -283,8 +285,8 @@ mod tests {
     #[test]
     fn variable_density_rows() {
         Machine::run(MachineConfig::functional(2), |ctx| {
-            let grid = Grid2d::new(ctx, 6, DistKind::Block, |i| i + 1, |i, j| (i + j) as u32)
-                .unwrap();
+            let grid =
+                Grid2d::new(ctx, 6, DistKind::Block, |i| i + 1, |i, j| (i + j) as u32).unwrap();
             let total = grid.total_cells(ctx).unwrap();
             assert_eq!(total, (1..=6).sum::<usize>() as u64);
         })
@@ -298,12 +300,7 @@ mod tests {
             grid.apply_cells(|i, j, v| *v = (i * 100 + j) as u64);
             let sum = grid
                 .as_collection()
-                .reduce(
-                    ctx,
-                    0u64,
-                    |r| r.cells.iter().sum::<u64>(),
-                    |a, b| a + b,
-                )
+                .reduce(ctx, 0u64, |r| r.cells.iter().sum::<u64>(), |a, b| a + b)
                 .unwrap();
             let want: u64 = (0..8)
                 .flat_map(|i| (0..3).map(move |j| (i * 100 + j) as u64))
@@ -318,8 +315,7 @@ mod tests {
         for np in [1usize, 2, 3, 4] {
             Machine::run(MachineConfig::functional(np), move |ctx| {
                 let grid =
-                    Grid2d::new(ctx, 8, DistKind::Block, |_| 2, |i, j| (i * 2 + j) as f64)
-                        .unwrap();
+                    Grid2d::new(ctx, 8, DistKind::Block, |_| 2, |i, j| (i * 2 + j) as f64).unwrap();
                 let (above, below) = grid.exchange_row_halo(ctx).unwrap();
                 let ids = grid.as_collection().global_ids();
                 if ids.is_empty() {
@@ -364,8 +360,7 @@ mod tests {
     #[test]
     fn more_ranks_than_rows_is_fine() {
         Machine::run(MachineConfig::functional(5), |ctx| {
-            let grid = Grid2d::new(ctx, 3, DistKind::Block, |_| 2, |i, j| (i + j) as u16)
-                .unwrap();
+            let grid = Grid2d::new(ctx, 3, DistKind::Block, |_| 2, |i, j| (i + j) as u16).unwrap();
             // Ranks without rows see no halo; ranks with rows see correct ones.
             let (above, below) = grid.exchange_row_halo(ctx).unwrap();
             if grid.as_collection().local_len() == 0 {

@@ -39,7 +39,11 @@ impl Layout {
 
     /// Identity-aligned layout where the template size equals the element
     /// count — the common case (the paper's Figure 3 example).
-    pub fn dense(n_elements: usize, nprocs: usize, kind: DistKind) -> Result<Self, CollectionError> {
+    pub fn dense(
+        n_elements: usize,
+        nprocs: usize,
+        kind: DistKind,
+    ) -> Result<Self, CollectionError> {
         Layout::new(
             n_elements,
             Distribution::new(n_elements, nprocs, kind)?,

@@ -2,21 +2,47 @@
 //!
 //! ```text
 //! dsdump FILE...
+//! dsdump --dstrace TRACE.json...
 //! ```
 //!
 //! Works on files produced by the real-disk PFS backend (or any byte-exact
-//! copy of a d/stream file).
+//! copy of a d/stream file). With `--dstrace` the arguments are instead
+//! Chrome `trace_event` JSON files captured by the tracing layer (e.g.
+//! `tables trace`), and dsdump prints a per-rank summary of the recorded
+//! events: message and collective counts, PFS traffic, and stream-phase
+//! virtual time.
 
 use std::process::ExitCode;
 
+use dstreams_trace::json::{self, Value};
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let dstrace = args.iter().any(|a| a == "--dstrace");
+    args.retain(|a| a != "--dstrace");
     if args.is_empty() || args.iter().any(|a| a == "-h" || a == "--help") {
         eprintln!("usage: dsdump FILE...");
+        eprintln!("       dsdump --dstrace TRACE.json...");
         return ExitCode::from(2);
     }
     let mut status = ExitCode::SUCCESS;
     for path in &args {
+        if dstrace {
+            match std::fs::read_to_string(path) {
+                Ok(text) => match render_dstrace(path, &text) {
+                    Ok(summary) => print!("{summary}"),
+                    Err(e) => {
+                        eprintln!("dsdump: {path}: {e}");
+                        status = ExitCode::FAILURE;
+                    }
+                },
+                Err(e) => {
+                    eprintln!("dsdump: cannot read {path}: {e}");
+                    status = ExitCode::FAILURE;
+                }
+            }
+            continue;
+        }
         match std::fs::read(path) {
             Ok(bytes) => match dstreams_core::inspect_bytes(&bytes) {
                 Ok(summary) => print!("{}", summary.render(path)),
@@ -32,4 +58,135 @@ fn main() -> ExitCode {
         }
     }
     status
+}
+
+/// Per-rank tallies accumulated over one trace file.
+#[derive(Default, Clone)]
+struct RankStats {
+    events: u64,
+    p2p_sends: u64,
+    p2p_bytes: u64,
+    coll_msgs: u64,
+    collectives: u64,
+    pfs_independent: u64,
+    pfs_collective: u64,
+    pfs_bytes: u64,
+    pfs_time_us: f64,
+    last_ts_us: f64,
+}
+
+/// Event counts per Chrome-trace event name, in first-seen order.
+type NameCounts = Vec<(String, u64)>;
+
+fn summarize_trace(events: &[Value]) -> Result<(Vec<RankStats>, NameCounts), String> {
+    let mut ranks: Vec<RankStats> = Vec::new();
+    let mut by_name: NameCounts = Vec::new();
+    for (i, ev) in events.iter().enumerate() {
+        let rank = ev
+            .get("tid")
+            .and_then(Value::as_i64)
+            .ok_or_else(|| format!("event {i}: missing tid"))? as usize;
+        let name = ev
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event {i}: missing name"))?;
+        let ph = ev
+            .get("ph")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        let cat = ev.get("cat").and_then(Value::as_str).unwrap_or("");
+        let ts = ev.get("ts").and_then(Value::as_f64).unwrap_or(0.0);
+        if rank >= ranks.len() {
+            ranks.resize(rank + 1, RankStats::default());
+        }
+        let r = &mut ranks[rank];
+        r.events += 1;
+        r.last_ts_us = r.last_ts_us.max(ts);
+        // Phase ends duplicate their begins in the per-name tally.
+        if ph != "E" {
+            match by_name.iter_mut().find(|(n, _)| n == name) {
+                Some((_, c)) => *c += 1,
+                None => by_name.push((name.to_string(), 1)),
+            }
+        }
+        let bytes = |key: &str| {
+            ev.get("args")
+                .and_then(|a| a.get(key))
+                .and_then(Value::as_i64)
+                .unwrap_or(0) as u64
+        };
+        match cat {
+            "msg" if name.starts_with("send") => {
+                if name.contains("coll") {
+                    r.coll_msgs += 1;
+                } else {
+                    r.p2p_sends += 1;
+                    r.p2p_bytes += bytes("bytes");
+                }
+            }
+            "collective" => r.collectives += 1,
+            "pfs" => {
+                if name.starts_with("pfs.coll_") {
+                    r.pfs_collective += 1;
+                } else {
+                    r.pfs_independent += 1;
+                }
+                r.pfs_bytes += bytes("bytes");
+                r.pfs_time_us += ev.get("dur").and_then(Value::as_f64).unwrap_or(0.0);
+            }
+            _ => {}
+        }
+    }
+    Ok((ranks, by_name))
+}
+
+fn render_dstrace(path: &str, text: &str) -> Result<String, String> {
+    let doc = json::parse(text).map_err(|e| format!("not a trace JSON file: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .ok_or("no traceEvents array — is this a Chrome trace?")?;
+    let nprocs = doc
+        .get("otherData")
+        .and_then(|o| o.get("nprocs"))
+        .and_then(Value::as_i64);
+    let (ranks, by_name) = summarize_trace(events)?;
+
+    let mut out = String::new();
+    out.push_str(&format!("dstrace {path}:\n"));
+    match nprocs {
+        Some(n) => out.push_str(&format!("  {} events across {n} ranks\n", events.len())),
+        None => out.push_str(&format!("  {} events\n", events.len())),
+    }
+    out.push_str(&format!(
+        "  {:<6}{:>8}{:>10}{:>12}{:>12}{:>10}{:>10}{:>12}{:>12}\n",
+        "rank",
+        "events",
+        "p2p_send",
+        "p2p_bytes",
+        "coll_msgs",
+        "colls",
+        "pfs_ops",
+        "pfs_bytes",
+        "end_ms"
+    ));
+    for (rank, r) in ranks.iter().enumerate() {
+        out.push_str(&format!(
+            "  {:<6}{:>8}{:>10}{:>12}{:>12}{:>10}{:>10}{:>12}{:>12.3}\n",
+            rank,
+            r.events,
+            r.p2p_sends,
+            r.p2p_bytes,
+            r.coll_msgs,
+            r.collectives,
+            r.pfs_independent + r.pfs_collective,
+            r.pfs_bytes,
+            r.last_ts_us / 1000.0
+        ));
+    }
+    out.push_str("  events by name:\n");
+    for (name, count) in &by_name {
+        out.push_str(&format!("    {name:<24}{count:>8}\n"));
+    }
+    Ok(out)
 }

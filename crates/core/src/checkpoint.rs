@@ -94,12 +94,7 @@ impl CheckpointManager {
             .collect())
     }
 
-    fn write_manifest(
-        &self,
-        ctx: &NodeCtx,
-        pfs: &Pfs,
-        gens: &[u64],
-    ) -> Result<(), StreamError> {
+    fn write_manifest(&self, ctx: &NodeCtx, pfs: &Pfs, gens: &[u64]) -> Result<(), StreamError> {
         // Rewrite from scratch (manifests are tiny).
         if exists_consistent(ctx, pfs, &self.manifest_name())? {
             if ctx.is_root() {

@@ -202,7 +202,11 @@ impl<'a> Extractor<'a> {
 
     /// Extract `count` primitives into `out` (cleared first) — the mirror
     /// of [`Inserter::slice`].
-    pub fn slice_into<T: Prim>(&mut self, out: &mut Vec<T>, count: usize) -> Result<(), StreamError> {
+    pub fn slice_into<T: Prim>(
+        &mut self,
+        out: &mut Vec<T>,
+        count: usize,
+    ) -> Result<(), StreamError> {
         self.check_mark::<T>(count)?;
         let raw = self.take(count * T::WIDTH)?;
         out.clear();
@@ -270,7 +274,11 @@ pub fn to_bytes<T: StreamData>(v: &T, checked: bool) -> Vec<u8> {
 
 /// Inverse of [`to_bytes`]: rebuild `v` from `bytes`, requiring full
 /// consumption (leftover bytes indicate an insert/extract mismatch).
-pub fn from_bytes<T: StreamData>(v: &mut T, bytes: &[u8], checked: bool) -> Result<(), StreamError> {
+pub fn from_bytes<T: StreamData>(
+    v: &mut T,
+    bytes: &[u8],
+    checked: bool,
+) -> Result<(), StreamError> {
     let mut ext = Extractor::new(bytes, 0, 0, checked);
     v.extract(&mut ext)?;
     if ext.remaining() != 0 {
@@ -476,14 +484,19 @@ mod tests {
         let err = Extractor::new(&buf, 0, 0, true)
             .slice_into::<u32>(&mut out, 2)
             .unwrap_err();
-        assert!(matches!(err, StreamError::CountMismatch { wrote: 3, read: 2 }));
+        assert!(matches!(
+            err,
+            StreamError::CountMismatch { wrote: 3, read: 2 }
+        ));
     }
 
     #[test]
     fn overrun_is_reported_with_element_context() {
         let mut buf = Vec::new();
         Inserter::new(&mut buf, false).prim(7u8);
-        let err = Extractor::new(&buf, 0, 42, false).prim::<u64>().unwrap_err();
+        let err = Extractor::new(&buf, 0, 42, false)
+            .prim::<u64>()
+            .unwrap_err();
         assert!(matches!(
             err,
             StreamError::ExtractOverrun {
@@ -556,7 +569,7 @@ mod tests {
     #[derive(Default, Clone, PartialEq, Debug)]
     struct Tree {
         value: f64,
-        children: Vec<Box<Tree>>,
+        children: Vec<Tree>,
     }
 
     impl StreamData for Tree {
@@ -572,7 +585,7 @@ mod tests {
             let n = ext.prim::<u64>()? as usize;
             self.children.clear();
             for _ in 0..n {
-                let mut child = Box::<Tree>::default();
+                let mut child = Tree::default();
                 child.extract(ext)?;
                 self.children.push(child);
             }
@@ -585,17 +598,17 @@ mod tests {
         let tree = Tree {
             value: 1.0,
             children: vec![
-                Box::new(Tree {
+                Tree {
                     value: 2.0,
-                    children: vec![Box::new(Tree {
+                    children: vec![Tree {
                         value: 4.0,
                         children: vec![],
-                    })],
-                }),
-                Box::new(Tree {
+                    }],
+                },
+                Tree {
                     value: 3.0,
                     children: vec![],
-                }),
+                },
             ],
         };
         roundtrip(&tree, false);

@@ -140,7 +140,10 @@ impl fmt::Display for StreamError {
                 write!(f, "checked mode: inserted {wrote}, extracting {read}")
             }
             StreamError::CountMismatch { wrote, read } => {
-                write!(f, "checked mode: inserted {wrote} values, extracting {read}")
+                write!(
+                    f,
+                    "checked mode: inserted {wrote} values, extracting {read}"
+                )
             }
             StreamError::CheckedModeMismatch { file, stream } => write!(
                 f,

@@ -163,9 +163,8 @@ impl RecordHeader {
         let n_elements = u64_at(4);
         let n_inserts = u32_at(12);
         let flags = u32_at(16);
-        let meta_mode = MetaMode::from_code(u32_at(20)).ok_or_else(|| {
-            StreamError::CorruptRecord("unknown metadata mode".into())
-        })?;
+        let meta_mode = MetaMode::from_code(u32_at(20))
+            .ok_or_else(|| StreamError::CorruptRecord("unknown metadata mode".into()))?;
         let layout = LayoutDescriptor::decode(&b[24..24 + LayoutDescriptor::WIRE_LEN])
             .ok_or_else(|| StreamError::CorruptRecord("bad layout descriptor".into()))?;
         let data_len = u64_at(24 + LayoutDescriptor::WIRE_LEN);
@@ -222,7 +221,10 @@ pub struct FileEntry {
 /// Map a size table (writer node order) back to per-element file
 /// positions, using the writer's layout recovered from the record header.
 /// Entries are returned in **file order**.
-pub fn build_file_map(writer_layout: &Layout, sizes_node_order: &[u64]) -> Result<Vec<FileEntry>, StreamError> {
+pub fn build_file_map(
+    writer_layout: &Layout,
+    sizes_node_order: &[u64],
+) -> Result<Vec<FileEntry>, StreamError> {
     if sizes_node_order.len() != writer_layout.len() {
         return Err(StreamError::CorruptRecord(format!(
             "size table has {} entries for {} elements",

@@ -63,13 +63,11 @@ pub fn inspect_bytes(bytes: &[u8]) -> Result<FileSummary, StreamError> {
         let rh = RecordHeader::decode(rh_bytes)?;
         let n = rh.n_elements as usize;
         let table_start = pos + RecordHeader::LEN;
-        let table = bytes
-            .get(table_start..table_start + n * 8)
-            .ok_or_else(|| {
-                StreamError::CorruptRecord(format!(
-                    "file ends mid-size-table in record {index} at offset {table_start}"
-                ))
-            })?;
+        let table = bytes.get(table_start..table_start + n * 8).ok_or_else(|| {
+            StreamError::CorruptRecord(format!(
+                "file ends mid-size-table in record {index} at offset {table_start}"
+            ))
+        })?;
         let sizes = decode_sizes(table, n)?;
         let total: u64 = sizes.iter().sum();
         if total != rh.data_len {
@@ -179,7 +177,8 @@ mod tests {
             s.insert_collection(&g).unwrap();
             s.write().unwrap();
             s.insert_collection(&g).unwrap();
-            s.insert_with(&g, |v, ins| ins.prim(v.len() as u32)).unwrap();
+            s.insert_with(&g, |v, ins| ins.prim(v.len() as u32))
+                .unwrap();
             s.write().unwrap();
             s.close().unwrap();
         })

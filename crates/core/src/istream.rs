@@ -19,6 +19,7 @@ use dstreams_collections::{Collection, Layout};
 use dstreams_machine::wire::{frame_blocks, unframe_blocks};
 use dstreams_machine::NodeCtx;
 use dstreams_pfs::{FileHandle, OpenMode, Pfs};
+use dstreams_trace::StreamPhase;
 
 use crate::data::{Extractor, StreamData};
 use crate::error::StreamError;
@@ -168,6 +169,7 @@ impl<'a> IStream<'a> {
     }
 
     fn read_header(&mut self) -> Result<RecordHeader, StreamError> {
+        let _span = crate::phase::span(self.ctx, StreamPhase::Metadata);
         // Rank 0 reads and broadcasts the fixed-size header (its size is
         // trivial; the *size table* is what gets the parallel read).
         let blob = if self.ctx.is_root() {
@@ -193,6 +195,7 @@ impl<'a> IStream<'a> {
     }
 
     fn read_size_table(&mut self, n: usize) -> Result<Vec<u64>, StreamError> {
+        let _span = crate::phase::span(self.ctx, StreamPhase::SizeTable);
         // Balanced parallel read of the size table, then all-gather so
         // every rank holds the whole table.
         let nprocs = self.ctx.nprocs();
@@ -237,9 +240,12 @@ impl<'a> IStream<'a> {
         let lo = (rank * n) / nprocs;
         let hi = ((rank + 1) * n) / nprocs;
         let (off, len) = Self::span(file_map, data_base, lo, hi);
+        let data_span = crate::phase::span(self.ctx, StreamPhase::Data);
         let raw = self.fh.read_ordered(self.ctx, off, len)?;
+        drop(data_span);
 
         // Phase 2: route each element to its owner under the reader layout.
+        let route_span = crate::phase::span(self.ctx, StreamPhase::Route);
         let mut parts: Vec<Vec<Vec<u8>>> = vec![Vec::new(); nprocs];
         let base_off = if lo < hi { file_map[lo].offset } else { 0 };
         for e in &file_map[lo..hi] {
@@ -250,8 +256,7 @@ impl<'a> IStream<'a> {
             parts[owner].push(bytes.to_vec());
         }
         let framed: Vec<Vec<u8>> = parts.iter().map(|p| frame_blocks(p)).collect();
-        self.ctx
-            .charge_memcpy(framed.iter().map(|f| f.len()).sum());
+        self.ctx.charge_memcpy(framed.iter().map(|f| f.len()).sum());
         let received = self.ctx.all_to_all(framed)?;
 
         // Place routed elements into local slots (global-index order).
@@ -291,6 +296,7 @@ impl<'a> IStream<'a> {
             .collect::<Result<_, _>>()?;
         self.ctx
             .charge_memcpy(element_data.iter().map(|d| d.len()).sum());
+        drop(route_span);
 
         Ok(InRecord {
             header: header.clone(),
@@ -316,6 +322,7 @@ impl<'a> IStream<'a> {
         let lo: usize = counts[..rank].iter().sum();
         let hi = lo + counts[rank];
         let (off, len) = Self::span(file_map, data_base, lo, hi);
+        let _data_span = crate::phase::span(self.ctx, StreamPhase::Data);
         let raw = self.fh.read_ordered(self.ctx, off, len)?;
 
         let base_off = if lo < hi { file_map[lo].offset } else { 0 };
@@ -388,7 +395,8 @@ impl<'a> IStream<'a> {
         let mut moved = 0usize;
         for (slot, (_gid, elem)) in c.iter_mut().enumerate() {
             let id = rec.element_ids[slot];
-            let mut ext = Extractor::new(&rec.element_data[slot], rec.element_pos[slot], id, checked);
+            let mut ext =
+                Extractor::new(&rec.element_data[slot], rec.element_pos[slot], id, checked);
             f(elem, &mut ext)?;
             moved += ext.pos() - rec.element_pos[slot];
             rec.element_pos[slot] = ext.pos();

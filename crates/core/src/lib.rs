@@ -71,6 +71,7 @@ pub mod inspect;
 pub mod istream;
 pub mod localio;
 pub mod ostream;
+pub(crate) mod phase;
 
 pub use checkpoint::CheckpointManager;
 pub use data::{from_bytes, to_bytes, Extractor, Inserter, Prim, StreamData};

@@ -12,6 +12,7 @@ use dstreams_collections::Collection;
 use dstreams_collections::Layout;
 use dstreams_machine::{MemoryModel, NodeCtx, SharedBuffer};
 use dstreams_pfs::{FileHandle, OpenMode, Pfs};
+use dstreams_trace::StreamPhase;
 
 use crate::data::{Inserter, StreamData};
 use crate::error::StreamError;
@@ -227,11 +228,13 @@ impl<'a> OStream<'a> {
 
         // Pack this rank's data block: local elements in slot order, insert
         // chunks already interleaved per element.
+        let pack = crate::phase::span(self.ctx, StreamPhase::Pack);
         let mut data = Vec::with_capacity(local_bytes as usize);
         for chunk in &self.group {
             data.extend_from_slice(chunk);
         }
         self.ctx.charge_memcpy(data.len());
+        drop(pack);
 
         // If the file is still empty (consistent across ranks thanks to
         // the barrier at the head of every collective PFS op), the root
@@ -279,6 +282,7 @@ impl<'a> OStream<'a> {
             MetaMode::Gathered => {
                 // Size info travels to node 0 and is written at the head
                 // of its per-node buffer: a single parallel operation.
+                let meta = crate::phase::span(self.ctx, StreamPhase::Metadata);
                 let gathered = self.ctx.gather(0, encode_sizes(local_sizes))?;
                 let block = if let Some(tables) = gathered {
                     let mut b = file_prefix;
@@ -291,6 +295,8 @@ impl<'a> OStream<'a> {
                 } else {
                     data.to_vec()
                 };
+                drop(meta);
+                let _data = crate::phase::span(self.ctx, StreamPhase::Data);
                 self.fh.write_ordered(self.ctx, &block)?;
             }
             MetaMode::Parallel => {
@@ -302,7 +308,10 @@ impl<'a> OStream<'a> {
                     meta.extend_from_slice(&header.encode());
                 }
                 meta.extend_from_slice(&encode_sizes(local_sizes));
+                let st = crate::phase::span(self.ctx, StreamPhase::SizeTable);
                 self.fh.write_ordered(self.ctx, &meta)?;
+                drop(st);
+                let _data = crate::phase::span(self.ctx, StreamPhase::Data);
                 self.fh.write_ordered(self.ctx, data)?;
             }
         }
@@ -322,14 +331,15 @@ impl<'a> OStream<'a> {
         data: &[u8],
     ) -> Result<(), StreamError> {
         let ctx = self.ctx;
+        let meta_span = crate::phase::span(ctx, StreamPhase::Metadata);
         // Everyone learns every rank's data length (for offsets).
         let framed = ctx.all_gather((data.len() as u64).to_le_bytes().to_vec())?;
         let data_lens: Vec<u64> = framed
             .iter()
             .map(|b| {
-                Ok(u64::from_le_bytes(b.as_slice().try_into().map_err(|_| {
-                    StreamError::CorruptRecord("smp write: bad length frame".into())
-                })?))
+                Ok(u64::from_le_bytes(b.as_slice().try_into().map_err(
+                    |_| StreamError::CorruptRecord("smp write: bad length frame".into()),
+                )?))
             })
             .collect::<Result<_, StreamError>>()?;
         // Size tables travel to rank 0, which assembles the metadata and
@@ -352,9 +362,12 @@ impl<'a> OStream<'a> {
         };
         // The broadcast doubles as the "buffer is reserved" signal.
         let meta_len = ctx.broadcast(0, meta_len)?;
-        let meta_len = u64::from_le_bytes(meta_len.as_slice().try_into().map_err(|_| {
-            StreamError::CorruptRecord("smp write: bad metadata length".into())
-        })?);
+        let meta_len =
+            u64::from_le_bytes(meta_len.as_slice().try_into().map_err(|_| {
+                StreamError::CorruptRecord("smp write: bad metadata length".into())
+            })?);
+        drop(meta_span);
+        let _data_span = crate::phase::span(ctx, StreamPhase::Data);
         let my_off = meta_len + data_lens[..ctx.rank()].iter().sum::<u64>();
         scratch.write_at(my_off as usize, data);
         ctx.charge_memcpy(data.len());
@@ -515,7 +528,10 @@ mod tests {
         for buf in [&mut a2, &mut b2] {
             buf[mm_off..mm_off + 4].fill(0);
         }
-        assert_eq!(a2, b2, "both metadata strategies must lay out bytes identically");
+        assert_eq!(
+            a2, b2,
+            "both metadata strategies must lay out bytes identically"
+        );
     }
 
     #[test]

@@ -1,0 +1,28 @@
+//! Stream-phase trace spans.
+//!
+//! A [`PhaseSpan`] brackets one phase of a stream operation with
+//! `PhaseBegin`/`PhaseEnd` events on the current rank. When tracing is
+//! disabled both emissions reduce to a single branch each; the span has
+//! no cost-model effects in any case.
+
+use dstreams_machine::NodeCtx;
+use dstreams_trace::{EventKind, StreamPhase};
+
+/// RAII guard: emits `PhaseBegin` on construction, `PhaseEnd` on drop.
+pub(crate) struct PhaseSpan<'a> {
+    ctx: &'a NodeCtx,
+    phase: StreamPhase,
+}
+
+/// Open a phase span on `ctx`.
+pub(crate) fn span<'a>(ctx: &'a NodeCtx, phase: StreamPhase) -> PhaseSpan<'a> {
+    ctx.emit_with(|| EventKind::PhaseBegin { phase });
+    PhaseSpan { ctx, phase }
+}
+
+impl Drop for PhaseSpan<'_> {
+    fn drop(&mut self) {
+        let phase = self.phase;
+        self.ctx.emit_with(|| EventKind::PhaseEnd { phase });
+    }
+}

@@ -29,7 +29,11 @@ fn dsdump_reads_real_files() {
         .arg(&path)
         .output()
         .unwrap();
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let report = String::from_utf8(out.stdout).unwrap();
     assert!(report.contains("1 record(s)"), "{report}");
     assert!(report.contains("6 elements"), "{report}");

@@ -4,8 +4,8 @@
 //! distribution.
 
 use dstreams_collections::{Collection, DistKind, Layout};
-use dstreams_core::{impl_stream_data, IStream, MetaPolicy, OStream, StreamError, StreamOptions};
 use dstreams_core::MetaMode;
+use dstreams_core::{impl_stream_data, IStream, MetaPolicy, OStream, StreamError, StreamOptions};
 use dstreams_machine::{Machine, MachineConfig};
 use dstreams_pfs::Pfs;
 
@@ -125,7 +125,12 @@ fn unsorted_read_preserves_the_multiset_of_elements() {
 
     let mut got: Vec<ParticleList> = collected.into_iter().flatten().collect();
     let mut want: Vec<ParticleList> = (0..12).map(make_particles).collect();
-    let key = |p: &ParticleList| (p.number_of_particles, p.mass.clone().iter().map(|m| *m as i64).collect::<Vec<_>>());
+    let key = |p: &ParticleList| {
+        (
+            p.number_of_particles,
+            p.mass.clone().iter().map(|m| *m as i64).collect::<Vec<_>>(),
+        )
+    };
     got.sort_by_key(key);
     want.sort_by_key(key);
     assert_eq!(got, want);
@@ -165,7 +170,10 @@ fn field_insertion_and_interleaving_roundtrip() {
         r.close().unwrap();
 
         for (gid, e) in h.iter() {
-            assert_eq!(e.number_of_particles, make_particles(gid).number_of_particles);
+            assert_eq!(
+                e.number_of_particles,
+                make_particles(gid).number_of_particles
+            );
         }
         for (gid, v) in h2.iter() {
             assert_eq!(*v, gid as f64 * 1.5);
@@ -252,7 +260,7 @@ fn both_meta_modes_read_back_identically() {
             let opts = StreamOptions {
                 checked: false,
                 meta_policy: MetaPolicy::Force(mode),
-            ..Default::default()
+                ..Default::default()
             };
             let mut s = OStream::create_with(ctx, &p, &layout, "mm", opts).unwrap();
             s.insert_collection(&g).unwrap();

@@ -17,7 +17,8 @@ fn write_file(smp: bool, name: &'static str, pfs: &Pfs) {
         };
         let mut s = OStream::create_with(ctx, &p, &layout, name, opts).unwrap();
         s.insert_collection(&g).unwrap();
-        s.insert_with(&g, |v, ins| ins.prim(v.len() as u64)).unwrap();
+        s.insert_with(&g, |v, ins| ins.prim(v.len() as u64))
+            .unwrap();
         s.write().unwrap();
         s.close().unwrap();
     })
@@ -87,7 +88,10 @@ fn smp_mode_is_rejected_on_distributed_memory_machines() {
         let Err(err) = OStream::create_with(ctx, &p, &layout, "x", opts) else {
             panic!("smp mode accepted on a distributed-memory machine");
         };
-        assert!(matches!(err, StreamError::StateViolation { op: "open", .. }));
+        assert!(matches!(
+            err,
+            StreamError::StateViolation { op: "open", .. }
+        ));
     })
     .unwrap();
 }

@@ -211,7 +211,10 @@ mod tests {
             let mut wrong = Collection::new(ctx, layout8, |_| 0.0f64).unwrap();
             assert!(matches!(
                 read_block_array(ctx, &p, "a", &mut wrong, 8, dec),
-                Err(FixedIoError::CountMismatch { file: 6, collection: 8 })
+                Err(FixedIoError::CountMismatch {
+                    file: 6,
+                    collection: 8
+                })
             ));
         })
         .unwrap();

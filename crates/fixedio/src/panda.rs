@@ -227,7 +227,10 @@ pub fn read_field<T>(
         fh.read_at(ctx, *start, &mut buf)?;
         if info.schema.fields.len() == 1 {
             for (i, &slot) in slots.iter().enumerate() {
-                decode_field(&mut c.local_mut()[slot], &buf[i * elem_bytes..(i + 1) * elem_bytes]);
+                decode_field(
+                    &mut c.local_mut()[slot],
+                    &buf[i * elem_bytes..(i + 1) * elem_bytes],
+                );
             }
         } else {
             decode_field(&mut c.local_mut()[slots[0]], &buf);
@@ -349,8 +352,7 @@ mod tests {
                 Err(FixedIoError::UnknownField(_))
             ));
             // Encoder producing the wrong width is caught at write time.
-            let err = write_array(ctx, &p, "bad", &c, &schema(), |_, _| vec![1, 2, 3])
-                .unwrap_err();
+            let err = write_array(ctx, &p, "bad", &c, &schema(), |_, _| vec![1, 2, 3]).unwrap_err();
             assert!(matches!(err, FixedIoError::SizeViolation { .. }));
         })
         .unwrap();

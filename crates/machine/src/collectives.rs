@@ -12,6 +12,8 @@
 //! another calls `gather`) are detected instead of silently exchanging
 //! garbage.
 
+use dstreams_trace::{CollOp, EventKind};
+
 use crate::error::MachineError;
 use crate::node::NodeCtx;
 use crate::time::VTime;
@@ -72,6 +74,12 @@ impl NodeCtx {
     /// least the maximum of the clocks at entry (plus the messaging cost of
     /// the rendezvous itself).
     pub fn barrier(&self) -> Result<(), MachineError> {
+        self.emit_collective_with(|| EventKind::Collective {
+            op: CollOp::Barrier,
+            root: None,
+            bytes: 0,
+        });
+        let _scope = self.collective_scope();
         // Gather tiny messages to rank 0, then broadcast release. Clock
         // synchronization falls out of the arrival-time max rule.
         let tag_up = self.next_coll_tag();
@@ -107,6 +115,12 @@ impl NodeCtx {
                 nprocs: n,
             });
         }
+        self.emit_collective_with(|| EventKind::Collective {
+            op: CollOp::Broadcast,
+            root: Some(root),
+            bytes: data.len() as u64,
+        });
+        let _scope = self.collective_scope();
         let tag = self.next_coll_tag();
         if n == 1 {
             return Ok(data);
@@ -146,6 +160,12 @@ impl NodeCtx {
                 nprocs: n,
             });
         }
+        self.emit_collective_with(|| EventKind::Collective {
+            op: CollOp::Gather,
+            root: Some(root),
+            bytes: data.len() as u64,
+        });
+        let _scope = self.collective_scope();
         let tag = self.next_coll_tag();
         if self.rank() == root {
             let mut out: Vec<Vec<u8>> = vec![Vec::new(); n];
@@ -166,6 +186,12 @@ impl NodeCtx {
     /// Gather to every rank: equivalent to `gather(0, …)` followed by a
     /// broadcast of the framed result.
     pub fn all_gather(&self, data: Vec<u8>) -> Result<Vec<Vec<u8>>, MachineError> {
+        self.emit_collective_with(|| EventKind::Collective {
+            op: CollOp::AllGather,
+            root: None,
+            bytes: data.len() as u64,
+        });
+        let _scope = self.collective_scope();
         let gathered = self.gather(0, data)?;
         let framed = self.broadcast(0, gathered.map(|g| frame_blocks(&g)).unwrap_or_default())?;
         unframe_blocks(&framed).ok_or_else(|| {
@@ -188,6 +214,14 @@ impl NodeCtx {
                 nprocs: n,
             });
         }
+        self.emit_collective_with(|| EventKind::Collective {
+            op: CollOp::Scatter,
+            root: Some(root),
+            bytes: parts
+                .as_ref()
+                .map_or(0, |ps| ps.iter().map(|p| p.len() as u64).sum()),
+        });
+        let _scope = self.collective_scope();
         let tag = self.next_coll_tag();
         if self.rank() == root {
             let parts = parts.ok_or_else(|| {
@@ -233,6 +267,12 @@ impl NodeCtx {
                 n
             )));
         }
+        self.emit_collective_with(|| EventKind::Collective {
+            op: CollOp::AllToAll,
+            root: None,
+            bytes: parts.iter().map(|p| p.len() as u64).sum(),
+        });
+        let _scope = self.collective_scope();
         let tag = self.next_coll_tag();
         let mut out: Vec<Vec<u8>> = vec![Vec::new(); n];
         // Shifted exchange schedule: round k pairs rank r with r±k, which
@@ -260,6 +300,12 @@ impl NodeCtx {
                 nprocs: n,
             });
         }
+        self.emit_collective_with(|| EventKind::Collective {
+            op: CollOp::Reduce,
+            root: Some(root),
+            bytes: value.to_wire().len() as u64,
+        });
+        let _scope = self.collective_scope();
         let tag = self.next_coll_tag();
         if self.rank() == root {
             let mut acc = value;
@@ -286,6 +332,12 @@ impl NodeCtx {
         T: Wire,
         F: Fn(T, T) -> T,
     {
+        self.emit_collective_with(|| EventKind::Collective {
+            op: CollOp::AllReduce,
+            root: None,
+            bytes: value.to_wire().len() as u64,
+        });
+        let _scope = self.collective_scope();
         let reduced = self.reduce(0, value, op)?;
         let bytes = self.broadcast(0, reduced.map(|v| v.to_wire()).unwrap_or_default())?;
         T::from_wire(&bytes).ok_or_else(|| {
@@ -301,6 +353,12 @@ impl NodeCtx {
         T: Wire,
         F: Fn(&T, &T) -> T,
     {
+        self.emit_collective_with(|| EventKind::Collective {
+            op: CollOp::Scan,
+            root: None,
+            bytes: value.to_wire().len() as u64,
+        });
+        let _scope = self.collective_scope();
         let gathered = self.gather(0, value.to_wire())?;
         let parts = if let Some(bufs) = gathered {
             let mut acc: Option<T> = None;
@@ -334,6 +392,12 @@ impl NodeCtx {
         T: Wire,
         F: Fn(&T, &T) -> T,
     {
+        self.emit_collective_with(|| EventKind::Collective {
+            op: CollOp::ExclusiveScan,
+            root: None,
+            bytes: value.to_wire().len() as u64,
+        });
+        let _scope = self.collective_scope();
         let gathered = self.gather(0, value.to_wire())?;
         let parts = if let Some(bufs) = gathered {
             let mut acc = identity;
@@ -359,6 +423,12 @@ impl NodeCtx {
     /// natural "machine time" of a phase boundary. Does not itself
     /// synchronize the clocks (use [`NodeCtx::barrier`] for that).
     pub fn max_time(&self) -> Result<VTime, MachineError> {
+        self.emit_collective_with(|| EventKind::Collective {
+            op: CollOp::MaxTime,
+            root: None,
+            bytes: 0,
+        });
+        let _scope = self.collective_scope();
         self.all_reduce(self.now(), VTime::max)
     }
 }
@@ -421,7 +491,8 @@ mod tests {
     #[test]
     fn all_gather_replicates_everywhere() {
         let out = Machine::run(MachineConfig::functional(4), |ctx| {
-            ctx.all_gather(vec![ctx.rank() as u8; ctx.rank() + 1]).unwrap()
+            ctx.all_gather(vec![ctx.rank() as u8; ctx.rank() + 1])
+                .unwrap()
         })
         .unwrap();
         for res in out {

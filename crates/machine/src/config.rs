@@ -138,6 +138,12 @@ pub struct MachineConfig {
     /// Seed from which per-rank RNG seeds are derived (workload generation
     /// in higher layers); the machine itself is deterministic regardless.
     pub seed: u64,
+    /// Optional event sink. When set, every rank records message,
+    /// collective, PFS and stream-phase events into it; when `None` the
+    /// runtime pays a single branch per would-be event and never constructs
+    /// one. Tracing has no clock effects either way: virtual times are
+    /// bit-identical with and without it.
+    pub trace: Option<dstreams_trace::TraceSink>,
 }
 
 impl MachineConfig {
@@ -150,6 +156,7 @@ impl MachineConfig {
             net: NetModel::instant(),
             cpu: CpuModel::instant(),
             seed: 0x5eed,
+            trace: None,
         }
     }
 
@@ -161,6 +168,7 @@ impl MachineConfig {
             net: NetModel::paragon(),
             cpu: CpuModel::paragon(),
             seed: 0x5eed,
+            trace: None,
         }
     }
 
@@ -172,6 +180,7 @@ impl MachineConfig {
             net: NetModel::sgi_challenge(),
             cpu: CpuModel::sgi_challenge(),
             seed: 0x5eed,
+            trace: None,
         }
     }
 
@@ -183,7 +192,15 @@ impl MachineConfig {
             net: NetModel::cm5(),
             cpu: CpuModel::paragon(),
             seed: 0x5eed,
+            trace: None,
         }
+    }
+
+    /// Attach a trace sink (builder style). The sink must have been
+    /// created for at least `nprocs` ranks.
+    pub fn traced(mut self, sink: dstreams_trace::TraceSink) -> Self {
+        self.trace = Some(sink);
+        self
     }
 
     /// Deterministic per-rank seed derivation (splitmix64 step).
@@ -227,7 +244,9 @@ mod tests {
         let s = NetModel::sgi_challenge();
         assert!(s.latency < p.latency);
         assert!(s.ns_per_byte < p.ns_per_byte);
-        assert!(CpuModel::sgi_challenge().memcpy_ns_per_byte < CpuModel::paragon().memcpy_ns_per_byte);
+        assert!(
+            CpuModel::sgi_challenge().memcpy_ns_per_byte < CpuModel::paragon().memcpy_ns_per_byte
+        );
     }
 
     #[test]

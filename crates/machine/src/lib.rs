@@ -49,7 +49,7 @@ pub use config::{CpuModel, MachineConfig, MemoryModel, NetModel};
 pub use error::MachineError;
 pub use machine::Machine;
 pub use message::Tag;
-pub use node::NodeCtx;
+pub use node::{CollectiveScope, NodeCtx};
 pub use shared::{SharedBuffer, SharedRegion};
 pub use time::{VTime, VirtualClock};
 pub use wire::Wire;

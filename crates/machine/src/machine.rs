@@ -44,10 +44,12 @@ impl Machine {
         let mut rx_rows: Vec<Vec<crossbeam::channel::Receiver<Envelope>>> =
             (0..n).map(|_| Vec::with_capacity(n)).collect();
         // Build in (to, from) order so rx_rows[to][from] lines up.
-        let mut all: Vec<Vec<(
-            crossbeam::channel::Sender<Envelope>,
-            crossbeam::channel::Receiver<Envelope>,
-        )>> = Vec::with_capacity(n);
+        let mut all: Vec<
+            Vec<(
+                crossbeam::channel::Sender<Envelope>,
+                crossbeam::channel::Receiver<Envelope>,
+            )>,
+        > = Vec::with_capacity(n);
         for _to in 0..n {
             all.push((0..n).map(|_| unbounded()).collect());
         }

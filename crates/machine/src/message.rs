@@ -126,7 +126,12 @@ impl Mailbox {
             let remaining = deadline.saturating_duration_since(std::time::Instant::now());
             let oper = match sel.select_timeout(remaining) {
                 Ok(o) => o,
-                Err(_) => return Err(MachineError::RecvTimeout { from: usize::MAX, tag }),
+                Err(_) => {
+                    return Err(MachineError::RecvTimeout {
+                        from: usize::MAX,
+                        tag,
+                    })
+                }
             };
             let i = idx_map[oper.index()];
             match oper.recv(&self.rx[i]) {
@@ -194,6 +199,9 @@ mod tests {
         let (tx, rx) = unbounded::<Envelope>();
         drop(tx);
         let mut mb = Mailbox::new(vec![rx]);
-        assert!(matches!(mb.recv(0, 0), Err(MachineError::PeerGone { rank: 0 })));
+        assert!(matches!(
+            mb.recv(0, 0),
+            Err(MachineError::PeerGone { rank: 0 })
+        ));
     }
 }

@@ -13,11 +13,24 @@
 use std::cell::{Cell, RefCell};
 
 use crossbeam::channel::Sender;
+use dstreams_trace::{Event, EventKind, TraceSink};
 
 use crate::config::{MachineConfig, MemoryModel};
 use crate::error::MachineError;
-use crate::message::{Envelope, Mailbox, Tag};
+use crate::message::{Envelope, Mailbox, Tag, COLLECTIVE_TAG_BASE};
 use crate::time::{VTime, VirtualClock};
+
+/// Per-rank tracing state: the shared sink plus this rank's event
+/// sequence counter and collective-nesting depth.
+struct Tracer {
+    sink: TraceSink,
+    seq: Cell<u64>,
+    /// Depth of nested API-level collectives. `Collective` events are
+    /// only emitted at depth 0, so a composite (e.g. `all_gather`) or a
+    /// PFS collective built on machine collectives shows up as *one*
+    /// logical operation, not its plumbing.
+    coll_depth: Cell<u32>,
+}
 
 /// Execution context handed to each rank of a machine run.
 pub struct NodeCtx {
@@ -29,6 +42,7 @@ pub struct NodeCtx {
     clock: RefCell<VirtualClock>,
     /// Sequence number for collective operations (tag disambiguation).
     coll_seq: Cell<u32>,
+    tracer: Option<Tracer>,
 }
 
 impl NodeCtx {
@@ -38,6 +52,11 @@ impl NodeCtx {
         tx: Vec<Sender<Envelope>>,
         mailbox: Mailbox,
     ) -> Self {
+        let tracer = config.trace.clone().map(|sink| Tracer {
+            sink,
+            seq: Cell::new(0),
+            coll_depth: Cell::new(0),
+        });
         NodeCtx {
             rank,
             config,
@@ -45,6 +64,7 @@ impl NodeCtx {
             mailbox: RefCell::new(mailbox),
             clock: RefCell::new(VirtualClock::new()),
             coll_seq: Cell::new(0),
+            tracer,
         }
     }
 
@@ -105,6 +125,58 @@ impl NodeCtx {
         self.advance(self.config.cpu.memcpy(bytes));
     }
 
+    // ---- tracing ----------------------------------------------------------
+
+    /// Whether this run is recording a trace.
+    #[inline]
+    pub fn tracing(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// Record one event, stamped with this rank's clock and sequence
+    /// counter. The closure runs only when tracing is enabled, so a
+    /// disabled run pays exactly one branch and never builds the event.
+    /// Emitting never touches the clock: virtual times are identical with
+    /// tracing on or off.
+    #[inline]
+    pub fn emit_with<F: FnOnce() -> EventKind>(&self, kind: F) {
+        if let Some(t) = &self.tracer {
+            let seq = t.seq.get();
+            t.seq.set(seq + 1);
+            t.sink.record(Event {
+                rank: self.rank,
+                vtime_ns: self.now().as_nanos(),
+                seq,
+                kind: kind(),
+            });
+        }
+    }
+
+    /// Record an API-level `Collective` event unless one is already open
+    /// on this rank (composites and PFS collectives suppress the events of
+    /// the primitives they are built from).
+    #[inline]
+    pub fn emit_collective_with<F: FnOnce() -> EventKind>(&self, kind: F) {
+        if let Some(t) = &self.tracer {
+            if t.coll_depth.get() == 0 {
+                self.emit_with(kind);
+            }
+        }
+    }
+
+    /// Open a collective scope: until the returned guard drops, nested
+    /// `emit_collective_with` calls on this rank are suppressed. Used by
+    /// every machine collective and by PFS collective operations, whose
+    /// internal coordination (barriers, size gathers, plan broadcasts) is
+    /// plumbing of one logical operation.
+    #[inline]
+    pub fn collective_scope(&self) -> CollectiveScope<'_> {
+        if let Some(t) = &self.tracer {
+            t.coll_depth.set(t.coll_depth.get() + 1);
+        }
+        CollectiveScope { ctx: self }
+    }
+
     // ---- point-to-point messaging ----------------------------------------
 
     /// Send `payload` to rank `to` with `tag`.
@@ -133,6 +205,12 @@ impl NodeCtx {
             arrival,
             payload: payload.to_vec(),
         };
+        self.emit_with(|| EventKind::MsgSend {
+            to,
+            tag,
+            bytes: env.payload.len() as u64,
+            collective: tag & COLLECTIVE_TAG_BASE != 0,
+        });
         self.tx[to]
             .send(env)
             .map_err(|_| MachineError::PeerGone { rank: to })
@@ -146,6 +224,12 @@ impl NodeCtx {
         let env = self.mailbox.borrow_mut().recv(from, tag)?;
         self.sync_to(env.arrival);
         self.advance(self.config.net.recv_overhead);
+        self.emit_with(|| EventKind::MsgRecv {
+            from,
+            tag,
+            bytes: env.payload.len() as u64,
+            collective: tag & COLLECTIVE_TAG_BASE != 0,
+        });
         Ok(env.payload)
     }
 
@@ -174,6 +258,12 @@ impl NodeCtx {
         let env = self.mailbox.borrow_mut().recv_any(tag)?;
         self.sync_to(env.arrival);
         self.advance(self.config.net.recv_overhead);
+        self.emit_with(|| EventKind::MsgRecv {
+            from: env.from,
+            tag,
+            bytes: env.payload.len() as u64,
+            collective: tag & COLLECTIVE_TAG_BASE != 0,
+        });
         Ok((env.from, env.payload))
     }
 
@@ -182,6 +272,20 @@ impl NodeCtx {
         let seq = self.coll_seq.get();
         self.coll_seq.set(seq.wrapping_add(1));
         crate::message::COLLECTIVE_TAG_BASE | (seq & 0x7fff_ffff)
+    }
+}
+
+/// RAII guard returned by [`NodeCtx::collective_scope`]; closing it
+/// re-enables `Collective` event emission on the rank.
+pub struct CollectiveScope<'a> {
+    ctx: &'a NodeCtx,
+}
+
+impl Drop for CollectiveScope<'_> {
+    fn drop(&mut self) {
+        if let Some(t) = &self.ctx.tracer {
+            t.coll_depth.set(t.coll_depth.get() - 1);
+        }
     }
 }
 

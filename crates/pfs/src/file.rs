@@ -19,6 +19,7 @@ use std::sync::Arc;
 
 use dstreams_machine::wire::{frame_blocks, unframe_blocks};
 use dstreams_machine::{NodeCtx, VTime};
+use dstreams_trace::{CollectiveRegime, EventKind, IndependentRegime, PfsOp};
 use parking_lot::Mutex;
 
 use crate::error::PfsError;
@@ -95,7 +96,7 @@ impl FileHandle {
 
     // ---- independent operations (the "unbuffered" path) -------------------
 
-    fn charge_independent(&self, ctx: &NodeCtx, bytes: usize) {
+    fn charge_independent(&self, ctx: &NodeCtx, op: PfsOp, offset: u64, bytes: usize) {
         let traffic = &self.pfs.rank_traffic[ctx.rank()];
         let before = traffic.load(Ordering::Relaxed);
         // Working-set estimate: this file's bytes, mirrored on every rank
@@ -104,19 +105,33 @@ impl FileHandle {
             .pfs
             .model
             .independent_regime(self.file.len(), ctx.nprocs());
-        let cost = self
-            .pfs
-            .model
-            .independent_cost(bytes, regime, ctx.nprocs());
+        let cost = self.pfs.model.independent_cost(bytes, regime, ctx.nprocs());
         ctx.advance(cost);
+        ctx.emit_with(|| EventKind::PfsIndependent {
+            op,
+            file: self.file.name.clone(),
+            offset,
+            bytes: bytes as u64,
+            regime: match regime {
+                Regime::Cached => IndependentRegime::Cached,
+                Regime::Disk => IndependentRegime::Disk,
+            },
+            cost_ns: cost.as_nanos(),
+        });
         traffic.store(before + bytes as u64, Ordering::Relaxed);
-        self.pfs.stats.independent_ops.fetch_add(1, Ordering::Relaxed);
+        self.pfs
+            .stats
+            .independent_ops
+            .fetch_add(1, Ordering::Relaxed);
         self.pfs
             .stats
             .independent_bytes
             .fetch_add(bytes as u64, Ordering::Relaxed);
         if regime == Regime::Disk {
-            self.pfs.stats.disk_regime_ops.fetch_add(1, Ordering::Relaxed);
+            self.pfs
+                .stats
+                .disk_regime_ops
+                .fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -136,13 +151,13 @@ impl FileHandle {
 
     /// Independent positioned write (does not move the private position).
     pub fn write_at(&self, ctx: &NodeCtx, offset: u64, data: &[u8]) -> Result<(), PfsError> {
-        self.charge_independent(ctx, data.len());
+        self.charge_independent(ctx, PfsOp::Write, offset, data.len());
         self.file.storage.lock().write_at(offset, data)
     }
 
     /// Independent positioned read (does not move the private position).
     pub fn read_at(&self, ctx: &NodeCtx, offset: u64, buf: &mut [u8]) -> Result<(), PfsError> {
-        self.charge_independent(ctx, buf.len());
+        self.charge_independent(ctx, PfsOp::Read, offset, buf.len());
         self.file
             .storage
             .lock()
@@ -217,6 +232,9 @@ impl FileHandle {
     /// latency plus total-bytes over the (possibly knee'd) aggregate PFS
     /// bandwidth. All ranks leave with synchronized virtual clocks.
     pub fn write_ordered(&self, ctx: &NodeCtx, block: &[u8]) -> Result<u64, PfsError> {
+        // One logical PFS operation: its internal coordination (barriers,
+        // size gather, plan broadcast) is plumbing, not API collectives.
+        let _scope = ctx.collective_scope();
         // Make prior independent writes globally visible and align clocks.
         ctx.barrier()?;
         // Exchange block sizes; rank 0 supplies the append base.
@@ -239,9 +257,8 @@ impl FileHandle {
             Vec::new()
         };
         let plan = ctx.broadcast(0, plan)?;
-        let parts = unframe_blocks(&plan).ok_or_else(|| {
-            PfsError::CollectiveMismatch("write_ordered: malformed plan".into())
-        })?;
+        let parts = unframe_blocks(&plan)
+            .ok_or_else(|| PfsError::CollectiveMismatch("write_ordered: malformed plan".into()))?;
         if parts.len() != ctx.nprocs() + 1 {
             return Err(PfsError::CollectiveMismatch(
                 "write_ordered: plan size mismatch".into(),
@@ -266,8 +283,25 @@ impl FileHandle {
             self.file.storage.lock().write_at(my_off, block)?;
         }
         // Virtual cost of the single parallel operation.
-        let cost = self.pfs.model.collective_cost(total, max_block, ctx.nprocs());
+        let cost = self
+            .pfs
+            .model
+            .collective_cost(total, max_block, ctx.nprocs());
         ctx.advance(cost);
+        ctx.emit_with(|| EventKind::PfsCollective {
+            op: PfsOp::Write,
+            file: self.file.name.clone(),
+            offset: my_off,
+            bytes: block.len() as u64,
+            total_bytes: total,
+            share_bytes: total / ctx.nprocs() as u64,
+            regime: if self.pfs.model.collective_knee(max_block) {
+                CollectiveRegime::CacheKnee
+            } else {
+                CollectiveRegime::Streaming
+            },
+            cost_ns: cost.as_nanos(),
+        });
         self.account_collective(ctx, total);
         // All blocks visible before anyone proceeds.
         ctx.barrier()?;
@@ -277,7 +311,13 @@ impl FileHandle {
     /// Collective parallel read: every rank reads `len` bytes at `offset`
     /// (both per-rank) in one parallel operation. Ranks may pass `len == 0`
     /// to participate without transferring data.
-    pub fn read_ordered(&self, ctx: &NodeCtx, offset: u64, len: usize) -> Result<Vec<u8>, PfsError> {
+    pub fn read_ordered(
+        &self,
+        ctx: &NodeCtx,
+        offset: u64,
+        len: usize,
+    ) -> Result<Vec<u8>, PfsError> {
+        let _scope = ctx.collective_scope();
         ctx.barrier()?;
         // Everyone learns the collective's total and max block for costing.
         let sizes = ctx.all_gather((len as u64).to_le_bytes().to_vec())?;
@@ -295,8 +335,25 @@ impl FileHandle {
                 .lock()
                 .read_at(offset, &mut buf, &self.file.name)?;
         }
-        let cost = self.pfs.model.collective_cost(total, max_block, ctx.nprocs());
+        let cost = self
+            .pfs
+            .model
+            .collective_cost(total, max_block, ctx.nprocs());
         ctx.advance(cost);
+        ctx.emit_with(|| EventKind::PfsCollective {
+            op: PfsOp::Read,
+            file: self.file.name.clone(),
+            offset,
+            bytes: len as u64,
+            total_bytes: total,
+            share_bytes: total / ctx.nprocs() as u64,
+            regime: if self.pfs.model.collective_knee(max_block) {
+                CollectiveRegime::CacheKnee
+            } else {
+                CollectiveRegime::Streaming
+            },
+            cost_ns: cost.as_nanos(),
+        });
         self.account_collective(ctx, total);
         Ok(buf)
     }
@@ -306,7 +363,10 @@ impl FileHandle {
         // per rank so the cache-occupancy estimate stays rank-local.
         let share = total / ctx.nprocs() as u64;
         self.pfs.rank_traffic[ctx.rank()].fetch_add(share, Ordering::Relaxed);
-        self.pfs.stats.collective_ops.fetch_add(1, Ordering::Relaxed);
+        self.pfs
+            .stats
+            .collective_ops
+            .fetch_add(1, Ordering::Relaxed);
         self.pfs
             .stats
             .collective_bytes

@@ -214,6 +214,13 @@ impl DiskModel {
         VTime::from_nanos((base_ns * mult).round() as u64)
     }
 
+    /// Whether a collective transfer whose largest single-rank block is
+    /// `max_block` bytes overflows the per-node buffering and falls into
+    /// the slow (post-knee) rate.
+    pub fn collective_knee(&self, max_block: u64) -> bool {
+        max_block > self.node_cache_bytes
+    }
+
     /// Duration of a collective transfer moving `total_bytes` across all
     /// ranks, where the largest single rank's block is `max_block` bytes.
     pub fn collective_cost(&self, total_bytes: u64, max_block: u64, nprocs: usize) -> VTime {
@@ -223,7 +230,7 @@ impl DiskModel {
             (self.coll_latency, self.coll_latency_per_rank)
         };
         let startup = base + VTime::from_nanos(per_rank.as_nanos() * nprocs as u64);
-        let per_byte = if max_block > self.node_cache_bytes {
+        let per_byte = if self.collective_knee(max_block) {
             self.coll_slow_ns_per_byte
         } else {
             self.coll_ns_per_byte / (nprocs as f64).powf(self.coll_bw_gamma)

@@ -86,7 +86,11 @@ impl Pfs {
     /// Attach to an existing disk-backed PFS directory from an earlier
     /// process: every regular file in `dir` is registered (without
     /// truncation) under its on-disk name. Call *before* the machine run.
-    pub fn attach_disk(nprocs: usize, model: DiskModel, dir: std::path::PathBuf) -> Result<Self, PfsError> {
+    pub fn attach_disk(
+        nprocs: usize,
+        model: DiskModel,
+        dir: std::path::PathBuf,
+    ) -> Result<Self, PfsError> {
         let pfs = Pfs::new(nprocs, model, Backend::Disk(dir.clone()));
         if dir.is_dir() {
             let mut files = pfs.shared.files.lock();
@@ -117,7 +121,12 @@ impl Pfs {
     /// real file is truncated once, not once per rank. On the Memory
     /// backend the flag is irrelevant. With `OpenMode::Read` the flag is
     /// ignored entirely.
-    pub fn open(&self, is_creator: bool, name: &str, mode: OpenMode) -> Result<FileHandle, PfsError> {
+    pub fn open(
+        &self,
+        is_creator: bool,
+        name: &str,
+        mode: OpenMode,
+    ) -> Result<FileHandle, PfsError> {
         let mut files = self.shared.files.lock();
         let file = match files.get(name) {
             Some(f) => Arc::clone(f),
@@ -298,7 +307,10 @@ mod tests {
             let fh = p2.open(false, "ordered", OpenMode::Read).unwrap();
             let mut buf = vec![0u8; 14];
             fh.read_at(ctx, 0, &mut buf).unwrap();
-            assert_eq!(buf, vec![0, 1, 1, 2, 2, 2, 3, 3, 3, 3, 0xFF, 0xFF, 0xFF, 0xFF]);
+            assert_eq!(
+                buf,
+                vec![0, 1, 1, 2, 2, 2, 3, 3, 3, 3, 0xFF, 0xFF, 0xFF, 0xFF]
+            );
         })
         .unwrap();
     }

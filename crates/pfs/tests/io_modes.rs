@@ -110,7 +110,9 @@ fn disk_backed_pfs_persists_across_instances() {
         let pfs = Pfs::new(2, DiskModel::instant(), Backend::Disk(dir.clone()));
         let p = pfs.clone();
         Machine::run(MachineConfig::functional(2), move |ctx| {
-            let fh = p.open(ctx.is_root(), "state.bin", OpenMode::Create).unwrap();
+            let fh = p
+                .open(ctx.is_root(), "state.bin", OpenMode::Create)
+                .unwrap();
             fh.write_ordered(ctx, &[ctx.rank() as u8 + 1; 6]).unwrap();
         })
         .unwrap();

@@ -11,6 +11,8 @@ use dstreams_collections::{Collection, DistKind, Layout};
 use dstreams_core::MetaMode;
 use dstreams_machine::{Machine, MachineConfig, VTime};
 use dstreams_pfs::{Backend, DiskModel, Pfs};
+use dstreams_trace::json::Value;
+use dstreams_trace::{OpCounts, Trace, TraceSink};
 
 use crate::methods::{
     input_dstreams_unsorted, input_manual, input_unbuffered, output_dstreams, output_manual,
@@ -76,8 +78,23 @@ pub struct CellSpec {
 
 /// Run one cell; returns simulated seconds (slowest rank, out + in).
 pub fn run_cell(spec: CellSpec) -> Result<f64, ScfError> {
+    run_cell_inner(spec, None)
+}
+
+/// [`run_cell`] with tracing: additionally returns the merged event
+/// trace of the timed region's machine run. Tracing never perturbs the
+/// virtual clock, so the seconds are bit-identical to an untraced run.
+pub fn run_cell_traced(spec: CellSpec) -> Result<(f64, Trace), ScfError> {
+    let sink = TraceSink::new(spec.nprocs);
+    let secs = run_cell_inner(spec, Some(sink.clone()))?;
+    Ok((secs, sink.take()))
+}
+
+fn run_cell_inner(spec: CellSpec, trace: Option<TraceSink>) -> Result<f64, ScfError> {
     let pfs = Pfs::new(spec.nprocs, spec.platform.disk(), Backend::Memory);
-    let times = Machine::run(spec.platform.machine(spec.nprocs), |ctx| -> Result<VTime, ScfError> {
+    let mut config = spec.platform.machine(spec.nprocs);
+    config.trace = trace;
+    let times = Machine::run(config, |ctx| -> Result<VTime, ScfError> {
         let cfg = ScfConfig::paper(spec.n_segments);
         let layout = Layout::dense(cfg.n_segments, spec.nprocs, DistKind::Block)?;
         let grid = Collection::new(ctx, layout.clone(), |g| cfg.make_segment(g))?;
@@ -127,7 +144,7 @@ pub fn run_cell(spec: CellSpec) -> Result<f64, ScfError> {
 /// Per-phase decomposition of one d/streams benchmark cell — where the
 /// time (and the library overhead) actually goes. The paper reports only
 /// the combined out+in number; this extension splits it.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct PhaseBreakdown {
     /// Segment count.
     pub n_segments: usize,
@@ -141,6 +158,19 @@ pub struct PhaseBreakdown {
     pub extract_s: f64,
 }
 
+impl PhaseBreakdown {
+    /// Render as a JSON object (stable key order).
+    pub fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            ("n_segments".into(), Value::Int(self.n_segments as i64)),
+            ("insert_s".into(), Value::Num(self.insert_s)),
+            ("write_s".into(), Value::Num(self.write_s)),
+            ("read_s".into(), Value::Num(self.read_s)),
+            ("extract_s".into(), Value::Num(self.extract_s)),
+        ])
+    }
+}
+
 /// Profile the d/streams path phase by phase (simulated seconds, slowest
 /// rank per phase).
 pub fn profile_dstreams_phases(
@@ -151,44 +181,47 @@ pub fn profile_dstreams_phases(
     use dstreams_core::{IStream, MetaPolicy, OStream, StreamOptions};
 
     let pfs = Pfs::new(nprocs, platform.disk(), Backend::Memory);
-    let times = Machine::run(platform.machine(nprocs), |ctx| -> Result<[VTime; 4], ScfError> {
-        let cfg = ScfConfig::paper(n_segments);
-        let layout = Layout::dense(cfg.n_segments, nprocs, DistKind::Block)?;
-        let grid = Collection::new(ctx, layout.clone(), |g| cfg.make_segment(g))?;
-        let mut back = Collection::new(ctx, layout.clone(), |_| Segment::default())?;
-        let opts = StreamOptions {
-            meta_policy: MetaPolicy::Force(dstreams_core::MetaMode::Parallel),
-            ..Default::default()
-        };
-        let mut s = OStream::create_with(ctx, &pfs, &layout, "phase", opts)?;
+    let times = Machine::run(
+        platform.machine(nprocs),
+        |ctx| -> Result<[VTime; 4], ScfError> {
+            let cfg = ScfConfig::paper(n_segments);
+            let layout = Layout::dense(cfg.n_segments, nprocs, DistKind::Block)?;
+            let grid = Collection::new(ctx, layout.clone(), |g| cfg.make_segment(g))?;
+            let mut back = Collection::new(ctx, layout.clone(), |_| Segment::default())?;
+            let opts = StreamOptions {
+                meta_policy: MetaPolicy::Force(dstreams_core::MetaMode::Parallel),
+                ..Default::default()
+            };
+            let mut s = OStream::create_with(ctx, &pfs, &layout, "phase", opts)?;
 
-        let lap = |ctx: &dstreams_machine::NodeCtx, t0: &mut VTime| {
-            let now = ctx.now();
-            let d = now - *t0;
-            *t0 = now;
-            d
-        };
-        ctx.barrier()?;
-        let mut t0 = ctx.now();
-        s.insert_collection(&grid)?;
-        ctx.barrier()?;
-        let insert = lap(ctx, &mut t0);
-        s.write()?;
-        ctx.barrier()?;
-        let write = lap(ctx, &mut t0);
-        s.close()?;
-        let mut r = IStream::open(ctx, &pfs, &layout, "phase")?;
-        ctx.barrier()?;
-        t0 = ctx.now();
-        r.unsorted_read()?;
-        ctx.barrier()?;
-        let read = lap(ctx, &mut t0);
-        r.extract_collection(&mut back)?;
-        ctx.barrier()?;
-        let extract = lap(ctx, &mut t0);
-        r.close()?;
-        Ok([insert, write, read, extract])
-    })
+            let lap = |ctx: &dstreams_machine::NodeCtx, t0: &mut VTime| {
+                let now = ctx.now();
+                let d = now - *t0;
+                *t0 = now;
+                d
+            };
+            ctx.barrier()?;
+            let mut t0 = ctx.now();
+            s.insert_collection(&grid)?;
+            ctx.barrier()?;
+            let insert = lap(ctx, &mut t0);
+            s.write()?;
+            ctx.barrier()?;
+            let write = lap(ctx, &mut t0);
+            s.close()?;
+            let mut r = IStream::open(ctx, &pfs, &layout, "phase")?;
+            ctx.barrier()?;
+            t0 = ctx.now();
+            r.unsorted_read()?;
+            ctx.barrier()?;
+            let read = lap(ctx, &mut t0);
+            r.extract_collection(&mut back)?;
+            ctx.barrier()?;
+            let extract = lap(ctx, &mut t0);
+            r.close()?;
+            Ok([insert, write, read, extract])
+        },
+    )
     .map_err(ScfError::from)?;
 
     let mut worst = [VTime::ZERO; 4];
@@ -208,7 +241,7 @@ pub fn profile_dstreams_phases(
 }
 
 /// A complete table row set for one I/O size.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct SizeResult {
     /// Segment count.
     pub n_segments: usize,
@@ -216,6 +249,9 @@ pub struct SizeResult {
     pub mb: f64,
     /// Seconds per method, in [`IoMethod::ALL`] order.
     pub seconds: [f64; 3],
+    /// Per-method trace op counts, in the same order. Present when the
+    /// cells were run through [`run_sizes_traced`].
+    pub op_counts: Option<Box<[OpCounts; 3]>>,
 }
 
 impl SizeResult {
@@ -223,6 +259,25 @@ impl SizeResult {
     /// (the tables' last row: `manual / streams * 100`).
     pub fn pct_of_manual(&self) -> f64 {
         100.0 * self.seconds[1] / self.seconds[2]
+    }
+
+    /// Render as a JSON object (stable key order).
+    pub fn to_json(&self) -> Value {
+        let mut m = vec![
+            ("n_segments".into(), Value::Int(self.n_segments as i64)),
+            ("mb".into(), Value::Num(self.mb)),
+            (
+                "seconds".into(),
+                Value::Arr(self.seconds.iter().map(|s| Value::Num(*s)).collect()),
+            ),
+        ];
+        if let Some(counts) = &self.op_counts {
+            m.push((
+                "op_counts".into(),
+                Value::Arr(counts.iter().map(OpCounts::to_json).collect()),
+            ));
+        }
+        Value::Obj(m)
     }
 }
 
@@ -232,22 +287,50 @@ pub fn run_sizes(
     nprocs: usize,
     sizes: &[usize],
 ) -> Result<Vec<SizeResult>, ScfError> {
+    run_sizes_impl(platform, nprocs, sizes, false)
+}
+
+/// [`run_sizes`] with tracing: every cell additionally aggregates its
+/// event trace into [`SizeResult::op_counts`].
+pub fn run_sizes_traced(
+    platform: Platform,
+    nprocs: usize,
+    sizes: &[usize],
+) -> Result<Vec<SizeResult>, ScfError> {
+    run_sizes_impl(platform, nprocs, sizes, true)
+}
+
+fn run_sizes_impl(
+    platform: Platform,
+    nprocs: usize,
+    sizes: &[usize],
+    traced: bool,
+) -> Result<Vec<SizeResult>, ScfError> {
     sizes
         .iter()
         .map(|&n_segments| {
             let mut seconds = [0.0f64; 3];
+            let mut counts: [OpCounts; 3] = Default::default();
             for (k, method) in IoMethod::ALL.into_iter().enumerate() {
-                seconds[k] = run_cell(CellSpec {
+                let spec = CellSpec {
                     platform,
                     nprocs,
                     n_segments,
                     method,
-                })?;
+                };
+                if traced {
+                    let (secs, trace) = run_cell_traced(spec)?;
+                    seconds[k] = secs;
+                    counts[k] = trace.op_counts();
+                } else {
+                    seconds[k] = run_cell(spec)?;
+                }
             }
             Ok(SizeResult {
                 n_segments,
                 mb: ScfConfig::paper(n_segments).dataset_mb(),
                 seconds,
+                op_counts: traced.then(|| Box::new(counts)),
             })
         })
         .collect()

@@ -25,11 +25,14 @@ pub mod solver;
 pub mod tables;
 pub mod workload;
 
-pub use driver::{profile_dstreams_phases, run_cell, run_sizes, CellSpec, PhaseBreakdown, Platform, SizeResult};
+pub use driver::{
+    profile_dstreams_phases, run_cell, run_cell_traced, run_sizes, run_sizes_traced, CellSpec,
+    PhaseBreakdown, Platform, SizeResult,
+};
 pub use methods::IoMethod;
 pub use segment::Segment;
 pub use solver::{gegenbauer, Field, ScfSolver};
-pub use tables::{all_tables, run_table, TableResult, TableSpec};
+pub use tables::{all_tables, run_table, run_table_traced, TableResult, TableSpec};
 pub use workload::ScfConfig;
 
 use std::fmt;

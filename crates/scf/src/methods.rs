@@ -155,9 +155,7 @@ pub fn input_manual(
     // Offsets are *computed*, not read: contiguous blocks in rank order,
     // local_count segments each.
     let nprocs = ctx.nprocs();
-    let counts: Vec<usize> = (0..nprocs)
-        .map(|r| grid.layout().local_count(r))
-        .collect();
+    let counts: Vec<usize> = (0..nprocs).map(|r| grid.layout().local_count(r)).collect();
     let my_off: usize = counts[..ctx.rank()].iter().sum::<usize>() * seg_bytes;
     let my_len = counts[ctx.rank()] * seg_bytes;
 
@@ -251,11 +249,7 @@ mod tests {
     use dstreams_collections::{DistKind, Layout};
     use dstreams_machine::{Machine, MachineConfig};
 
-    fn grid_and_checksum(
-        ctx: &NodeCtx,
-        cfg: &ScfConfig,
-        np: usize,
-    ) -> (Collection<Segment>, f64) {
+    fn grid_and_checksum(ctx: &NodeCtx, cfg: &ScfConfig, np: usize) -> (Collection<Segment>, f64) {
         let layout = Layout::dense(cfg.n_segments, np, DistKind::Block).unwrap();
         let grid = Collection::new(ctx, layout, |g| cfg.make_segment(g)).unwrap();
         let sum = global_checksum(ctx, &grid).unwrap();
@@ -270,8 +264,7 @@ mod tests {
             let cfg = ScfConfig::paper(16);
             let (grid, want) = grid_and_checksum(ctx, &cfg, np);
             let layout = grid.layout().clone();
-            let mut back =
-                Collection::new(ctx, layout, |_| Segment::default()).unwrap();
+            let mut back = Collection::new(ctx, layout, |_| Segment::default()).unwrap();
             match method {
                 IoMethod::Unbuffered => {
                     output_unbuffered(ctx, &p, &grid, "u").unwrap();

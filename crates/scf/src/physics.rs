@@ -117,9 +117,8 @@ mod tests {
             );
             // The center of mass moves by dt * net momentum / mass, which
             // is nonzero for the random sample.
-            let moved = (0..3).any(|k| {
-                (before.center_of_mass[k] - after.center_of_mass[k]).abs() > 1e-15
-            });
+            let moved =
+                (0..3).any(|k| (before.center_of_mass[k] - after.center_of_mass[k]).abs() > 1e-15);
             assert!(moved);
         })
         .unwrap();

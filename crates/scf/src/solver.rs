@@ -39,8 +39,7 @@ pub fn gegenbauer(n_max: usize, xi: f64) -> Vec<f64> {
     for n in 2..=n_max {
         let nf = n as f64;
         let next =
-            (2.0 * (nf + lambda - 1.0) * xi * c[n - 1] - (nf + 2.0 * lambda - 2.0) * c[n - 2])
-                / nf;
+            (2.0 * (nf + lambda - 1.0) * xi * c[n - 1] - (nf + 2.0 * lambda - 2.0) * c[n - 2]) / nf;
         c.push(next);
     }
     c

@@ -1,14 +1,14 @@
 //! Definitions of the paper's Tables 1–4 (= Figure 5), with the published
 //! numbers embedded for side-by-side comparison, plus renderers.
 
-use serde::Serialize;
+use dstreams_trace::json::Value;
 
-use crate::driver::{run_sizes, Platform, SizeResult};
+use crate::driver::{run_sizes, run_sizes_traced, Platform, SizeResult};
 use crate::methods::IoMethod;
 use crate::ScfError;
 
 /// Reference numbers for one size column as printed in the paper.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct PaperColumn {
     /// Size label as printed (e.g. "1.4 MB").
     pub label: &'static str,
@@ -27,22 +27,47 @@ impl PaperColumn {
     pub fn pct_of_manual(&self) -> f64 {
         100.0 * self.manual / self.streams
     }
+
+    /// Render as a JSON object (stable key order).
+    pub fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            ("label".into(), Value::Str(self.label.into())),
+            ("n_segments".into(), Value::Int(self.n_segments as i64)),
+            ("unbuffered".into(), Value::Num(self.unbuffered)),
+            ("manual".into(), Value::Num(self.manual)),
+            ("streams".into(), Value::Num(self.streams)),
+        ])
+    }
 }
 
 /// One of the paper's benchmark tables.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct TableSpec {
     /// Table number in the paper (1–4).
     pub id: u32,
     /// Title as printed.
     pub title: &'static str,
     /// Platform preset used to regenerate it.
-    #[serde(skip)]
     pub platform: Platform,
     /// Processor count.
     pub nprocs: usize,
     /// Size columns with the published values.
     pub columns: Vec<PaperColumn>,
+}
+
+impl TableSpec {
+    /// Render as a JSON object (the platform is identified by name).
+    pub fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            ("id".into(), Value::Int(self.id as i64)),
+            ("title".into(), Value::Str(self.title.into())),
+            ("nprocs".into(), Value::Int(self.nprocs as i64)),
+            (
+                "columns".into(),
+                Value::Arr(self.columns.iter().map(PaperColumn::to_json).collect()),
+            ),
+        ])
+    }
 }
 
 /// Table 1: Benchmark Results on Intel Paragon (4 processors).
@@ -53,10 +78,34 @@ pub fn table1() -> TableSpec {
         platform: Platform::Paragon,
         nprocs: 4,
         columns: vec![
-            PaperColumn { label: "1.4 MB", n_segments: 256, unbuffered: 7.13, manual: 2.14, streams: 2.47 },
-            PaperColumn { label: "2.8 MB", n_segments: 512, unbuffered: 14.73, manual: 3.04, streams: 3.31 },
-            PaperColumn { label: "5.6 MB", n_segments: 1000, unbuffered: 283.00, manual: 5.42, streams: 5.71 },
-            PaperColumn { label: "11.2 MB", n_segments: 2000, unbuffered: 556.78, manual: 54.17, streams: 55.00 },
+            PaperColumn {
+                label: "1.4 MB",
+                n_segments: 256,
+                unbuffered: 7.13,
+                manual: 2.14,
+                streams: 2.47,
+            },
+            PaperColumn {
+                label: "2.8 MB",
+                n_segments: 512,
+                unbuffered: 14.73,
+                manual: 3.04,
+                streams: 3.31,
+            },
+            PaperColumn {
+                label: "5.6 MB",
+                n_segments: 1000,
+                unbuffered: 283.00,
+                manual: 5.42,
+                streams: 5.71,
+            },
+            PaperColumn {
+                label: "11.2 MB",
+                n_segments: 2000,
+                unbuffered: 556.78,
+                manual: 54.17,
+                streams: 55.00,
+            },
         ],
     }
 }
@@ -69,10 +118,34 @@ pub fn table2() -> TableSpec {
         platform: Platform::Paragon,
         nprocs: 8,
         columns: vec![
-            PaperColumn { label: "1.4 MB", n_segments: 256, unbuffered: 7.53, manual: 2.91, streams: 3.36 },
-            PaperColumn { label: "2.8 MB", n_segments: 512, unbuffered: 14.47, manual: 3.75, streams: 4.20 },
-            PaperColumn { label: "5.6 MB", n_segments: 1000, unbuffered: 273.77, manual: 5.72, streams: 6.16 },
-            PaperColumn { label: "11.2 MB", n_segments: 2000, unbuffered: 561.72, manual: 9.69, streams: 10.19 },
+            PaperColumn {
+                label: "1.4 MB",
+                n_segments: 256,
+                unbuffered: 7.53,
+                manual: 2.91,
+                streams: 3.36,
+            },
+            PaperColumn {
+                label: "2.8 MB",
+                n_segments: 512,
+                unbuffered: 14.47,
+                manual: 3.75,
+                streams: 4.20,
+            },
+            PaperColumn {
+                label: "5.6 MB",
+                n_segments: 1000,
+                unbuffered: 273.77,
+                manual: 5.72,
+                streams: 6.16,
+            },
+            PaperColumn {
+                label: "11.2 MB",
+                n_segments: 2000,
+                unbuffered: 561.72,
+                manual: 9.69,
+                streams: 10.19,
+            },
         ],
     }
 }
@@ -85,9 +158,27 @@ pub fn table3() -> TableSpec {
         platform: Platform::SgiChallenge,
         nprocs: 1,
         columns: vec![
-            PaperColumn { label: "5.6 MB", n_segments: 1000, unbuffered: 1.68, manual: 1.05, streams: 1.32 },
-            PaperColumn { label: "11.2 MB", n_segments: 2000, unbuffered: 3.42, manual: 2.13, streams: 2.71 },
-            PaperColumn { label: "112 MB", n_segments: 20000, unbuffered: 32.20, manual: 20.9, streams: 21.84 },
+            PaperColumn {
+                label: "5.6 MB",
+                n_segments: 1000,
+                unbuffered: 1.68,
+                manual: 1.05,
+                streams: 1.32,
+            },
+            PaperColumn {
+                label: "11.2 MB",
+                n_segments: 2000,
+                unbuffered: 3.42,
+                manual: 2.13,
+                streams: 2.71,
+            },
+            PaperColumn {
+                label: "112 MB",
+                n_segments: 20000,
+                unbuffered: 32.20,
+                manual: 20.9,
+                streams: 21.84,
+            },
         ],
     }
 }
@@ -101,9 +192,27 @@ pub fn table4() -> TableSpec {
         platform: Platform::SgiChallenge,
         nprocs: 8,
         columns: vec![
-            PaperColumn { label: "5.6 MB", n_segments: 1000, unbuffered: 0.55, manual: 0.22, streams: 0.39 },
-            PaperColumn { label: "11.2 MB", n_segments: 2000, unbuffered: 1.10, manual: 0.34, streams: 0.75 },
-            PaperColumn { label: "44.8 MB", n_segments: 8000, unbuffered: 4.95, manual: 2.38, streams: 2.65 },
+            PaperColumn {
+                label: "5.6 MB",
+                n_segments: 1000,
+                unbuffered: 0.55,
+                manual: 0.22,
+                streams: 0.39,
+            },
+            PaperColumn {
+                label: "11.2 MB",
+                n_segments: 2000,
+                unbuffered: 1.10,
+                manual: 0.34,
+                streams: 0.75,
+            },
+            PaperColumn {
+                label: "44.8 MB",
+                n_segments: 8000,
+                unbuffered: 4.95,
+                manual: 2.38,
+                streams: 2.65,
+            },
         ],
     }
 }
@@ -114,7 +223,7 @@ pub fn all_tables() -> Vec<TableSpec> {
 }
 
 /// A regenerated table: paper values next to measured values.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct TableResult {
     /// The specification (with paper values).
     pub spec: TableSpec,
@@ -129,7 +238,26 @@ pub fn run_table(spec: TableSpec) -> Result<TableResult, ScfError> {
     Ok(TableResult { spec, measured })
 }
 
+/// [`run_table`] with tracing: every measured cell also carries its
+/// aggregated trace op counts (virtual times are unchanged).
+pub fn run_table_traced(spec: TableSpec) -> Result<TableResult, ScfError> {
+    let sizes: Vec<usize> = spec.columns.iter().map(|c| c.n_segments).collect();
+    let measured = run_sizes_traced(spec.platform, spec.nprocs, &sizes)?;
+    Ok(TableResult { spec, measured })
+}
+
 impl TableResult {
+    /// Render as a JSON object (stable key order).
+    pub fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            ("spec".into(), self.spec.to_json()),
+            (
+                "measured".into(),
+                Value::Arr(self.measured.iter().map(SizeResult::to_json).collect()),
+            ),
+        ])
+    }
+
     /// Render the table in the paper's layout, with the published value in
     /// parentheses after each measured one.
     pub fn render(&self) -> String {
@@ -141,7 +269,10 @@ impl TableResult {
             "I/O Size"
         ));
         for c in &self.spec.columns {
-            out.push_str(&format!("{:>w$}", format!("{} ({})", c.label, c.n_segments)));
+            out.push_str(&format!(
+                "{:>w$}",
+                format!("{} ({})", c.label, c.n_segments)
+            ));
         }
         out.push('\n');
         for (k, method) in IoMethod::ALL.into_iter().enumerate() {

@@ -49,7 +49,10 @@ impl PrimTy {
             ["unsigned", "short"] | ["unsigned", "short", "int"] => PrimTy::U16,
             ["int"] | ["signed"] | ["signed", "int"] => PrimTy::I32,
             ["unsigned"] | ["unsigned", "int"] => PrimTy::U32,
-            ["long"] | ["long", "int"] | ["long", "long"] | ["long", "long", "int"]
+            ["long"]
+            | ["long", "int"]
+            | ["long", "long"]
+            | ["long", "long", "int"]
             | ["signed", "long"] => PrimTy::I64,
             ["unsigned", "long"]
             | ["unsigned", "long", "int"]

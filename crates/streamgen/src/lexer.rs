@@ -119,31 +119,52 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, GenError> {
                 }
             }
             '{' => {
-                out.push(Spanned { tok: Tok::LBrace, line });
+                out.push(Spanned {
+                    tok: Tok::LBrace,
+                    line,
+                });
                 i += 1;
             }
             '}' => {
-                out.push(Spanned { tok: Tok::RBrace, line });
+                out.push(Spanned {
+                    tok: Tok::RBrace,
+                    line,
+                });
                 i += 1;
             }
             '[' => {
-                out.push(Spanned { tok: Tok::LBracket, line });
+                out.push(Spanned {
+                    tok: Tok::LBracket,
+                    line,
+                });
                 i += 1;
             }
             ']' => {
-                out.push(Spanned { tok: Tok::RBracket, line });
+                out.push(Spanned {
+                    tok: Tok::RBracket,
+                    line,
+                });
                 i += 1;
             }
             ';' => {
-                out.push(Spanned { tok: Tok::Semi, line });
+                out.push(Spanned {
+                    tok: Tok::Semi,
+                    line,
+                });
                 i += 1;
             }
             ',' => {
-                out.push(Spanned { tok: Tok::Comma, line });
+                out.push(Spanned {
+                    tok: Tok::Comma,
+                    line,
+                });
                 i += 1;
             }
             '*' => {
-                out.push(Spanned { tok: Tok::Star, line });
+                out.push(Spanned {
+                    tok: Tok::Star,
+                    line,
+                });
                 i += 1;
             }
             _ if c.is_ascii_digit() => {
@@ -156,7 +177,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, GenError> {
                     line,
                     msg: format!("integer literal `{text}` out of range"),
                 })?;
-                out.push(Spanned { tok: Tok::Int(v), line });
+                out.push(Spanned {
+                    tok: Tok::Int(v),
+                    line,
+                });
             }
             _ if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;

@@ -14,7 +14,11 @@ fn generates_to_stdout() {
     std::fs::write(&input, "class P { double x, y; int n; double * w [n]; };").unwrap();
 
     let out = bin().arg(&input).output().unwrap();
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let code = String::from_utf8(out.stdout).unwrap();
     assert!(code.contains("pub struct P"));
     assert!(code.contains("impl dstreams_core::StreamData for P"));
@@ -39,7 +43,10 @@ fn writes_output_file_and_supports_impls_only() {
         .unwrap();
     assert!(out.status.success());
     let code = std::fs::read_to_string(&output).unwrap();
-    assert!(!code.contains("pub struct Q"), "--impls-only must omit structs");
+    assert!(
+        !code.contains("pub struct Q"),
+        "--impls-only must omit structs"
+    );
     assert!(code.contains("impl dstreams_core::StreamData for Q"));
     assert!(code.contains("self.id = ext.prim()?;"));
     let _ = std::fs::remove_dir_all(&dir);

@@ -1,0 +1,237 @@
+//! Aggregation of a trace into operation counts — the quantitative form
+//! of the paper's communication-shape claims.
+
+use std::collections::BTreeMap;
+
+use crate::event::{Event, EventKind, IndependentRegime, PfsOp};
+
+/// Aggregated operation counts for one trace.
+///
+/// The PFS counters mirror the accounting of the PFS `Stats` atomics
+/// exactly (`pfs_collective_bytes` sums the per-rank *share*, not the
+/// per-rank contribution), so a trace taken alongside a stats snapshot
+/// must agree with it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OpCounts {
+    /// Point-to-point sends (user tag space; collective-internal traffic
+    /// excluded).
+    pub p2p_messages: u64,
+    /// Bytes carried by those point-to-point sends.
+    pub p2p_bytes: u64,
+    /// Sends performed inside collective implementations.
+    pub collective_messages: u64,
+    /// Rank-entries into collectives, keyed by operation name (every rank
+    /// entering a barrier counts once).
+    pub collectives: BTreeMap<&'static str, u64>,
+    /// Independent PFS operations.
+    pub pfs_independent_ops: u64,
+    /// Bytes moved by independent PFS operations.
+    pub pfs_independent_bytes: u64,
+    /// Independent operations charged at the disk (past-the-knee) regime.
+    pub pfs_disk_regime_ops: u64,
+    /// Rank-entries into collective PFS operations.
+    pub pfs_collective_ops: u64,
+    /// Per-rank accounting shares of collective PFS operations.
+    pub pfs_collective_bytes: u64,
+    /// Actual bytes written to files by this machine (independent writes
+    /// plus per-rank collective write contributions).
+    pub bytes_written: u64,
+    /// Actual bytes read from files.
+    pub bytes_read: u64,
+}
+
+impl OpCounts {
+    /// Aggregate a merged event slice.
+    pub fn from_events(events: &[Event]) -> Self {
+        let mut c = OpCounts::default();
+        for e in events {
+            match &e.kind {
+                EventKind::MsgSend {
+                    bytes, collective, ..
+                } => {
+                    if *collective {
+                        c.collective_messages += 1;
+                    } else {
+                        c.p2p_messages += 1;
+                        c.p2p_bytes += bytes;
+                    }
+                }
+                EventKind::MsgRecv { .. } => {}
+                EventKind::Collective { op, .. } => {
+                    *c.collectives.entry(op.name()).or_insert(0) += 1;
+                }
+                EventKind::PfsIndependent {
+                    op, bytes, regime, ..
+                } => {
+                    c.pfs_independent_ops += 1;
+                    c.pfs_independent_bytes += bytes;
+                    if *regime == IndependentRegime::Disk {
+                        c.pfs_disk_regime_ops += 1;
+                    }
+                    match op {
+                        PfsOp::Write => c.bytes_written += bytes,
+                        PfsOp::Read => c.bytes_read += bytes,
+                    }
+                }
+                EventKind::PfsCollective {
+                    op,
+                    bytes,
+                    share_bytes,
+                    ..
+                } => {
+                    c.pfs_collective_ops += 1;
+                    c.pfs_collective_bytes += share_bytes;
+                    match op {
+                        PfsOp::Write => c.bytes_written += bytes,
+                        PfsOp::Read => c.bytes_read += bytes,
+                    }
+                }
+                EventKind::PhaseBegin { .. } | EventKind::PhaseEnd { .. } => {}
+            }
+        }
+        c
+    }
+
+    /// Total rank-entries into collectives of any kind.
+    pub fn total_collectives(&self) -> u64 {
+        self.collectives.values().sum()
+    }
+
+    /// True when nothing at all was counted.
+    pub fn is_empty(&self) -> bool {
+        *self == OpCounts::default()
+    }
+
+    /// Render as a JSON object (stable key order).
+    pub fn to_json(&self) -> crate::json::Value {
+        use crate::json::Value;
+        let collectives = self
+            .collectives
+            .iter()
+            .map(|(k, v)| (k.to_string(), Value::Int(*v as i64)))
+            .collect();
+        Value::Obj(vec![
+            ("p2p_messages".into(), Value::Int(self.p2p_messages as i64)),
+            ("p2p_bytes".into(), Value::Int(self.p2p_bytes as i64)),
+            (
+                "collective_messages".into(),
+                Value::Int(self.collective_messages as i64),
+            ),
+            ("collectives".into(), Value::Obj(collectives)),
+            (
+                "pfs_independent_ops".into(),
+                Value::Int(self.pfs_independent_ops as i64),
+            ),
+            (
+                "pfs_independent_bytes".into(),
+                Value::Int(self.pfs_independent_bytes as i64),
+            ),
+            (
+                "pfs_disk_regime_ops".into(),
+                Value::Int(self.pfs_disk_regime_ops as i64),
+            ),
+            (
+                "pfs_collective_ops".into(),
+                Value::Int(self.pfs_collective_ops as i64),
+            ),
+            (
+                "pfs_collective_bytes".into(),
+                Value::Int(self.pfs_collective_bytes as i64),
+            ),
+            (
+                "bytes_written".into(),
+                Value::Int(self.bytes_written as i64),
+            ),
+            ("bytes_read".into(), Value::Int(self.bytes_read as i64)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{CollOp, CollectiveRegime};
+
+    fn at(seq: u64, kind: EventKind) -> Event {
+        Event {
+            rank: 0,
+            vtime_ns: seq,
+            seq,
+            kind,
+        }
+    }
+
+    #[test]
+    fn classification_matches_the_kind() {
+        let events = vec![
+            at(
+                0,
+                EventKind::MsgSend {
+                    to: 1,
+                    tag: 7,
+                    bytes: 10,
+                    collective: false,
+                },
+            ),
+            at(
+                1,
+                EventKind::MsgSend {
+                    to: 1,
+                    tag: 0x8000_0001,
+                    bytes: 4,
+                    collective: true,
+                },
+            ),
+            at(
+                2,
+                EventKind::Collective {
+                    op: CollOp::Gather,
+                    root: Some(0),
+                    bytes: 8,
+                },
+            ),
+            at(
+                3,
+                EventKind::PfsIndependent {
+                    op: PfsOp::Write,
+                    file: "f".into(),
+                    offset: 0,
+                    bytes: 100,
+                    regime: IndependentRegime::Disk,
+                    cost_ns: 5,
+                },
+            ),
+            at(
+                4,
+                EventKind::PfsCollective {
+                    op: PfsOp::Read,
+                    file: "f".into(),
+                    offset: 0,
+                    bytes: 60,
+                    total_bytes: 120,
+                    share_bytes: 60,
+                    regime: CollectiveRegime::Streaming,
+                    cost_ns: 5,
+                },
+            ),
+        ];
+        let c = OpCounts::from_events(&events);
+        assert_eq!(c.p2p_messages, 1);
+        assert_eq!(c.p2p_bytes, 10);
+        assert_eq!(c.collective_messages, 1);
+        assert_eq!(c.collectives.get("gather"), Some(&1));
+        assert_eq!(c.pfs_independent_ops, 1);
+        assert_eq!(c.pfs_disk_regime_ops, 1);
+        assert_eq!(c.pfs_collective_ops, 1);
+        assert_eq!(c.pfs_collective_bytes, 60);
+        assert_eq!(c.bytes_written, 100);
+        assert_eq!(c.bytes_read, 60);
+        assert!(!c.is_empty());
+        assert_eq!(c.total_collectives(), 1);
+    }
+
+    #[test]
+    fn empty_trace_is_empty_counts() {
+        assert!(OpCounts::from_events(&[]).is_empty());
+    }
+}

@@ -1,0 +1,240 @@
+//! The event schema: everything the runtime can observe about itself.
+
+/// Which collective operation an event describes (API level: composite
+/// collectives such as `all_gather` report themselves, not the primitive
+/// gather+broadcast they are built from).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CollOp {
+    /// `barrier`
+    Barrier,
+    /// `broadcast`
+    Broadcast,
+    /// `gather`
+    Gather,
+    /// `all_gather`
+    AllGather,
+    /// `scatter`
+    Scatter,
+    /// `all_to_all`
+    AllToAll,
+    /// `reduce`
+    Reduce,
+    /// `all_reduce`
+    AllReduce,
+    /// `scan`
+    Scan,
+    /// `exclusive_scan`
+    ExclusiveScan,
+    /// `max_time`
+    MaxTime,
+}
+
+impl CollOp {
+    /// Stable lowercase name (used as the aggregation key and the Chrome
+    /// event name).
+    pub fn name(self) -> &'static str {
+        match self {
+            CollOp::Barrier => "barrier",
+            CollOp::Broadcast => "broadcast",
+            CollOp::Gather => "gather",
+            CollOp::AllGather => "all_gather",
+            CollOp::Scatter => "scatter",
+            CollOp::AllToAll => "all_to_all",
+            CollOp::Reduce => "reduce",
+            CollOp::AllReduce => "all_reduce",
+            CollOp::Scan => "scan",
+            CollOp::ExclusiveScan => "exclusive_scan",
+            CollOp::MaxTime => "max_time",
+        }
+    }
+}
+
+/// Direction of a parallel-file-system transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PfsOp {
+    /// Bytes moved from the file to the caller.
+    Read,
+    /// Bytes moved from the caller to the file.
+    Write,
+}
+
+impl PfsOp {
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PfsOp::Read => "read",
+            PfsOp::Write => "write",
+        }
+    }
+}
+
+/// Cost regime the disk model charged for an *independent* operation:
+/// before the file-cache knee every node sees cache speed, after it disk
+/// speed (paper §4: the Paragon curves bend at the cache size).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IndependentRegime {
+    /// Working set within the I/O cache.
+    Cached,
+    /// Past the cache knee: raw disk rate plus contention.
+    Disk,
+}
+
+impl IndependentRegime {
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            IndependentRegime::Cached => "cached",
+            IndependentRegime::Disk => "disk",
+        }
+    }
+}
+
+/// Cost regime the disk model charged for a *collective* operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CollectiveRegime {
+    /// Per-rank blocks fit the node cache: full streaming rate.
+    Streaming,
+    /// Largest per-rank block exceeds the node cache: the knee rate.
+    CacheKnee,
+}
+
+impl CollectiveRegime {
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CollectiveRegime::Streaming => "streaming",
+            CollectiveRegime::CacheKnee => "cache_knee",
+        }
+    }
+}
+
+/// Library-level phases of a stream `write()`/`read()` call, exported as
+/// Chrome duration spans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StreamPhase {
+    /// Serializing elements into the per-node group buffer.
+    Pack,
+    /// Record header / file header handling.
+    Metadata,
+    /// Size-table write or read.
+    SizeTable,
+    /// Data-region write or read.
+    Data,
+    /// All-to-all routing of a conforming read to owners.
+    Route,
+}
+
+impl StreamPhase {
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            StreamPhase::Pack => "pack",
+            StreamPhase::Metadata => "metadata",
+            StreamPhase::SizeTable => "size_table",
+            StreamPhase::Data => "data",
+            StreamPhase::Route => "route",
+        }
+    }
+}
+
+/// What happened.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A message left this rank.
+    MsgSend {
+        /// Destination rank.
+        to: usize,
+        /// Message tag.
+        tag: u32,
+        /// Payload bytes.
+        bytes: u64,
+        /// True when the tag lies in the collectives' reserved namespace.
+        collective: bool,
+    },
+    /// A message was claimed by a receive on this rank.
+    MsgRecv {
+        /// Source rank.
+        from: usize,
+        /// Message tag.
+        tag: u32,
+        /// Payload bytes.
+        bytes: u64,
+        /// True when the tag lies in the collectives' reserved namespace.
+        collective: bool,
+    },
+    /// This rank entered a collective operation.
+    Collective {
+        /// Which collective.
+        op: CollOp,
+        /// Root rank, for rooted collectives.
+        root: Option<usize>,
+        /// This rank's payload contribution in bytes.
+        bytes: u64,
+    },
+    /// An independent (per-node) file operation.
+    PfsIndependent {
+        /// Transfer direction.
+        op: PfsOp,
+        /// File name.
+        file: String,
+        /// Absolute file offset.
+        offset: u64,
+        /// Bytes transferred.
+        bytes: u64,
+        /// Cost regime the model charged.
+        regime: IndependentRegime,
+        /// Modeled cost in virtual nanoseconds.
+        cost_ns: u64,
+    },
+    /// This rank's share of a collective (node-order) file operation.
+    PfsCollective {
+        /// Transfer direction.
+        op: PfsOp,
+        /// File name.
+        file: String,
+        /// Absolute file offset of this rank's block.
+        offset: u64,
+        /// Bytes this rank contributed.
+        bytes: u64,
+        /// Bytes moved by the whole operation across all ranks.
+        total_bytes: u64,
+        /// The per-rank accounting share (`total_bytes / nprocs`, matching
+        /// the PFS stats counters exactly).
+        share_bytes: u64,
+        /// Cost regime the model charged.
+        regime: CollectiveRegime,
+        /// Modeled cost in virtual nanoseconds.
+        cost_ns: u64,
+    },
+    /// A stream phase span opened on this rank.
+    PhaseBegin {
+        /// Which phase.
+        phase: StreamPhase,
+    },
+    /// A stream phase span closed on this rank.
+    PhaseEnd {
+        /// Which phase.
+        phase: StreamPhase,
+    },
+}
+
+/// One observed event: where, when, and what.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Rank the event occurred on.
+    pub rank: usize,
+    /// Virtual time of the event on that rank, in nanoseconds.
+    pub vtime_ns: u64,
+    /// Per-rank sequence number (breaks ties between events at one
+    /// instant; makes the merge total and deterministic).
+    pub seq: u64,
+    /// The event payload.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// The `(rank, vtime, seq)` merge key.
+    pub fn merge_key(&self) -> (usize, u64, u64) {
+        (self.rank, self.vtime_ns, self.seq)
+    }
+}

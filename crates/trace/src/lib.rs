@@ -1,0 +1,26 @@
+//! Structured event tracing for the d/streams runtime.
+//!
+//! The paper's central claims are *communication-shape* claims: the number
+//! and kind of messages, collectives, and file operations a primitive
+//! performs. This crate captures those shapes as a stream of typed events
+//! with per-rank virtual-time timestamps, merged deterministically and
+//! exported as Chrome `trace_event` JSON (viewable in Perfetto) or
+//! aggregated into an [`OpCounts`] summary.
+//!
+//! The crate is a leaf: the `machine`, `pfs`, and `core` layers all emit
+//! into a shared [`TraceSink`] carried by the machine configuration, and
+//! pay exactly one branch per potential event when tracing is disabled.
+
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod counts;
+pub mod event;
+pub mod json;
+pub mod sink;
+
+pub use counts::OpCounts;
+pub use event::{
+    CollOp, CollectiveRegime, Event, EventKind, IndependentRegime, PfsOp, StreamPhase,
+};
+pub use sink::{Trace, TraceSink};

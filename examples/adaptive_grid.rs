@@ -80,17 +80,26 @@ fn step_grid(ctx: &NodeCtx, grid: &mut Grid2d<f64>) {
             row[j]
         };
         let left = if j > 0 { row[j - 1] } else { row[j] };
-        let right = if j + 1 < row.len() { row[j + 1] } else { row[j] };
+        let right = if j + 1 < row.len() {
+            row[j + 1]
+        } else {
+            row[j]
+        };
         *v = row[j] + 0.2 * (up + down + left + right - 4.0 * row[j]);
     });
 }
 
 fn total_heat(ctx: &NodeCtx, grid: &Grid2d<f64>) -> f64 {
     grid.as_collection()
-        .reduce(ctx, 0.0f64, |r| {
-            // Weight by cell width so refinement doesn't change the total.
-            r.cells.iter().sum::<f64>() / r.cells.len() as f64
-        }, |a, b| a + b)
+        .reduce(
+            ctx,
+            0.0f64,
+            |r| {
+                // Weight by cell width so refinement doesn't change the total.
+                r.cells.iter().sum::<f64>() / r.cells.len() as f64
+            },
+            |a, b| a + b,
+        )
         .unwrap()
 }
 
@@ -103,15 +112,14 @@ fn main() {
         let mut grid = Grid2d::new(ctx, ROWS, DistKind::Block, density, initial).unwrap();
         let cells = grid.total_cells(ctx).unwrap();
         if ctx.is_root() {
-            println!(
-                "adaptive grid: {ROWS} rows, {cells} cells (3x refinement in the hot band)"
-            );
+            println!("adaptive grid: {ROWS} rows, {cells} cells (3x refinement in the hot band)");
         }
         let mgr = CheckpointManager::new("grid", 2);
         for step in 1..=STEPS {
             step_grid(ctx, &mut grid);
             if step % 3 == 0 {
-                mgr.save(ctx, &p, grid.as_collection(), step as u64).unwrap();
+                mgr.save(ctx, &p, grid.as_collection(), step as u64)
+                    .unwrap();
                 let heat = total_heat(ctx, &grid);
                 if ctx.is_root() {
                     println!("step {step}: checkpointed (total heat {heat:.4})");

@@ -98,7 +98,11 @@ fn main() {
     run_and_dump(6, DistKind::Cyclic, &pfs, "par.dstream", inject_bug);
     println!(
         "dumped sequential (1 rank) and parallel (6 ranks) results{}",
-        if inject_bug { " — with an injected bug" } else { "" }
+        if inject_bug {
+            " — with an injected bug"
+        } else {
+            ""
+        }
     );
 
     // Compare on a third machine shape: 3 ranks, BLOCK-CYCLIC.

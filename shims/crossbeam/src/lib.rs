@@ -1,0 +1,304 @@
+//! Offline shim for `crossbeam`, providing the `channel` subset this
+//! workspace uses: unbounded MPSC-style channels with timeout receives and
+//! a poll-based `Select` over multiple receivers.
+//!
+//! Built on `std::sync::{Mutex, Condvar}`. Disconnection semantics follow
+//! crossbeam: a receive on a channel whose senders are all dropped fails
+//! with `Disconnected` once the queue drains, and `Select` treats a
+//! disconnected channel as ready (its receive completes immediately with
+//! an error).
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct Shared<T> {
+        queue: Mutex<ChanState<T>>,
+        ready: Condvar,
+    }
+
+    struct ChanState<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receiver_alive: bool,
+    }
+
+    /// Error returned by [`Sender::send`] when the receiver is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the timeout.
+        Timeout,
+        /// All senders dropped and the queue is empty.
+        Disconnected,
+    }
+
+    /// Error returned by [`Select::select_timeout`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SelectTimeoutError;
+
+    /// Sending half of an unbounded channel.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Receiving half of an unbounded channel.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(ChanState {
+                queue: VecDeque::new(),
+                senders: 1,
+                receiver_alive: true,
+            }),
+            ready: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: shared.clone(),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue a message; fails only if the receiver was dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = self.shared.queue.lock().unwrap();
+            if !st.receiver_alive {
+                return Err(SendError(value));
+            }
+            st.queue.push_back(value);
+            drop(st);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.queue.lock().unwrap().senders += 1;
+            Sender {
+                shared: self.shared.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.shared.queue.lock().unwrap();
+            st.senders -= 1;
+            let last = st.senders == 0;
+            drop(st);
+            if last {
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared.queue.lock().unwrap().receiver_alive = false;
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocking receive.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.shared.queue.lock().unwrap();
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.shared.ready.wait(st).unwrap();
+            }
+        }
+
+        /// Receive with a deadline.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut st = self.shared.queue.lock().unwrap();
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _res) = self.shared.ready.wait_timeout(st, remaining).unwrap();
+                st = guard;
+            }
+        }
+
+        /// Non-blocking readiness probe: a receive right now would not
+        /// block (either a message is queued or the channel is
+        /// disconnected and would error immediately).
+        fn ready_now(&self) -> bool {
+            let st = self.shared.queue.lock().unwrap();
+            !st.queue.is_empty() || st.senders == 0
+        }
+    }
+
+    trait Pollable {
+        fn poll_ready(&self) -> bool;
+    }
+
+    impl<T> Pollable for Receiver<T> {
+        fn poll_ready(&self) -> bool {
+            self.ready_now()
+        }
+    }
+
+    /// Poll-based select over a set of receive operations.
+    ///
+    /// Unlike crossbeam's parker-based implementation this shim polls the
+    /// registered receivers with a short sleep between rounds; it is only
+    /// intended for the cold `recv_any` path of the simulator's mailbox,
+    /// which has a single consumer per receiver (so readiness observed by
+    /// the poll cannot be stolen before the completing `recv`).
+    pub struct Select<'a> {
+        handles: Vec<&'a dyn Pollable>,
+    }
+
+    impl<'a> Select<'a> {
+        /// Create an empty selector.
+        #[allow(clippy::new_without_default)]
+        pub fn new() -> Self {
+            Select {
+                handles: Vec::new(),
+            }
+        }
+
+        /// Register a receive operation; returns its operation index.
+        pub fn recv<T>(&mut self, rx: &'a Receiver<T>) -> usize {
+            self.handles.push(rx);
+            self.handles.len() - 1
+        }
+
+        /// Wait until a registered operation is ready or the timeout
+        /// elapses.
+        pub fn select_timeout(
+            &mut self,
+            timeout: Duration,
+        ) -> Result<SelectedOperation, SelectTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut spins: u32 = 0;
+            loop {
+                for (i, h) in self.handles.iter().enumerate() {
+                    if h.poll_ready() {
+                        return Ok(SelectedOperation { index: i });
+                    }
+                }
+                if Instant::now() >= deadline {
+                    return Err(SelectTimeoutError);
+                }
+                if spins < 64 {
+                    spins += 1;
+                    std::thread::yield_now();
+                } else {
+                    std::thread::sleep(Duration::from_micros(100));
+                }
+            }
+        }
+    }
+
+    /// A ready operation returned by [`Select::select_timeout`].
+    pub struct SelectedOperation {
+        index: usize,
+    }
+
+    impl SelectedOperation {
+        /// Index of the ready operation in registration order.
+        pub fn index(&self) -> usize {
+            self.index
+        }
+
+        /// Complete the selected receive on the corresponding receiver.
+        pub fn recv<T>(self, rx: &Receiver<T>) -> Result<T, RecvError> {
+            // Readiness was observed and this mailbox is the only
+            // consumer, so either a message is queued or the channel is
+            // disconnected; a bounded wait covers the benign race with a
+            // sender mid-enqueue.
+            match rx.recv_timeout(Duration::from_millis(50)) {
+                Ok(v) => Ok(v),
+                Err(_) => Err(RecvError),
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_recv_roundtrip() {
+            let (tx, rx) = unbounded();
+            tx.send(41u32).unwrap();
+            tx.send(42u32).unwrap();
+            assert_eq!(rx.recv(), Ok(41));
+            assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(42));
+        }
+
+        #[test]
+        fn disconnect_is_reported() {
+            let (tx, rx) = unbounded::<u8>();
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+        }
+
+        #[test]
+        fn timeout_fires_without_messages() {
+            let (_tx, rx) = unbounded::<u8>();
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(5)),
+                Err(RecvTimeoutError::Timeout)
+            );
+        }
+
+        #[test]
+        fn select_picks_the_ready_channel() {
+            let (tx_a, rx_a) = unbounded::<u8>();
+            let (_tx_b, rx_b) = unbounded::<u8>();
+            tx_a.send(7).unwrap();
+            let mut sel = Select::new();
+            sel.recv(&rx_a);
+            sel.recv(&rx_b);
+            let oper = sel.select_timeout(Duration::from_millis(100)).unwrap();
+            assert_eq!(oper.index(), 0);
+            assert_eq!(oper.recv(&rx_a), Ok(7));
+        }
+
+        #[test]
+        fn cross_thread_delivery() {
+            let (tx, rx) = unbounded();
+            let h = std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(5));
+                tx.send(99u64).unwrap();
+            });
+            assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(99));
+            h.join().unwrap();
+        }
+    }
+}

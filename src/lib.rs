@@ -6,7 +6,8 @@
 //! * [`pfs`] — parallel file system with calibrated platform cost models;
 //! * [`collections`] — pC++-style distributed collections;
 //! * [`core`] — the d/streams library itself;
-//! * [`scf`] — the SCF benchmark that regenerates the paper's tables.
+//! * [`scf`] — the SCF benchmark that regenerates the paper's tables;
+//! * [`trace`] — structured event tracing (Chrome trace export, op counts).
 //!
 //! See the repository README for a quickstart and `DESIGN.md` for the
 //! system inventory.
@@ -16,6 +17,7 @@ pub use dstreams_core as core;
 pub use dstreams_machine as machine;
 pub use dstreams_pfs as pfs;
 pub use dstreams_scf as scf;
+pub use dstreams_trace as trace;
 
 /// Convenience prelude with the types most programs need.
 pub mod prelude {

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_metadata-f2a7b8ec14918f81.d: crates/bench/benches/ablation_metadata.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_metadata-f2a7b8ec14918f81.rmeta: crates/bench/benches/ablation_metadata.rs Cargo.toml
+
+crates/bench/benches/ablation_metadata.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

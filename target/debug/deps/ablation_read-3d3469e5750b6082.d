@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_read-3d3469e5750b6082.d: crates/bench/benches/ablation_read.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_read-3d3469e5750b6082.rmeta: crates/bench/benches/ablation_read.rs Cargo.toml
+
+crates/bench/benches/ablation_read.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_smp-b15ff69f1cdf4a84.d: crates/bench/benches/ablation_smp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_smp-b15ff69f1cdf4a84.rmeta: crates/bench/benches/ablation_smp.rs Cargo.toml
+
+crates/bench/benches/ablation_smp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

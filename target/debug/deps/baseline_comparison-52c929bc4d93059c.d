@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baseline_comparison-52c929bc4d93059c.d: tests/baseline_comparison.rs
+
+/root/repo/target/debug/deps/baseline_comparison-52c929bc4d93059c: tests/baseline_comparison.rs
+
+tests/baseline_comparison.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli-38b219a9c6650139.d: crates/streamgen/tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-38b219a9c6650139.rmeta: crates/streamgen/tests/cli.rs Cargo.toml
+
+crates/streamgen/tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_stream-gen=placeholder:stream-gen
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

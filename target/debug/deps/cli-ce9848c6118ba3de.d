@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-ce9848c6118ba3de.d: crates/streamgen/tests/cli.rs
+
+/root/repo/target/debug/deps/cli-ce9848c6118ba3de: crates/streamgen/tests/cli.rs
+
+crates/streamgen/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_stream-gen=/root/repo/target/debug/stream-gen

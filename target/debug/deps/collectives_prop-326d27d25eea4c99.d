@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/collectives_prop-326d27d25eea4c99.d: crates/machine/tests/collectives_prop.rs
+
+/root/repo/target/debug/deps/collectives_prop-326d27d25eea4c99: crates/machine/tests/collectives_prop.rs
+
+crates/machine/tests/collectives_prop.rs:

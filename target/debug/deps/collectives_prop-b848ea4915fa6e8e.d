@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/collectives_prop-b848ea4915fa6e8e.d: crates/machine/tests/collectives_prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcollectives_prop-b848ea4915fa6e8e.rmeta: crates/machine/tests/collectives_prop.rs Cargo.toml
+
+crates/machine/tests/collectives_prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

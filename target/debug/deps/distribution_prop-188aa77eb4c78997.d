@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/distribution_prop-188aa77eb4c78997.d: crates/collections/tests/distribution_prop.rs
+
+/root/repo/target/debug/deps/distribution_prop-188aa77eb4c78997: crates/collections/tests/distribution_prop.rs
+
+crates/collections/tests/distribution_prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dsdump-ed89ea2a94cd62e4.d: crates/core/src/bin/dsdump.rs
+
+/root/repo/target/debug/deps/dsdump-ed89ea2a94cd62e4: crates/core/src/bin/dsdump.rs
+
+crates/core/src/bin/dsdump.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dsdump-ff3a6b63d3d5a189.d: crates/core/src/bin/dsdump.rs
+
+/root/repo/target/debug/deps/dsdump-ff3a6b63d3d5a189: crates/core/src/bin/dsdump.rs
+
+crates/core/src/bin/dsdump.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dstreams-3f90e88db7a488f4.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdstreams-3f90e88db7a488f4.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

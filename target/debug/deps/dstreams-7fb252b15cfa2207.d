@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dstreams-7fb252b15cfa2207.d: src/lib.rs
+
+/root/repo/target/debug/deps/dstreams-7fb252b15cfa2207: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dstreams-bf64ea8c131198d8.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdstreams-bf64ea8c131198d8.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdstreams-bf64ea8c131198d8.rmeta: src/lib.rs
+
+src/lib.rs:

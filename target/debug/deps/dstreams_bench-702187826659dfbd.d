@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dstreams_bench-702187826659dfbd.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdstreams_bench-702187826659dfbd.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dstreams_bench-7b89eda232c25592.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/dstreams_bench-7b89eda232c25592: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dstreams_bench-a0ed364ff893673b.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdstreams_bench-a0ed364ff893673b.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdstreams_bench-a0ed364ff893673b.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dstreams_collections-4834a7cdffefe1c3.d: crates/collections/src/lib.rs crates/collections/src/alignment.rs crates/collections/src/collection.rs crates/collections/src/distribution.rs crates/collections/src/error.rs crates/collections/src/grid.rs crates/collections/src/layout.rs
+
+/root/repo/target/debug/deps/libdstreams_collections-4834a7cdffefe1c3.rlib: crates/collections/src/lib.rs crates/collections/src/alignment.rs crates/collections/src/collection.rs crates/collections/src/distribution.rs crates/collections/src/error.rs crates/collections/src/grid.rs crates/collections/src/layout.rs
+
+/root/repo/target/debug/deps/libdstreams_collections-4834a7cdffefe1c3.rmeta: crates/collections/src/lib.rs crates/collections/src/alignment.rs crates/collections/src/collection.rs crates/collections/src/distribution.rs crates/collections/src/error.rs crates/collections/src/grid.rs crates/collections/src/layout.rs
+
+crates/collections/src/lib.rs:
+crates/collections/src/alignment.rs:
+crates/collections/src/collection.rs:
+crates/collections/src/distribution.rs:
+crates/collections/src/error.rs:
+crates/collections/src/grid.rs:
+crates/collections/src/layout.rs:

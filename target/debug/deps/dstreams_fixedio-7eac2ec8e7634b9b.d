@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dstreams_fixedio-7eac2ec8e7634b9b.d: crates/fixedio/src/lib.rs crates/fixedio/src/chameleon.rs crates/fixedio/src/panda.rs
+
+/root/repo/target/debug/deps/dstreams_fixedio-7eac2ec8e7634b9b: crates/fixedio/src/lib.rs crates/fixedio/src/chameleon.rs crates/fixedio/src/panda.rs
+
+crates/fixedio/src/lib.rs:
+crates/fixedio/src/chameleon.rs:
+crates/fixedio/src/panda.rs:

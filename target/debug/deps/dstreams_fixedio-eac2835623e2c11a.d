@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dstreams_fixedio-eac2835623e2c11a.d: crates/fixedio/src/lib.rs crates/fixedio/src/chameleon.rs crates/fixedio/src/panda.rs
+
+/root/repo/target/debug/deps/libdstreams_fixedio-eac2835623e2c11a.rlib: crates/fixedio/src/lib.rs crates/fixedio/src/chameleon.rs crates/fixedio/src/panda.rs
+
+/root/repo/target/debug/deps/libdstreams_fixedio-eac2835623e2c11a.rmeta: crates/fixedio/src/lib.rs crates/fixedio/src/chameleon.rs crates/fixedio/src/panda.rs
+
+crates/fixedio/src/lib.rs:
+crates/fixedio/src/chameleon.rs:
+crates/fixedio/src/panda.rs:

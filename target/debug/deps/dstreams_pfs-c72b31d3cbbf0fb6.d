@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dstreams_pfs-c72b31d3cbbf0fb6.d: crates/pfs/src/lib.rs crates/pfs/src/error.rs crates/pfs/src/file.rs crates/pfs/src/model.rs crates/pfs/src/pfs.rs crates/pfs/src/storage.rs
+
+/root/repo/target/debug/deps/dstreams_pfs-c72b31d3cbbf0fb6: crates/pfs/src/lib.rs crates/pfs/src/error.rs crates/pfs/src/file.rs crates/pfs/src/model.rs crates/pfs/src/pfs.rs crates/pfs/src/storage.rs
+
+crates/pfs/src/lib.rs:
+crates/pfs/src/error.rs:
+crates/pfs/src/file.rs:
+crates/pfs/src/model.rs:
+crates/pfs/src/pfs.rs:
+crates/pfs/src/storage.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dstreams_pfs-d4ed09a019d19e33.d: crates/pfs/src/lib.rs crates/pfs/src/error.rs crates/pfs/src/file.rs crates/pfs/src/model.rs crates/pfs/src/pfs.rs crates/pfs/src/storage.rs
+
+/root/repo/target/debug/deps/libdstreams_pfs-d4ed09a019d19e33.rlib: crates/pfs/src/lib.rs crates/pfs/src/error.rs crates/pfs/src/file.rs crates/pfs/src/model.rs crates/pfs/src/pfs.rs crates/pfs/src/storage.rs
+
+/root/repo/target/debug/deps/libdstreams_pfs-d4ed09a019d19e33.rmeta: crates/pfs/src/lib.rs crates/pfs/src/error.rs crates/pfs/src/file.rs crates/pfs/src/model.rs crates/pfs/src/pfs.rs crates/pfs/src/storage.rs
+
+crates/pfs/src/lib.rs:
+crates/pfs/src/error.rs:
+crates/pfs/src/file.rs:
+crates/pfs/src/model.rs:
+crates/pfs/src/pfs.rs:
+crates/pfs/src/storage.rs:

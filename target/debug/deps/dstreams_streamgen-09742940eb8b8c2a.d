@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dstreams_streamgen-09742940eb8b8c2a.d: crates/streamgen/src/lib.rs crates/streamgen/src/ast.rs crates/streamgen/src/codegen.rs crates/streamgen/src/lexer.rs crates/streamgen/src/parser.rs crates/streamgen/src/sema.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdstreams_streamgen-09742940eb8b8c2a.rmeta: crates/streamgen/src/lib.rs crates/streamgen/src/ast.rs crates/streamgen/src/codegen.rs crates/streamgen/src/lexer.rs crates/streamgen/src/parser.rs crates/streamgen/src/sema.rs Cargo.toml
+
+crates/streamgen/src/lib.rs:
+crates/streamgen/src/ast.rs:
+crates/streamgen/src/codegen.rs:
+crates/streamgen/src/lexer.rs:
+crates/streamgen/src/parser.rs:
+crates/streamgen/src/sema.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dstreams_streamgen-3d91165159fb0b68.d: crates/streamgen/src/lib.rs crates/streamgen/src/ast.rs crates/streamgen/src/codegen.rs crates/streamgen/src/lexer.rs crates/streamgen/src/parser.rs crates/streamgen/src/sema.rs
+
+/root/repo/target/debug/deps/libdstreams_streamgen-3d91165159fb0b68.rlib: crates/streamgen/src/lib.rs crates/streamgen/src/ast.rs crates/streamgen/src/codegen.rs crates/streamgen/src/lexer.rs crates/streamgen/src/parser.rs crates/streamgen/src/sema.rs
+
+/root/repo/target/debug/deps/libdstreams_streamgen-3d91165159fb0b68.rmeta: crates/streamgen/src/lib.rs crates/streamgen/src/ast.rs crates/streamgen/src/codegen.rs crates/streamgen/src/lexer.rs crates/streamgen/src/parser.rs crates/streamgen/src/sema.rs
+
+crates/streamgen/src/lib.rs:
+crates/streamgen/src/ast.rs:
+crates/streamgen/src/codegen.rs:
+crates/streamgen/src/lexer.rs:
+crates/streamgen/src/parser.rs:
+crates/streamgen/src/sema.rs:

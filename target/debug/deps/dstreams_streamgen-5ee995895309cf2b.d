@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dstreams_streamgen-5ee995895309cf2b.d: crates/streamgen/src/lib.rs crates/streamgen/src/ast.rs crates/streamgen/src/codegen.rs crates/streamgen/src/lexer.rs crates/streamgen/src/parser.rs crates/streamgen/src/sema.rs
+
+/root/repo/target/debug/deps/dstreams_streamgen-5ee995895309cf2b: crates/streamgen/src/lib.rs crates/streamgen/src/ast.rs crates/streamgen/src/codegen.rs crates/streamgen/src/lexer.rs crates/streamgen/src/parser.rs crates/streamgen/src/sema.rs
+
+crates/streamgen/src/lib.rs:
+crates/streamgen/src/ast.rs:
+crates/streamgen/src/codegen.rs:
+crates/streamgen/src/lexer.rs:
+crates/streamgen/src/parser.rs:
+crates/streamgen/src/sema.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dstreams_trace-b9ce3fdf78a7b19b.d: crates/trace/src/lib.rs crates/trace/src/chrome.rs crates/trace/src/counts.rs crates/trace/src/event.rs crates/trace/src/json.rs crates/trace/src/sink.rs
+
+/root/repo/target/debug/deps/libdstreams_trace-b9ce3fdf78a7b19b.rlib: crates/trace/src/lib.rs crates/trace/src/chrome.rs crates/trace/src/counts.rs crates/trace/src/event.rs crates/trace/src/json.rs crates/trace/src/sink.rs
+
+/root/repo/target/debug/deps/libdstreams_trace-b9ce3fdf78a7b19b.rmeta: crates/trace/src/lib.rs crates/trace/src/chrome.rs crates/trace/src/counts.rs crates/trace/src/event.rs crates/trace/src/json.rs crates/trace/src/sink.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/chrome.rs:
+crates/trace/src/counts.rs:
+crates/trace/src/event.rs:
+crates/trace/src/json.rs:
+crates/trace/src/sink.rs:

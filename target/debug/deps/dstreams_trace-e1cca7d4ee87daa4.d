@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dstreams_trace-e1cca7d4ee87daa4.d: crates/trace/src/lib.rs crates/trace/src/chrome.rs crates/trace/src/counts.rs crates/trace/src/event.rs crates/trace/src/json.rs crates/trace/src/sink.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdstreams_trace-e1cca7d4ee87daa4.rmeta: crates/trace/src/lib.rs crates/trace/src/chrome.rs crates/trace/src/counts.rs crates/trace/src/event.rs crates/trace/src/json.rs crates/trace/src/sink.rs Cargo.toml
+
+crates/trace/src/lib.rs:
+crates/trace/src/chrome.rs:
+crates/trace/src/counts.rs:
+crates/trace/src/event.rs:
+crates/trace/src/json.rs:
+crates/trace/src/sink.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

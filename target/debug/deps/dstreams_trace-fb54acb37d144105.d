@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dstreams_trace-fb54acb37d144105.d: crates/trace/src/lib.rs crates/trace/src/chrome.rs crates/trace/src/counts.rs crates/trace/src/event.rs crates/trace/src/json.rs crates/trace/src/sink.rs
+
+/root/repo/target/debug/deps/dstreams_trace-fb54acb37d144105: crates/trace/src/lib.rs crates/trace/src/chrome.rs crates/trace/src/counts.rs crates/trace/src/event.rs crates/trace/src/json.rs crates/trace/src/sink.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/chrome.rs:
+crates/trace/src/counts.rs:
+crates/trace/src/event.rs:
+crates/trace/src/json.rs:
+crates/trace/src/sink.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fixed_prop-3c937d74d9884fc7.d: crates/fixedio/tests/fixed_prop.rs
+
+/root/repo/target/debug/deps/fixed_prop-3c937d74d9884fc7: crates/fixedio/tests/fixed_prop.rs
+
+crates/fixedio/tests/fixed_prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/generated_figure3-23e8a17b302dec28.d: tests/generated_figure3.rs
+
+/root/repo/target/debug/deps/generated_figure3-23e8a17b302dec28: tests/generated_figure3.rs
+
+tests/generated_figure3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/io_modes-9d090502ca57ec17.d: crates/pfs/tests/io_modes.rs
+
+/root/repo/target/debug/deps/io_modes-9d090502ca57ec17: crates/pfs/tests/io_modes.rs
+
+crates/pfs/tests/io_modes.rs:

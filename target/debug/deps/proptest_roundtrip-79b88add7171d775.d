@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_roundtrip-79b88add7171d775.d: tests/proptest_roundtrip.rs
+
+/root/repo/target/debug/deps/proptest_roundtrip-79b88add7171d775: tests/proptest_roundtrip.rs
+
+tests/proptest_roundtrip.rs:

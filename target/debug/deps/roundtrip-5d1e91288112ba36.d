@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/roundtrip-5d1e91288112ba36.d: crates/core/tests/roundtrip.rs
+
+/root/repo/target/debug/deps/roundtrip-5d1e91288112ba36: crates/core/tests/roundtrip.rs
+
+crates/core/tests/roundtrip.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/roundtrip-a3e290b903e5e972.d: crates/core/tests/roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libroundtrip-a3e290b903e5e972.rmeta: crates/core/tests/roundtrip.rs Cargo.toml
+
+crates/core/tests/roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smp_buffer-ad9030078a79ca28.d: crates/core/tests/smp_buffer.rs
+
+/root/repo/target/debug/deps/smp_buffer-ad9030078a79ca28: crates/core/tests/smp_buffer.rs
+
+crates/core/tests/smp_buffer.rs:

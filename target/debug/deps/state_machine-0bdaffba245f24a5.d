@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/state_machine-0bdaffba245f24a5.d: tests/state_machine.rs
+
+/root/repo/target/debug/deps/state_machine-0bdaffba245f24a5: tests/state_machine.rs
+
+tests/state_machine.rs:

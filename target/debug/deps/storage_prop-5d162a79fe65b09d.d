@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/storage_prop-5d162a79fe65b09d.d: crates/pfs/tests/storage_prop.rs
+
+/root/repo/target/debug/deps/storage_prop-5d162a79fe65b09d: crates/pfs/tests/storage_prop.rs
+
+crates/pfs/tests/storage_prop.rs:

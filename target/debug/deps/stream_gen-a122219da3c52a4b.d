@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stream_gen-a122219da3c52a4b.d: crates/streamgen/src/main.rs
+
+/root/repo/target/debug/deps/stream_gen-a122219da3c52a4b: crates/streamgen/src/main.rs
+
+crates/streamgen/src/main.rs:

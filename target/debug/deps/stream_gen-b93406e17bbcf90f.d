@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stream_gen-b93406e17bbcf90f.d: crates/streamgen/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstream_gen-b93406e17bbcf90f.rmeta: crates/streamgen/src/main.rs Cargo.toml
+
+crates/streamgen/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stream_gen-d870b34c581c8299.d: crates/streamgen/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstream_gen-d870b34c581c8299.rmeta: crates/streamgen/src/main.rs Cargo.toml
+
+crates/streamgen/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stream_gen-f498d14e79c8784e.d: crates/streamgen/src/main.rs
+
+/root/repo/target/debug/deps/stream_gen-f498d14e79c8784e: crates/streamgen/src/main.rs
+
+crates/streamgen/src/main.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/streamgen_roundtrip-6ff56c312d629480.d: tests/streamgen_roundtrip.rs tests/generated_figure3.rs
+
+/root/repo/target/debug/deps/streamgen_roundtrip-6ff56c312d629480: tests/streamgen_roundtrip.rs tests/generated_figure3.rs
+
+tests/streamgen_roundtrip.rs:
+tests/generated_figure3.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

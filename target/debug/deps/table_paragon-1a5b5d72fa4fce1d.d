@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_paragon-1a5b5d72fa4fce1d.d: crates/bench/benches/table_paragon.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_paragon-1a5b5d72fa4fce1d.rmeta: crates/bench/benches/table_paragon.rs Cargo.toml
+
+crates/bench/benches/table_paragon.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

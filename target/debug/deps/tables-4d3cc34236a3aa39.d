@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tables-4d3cc34236a3aa39.d: crates/bench/src/bin/tables.rs
+
+/root/repo/target/debug/deps/tables-4d3cc34236a3aa39: crates/bench/src/bin/tables.rs
+
+crates/bench/src/bin/tables.rs:

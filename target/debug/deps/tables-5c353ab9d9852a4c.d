@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tables-5c353ab9d9852a4c.d: crates/bench/src/bin/tables.rs
+
+/root/repo/target/debug/deps/tables-5c353ab9d9852a4c: crates/bench/src/bin/tables.rs
+
+crates/bench/src/bin/tables.rs:

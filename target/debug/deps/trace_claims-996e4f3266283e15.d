@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_claims-996e4f3266283e15.d: tests/trace_claims.rs
+
+/root/repo/target/debug/deps/trace_claims-996e4f3266283e15: tests/trace_claims.rs
+
+tests/trace_claims.rs:

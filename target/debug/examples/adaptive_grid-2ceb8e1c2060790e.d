@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/adaptive_grid-2ceb8e1c2060790e.d: examples/adaptive_grid.rs Cargo.toml
+
+/root/repo/target/debug/examples/libadaptive_grid-2ceb8e1c2060790e.rmeta: examples/adaptive_grid.rs Cargo.toml
+
+examples/adaptive_grid.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adaptive_grid-3953c6f38dab5cf4.d: examples/adaptive_grid.rs
+
+/root/repo/target/debug/examples/adaptive_grid-3953c6f38dab5cf4: examples/adaptive_grid.rs
+
+examples/adaptive_grid.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/adaptive_tree-6eea38ff84849137.d: examples/adaptive_tree.rs Cargo.toml
+
+/root/repo/target/debug/examples/libadaptive_tree-6eea38ff84849137.rmeta: examples/adaptive_tree.rs Cargo.toml
+
+examples/adaptive_tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

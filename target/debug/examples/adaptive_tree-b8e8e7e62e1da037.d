@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adaptive_tree-b8e8e7e62e1da037.d: examples/adaptive_tree.rs
+
+/root/repo/target/debug/examples/adaptive_tree-b8e8e7e62e1da037: examples/adaptive_tree.rs
+
+examples/adaptive_tree.rs:

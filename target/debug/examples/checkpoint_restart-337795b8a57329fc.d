@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/checkpoint_restart-337795b8a57329fc.d: examples/checkpoint_restart.rs
+
+/root/repo/target/debug/examples/checkpoint_restart-337795b8a57329fc: examples/checkpoint_restart.rs
+
+examples/checkpoint_restart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/debug_compare-66f6569a261a9eef.d: examples/debug_compare.rs
+
+/root/repo/target/debug/examples/debug_compare-66f6569a261a9eef: examples/debug_compare.rs
+
+examples/debug_compare.rs:

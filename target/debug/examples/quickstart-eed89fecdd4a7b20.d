@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-eed89fecdd4a7b20.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-eed89fecdd4a7b20: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/visualization_export-17f4f32d6496764d.d: examples/visualization_export.rs
+
+/root/repo/target/debug/examples/visualization_export-17f4f32d6496764d: examples/visualization_export.rs
+
+examples/visualization_export.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/visualization_export-aea6ae80cdedda93.d: examples/visualization_export.rs Cargo.toml
+
+/root/repo/target/debug/examples/libvisualization_export-aea6ae80cdedda93.rmeta: examples/visualization_export.rs Cargo.toml
+
+examples/visualization_export.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dsdump-447f61530f97aff7.d: crates/core/src/bin/dsdump.rs
+
+/root/repo/target/release/deps/dsdump-447f61530f97aff7: crates/core/src/bin/dsdump.rs
+
+crates/core/src/bin/dsdump.rs:

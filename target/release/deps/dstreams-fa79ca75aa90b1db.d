@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dstreams-fa79ca75aa90b1db.d: src/lib.rs
+
+/root/repo/target/release/deps/libdstreams-fa79ca75aa90b1db.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libdstreams-fa79ca75aa90b1db.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dstreams_bench-e90474e70a49a7e6.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libdstreams_bench-e90474e70a49a7e6.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libdstreams_bench-e90474e70a49a7e6.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

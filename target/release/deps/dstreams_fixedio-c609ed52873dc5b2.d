@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dstreams_fixedio-c609ed52873dc5b2.d: crates/fixedio/src/lib.rs crates/fixedio/src/chameleon.rs crates/fixedio/src/panda.rs
+
+/root/repo/target/release/deps/libdstreams_fixedio-c609ed52873dc5b2.rlib: crates/fixedio/src/lib.rs crates/fixedio/src/chameleon.rs crates/fixedio/src/panda.rs
+
+/root/repo/target/release/deps/libdstreams_fixedio-c609ed52873dc5b2.rmeta: crates/fixedio/src/lib.rs crates/fixedio/src/chameleon.rs crates/fixedio/src/panda.rs
+
+crates/fixedio/src/lib.rs:
+crates/fixedio/src/chameleon.rs:
+crates/fixedio/src/panda.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/dstreams_machine-b6db64b55ecda74a.d: crates/machine/src/lib.rs crates/machine/src/collectives.rs crates/machine/src/config.rs crates/machine/src/error.rs crates/machine/src/machine.rs crates/machine/src/message.rs crates/machine/src/node.rs crates/machine/src/shared.rs crates/machine/src/time.rs crates/machine/src/wire.rs
+
+/root/repo/target/release/deps/libdstreams_machine-b6db64b55ecda74a.rlib: crates/machine/src/lib.rs crates/machine/src/collectives.rs crates/machine/src/config.rs crates/machine/src/error.rs crates/machine/src/machine.rs crates/machine/src/message.rs crates/machine/src/node.rs crates/machine/src/shared.rs crates/machine/src/time.rs crates/machine/src/wire.rs
+
+/root/repo/target/release/deps/libdstreams_machine-b6db64b55ecda74a.rmeta: crates/machine/src/lib.rs crates/machine/src/collectives.rs crates/machine/src/config.rs crates/machine/src/error.rs crates/machine/src/machine.rs crates/machine/src/message.rs crates/machine/src/node.rs crates/machine/src/shared.rs crates/machine/src/time.rs crates/machine/src/wire.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/collectives.rs:
+crates/machine/src/config.rs:
+crates/machine/src/error.rs:
+crates/machine/src/machine.rs:
+crates/machine/src/message.rs:
+crates/machine/src/node.rs:
+crates/machine/src/shared.rs:
+crates/machine/src/time.rs:
+crates/machine/src/wire.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dstreams_pfs-9e454974069f3c38.d: crates/pfs/src/lib.rs crates/pfs/src/error.rs crates/pfs/src/file.rs crates/pfs/src/model.rs crates/pfs/src/pfs.rs crates/pfs/src/storage.rs
+
+/root/repo/target/release/deps/libdstreams_pfs-9e454974069f3c38.rlib: crates/pfs/src/lib.rs crates/pfs/src/error.rs crates/pfs/src/file.rs crates/pfs/src/model.rs crates/pfs/src/pfs.rs crates/pfs/src/storage.rs
+
+/root/repo/target/release/deps/libdstreams_pfs-9e454974069f3c38.rmeta: crates/pfs/src/lib.rs crates/pfs/src/error.rs crates/pfs/src/file.rs crates/pfs/src/model.rs crates/pfs/src/pfs.rs crates/pfs/src/storage.rs
+
+crates/pfs/src/lib.rs:
+crates/pfs/src/error.rs:
+crates/pfs/src/file.rs:
+crates/pfs/src/model.rs:
+crates/pfs/src/pfs.rs:
+crates/pfs/src/storage.rs:

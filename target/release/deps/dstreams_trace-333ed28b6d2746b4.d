@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dstreams_trace-333ed28b6d2746b4.d: crates/trace/src/lib.rs crates/trace/src/chrome.rs crates/trace/src/counts.rs crates/trace/src/event.rs crates/trace/src/json.rs crates/trace/src/sink.rs
+
+/root/repo/target/release/deps/libdstreams_trace-333ed28b6d2746b4.rlib: crates/trace/src/lib.rs crates/trace/src/chrome.rs crates/trace/src/counts.rs crates/trace/src/event.rs crates/trace/src/json.rs crates/trace/src/sink.rs
+
+/root/repo/target/release/deps/libdstreams_trace-333ed28b6d2746b4.rmeta: crates/trace/src/lib.rs crates/trace/src/chrome.rs crates/trace/src/counts.rs crates/trace/src/event.rs crates/trace/src/json.rs crates/trace/src/sink.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/chrome.rs:
+crates/trace/src/counts.rs:
+crates/trace/src/event.rs:
+crates/trace/src/json.rs:
+crates/trace/src/sink.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tables-424d65f3388479de.d: crates/bench/src/bin/tables.rs
+
+/root/repo/target/release/deps/tables-424d65f3388479de: crates/bench/src/bin/tables.rs
+
+crates/bench/src/bin/tables.rs:

@@ -35,8 +35,7 @@ fn fixed_size_data_roundtrips_through_all_three_libraries() {
         let c = Collection::new(ctx, layout.clone(), |i| i as f64 * 2.5).unwrap();
 
         // Chameleon-style.
-        chameleon::write_block_array(ctx, &p, "cham", &c, 8, |v| v.to_le_bytes().to_vec())
-            .unwrap();
+        chameleon::write_block_array(ctx, &p, "cham", &c, 8, |v| v.to_le_bytes().to_vec()).unwrap();
         // Panda-style.
         let schema = panda::Schema {
             fields: vec![panda::SchemaField {
@@ -44,8 +43,10 @@ fn fixed_size_data_roundtrips_through_all_three_libraries() {
                 elem_size: 8,
             }],
         };
-        panda::write_array(ctx, &p, "panda", &c, &schema, |_, v| v.to_le_bytes().to_vec())
-            .unwrap();
+        panda::write_array(ctx, &p, "panda", &c, &schema, |_, v| {
+            v.to_le_bytes().to_vec()
+        })
+        .unwrap();
         // d/streams.
         let mut s = OStream::create(ctx, &p, &layout, "dstr").unwrap();
         s.insert_collection(&c).unwrap();
@@ -161,8 +162,7 @@ fn panda_interleaving_matches_dstreams_interleaving_byte_for_byte() {
         };
         // Panda writes field pairs per element; mirror with one combined
         // source collection.
-        let pairs = Collection::new(ctx, layout.clone(), |i| (i as f64, 100.0 + i as f64))
-            .unwrap();
+        let pairs = Collection::new(ctx, layout.clone(), |i| (i as f64, 100.0 + i as f64)).unwrap();
         panda::write_array(ctx, &p, "pv", &pairs, &schema, |k, (x, y)| {
             if k == 0 { x } else { y }.to_le_bytes().to_vec()
         })
@@ -178,7 +178,9 @@ fn panda_interleaving_matches_dstreams_interleaving_byte_for_byte() {
         ctx.barrier().unwrap();
         if ctx.is_root() {
             let read_tail = |name: &str| {
-                let fh = p.open(false, name, dstreams::pfs::OpenMode::Create).unwrap();
+                let fh = p
+                    .open(false, name, dstreams::pfs::OpenMode::Create)
+                    .unwrap();
                 let mut buf = vec![0u8; 96];
                 fh.read_at(ctx, fh.len() - 96, &mut buf).unwrap();
                 buf

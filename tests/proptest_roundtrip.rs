@@ -38,7 +38,9 @@ fn blob_for(gid: usize, seed: u8, size_class: usize) -> Blob {
     let n = (gid * 7 + seed as usize) % (size_class + 1);
     Blob {
         n: n as i64,
-        payload: (0..n).map(|k| (gid as u8).wrapping_add(k as u8) ^ seed).collect(),
+        payload: (0..n)
+            .map(|k| (gid as u8).wrapping_add(k as u8) ^ seed)
+            .collect(),
         tag: gid as f64 * 1.5 + seed as f64,
     }
 }

@@ -93,7 +93,10 @@ fn read_with_missing_extracts_is_rejected() {
         ));
         // Closing in this state is also a violation.
         let err = r.close().unwrap_err();
-        assert!(matches!(err, StreamError::StateViolation { op: "close", .. }));
+        assert!(matches!(
+            err,
+            StreamError::StateViolation { op: "close", .. }
+        ));
     })
     .unwrap();
 }
@@ -127,7 +130,8 @@ fn not_a_dstream_file_is_rejected_at_open() {
     Machine::run(MachineConfig::functional(2), move |ctx| {
         // A raw file that is not a d/stream.
         let fh = p.open(ctx.is_root(), "raw", OpenMode::Create).unwrap();
-        fh.write_ordered(ctx, b"this is not a dstream file at all").unwrap();
+        fh.write_ordered(ctx, b"this is not a dstream file at all")
+            .unwrap();
         let l = layout(4, 2);
         let Err(err) = IStream::open(ctx, &p, &l, "raw") else {
             panic!("raw file accepted as a d/stream");
@@ -181,7 +185,10 @@ fn wrong_element_count_reports_both_sides() {
         let err = r.read().unwrap_err();
         assert!(matches!(
             err,
-            StreamError::WrongElementCount { file: 8, stream: 10 }
+            StreamError::WrongElementCount {
+                file: 8,
+                stream: 10
+            }
         ));
     })
     .unwrap();

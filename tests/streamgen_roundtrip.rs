@@ -28,11 +28,8 @@ fn sample_particle_list(g: usize) -> ParticleList {
 
 #[test]
 fn generated_code_matches_the_tool_today() {
-    let src = std::fs::read_to_string(concat!(
-        env!("CARGO_MANIFEST_DIR"),
-        "/assets/figure3.pcxx"
-    ))
-    .expect("declaration file");
+    let src = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/assets/figure3.pcxx"))
+        .expect("declaration file");
     let fresh = dstreams_streamgen::generate_from_source(
         &src,
         dstreams_streamgen::GenOptions::default(),
