@@ -2,15 +2,19 @@
 //!
 //! ```text
 //! dsdump FILE...
+//! dsdump --recover FILE...
 //! dsdump --dstrace TRACE.json...
 //! ```
 //!
 //! Works on files produced by the real-disk PFS backend (or any byte-exact
-//! copy of a d/stream file). With `--dstrace` the arguments are instead
-//! Chrome `trace_event` JSON files captured by the tracing layer (e.g.
-//! `tables trace`), and dsdump prints a per-rank summary of the recorded
-//! events: message and collective counts, PFS traffic, and stream-phase
-//! virtual time.
+//! copy of a d/stream file). With `--recover` each file is scanned for its
+//! last commit-sealed record and, when the tail record is torn (a crash
+//! landed mid-write), truncated back to the sealed prefix — the on-disk
+//! analogue of the torn-tail detection `IStream::open` performs. With
+//! `--dstrace` the arguments are instead Chrome `trace_event` JSON files
+//! captured by the tracing layer (e.g. `tables trace`), and dsdump prints
+//! a per-rank summary of the recorded events: message and collective
+//! counts, PFS traffic, and stream-phase virtual time.
 
 use std::process::ExitCode;
 
@@ -19,14 +23,26 @@ use dstreams_trace::json::{self, Value};
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let dstrace = args.iter().any(|a| a == "--dstrace");
-    args.retain(|a| a != "--dstrace");
-    if args.is_empty() || args.iter().any(|a| a == "-h" || a == "--help") {
+    let recover = args.iter().any(|a| a == "--recover");
+    args.retain(|a| a != "--dstrace" && a != "--recover");
+    if args.is_empty() || args.iter().any(|a| a == "-h" || a == "--help") || (dstrace && recover) {
         eprintln!("usage: dsdump FILE...");
+        eprintln!("       dsdump --recover FILE...");
         eprintln!("       dsdump --dstrace TRACE.json...");
         return ExitCode::from(2);
     }
     let mut status = ExitCode::SUCCESS;
     for path in &args {
+        if recover {
+            match recover_file(path) {
+                Ok(report) => print!("{report}"),
+                Err(e) => {
+                    eprintln!("dsdump: {path}: {e}");
+                    status = ExitCode::FAILURE;
+                }
+            }
+            continue;
+        }
         if dstrace {
             match std::fs::read_to_string(path) {
                 Ok(text) => match render_dstrace(path, &text) {
@@ -58,6 +74,31 @@ fn main() -> ExitCode {
         }
     }
     status
+}
+
+/// Truncate `path` back to its last commit-sealed record if the tail is
+/// torn; report what was (or wasn't) done.
+fn recover_file(path: &str) -> Result<String, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read: {e}"))?;
+    let report = dstreams_core::recovery_scan(&bytes).map_err(|e| e.to_string())?;
+    if !report.torn {
+        return Ok(format!(
+            "{path}: intact — {} sealed record(s), {} bytes, nothing to do\n",
+            report.sealed_records, report.sealed_bytes
+        ));
+    }
+    let f = std::fs::OpenOptions::new()
+        .write(true)
+        .open(path)
+        .map_err(|e| format!("cannot open for truncation: {e}"))?;
+    f.set_len(report.sealed_bytes)
+        .map_err(|e| format!("cannot truncate: {e}"))?;
+    Ok(format!(
+        "{path}: torn tail record — truncated {} -> {} bytes, keeping {} sealed record(s)\n",
+        bytes.len(),
+        report.sealed_bytes,
+        report.sealed_records
+    ))
 }
 
 /// Per-rank tallies accumulated over one trace file.

@@ -14,7 +14,7 @@
 
 use dstreams_collections::{Collection, Layout};
 use dstreams_machine::NodeCtx;
-use dstreams_pfs::Pfs;
+use dstreams_pfs::{OpenMode, Pfs};
 
 use crate::data::StreamData;
 use crate::error::StreamError;
@@ -73,25 +73,66 @@ impl CheckpointManager {
         format!("{}.manifest", self.prefix)
     }
 
-    /// Generations currently recorded in the manifest, oldest first.
-    /// Returns an empty list when no manifest exists yet.
+    /// Generations visible on disk, oldest first. The replicated manifest
+    /// is the primary source, but recovery must not depend on it having
+    /// survived a crash: `write_manifest` removes and recreates the file,
+    /// so a power cut between the two leaves no manifest at all. Rank 0
+    /// therefore *also* scans the PFS namespace for `<prefix>.<number>`
+    /// files, unions the two views, and broadcasts the result — every rank
+    /// sees the same list even when the manifest is missing or torn.
     pub fn generations(&self, ctx: &NodeCtx, pfs: &Pfs) -> Result<Vec<u64>, StreamError> {
-        if !exists_consistent(ctx, pfs, &self.manifest_name())? {
-            return Ok(Vec::new());
-        }
-        let mut f = LocalFile::open(ctx, pfs, &self.manifest_name())?;
-        let head = f.read(MANIFEST_MAGIC.len() + 8)?;
-        if &head[..8] != MANIFEST_MAGIC {
-            return Err(StreamError::CorruptRecord(
-                "checkpoint manifest has a bad magic".into(),
-            ));
-        }
-        let count = u64::from_le_bytes(head[8..16].try_into().expect("8 bytes")) as usize;
-        let body = f.read(count * 8)?;
-        Ok(body
+        ctx.barrier()?;
+        let blob = if ctx.is_root() {
+            let mut gens = self.scan_generations(pfs);
+            if let Some(listed) = self.read_manifest_root(ctx, pfs) {
+                gens.extend(listed);
+            }
+            gens.sort_unstable();
+            gens.dedup();
+            let mut buf = Vec::with_capacity(gens.len() * 8);
+            for g in &gens {
+                buf.extend_from_slice(&g.to_le_bytes());
+            }
+            buf
+        } else {
+            Vec::new()
+        };
+        let blob = ctx.broadcast(0, blob)?;
+        Ok(blob
             .chunks_exact(8)
             .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
             .collect())
+    }
+
+    /// Root-only namespace scan for `<prefix>.<number>` checkpoint files.
+    fn scan_generations(&self, pfs: &Pfs) -> Vec<u64> {
+        let dot_prefix = format!("{}.", self.prefix);
+        pfs.list()
+            .iter()
+            .filter_map(|name| name.strip_prefix(&dot_prefix))
+            .filter_map(|suffix| suffix.parse::<u64>().ok())
+            .collect()
+    }
+
+    /// Root-only manifest parse; `None` when missing or unreadable (the
+    /// caller falls back to the namespace scan).
+    fn read_manifest_root(&self, ctx: &NodeCtx, pfs: &Pfs) -> Option<Vec<u64>> {
+        let fh = pfs
+            .open(false, &self.manifest_name(), OpenMode::Read)
+            .ok()?;
+        let mut head = vec![0u8; MANIFEST_MAGIC.len() + 8];
+        fh.read_at(ctx, 0, &mut head).ok()?;
+        if &head[..8] != MANIFEST_MAGIC {
+            return None;
+        }
+        let count = u64::from_le_bytes(head[8..16].try_into().expect("8 bytes")) as usize;
+        let mut body = vec![0u8; count.checked_mul(8)?];
+        fh.read_at(ctx, head.len() as u64, &mut body).ok()?;
+        Some(
+            body.chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+                .collect(),
+        )
     }
 
     fn write_manifest(&self, ctx: &NodeCtx, pfs: &Pfs, gens: &[u64]) -> Result<(), StreamError> {
@@ -266,6 +307,36 @@ mod tests {
             assert_eq!(generation, 1, "fallback to the readable generation");
             for (gid, v) in restored.iter() {
                 assert_eq!(*v, gid as u64 * 7);
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn lost_manifest_recovers_via_namespace_scan() {
+        let pfs = Pfs::in_memory(2);
+        let p = pfs.clone();
+        Machine::run(MachineConfig::functional(2), move |ctx| {
+            let l = layout(6, 2);
+            let mgr = CheckpointManager::new("ck", 3);
+            let g = Collection::new(ctx, l.clone(), |i| i as u64 + 3).unwrap();
+            mgr.save(ctx, &p, &g, 1).unwrap();
+            mgr.save(ctx, &p, &g, 2).unwrap();
+
+            // A crash between the manifest's removal and its rewrite
+            // leaves no manifest at all; recovery must not depend on it.
+            ctx.barrier().unwrap();
+            if ctx.is_root() {
+                p.remove("ck.manifest").unwrap();
+            }
+            ctx.barrier().unwrap();
+
+            assert_eq!(mgr.generations(ctx, &p).unwrap(), vec![1, 2]);
+            let mut restored = Collection::new(ctx, l.clone(), |_| 0u64).unwrap();
+            let generation = mgr.restore_latest(ctx, &p, &l, &mut restored).unwrap();
+            assert_eq!(generation, 2);
+            for (gid, v) in restored.iter() {
+                assert_eq!(*v, gid as u64 + 3);
             }
         })
         .unwrap();

@@ -36,6 +36,14 @@ pub enum StreamError {
     UnsupportedVersion(u32),
     /// A record header or size table failed to decode.
     CorruptRecord(String),
+    /// The file ends in an unsealed (torn) record — a crash interrupted
+    /// the writer after `sealed_bytes` of committed data. `dsdump
+    /// --recover` truncates the file back to the sealed prefix.
+    TornTail {
+        /// Bytes of the file covered by sealed records (a safe truncation
+        /// point).
+        sealed_bytes: u64,
+    },
     /// `read` was invoked past the last record in the file.
     EndOfStream,
     /// The record holds a different number of elements than the reading
@@ -115,6 +123,11 @@ impl fmt::Display for StreamError {
                 write!(f, "unsupported d/stream file version {v}")
             }
             StreamError::CorruptRecord(msg) => write!(f, "corrupt record: {msg}"),
+            StreamError::TornTail { sealed_bytes } => write!(
+                f,
+                "file ends in a torn (unsealed) record; sealed prefix is \
+                 {sealed_bytes} bytes — recover by truncating there"
+            ),
             StreamError::EndOfStream => write!(f, "no more records in the d/stream file"),
             StreamError::WrongElementCount { file, stream } => write!(
                 f,

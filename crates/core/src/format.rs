@@ -14,12 +14,20 @@
 //!   Data                         -- element chunks, in writer node order;
 //!                                -- within an element, insert chunks in
 //!                                -- insert order (interleaving)
+//!   RecordSeal                   -- version 2: 20-byte commit seal
 //! ```
 //!
 //! Everything a reader needs — writer processor count, distribution,
 //! alignment, element count, per-element sizes — is in the file, which is
 //! why `read()` takes no metadata from the programmer and works across
 //! changes of processor count or distribution.
+//!
+//! **Version history.** Version 1 ends each record at its data. Version 2
+//! appends a [`RecordSeal`] — magic, the record's length and a checksum
+//! over header ++ size table ++ data — written *after* the data lands, so
+//! a crash mid-record leaves a detectably unsealed tail instead of a
+//! silently short file. Version-1 files remain readable (no seals, no
+//! verification); version-2 writers refuse to append to version-1 files.
 
 use dstreams_collections::{Layout, LayoutDescriptor};
 
@@ -27,10 +35,14 @@ use crate::error::StreamError;
 
 /// Magic bytes opening every d/stream file.
 pub const FILE_MAGIC: [u8; 8] = *b"DSTRM1\0\0";
-/// Current format version.
-pub const FORMAT_VERSION: u32 = 1;
+/// Current format version (the one new files are written with).
+pub const FORMAT_VERSION: u32 = 2;
+/// Oldest format version this library still reads.
+pub const MIN_SUPPORTED_VERSION: u32 = 1;
 /// Magic bytes opening every write record.
 pub const RECORD_MAGIC: [u8; 4] = *b"DREC";
+/// Magic bytes opening every record seal (version 2).
+pub const SEAL_MAGIC: [u8; 4] = *b"DSEA";
 
 /// Fixed-size file header.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,7 +75,7 @@ impl FileHeader {
             return Err(StreamError::BadMagic);
         }
         let version = u32::from_le_bytes(b[8..12].try_into().expect("4 bytes"));
-        if version != FORMAT_VERSION {
+        if !(MIN_SUPPORTED_VERSION..=FORMAT_VERSION).contains(&version) {
             return Err(StreamError::UnsupportedVersion(version));
         }
         let flags = u32::from_le_bytes(b[12..16].try_into().expect("4 bytes"));
@@ -73,6 +85,60 @@ impl FileHeader {
     /// Whether checked mode was on.
     pub fn checked(&self) -> bool {
         self.flags & Self::FLAG_CHECKED != 0
+    }
+
+    /// Whether records in this file carry commit seals (version ≥ 2).
+    pub fn sealed(&self) -> bool {
+        self.version >= 2
+    }
+}
+
+/// The commit seal closing every version-2 write record.
+///
+/// Written *after* the record's data has landed, it is the record's
+/// durability point: a record whose seal is present, well-formed and
+/// whose checksum matches is committed; anything after the last sealed
+/// record is a torn tail that a crash left behind, which
+/// [`crate::recovery_scan`] finds and `dsdump --recover` truncates away.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordSeal {
+    /// Length of the sealed span: record header + size table + data.
+    pub record_len: u64,
+    /// [`dstreams_pfs::ChunkSum`] hash over the sealed span.
+    pub checksum: u64,
+}
+
+impl RecordSeal {
+    /// Serialized length.
+    pub const LEN: usize = 4 + 8 + 8;
+
+    /// Encode to bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(Self::LEN);
+        v.extend_from_slice(&SEAL_MAGIC);
+        v.extend_from_slice(&self.record_len.to_le_bytes());
+        v.extend_from_slice(&self.checksum.to_le_bytes());
+        v
+    }
+
+    /// Decode and validate.
+    pub fn decode(b: &[u8]) -> Result<RecordSeal, StreamError> {
+        if b.len() < Self::LEN {
+            return Err(StreamError::CorruptRecord(format!(
+                "record seal truncated: {} of {} bytes",
+                b.len(),
+                Self::LEN
+            )));
+        }
+        if b[..4] != SEAL_MAGIC {
+            return Err(StreamError::CorruptRecord(
+                "record seal magic missing".into(),
+            ));
+        }
+        Ok(RecordSeal {
+            record_len: u64::from_le_bytes(b[4..12].try_into().expect("8 bytes")),
+            checksum: u64::from_le_bytes(b[12..20].try_into().expect("8 bytes")),
+        })
     }
 }
 
@@ -293,6 +359,39 @@ mod tests {
             FileHeader::decode(&[0u8; 4]),
             Err(StreamError::BadMagic)
         ));
+    }
+
+    #[test]
+    fn version_1_files_are_still_readable() {
+        let mut b = FileHeader {
+            version: FORMAT_VERSION,
+            flags: 0,
+        }
+        .encode();
+        b[8..12].copy_from_slice(&1u32.to_le_bytes());
+        let h = FileHeader::decode(&b).unwrap();
+        assert_eq!(h.version, 1);
+        assert!(!h.sealed());
+        assert!(FileHeader {
+            version: FORMAT_VERSION,
+            flags: 0
+        }
+        .sealed());
+    }
+
+    #[test]
+    fn record_seal_roundtrips_and_rejects_damage() {
+        let s = RecordSeal {
+            record_len: 12345,
+            checksum: 0xdead_beef_cafe_f00d,
+        };
+        let b = s.encode();
+        assert_eq!(b.len(), RecordSeal::LEN);
+        assert_eq!(RecordSeal::decode(&b).unwrap(), s);
+        assert!(RecordSeal::decode(&b[..10]).is_err());
+        let mut bad = b.clone();
+        bad[0] = b'X';
+        assert!(RecordSeal::decode(&bad).is_err());
     }
 
     fn sample_record() -> RecordHeader {

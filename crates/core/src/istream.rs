@@ -18,12 +18,14 @@
 use dstreams_collections::{Collection, Layout};
 use dstreams_machine::wire::{frame_blocks, unframe_blocks};
 use dstreams_machine::NodeCtx;
-use dstreams_pfs::{FileHandle, OpenMode, Pfs};
+use dstreams_pfs::{ChunkSum, FileHandle, OpenMode, Pfs};
 use dstreams_trace::StreamPhase;
 
 use crate::data::{Extractor, StreamData};
 use crate::error::StreamError;
-use crate::format::{build_file_map, decode_sizes, FileEntry, FileHeader, RecordHeader};
+use crate::format::{
+    build_file_map, decode_sizes, encode_sizes, FileEntry, FileHeader, RecordHeader, RecordSeal,
+};
 
 /// State of the record currently buffered in an input stream.
 struct InRecord {
@@ -45,12 +47,18 @@ pub struct IStream<'a> {
     fh: FileHandle,
     /// File offset of the next record (advances in lockstep on all ranks).
     cursor: u64,
+    /// Whether records carry commit seals (file format version ≥ 2).
+    sealed: bool,
     current: Option<InRecord>,
 }
 
 impl<'a> IStream<'a> {
     /// Open an input stream on `name`, extracting into collections placed
-    /// by `layout`. Collective. Validates the d/stream file header.
+    /// by `layout`. Collective. Validates the d/stream file header and,
+    /// for sealed (version-2) files, walks the record chain structurally:
+    /// a file whose tail record was torn by a crash is reported as
+    /// [`StreamError::TornTail`] on every rank instead of surfacing later
+    /// as a bewildering decode failure mid-read.
     pub fn open(
         ctx: &'a NodeCtx,
         pfs: &Pfs,
@@ -65,12 +73,31 @@ impl<'a> IStream<'a> {
             )));
         }
         let fh = pfs.open(false, name, OpenMode::Read)?;
-        // Rank 0 validates the header; everyone learns the verdict.
+        // Rank 0 validates the header and scans the chain; everyone
+        // learns the verdict (and the format version) by broadcast.
         let verdict = if ctx.is_root() {
             let mut buf = vec![0u8; FileHeader::LEN];
             match fh.read_at(ctx, 0, &mut buf) {
                 Ok(()) => match FileHeader::decode(&buf) {
-                    Ok(_) => vec![0u8],
+                    Ok(h) => {
+                        let scan = if h.sealed() {
+                            Self::scan_chain(ctx, &fh)
+                        } else {
+                            Ok(())
+                        };
+                        match scan {
+                            Ok(()) => {
+                                let mut v = vec![0u8];
+                                v.extend_from_slice(&h.version.to_le_bytes());
+                                v
+                            }
+                            Err(sealed_bytes) => {
+                                let mut v = vec![3u8];
+                                v.extend_from_slice(&sealed_bytes.to_le_bytes());
+                                v
+                            }
+                        }
+                    }
                     Err(StreamError::UnsupportedVersion(v)) => {
                         let mut e = vec![2u8];
                         e.extend_from_slice(&v.to_le_bytes());
@@ -84,21 +111,80 @@ impl<'a> IStream<'a> {
             Vec::new()
         };
         let verdict = ctx.broadcast(0, verdict)?;
-        match verdict.first() {
-            Some(0) => {}
-            Some(2) => {
+        let version = match verdict.first() {
+            Some(0) if verdict.len() == 5 => {
+                u32::from_le_bytes(verdict[1..5].try_into().expect("4 bytes"))
+            }
+            Some(2) if verdict.len() == 5 => {
                 let v = u32::from_le_bytes(verdict[1..5].try_into().expect("4 bytes"));
                 return Err(StreamError::UnsupportedVersion(v));
             }
+            Some(3) if verdict.len() == 9 => {
+                let sealed_bytes = u64::from_le_bytes(verdict[1..9].try_into().expect("8 bytes"));
+                return Err(StreamError::TornTail { sealed_bytes });
+            }
             _ => return Err(StreamError::BadMagic),
-        }
+        };
         Ok(IStream {
             ctx,
             layout: layout.clone(),
             fh,
             cursor: FileHeader::LEN as u64,
+            sealed: version >= 2,
             current: None,
         })
+    }
+
+    /// Structurally walk the record chain of a sealed file (root only):
+    /// every record must be followed by a well-formed seal whose recorded
+    /// length matches. Returns `Err(sealed_bytes)` — the safe truncation
+    /// point — when the tail is torn. Checksums are *not* recomputed here
+    /// (that would read the whole file twice); they are verified record by
+    /// record as reads consume them.
+    fn scan_chain(ctx: &NodeCtx, fh: &FileHandle) -> Result<(), u64> {
+        let len = fh.len();
+        let mut pos = FileHeader::LEN as u64;
+        while pos < len {
+            let torn = Err(pos);
+            if len - pos < (RecordHeader::LEN + RecordSeal::LEN) as u64 {
+                return torn;
+            }
+            let mut head = vec![0u8; RecordHeader::LEN];
+            if fh.read_at(ctx, pos, &mut head).is_err() {
+                return torn;
+            }
+            let Ok(header) = RecordHeader::decode(&head) else {
+                return torn;
+            };
+            // All arithmetic checked: a torn header can claim any sizes.
+            let Some(span) = header
+                .n_elements
+                .checked_mul(8)
+                .and_then(|t| t.checked_add(RecordHeader::LEN as u64))
+                .and_then(|t| t.checked_add(header.data_len))
+            else {
+                return torn;
+            };
+            let Some(end) = pos
+                .checked_add(span)
+                .and_then(|e| e.checked_add(RecordSeal::LEN as u64))
+            else {
+                return torn;
+            };
+            if end > len {
+                return torn;
+            }
+            let mut seal = vec![0u8; RecordSeal::LEN];
+            if fh.read_at(ctx, pos + span, &mut seal).is_err() {
+                return torn;
+            }
+            match RecordSeal::decode(&seal) {
+                Ok(s) if s.record_len == span => {}
+                _ => return torn,
+            }
+            pos = end;
+        }
+        Ok(())
     }
 
     /// The reader layout.
@@ -136,7 +222,7 @@ impl<'a> IStream<'a> {
         }
 
         // --- parallel read 1: record header + size table -------------------
-        let header = self.read_header()?;
+        let (header, seal) = self.read_header()?;
         let n = header.n_elements as usize;
         if n != self.layout.len() {
             return Err(StreamError::WrongElementCount {
@@ -157,27 +243,70 @@ impl<'a> IStream<'a> {
         let data_base = self.cursor + RecordHeader::LEN as u64 + (n as u64) * 8;
 
         // --- parallel read 2: the data, then (for sorted reads) routing ----
-        let rec = if sorted {
+        let (rec, data_digests) = if sorted {
             self.read_sorted(&header, &file_map, data_base)?
         } else {
             self.read_unsorted(&header, &file_map, data_base)?
         };
 
-        self.cursor = data_base + header.data_len;
+        // Verify the commit seal: metadata is re-hashed locally (every
+        // rank holds the header and full size table), the data digests
+        // came back with the collective read — the per-rank spans tile
+        // the data region in file order, so folding them reproduces the
+        // digest of the whole region. Every rank reaches the same verdict
+        // from the same broadcast/gathered inputs: no extra communication.
+        if let Some(seal) = seal {
+            let span = RecordHeader::LEN as u64 + (n as u64) * 8 + header.data_len;
+            if seal.record_len != span {
+                return Err(StreamError::CorruptRecord(format!(
+                    "seal claims {} record bytes, header implies {span}",
+                    seal.record_len
+                )));
+            }
+            let mut digest =
+                ChunkSum::of(&header.encode()).then(ChunkSum::of(&encode_sizes(&sizes)));
+            for d in &data_digests {
+                digest = digest.then(*d);
+            }
+            if digest.hash() != seal.checksum {
+                return Err(StreamError::CorruptRecord(
+                    "record fails its commit-seal checksum (torn or corrupted data)".into(),
+                ));
+            }
+        }
+
+        self.cursor = data_base + header.data_len + self.seal_len();
         self.current = Some(rec);
         Ok(())
     }
 
-    fn read_header(&mut self) -> Result<RecordHeader, StreamError> {
+    /// Bytes the per-record seal occupies under this file's version.
+    fn seal_len(&self) -> u64 {
+        if self.sealed {
+            RecordSeal::LEN as u64
+        } else {
+            0
+        }
+    }
+
+    fn read_header(&mut self) -> Result<(RecordHeader, Option<RecordSeal>), StreamError> {
         let _span = crate::phase::span(self.ctx, StreamPhase::Metadata);
-        // Rank 0 reads and broadcasts the fixed-size header (its size is
-        // trivial; the *size table* is what gets the parallel read).
+        // Rank 0 reads and broadcasts the fixed-size header, plus the
+        // record's seal for sealed files (its position follows from the
+        // header; the *size table* is what gets the parallel read).
         let blob = if self.ctx.is_root() {
             if self.fh.len() < self.cursor + RecordHeader::LEN as u64 {
                 Vec::new() // signals end-of-stream
             } else {
                 let mut buf = vec![0u8; RecordHeader::LEN];
                 match self.fh.read_at(self.ctx, self.cursor, &mut buf) {
+                    Ok(()) if self.sealed => match self.read_seal_after(&buf) {
+                        Some(seal_bytes) => {
+                            buf.extend_from_slice(&seal_bytes);
+                            buf
+                        }
+                        None => Vec::new(),
+                    },
                     Ok(()) => buf,
                     // Broadcast the failure as end-of-stream rather than
                     // abandoning the collective mid-flight.
@@ -191,7 +320,30 @@ impl<'a> IStream<'a> {
         if blob.is_empty() {
             return Err(StreamError::EndOfStream);
         }
-        RecordHeader::decode(&blob)
+        let header = RecordHeader::decode(&blob)?;
+        let seal = if self.sealed {
+            Some(RecordSeal::decode(&blob[RecordHeader::LEN..])?)
+        } else {
+            None
+        };
+        Ok((header, seal))
+    }
+
+    /// Root helper: locate and read the raw seal bytes of the record whose
+    /// encoded header is `head`. `None` when the header does not decode or
+    /// the seal cannot be read (both imply a damaged chain — the open-time
+    /// scan admits neither for files written by this library).
+    fn read_seal_after(&self, head: &[u8]) -> Option<Vec<u8>> {
+        let header = RecordHeader::decode(head).ok()?;
+        let seal_off = header
+            .n_elements
+            .checked_mul(8)?
+            .checked_add(RecordHeader::LEN as u64)?
+            .checked_add(header.data_len)?
+            .checked_add(self.cursor)?;
+        let mut seal = vec![0u8; RecordSeal::LEN];
+        self.fh.read_at(self.ctx, seal_off, &mut seal).ok()?;
+        Some(seal)
     }
 
     fn read_size_table(&mut self, n: usize) -> Result<Vec<u64>, StreamError> {
@@ -230,7 +382,7 @@ impl<'a> IStream<'a> {
         header: &RecordHeader,
         file_map: &[FileEntry],
         data_base: u64,
-    ) -> Result<InRecord, StreamError> {
+    ) -> Result<(InRecord, Vec<ChunkSum>), StreamError> {
         let nprocs = self.ctx.nprocs();
         let rank = self.ctx.rank();
         let n = file_map.len();
@@ -241,7 +393,7 @@ impl<'a> IStream<'a> {
         let hi = ((rank + 1) * n) / nprocs;
         let (off, len) = Self::span(file_map, data_base, lo, hi);
         let data_span = crate::phase::span(self.ctx, StreamPhase::Data);
-        let raw = self.fh.read_ordered(self.ctx, off, len)?;
+        let (raw, digests) = self.fh.read_ordered_summed(self.ctx, off, len)?;
         drop(data_span);
 
         // Phase 2: route each element to its owner under the reader layout.
@@ -298,13 +450,16 @@ impl<'a> IStream<'a> {
             .charge_memcpy(element_data.iter().map(|d| d.len()).sum());
         drop(route_span);
 
-        Ok(InRecord {
-            header: header.clone(),
-            element_pos: vec![0; element_data.len()],
-            element_ids: local_ids,
-            element_data,
-            extracts_done: 0,
-        })
+        Ok((
+            InRecord {
+                header: header.clone(),
+                element_pos: vec![0; element_data.len()],
+                element_ids: local_ids,
+                element_data,
+                extracts_done: 0,
+            },
+            digests,
+        ))
     }
 
     fn read_unsorted(
@@ -312,7 +467,7 @@ impl<'a> IStream<'a> {
         header: &RecordHeader,
         file_map: &[FileEntry],
         data_base: u64,
-    ) -> Result<InRecord, StreamError> {
+    ) -> Result<(InRecord, Vec<ChunkSum>), StreamError> {
         let nprocs = self.ctx.nprocs();
         let rank = self.ctx.rank();
 
@@ -323,7 +478,7 @@ impl<'a> IStream<'a> {
         let hi = lo + counts[rank];
         let (off, len) = Self::span(file_map, data_base, lo, hi);
         let _data_span = crate::phase::span(self.ctx, StreamPhase::Data);
-        let raw = self.fh.read_ordered(self.ctx, off, len)?;
+        let (raw, digests) = self.fh.read_ordered_summed(self.ctx, off, len)?;
 
         let base_off = if lo < hi { file_map[lo].offset } else { 0 };
         let mut element_data = Vec::with_capacity(hi - lo);
@@ -335,13 +490,16 @@ impl<'a> IStream<'a> {
         }
         self.ctx.charge_memcpy(len);
 
-        Ok(InRecord {
-            header: header.clone(),
-            element_pos: vec![0; element_data.len()],
-            element_ids,
-            element_data,
-            extracts_done: 0,
-        })
+        Ok((
+            InRecord {
+                header: header.clone(),
+                element_pos: vec![0; element_data.len()],
+                element_ids,
+                element_data,
+                extracts_done: 0,
+            },
+            digests,
+        ))
     }
 
     /// Skip the next record without buffering its data (cursor advance
@@ -356,8 +514,9 @@ impl<'a> IStream<'a> {
                 });
             }
         }
-        let header = self.read_header()?;
-        self.cursor += (RecordHeader::LEN as u64) + header.n_elements * 8 + header.data_len;
+        let (header, _seal) = self.read_header()?;
+        self.cursor +=
+            (RecordHeader::LEN as u64) + header.n_elements * 8 + header.data_len + self.seal_len();
         Ok(())
     }
 

@@ -76,8 +76,8 @@ pub(crate) mod phase;
 pub use checkpoint::CheckpointManager;
 pub use data::{from_bytes, to_bytes, Extractor, Inserter, Prim, StreamData};
 pub use error::StreamError;
-pub use format::{FileHeader, MetaMode, RecordHeader};
-pub use inspect::{inspect_bytes, FileSummary, RecordSummary};
+pub use format::{FileHeader, MetaMode, RecordHeader, RecordSeal};
+pub use inspect::{inspect_bytes, recovery_scan, FileSummary, RecordSummary, RecoveryReport};
 pub use istream::IStream;
 pub use localio::LocalFile;
 pub use ostream::{MetaPolicy, OStream, StreamOptions};

@@ -11,12 +11,12 @@
 use dstreams_collections::Collection;
 use dstreams_collections::Layout;
 use dstreams_machine::{MemoryModel, NodeCtx, SharedBuffer};
-use dstreams_pfs::{FileHandle, OpenMode, Pfs};
+use dstreams_pfs::{ChunkSum, FileHandle, OpenMode, Pfs};
 use dstreams_trace::StreamPhase;
 
 use crate::data::{Inserter, StreamData};
 use crate::error::StreamError;
-use crate::format::{encode_sizes, FileHeader, MetaMode, RecordHeader, FORMAT_VERSION};
+use crate::format::{encode_sizes, FileHeader, MetaMode, RecordHeader, RecordSeal, FORMAT_VERSION};
 
 /// How an output stream chooses its metadata strategy (paper §4.1 step 1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,6 +71,8 @@ pub struct OStream<'a> {
     scratch: Option<SharedBuffer>,
     n_inserts: u32,
     records_written: usize,
+    /// Whether the on-file format version has been validated for appending.
+    version_checked: bool,
 }
 
 impl<'a> OStream<'a> {
@@ -129,6 +131,7 @@ impl<'a> OStream<'a> {
             scratch,
             n_inserts: 0,
             records_written: 0,
+            version_checked: false,
         })
     }
 
@@ -240,6 +243,10 @@ impl<'a> OStream<'a> {
         // the barrier at the head of every collective PFS op), the root
         // prefixes the d/stream file header to its metadata block.
         self.ctx.barrier()?;
+        if !self.fh.is_empty() && !self.version_checked {
+            self.check_appendable()?;
+        }
+        self.version_checked = true;
         let file_prefix = if self.fh.is_empty() && self.ctx.is_root() {
             FileHeader {
                 version: FORMAT_VERSION,
@@ -268,6 +275,59 @@ impl<'a> OStream<'a> {
         Ok(())
     }
 
+    /// Validate that an existing file can legally take version-2 records:
+    /// sealed and unsealed records must not mix, so appending to a
+    /// version-1 file is refused. Collective (root reads, verdict is
+    /// broadcast).
+    fn check_appendable(&self) -> Result<(), StreamError> {
+        let verdict = if self.ctx.is_root() {
+            let mut head = vec![0u8; FileHeader::LEN];
+            match self.fh.read_at(self.ctx, 0, &mut head) {
+                Ok(()) => match FileHeader::decode(&head) {
+                    Ok(h) if h.version == FORMAT_VERSION => vec![0],
+                    Ok(h) => {
+                        let mut v = vec![2];
+                        v.extend_from_slice(&h.version.to_le_bytes());
+                        v
+                    }
+                    Err(StreamError::UnsupportedVersion(v)) => {
+                        let mut b = vec![2];
+                        b.extend_from_slice(&v.to_le_bytes());
+                        b
+                    }
+                    Err(_) => vec![1],
+                },
+                Err(_) => vec![1],
+            }
+        } else {
+            Vec::new()
+        };
+        let verdict = self.ctx.broadcast(0, verdict)?;
+        match verdict.first() {
+            Some(0) => Ok(()),
+            Some(2) if verdict.len() == 5 => Err(StreamError::UnsupportedVersion(
+                u32::from_le_bytes(verdict[1..5].try_into().expect("4 bytes")),
+            )),
+            _ => Err(StreamError::BadMagic),
+        }
+    }
+
+    /// Append the commit seal for the record just written (root only): the
+    /// record becomes durable — a crash before this point leaves a
+    /// detectable torn tail, never a silently short record.
+    fn seal_record(&self, header: &RecordHeader, digest: ChunkSum) -> Result<(), StreamError> {
+        debug_assert!(self.ctx.is_root());
+        let record_len = RecordHeader::LEN as u64 + header.n_elements * 8 + header.data_len;
+        let seal = RecordSeal {
+            record_len,
+            checksum: digest.hash(),
+        }
+        .encode();
+        let base = self.fh.len();
+        self.fh.write_at(self.ctx, base, &seal)?;
+        Ok(())
+    }
+
     /// Per-node-buffer emission (distributed-memory machines, and the
     /// default everywhere): collective parallel operations.
     fn write_per_node(
@@ -278,26 +338,41 @@ impl<'a> OStream<'a> {
         local_sizes: &[u64],
         data: &[u8],
     ) -> Result<(), StreamError> {
+        let prefix_len = file_prefix.len();
         match mode {
             MetaMode::Gathered => {
                 // Size info travels to node 0 and is written at the head
                 // of its per-node buffer: a single parallel operation.
                 let meta = crate::phase::span(self.ctx, StreamPhase::Metadata);
                 let gathered = self.ctx.gather(0, encode_sizes(local_sizes))?;
-                let block = if let Some(tables) = gathered {
+                let (block, meta_sum) = if let Some(tables) = gathered {
                     let mut b = file_prefix;
                     b.extend_from_slice(&header.encode());
                     for t in &tables {
                         b.extend_from_slice(t);
                     }
+                    // Digest of the record's metadata span (header +
+                    // size tables, excluding any file prefix).
+                    let meta_sum = ChunkSum::of(&b[prefix_len..]);
                     b.extend_from_slice(data);
-                    b
+                    (b, meta_sum)
                 } else {
-                    data.to_vec()
+                    (data.to_vec(), ChunkSum::EMPTY)
                 };
                 drop(meta);
-                let _data = crate::phase::span(self.ctx, StreamPhase::Data);
-                self.fh.write_ordered(self.ctx, &block)?;
+                let data_span = crate::phase::span(self.ctx, StreamPhase::Data);
+                let (_, digests) = self.fh.write_ordered_summed(self.ctx, &block)?;
+                drop(data_span);
+                if self.ctx.is_root() {
+                    // Record digest in file order: metadata, then rank 0's
+                    // data (hashed locally — its collective block includes
+                    // the metadata), then the other ranks' blocks.
+                    let mut digest = meta_sum.then(ChunkSum::of(data));
+                    for d in &digests[1..] {
+                        digest = digest.then(*d);
+                    }
+                    self.seal_record(header, digest)?;
+                }
             }
             MetaMode::Parallel => {
                 // Two parallel operations: metadata (record header from
@@ -309,10 +384,21 @@ impl<'a> OStream<'a> {
                 }
                 meta.extend_from_slice(&encode_sizes(local_sizes));
                 let st = crate::phase::span(self.ctx, StreamPhase::SizeTable);
-                self.fh.write_ordered(self.ctx, &meta)?;
+                let (_, meta_digests) = self.fh.write_ordered_summed(self.ctx, &meta)?;
                 drop(st);
-                let _data = crate::phase::span(self.ctx, StreamPhase::Data);
-                self.fh.write_ordered(self.ctx, data)?;
+                let data_span = crate::phase::span(self.ctx, StreamPhase::Data);
+                let (_, data_digests) = self.fh.write_ordered_summed(self.ctx, data)?;
+                drop(data_span);
+                if self.ctx.is_root() {
+                    let mut digest = ChunkSum::of(&meta[prefix_len..]);
+                    for d in &meta_digests[1..] {
+                        digest = digest.then(*d);
+                    }
+                    for d in &data_digests {
+                        digest = digest.then(*d);
+                    }
+                    self.seal_record(header, digest)?;
+                }
             }
         }
         Ok(())
@@ -331,6 +417,7 @@ impl<'a> OStream<'a> {
         data: &[u8],
     ) -> Result<(), StreamError> {
         let ctx = self.ctx;
+        let prefix_len = file_prefix.len();
         let meta_span = crate::phase::span(ctx, StreamPhase::Metadata);
         // Everyone learns every rank's data length (for offsets).
         let framed = ctx.all_gather((data.len() as u64).to_le_bytes().to_vec())?;
@@ -374,7 +461,19 @@ impl<'a> OStream<'a> {
         // All packing done before the single write.
         ctx.barrier()?;
         if ctx.is_root() {
-            let image = scratch.to_vec();
+            let mut image = scratch.to_vec();
+            // Seal folded into the same single write: the record and its
+            // commit seal land atomically, preserving the one-write-per-
+            // record property of this mode. (A torn tail can still cut the
+            // image short, which is exactly what the seal detects.)
+            let digest = ChunkSum::of(&image[prefix_len..]);
+            image.extend_from_slice(
+                &RecordSeal {
+                    record_len: (image.len() - prefix_len) as u64,
+                    checksum: digest.hash(),
+                }
+                .encode(),
+            );
             // The lone writer pays for streaming the whole image through
             // one processor — the reason this variant loses to parallel
             // per-node writes at large sizes.
@@ -434,7 +533,8 @@ mod tests {
         })
         .unwrap();
         use crate::format::RecordHeader;
-        let record = RecordHeader::LEN as u64 + 4 * 8 + 4; // header + sizes + data
+        // header + sizes + data + commit seal
+        let record = (RecordHeader::LEN + 4 * 8 + 4 + RecordSeal::LEN) as u64;
         assert_eq!(
             pfs.file_size("f").unwrap(),
             FileHeader::LEN as u64 + 2 * record
@@ -520,13 +620,16 @@ mod tests {
         };
         let a = run(MetaMode::Gathered);
         let b = run(MetaMode::Parallel);
-        // Identical except the meta-mode field in the record header: mask it.
+        // Identical except the meta-mode field in the record header (and
+        // therefore the seal checksum that covers it): mask both.
         assert_eq!(a.len(), b.len());
         let mm_off = FileHeader::LEN + 4 + 8 + 4 + 4; // header + magic + n_elems + n_inserts + flags
+        let ck_off = a.len() - 8; // seal checksum is the final 8 bytes
         let mut a2 = a.clone();
         let mut b2 = b.clone();
         for buf in [&mut a2, &mut b2] {
             buf[mm_off..mm_off + 4].fill(0);
+            buf[ck_off..].fill(0);
         }
         assert_eq!(
             a2, b2,
@@ -575,8 +678,10 @@ mod tests {
             buf
         })
         .unwrap();
-        // Data region is the last 4 bytes: e0 chunks (0, 10) then e1 (1, 11).
-        let data = &bytes[0][bytes[0].len() - 4..];
+        // Data region sits just before the seal: e0 chunks (0, 10) then
+        // e1 (1, 11).
+        let end = bytes[0].len() - RecordSeal::LEN;
+        let data = &bytes[0][end - 4..end];
         assert_eq!(data, &[0, 10, 1, 11]);
     }
 }

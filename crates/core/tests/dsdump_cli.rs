@@ -40,6 +40,49 @@ fn dsdump_reads_real_files() {
     assert!(report.contains("Cyclic"), "{report}");
     assert!(report.contains("2 procs"), "{report}");
 
+    // A torn tail (crash mid-write): --recover truncates back to the
+    // sealed prefix and a plain dsdump succeeds again.
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_dsdump"))
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "torn file must not dump cleanly");
+    let out = Command::new(env!("CARGO_BIN_EXE_dsdump"))
+        .arg("--recover")
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let report = String::from_utf8(out.stdout).unwrap();
+    assert!(report.contains("truncated"), "{report}");
+    assert!(report.contains("0 sealed record(s)"), "{report}");
+    // Recovery is idempotent.
+    let out = Command::new(env!("CARGO_BIN_EXE_dsdump"))
+        .arg("--recover")
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8(out.stdout).unwrap().contains("intact"));
+    let out = Command::new(env!("CARGO_BIN_EXE_dsdump"))
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "recovered file must dump cleanly: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8(out.stdout)
+        .unwrap()
+        .contains("0 record(s)"));
+
     // Corrupt the magic: dsdump must fail loudly.
     let mut bytes = std::fs::read(&path).unwrap();
     bytes[0] = b'X';

@@ -144,6 +144,10 @@ pub struct MachineConfig {
     /// one. Tracing has no clock effects either way: virtual times are
     /// bit-identical with and without it.
     pub trace: Option<dstreams_trace::TraceSink>,
+    /// Optional deterministic fault schedule. When set, the PFS client
+    /// layer consults it per logical file operation; when `None` no fault
+    /// state is even allocated and every check is a single branch.
+    pub faults: Option<crate::fault::FaultPlan>,
 }
 
 impl MachineConfig {
@@ -157,6 +161,7 @@ impl MachineConfig {
             cpu: CpuModel::instant(),
             seed: 0x5eed,
             trace: None,
+            faults: None,
         }
     }
 
@@ -169,6 +174,7 @@ impl MachineConfig {
             cpu: CpuModel::paragon(),
             seed: 0x5eed,
             trace: None,
+            faults: None,
         }
     }
 
@@ -181,6 +187,7 @@ impl MachineConfig {
             cpu: CpuModel::sgi_challenge(),
             seed: 0x5eed,
             trace: None,
+            faults: None,
         }
     }
 
@@ -193,6 +200,7 @@ impl MachineConfig {
             cpu: CpuModel::paragon(),
             seed: 0x5eed,
             trace: None,
+            faults: None,
         }
     }
 
@@ -200,6 +208,12 @@ impl MachineConfig {
     /// created for at least `nprocs` ranks.
     pub fn traced(mut self, sink: dstreams_trace::TraceSink) -> Self {
         self.trace = Some(sink);
+        self
+    }
+
+    /// Attach a deterministic fault schedule (builder style).
+    pub fn with_faults(mut self, plan: crate::fault::FaultPlan) -> Self {
+        self.faults = Some(plan);
         self
     }
 

@@ -26,6 +26,15 @@ pub enum MachineError {
         /// Awaited tag.
         tag: u32,
     },
+    /// This rank was killed by an injected power-cut fault: every
+    /// machine and file operation it attempts from the crash point on
+    /// fails with this error, and peers blocked on it observe
+    /// [`MachineError::PeerGone`] once its thread winds down instead of
+    /// hanging.
+    RankCrashed {
+        /// The crashed rank.
+        rank: usize,
+    },
     /// A collective was called with inconsistent arguments across ranks
     /// (e.g. differing root or mismatched vector lengths).
     CollectiveMismatch(String),
@@ -47,6 +56,9 @@ impl fmt::Display for MachineError {
                     f,
                     "receive from rank {from} tag {tag:#x} timed out (deadlock?)"
                 )
+            }
+            MachineError::RankCrashed { rank } => {
+                write!(f, "rank {rank} was killed by an injected power-cut fault")
             }
             MachineError::CollectiveMismatch(msg) => {
                 write!(f, "inconsistent collective call: {msg}")

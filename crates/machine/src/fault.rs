@@ -1,0 +1,218 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] describes, ahead of a run, which per-rank file
+//! operations misbehave and how: a **transient** failure (fails once,
+//! succeeds when retried), a **torn write** (only a prefix of the bytes
+//! is persisted while the call reports success — a lost write-back
+//! cache), or a **crash** ("power cut": the rank is dead from that
+//! operation onward, and peers observe a clean failure instead of a
+//! hang). Randomized choices — how much of a torn or crashed write
+//! survives — are drawn from the seeded workspace RNG, so two runs with
+//! the same plan replay bit-identically.
+//!
+//! The plan travels in [`crate::MachineConfig::faults`]; the PFS client
+//! layer consults it through [`crate::NodeCtx::fault_decision`] once per
+//! logical file operation (retries of the same operation re-ask with a
+//! higher `attempt`, which is how a transient fault "succeeds on
+//! retry").
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One (rank, operation-index) injection point.
+///
+/// Operation indices count *logical* PFS operations issued by a rank,
+/// starting at 0; a retried operation keeps its index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Rank the fault fires on.
+    pub rank: usize,
+    /// Per-rank PFS operation index the fault fires at.
+    pub op: u64,
+}
+
+/// A deterministic schedule of injected faults for one machine run.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Seed for the fault-local RNG (torn-prefix lengths). Independent
+    /// of the machine seed so fault schedules can be swept separately.
+    pub seed: u64,
+    /// Operations that fail once with a transient error and succeed on
+    /// the first retry.
+    pub transient: Vec<FaultSpec>,
+    /// Writes that persist only a seeded-random strict prefix while
+    /// reporting success.
+    pub torn: Vec<FaultSpec>,
+    /// The power-cut point: at most one rank dies per plan. If the
+    /// crashed operation is a write, a seeded-random prefix of it is
+    /// persisted first (the torn tail a real power cut leaves behind).
+    pub crash: Option<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// An empty plan with the given RNG seed.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Add a transient failure at `(rank, op)` (builder style).
+    pub fn transient_at(mut self, rank: usize, op: u64) -> Self {
+        self.transient.push(FaultSpec { rank, op });
+        self
+    }
+
+    /// Add a torn write at `(rank, op)` (builder style).
+    pub fn torn_at(mut self, rank: usize, op: u64) -> Self {
+        self.torn.push(FaultSpec { rank, op });
+        self
+    }
+
+    /// Set the power-cut point to `(rank, op)` (builder style).
+    pub fn crash_at(mut self, rank: usize, op: u64) -> Self {
+        self.crash = Some(FaultSpec { rank, op });
+        self
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.transient.is_empty() && self.torn.is_empty() && self.crash.is_none()
+    }
+}
+
+/// What the fault layer decided about one attempt of one operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultDecision {
+    /// No fault: perform the operation normally.
+    Proceed,
+    /// Fail this attempt with a transient error; a retry will succeed.
+    Transient,
+    /// Persist only the first `keep` bytes of the write and report
+    /// success.
+    Torn {
+        /// Bytes of the write to persist (a strict prefix).
+        keep: usize,
+    },
+    /// Power cut: persist `keep` bytes if the operation is a write,
+    /// then mark the rank dead.
+    Crash {
+        /// Bytes of the write to persist before dying, if any.
+        keep: Option<usize>,
+    },
+}
+
+/// Per-rank runtime state of a fault plan: the plan, this rank's seeded
+/// RNG stream, and the dead flag a crash sets.
+#[derive(Debug)]
+pub(crate) struct RankFaults {
+    plan: FaultPlan,
+    rank: usize,
+    rng: StdRng,
+    dead: bool,
+}
+
+impl RankFaults {
+    pub(crate) fn new(plan: FaultPlan, rank: usize) -> Self {
+        // Same splitmix64 stride as `MachineConfig::seed_for_rank` so
+        // per-rank fault streams are decorrelated and replayable.
+        let mut z = plan
+            .seed
+            .wrapping_add(0x9e3779b97f4a7c15u64.wrapping_mul(rank as u64 + 1));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        let rng = StdRng::seed_from_u64(z ^ (z >> 31));
+        RankFaults {
+            plan,
+            rank,
+            rng,
+            dead: false,
+        }
+    }
+
+    pub(crate) fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    pub(crate) fn mark_dead(&mut self) {
+        self.dead = true;
+    }
+
+    /// Decide the fate of attempt `attempt` of logical operation `op`.
+    /// `write_len` is `Some(len)` for write operations.
+    pub(crate) fn decide(
+        &mut self,
+        op: u64,
+        attempt: u32,
+        write_len: Option<usize>,
+    ) -> FaultDecision {
+        let rank = self.rank;
+        let hit = |s: &FaultSpec| s.rank == rank && s.op == op;
+        if self.plan.crash.as_ref().is_some_and(hit) {
+            let keep = match write_len {
+                Some(len) if len > 0 => Some(self.rng.gen_range(0..len)),
+                Some(_) => Some(0),
+                None => None,
+            };
+            return FaultDecision::Crash { keep };
+        }
+        if attempt == 0 && self.plan.transient.iter().any(hit) {
+            return FaultDecision::Transient;
+        }
+        if let Some(len) = write_len {
+            if self.plan.torn.iter().any(hit) {
+                let keep = if len > 0 {
+                    self.rng.gen_range(0..len)
+                } else {
+                    0
+                };
+                return FaultDecision::Torn { keep };
+            }
+        }
+        FaultDecision::Proceed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic_per_seed() {
+        let plan = FaultPlan::seeded(42).torn_at(1, 3).crash_at(1, 7);
+        let run = || {
+            let mut f = RankFaults::new(plan.clone(), 1);
+            let a = f.decide(3, 0, Some(1000));
+            let b = f.decide(7, 0, Some(500));
+            (a, b)
+        };
+        assert_eq!(run(), run());
+        let (torn, crash) = run();
+        match torn {
+            FaultDecision::Torn { keep } => assert!(keep < 1000),
+            other => panic!("expected torn, got {other:?}"),
+        }
+        match crash {
+            FaultDecision::Crash { keep: Some(k) } => assert!(k < 500),
+            other => panic!("expected crash, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn transient_fires_once_then_retries_succeed() {
+        let plan = FaultPlan::seeded(0).transient_at(0, 5);
+        let mut f = RankFaults::new(plan, 0);
+        assert_eq!(f.decide(5, 0, None), FaultDecision::Transient);
+        assert_eq!(f.decide(5, 1, None), FaultDecision::Proceed);
+        assert_eq!(f.decide(4, 0, None), FaultDecision::Proceed);
+    }
+
+    #[test]
+    fn faults_only_fire_on_their_rank() {
+        let plan = FaultPlan::seeded(0).transient_at(2, 0).crash_at(2, 1);
+        let mut f = RankFaults::new(plan, 0);
+        assert_eq!(f.decide(0, 0, None), FaultDecision::Proceed);
+        assert_eq!(f.decide(1, 0, Some(8)), FaultDecision::Proceed);
+    }
+}

@@ -38,6 +38,7 @@
 mod collectives;
 pub mod config;
 pub mod error;
+pub mod fault;
 pub mod machine;
 pub mod message;
 pub mod node;
@@ -47,6 +48,7 @@ pub mod wire;
 
 pub use config::{CpuModel, MachineConfig, MemoryModel, NetModel};
 pub use error::MachineError;
+pub use fault::{FaultDecision, FaultPlan, FaultSpec};
 pub use machine::Machine;
 pub use message::Tag;
 pub use node::{CollectiveScope, NodeCtx};

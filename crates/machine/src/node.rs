@@ -17,6 +17,7 @@ use dstreams_trace::{Event, EventKind, TraceSink};
 
 use crate::config::{MachineConfig, MemoryModel};
 use crate::error::MachineError;
+use crate::fault::{FaultDecision, RankFaults};
 use crate::message::{Envelope, Mailbox, Tag, COLLECTIVE_TAG_BASE};
 use crate::time::{VTime, VirtualClock};
 
@@ -43,6 +44,11 @@ pub struct NodeCtx {
     /// Sequence number for collective operations (tag disambiguation).
     coll_seq: Cell<u32>,
     tracer: Option<Tracer>,
+    /// Logical PFS operations issued by this rank (always counted, so
+    /// fault plans can be keyed to op indices observed in a clean run).
+    pfs_ops: Cell<u64>,
+    /// Runtime state of the configured fault plan, if any.
+    faults: Option<RefCell<RankFaults>>,
 }
 
 impl NodeCtx {
@@ -57,6 +63,10 @@ impl NodeCtx {
             seq: Cell::new(0),
             coll_depth: Cell::new(0),
         });
+        let faults = config
+            .faults
+            .clone()
+            .map(|plan| RefCell::new(RankFaults::new(plan, rank)));
         NodeCtx {
             rank,
             config,
@@ -65,6 +75,8 @@ impl NodeCtx {
             clock: RefCell::new(VirtualClock::new()),
             coll_seq: Cell::new(0),
             tracer,
+            pfs_ops: Cell::new(0),
+            faults,
         }
     }
 
@@ -177,6 +189,55 @@ impl NodeCtx {
         CollectiveScope { ctx: self }
     }
 
+    // ---- fault injection ---------------------------------------------------
+
+    /// Allocate the index of this rank's next logical PFS operation.
+    /// Retries of one operation must reuse the index they were given.
+    pub fn next_pfs_op(&self) -> u64 {
+        let k = self.pfs_ops.get();
+        self.pfs_ops.set(k + 1);
+        k
+    }
+
+    /// How many logical PFS operations this rank has issued so far.
+    /// Useful for discovering the op-index space a fault plan can target
+    /// (run clean once, read the count, then sweep crash points).
+    pub fn pfs_op_count(&self) -> u64 {
+        self.pfs_ops.get()
+    }
+
+    /// Consult the configured fault plan about attempt `attempt` of
+    /// logical operation `op`; `write_len` is `Some` for writes. Without
+    /// a plan this is a single branch returning `Proceed`.
+    pub fn fault_decision(&self, op: u64, attempt: u32, write_len: Option<usize>) -> FaultDecision {
+        match &self.faults {
+            Some(f) => f.borrow_mut().decide(op, attempt, write_len),
+            None => FaultDecision::Proceed,
+        }
+    }
+
+    /// True once an injected power cut has killed this rank.
+    pub fn fault_is_dead(&self) -> bool {
+        self.faults.as_ref().is_some_and(|f| f.borrow().is_dead())
+    }
+
+    /// Kill this rank: every subsequent machine or file operation fails
+    /// with [`MachineError::RankCrashed`]. Called by the PFS layer when a
+    /// crash fault fires.
+    pub fn fault_mark_dead(&self) {
+        if let Some(f) = &self.faults {
+            f.borrow_mut().mark_dead();
+        }
+    }
+
+    /// Fail fast if this rank is dead.
+    fn check_alive(&self) -> Result<(), MachineError> {
+        if self.fault_is_dead() {
+            return Err(MachineError::RankCrashed { rank: self.rank });
+        }
+        Ok(())
+    }
+
     // ---- point-to-point messaging ----------------------------------------
 
     /// Send `payload` to rank `to` with `tag`.
@@ -186,6 +247,7 @@ impl NodeCtx {
     /// time. Self-sends are legal and bypass the wire cost (only the send
     /// overhead is charged).
     pub fn send(&self, to: usize, tag: Tag, payload: &[u8]) -> Result<(), MachineError> {
+        self.check_alive()?;
         if to >= self.tx.len() {
             return Err(MachineError::InvalidRank {
                 rank: to,
@@ -221,6 +283,7 @@ impl NodeCtx {
     /// Synchronizes the local clock to the message's arrival time and
     /// charges the receive overhead.
     pub fn recv(&self, from: usize, tag: Tag) -> Result<Vec<u8>, MachineError> {
+        self.check_alive()?;
         let env = self.mailbox.borrow_mut().recv(from, tag)?;
         self.sync_to(env.arrival);
         self.advance(self.config.net.recv_overhead);
@@ -255,6 +318,7 @@ impl NodeCtx {
     /// in which different sources are served depends on thread scheduling;
     /// use it only where any order is acceptable.
     pub fn recv_any(&self, tag: Tag) -> Result<(usize, Vec<u8>), MachineError> {
+        self.check_alive()?;
         let env = self.mailbox.borrow_mut().recv_any(tag)?;
         self.sync_to(env.arrival);
         self.advance(self.config.net.recv_overhead);

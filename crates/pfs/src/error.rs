@@ -24,8 +24,16 @@ pub enum PfsError {
     },
     /// Opening a file for reading that has not been written.
     EmptyRead(String),
-    /// Underlying real-disk I/O failure (Disk backend only).
-    Io(String),
+    /// Underlying I/O failure (real-disk backend, or an injected fault).
+    /// The [`std::io::ErrorKind`] is preserved so the retry policy can
+    /// classify the failure as transient or permanent.
+    Io {
+        /// Structured failure kind from the operating system (or the
+        /// fault injector).
+        kind: std::io::ErrorKind,
+        /// Human-readable detail.
+        msg: String,
+    },
     /// A machine-level failure (peer death, collective misuse) surfaced
     /// through a collective PFS operation.
     Machine(MachineError),
@@ -48,7 +56,7 @@ impl fmt::Display for PfsError {
                 "read [{offset}, {offset}+{len}) out of bounds for {file:?} of size {size}"
             ),
             PfsError::EmptyRead(name) => write!(f, "file {name:?} opened for read but is empty"),
-            PfsError::Io(msg) => write!(f, "disk backend I/O error: {msg}"),
+            PfsError::Io { kind, msg } => write!(f, "I/O error ({kind:?}): {msg}"),
             PfsError::Machine(e) => write!(f, "machine error during pfs collective: {e}"),
             PfsError::CollectiveMismatch(msg) => {
                 write!(f, "inconsistent collective pfs call: {msg}")
@@ -74,7 +82,29 @@ impl From<MachineError> for PfsError {
 
 impl From<std::io::Error> for PfsError {
     fn from(e: std::io::Error) -> Self {
-        PfsError::Io(e.to_string())
+        PfsError::Io {
+            kind: e.kind(),
+            msg: e.to_string(),
+        }
+    }
+}
+
+impl PfsError {
+    /// Construct an I/O error from a kind and a message (the form the
+    /// fault injector uses).
+    pub fn io(kind: std::io::ErrorKind, msg: impl Into<String>) -> Self {
+        PfsError::Io {
+            kind,
+            msg: msg.into(),
+        }
+    }
+
+    /// The preserved [`std::io::ErrorKind`], when this is an I/O error.
+    pub fn io_kind(&self) -> Option<std::io::ErrorKind> {
+        match self {
+            PfsError::Io { kind, .. } => Some(*kind),
+            _ => None,
+        }
     }
 }
 
@@ -98,5 +128,20 @@ mod tests {
     fn machine_error_converts_and_chains() {
         let e: PfsError = MachineError::EmptyMachine.into();
         assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn io_errors_keep_their_kind_through_conversion_and_display() {
+        use std::io::ErrorKind;
+        let os = std::io::Error::new(ErrorKind::TimedOut, "slow disk");
+        let e: PfsError = os.into();
+        assert_eq!(e.io_kind(), Some(ErrorKind::TimedOut));
+        let s = e.to_string();
+        assert!(s.contains("TimedOut") && s.contains("slow disk"), "{s}");
+        assert_eq!(
+            PfsError::io(ErrorKind::Interrupted, "x").io_kind(),
+            Some(ErrorKind::Interrupted)
+        );
+        assert_eq!(PfsError::NotFound("f".into()).io_kind(), None);
     }
 }

@@ -18,10 +18,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use dstreams_machine::wire::{frame_blocks, unframe_blocks};
-use dstreams_machine::{NodeCtx, VTime};
-use dstreams_trace::{CollectiveRegime, EventKind, IndependentRegime, PfsOp};
+use dstreams_machine::{FaultDecision, MachineError, NodeCtx, VTime};
+use dstreams_trace::{CollectiveRegime, EventKind, FaultKind, IndependentRegime, PfsOp};
 use parking_lot::Mutex;
 
+use crate::checksum::ChunkSum;
 use crate::error::PfsError;
 use crate::model::Regime;
 use crate::pfs::PfsShared;
@@ -135,6 +136,101 @@ impl FileHandle {
         }
     }
 
+    // ---- fault injection and retry -----------------------------------------
+
+    fn emit_fault(&self, ctx: &NodeCtx, kind: FaultKind, op: u64, bytes_kept: u64) {
+        ctx.emit_with(|| EventKind::FaultInjected {
+            kind,
+            op_index: op,
+            file: self.file.name.clone(),
+            bytes_kept,
+        });
+    }
+
+    /// Charge one virtual-time backoff pause and record the retry.
+    /// Returns `false` when the policy's retry budget is exhausted.
+    fn backoff_and_retry(&self, ctx: &NodeCtx, op: u64, attempt: &mut u32) -> bool {
+        let policy = self.pfs.retry;
+        if *attempt >= policy.max_retries {
+            return false;
+        }
+        let pause = policy.backoff(*attempt);
+        ctx.advance(pause);
+        *attempt += 1;
+        let next = *attempt;
+        ctx.emit_with(|| EventKind::PfsRetry {
+            op_index: op,
+            attempt: next,
+            backoff_ns: pause.as_nanos(),
+        });
+        true
+    }
+
+    fn injected_transient(op: u64) -> PfsError {
+        PfsError::io(
+            std::io::ErrorKind::Interrupted,
+            format!("injected transient pfs fault (op {op})"),
+        )
+    }
+
+    fn check_alive(&self, ctx: &NodeCtx) -> Result<(), PfsError> {
+        if ctx.fault_is_dead() {
+            return Err(MachineError::RankCrashed { rank: ctx.rank() }.into());
+        }
+        Ok(())
+    }
+
+    /// Power-cut a write: persist the seeded prefix, record the fault,
+    /// mark the rank dead and surface the crash to the caller. Peers
+    /// observe `PeerGone` when this rank's thread unwinds.
+    fn crash_write(
+        &self,
+        ctx: &NodeCtx,
+        op: u64,
+        offset: u64,
+        data: &[u8],
+        keep: Option<usize>,
+    ) -> PfsError {
+        let k = keep.unwrap_or(0).min(data.len());
+        if k > 0 {
+            let _ = self
+                .file
+                .storage
+                .lock()
+                .write_at(offset, &data[..k], &self.file.name);
+        }
+        self.emit_fault(ctx, FaultKind::Crash, op, k as u64);
+        ctx.fault_mark_dead();
+        MachineError::RankCrashed { rank: ctx.rank() }.into()
+    }
+
+    /// Consult the fault plan at the head of a collective operation,
+    /// retiring injected transient failures through the retry policy
+    /// *before* any communication (so surviving ranks stay in lockstep).
+    /// The returned fate (`Proceed`/`Torn`/`Crash`) is applied at the
+    /// physical-transfer step.
+    fn collective_fate(
+        &self,
+        ctx: &NodeCtx,
+        op: u64,
+        write_len: Option<usize>,
+    ) -> Result<FaultDecision, PfsError> {
+        let mut attempt = 0u32;
+        loop {
+            self.check_alive(ctx)?;
+            match ctx.fault_decision(op, attempt, write_len) {
+                FaultDecision::Transient => {
+                    self.emit_fault(ctx, FaultKind::Transient, op, 0);
+                    if self.backoff_and_retry(ctx, op, &mut attempt) {
+                        continue;
+                    }
+                    return Err(Self::injected_transient(op));
+                }
+                fate => return Ok(fate),
+            }
+        }
+    }
+
     /// Independent write at the private position; advances the position.
     pub fn write(&self, ctx: &NodeCtx, data: &[u8]) -> Result<(), PfsError> {
         self.write_at(ctx, self.pos.get(), data)?;
@@ -150,18 +246,108 @@ impl FileHandle {
     }
 
     /// Independent positioned write (does not move the private position).
+    ///
+    /// One logical PFS operation: transient failures (injected or from the
+    /// real-disk backend) are retried with exponential virtual-time
+    /// backoff under the PFS [`crate::RetryPolicy`].
     pub fn write_at(&self, ctx: &NodeCtx, offset: u64, data: &[u8]) -> Result<(), PfsError> {
-        self.charge_independent(ctx, PfsOp::Write, offset, data.len());
-        self.file.storage.lock().write_at(offset, data)
+        let op = ctx.next_pfs_op();
+        let mut attempt = 0u32;
+        loop {
+            self.check_alive(ctx)?;
+            match ctx.fault_decision(op, attempt, Some(data.len())) {
+                FaultDecision::Proceed => {
+                    let res = self
+                        .file
+                        .storage
+                        .lock()
+                        .write_at(offset, data, &self.file.name);
+                    match res {
+                        Ok(()) => {
+                            self.charge_independent(ctx, PfsOp::Write, offset, data.len());
+                            return Ok(());
+                        }
+                        Err(e)
+                            if self.pfs.retry.is_transient(&e)
+                                && self.backoff_and_retry(ctx, op, &mut attempt) =>
+                        {
+                            continue;
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+                FaultDecision::Transient => {
+                    self.emit_fault(ctx, FaultKind::Transient, op, 0);
+                    if self.backoff_and_retry(ctx, op, &mut attempt) {
+                        continue;
+                    }
+                    return Err(Self::injected_transient(op));
+                }
+                FaultDecision::Torn { keep } => {
+                    // The call reports success but only a prefix hit
+                    // storage — a write-back cache lost at power time.
+                    // Full cost is charged: the node believed it wrote.
+                    let keep = keep.min(data.len());
+                    self.emit_fault(ctx, FaultKind::Torn, op, keep as u64);
+                    self.file
+                        .storage
+                        .lock()
+                        .write_at(offset, &data[..keep], &self.file.name)?;
+                    self.charge_independent(ctx, PfsOp::Write, offset, data.len());
+                    return Ok(());
+                }
+                FaultDecision::Crash { keep } => {
+                    return Err(self.crash_write(ctx, op, offset, data, keep));
+                }
+            }
+        }
     }
 
     /// Independent positioned read (does not move the private position).
+    ///
+    /// Like [`FileHandle::write_at`], one logical retry-wrapped PFS
+    /// operation.
     pub fn read_at(&self, ctx: &NodeCtx, offset: u64, buf: &mut [u8]) -> Result<(), PfsError> {
-        self.charge_independent(ctx, PfsOp::Read, offset, buf.len());
-        self.file
-            .storage
-            .lock()
-            .read_at(offset, buf, &self.file.name)
+        let op = ctx.next_pfs_op();
+        let mut attempt = 0u32;
+        loop {
+            self.check_alive(ctx)?;
+            match ctx.fault_decision(op, attempt, None) {
+                FaultDecision::Transient => {
+                    self.emit_fault(ctx, FaultKind::Transient, op, 0);
+                    if self.backoff_and_retry(ctx, op, &mut attempt) {
+                        continue;
+                    }
+                    return Err(Self::injected_transient(op));
+                }
+                FaultDecision::Crash { .. } => {
+                    self.emit_fault(ctx, FaultKind::Crash, op, 0);
+                    ctx.fault_mark_dead();
+                    return Err(MachineError::RankCrashed { rank: ctx.rank() }.into());
+                }
+                // Torn applies to writes only; a read proceeds.
+                FaultDecision::Proceed | FaultDecision::Torn { .. } => {
+                    let res = self
+                        .file
+                        .storage
+                        .lock()
+                        .read_at(offset, buf, &self.file.name);
+                    match res {
+                        Ok(()) => {
+                            self.charge_independent(ctx, PfsOp::Read, offset, buf.len());
+                            return Ok(());
+                        }
+                        Err(e)
+                            if self.pfs.retry.is_transient(&e)
+                                && self.backoff_and_retry(ctx, op, &mut attempt) =>
+                        {
+                            continue;
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+        }
     }
 
     // ---- shared-file independent modes (Paragon NX M_LOG / M_RECORD) ------
@@ -232,25 +418,47 @@ impl FileHandle {
     /// latency plus total-bytes over the (possibly knee'd) aggregate PFS
     /// bandwidth. All ranks leave with synchronized virtual clocks.
     pub fn write_ordered(&self, ctx: &NodeCtx, block: &[u8]) -> Result<u64, PfsError> {
+        self.write_ordered_summed(ctx, block).map(|(off, _)| off)
+    }
+
+    /// [`FileHandle::write_ordered`] that additionally returns the
+    /// combinable digest of **every** rank's block — every rank leaves
+    /// knowing the per-rank checksums of the bytes the collective
+    /// appended, in node order. The digests ride the size gather and plan
+    /// broadcast the operation performs anyway, so the communication
+    /// shape is identical to `write_ordered`. This is what the d/stream
+    /// layer seals records with.
+    pub fn write_ordered_summed(
+        &self,
+        ctx: &NodeCtx,
+        block: &[u8],
+    ) -> Result<(u64, Vec<ChunkSum>), PfsError> {
         // One logical PFS operation: its internal coordination (barriers,
         // size gather, plan broadcast) is plumbing, not API collectives.
         let _scope = ctx.collective_scope();
+        let op = ctx.next_pfs_op();
+        let fate = self.collective_fate(ctx, op, Some(block.len()))?;
         // Make prior independent writes globally visible and align clocks.
         ctx.barrier()?;
-        // Exchange block sizes; rank 0 supplies the append base.
-        let my_size = (block.len() as u64).to_le_bytes().to_vec();
-        let sizes = ctx.gather(0, my_size)?;
+        // Exchange block sizes and digests; rank 0 supplies the append base.
+        let my_sum = ChunkSum::of(block);
+        let mut contrib = Vec::with_capacity(24);
+        contrib.extend_from_slice(&(block.len() as u64).to_le_bytes());
+        contrib.extend_from_slice(&my_sum.hash().to_le_bytes());
+        contrib.extend_from_slice(&my_sum.rpow().to_le_bytes());
+        let gathered = ctx.gather(0, contrib)?;
         let plan = if ctx.is_root() {
-            let sizes: Vec<u64> = sizes
-                .expect("root gathers")
-                .iter()
-                .map(|b| decode_u64(b, "write_ordered size frame"))
-                .collect::<Result<_, _>>()?;
+            let frames = gathered.expect("root gathers");
             let base = self.file.len();
-            let mut blocks = Vec::with_capacity(sizes.len() + 1);
+            let mut blocks = Vec::with_capacity(frames.len() + 1);
             blocks.push(base.to_le_bytes().to_vec());
-            for s in &sizes {
-                blocks.push(s.to_le_bytes().to_vec());
+            for frame in &frames {
+                if frame.len() != 24 {
+                    return Err(PfsError::CollectiveMismatch(
+                        "write_ordered: malformed size/digest frame".into(),
+                    ));
+                }
+                blocks.push(frame.clone());
             }
             frame_blocks(&blocks)
         } else {
@@ -265,10 +473,20 @@ impl FileHandle {
             ));
         }
         let base = decode_u64(&parts[0], "write_ordered plan base")?;
-        let sizes: Vec<u64> = parts[1..]
-            .iter()
-            .map(|b| decode_u64(b, "write_ordered plan entry"))
-            .collect::<Result<_, _>>()?;
+        let mut sizes = Vec::with_capacity(ctx.nprocs());
+        let mut digests = Vec::with_capacity(ctx.nprocs());
+        for frame in &parts[1..] {
+            if frame.len() != 24 {
+                return Err(PfsError::CollectiveMismatch(
+                    "write_ordered: malformed plan frame".into(),
+                ));
+            }
+            sizes.push(decode_u64(&frame[..8], "write_ordered plan size")?);
+            digests.push(ChunkSum::from_parts(
+                decode_u64(&frame[8..16], "write_ordered plan digest hash")?,
+                decode_u64(&frame[16..24], "write_ordered plan digest rpow")?,
+            ));
+        }
         if sizes[ctx.rank()] != block.len() as u64 {
             return Err(PfsError::CollectiveMismatch(
                 "write_ordered: my block size desynchronized".into(),
@@ -278,9 +496,32 @@ impl FileHandle {
         let total: u64 = sizes.iter().sum();
         let max_block = sizes.iter().copied().max().unwrap_or(0);
 
-        // Physical transfer.
-        if !block.is_empty() {
-            self.file.storage.lock().write_at(my_off, block)?;
+        // Physical transfer — the step a write fault tears or cuts short.
+        match fate {
+            FaultDecision::Proceed | FaultDecision::Transient => {
+                if !block.is_empty() {
+                    self.file
+                        .storage
+                        .lock()
+                        .write_at(my_off, block, &self.file.name)?;
+                }
+            }
+            FaultDecision::Torn { keep } => {
+                let keep = keep.min(block.len());
+                self.emit_fault(ctx, FaultKind::Torn, op, keep as u64);
+                self.file
+                    .storage
+                    .lock()
+                    .write_at(my_off, &block[..keep], &self.file.name)?;
+            }
+            FaultDecision::Crash { keep } => {
+                // Power cut mid-collective: peers got the plan and wrote
+                // their blocks; this rank persists a prefix and dies
+                // before the closing barrier. Peers waiting there observe
+                // PeerGone when this rank's thread unwinds — a clean
+                // failure, not a hang.
+                return Err(self.crash_write(ctx, op, my_off, block, keep));
+            }
         }
         // Virtual cost of the single parallel operation.
         let cost = self
@@ -305,7 +546,7 @@ impl FileHandle {
         self.account_collective(ctx, total);
         // All blocks visible before anyone proceeds.
         ctx.barrier()?;
-        Ok(my_off)
+        Ok((my_off, digests))
     }
 
     /// Collective parallel read: every rank reads `len` bytes at `offset`
@@ -317,24 +558,74 @@ impl FileHandle {
         offset: u64,
         len: usize,
     ) -> Result<Vec<u8>, PfsError> {
-        let _scope = ctx.collective_scope();
-        ctx.barrier()?;
-        // Everyone learns the collective's total and max block for costing.
-        let sizes = ctx.all_gather((len as u64).to_le_bytes().to_vec())?;
-        let sizes: Vec<u64> = sizes
-            .iter()
-            .map(|b| decode_u64(b, "read_ordered size frame"))
-            .collect::<Result<_, _>>()?;
-        let total: u64 = sizes.iter().sum();
-        let max_block = sizes.iter().copied().max().unwrap_or(0);
+        self.read_ordered_summed(ctx, offset, len).map(|(b, _)| b)
+    }
 
+    /// [`FileHandle::read_ordered`] that additionally returns the
+    /// combinable digest of the bytes **each** rank read, in node order.
+    /// The digests ride the size exchange the operation performs anyway.
+    /// When the per-rank spans tile a region contiguously, folding the
+    /// digests left-to-right reproduces the digest of the whole region —
+    /// how the d/stream layer verifies a record seal while reading.
+    pub fn read_ordered_summed(
+        &self,
+        ctx: &NodeCtx,
+        offset: u64,
+        len: usize,
+    ) -> Result<(Vec<u8>, Vec<ChunkSum>), PfsError> {
+        let _scope = ctx.collective_scope();
+        let op = ctx.next_pfs_op();
+        if let FaultDecision::Crash { .. } = self.collective_fate(ctx, op, None)? {
+            // Power cut on entry: this rank never joins the collective;
+            // peers block in the opening barrier and observe PeerGone
+            // when the thread unwinds.
+            self.emit_fault(ctx, FaultKind::Crash, op, 0);
+            ctx.fault_mark_dead();
+            return Err(MachineError::RankCrashed { rank: ctx.rank() }.into());
+        }
+        ctx.barrier()?;
+        // Read first so the size exchange can carry the data digests; on a
+        // failed read still participate (empty contribution), then surface
+        // the error — abandoning the collective would strand the peers.
         let mut buf = vec![0u8; len];
-        if len > 0 {
+        let read_res = if len > 0 {
             self.file
                 .storage
                 .lock()
-                .read_at(offset, &mut buf, &self.file.name)?;
+                .read_at(offset, &mut buf, &self.file.name)
+        } else {
+            Ok(())
+        };
+        let my_sum = if read_res.is_ok() {
+            ChunkSum::of(&buf)
+        } else {
+            ChunkSum::EMPTY
+        };
+        // Everyone learns the collective's total and max block for costing,
+        // and every rank's data digest for seal verification.
+        let mut contrib = Vec::with_capacity(24);
+        contrib.extend_from_slice(&(len as u64).to_le_bytes());
+        contrib.extend_from_slice(&my_sum.hash().to_le_bytes());
+        contrib.extend_from_slice(&my_sum.rpow().to_le_bytes());
+        let frames = ctx.all_gather(contrib)?;
+        let mut sizes = Vec::with_capacity(ctx.nprocs());
+        let mut digests = Vec::with_capacity(ctx.nprocs());
+        for frame in &frames {
+            if frame.len() != 24 {
+                return Err(PfsError::CollectiveMismatch(
+                    "read_ordered: malformed size/digest frame".into(),
+                ));
+            }
+            sizes.push(decode_u64(&frame[..8], "read_ordered size frame")?);
+            digests.push(ChunkSum::from_parts(
+                decode_u64(&frame[8..16], "read_ordered digest hash")?,
+                decode_u64(&frame[16..24], "read_ordered digest rpow")?,
+            ));
         }
+        read_res?;
+        let total: u64 = sizes.iter().sum();
+        let max_block = sizes.iter().copied().max().unwrap_or(0);
+
         let cost = self
             .pfs
             .model
@@ -355,7 +646,7 @@ impl FileHandle {
             cost_ns: cost.as_nanos(),
         });
         self.account_collective(ctx, total);
-        Ok(buf)
+        Ok((buf, digests))
     }
 
     fn account_collective(&self, ctx: &NodeCtx, total: u64) {

@@ -19,14 +19,18 @@
 
 #![warn(missing_docs)]
 
+pub mod checksum;
 pub mod error;
 pub mod file;
 pub mod model;
 pub mod pfs;
+pub mod retry;
 pub mod storage;
 
+pub use checksum::ChunkSum;
 pub use error::PfsError;
 pub use file::{FileHandle, FileObj, StatsSnapshot};
 pub use model::{DiskModel, Regime};
 pub use pfs::{OpenMode, Pfs};
+pub use retry::RetryPolicy;
 pub use storage::Backend;

@@ -12,6 +12,7 @@ use parking_lot::Mutex;
 use crate::error::PfsError;
 use crate::file::{FileHandle, FileObj, Stats, StatsSnapshot};
 use crate::model::DiskModel;
+use crate::retry::RetryPolicy;
 use crate::storage::{Backend, Storage};
 
 /// How [`Pfs::open`] treats existing / missing files.
@@ -28,6 +29,8 @@ pub enum OpenMode {
 pub(crate) struct PfsShared {
     pub(crate) model: DiskModel,
     pub(crate) backend: Backend,
+    /// Transient-failure retry policy for the client path.
+    pub(crate) retry: RetryPolicy,
     pub(crate) files: Mutex<HashMap<String, Arc<FileObj>>>,
     pub(crate) stats: Stats,
     /// Per-rank cumulative traffic, used by the cache-regime estimate.
@@ -70,6 +73,7 @@ impl Pfs {
             shared: Arc::new(PfsShared {
                 model,
                 backend,
+                retry: RetryPolicy::default(),
                 files: Mutex::new(HashMap::new()),
                 stats: Stats::default(),
                 rank_traffic: (0..nprocs.max(1)).map(|_| AtomicU64::new(0)).collect(),
@@ -81,6 +85,22 @@ impl Pfs {
     /// A memory-backed, cost-free PFS for functional tests.
     pub fn in_memory(nprocs: usize) -> Self {
         Pfs::new(nprocs, DiskModel::instant(), Backend::Memory)
+    }
+
+    /// Replace the transient-failure retry policy (builder style).
+    ///
+    /// Call right after construction, before the instance is cloned into
+    /// a machine closure — once clones exist the policy is frozen.
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        if let Some(shared) = Arc::get_mut(&mut self.shared) {
+            shared.retry = policy;
+        }
+        self
+    }
+
+    /// The transient-failure retry policy in force.
+    pub fn retry(&self) -> RetryPolicy {
+        self.shared.retry
     }
 
     /// Attach to an existing disk-backed PFS directory from an earlier

@@ -1,0 +1,107 @@
+//! Transient-failure classification and exponential backoff.
+//!
+//! Real parallel file systems fail transiently — a timed-out RPC, an
+//! interrupted system call — and clients retry with backoff. The PFS
+//! client path does the same: an operation whose error classifies as
+//! *transient* (by its preserved [`std::io::ErrorKind`]) is retried up to
+//! [`RetryPolicy::max_retries`] times, charging an exponentially growing
+//! pause to the rank's *virtual* clock between attempts. Everything else
+//! (missing files, out-of-bounds ranges, machine errors, injected
+//! crashes) is permanent and surfaces immediately.
+
+use dstreams_machine::VTime;
+
+use crate::error::PfsError;
+
+/// Which [`std::io::ErrorKind`]s a retry can plausibly cure.
+pub fn is_transient_kind(kind: std::io::ErrorKind) -> bool {
+    use std::io::ErrorKind;
+    matches!(
+        kind,
+        ErrorKind::Interrupted | ErrorKind::TimedOut | ErrorKind::WouldBlock
+    )
+}
+
+/// Retry policy for independent and collective PFS operations.
+///
+/// Attempt `k` (zero-based) that fails transiently is followed by a
+/// virtual-time pause of `base · multiplier^k` before attempt `k + 1`;
+/// after `max_retries` retries the transient error is surfaced to the
+/// caller as-is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum number of retries after the initial attempt.
+    pub max_retries: u32,
+    /// Backoff before the first retry.
+    pub base: VTime,
+    /// Growth factor applied per subsequent retry.
+    pub multiplier: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 4,
+            base: VTime::from_micros(500),
+            multiplier: 2,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (every failure is terminal).
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            base: VTime::ZERO,
+            multiplier: 1,
+        }
+    }
+
+    /// The virtual-time pause after failed attempt `attempt` (zero-based),
+    /// saturating instead of overflowing for absurd attempt counts.
+    pub fn backoff(&self, attempt: u32) -> VTime {
+        let factor = (self.multiplier as u64)
+            .checked_pow(attempt)
+            .unwrap_or(u64::MAX);
+        VTime::from_nanos(self.base.as_nanos().saturating_mul(factor))
+    }
+
+    /// Whether `err` is worth retrying under this policy.
+    pub fn is_transient(&self, err: &PfsError) -> bool {
+        self.max_retries > 0 && err.io_kind().is_some_and(is_transient_kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::ErrorKind;
+
+    #[test]
+    fn backoff_grows_exponentially_and_saturates() {
+        let p = RetryPolicy {
+            max_retries: 4,
+            base: VTime::from_micros(100),
+            multiplier: 2,
+        };
+        assert_eq!(p.backoff(0), VTime::from_micros(100));
+        assert_eq!(p.backoff(1), VTime::from_micros(200));
+        assert_eq!(p.backoff(3), VTime::from_micros(800));
+        // No overflow panic for huge attempt counts.
+        assert!(p.backoff(200) > p.backoff(3));
+    }
+
+    #[test]
+    fn classification_keys_on_error_kind() {
+        let p = RetryPolicy::default();
+        assert!(p.is_transient(&PfsError::io(ErrorKind::Interrupted, "x")));
+        assert!(p.is_transient(&PfsError::io(ErrorKind::TimedOut, "x")));
+        assert!(p.is_transient(&PfsError::io(ErrorKind::WouldBlock, "x")));
+        assert!(!p.is_transient(&PfsError::io(ErrorKind::NotFound, "x")));
+        assert!(!p.is_transient(&PfsError::io(ErrorKind::PermissionDenied, "x")));
+        assert!(!p.is_transient(&PfsError::NotFound("f".into())));
+        // A disabled policy treats everything as permanent.
+        assert!(!RetryPolicy::none().is_transient(&PfsError::io(ErrorKind::TimedOut, "x")));
+    }
+}

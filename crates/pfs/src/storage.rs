@@ -93,29 +93,47 @@ impl Storage {
     }
 
     /// Write `data` at `offset`, growing the file as needed (zero-filling
-    /// any gap).
-    pub fn write_at(&mut self, offset: u64, data: &[u8]) -> Result<(), PfsError> {
+    /// any gap). Offsets whose end position overflows `u64` (or `usize`
+    /// for the in-memory backend) are rejected as out of bounds rather
+    /// than wrapping.
+    pub fn write_at(&mut self, offset: u64, data: &[u8], name: &str) -> Result<(), PfsError> {
+        let oob = || PfsError::OutOfBounds {
+            file: name.to_string(),
+            offset,
+            len: data.len(),
+            size: self.len(),
+        };
+        // A hostile offset can make `offset + len` wrap; compute the end
+        // position checked in u64 first, then ensure it is addressable.
+        let end64 = offset.checked_add(data.len() as u64).ok_or_else(oob)?;
         match self {
             Storage::Mem(v) => {
-                let end = offset as usize + data.len();
+                let end = usize::try_from(end64).map_err(|_| PfsError::OutOfBounds {
+                    file: name.to_string(),
+                    offset,
+                    len: data.len(),
+                    size: v.len() as u64,
+                })?;
                 if v.len() < end {
                     v.resize(end, 0);
                 }
-                v[offset as usize..end].copy_from_slice(data);
+                v[end - data.len()..end].copy_from_slice(data);
                 Ok(())
             }
             Storage::Disk { file, size, .. } => {
                 use std::os::unix::fs::FileExt;
                 file.write_all_at(data, offset)?;
-                *size = (*size).max(offset + data.len() as u64);
+                *size = (*size).max(end64);
                 Ok(())
             }
         }
     }
 
-    /// Read exactly `buf.len()` bytes starting at `offset`.
+    /// Read exactly `buf.len()` bytes starting at `offset`. Overflowing
+    /// end positions are rejected as out of bounds, never wrapped.
     pub fn read_at(&self, offset: u64, buf: &mut [u8], name: &str) -> Result<(), PfsError> {
-        if offset + buf.len() as u64 > self.len() {
+        let end = offset.checked_add(buf.len() as u64);
+        if end.is_none() || end.unwrap() > self.len() {
             return Err(PfsError::OutOfBounds {
                 file: name.to_string(),
                 offset,
@@ -168,8 +186,8 @@ mod tests {
     use super::*;
 
     fn roundtrip(mut s: Storage) {
-        s.write_at(0, b"hello").unwrap();
-        s.write_at(10, b"world").unwrap();
+        s.write_at(0, b"hello", "t").unwrap();
+        s.write_at(10, b"world", "t").unwrap();
         assert_eq!(s.len(), 15);
         let mut buf = vec![0u8; 5];
         s.read_at(0, &mut buf, "t").unwrap();
@@ -193,6 +211,27 @@ mod tests {
     #[test]
     fn mem_storage_roundtrips() {
         roundtrip(Storage::new_mem());
+    }
+
+    #[test]
+    fn hostile_offsets_are_rejected_not_wrapped() {
+        let mut s = Storage::new_mem();
+        s.write_at(0, b"data", "t").unwrap();
+        // End position wraps u64 — must be OutOfBounds, not a wrap to a
+        // tiny offset that corrupts the front of the file.
+        assert!(matches!(
+            s.write_at(u64::MAX - 1, b"xx", "t"),
+            Err(PfsError::OutOfBounds { .. })
+        ));
+        let mut buf = [0u8; 2];
+        assert!(matches!(
+            s.read_at(u64::MAX - 1, &mut buf, "t"),
+            Err(PfsError::OutOfBounds { .. })
+        ));
+        // The original contents are untouched.
+        let mut got = [0u8; 4];
+        s.read_at(0, &mut got, "t").unwrap();
+        assert_eq!(&got, b"data");
     }
 
     #[test]

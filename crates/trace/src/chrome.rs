@@ -121,6 +121,35 @@ fn event_to_value(e: &Event) -> Value {
                 ("regime".into(), Value::Str(regime.name().into())),
             ],
         ),
+        EventKind::FaultInjected {
+            kind,
+            op_index,
+            file,
+            bytes_kept,
+        } => instant(
+            &format!("fault.{}", kind.name()),
+            "fault",
+            e,
+            vec![
+                ("op_index".into(), Value::Int(*op_index as i64)),
+                ("file".into(), Value::Str(file.clone())),
+                ("bytes_kept".into(), Value::Int(*bytes_kept as i64)),
+            ],
+        ),
+        EventKind::PfsRetry {
+            op_index,
+            attempt,
+            backoff_ns,
+        } => instant(
+            "pfs.retry",
+            "fault",
+            e,
+            vec![
+                ("op_index".into(), Value::Int(*op_index as i64)),
+                ("attempt".into(), Value::Int(*attempt as i64)),
+                ("backoff_ns".into(), Value::Int(*backoff_ns as i64)),
+            ],
+        ),
         EventKind::PhaseBegin { phase } => {
             let mut m = base(phase.name(), "B", "stream", e);
             m.push(("args".into(), Value::Obj(vec![])));

@@ -38,6 +38,10 @@ pub struct OpCounts {
     pub bytes_written: u64,
     /// Actual bytes read from files.
     pub bytes_read: u64,
+    /// Injected faults that fired, keyed by fault-class name.
+    pub faults_injected: BTreeMap<&'static str, u64>,
+    /// Transient-failure retries performed by the PFS client.
+    pub pfs_retries: u64,
 }
 
 impl OpCounts {
@@ -85,6 +89,12 @@ impl OpCounts {
                         PfsOp::Write => c.bytes_written += bytes,
                         PfsOp::Read => c.bytes_read += bytes,
                     }
+                }
+                EventKind::FaultInjected { kind, .. } => {
+                    *c.faults_injected.entry(kind.name()).or_insert(0) += 1;
+                }
+                EventKind::PfsRetry { .. } => {
+                    c.pfs_retries += 1;
                 }
                 EventKind::PhaseBegin { .. } | EventKind::PhaseEnd { .. } => {}
             }
@@ -143,6 +153,16 @@ impl OpCounts {
                 Value::Int(self.bytes_written as i64),
             ),
             ("bytes_read".into(), Value::Int(self.bytes_read as i64)),
+            (
+                "faults_injected".into(),
+                Value::Obj(
+                    self.faults_injected
+                        .iter()
+                        .map(|(k, v)| (k.to_string(), Value::Int(*v as i64)))
+                        .collect(),
+                ),
+            ),
+            ("pfs_retries".into(), Value::Int(self.pfs_retries as i64)),
         ])
     }
 }

@@ -137,6 +137,29 @@ impl StreamPhase {
     }
 }
 
+/// Which class of injected fault fired on a PFS operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// The operation failed once and will succeed when retried.
+    Transient,
+    /// Only a prefix of the written bytes was persisted; the call
+    /// reported success (a lost-cache torn write).
+    Torn,
+    /// A power-cut: the rank is dead from this operation onward.
+    Crash,
+}
+
+impl FaultKind {
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Transient => "transient",
+            FaultKind::Torn => "torn",
+            FaultKind::Crash => "crash",
+        }
+    }
+}
+
 /// What happened.
 #[derive(Debug, Clone, PartialEq)]
 pub enum EventKind {
@@ -205,6 +228,26 @@ pub enum EventKind {
         regime: CollectiveRegime,
         /// Modeled cost in virtual nanoseconds.
         cost_ns: u64,
+    },
+    /// An injected fault fired on a file operation of this rank.
+    FaultInjected {
+        /// Fault class.
+        kind: FaultKind,
+        /// Per-rank PFS operation index the fault was keyed to.
+        op_index: u64,
+        /// File the faulted operation addressed.
+        file: String,
+        /// Bytes actually persisted (torn/crash writes; 0 otherwise).
+        bytes_kept: u64,
+    },
+    /// The PFS client retried a transient failure after backing off.
+    PfsRetry {
+        /// Per-rank PFS operation index being retried.
+        op_index: u64,
+        /// Retry attempt number (1 = first retry).
+        attempt: u32,
+        /// Virtual-time backoff charged before this retry, in ns.
+        backoff_ns: u64,
     },
     /// A stream phase span opened on this rank.
     PhaseBegin {

@@ -21,6 +21,6 @@ pub mod sink;
 
 pub use counts::OpCounts;
 pub use event::{
-    CollOp, CollectiveRegime, Event, EventKind, IndependentRegime, PfsOp, StreamPhase,
+    CollOp, CollectiveRegime, Event, EventKind, FaultKind, IndependentRegime, PfsOp, StreamPhase,
 };
 pub use sink::{Trace, TraceSink};

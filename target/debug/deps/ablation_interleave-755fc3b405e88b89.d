@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_interleave-755fc3b405e88b89.d: crates/bench/benches/ablation_interleave.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_interleave-755fc3b405e88b89.rmeta: crates/bench/benches/ablation_interleave.rs Cargo.toml
+
+crates/bench/benches/ablation_interleave.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_metadata-4b482ceccd753ee3.d: crates/bench/benches/ablation_metadata.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_metadata-4b482ceccd753ee3.rmeta: crates/bench/benches/ablation_metadata.rs Cargo.toml
+
+crates/bench/benches/ablation_metadata.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

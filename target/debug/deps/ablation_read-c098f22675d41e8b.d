@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_read-c098f22675d41e8b.d: crates/bench/benches/ablation_read.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_read-c098f22675d41e8b.rmeta: crates/bench/benches/ablation_read.rs Cargo.toml
+
+crates/bench/benches/ablation_read.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

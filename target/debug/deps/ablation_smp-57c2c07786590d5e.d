@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_smp-57c2c07786590d5e.d: crates/bench/benches/ablation_smp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_smp-57c2c07786590d5e.rmeta: crates/bench/benches/ablation_smp.rs Cargo.toml
+
+crates/bench/benches/ablation_smp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/baseline_comparison-20eb91d5e73cb4c6.d: tests/baseline_comparison.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaseline_comparison-20eb91d5e73cb4c6.rmeta: tests/baseline_comparison.rs Cargo.toml
+
+tests/baseline_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baseline_comparison-93634240e75252d8.d: tests/baseline_comparison.rs
+
+/root/repo/target/debug/deps/baseline_comparison-93634240e75252d8: tests/baseline_comparison.rs
+
+tests/baseline_comparison.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/baseline_overhead-62650ca33813fb58.d: crates/bench/benches/baseline_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaseline_overhead-62650ca33813fb58.rmeta: crates/bench/benches/baseline_overhead.rs Cargo.toml
+
+crates/bench/benches/baseline_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

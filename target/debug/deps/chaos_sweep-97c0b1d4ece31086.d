@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos_sweep-97c0b1d4ece31086.d: tests/chaos_sweep.rs
+
+/root/repo/target/debug/deps/chaos_sweep-97c0b1d4ece31086: tests/chaos_sweep.rs
+
+tests/chaos_sweep.rs:

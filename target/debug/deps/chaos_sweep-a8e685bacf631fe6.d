@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos_sweep-a8e685bacf631fe6.d: tests/chaos_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos_sweep-a8e685bacf631fe6.rmeta: tests/chaos_sweep.rs Cargo.toml
+
+tests/chaos_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

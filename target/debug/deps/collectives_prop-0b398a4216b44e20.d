@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/collectives_prop-0b398a4216b44e20.d: crates/machine/tests/collectives_prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcollectives_prop-0b398a4216b44e20.rmeta: crates/machine/tests/collectives_prop.rs Cargo.toml
+
+crates/machine/tests/collectives_prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

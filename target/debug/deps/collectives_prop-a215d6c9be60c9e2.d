@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/collectives_prop-a215d6c9be60c9e2.d: crates/machine/tests/collectives_prop.rs
+
+/root/repo/target/debug/deps/collectives_prop-a215d6c9be60c9e2: crates/machine/tests/collectives_prop.rs
+
+crates/machine/tests/collectives_prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/distribution_prop-7d890d474dec300d.d: crates/collections/tests/distribution_prop.rs
+
+/root/repo/target/debug/deps/distribution_prop-7d890d474dec300d: crates/collections/tests/distribution_prop.rs
+
+crates/collections/tests/distribution_prop.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/distribution_prop-ec2cc1366642c195.d: crates/collections/tests/distribution_prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdistribution_prop-ec2cc1366642c195.rmeta: crates/collections/tests/distribution_prop.rs Cargo.toml
+
+crates/collections/tests/distribution_prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

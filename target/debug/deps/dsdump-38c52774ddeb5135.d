@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dsdump-38c52774ddeb5135.d: crates/core/src/bin/dsdump.rs
+
+/root/repo/target/debug/deps/dsdump-38c52774ddeb5135: crates/core/src/bin/dsdump.rs
+
+crates/core/src/bin/dsdump.rs:

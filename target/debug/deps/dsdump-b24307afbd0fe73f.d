@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dsdump-b24307afbd0fe73f.d: crates/core/src/bin/dsdump.rs
+
+/root/repo/target/debug/deps/dsdump-b24307afbd0fe73f: crates/core/src/bin/dsdump.rs
+
+crates/core/src/bin/dsdump.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dsdump-f8bd2000858a6425.d: crates/core/src/bin/dsdump.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdsdump-f8bd2000858a6425.rmeta: crates/core/src/bin/dsdump.rs Cargo.toml
+
+crates/core/src/bin/dsdump.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dsdump_cli-0bd885b24244bf6d.d: crates/core/tests/dsdump_cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdsdump_cli-0bd885b24244bf6d.rmeta: crates/core/tests/dsdump_cli.rs Cargo.toml
+
+crates/core/tests/dsdump_cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_dsdump=placeholder:dsdump
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

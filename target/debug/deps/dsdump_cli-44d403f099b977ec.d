@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dsdump_cli-44d403f099b977ec.d: crates/core/tests/dsdump_cli.rs
+
+/root/repo/target/debug/deps/dsdump_cli-44d403f099b977ec: crates/core/tests/dsdump_cli.rs
+
+crates/core/tests/dsdump_cli.rs:
+
+# env-dep:CARGO_BIN_EXE_dsdump=/root/repo/target/debug/dsdump

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dstreams-51c467c91ec6ac88.d: src/lib.rs
+
+/root/repo/target/debug/deps/dstreams-51c467c91ec6ac88: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dstreams-5763118c76b3c0e2.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdstreams-5763118c76b3c0e2.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdstreams-5763118c76b3c0e2.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dstreams-90b3ba41d43c5cdc.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdstreams-90b3ba41d43c5cdc.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

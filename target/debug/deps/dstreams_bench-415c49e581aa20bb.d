@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dstreams_bench-415c49e581aa20bb.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/dstreams_bench-415c49e581aa20bb: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

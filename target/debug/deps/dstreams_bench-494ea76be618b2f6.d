@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dstreams_bench-494ea76be618b2f6.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdstreams_bench-494ea76be618b2f6.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dstreams_bench-b4f2bc1fc95418ce.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdstreams_bench-b4f2bc1fc95418ce.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdstreams_bench-b4f2bc1fc95418ce.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dstreams_collections-3ef0700b34808019.d: crates/collections/src/lib.rs crates/collections/src/alignment.rs crates/collections/src/collection.rs crates/collections/src/distribution.rs crates/collections/src/error.rs crates/collections/src/grid.rs crates/collections/src/layout.rs
+
+/root/repo/target/debug/deps/dstreams_collections-3ef0700b34808019: crates/collections/src/lib.rs crates/collections/src/alignment.rs crates/collections/src/collection.rs crates/collections/src/distribution.rs crates/collections/src/error.rs crates/collections/src/grid.rs crates/collections/src/layout.rs
+
+crates/collections/src/lib.rs:
+crates/collections/src/alignment.rs:
+crates/collections/src/collection.rs:
+crates/collections/src/distribution.rs:
+crates/collections/src/error.rs:
+crates/collections/src/grid.rs:
+crates/collections/src/layout.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dstreams_collections-733c497873d281e1.d: crates/collections/src/lib.rs crates/collections/src/alignment.rs crates/collections/src/collection.rs crates/collections/src/distribution.rs crates/collections/src/error.rs crates/collections/src/grid.rs crates/collections/src/layout.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdstreams_collections-733c497873d281e1.rmeta: crates/collections/src/lib.rs crates/collections/src/alignment.rs crates/collections/src/collection.rs crates/collections/src/distribution.rs crates/collections/src/error.rs crates/collections/src/grid.rs crates/collections/src/layout.rs Cargo.toml
+
+crates/collections/src/lib.rs:
+crates/collections/src/alignment.rs:
+crates/collections/src/collection.rs:
+crates/collections/src/distribution.rs:
+crates/collections/src/error.rs:
+crates/collections/src/grid.rs:
+crates/collections/src/layout.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dstreams_collections-c96929f78552e4a9.d: crates/collections/src/lib.rs crates/collections/src/alignment.rs crates/collections/src/collection.rs crates/collections/src/distribution.rs crates/collections/src/error.rs crates/collections/src/grid.rs crates/collections/src/layout.rs
+
+/root/repo/target/debug/deps/libdstreams_collections-c96929f78552e4a9.rlib: crates/collections/src/lib.rs crates/collections/src/alignment.rs crates/collections/src/collection.rs crates/collections/src/distribution.rs crates/collections/src/error.rs crates/collections/src/grid.rs crates/collections/src/layout.rs
+
+/root/repo/target/debug/deps/libdstreams_collections-c96929f78552e4a9.rmeta: crates/collections/src/lib.rs crates/collections/src/alignment.rs crates/collections/src/collection.rs crates/collections/src/distribution.rs crates/collections/src/error.rs crates/collections/src/grid.rs crates/collections/src/layout.rs
+
+crates/collections/src/lib.rs:
+crates/collections/src/alignment.rs:
+crates/collections/src/collection.rs:
+crates/collections/src/distribution.rs:
+crates/collections/src/error.rs:
+crates/collections/src/grid.rs:
+crates/collections/src/layout.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/dstreams_core-1710af28cd74b00d.d: crates/core/src/lib.rs crates/core/src/checkpoint.rs crates/core/src/data.rs crates/core/src/error.rs crates/core/src/format.rs crates/core/src/inspect.rs crates/core/src/istream.rs crates/core/src/localio.rs crates/core/src/ostream.rs crates/core/src/phase.rs
+
+/root/repo/target/debug/deps/libdstreams_core-1710af28cd74b00d.rlib: crates/core/src/lib.rs crates/core/src/checkpoint.rs crates/core/src/data.rs crates/core/src/error.rs crates/core/src/format.rs crates/core/src/inspect.rs crates/core/src/istream.rs crates/core/src/localio.rs crates/core/src/ostream.rs crates/core/src/phase.rs
+
+/root/repo/target/debug/deps/libdstreams_core-1710af28cd74b00d.rmeta: crates/core/src/lib.rs crates/core/src/checkpoint.rs crates/core/src/data.rs crates/core/src/error.rs crates/core/src/format.rs crates/core/src/inspect.rs crates/core/src/istream.rs crates/core/src/localio.rs crates/core/src/ostream.rs crates/core/src/phase.rs
+
+crates/core/src/lib.rs:
+crates/core/src/checkpoint.rs:
+crates/core/src/data.rs:
+crates/core/src/error.rs:
+crates/core/src/format.rs:
+crates/core/src/inspect.rs:
+crates/core/src/istream.rs:
+crates/core/src/localio.rs:
+crates/core/src/ostream.rs:
+crates/core/src/phase.rs:

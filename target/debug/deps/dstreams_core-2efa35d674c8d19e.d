@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dstreams_core-2efa35d674c8d19e.d: crates/core/src/lib.rs crates/core/src/checkpoint.rs crates/core/src/data.rs crates/core/src/error.rs crates/core/src/format.rs crates/core/src/inspect.rs crates/core/src/istream.rs crates/core/src/localio.rs crates/core/src/ostream.rs crates/core/src/phase.rs
+
+/root/repo/target/debug/deps/dstreams_core-2efa35d674c8d19e: crates/core/src/lib.rs crates/core/src/checkpoint.rs crates/core/src/data.rs crates/core/src/error.rs crates/core/src/format.rs crates/core/src/inspect.rs crates/core/src/istream.rs crates/core/src/localio.rs crates/core/src/ostream.rs crates/core/src/phase.rs
+
+crates/core/src/lib.rs:
+crates/core/src/checkpoint.rs:
+crates/core/src/data.rs:
+crates/core/src/error.rs:
+crates/core/src/format.rs:
+crates/core/src/inspect.rs:
+crates/core/src/istream.rs:
+crates/core/src/localio.rs:
+crates/core/src/ostream.rs:
+crates/core/src/phase.rs:

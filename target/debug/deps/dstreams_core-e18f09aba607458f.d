@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/dstreams_core-e18f09aba607458f.d: crates/core/src/lib.rs crates/core/src/checkpoint.rs crates/core/src/data.rs crates/core/src/error.rs crates/core/src/format.rs crates/core/src/inspect.rs crates/core/src/istream.rs crates/core/src/localio.rs crates/core/src/ostream.rs crates/core/src/phase.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdstreams_core-e18f09aba607458f.rmeta: crates/core/src/lib.rs crates/core/src/checkpoint.rs crates/core/src/data.rs crates/core/src/error.rs crates/core/src/format.rs crates/core/src/inspect.rs crates/core/src/istream.rs crates/core/src/localio.rs crates/core/src/ostream.rs crates/core/src/phase.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/checkpoint.rs:
+crates/core/src/data.rs:
+crates/core/src/error.rs:
+crates/core/src/format.rs:
+crates/core/src/inspect.rs:
+crates/core/src/istream.rs:
+crates/core/src/localio.rs:
+crates/core/src/ostream.rs:
+crates/core/src/phase.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

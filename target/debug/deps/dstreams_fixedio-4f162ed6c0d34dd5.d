@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dstreams_fixedio-4f162ed6c0d34dd5.d: crates/fixedio/src/lib.rs crates/fixedio/src/chameleon.rs crates/fixedio/src/panda.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdstreams_fixedio-4f162ed6c0d34dd5.rmeta: crates/fixedio/src/lib.rs crates/fixedio/src/chameleon.rs crates/fixedio/src/panda.rs Cargo.toml
+
+crates/fixedio/src/lib.rs:
+crates/fixedio/src/chameleon.rs:
+crates/fixedio/src/panda.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dstreams_fixedio-d1c45984a0a938a4.d: crates/fixedio/src/lib.rs crates/fixedio/src/chameleon.rs crates/fixedio/src/panda.rs
+
+/root/repo/target/debug/deps/libdstreams_fixedio-d1c45984a0a938a4.rlib: crates/fixedio/src/lib.rs crates/fixedio/src/chameleon.rs crates/fixedio/src/panda.rs
+
+/root/repo/target/debug/deps/libdstreams_fixedio-d1c45984a0a938a4.rmeta: crates/fixedio/src/lib.rs crates/fixedio/src/chameleon.rs crates/fixedio/src/panda.rs
+
+crates/fixedio/src/lib.rs:
+crates/fixedio/src/chameleon.rs:
+crates/fixedio/src/panda.rs:

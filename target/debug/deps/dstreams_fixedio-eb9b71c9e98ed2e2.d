@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dstreams_fixedio-eb9b71c9e98ed2e2.d: crates/fixedio/src/lib.rs crates/fixedio/src/chameleon.rs crates/fixedio/src/panda.rs
+
+/root/repo/target/debug/deps/dstreams_fixedio-eb9b71c9e98ed2e2: crates/fixedio/src/lib.rs crates/fixedio/src/chameleon.rs crates/fixedio/src/panda.rs
+
+crates/fixedio/src/lib.rs:
+crates/fixedio/src/chameleon.rs:
+crates/fixedio/src/panda.rs:

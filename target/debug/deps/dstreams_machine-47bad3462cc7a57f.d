@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/dstreams_machine-47bad3462cc7a57f.d: crates/machine/src/lib.rs crates/machine/src/collectives.rs crates/machine/src/config.rs crates/machine/src/error.rs crates/machine/src/machine.rs crates/machine/src/message.rs crates/machine/src/node.rs crates/machine/src/shared.rs crates/machine/src/time.rs crates/machine/src/wire.rs Cargo.toml
+/root/repo/target/debug/deps/dstreams_machine-47bad3462cc7a57f.d: crates/machine/src/lib.rs crates/machine/src/collectives.rs crates/machine/src/config.rs crates/machine/src/error.rs crates/machine/src/fault.rs crates/machine/src/machine.rs crates/machine/src/message.rs crates/machine/src/node.rs crates/machine/src/shared.rs crates/machine/src/time.rs crates/machine/src/wire.rs Cargo.toml
 
-/root/repo/target/debug/deps/libdstreams_machine-47bad3462cc7a57f.rmeta: crates/machine/src/lib.rs crates/machine/src/collectives.rs crates/machine/src/config.rs crates/machine/src/error.rs crates/machine/src/machine.rs crates/machine/src/message.rs crates/machine/src/node.rs crates/machine/src/shared.rs crates/machine/src/time.rs crates/machine/src/wire.rs Cargo.toml
+/root/repo/target/debug/deps/libdstreams_machine-47bad3462cc7a57f.rmeta: crates/machine/src/lib.rs crates/machine/src/collectives.rs crates/machine/src/config.rs crates/machine/src/error.rs crates/machine/src/fault.rs crates/machine/src/machine.rs crates/machine/src/message.rs crates/machine/src/node.rs crates/machine/src/shared.rs crates/machine/src/time.rs crates/machine/src/wire.rs Cargo.toml
 
 crates/machine/src/lib.rs:
 crates/machine/src/collectives.rs:
 crates/machine/src/config.rs:
 crates/machine/src/error.rs:
+crates/machine/src/fault.rs:
 crates/machine/src/machine.rs:
 crates/machine/src/message.rs:
 crates/machine/src/node.rs:

@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/dstreams_machine-57680abf7cbd26f0.d: crates/machine/src/lib.rs crates/machine/src/collectives.rs crates/machine/src/config.rs crates/machine/src/error.rs crates/machine/src/machine.rs crates/machine/src/message.rs crates/machine/src/node.rs crates/machine/src/shared.rs crates/machine/src/time.rs crates/machine/src/wire.rs
+/root/repo/target/debug/deps/dstreams_machine-57680abf7cbd26f0.d: crates/machine/src/lib.rs crates/machine/src/collectives.rs crates/machine/src/config.rs crates/machine/src/error.rs crates/machine/src/fault.rs crates/machine/src/machine.rs crates/machine/src/message.rs crates/machine/src/node.rs crates/machine/src/shared.rs crates/machine/src/time.rs crates/machine/src/wire.rs
 
-/root/repo/target/debug/deps/dstreams_machine-57680abf7cbd26f0: crates/machine/src/lib.rs crates/machine/src/collectives.rs crates/machine/src/config.rs crates/machine/src/error.rs crates/machine/src/machine.rs crates/machine/src/message.rs crates/machine/src/node.rs crates/machine/src/shared.rs crates/machine/src/time.rs crates/machine/src/wire.rs
+/root/repo/target/debug/deps/dstreams_machine-57680abf7cbd26f0: crates/machine/src/lib.rs crates/machine/src/collectives.rs crates/machine/src/config.rs crates/machine/src/error.rs crates/machine/src/fault.rs crates/machine/src/machine.rs crates/machine/src/message.rs crates/machine/src/node.rs crates/machine/src/shared.rs crates/machine/src/time.rs crates/machine/src/wire.rs
 
 crates/machine/src/lib.rs:
 crates/machine/src/collectives.rs:
 crates/machine/src/config.rs:
 crates/machine/src/error.rs:
+crates/machine/src/fault.rs:
 crates/machine/src/machine.rs:
 crates/machine/src/message.rs:
 crates/machine/src/node.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/dstreams_machine-8d8bce4e67021dac.d: crates/machine/src/lib.rs crates/machine/src/collectives.rs crates/machine/src/config.rs crates/machine/src/error.rs crates/machine/src/fault.rs crates/machine/src/machine.rs crates/machine/src/message.rs crates/machine/src/node.rs crates/machine/src/shared.rs crates/machine/src/time.rs crates/machine/src/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdstreams_machine-8d8bce4e67021dac.rmeta: crates/machine/src/lib.rs crates/machine/src/collectives.rs crates/machine/src/config.rs crates/machine/src/error.rs crates/machine/src/fault.rs crates/machine/src/machine.rs crates/machine/src/message.rs crates/machine/src/node.rs crates/machine/src/shared.rs crates/machine/src/time.rs crates/machine/src/wire.rs Cargo.toml
+
+crates/machine/src/lib.rs:
+crates/machine/src/collectives.rs:
+crates/machine/src/config.rs:
+crates/machine/src/error.rs:
+crates/machine/src/fault.rs:
+crates/machine/src/machine.rs:
+crates/machine/src/message.rs:
+crates/machine/src/node.rs:
+crates/machine/src/shared.rs:
+crates/machine/src/time.rs:
+crates/machine/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

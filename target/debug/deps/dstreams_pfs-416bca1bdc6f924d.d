@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/dstreams_pfs-416bca1bdc6f924d.d: crates/pfs/src/lib.rs crates/pfs/src/checksum.rs crates/pfs/src/error.rs crates/pfs/src/file.rs crates/pfs/src/model.rs crates/pfs/src/pfs.rs crates/pfs/src/retry.rs crates/pfs/src/storage.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdstreams_pfs-416bca1bdc6f924d.rmeta: crates/pfs/src/lib.rs crates/pfs/src/checksum.rs crates/pfs/src/error.rs crates/pfs/src/file.rs crates/pfs/src/model.rs crates/pfs/src/pfs.rs crates/pfs/src/retry.rs crates/pfs/src/storage.rs Cargo.toml
+
+crates/pfs/src/lib.rs:
+crates/pfs/src/checksum.rs:
+crates/pfs/src/error.rs:
+crates/pfs/src/file.rs:
+crates/pfs/src/model.rs:
+crates/pfs/src/pfs.rs:
+crates/pfs/src/retry.rs:
+crates/pfs/src/storage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

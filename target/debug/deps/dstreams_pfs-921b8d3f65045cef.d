@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dstreams_pfs-921b8d3f65045cef.d: crates/pfs/src/lib.rs crates/pfs/src/checksum.rs crates/pfs/src/error.rs crates/pfs/src/file.rs crates/pfs/src/model.rs crates/pfs/src/pfs.rs crates/pfs/src/retry.rs crates/pfs/src/storage.rs
+
+/root/repo/target/debug/deps/libdstreams_pfs-921b8d3f65045cef.rlib: crates/pfs/src/lib.rs crates/pfs/src/checksum.rs crates/pfs/src/error.rs crates/pfs/src/file.rs crates/pfs/src/model.rs crates/pfs/src/pfs.rs crates/pfs/src/retry.rs crates/pfs/src/storage.rs
+
+/root/repo/target/debug/deps/libdstreams_pfs-921b8d3f65045cef.rmeta: crates/pfs/src/lib.rs crates/pfs/src/checksum.rs crates/pfs/src/error.rs crates/pfs/src/file.rs crates/pfs/src/model.rs crates/pfs/src/pfs.rs crates/pfs/src/retry.rs crates/pfs/src/storage.rs
+
+crates/pfs/src/lib.rs:
+crates/pfs/src/checksum.rs:
+crates/pfs/src/error.rs:
+crates/pfs/src/file.rs:
+crates/pfs/src/model.rs:
+crates/pfs/src/pfs.rs:
+crates/pfs/src/retry.rs:
+crates/pfs/src/storage.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dstreams_pfs-fc149e16f358bc14.d: crates/pfs/src/lib.rs crates/pfs/src/checksum.rs crates/pfs/src/error.rs crates/pfs/src/file.rs crates/pfs/src/model.rs crates/pfs/src/pfs.rs crates/pfs/src/retry.rs crates/pfs/src/storage.rs
+
+/root/repo/target/debug/deps/dstreams_pfs-fc149e16f358bc14: crates/pfs/src/lib.rs crates/pfs/src/checksum.rs crates/pfs/src/error.rs crates/pfs/src/file.rs crates/pfs/src/model.rs crates/pfs/src/pfs.rs crates/pfs/src/retry.rs crates/pfs/src/storage.rs
+
+crates/pfs/src/lib.rs:
+crates/pfs/src/checksum.rs:
+crates/pfs/src/error.rs:
+crates/pfs/src/file.rs:
+crates/pfs/src/model.rs:
+crates/pfs/src/pfs.rs:
+crates/pfs/src/retry.rs:
+crates/pfs/src/storage.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dstreams_scf-2472c1b025dbb238.d: crates/scf/src/lib.rs crates/scf/src/driver.rs crates/scf/src/methods.rs crates/scf/src/physics.rs crates/scf/src/segment.rs crates/scf/src/solver.rs crates/scf/src/tables.rs crates/scf/src/workload.rs
+
+/root/repo/target/debug/deps/dstreams_scf-2472c1b025dbb238: crates/scf/src/lib.rs crates/scf/src/driver.rs crates/scf/src/methods.rs crates/scf/src/physics.rs crates/scf/src/segment.rs crates/scf/src/solver.rs crates/scf/src/tables.rs crates/scf/src/workload.rs
+
+crates/scf/src/lib.rs:
+crates/scf/src/driver.rs:
+crates/scf/src/methods.rs:
+crates/scf/src/physics.rs:
+crates/scf/src/segment.rs:
+crates/scf/src/solver.rs:
+crates/scf/src/tables.rs:
+crates/scf/src/workload.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/dstreams_scf-34a3c9d507511429.d: crates/scf/src/lib.rs crates/scf/src/driver.rs crates/scf/src/methods.rs crates/scf/src/physics.rs crates/scf/src/segment.rs crates/scf/src/solver.rs crates/scf/src/tables.rs crates/scf/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdstreams_scf-34a3c9d507511429.rmeta: crates/scf/src/lib.rs crates/scf/src/driver.rs crates/scf/src/methods.rs crates/scf/src/physics.rs crates/scf/src/segment.rs crates/scf/src/solver.rs crates/scf/src/tables.rs crates/scf/src/workload.rs Cargo.toml
+
+crates/scf/src/lib.rs:
+crates/scf/src/driver.rs:
+crates/scf/src/methods.rs:
+crates/scf/src/physics.rs:
+crates/scf/src/segment.rs:
+crates/scf/src/solver.rs:
+crates/scf/src/tables.rs:
+crates/scf/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

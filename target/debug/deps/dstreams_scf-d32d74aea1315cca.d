@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dstreams_scf-d32d74aea1315cca.d: crates/scf/src/lib.rs crates/scf/src/driver.rs crates/scf/src/methods.rs crates/scf/src/physics.rs crates/scf/src/segment.rs crates/scf/src/solver.rs crates/scf/src/tables.rs crates/scf/src/workload.rs
+
+/root/repo/target/debug/deps/libdstreams_scf-d32d74aea1315cca.rlib: crates/scf/src/lib.rs crates/scf/src/driver.rs crates/scf/src/methods.rs crates/scf/src/physics.rs crates/scf/src/segment.rs crates/scf/src/solver.rs crates/scf/src/tables.rs crates/scf/src/workload.rs
+
+/root/repo/target/debug/deps/libdstreams_scf-d32d74aea1315cca.rmeta: crates/scf/src/lib.rs crates/scf/src/driver.rs crates/scf/src/methods.rs crates/scf/src/physics.rs crates/scf/src/segment.rs crates/scf/src/solver.rs crates/scf/src/tables.rs crates/scf/src/workload.rs
+
+crates/scf/src/lib.rs:
+crates/scf/src/driver.rs:
+crates/scf/src/methods.rs:
+crates/scf/src/physics.rs:
+crates/scf/src/segment.rs:
+crates/scf/src/solver.rs:
+crates/scf/src/tables.rs:
+crates/scf/src/workload.rs:

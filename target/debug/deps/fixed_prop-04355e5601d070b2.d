@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fixed_prop-04355e5601d070b2.d: crates/fixedio/tests/fixed_prop.rs
+
+/root/repo/target/debug/deps/fixed_prop-04355e5601d070b2: crates/fixedio/tests/fixed_prop.rs
+
+crates/fixedio/tests/fixed_prop.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fixed_prop-6d3f4e48ab79d1d7.d: crates/fixedio/tests/fixed_prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfixed_prop-6d3f4e48ab79d1d7.rmeta: crates/fixedio/tests/fixed_prop.rs Cargo.toml
+
+crates/fixedio/tests/fixed_prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

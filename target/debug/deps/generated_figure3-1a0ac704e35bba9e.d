@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/generated_figure3-1a0ac704e35bba9e.d: tests/generated_figure3.rs
+
+/root/repo/target/debug/deps/generated_figure3-1a0ac704e35bba9e: tests/generated_figure3.rs
+
+tests/generated_figure3.rs:

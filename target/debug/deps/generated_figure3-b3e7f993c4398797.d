@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/generated_figure3-b3e7f993c4398797.d: tests/generated_figure3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgenerated_figure3-b3e7f993c4398797.rmeta: tests/generated_figure3.rs Cargo.toml
+
+tests/generated_figure3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

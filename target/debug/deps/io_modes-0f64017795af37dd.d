@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/io_modes-0f64017795af37dd.d: crates/pfs/tests/io_modes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libio_modes-0f64017795af37dd.rmeta: crates/pfs/tests/io_modes.rs Cargo.toml
+
+crates/pfs/tests/io_modes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

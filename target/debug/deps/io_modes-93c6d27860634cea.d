@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/io_modes-93c6d27860634cea.d: crates/pfs/tests/io_modes.rs
+
+/root/repo/target/debug/deps/io_modes-93c6d27860634cea: crates/pfs/tests/io_modes.rs
+
+crates/pfs/tests/io_modes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_roundtrip-77da2eeaff050485.d: tests/proptest_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_roundtrip-77da2eeaff050485.rmeta: tests/proptest_roundtrip.rs Cargo.toml
+
+tests/proptest_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_roundtrip-dd5ae6143dd4fe93.d: tests/proptest_roundtrip.rs
+
+/root/repo/target/debug/deps/proptest_roundtrip-dd5ae6143dd4fe93: tests/proptest_roundtrip.rs
+
+tests/proptest_roundtrip.rs:

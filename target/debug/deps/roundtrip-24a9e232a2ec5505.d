@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/roundtrip-24a9e232a2ec5505.d: crates/core/tests/roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libroundtrip-24a9e232a2ec5505.rmeta: crates/core/tests/roundtrip.rs Cargo.toml
+
+crates/core/tests/roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

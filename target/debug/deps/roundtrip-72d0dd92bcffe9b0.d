@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/roundtrip-72d0dd92bcffe9b0.d: crates/core/tests/roundtrip.rs
+
+/root/repo/target/debug/deps/roundtrip-72d0dd92bcffe9b0: crates/core/tests/roundtrip.rs
+
+crates/core/tests/roundtrip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smp_buffer-11338324dcbdc781.d: crates/core/tests/smp_buffer.rs
+
+/root/repo/target/debug/deps/smp_buffer-11338324dcbdc781: crates/core/tests/smp_buffer.rs
+
+crates/core/tests/smp_buffer.rs:

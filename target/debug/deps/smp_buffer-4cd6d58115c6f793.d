@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/smp_buffer-4cd6d58115c6f793.d: crates/core/tests/smp_buffer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmp_buffer-4cd6d58115c6f793.rmeta: crates/core/tests/smp_buffer.rs Cargo.toml
+
+crates/core/tests/smp_buffer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/state_machine-0e954974314202ab.d: tests/state_machine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstate_machine-0e954974314202ab.rmeta: tests/state_machine.rs Cargo.toml
+
+tests/state_machine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/state_machine-986ed4e72bcc5959.d: tests/state_machine.rs
+
+/root/repo/target/debug/deps/state_machine-986ed4e72bcc5959: tests/state_machine.rs
+
+tests/state_machine.rs:

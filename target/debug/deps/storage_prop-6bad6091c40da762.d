@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/storage_prop-6bad6091c40da762.d: crates/pfs/tests/storage_prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstorage_prop-6bad6091c40da762.rmeta: crates/pfs/tests/storage_prop.rs Cargo.toml
+
+crates/pfs/tests/storage_prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/storage_prop-fc14f06b3d6253dd.d: crates/pfs/tests/storage_prop.rs
+
+/root/repo/target/debug/deps/storage_prop-fc14f06b3d6253dd: crates/pfs/tests/storage_prop.rs
+
+crates/pfs/tests/storage_prop.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/streamgen_roundtrip-0fe31e26b0b384e5.d: tests/streamgen_roundtrip.rs tests/generated_figure3.rs
+
+/root/repo/target/debug/deps/streamgen_roundtrip-0fe31e26b0b384e5: tests/streamgen_roundtrip.rs tests/generated_figure3.rs
+
+tests/streamgen_roundtrip.rs:
+tests/generated_figure3.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/streamgen_roundtrip-55458408bca8a517.d: tests/streamgen_roundtrip.rs tests/generated_figure3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstreamgen_roundtrip-55458408bca8a517.rmeta: tests/streamgen_roundtrip.rs tests/generated_figure3.rs Cargo.toml
+
+tests/streamgen_roundtrip.rs:
+tests/generated_figure3.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_challenge-b81410bc28cef13a.d: crates/bench/benches/table_challenge.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_challenge-b81410bc28cef13a.rmeta: crates/bench/benches/table_challenge.rs Cargo.toml
+
+crates/bench/benches/table_challenge.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

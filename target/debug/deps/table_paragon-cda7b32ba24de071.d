@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_paragon-cda7b32ba24de071.d: crates/bench/benches/table_paragon.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_paragon-cda7b32ba24de071.rmeta: crates/bench/benches/table_paragon.rs Cargo.toml
+
+crates/bench/benches/table_paragon.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tables-898d78b55e4896d1.d: crates/bench/src/bin/tables.rs
+
+/root/repo/target/debug/deps/tables-898d78b55e4896d1: crates/bench/src/bin/tables.rs
+
+crates/bench/src/bin/tables.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_claims-098211f5c2d19597.d: tests/trace_claims.rs
+
+/root/repo/target/debug/deps/trace_claims-098211f5c2d19597: tests/trace_claims.rs
+
+tests/trace_claims.rs:

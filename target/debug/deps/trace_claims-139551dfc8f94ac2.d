@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace_claims-139551dfc8f94ac2.d: tests/trace_claims.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace_claims-139551dfc8f94ac2.rmeta: tests/trace_claims.rs Cargo.toml
+
+tests/trace_claims.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

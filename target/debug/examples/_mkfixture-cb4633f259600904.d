@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/_mkfixture-cb4633f259600904.d: examples/_mkfixture.rs
+
+/root/repo/target/debug/examples/_mkfixture-cb4633f259600904: examples/_mkfixture.rs
+
+examples/_mkfixture.rs:

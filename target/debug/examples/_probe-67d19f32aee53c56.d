@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/_probe-67d19f32aee53c56.d: examples/_probe.rs
+
+/root/repo/target/debug/examples/_probe-67d19f32aee53c56: examples/_probe.rs
+
+examples/_probe.rs:

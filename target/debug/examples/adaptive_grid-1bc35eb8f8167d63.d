@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/adaptive_grid-1bc35eb8f8167d63.d: examples/adaptive_grid.rs Cargo.toml
+
+/root/repo/target/debug/examples/libadaptive_grid-1bc35eb8f8167d63.rmeta: examples/adaptive_grid.rs Cargo.toml
+
+examples/adaptive_grid.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

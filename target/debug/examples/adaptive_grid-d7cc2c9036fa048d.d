@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adaptive_grid-d7cc2c9036fa048d.d: examples/adaptive_grid.rs
+
+/root/repo/target/debug/examples/adaptive_grid-d7cc2c9036fa048d: examples/adaptive_grid.rs
+
+examples/adaptive_grid.rs:

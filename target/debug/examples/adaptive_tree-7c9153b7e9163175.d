@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adaptive_tree-7c9153b7e9163175.d: examples/adaptive_tree.rs
+
+/root/repo/target/debug/examples/adaptive_tree-7c9153b7e9163175: examples/adaptive_tree.rs
+
+examples/adaptive_tree.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/adaptive_tree-d0308dcb26a8b16e.d: examples/adaptive_tree.rs Cargo.toml
+
+/root/repo/target/debug/examples/libadaptive_tree-d0308dcb26a8b16e.rmeta: examples/adaptive_tree.rs Cargo.toml
+
+examples/adaptive_tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

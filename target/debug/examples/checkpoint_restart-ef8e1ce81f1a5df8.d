@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/checkpoint_restart-ef8e1ce81f1a5df8.d: examples/checkpoint_restart.rs
+
+/root/repo/target/debug/examples/checkpoint_restart-ef8e1ce81f1a5df8: examples/checkpoint_restart.rs
+
+examples/checkpoint_restart.rs:

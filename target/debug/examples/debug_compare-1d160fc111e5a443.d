@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/debug_compare-1d160fc111e5a443.d: examples/debug_compare.rs
+
+/root/repo/target/debug/examples/debug_compare-1d160fc111e5a443: examples/debug_compare.rs
+
+examples/debug_compare.rs:

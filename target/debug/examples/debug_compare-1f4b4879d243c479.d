@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/debug_compare-1f4b4879d243c479.d: examples/debug_compare.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdebug_compare-1f4b4879d243c479.rmeta: examples/debug_compare.rs Cargo.toml
+
+examples/debug_compare.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

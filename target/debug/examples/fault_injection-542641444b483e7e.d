@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fault_injection-542641444b483e7e.d: examples/fault_injection.rs
+
+/root/repo/target/debug/examples/fault_injection-542641444b483e7e: examples/fault_injection.rs
+
+examples/fault_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-ec99b31e45180557.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-ec99b31e45180557: examples/quickstart.rs
+
+examples/quickstart.rs:

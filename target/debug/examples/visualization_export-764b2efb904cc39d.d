@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/visualization_export-764b2efb904cc39d.d: examples/visualization_export.rs
+
+/root/repo/target/debug/examples/visualization_export-764b2efb904cc39d: examples/visualization_export.rs
+
+examples/visualization_export.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/visualization_export-aa454203846c313b.d: examples/visualization_export.rs Cargo.toml
+
+/root/repo/target/debug/examples/libvisualization_export-aa454203846c313b.rmeta: examples/visualization_export.rs Cargo.toml
+
+examples/visualization_export.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dsdump-c79f209e713c857f.d: crates/core/src/bin/dsdump.rs
+
+/root/repo/target/release/deps/dsdump-c79f209e713c857f: crates/core/src/bin/dsdump.rs
+
+crates/core/src/bin/dsdump.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dstreams-a67a3802d226b9c5.d: src/lib.rs
+
+/root/repo/target/release/deps/libdstreams-a67a3802d226b9c5.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libdstreams-a67a3802d226b9c5.rmeta: src/lib.rs
+
+src/lib.rs:

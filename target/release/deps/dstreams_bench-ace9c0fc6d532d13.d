@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dstreams_bench-ace9c0fc6d532d13.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libdstreams_bench-ace9c0fc6d532d13.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libdstreams_bench-ace9c0fc6d532d13.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/dstreams_collections-db94e1f48e051dd4.d: crates/collections/src/lib.rs crates/collections/src/alignment.rs crates/collections/src/collection.rs crates/collections/src/distribution.rs crates/collections/src/error.rs crates/collections/src/grid.rs crates/collections/src/layout.rs
+
+/root/repo/target/release/deps/libdstreams_collections-db94e1f48e051dd4.rlib: crates/collections/src/lib.rs crates/collections/src/alignment.rs crates/collections/src/collection.rs crates/collections/src/distribution.rs crates/collections/src/error.rs crates/collections/src/grid.rs crates/collections/src/layout.rs
+
+/root/repo/target/release/deps/libdstreams_collections-db94e1f48e051dd4.rmeta: crates/collections/src/lib.rs crates/collections/src/alignment.rs crates/collections/src/collection.rs crates/collections/src/distribution.rs crates/collections/src/error.rs crates/collections/src/grid.rs crates/collections/src/layout.rs
+
+crates/collections/src/lib.rs:
+crates/collections/src/alignment.rs:
+crates/collections/src/collection.rs:
+crates/collections/src/distribution.rs:
+crates/collections/src/error.rs:
+crates/collections/src/grid.rs:
+crates/collections/src/layout.rs:

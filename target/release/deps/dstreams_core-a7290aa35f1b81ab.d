@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/dstreams_core-a7290aa35f1b81ab.d: crates/core/src/lib.rs crates/core/src/checkpoint.rs crates/core/src/data.rs crates/core/src/error.rs crates/core/src/format.rs crates/core/src/inspect.rs crates/core/src/istream.rs crates/core/src/localio.rs crates/core/src/ostream.rs crates/core/src/phase.rs
+
+/root/repo/target/release/deps/libdstreams_core-a7290aa35f1b81ab.rlib: crates/core/src/lib.rs crates/core/src/checkpoint.rs crates/core/src/data.rs crates/core/src/error.rs crates/core/src/format.rs crates/core/src/inspect.rs crates/core/src/istream.rs crates/core/src/localio.rs crates/core/src/ostream.rs crates/core/src/phase.rs
+
+/root/repo/target/release/deps/libdstreams_core-a7290aa35f1b81ab.rmeta: crates/core/src/lib.rs crates/core/src/checkpoint.rs crates/core/src/data.rs crates/core/src/error.rs crates/core/src/format.rs crates/core/src/inspect.rs crates/core/src/istream.rs crates/core/src/localio.rs crates/core/src/ostream.rs crates/core/src/phase.rs
+
+crates/core/src/lib.rs:
+crates/core/src/checkpoint.rs:
+crates/core/src/data.rs:
+crates/core/src/error.rs:
+crates/core/src/format.rs:
+crates/core/src/inspect.rs:
+crates/core/src/istream.rs:
+crates/core/src/localio.rs:
+crates/core/src/ostream.rs:
+crates/core/src/phase.rs:

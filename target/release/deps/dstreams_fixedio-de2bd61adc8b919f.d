@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dstreams_fixedio-de2bd61adc8b919f.d: crates/fixedio/src/lib.rs crates/fixedio/src/chameleon.rs crates/fixedio/src/panda.rs
+
+/root/repo/target/release/deps/libdstreams_fixedio-de2bd61adc8b919f.rlib: crates/fixedio/src/lib.rs crates/fixedio/src/chameleon.rs crates/fixedio/src/panda.rs
+
+/root/repo/target/release/deps/libdstreams_fixedio-de2bd61adc8b919f.rmeta: crates/fixedio/src/lib.rs crates/fixedio/src/chameleon.rs crates/fixedio/src/panda.rs
+
+crates/fixedio/src/lib.rs:
+crates/fixedio/src/chameleon.rs:
+crates/fixedio/src/panda.rs:

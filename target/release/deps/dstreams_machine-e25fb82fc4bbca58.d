@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/dstreams_machine-e25fb82fc4bbca58.d: crates/machine/src/lib.rs crates/machine/src/collectives.rs crates/machine/src/config.rs crates/machine/src/error.rs crates/machine/src/fault.rs crates/machine/src/machine.rs crates/machine/src/message.rs crates/machine/src/node.rs crates/machine/src/shared.rs crates/machine/src/time.rs crates/machine/src/wire.rs
+
+/root/repo/target/release/deps/libdstreams_machine-e25fb82fc4bbca58.rlib: crates/machine/src/lib.rs crates/machine/src/collectives.rs crates/machine/src/config.rs crates/machine/src/error.rs crates/machine/src/fault.rs crates/machine/src/machine.rs crates/machine/src/message.rs crates/machine/src/node.rs crates/machine/src/shared.rs crates/machine/src/time.rs crates/machine/src/wire.rs
+
+/root/repo/target/release/deps/libdstreams_machine-e25fb82fc4bbca58.rmeta: crates/machine/src/lib.rs crates/machine/src/collectives.rs crates/machine/src/config.rs crates/machine/src/error.rs crates/machine/src/fault.rs crates/machine/src/machine.rs crates/machine/src/message.rs crates/machine/src/node.rs crates/machine/src/shared.rs crates/machine/src/time.rs crates/machine/src/wire.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/collectives.rs:
+crates/machine/src/config.rs:
+crates/machine/src/error.rs:
+crates/machine/src/fault.rs:
+crates/machine/src/machine.rs:
+crates/machine/src/message.rs:
+crates/machine/src/node.rs:
+crates/machine/src/shared.rs:
+crates/machine/src/time.rs:
+crates/machine/src/wire.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/dstreams_pfs-eeea688c0c4f068e.d: crates/pfs/src/lib.rs crates/pfs/src/checksum.rs crates/pfs/src/error.rs crates/pfs/src/file.rs crates/pfs/src/model.rs crates/pfs/src/pfs.rs crates/pfs/src/retry.rs crates/pfs/src/storage.rs
+
+/root/repo/target/release/deps/libdstreams_pfs-eeea688c0c4f068e.rlib: crates/pfs/src/lib.rs crates/pfs/src/checksum.rs crates/pfs/src/error.rs crates/pfs/src/file.rs crates/pfs/src/model.rs crates/pfs/src/pfs.rs crates/pfs/src/retry.rs crates/pfs/src/storage.rs
+
+/root/repo/target/release/deps/libdstreams_pfs-eeea688c0c4f068e.rmeta: crates/pfs/src/lib.rs crates/pfs/src/checksum.rs crates/pfs/src/error.rs crates/pfs/src/file.rs crates/pfs/src/model.rs crates/pfs/src/pfs.rs crates/pfs/src/retry.rs crates/pfs/src/storage.rs
+
+crates/pfs/src/lib.rs:
+crates/pfs/src/checksum.rs:
+crates/pfs/src/error.rs:
+crates/pfs/src/file.rs:
+crates/pfs/src/model.rs:
+crates/pfs/src/pfs.rs:
+crates/pfs/src/retry.rs:
+crates/pfs/src/storage.rs:

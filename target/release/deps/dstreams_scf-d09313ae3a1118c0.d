@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/dstreams_scf-d09313ae3a1118c0.d: crates/scf/src/lib.rs crates/scf/src/driver.rs crates/scf/src/methods.rs crates/scf/src/physics.rs crates/scf/src/segment.rs crates/scf/src/solver.rs crates/scf/src/tables.rs crates/scf/src/workload.rs
+
+/root/repo/target/release/deps/libdstreams_scf-d09313ae3a1118c0.rlib: crates/scf/src/lib.rs crates/scf/src/driver.rs crates/scf/src/methods.rs crates/scf/src/physics.rs crates/scf/src/segment.rs crates/scf/src/solver.rs crates/scf/src/tables.rs crates/scf/src/workload.rs
+
+/root/repo/target/release/deps/libdstreams_scf-d09313ae3a1118c0.rmeta: crates/scf/src/lib.rs crates/scf/src/driver.rs crates/scf/src/methods.rs crates/scf/src/physics.rs crates/scf/src/segment.rs crates/scf/src/solver.rs crates/scf/src/tables.rs crates/scf/src/workload.rs
+
+crates/scf/src/lib.rs:
+crates/scf/src/driver.rs:
+crates/scf/src/methods.rs:
+crates/scf/src/physics.rs:
+crates/scf/src/segment.rs:
+crates/scf/src/solver.rs:
+crates/scf/src/tables.rs:
+crates/scf/src/workload.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dstreams_streamgen-a56d84abc4968062.d: crates/streamgen/src/lib.rs crates/streamgen/src/ast.rs crates/streamgen/src/codegen.rs crates/streamgen/src/lexer.rs crates/streamgen/src/parser.rs crates/streamgen/src/sema.rs
+
+/root/repo/target/release/deps/libdstreams_streamgen-a56d84abc4968062.rlib: crates/streamgen/src/lib.rs crates/streamgen/src/ast.rs crates/streamgen/src/codegen.rs crates/streamgen/src/lexer.rs crates/streamgen/src/parser.rs crates/streamgen/src/sema.rs
+
+/root/repo/target/release/deps/libdstreams_streamgen-a56d84abc4968062.rmeta: crates/streamgen/src/lib.rs crates/streamgen/src/ast.rs crates/streamgen/src/codegen.rs crates/streamgen/src/lexer.rs crates/streamgen/src/parser.rs crates/streamgen/src/sema.rs
+
+crates/streamgen/src/lib.rs:
+crates/streamgen/src/ast.rs:
+crates/streamgen/src/codegen.rs:
+crates/streamgen/src/lexer.rs:
+crates/streamgen/src/parser.rs:
+crates/streamgen/src/sema.rs:

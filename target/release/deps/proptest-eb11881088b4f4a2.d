@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-eb11881088b4f4a2.d: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-eb11881088b4f4a2.rlib: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-eb11881088b4f4a2.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

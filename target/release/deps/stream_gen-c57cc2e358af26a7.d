@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/stream_gen-c57cc2e358af26a7.d: crates/streamgen/src/main.rs
+
+/root/repo/target/release/deps/stream_gen-c57cc2e358af26a7: crates/streamgen/src/main.rs
+
+crates/streamgen/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tables-c020bf2e988640a7.d: crates/bench/src/bin/tables.rs
+
+/root/repo/target/release/deps/tables-c020bf2e988640a7: crates/bench/src/bin/tables.rs
+
+crates/bench/src/bin/tables.rs:

@@ -174,18 +174,21 @@ fn panda_interleaving_matches_dstreams_interleaving_byte_for_byte() {
         s.write().unwrap();
         s.close().unwrap();
 
-        // Compare the trailing 96 bytes (6 elements x 2 fields x 8 B).
+        // Compare the trailing 96 data bytes (6 elements x 2 fields x
+        // 8 B); the d/stream file ends with its commit seal, the
+        // Panda-style file with the data itself.
         ctx.barrier().unwrap();
         if ctx.is_root() {
-            let read_tail = |name: &str| {
+            let read_tail = |name: &str, skip: u64| {
                 let fh = p
                     .open(false, name, dstreams::pfs::OpenMode::Create)
                     .unwrap();
                 let mut buf = vec![0u8; 96];
-                fh.read_at(ctx, fh.len() - 96, &mut buf).unwrap();
+                fh.read_at(ctx, fh.len() - 96 - skip, &mut buf).unwrap();
                 buf
             };
-            assert_eq!(read_tail("pv"), read_tail("dv"));
+            let seal = dstreams::core::RecordSeal::LEN as u64;
+            assert_eq!(read_tail("pv", 0), read_tail("dv", seal));
         }
         ctx.barrier().unwrap();
     })

@@ -11,7 +11,11 @@
 //!   same order, per element, regardless of how many inserts there were;
 //! * **size-table consistency** — the self-describing file's recorded
 //!   sizes always sum to the data region's length (checked implicitly:
-//!   corrupt sums fail `read`).
+//!   corrupt sums fail `read`);
+//! * **decode totality** — no truncation or bit-flip of a valid file can
+//!   panic or hang the reader: `IStream::open`/`read`, `inspect_bytes`
+//!   and `recovery_scan` return a value or a typed error on *any* damaged
+//!   prefix.
 
 use dstreams::collections::{Collection, DistKind, Layout};
 use dstreams::core::{IStream, OStream};
@@ -43,6 +47,35 @@ fn blob_for(gid: usize, seed: u8, size_class: usize) -> Blob {
             .collect(),
         tag: gid as f64 * 1.5 + seed as f64,
     }
+}
+
+/// A valid two-record image (built once), the damage corpus for the
+/// decode-totality property below.
+fn base_image() -> &'static [u8] {
+    use std::sync::OnceLock;
+    static BASE: OnceLock<Vec<u8>> = OnceLock::new();
+    BASE.get_or_init(|| {
+        let pfs = Pfs::in_memory(1);
+        let p = pfs.clone();
+        let mut out = Machine::run(MachineConfig::functional(1), move |ctx| {
+            let layout = Layout::dense(6, 1, DistKind::Block).unwrap();
+            let mut s = OStream::create(ctx, &p, &layout, "base").unwrap();
+            for rec in 0..2u8 {
+                let g = Collection::new(ctx, layout.clone(), |i| blob_for(i, rec, 5)).unwrap();
+                s.insert_collection(&g).unwrap();
+                s.write().unwrap();
+            }
+            s.close().unwrap();
+            let fh = p
+                .open(false, "base", dstreams::pfs::OpenMode::Read)
+                .unwrap();
+            let mut bytes = vec![0u8; fh.len() as usize];
+            fh.read_at(ctx, 0, &mut bytes).unwrap();
+            bytes
+        })
+        .unwrap();
+        out.pop().unwrap()
+    })
 }
 
 fn dist_strategy() -> impl Strategy<Value = DistKind> {
@@ -210,6 +243,55 @@ proptest! {
             }
             assert!(r.at_end());
             r.close().unwrap();
+        })
+        .unwrap();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 96,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn damaged_files_never_panic_the_reader(
+        cut in 0usize..10_000,
+        pos in 0usize..10_000,
+        bit in 0u32..9, // 8 = truncation only, no flip
+    ) {
+        let base = base_image();
+        let mut bytes = base.to_vec();
+        bytes.truncate(cut % (base.len() + 1));
+        if bit < 8 && !bytes.is_empty() {
+            let pos = pos % bytes.len();
+            bytes[pos] ^= 1 << bit;
+        }
+
+        // The pure decoders must be total.
+        let _ = dstreams::core::inspect_bytes(&bytes);
+        let _ = dstreams::core::recovery_scan(&bytes);
+
+        // So must the full reader stack: any outcome but a panic or hang.
+        let pfs = Pfs::in_memory(1);
+        let p = pfs.clone();
+        Machine::run(MachineConfig::functional(1), move |ctx| {
+            let fh = p.open(true, "dmg", dstreams::pfs::OpenMode::Create).unwrap();
+            fh.write_at(ctx, 0, &bytes).unwrap();
+            let layout = Layout::dense(6, 1, DistKind::Block).unwrap();
+            let Ok(mut r) = IStream::open(ctx, &p, &layout, "dmg") else {
+                return;
+            };
+            for _ in 0..4 {
+                if r.read().is_err() {
+                    break;
+                }
+                let mut g = Collection::new(ctx, layout.clone(), |_| Blob::default()).unwrap();
+                if r.extract_collection(&mut g).is_err() {
+                    break;
+                }
+            }
+            let _ = r.close();
         })
         .unwrap();
     }

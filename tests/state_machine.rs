@@ -166,10 +166,12 @@ fn truncated_file_fails_cleanly_on_all_ranks() {
     let p = pfs.clone();
     Machine::run(MachineConfig::functional(2), move |ctx| {
         let l = layout(8, 2);
-        let mut r = IStream::open(ctx, &p, &l, "trunc").unwrap();
-        // The header region survived; the data read must fail, and it must
-        // fail on every rank (no hangs).
-        assert!(r.read().is_err());
+        // The file header survived, but the open-time chain scan spots
+        // the unsealed (torn) record — on every rank, with no hangs.
+        let Err(err) = IStream::open(ctx, &p, &l, "trunc") else {
+            panic!("truncated file opened");
+        };
+        assert!(matches!(err, StreamError::TornTail { .. }));
     })
     .unwrap();
 }
