@@ -31,10 +31,16 @@ fn main() {
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--json" => {
-                json_path = args.get(i + 1).cloned();
-                i += 1;
-            }
+            "--json" => match args.get(i + 1) {
+                // A path operand is only consumed if it looks like one,
+                // so `tables all --json` works and lands at the
+                // machine-readable default.
+                Some(p) if p.ends_with(".json") => {
+                    json_path = Some(p.clone());
+                    i += 1;
+                }
+                _ => json_path = Some("BENCH_tables.json".to_string()),
+            },
             "--markdown" => markdown = true,
             other => which.push(other.to_string()),
         }

@@ -31,14 +31,16 @@ fn main() -> ExitCode {
         eprintln!("       dsdump --dstrace TRACE.json...");
         return ExitCode::from(2);
     }
-    let mut status = ExitCode::SUCCESS;
+    // Exit codes: 0 ok, 1 error, 2 usage, 3 torn tail detected (pass
+    // --recover to truncate back to the sealed prefix).
+    let mut status = 0u8;
     for path in &args {
         if recover {
             match recover_file(path) {
                 Ok(report) => print!("{report}"),
                 Err(e) => {
                     eprintln!("dsdump: {path}: {e}");
-                    status = ExitCode::FAILURE;
+                    status = status.max(1);
                 }
             }
             continue;
@@ -49,12 +51,12 @@ fn main() -> ExitCode {
                     Ok(summary) => print!("{summary}"),
                     Err(e) => {
                         eprintln!("dsdump: {path}: {e}");
-                        status = ExitCode::FAILURE;
+                        status = status.max(1);
                     }
                 },
                 Err(e) => {
                     eprintln!("dsdump: cannot read {path}: {e}");
-                    status = ExitCode::FAILURE;
+                    status = status.max(1);
                 }
             }
             continue;
@@ -63,17 +65,29 @@ fn main() -> ExitCode {
             Ok(bytes) => match dstreams_core::inspect_bytes(&bytes) {
                 Ok(summary) => print!("{}", summary.render(path)),
                 Err(e) => {
-                    eprintln!("dsdump: {path}: {e}");
-                    status = ExitCode::FAILURE;
+                    // Distinguish a crash-torn tail (recoverable, exit 3)
+                    // from plain corruption (exit 1).
+                    let torn = dstreams_core::recovery_scan(&bytes)
+                        .map(|r| r.torn)
+                        .unwrap_or(false);
+                    if torn {
+                        eprintln!(
+                            "dsdump: {path}: torn tail record ({e}) — run `dsdump --recover {path}` to truncate to the sealed prefix"
+                        );
+                        status = status.max(3);
+                    } else {
+                        eprintln!("dsdump: {path}: {e}");
+                        status = status.max(1);
+                    }
                 }
             },
             Err(e) => {
                 eprintln!("dsdump: cannot read {path}: {e}");
-                status = ExitCode::FAILURE;
+                status = status.max(1);
             }
         }
     }
-    status
+    ExitCode::from(status)
 }
 
 /// Truncate `path` back to its last commit-sealed record if the tail is

@@ -18,8 +18,8 @@
 use dstreams_collections::{Collection, Layout};
 use dstreams_machine::wire::{frame_blocks, unframe_blocks};
 use dstreams_machine::NodeCtx;
-use dstreams_pfs::{ChunkSum, FileHandle, OpenMode, Pfs};
-use dstreams_trace::StreamPhase;
+use dstreams_pfs::{ChunkSum, FileHandle, IoHandle, OpenMode, Pfs};
+use dstreams_trace::{EventKind, StreamPhase};
 
 use crate::data::{Extractor, StreamData};
 use crate::error::StreamError;
@@ -40,6 +40,25 @@ struct InRecord {
     extracts_done: u32,
 }
 
+/// A record fetched ahead of consumption: metadata is fully decoded, the
+/// data bytes are materialized, and the collective read's service cost is
+/// elapsing in background virtual time. The consuming `read` retires the
+/// handle, routes the elements, and verifies the seal.
+struct Prefetched {
+    header: RecordHeader,
+    seal: Option<RecordSeal>,
+    sizes: Vec<u64>,
+    file_map: Vec<FileEntry>,
+    data_base: u64,
+    /// File-order element range `[lo, hi)` this rank read.
+    lo: usize,
+    hi: usize,
+    raw: Vec<u8>,
+    digests: Vec<ChunkSum>,
+    handle: IoHandle,
+    sorted: bool,
+}
+
 /// An input d/stream bound to one file and the *reader's* layout.
 pub struct IStream<'a> {
     ctx: &'a NodeCtx,
@@ -50,6 +69,8 @@ pub struct IStream<'a> {
     /// Whether records carry commit seals (file format version ≥ 2).
     sealed: bool,
     current: Option<InRecord>,
+    /// Read-ahead record in flight, if any.
+    prefetched: Option<Prefetched>,
 }
 
 impl<'a> IStream<'a> {
@@ -132,6 +153,7 @@ impl<'a> IStream<'a> {
             cursor: FileHeader::LEN as u64,
             sealed: version >= 2,
             current: None,
+            prefetched: None,
         })
     }
 
@@ -220,8 +242,142 @@ impl<'a> IStream<'a> {
                 });
             }
         }
+        if let Some(p) = self.prefetched.take() {
+            if p.sorted != sorted {
+                // Retire the in-flight cost before surfacing the misuse
+                // so the rank's async queue stays consistent.
+                let _ = p.handle.wait(self.ctx);
+                self.ctx.emit_with(|| EventKind::PhaseEnd {
+                    phase: StreamPhase::ReadAhead,
+                });
+                return Err(StreamError::StateViolation {
+                    op: if sorted { "read" } else { "unsorted_read" },
+                    why: "the prefetched record was fetched with the other read mode".into(),
+                });
+            }
+            return self.finish_prefetched(p);
+        }
 
         // --- parallel read 1: record header + size table -------------------
+        let (header, seal, sizes, file_map, data_base) = self.fetch_metadata()?;
+
+        // --- parallel read 2: the data, then (for sorted reads) routing ----
+        let (lo, hi) = self.element_range(file_map.len(), sorted);
+        let (off, len) = Self::span(&file_map, data_base, lo, hi);
+        let data_span = crate::phase::span(self.ctx, StreamPhase::Data);
+        let (raw, data_digests) = self.fh.read_ordered_summed(self.ctx, off, len)?;
+        drop(data_span);
+        let rec = if sorted {
+            self.route_sorted(&header, &file_map, lo, hi, &raw)?
+        } else {
+            self.deal_unsorted(&header, &file_map, lo, hi, &raw)?
+        };
+
+        self.verify_seal(&header, seal.as_ref(), &sizes, &data_digests)?;
+        self.cursor = data_base + header.data_len + self.seal_len();
+        self.current = Some(rec);
+        Ok(())
+    }
+
+    /// The read-ahead half of the asynchronous pipeline: fetch the next
+    /// record's metadata and start its collective data read, overlapping
+    /// the read's service cost with consumption of the current record.
+    /// The next [`IStream::read`] consumes the prefetched record (its
+    /// clock only stalls for whatever cost compute since the prefetch
+    /// did not cover). Returns `false` at end-of-stream. Collective.
+    ///
+    /// At most one record may be in flight; a second `prefetch` before
+    /// the consuming read is a state violation, as is consuming with the
+    /// mismatched read mode ([`IStream::unsorted_read`] after `prefetch`).
+    pub fn prefetch(&mut self) -> Result<bool, StreamError> {
+        self.prefetch_impl(true)
+    }
+
+    /// [`IStream::prefetch`] for [`IStream::unsorted_read`] consumers.
+    pub fn prefetch_unsorted(&mut self) -> Result<bool, StreamError> {
+        self.prefetch_impl(false)
+    }
+
+    fn prefetch_impl(&mut self, sorted: bool) -> Result<bool, StreamError> {
+        if self.prefetched.is_some() {
+            return Err(StreamError::StateViolation {
+                op: "prefetch",
+                why: "a prefetched record is already in flight".into(),
+            });
+        }
+        self.ctx.emit_with(|| EventKind::PhaseBegin {
+            phase: StreamPhase::ReadAhead,
+        });
+        let (header, seal, sizes, file_map, data_base) = match self.fetch_metadata() {
+            Ok(m) => m,
+            Err(StreamError::EndOfStream) => {
+                self.ctx.emit_with(|| EventKind::PhaseEnd {
+                    phase: StreamPhase::ReadAhead,
+                });
+                return Ok(false);
+            }
+            Err(e) => return Err(e),
+        };
+        let (lo, hi) = self.element_range(file_map.len(), sorted);
+        let (off, len) = Self::span(&file_map, data_base, lo, hi);
+        let data_span = crate::phase::span(self.ctx, StreamPhase::Data);
+        let (raw, digests, handle) = self.fh.read_ordered_begin_summed(self.ctx, off, len)?;
+        drop(data_span);
+        self.prefetched = Some(Prefetched {
+            header,
+            seal,
+            sizes,
+            file_map,
+            data_base,
+            lo,
+            hi,
+            raw,
+            digests,
+            handle,
+            sorted,
+        });
+        Ok(true)
+    }
+
+    /// Whether a prefetched record is in flight.
+    pub fn prefetch_in_flight(&self) -> bool {
+        self.prefetched.is_some()
+    }
+
+    /// Consume a prefetched record: retire the collective read's handle
+    /// (stalling only for cost not already hidden behind compute), then
+    /// route/deal and verify exactly as the synchronous path does.
+    fn finish_prefetched(&mut self, p: Prefetched) -> Result<(), StreamError> {
+        p.handle.wait(self.ctx)?;
+        let rec = if p.sorted {
+            self.route_sorted(&p.header, &p.file_map, p.lo, p.hi, &p.raw)?
+        } else {
+            self.deal_unsorted(&p.header, &p.file_map, p.lo, p.hi, &p.raw)?
+        };
+        self.verify_seal(&p.header, p.seal.as_ref(), &p.sizes, &p.digests)?;
+        self.cursor = p.data_base + p.header.data_len + self.seal_len();
+        self.current = Some(rec);
+        self.ctx.emit_with(|| EventKind::PhaseEnd {
+            phase: StreamPhase::ReadAhead,
+        });
+        Ok(())
+    }
+
+    /// Decode the next record's header, seal, size table and file map —
+    /// everything before the data read. Does not move the cursor.
+    #[allow(clippy::type_complexity)]
+    fn fetch_metadata(
+        &mut self,
+    ) -> Result<
+        (
+            RecordHeader,
+            Option<RecordSeal>,
+            Vec<u64>,
+            Vec<FileEntry>,
+            u64,
+        ),
+        StreamError,
+    > {
         let (header, seal) = self.read_header()?;
         let n = header.n_elements as usize;
         if n != self.layout.len() {
@@ -241,42 +397,56 @@ impl<'a> IStream<'a> {
             )));
         }
         let data_base = self.cursor + RecordHeader::LEN as u64 + (n as u64) * 8;
+        Ok((header, seal, sizes, file_map, data_base))
+    }
 
-        // --- parallel read 2: the data, then (for sorted reads) routing ----
-        let (rec, data_digests) = if sorted {
-            self.read_sorted(&header, &file_map, data_base)?
+    /// The file-order element range `[lo, hi)` this rank reads: balanced
+    /// slices for sorted (conforming) reads, reader-local-count runs for
+    /// unsorted reads.
+    fn element_range(&self, n: usize, sorted: bool) -> (usize, usize) {
+        let nprocs = self.ctx.nprocs();
+        let rank = self.ctx.rank();
+        if sorted {
+            ((rank * n) / nprocs, ((rank + 1) * n) / nprocs)
         } else {
-            self.read_unsorted(&header, &file_map, data_base)?
-        };
-
-        // Verify the commit seal: metadata is re-hashed locally (every
-        // rank holds the header and full size table), the data digests
-        // came back with the collective read — the per-rank spans tile
-        // the data region in file order, so folding them reproduces the
-        // digest of the whole region. Every rank reaches the same verdict
-        // from the same broadcast/gathered inputs: no extra communication.
-        if let Some(seal) = seal {
-            let span = RecordHeader::LEN as u64 + (n as u64) * 8 + header.data_len;
-            if seal.record_len != span {
-                return Err(StreamError::CorruptRecord(format!(
-                    "seal claims {} record bytes, header implies {span}",
-                    seal.record_len
-                )));
-            }
-            let mut digest =
-                ChunkSum::of(&header.encode()).then(ChunkSum::of(&encode_sizes(&sizes)));
-            for d in &data_digests {
-                digest = digest.then(*d);
-            }
-            if digest.hash() != seal.checksum {
-                return Err(StreamError::CorruptRecord(
-                    "record fails its commit-seal checksum (torn or corrupted data)".into(),
-                ));
-            }
+            let counts: Vec<usize> = (0..nprocs).map(|r| self.layout.local_count(r)).collect();
+            let lo: usize = counts[..rank].iter().sum();
+            (lo, lo + counts[rank])
         }
+    }
 
-        self.cursor = data_base + header.data_len + self.seal_len();
-        self.current = Some(rec);
+    /// Verify the commit seal: metadata is re-hashed locally (every rank
+    /// holds the header and full size table), the data digests came back
+    /// with the collective read — the per-rank spans tile the data region
+    /// in file order, so folding them reproduces the digest of the whole
+    /// region. Every rank reaches the same verdict from the same
+    /// broadcast/gathered inputs: no extra communication.
+    fn verify_seal(
+        &self,
+        header: &RecordHeader,
+        seal: Option<&RecordSeal>,
+        sizes: &[u64],
+        data_digests: &[ChunkSum],
+    ) -> Result<(), StreamError> {
+        let Some(seal) = seal else {
+            return Ok(());
+        };
+        let span = RecordHeader::LEN as u64 + header.n_elements * 8 + header.data_len;
+        if seal.record_len != span {
+            return Err(StreamError::CorruptRecord(format!(
+                "seal claims {} record bytes, header implies {span}",
+                seal.record_len
+            )));
+        }
+        let mut digest = ChunkSum::of(&header.encode()).then(ChunkSum::of(&encode_sizes(sizes)));
+        for d in data_digests {
+            digest = digest.then(*d);
+        }
+        if digest.hash() != seal.checksum {
+            return Err(StreamError::CorruptRecord(
+                "record fails its commit-seal checksum (torn or corrupted data)".into(),
+            ));
+        }
         Ok(())
     }
 
@@ -377,26 +547,18 @@ impl<'a> IStream<'a> {
         (data_base + start, (end - start) as usize)
     }
 
-    fn read_sorted(
+    /// Route file-order elements `[lo, hi)` (read into `raw`) to their
+    /// owners under the reader layout — phase 2 of a sorted read.
+    fn route_sorted(
         &mut self,
         header: &RecordHeader,
         file_map: &[FileEntry],
-        data_base: u64,
-    ) -> Result<(InRecord, Vec<ChunkSum>), StreamError> {
+        lo: usize,
+        hi: usize,
+        raw: &[u8],
+    ) -> Result<InRecord, StreamError> {
         let nprocs = self.ctx.nprocs();
         let rank = self.ctx.rank();
-        let n = file_map.len();
-
-        // Phase 1: conforming read — balanced contiguous slices of the
-        // on-disk element sequence.
-        let lo = (rank * n) / nprocs;
-        let hi = ((rank + 1) * n) / nprocs;
-        let (off, len) = Self::span(file_map, data_base, lo, hi);
-        let data_span = crate::phase::span(self.ctx, StreamPhase::Data);
-        let (raw, digests) = self.fh.read_ordered_summed(self.ctx, off, len)?;
-        drop(data_span);
-
-        // Phase 2: route each element to its owner under the reader layout.
         let route_span = crate::phase::span(self.ctx, StreamPhase::Route);
         let mut parts: Vec<Vec<Vec<u8>>> = vec![Vec::new(); nprocs];
         let base_off = if lo < hi { file_map[lo].offset } else { 0 };
@@ -450,36 +612,25 @@ impl<'a> IStream<'a> {
             .charge_memcpy(element_data.iter().map(|d| d.len()).sum());
         drop(route_span);
 
-        Ok((
-            InRecord {
-                header: header.clone(),
-                element_pos: vec![0; element_data.len()],
-                element_ids: local_ids,
-                element_data,
-                extracts_done: 0,
-            },
-            digests,
-        ))
+        Ok(InRecord {
+            header: header.clone(),
+            element_pos: vec![0; element_data.len()],
+            element_ids: local_ids,
+            element_data,
+            extracts_done: 0,
+        })
     }
 
-    fn read_unsorted(
+    /// Deal file-order elements `[lo, hi)` (read into `raw`) out as this
+    /// rank's contiguous run — the communication-free unsorted path.
+    fn deal_unsorted(
         &mut self,
         header: &RecordHeader,
         file_map: &[FileEntry],
-        data_base: u64,
-    ) -> Result<(InRecord, Vec<ChunkSum>), StreamError> {
-        let nprocs = self.ctx.nprocs();
-        let rank = self.ctx.rank();
-
-        // Deal file-order elements out in contiguous runs sized by the
-        // reader's local counts: no communication needed.
-        let counts: Vec<usize> = (0..nprocs).map(|r| self.layout.local_count(r)).collect();
-        let lo: usize = counts[..rank].iter().sum();
-        let hi = lo + counts[rank];
-        let (off, len) = Self::span(file_map, data_base, lo, hi);
-        let _data_span = crate::phase::span(self.ctx, StreamPhase::Data);
-        let (raw, digests) = self.fh.read_ordered_summed(self.ctx, off, len)?;
-
+        lo: usize,
+        hi: usize,
+        raw: &[u8],
+    ) -> Result<InRecord, StreamError> {
         let base_off = if lo < hi { file_map[lo].offset } else { 0 };
         let mut element_data = Vec::with_capacity(hi - lo);
         let mut element_ids = Vec::with_capacity(hi - lo);
@@ -488,18 +639,15 @@ impl<'a> IStream<'a> {
             element_data.push(raw[rel..rel + e.size as usize].to_vec());
             element_ids.push(e.global_id);
         }
-        self.ctx.charge_memcpy(len);
+        self.ctx.charge_memcpy(raw.len());
 
-        Ok((
-            InRecord {
-                header: header.clone(),
-                element_pos: vec![0; element_data.len()],
-                element_ids,
-                element_data,
-                extracts_done: 0,
-            },
-            digests,
-        ))
+        Ok(InRecord {
+            header: header.clone(),
+            element_pos: vec![0; element_data.len()],
+            element_ids,
+            element_data,
+            extracts_done: 0,
+        })
     }
 
     /// Skip the next record without buffering its data (cursor advance
@@ -507,6 +655,12 @@ impl<'a> IStream<'a> {
     /// streams with different layouts share one file: each stream skips
     /// the records that belong to the others.
     pub fn skip_record(&mut self) -> Result<(), StreamError> {
+        if self.prefetched.is_some() {
+            return Err(StreamError::StateViolation {
+                op: "skip_record",
+                why: "a prefetched record is in flight — consume it first".into(),
+            });
+        }
         if let Some(rec) = &self.current {
             if rec.extracts_done < rec.header.n_inserts {
                 return Err(StreamError::UnconsumedData {
@@ -566,8 +720,16 @@ impl<'a> IStream<'a> {
     }
 
     /// The d/stream `close` primitive; errors if a buffered record still
-    /// has unconsumed extracts.
-    pub fn close(self) -> Result<(), StreamError> {
+    /// has unconsumed extracts. A prefetched record in flight is drained
+    /// (its deferred cost retired, its data discarded) — closing is how a
+    /// reader abandons a read-ahead it no longer wants.
+    pub fn close(mut self) -> Result<(), StreamError> {
+        if let Some(p) = self.prefetched.take() {
+            self.ctx.emit_with(|| EventKind::PhaseEnd {
+                phase: StreamPhase::ReadAhead,
+            });
+            p.handle.wait(self.ctx)?;
+        }
         if let Some(rec) = &self.current {
             if rec.extracts_done < rec.header.n_inserts {
                 return Err(StreamError::StateViolation {

@@ -80,4 +80,4 @@ pub use format::{FileHeader, MetaMode, RecordHeader, RecordSeal};
 pub use inspect::{inspect_bytes, recovery_scan, FileSummary, RecordSummary, RecoveryReport};
 pub use istream::IStream;
 pub use localio::LocalFile;
-pub use ostream::{MetaPolicy, OStream, StreamOptions};
+pub use ostream::{MetaPolicy, OStream, PendingWrite, StreamOptions};

@@ -11,8 +11,8 @@
 use dstreams_collections::Collection;
 use dstreams_collections::Layout;
 use dstreams_machine::{MemoryModel, NodeCtx, SharedBuffer};
-use dstreams_pfs::{ChunkSum, FileHandle, OpenMode, Pfs};
-use dstreams_trace::StreamPhase;
+use dstreams_pfs::{ChunkSum, FileHandle, IoHandle, OpenMode, Pfs};
+use dstreams_trace::{EventKind, StreamPhase};
 
 use crate::data::{Inserter, StreamData};
 use crate::error::StreamError;
@@ -59,6 +59,42 @@ pub struct StreamOptions {
     pub smp_single_buffer: bool,
 }
 
+/// A split-collective write in flight: the record's bytes are already
+/// on the file (coordination and physical transfer happen at
+/// [`OStream::write_begin`]), but the parallel operation's service cost
+/// is still elapsing in background virtual time. Pass it back to
+/// [`OStream::write_end`] to retire the flush; several may be
+/// outstanding at once — they complete in submission order on each
+/// rank's serial async queue.
+#[derive(Debug)]
+pub struct PendingWrite {
+    /// Metadata collective handle ([`MetaMode::Parallel`] records only).
+    meta: Option<IoHandle>,
+    /// Data collective handle.
+    data: IoHandle,
+    /// Commit-seal write handle (root only; absent when a peer's
+    /// power-cut fault left the record intentionally unsealed).
+    seal: Option<IoHandle>,
+}
+
+impl PendingWrite {
+    /// Virtual time at which the whole flush (data and, on the root,
+    /// the commit seal) completes.
+    pub fn completion(&self) -> dstreams_machine::VTime {
+        let mut t = self.data.completion();
+        if let Some(s) = &self.seal {
+            t = t.max(s.completion());
+        }
+        t
+    }
+
+    /// True when a power-cut fault on some rank left this record
+    /// unsealed (recovery will truncate it away).
+    pub fn crashed(&self) -> bool {
+        self.data.peer_crashed()
+    }
+}
+
 /// An output d/stream bound to one file and one collection layout.
 pub struct OStream<'a> {
     ctx: &'a NodeCtx,
@@ -73,6 +109,8 @@ pub struct OStream<'a> {
     records_written: usize,
     /// Whether the on-file format version has been validated for appending.
     version_checked: bool,
+    /// Split-collective writes begun but not yet retired by `write_end`.
+    in_flight: usize,
 }
 
 impl<'a> OStream<'a> {
@@ -132,6 +170,7 @@ impl<'a> OStream<'a> {
             n_inserts: 0,
             records_written: 0,
             version_checked: false,
+            in_flight: 0,
         })
     }
 
@@ -194,9 +233,16 @@ impl<'a> OStream<'a> {
         Ok(())
     }
 
-    /// Flush the current interleave group to the file as one write record
-    /// (the d/stream `write` primitive). Collective.
-    pub fn write(&mut self) -> Result<(), StreamError> {
+    /// Stage the current interleave group for emission: everything a
+    /// write record needs short of the file operations themselves —
+    /// the metadata exchange, the packing pass, and the lazily-written
+    /// file header. Shared verbatim by the blocking [`OStream::write`]
+    /// and the split-collective [`OStream::write_begin`] so both produce
+    /// identical file bytes.
+    #[allow(clippy::type_complexity)]
+    fn stage_record(
+        &mut self,
+    ) -> Result<(MetaMode, RecordHeader, Vec<u8>, Vec<u64>, Vec<u8>), StreamError> {
         if self.n_inserts == 0 {
             return Err(StreamError::EmptyWrite);
         }
@@ -260,19 +306,171 @@ impl<'a> OStream<'a> {
         } else {
             Vec::new()
         };
+        Ok((mode, header, file_prefix, local_sizes, data))
+    }
 
-        if let Some(scratch) = self.scratch.clone() {
-            self.write_smp(&scratch, &header, file_prefix, &local_sizes, &data)?;
-        } else {
-            self.write_per_node(mode, &header, file_prefix, &local_sizes, &data)?;
-        }
-
+    /// Reset the interleave group after a record has been emitted (or
+    /// submitted — `write_begin` copies the data out, so the buffers are
+    /// immediately reusable).
+    fn finish_record(&mut self) {
         for chunk in &mut self.group {
             chunk.clear();
         }
         self.n_inserts = 0;
         self.records_written += 1;
+    }
+
+    /// Flush the current interleave group to the file as one write record
+    /// (the d/stream `write` primitive). Collective.
+    pub fn write(&mut self) -> Result<(), StreamError> {
+        let (mode, header, file_prefix, local_sizes, data) = self.stage_record()?;
+        if let Some(scratch) = self.scratch.clone() {
+            self.write_smp(&scratch, &header, file_prefix, &local_sizes, &data)?;
+        } else {
+            self.write_per_node(mode, &header, file_prefix, &local_sizes, &data)?;
+        }
+        self.finish_record();
         Ok(())
+    }
+
+    /// Begin a split-collective write of the current interleave group:
+    /// the write-behind half of the asynchronous pipeline. Coordination
+    /// and the physical byte transfer happen here — on return the record
+    /// (and, barring faults, its commit seal) is on the file and the
+    /// group buffers are reusable — but the parallel operation's service
+    /// cost elapses in background virtual time. Retire the returned
+    /// [`PendingWrite`] with [`OStream::write_end`]; compute performed in
+    /// between is hidden behind the flush. Several writes may be in
+    /// flight at once (they complete in submission order); `close`
+    /// refuses while any are outstanding.
+    ///
+    /// A power-cut fault injected on any rank's transfer leaves the
+    /// record unsealed (the crash stays detectable by recovery) and
+    /// surfaces `RankCrashed` from the crashed rank's `write_end`.
+    ///
+    /// Collective. Not available in single-buffer SMP mode, whose single
+    /// plain write has no collective cost to defer.
+    pub fn write_begin(&mut self) -> Result<PendingWrite, StreamError> {
+        if self.scratch.is_some() {
+            return Err(StreamError::StateViolation {
+                op: "write_begin",
+                why: "split-collective writes require per-node buffers \
+                      (single-buffer SMP mode is synchronous-only)"
+                    .into(),
+            });
+        }
+        let (mode, header, file_prefix, local_sizes, data) = self.stage_record()?;
+        self.ctx.emit_with(|| EventKind::PhaseBegin {
+            phase: StreamPhase::WriteBehind,
+        });
+        let prefix_len = file_prefix.len();
+        let pending = match mode {
+            MetaMode::Gathered => {
+                let meta_span = crate::phase::span(self.ctx, StreamPhase::Metadata);
+                let gathered = self.ctx.gather(0, encode_sizes(&local_sizes))?;
+                let (block, meta_sum) = if let Some(tables) = gathered {
+                    let mut b = file_prefix;
+                    b.extend_from_slice(&header.encode());
+                    for t in &tables {
+                        b.extend_from_slice(t);
+                    }
+                    let meta_sum = ChunkSum::of(&b[prefix_len..]);
+                    b.extend_from_slice(&data);
+                    (b, meta_sum)
+                } else {
+                    (data.clone(), ChunkSum::EMPTY)
+                };
+                drop(meta_span);
+                let data_span = crate::phase::span(self.ctx, StreamPhase::Data);
+                let (_, digests, h) = self.fh.write_ordered_begin_summed(self.ctx, &block)?;
+                drop(data_span);
+                let seal = if self.ctx.is_root() && !h.peer_crashed() {
+                    let mut digest = meta_sum.then(ChunkSum::of(&data));
+                    for d in &digests[1..] {
+                        digest = digest.then(*d);
+                    }
+                    Some(self.seal_record_begin(&header, digest)?)
+                } else {
+                    None
+                };
+                PendingWrite {
+                    meta: None,
+                    data: h,
+                    seal,
+                }
+            }
+            MetaMode::Parallel => {
+                let mut meta = file_prefix;
+                if self.ctx.is_root() {
+                    meta.extend_from_slice(&header.encode());
+                }
+                meta.extend_from_slice(&encode_sizes(&local_sizes));
+                let st = crate::phase::span(self.ctx, StreamPhase::SizeTable);
+                let (_, meta_digests, mh) = self.fh.write_ordered_begin_summed(self.ctx, &meta)?;
+                drop(st);
+                let data_span = crate::phase::span(self.ctx, StreamPhase::Data);
+                let (_, data_digests, dh) = self.fh.write_ordered_begin_summed(self.ctx, &data)?;
+                drop(data_span);
+                let crashed = mh.peer_crashed() || dh.peer_crashed();
+                let seal = if self.ctx.is_root() && !crashed {
+                    let mut digest = ChunkSum::of(&meta[prefix_len..]);
+                    for d in &meta_digests[1..] {
+                        digest = digest.then(*d);
+                    }
+                    for d in &data_digests {
+                        digest = digest.then(*d);
+                    }
+                    Some(self.seal_record_begin(&header, digest)?)
+                } else {
+                    None
+                };
+                PendingWrite {
+                    meta: Some(mh),
+                    data: dh,
+                    seal,
+                }
+            }
+        };
+        self.finish_record();
+        self.in_flight += 1;
+        Ok(pending)
+    }
+
+    /// Retire a split-collective write: synchronize this rank's clock
+    /// forward to the flush's completion virtual time (free when the
+    /// compute performed since `write_begin` already covered it) and
+    /// surface any deferred fault outcome. Handles complete in
+    /// submission order, so retiring the oldest pending write first
+    /// never over-waits.
+    pub fn write_end(&mut self, pending: PendingWrite) -> Result<(), StreamError> {
+        let PendingWrite { meta, data, seal } = pending;
+        let mut first_err: Option<dstreams_pfs::PfsError> = None;
+        if let Some(h) = meta {
+            if let Err(e) = h.wait(self.ctx) {
+                first_err.get_or_insert(e);
+            }
+        }
+        if let Err(e) = data.wait(self.ctx) {
+            first_err.get_or_insert(e);
+        }
+        if let Some(h) = seal {
+            if let Err(e) = h.wait(self.ctx) {
+                first_err.get_or_insert(e);
+            }
+        }
+        self.in_flight -= 1;
+        self.ctx.emit_with(|| EventKind::PhaseEnd {
+            phase: StreamPhase::WriteBehind,
+        });
+        match first_err {
+            Some(e) => Err(e.into()),
+            None => Ok(()),
+        }
+    }
+
+    /// Split-collective writes begun but not yet retired.
+    pub fn writes_in_flight(&self) -> usize {
+        self.in_flight
     }
 
     /// Validate that an existing file can legally take version-2 records:
@@ -326,6 +524,27 @@ impl<'a> OStream<'a> {
         let base = self.fh.len();
         self.fh.write_at(self.ctx, base, &seal)?;
         Ok(())
+    }
+
+    /// Nonblocking [`OStream::seal_record`]: the seal bytes land now —
+    /// so the next record's append base is already correct — with the
+    /// service cost deferred behind the data collective's on this rank's
+    /// serial async queue. The seal therefore *completes* strictly after
+    /// the data it certifies.
+    fn seal_record_begin(
+        &self,
+        header: &RecordHeader,
+        digest: ChunkSum,
+    ) -> Result<IoHandle, StreamError> {
+        debug_assert!(self.ctx.is_root());
+        let record_len = RecordHeader::LEN as u64 + header.n_elements * 8 + header.data_len;
+        let seal = RecordSeal {
+            record_len,
+            checksum: digest.hash(),
+        }
+        .encode();
+        let base = self.fh.len();
+        Ok(self.fh.write_at_begin(self.ctx, base, &seal)?)
     }
 
     /// Per-node-buffer emission (distributed-memory machines, and the
@@ -493,6 +712,15 @@ impl<'a> OStream<'a> {
             return Err(StreamError::StateViolation {
                 op: "close",
                 why: format!("{} inserts pending without a write()", self.n_inserts),
+            });
+        }
+        if self.in_flight > 0 {
+            return Err(StreamError::StateViolation {
+                op: "close",
+                why: format!(
+                    "{} split-collective writes in flight without write_end()",
+                    self.in_flight
+                ),
             });
         }
         Ok(())

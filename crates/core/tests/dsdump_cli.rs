@@ -48,7 +48,16 @@ fn dsdump_reads_real_files() {
         .arg(&path)
         .output()
         .unwrap();
-    assert!(!out.status.success(), "torn file must not dump cleanly");
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "detected torn tail must exit 3, stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--recover"),
+        "torn-tail diagnostic must point at --recover"
+    );
     let out = Command::new(env!("CARGO_BIN_EXE_dsdump"))
         .arg("--recover")
         .arg(&path)
@@ -91,7 +100,23 @@ fn dsdump_reads_real_files() {
         .arg(&path)
         .output()
         .unwrap();
-    assert!(!out.status.success());
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "plain corruption (not a torn tail) must exit 1"
+    );
     assert!(String::from_utf8(out.stderr).unwrap().contains("magic"));
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn dsdump_usage_exits_2() {
+    let out = Command::new(env!("CARGO_BIN_EXE_dsdump")).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = Command::new(env!("CARGO_BIN_EXE_dsdump"))
+        .arg("--help")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8(out.stderr).unwrap().contains("usage"));
 }

@@ -51,7 +51,7 @@ pub use error::MachineError;
 pub use fault::{FaultDecision, FaultPlan, FaultSpec};
 pub use machine::Machine;
 pub use message::Tag;
-pub use node::{CollectiveScope, NodeCtx};
+pub use node::{AsyncOp, CollectiveScope, NodeCtx};
 pub use shared::{SharedBuffer, SharedRegion};
 pub use time::{VTime, VirtualClock};
 pub use wire::Wire;

@@ -33,6 +33,49 @@ struct Tracer {
     coll_depth: Cell<u32>,
 }
 
+/// A pending asynchronous operation on a rank's queue: a deferred
+/// virtual-time cost that elapses in the background while the rank keeps
+/// executing. Returned by [`NodeCtx::async_submit`]; retire it with
+/// [`NodeCtx::async_complete`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsyncOp {
+    id: u64,
+    cost: VTime,
+    completion: VTime,
+}
+
+impl AsyncOp {
+    /// Per-rank id of this operation (submission order).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The deferred service cost.
+    pub fn cost(&self) -> VTime {
+        self.cost
+    }
+
+    /// Virtual time at which the operation completes. Completions are
+    /// ordinary virtual-time events: waiting for one is `sync_to` — the
+    /// clock never moves backwards, so the conservative rules of
+    /// [`crate::time`] hold unchanged.
+    pub fn completion(&self) -> VTime {
+        self.completion
+    }
+}
+
+/// Per-rank pending-async-op queue state. The queue models one I/O
+/// service channel per rank: deferred costs serialize, so an operation
+/// submitted while another is in flight starts when its predecessor
+/// completes.
+struct AsyncQueue {
+    next_id: u64,
+    /// Completion time of the most recently submitted operation.
+    tail: VTime,
+    /// Ids still in flight (submitted, not yet completed).
+    pending: Vec<u64>,
+}
+
 /// Execution context handed to each rank of a machine run.
 pub struct NodeCtx {
     rank: usize,
@@ -49,6 +92,8 @@ pub struct NodeCtx {
     pfs_ops: Cell<u64>,
     /// Runtime state of the configured fault plan, if any.
     faults: Option<RefCell<RankFaults>>,
+    /// This rank's pending asynchronous operations.
+    asyncq: RefCell<AsyncQueue>,
 }
 
 impl NodeCtx {
@@ -77,6 +122,11 @@ impl NodeCtx {
             tracer,
             pfs_ops: Cell::new(0),
             faults,
+            asyncq: RefCell::new(AsyncQueue {
+                next_id: 0,
+                tail: VTime::ZERO,
+                pending: Vec::new(),
+            }),
         }
     }
 
@@ -187,6 +237,61 @@ impl NodeCtx {
             t.coll_depth.set(t.coll_depth.get() + 1);
         }
         CollectiveScope { ctx: self }
+    }
+
+    // ---- asynchronous operations ------------------------------------------
+
+    /// Submit a deferred cost to this rank's pending-async-op queue and
+    /// return its handle. The operation starts at `max(now, queue tail)`
+    /// — one service channel per rank, FIFO — and completes `cost` later.
+    /// The call never blocks and never moves the clock: the cost elapses
+    /// in the background while the rank keeps executing.
+    pub fn async_submit(&self, cost: VTime) -> AsyncOp {
+        let mut q = self.asyncq.borrow_mut();
+        let start = self.now().max(q.tail);
+        let completion = start + cost;
+        let id = q.next_id;
+        q.next_id += 1;
+        q.tail = completion;
+        q.pending.push(id);
+        let depth = q.pending.len() as u32;
+        drop(q);
+        self.emit_with(|| EventKind::AsyncSubmit {
+            op_id: id,
+            cost_ns: cost.as_nanos(),
+            completion_ns: completion.as_nanos(),
+            queue_depth: depth,
+        });
+        AsyncOp {
+            id,
+            cost,
+            completion,
+        }
+    }
+
+    /// Retire a pending asynchronous operation: synchronize the clock
+    /// forward to its completion time (a no-op if the rank's own progress
+    /// already passed it — the fully overlapped case). Idempotent per
+    /// handle; completing out of submission order is legal (earlier
+    /// completions are necessarily no later).
+    pub fn async_complete(&self, op: &AsyncOp) {
+        self.asyncq.borrow_mut().pending.retain(|&i| i != op.id);
+        let stall = op.completion.saturating_since(self.now());
+        let overlap = op.cost.saturating_since(stall);
+        // Emitted before the clock moves so the trace span covers the
+        // stall window `[wait start, completion]`.
+        self.emit_with(|| EventKind::AsyncComplete {
+            op_id: op.id,
+            cost_ns: op.cost.as_nanos(),
+            stall_ns: stall.as_nanos(),
+            overlap_ns: overlap.as_nanos(),
+        });
+        self.sync_to(op.completion);
+    }
+
+    /// Number of asynchronous operations currently in flight on this rank.
+    pub fn async_in_flight(&self) -> usize {
+        self.asyncq.borrow().pending.len()
     }
 
     // ---- fault injection ---------------------------------------------------

@@ -138,7 +138,7 @@ impl FileHandle {
 
     // ---- fault injection and retry -----------------------------------------
 
-    fn emit_fault(&self, ctx: &NodeCtx, kind: FaultKind, op: u64, bytes_kept: u64) {
+    pub(crate) fn emit_fault(&self, ctx: &NodeCtx, kind: FaultKind, op: u64, bytes_kept: u64) {
         ctx.emit_with(|| EventKind::FaultInjected {
             kind,
             op_index: op,
@@ -166,14 +166,14 @@ impl FileHandle {
         true
     }
 
-    fn injected_transient(op: u64) -> PfsError {
+    pub(crate) fn injected_transient(op: u64) -> PfsError {
         PfsError::io(
             std::io::ErrorKind::Interrupted,
             format!("injected transient pfs fault (op {op})"),
         )
     }
 
-    fn check_alive(&self, ctx: &NodeCtx) -> Result<(), PfsError> {
+    pub(crate) fn check_alive(&self, ctx: &NodeCtx) -> Result<(), PfsError> {
         if ctx.fault_is_dead() {
             return Err(MachineError::RankCrashed { rank: ctx.rank() }.into());
         }
@@ -209,7 +209,7 @@ impl FileHandle {
     /// *before* any communication (so surviving ranks stay in lockstep).
     /// The returned fate (`Proceed`/`Torn`/`Crash`) is applied at the
     /// physical-transfer step.
-    fn collective_fate(
+    pub(crate) fn collective_fate(
         &self,
         ctx: &NodeCtx,
         op: u64,
@@ -649,7 +649,7 @@ impl FileHandle {
         Ok((buf, digests))
     }
 
-    fn account_collective(&self, ctx: &NodeCtx, total: u64) {
+    pub(crate) fn account_collective(&self, ctx: &NodeCtx, total: u64) {
         // Traffic is shared by the whole machine; attribute an even share
         // per rank so the cache-occupancy estimate stays rank-local.
         let share = total / ctx.nprocs() as u64;
@@ -666,7 +666,7 @@ impl FileHandle {
 }
 
 /// Decode a little-endian u64 exchanged during a collective plan.
-fn decode_u64(b: &[u8], what: &str) -> Result<u64, PfsError> {
+pub(crate) fn decode_u64(b: &[u8], what: &str) -> Result<u64, PfsError> {
     Ok(u64::from_le_bytes(b.try_into().map_err(|_| {
         PfsError::CollectiveMismatch(format!("malformed {what}"))
     })?))

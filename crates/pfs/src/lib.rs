@@ -23,6 +23,7 @@ pub mod checksum;
 pub mod error;
 pub mod file;
 pub mod model;
+pub mod nonblocking;
 pub mod pfs;
 pub mod retry;
 pub mod storage;
@@ -31,6 +32,7 @@ pub use checksum::ChunkSum;
 pub use error::PfsError;
 pub use file::{FileHandle, FileObj, StatsSnapshot};
 pub use model::{DiskModel, Regime};
+pub use nonblocking::IoHandle;
 pub use pfs::{OpenMode, Pfs};
 pub use retry::RetryPolicy;
 pub use storage::Backend;

@@ -1,0 +1,616 @@
+//! Nonblocking (split-collective) file operations.
+//!
+//! The begin-variants in this module are the PFS layer of the d/streams
+//! asynchronous pipeline. Each one performs **all coordination and the
+//! physical byte transfer at submission** — the file image and the
+//! per-rank logical PFS op indices come out byte-identical to the
+//! blocking variant — and defers only the *disk-service cost* onto the
+//! submitting rank's pending-async-op queue ([`NodeCtx::async_submit`]).
+//! The returned [`IoHandle`] carries the completion virtual time;
+//! retiring it with [`IoHandle::wait`] synchronizes the rank's clock
+//! forward to that instant (a no-op when the rank's own progress already
+//! passed it — the fully overlapped case).
+//!
+//! Fault composition (PR 2's `FaultPlan`):
+//!
+//! * **Transient** faults are retired at submission, exactly like the
+//!   blocking path, so surviving ranks stay in lockstep for the
+//!   collective's internal communication. For the independent
+//!   [`FileHandle::write_at_begin`] the retry backoff is folded into the
+//!   deferred cost instead of stalling the submitter — the retries
+//!   happen "in the background".
+//! * **Torn** writes behave as in the blocking path: the call reports
+//!   success, only a prefix hits storage, full cost is charged.
+//! * **Crash** (power-cut) faults are *deferred*: the rank persists the
+//!   seeded prefix and keeps participating in the collective's
+//!   coordination (so peers are not stranded mid-plan), then is marked
+//!   dead; the `RankCrashed` outcome surfaces when the handle is
+//!   waited. The collective's closing synchronization doubles as a
+//!   crash-flag reduction, so *every* rank learns whether any peer's
+//!   transfer was cut — [`IoHandle::peer_crashed`] is how the d/stream
+//!   layer knows it must not seal the in-flight record, leaving the torn
+//!   tail detectable by recovery.
+
+use std::sync::atomic::Ordering;
+
+use dstreams_machine::wire::{frame_blocks, unframe_blocks};
+use dstreams_machine::{AsyncOp, FaultDecision, MachineError, NodeCtx, VTime};
+use dstreams_trace::{CollectiveRegime, EventKind, FaultKind, IndependentRegime, PfsOp};
+
+use crate::checksum::ChunkSum;
+use crate::error::PfsError;
+use crate::file::{decode_u64, FileHandle};
+use crate::model::Regime;
+
+/// Handle to an in-flight nonblocking PFS operation.
+///
+/// Produced by [`FileHandle::write_ordered_begin_summed`],
+/// [`FileHandle::read_ordered_begin_summed`] and
+/// [`FileHandle::write_at_begin`]. The physical transfer already
+/// happened; what is pending is the deferred disk-service cost (and,
+/// possibly, a deferred fault outcome). Handles on one rank complete in
+/// submission order — the rank's async queue models one serial disk
+/// service channel.
+#[derive(Debug)]
+pub struct IoHandle {
+    op: AsyncOp,
+    /// Fault outcome deferred to wait-time (a power-cut injected on the
+    /// transfer: the rank is already marked dead).
+    deferred: Option<PfsError>,
+    /// Some rank's transfer was cut by a power-cut during this
+    /// collective (writes only).
+    peer_crashed: bool,
+}
+
+impl IoHandle {
+    /// Virtual time at which the deferred service cost completes.
+    pub fn completion(&self) -> VTime {
+        self.op.completion()
+    }
+
+    /// The deferred service cost.
+    pub fn cost(&self) -> VTime {
+        self.op.cost()
+    }
+
+    /// True when a power-cut fault fired on *some* rank (possibly this
+    /// one) during the operation's physical transfer. A record whose
+    /// data collective reports this must not be sealed: the unsealed
+    /// tail is what keeps the crash detectable by recovery.
+    pub fn peer_crashed(&self) -> bool {
+        self.peer_crashed
+    }
+
+    /// Whether waiting will surface a deferred fault outcome.
+    pub fn has_deferred_fault(&self) -> bool {
+        self.deferred.is_some()
+    }
+
+    /// Retire the operation: synchronize this rank's clock forward to
+    /// the completion virtual time and surface any deferred fault.
+    pub fn wait(self, ctx: &NodeCtx) -> Result<(), PfsError> {
+        ctx.async_complete(&self.op);
+        match self.deferred {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+impl FileHandle {
+    /// Deferred-cost accounting mirror of the independent charge path:
+    /// identical event, traffic and stats bookkeeping, but the cost is
+    /// queued instead of advancing the clock.
+    fn submit_independent(
+        &self,
+        ctx: &NodeCtx,
+        op: PfsOp,
+        offset: u64,
+        bytes: usize,
+        extra: VTime,
+    ) -> AsyncOp {
+        let traffic = &self.pfs.rank_traffic[ctx.rank()];
+        let before = traffic.load(Ordering::Relaxed);
+        let regime = self
+            .pfs
+            .model
+            .independent_regime(self.file.len(), ctx.nprocs());
+        let cost = self.pfs.model.independent_cost(bytes, regime, ctx.nprocs());
+        let handle = ctx.async_submit(cost + extra);
+        ctx.emit_with(|| EventKind::PfsIndependent {
+            op,
+            file: self.file.name().to_string(),
+            offset,
+            bytes: bytes as u64,
+            regime: match regime {
+                Regime::Cached => IndependentRegime::Cached,
+                Regime::Disk => IndependentRegime::Disk,
+            },
+            cost_ns: cost.as_nanos(),
+        });
+        traffic.store(before + bytes as u64, Ordering::Relaxed);
+        self.pfs
+            .stats
+            .independent_ops
+            .fetch_add(1, Ordering::Relaxed);
+        self.pfs
+            .stats
+            .independent_bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+        if regime == Regime::Disk {
+            self.pfs
+                .stats
+                .disk_regime_ops
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        handle
+    }
+
+    /// Nonblocking independent positioned write: the bytes land at
+    /// submission, the service cost is deferred onto this rank's async
+    /// queue. Injected transient failures are retried with the backoff
+    /// folded into the deferred cost; a power-cut persists the seeded
+    /// prefix, marks the rank dead and defers `RankCrashed` to the
+    /// returned handle.
+    pub fn write_at_begin(
+        &self,
+        ctx: &NodeCtx,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<IoHandle, PfsError> {
+        let op = ctx.next_pfs_op();
+        let mut attempt = 0u32;
+        let mut folded_backoff = VTime::ZERO;
+        loop {
+            self.check_alive(ctx)?;
+            match ctx.fault_decision(op, attempt, Some(data.len())) {
+                FaultDecision::Proceed => {
+                    self.file
+                        .storage
+                        .lock()
+                        .write_at(offset, data, self.file.name())?;
+                    return Ok(IoHandle {
+                        op: self.submit_independent(
+                            ctx,
+                            PfsOp::Write,
+                            offset,
+                            data.len(),
+                            folded_backoff,
+                        ),
+                        deferred: None,
+                        peer_crashed: false,
+                    });
+                }
+                FaultDecision::Transient => {
+                    self.emit_fault(ctx, FaultKind::Transient, op, 0);
+                    let policy = self.pfs.retry;
+                    if attempt >= policy.max_retries {
+                        return Err(Self::injected_transient(op));
+                    }
+                    let pause = policy.backoff(attempt);
+                    folded_backoff += pause;
+                    attempt += 1;
+                    let next = attempt;
+                    ctx.emit_with(|| EventKind::PfsRetry {
+                        op_index: op,
+                        attempt: next,
+                        backoff_ns: pause.as_nanos(),
+                    });
+                }
+                FaultDecision::Torn { keep } => {
+                    let keep = keep.min(data.len());
+                    self.emit_fault(ctx, FaultKind::Torn, op, keep as u64);
+                    self.file
+                        .storage
+                        .lock()
+                        .write_at(offset, &data[..keep], self.file.name())?;
+                    return Ok(IoHandle {
+                        op: self.submit_independent(
+                            ctx,
+                            PfsOp::Write,
+                            offset,
+                            data.len(),
+                            folded_backoff,
+                        ),
+                        deferred: None,
+                        peer_crashed: false,
+                    });
+                }
+                FaultDecision::Crash { keep } => {
+                    let k = keep.unwrap_or(0).min(data.len());
+                    if k > 0 {
+                        let _ =
+                            self.file
+                                .storage
+                                .lock()
+                                .write_at(offset, &data[..k], self.file.name());
+                    }
+                    self.emit_fault(ctx, FaultKind::Crash, op, k as u64);
+                    ctx.fault_mark_dead();
+                    // A dead disk serves nothing: zero deferred cost, the
+                    // crash outcome rides the handle.
+                    return Ok(IoHandle {
+                        op: ctx.async_submit(VTime::ZERO),
+                        deferred: Some(MachineError::RankCrashed { rank: ctx.rank() }.into()),
+                        peer_crashed: true,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Nonblocking [`FileHandle::write_ordered_summed`]: collective
+    /// node-order append whose coordination and physical writes happen at
+    /// submission, with the parallel-operation cost deferred per rank.
+    /// Returns this rank's block offset, every rank's block digest, and
+    /// the in-flight handle. The closing synchronization is a crash-flag
+    /// reduction instead of a bare barrier — see [`IoHandle::peer_crashed`].
+    pub fn write_ordered_begin_summed(
+        &self,
+        ctx: &NodeCtx,
+        block: &[u8],
+    ) -> Result<(u64, Vec<ChunkSum>, IoHandle), PfsError> {
+        let _scope = ctx.collective_scope();
+        let op = ctx.next_pfs_op();
+        let fate = self.collective_fate(ctx, op, Some(block.len()))?;
+        ctx.barrier()?;
+        // Size/digest exchange and plan broadcast: identical to the
+        // blocking variant, byte for byte.
+        let my_sum = ChunkSum::of(block);
+        let mut contrib = Vec::with_capacity(24);
+        contrib.extend_from_slice(&(block.len() as u64).to_le_bytes());
+        contrib.extend_from_slice(&my_sum.hash().to_le_bytes());
+        contrib.extend_from_slice(&my_sum.rpow().to_le_bytes());
+        let gathered = ctx.gather(0, contrib)?;
+        let plan = if ctx.is_root() {
+            let frames = gathered.expect("root gathers");
+            let base = self.file.len();
+            let mut blocks = Vec::with_capacity(frames.len() + 1);
+            blocks.push(base.to_le_bytes().to_vec());
+            for frame in &frames {
+                if frame.len() != 24 {
+                    return Err(PfsError::CollectiveMismatch(
+                        "write_ordered_begin: malformed size/digest frame".into(),
+                    ));
+                }
+                blocks.push(frame.clone());
+            }
+            frame_blocks(&blocks)
+        } else {
+            Vec::new()
+        };
+        let plan = ctx.broadcast(0, plan)?;
+        let parts = unframe_blocks(&plan).ok_or_else(|| {
+            PfsError::CollectiveMismatch("write_ordered_begin: malformed plan".into())
+        })?;
+        if parts.len() != ctx.nprocs() + 1 {
+            return Err(PfsError::CollectiveMismatch(
+                "write_ordered_begin: plan size mismatch".into(),
+            ));
+        }
+        let base = decode_u64(&parts[0], "write_ordered_begin plan base")?;
+        let mut sizes = Vec::with_capacity(ctx.nprocs());
+        let mut digests = Vec::with_capacity(ctx.nprocs());
+        for frame in &parts[1..] {
+            if frame.len() != 24 {
+                return Err(PfsError::CollectiveMismatch(
+                    "write_ordered_begin: malformed plan frame".into(),
+                ));
+            }
+            sizes.push(decode_u64(&frame[..8], "write_ordered_begin plan size")?);
+            digests.push(ChunkSum::from_parts(
+                decode_u64(&frame[8..16], "write_ordered_begin plan digest hash")?,
+                decode_u64(&frame[16..24], "write_ordered_begin plan digest rpow")?,
+            ));
+        }
+        if sizes[ctx.rank()] != block.len() as u64 {
+            return Err(PfsError::CollectiveMismatch(
+                "write_ordered_begin: my block size desynchronized".into(),
+            ));
+        }
+        let my_off = base + sizes[..ctx.rank()].iter().sum::<u64>();
+        let total: u64 = sizes.iter().sum();
+        let max_block = sizes.iter().copied().max().unwrap_or(0);
+
+        // Physical transfer, fault-aware. A power-cut persists the prefix
+        // but — unlike the blocking path — the rank stays in the
+        // collective so peers can finish coordination; death is deferred.
+        let mut my_crash = false;
+        match fate {
+            FaultDecision::Proceed | FaultDecision::Transient => {
+                if !block.is_empty() {
+                    self.file
+                        .storage
+                        .lock()
+                        .write_at(my_off, block, self.file.name())?;
+                }
+            }
+            FaultDecision::Torn { keep } => {
+                let keep = keep.min(block.len());
+                self.emit_fault(ctx, FaultKind::Torn, op, keep as u64);
+                self.file
+                    .storage
+                    .lock()
+                    .write_at(my_off, &block[..keep], self.file.name())?;
+            }
+            FaultDecision::Crash { keep } => {
+                let k = keep.unwrap_or(0).min(block.len());
+                if k > 0 {
+                    let _ =
+                        self.file
+                            .storage
+                            .lock()
+                            .write_at(my_off, &block[..k], self.file.name());
+                }
+                self.emit_fault(ctx, FaultKind::Crash, op, k as u64);
+                my_crash = true;
+            }
+        }
+        let cost = self
+            .pfs
+            .model
+            .collective_cost(total, max_block, ctx.nprocs());
+        let async_op = if my_crash {
+            ctx.async_submit(VTime::ZERO)
+        } else {
+            ctx.async_submit(cost)
+        };
+        ctx.emit_with(|| EventKind::PfsCollective {
+            op: PfsOp::Write,
+            file: self.file.name().to_string(),
+            offset: my_off,
+            bytes: block.len() as u64,
+            total_bytes: total,
+            share_bytes: total / ctx.nprocs() as u64,
+            regime: if self.pfs.model.collective_knee(max_block) {
+                CollectiveRegime::CacheKnee
+            } else {
+                CollectiveRegime::Streaming
+            },
+            cost_ns: cost.as_nanos(),
+        });
+        self.account_collective(ctx, total);
+        // Closing synchronization: every rank learns whether any peer's
+        // transfer was cut. Replaces the blocking variant's bare barrier
+        // (an all-reduce synchronizes at least as strongly).
+        let any_crash = ctx.all_reduce(my_crash as u64, |a, b| a | b)?;
+        let deferred = if my_crash {
+            ctx.fault_mark_dead();
+            Some(MachineError::RankCrashed { rank: ctx.rank() }.into())
+        } else {
+            None
+        };
+        Ok((
+            my_off,
+            digests,
+            IoHandle {
+                op: async_op,
+                deferred,
+                peer_crashed: any_crash != 0,
+            },
+        ))
+    }
+
+    /// Nonblocking [`FileHandle::read_ordered_summed`]: the bytes and
+    /// digests are materialized at submission (they are only *promised*
+    /// to the caller — consuming them before the handle is waited would
+    /// be reading the future), with the parallel-operation cost deferred.
+    /// A power-cut on entry defers the rank's death to the handle so the
+    /// collective itself stays well-formed for the peers.
+    pub fn read_ordered_begin_summed(
+        &self,
+        ctx: &NodeCtx,
+        offset: u64,
+        len: usize,
+    ) -> Result<(Vec<u8>, Vec<ChunkSum>, IoHandle), PfsError> {
+        let _scope = ctx.collective_scope();
+        let op = ctx.next_pfs_op();
+        let fate = self.collective_fate(ctx, op, None)?;
+        let my_crash = matches!(fate, FaultDecision::Crash { .. });
+        if my_crash {
+            self.emit_fault(ctx, FaultKind::Crash, op, 0);
+        }
+        ctx.barrier()?;
+        let mut buf = vec![0u8; len];
+        let read_res = if len > 0 {
+            self.file
+                .storage
+                .lock()
+                .read_at(offset, &mut buf, self.file.name())
+        } else {
+            Ok(())
+        };
+        let my_sum = if read_res.is_ok() {
+            ChunkSum::of(&buf)
+        } else {
+            ChunkSum::EMPTY
+        };
+        let mut contrib = Vec::with_capacity(24);
+        contrib.extend_from_slice(&(len as u64).to_le_bytes());
+        contrib.extend_from_slice(&my_sum.hash().to_le_bytes());
+        contrib.extend_from_slice(&my_sum.rpow().to_le_bytes());
+        let frames = ctx.all_gather(contrib)?;
+        let mut sizes = Vec::with_capacity(ctx.nprocs());
+        let mut digests = Vec::with_capacity(ctx.nprocs());
+        for frame in &frames {
+            if frame.len() != 24 {
+                return Err(PfsError::CollectiveMismatch(
+                    "read_ordered_begin: malformed size/digest frame".into(),
+                ));
+            }
+            sizes.push(decode_u64(&frame[..8], "read_ordered_begin size frame")?);
+            digests.push(ChunkSum::from_parts(
+                decode_u64(&frame[8..16], "read_ordered_begin digest hash")?,
+                decode_u64(&frame[16..24], "read_ordered_begin digest rpow")?,
+            ));
+        }
+        read_res?;
+        let total: u64 = sizes.iter().sum();
+        let max_block = sizes.iter().copied().max().unwrap_or(0);
+        let cost = self
+            .pfs
+            .model
+            .collective_cost(total, max_block, ctx.nprocs());
+        let async_op = if my_crash {
+            ctx.async_submit(VTime::ZERO)
+        } else {
+            ctx.async_submit(cost)
+        };
+        ctx.emit_with(|| EventKind::PfsCollective {
+            op: PfsOp::Read,
+            file: self.file.name().to_string(),
+            offset,
+            bytes: len as u64,
+            total_bytes: total,
+            share_bytes: total / ctx.nprocs() as u64,
+            regime: if self.pfs.model.collective_knee(max_block) {
+                CollectiveRegime::CacheKnee
+            } else {
+                CollectiveRegime::Streaming
+            },
+            cost_ns: cost.as_nanos(),
+        });
+        self.account_collective(ctx, total);
+        let deferred = if my_crash {
+            ctx.fault_mark_dead();
+            Some(MachineError::RankCrashed { rank: ctx.rank() }.into())
+        } else {
+            None
+        };
+        Ok((
+            buf,
+            digests,
+            IoHandle {
+                op: async_op,
+                deferred,
+                peer_crashed: false,
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::pfs::{OpenMode, Pfs};
+    use crate::DiskModel;
+    use dstreams_machine::{Machine, MachineConfig, VTime};
+
+    #[test]
+    fn begin_variant_writes_the_same_bytes_as_blocking() {
+        let run = |nonblocking: bool| {
+            let pfs = Pfs::in_memory(3);
+            let p = pfs.clone();
+            Machine::run(MachineConfig::functional(3), move |ctx| {
+                let fh = p.open(ctx.is_root(), "f", OpenMode::Create).unwrap();
+                for round in 0..3u8 {
+                    let block = vec![round * 10 + ctx.rank() as u8; ctx.rank() + 1];
+                    if nonblocking {
+                        let (off, digests, h) = fh.write_ordered_begin_summed(ctx, &block).unwrap();
+                        assert_eq!(digests.len(), 3);
+                        assert!(!h.peer_crashed());
+                        let _ = off;
+                        h.wait(ctx).unwrap();
+                    } else {
+                        fh.write_ordered(ctx, &block).unwrap();
+                    }
+                }
+            })
+            .unwrap();
+            let p2 = pfs.clone();
+            let size = pfs.file_size("f").unwrap() as usize;
+            Machine::run(MachineConfig::functional(1), move |ctx| {
+                let fh = p2.open(false, "f", OpenMode::Read).unwrap();
+                let mut buf = vec![0u8; size];
+                fh.read_at(ctx, 0, &mut buf).unwrap();
+                buf
+            })
+            .unwrap()[0]
+                .clone()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn deferred_cost_overlaps_with_compute() {
+        // A rank that computes past the completion time stalls zero;
+        // a rank that waits immediately stalls the full cost.
+        let mut model = DiskModel::instant();
+        model.coll_latency = VTime::from_millis(10);
+        let pfs = Pfs::new(2, model, crate::Backend::Memory);
+        let p = pfs.clone();
+        let times = Machine::run(MachineConfig::functional(2), move |ctx| {
+            let fh = p.open(ctx.is_root(), "f", OpenMode::Create).unwrap();
+            let (_, _, h) = fh.write_ordered_begin_summed(ctx, &[1u8; 64]).unwrap();
+            let submit_t = ctx.now();
+            // Overlapped compute longer than the flush cost.
+            ctx.advance(VTime::from_millis(50));
+            let before_wait = ctx.now();
+            h.wait(ctx).unwrap();
+            (submit_t, before_wait, ctx.now())
+        })
+        .unwrap();
+        for (submit_t, before_wait, after_wait) in times {
+            assert!(submit_t + VTime::from_millis(10) <= before_wait);
+            // Fully hidden: the wait was free.
+            assert_eq!(before_wait, after_wait);
+        }
+    }
+
+    #[test]
+    fn wait_without_compute_pays_the_cost() {
+        let mut model = DiskModel::instant();
+        model.coll_latency = VTime::from_millis(10);
+        let pfs = Pfs::new(1, model, crate::Backend::Memory);
+        let p = pfs.clone();
+        let times = Machine::run(MachineConfig::functional(1), move |ctx| {
+            let fh = p.open(true, "f", OpenMode::Create).unwrap();
+            let (_, _, h) = fh.write_ordered_begin_summed(ctx, &[1u8; 64]).unwrap();
+            let t0 = ctx.now();
+            let completion = h.completion();
+            h.wait(ctx).unwrap();
+            (t0, completion, ctx.now())
+        })
+        .unwrap();
+        let (t0, completion, t1) = times[0];
+        assert_eq!(t1, completion);
+        assert!(t1.saturating_since(t0) >= VTime::from_millis(10));
+    }
+
+    #[test]
+    fn queued_submissions_serialize_on_one_rank() {
+        let mut model = DiskModel::instant();
+        model.coll_latency = VTime::from_millis(10);
+        let pfs = Pfs::new(1, model, crate::Backend::Memory);
+        let p = pfs.clone();
+        Machine::run(MachineConfig::functional(1), move |ctx| {
+            let fh = p.open(true, "f", OpenMode::Create).unwrap();
+            let (_, _, h1) = fh.write_ordered_begin_summed(ctx, &[1u8; 8]).unwrap();
+            let (_, _, h2) = fh.write_ordered_begin_summed(ctx, &[2u8; 8]).unwrap();
+            // One serial service channel: the second op starts only when
+            // the first completes.
+            assert!(h2.completion() >= h1.completion() + VTime::from_millis(10));
+            assert_eq!(ctx.async_in_flight(), 2);
+            h1.wait(ctx).unwrap();
+            h2.wait(ctx).unwrap();
+            assert_eq!(ctx.async_in_flight(), 0);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn read_begin_returns_the_promised_bytes() {
+        let pfs = Pfs::in_memory(2);
+        let p = pfs.clone();
+        Machine::run(MachineConfig::functional(2), move |ctx| {
+            let fh = p.open(ctx.is_root(), "f", OpenMode::Create).unwrap();
+            fh.write_ordered(ctx, &[ctx.rank() as u8 + 1; 4]).unwrap();
+            let (buf, digests, h) = fh
+                .read_ordered_begin_summed(ctx, ctx.rank() as u64 * 4, 4)
+                .unwrap();
+            h.wait(ctx).unwrap();
+            assert_eq!(buf, vec![ctx.rank() as u8 + 1; 4]);
+            assert_eq!(digests.len(), 2);
+        })
+        .unwrap();
+    }
+}

@@ -1,0 +1,506 @@
+//! # dstreams-pipeline — asynchronous split-collective d/stream I/O
+//!
+//! Deterministic compute/I-O overlap for the pC++/streams reproduction.
+//! The wrappers in this crate drive the split-collective primitives of
+//! `dstreams-core` ([`dstreams_core::OStream::write_begin`] /
+//! [`dstreams_core::IStream::prefetch`]) so a program written against the
+//! plain synchronous API gains overlap by changing nothing but the type:
+//!
+//! * [`OStream`] is a **write-behind flusher**: `write()` submits the
+//!   record's collective flush and returns immediately, keeping up to
+//!   [`PipelineOptions::depth`] flushes in flight per rank; when the
+//!   pool is full, `write()` first retires the *oldest* flush (blocking
+//!   this rank's virtual clock only for cost its compute since then did
+//!   not already cover). `flush()`/`close()` drain the pool.
+//! * [`IStream`] is a **read-ahead reader**: after every `read()` it
+//!   immediately prefetches the next record, overlapping that record's
+//!   collective read with consumption (extraction, compute) of the
+//!   current one.
+//!
+//! Everything stays deterministic: submissions are ordinary SPMD
+//! collectives, deferred costs queue on each rank's serial async queue
+//! (`dstreams-machine`), and the files produced are **byte-identical**
+//! to synchronous runs — pipelining moves virtual time, never bytes.
+//!
+//! ```
+//! use dstreams_collections::{Collection, DistKind, Layout};
+//! use dstreams_machine::{Machine, MachineConfig};
+//! use dstreams_pfs::Pfs;
+//! use dstreams_pipeline::{IStream, OStream, PipelineOptions};
+//!
+//! let pfs = Pfs::in_memory(2);
+//! let p = pfs.clone();
+//! Machine::run(MachineConfig::functional(2), move |ctx| {
+//!     let layout = Layout::dense(8, 2, DistKind::Block).unwrap();
+//!     let g = Collection::new(ctx, layout.clone(), |i| i as u32).unwrap();
+//!
+//!     let mut s = OStream::create(ctx, &p, &layout, "ckpt").unwrap();
+//!     for _ in 0..4 {
+//!         s.insert_collection(&g).unwrap();
+//!         s.write().unwrap(); // returns while the flush is in flight
+//!     }
+//!     s.close().unwrap(); // drains the pool
+//!
+//!     let mut g2 = Collection::new(ctx, layout.clone(), |_| 0u32).unwrap();
+//!     let mut r = IStream::open(ctx, &p, &layout, "ckpt").unwrap();
+//!     for _ in 0..4 {
+//!         r.read().unwrap(); // consumes the prefetched record
+//!         r.extract_collection(&mut g2).unwrap();
+//!     }
+//!     r.close().unwrap();
+//! })
+//! .unwrap();
+//! ```
+
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+
+use dstreams_collections::{Collection, Layout};
+use dstreams_core::{Extractor, Inserter, StreamData};
+use dstreams_core::{PendingWrite, StreamError, StreamOptions};
+use dstreams_machine::NodeCtx;
+use dstreams_pfs::Pfs;
+
+/// Pipeline tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineOptions {
+    /// Maximum split-collective flushes in flight per rank (the
+    /// write-behind buffer-pool depth). `write()` blocks — retires the
+    /// oldest flush — only when the pool is full. Must be at least 1.
+    pub depth: usize,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        // Double buffering: one record flushing while the next fills —
+        // the paper-era default for overlapped checkpoint output. Deeper
+        // pools only help when compute bursts are shorter than flushes.
+        PipelineOptions { depth: 2 }
+    }
+}
+
+/// A write-behind output d/stream: the pipelined drop-in for
+/// [`dstreams_core::OStream`].
+pub struct OStream<'a> {
+    inner: dstreams_core::OStream<'a>,
+    pool: VecDeque<PendingWrite>,
+    depth: usize,
+}
+
+impl<'a> OStream<'a> {
+    /// Open a write-behind stream with default stream and pipeline
+    /// options. Collective.
+    pub fn create(
+        ctx: &'a NodeCtx,
+        pfs: &Pfs,
+        layout: &Layout,
+        name: &str,
+    ) -> Result<Self, StreamError> {
+        Self::create_with(
+            ctx,
+            pfs,
+            layout,
+            name,
+            StreamOptions::default(),
+            PipelineOptions::default(),
+        )
+    }
+
+    /// [`OStream::create`] with explicit options. `pipeline.depth` of 0
+    /// is rejected — a zero-slot pool could never accept a write.
+    pub fn create_with(
+        ctx: &'a NodeCtx,
+        pfs: &Pfs,
+        layout: &Layout,
+        name: &str,
+        opts: StreamOptions,
+        pipeline: PipelineOptions,
+    ) -> Result<Self, StreamError> {
+        if pipeline.depth == 0 {
+            return Err(StreamError::StateViolation {
+                op: "open",
+                why: "pipeline depth must be at least 1".into(),
+            });
+        }
+        Ok(OStream {
+            inner: dstreams_core::OStream::create_with(ctx, pfs, layout, name, opts)?,
+            pool: VecDeque::with_capacity(pipeline.depth),
+            depth: pipeline.depth,
+        })
+    }
+
+    /// The stream's layout.
+    pub fn layout(&self) -> &Layout {
+        self.inner.layout()
+    }
+
+    /// Flushes currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Records written (submitted) so far.
+    pub fn records_written(&self) -> usize {
+        self.inner.records_written()
+    }
+
+    /// Insert an entire collection: the Rust spelling of `s << g`.
+    pub fn insert_collection<T: StreamData>(
+        &mut self,
+        c: &Collection<T>,
+    ) -> Result<(), StreamError> {
+        self.inner.insert_collection(c)
+    }
+
+    /// Insert a projection of each element (see
+    /// [`dstreams_core::OStream::insert_with`]).
+    pub fn insert_with<T>(
+        &mut self,
+        c: &Collection<T>,
+        f: impl Fn(&T, &mut Inserter<'_>),
+    ) -> Result<(), StreamError> {
+        self.inner.insert_with(c, f)
+    }
+
+    /// Write the current interleave group — asynchronously. The record's
+    /// bytes are on the file when this returns, but the flush's service
+    /// cost elapses behind subsequent compute. Blocks (retires the
+    /// oldest flush) only when the pool is at depth. Collective.
+    pub fn write(&mut self) -> Result<(), StreamError> {
+        if self.pool.len() >= self.depth {
+            let oldest = self.pool.pop_front().expect("non-empty at depth");
+            self.inner.write_end(oldest)?;
+        }
+        let pending = self.inner.write_begin()?;
+        self.pool.push_back(pending);
+        Ok(())
+    }
+
+    /// Retire every in-flight flush, oldest first. After this the file's
+    /// virtual-time state is identical to a synchronous stream's.
+    pub fn flush(&mut self) -> Result<(), StreamError> {
+        while let Some(p) = self.pool.pop_front() {
+            self.inner.write_end(p)?;
+        }
+        Ok(())
+    }
+
+    /// Drain the pool and close the stream.
+    pub fn close(mut self) -> Result<(), StreamError> {
+        self.flush()?;
+        self.inner.close()
+    }
+}
+
+/// A read-ahead input d/stream: the pipelined drop-in for
+/// [`dstreams_core::IStream`].
+///
+/// Every `read` immediately starts the next record's collective read, so
+/// extraction and compute on the current record hide the next one's I/O
+/// cost. The first `read` of a stream is necessarily synchronous (there
+/// was nothing to prefetch behind); call [`IStream::start`] right after
+/// opening to begin the first read-ahead before any compute.
+pub struct IStream<'a> {
+    inner: dstreams_core::IStream<'a>,
+    /// Which consume mode the auto-prefetch uses (set by the first
+    /// `read`/`unsorted_read`, or by `start`).
+    sorted: Option<bool>,
+}
+
+impl<'a> IStream<'a> {
+    /// Open a read-ahead stream. Collective.
+    pub fn open(
+        ctx: &'a NodeCtx,
+        pfs: &Pfs,
+        layout: &Layout,
+        name: &str,
+    ) -> Result<Self, StreamError> {
+        Ok(IStream {
+            inner: dstreams_core::IStream::open(ctx, pfs, layout, name)?,
+            sorted: None,
+        })
+    }
+
+    /// The reader layout.
+    pub fn layout(&self) -> &Layout {
+        self.inner.layout()
+    }
+
+    /// Whether the file has another record after the current position.
+    pub fn at_end(&self) -> bool {
+        !self.inner.prefetch_in_flight() && self.inner.at_end()
+    }
+
+    /// Begin the first read-ahead (for `sorted` routing or not) without
+    /// consuming anything — call between `open` and the first chunk of
+    /// compute so even the first `read` finds its record in flight.
+    pub fn start(&mut self, sorted: bool) -> Result<bool, StreamError> {
+        self.sorted = Some(sorted);
+        if sorted {
+            self.inner.prefetch()
+        } else {
+            self.inner.prefetch_unsorted()
+        }
+    }
+
+    /// The d/stream `read` primitive with read-ahead: consume the
+    /// prefetched record if one is in flight (stalling only for cost not
+    /// hidden behind compute since the prefetch), then immediately start
+    /// prefetching the next. Collective.
+    pub fn read(&mut self) -> Result<(), StreamError> {
+        self.read_impl(true)
+    }
+
+    /// The d/stream `unsortedRead` primitive with read-ahead.
+    pub fn unsorted_read(&mut self) -> Result<(), StreamError> {
+        self.read_impl(false)
+    }
+
+    fn read_impl(&mut self, sorted: bool) -> Result<(), StreamError> {
+        if self.sorted == Some(!sorted) && self.inner.prefetch_in_flight() {
+            return Err(StreamError::StateViolation {
+                op: if sorted { "read" } else { "unsorted_read" },
+                why: "read-ahead already committed to the other read mode".into(),
+            });
+        }
+        self.sorted = Some(sorted);
+        if sorted {
+            self.inner.read()?;
+            if !self.inner.at_end() {
+                self.inner.prefetch()?;
+            }
+        } else {
+            self.inner.unsorted_read()?;
+            if !self.inner.at_end() {
+                self.inner.prefetch_unsorted()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Extract an entire collection: the Rust spelling of `s >> g`.
+    pub fn extract_collection<T: StreamData>(
+        &mut self,
+        c: &mut Collection<T>,
+    ) -> Result<(), StreamError> {
+        self.inner.extract_collection(c)
+    }
+
+    /// Extract a projection of each element (see
+    /// [`dstreams_core::IStream::extract_with`]).
+    pub fn extract_with<T>(
+        &mut self,
+        c: &mut Collection<T>,
+        f: impl Fn(&mut T, &mut Extractor<'_>) -> Result<(), StreamError>,
+    ) -> Result<(), StreamError> {
+        self.inner.extract_with(c, f)
+    }
+
+    /// Close the stream, draining any read-ahead in flight.
+    pub fn close(self) -> Result<(), StreamError> {
+        self.inner.close()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dstreams_collections::DistKind;
+    use dstreams_machine::{Machine, MachineConfig};
+    use dstreams_pfs::{Backend, DiskModel, OpenMode};
+
+    fn read_file_bytes(pfs: &Pfs, name: &str) -> Vec<u8> {
+        let size = pfs.file_size(name).unwrap() as usize;
+        let p = pfs.clone();
+        let name = name.to_string();
+        Machine::run(MachineConfig::functional(1), move |ctx| {
+            let fh = p.open(false, &name, OpenMode::Read).unwrap();
+            let mut buf = vec![0u8; size];
+            fh.read_at(ctx, 0, &mut buf).unwrap();
+            buf
+        })
+        .unwrap()[0]
+            .clone()
+    }
+
+    #[test]
+    fn pipelined_file_matches_synchronous_file() {
+        let write = |pipelined: bool| {
+            let pfs = Pfs::in_memory(3);
+            let p = pfs.clone();
+            Machine::run(MachineConfig::functional(3), move |ctx| {
+                let layout = Layout::dense(9, 3, DistKind::Cyclic).unwrap();
+                let c = Collection::new(ctx, layout.clone(), |g| vec![g as u8; g + 1]).unwrap();
+                if pipelined {
+                    let mut s = OStream::create(ctx, &p, &layout, "f").unwrap();
+                    for _ in 0..5 {
+                        s.insert_collection(&c).unwrap();
+                        s.write().unwrap();
+                    }
+                    s.close().unwrap();
+                } else {
+                    let mut s = dstreams_core::OStream::create(ctx, &p, &layout, "f").unwrap();
+                    for _ in 0..5 {
+                        s.insert_collection(&c).unwrap();
+                        s.write().unwrap();
+                    }
+                    s.close().unwrap();
+                }
+            })
+            .unwrap();
+            read_file_bytes(&pfs, "f")
+        };
+        assert_eq!(write(false), write(true));
+    }
+
+    #[test]
+    fn write_behind_hides_flush_cost_behind_compute() {
+        use dstreams_machine::VTime;
+        let run = |pipelined: bool| {
+            let mut model = DiskModel::instant();
+            model.coll_latency = VTime::from_millis(10);
+            let pfs = Pfs::new(2, model, Backend::Memory);
+            let p = pfs.clone();
+            let times = Machine::run(MachineConfig::functional(2), move |ctx| {
+                let layout = Layout::dense(8, 2, DistKind::Block).unwrap();
+                let c = Collection::new(ctx, layout.clone(), |g| g as u64).unwrap();
+                let t0 = ctx.now();
+                if pipelined {
+                    let mut s = OStream::create(ctx, &p, &layout, "f").unwrap();
+                    for _ in 0..8 {
+                        s.insert_collection(&c).unwrap();
+                        s.write().unwrap();
+                        ctx.advance(VTime::from_millis(12)); // compute
+                    }
+                    s.close().unwrap();
+                } else {
+                    let mut s = dstreams_core::OStream::create(ctx, &p, &layout, "f").unwrap();
+                    for _ in 0..8 {
+                        s.insert_collection(&c).unwrap();
+                        s.write().unwrap();
+                        ctx.advance(VTime::from_millis(12)); // compute
+                    }
+                    s.close().unwrap();
+                }
+                ctx.now().saturating_since(t0)
+            })
+            .unwrap();
+            times[0]
+        };
+        let sync = run(false);
+        let pipe = run(true);
+        // Compute (12 ms) covers each flush's collective cost (>= 10 ms
+        // latency + size-dependent terms): the pipelined run must save
+        // most of the flush time per record.
+        assert!(
+            pipe + VTime::from_millis(8 * 8) <= sync,
+            "pipelined {pipe} should be well under synchronous {sync}"
+        );
+    }
+
+    #[test]
+    fn read_ahead_roundtrips_and_hides_read_cost() {
+        use dstreams_machine::VTime;
+        let mut model = DiskModel::instant();
+        model.coll_latency = VTime::from_millis(10);
+        let pfs = Pfs::new(2, model, Backend::Memory);
+        let p = pfs.clone();
+        Machine::run(MachineConfig::functional(2), move |ctx| {
+            let layout = Layout::dense(8, 2, DistKind::Block).unwrap();
+            let c = Collection::new(ctx, layout.clone(), |g| g as u64).unwrap();
+            let mut s = dstreams_core::OStream::create(ctx, &p, &layout, "f").unwrap();
+            for _ in 0..6 {
+                s.insert_collection(&c).unwrap();
+                s.write().unwrap();
+            }
+            s.close().unwrap();
+
+            let sync_t = {
+                let t0 = ctx.now();
+                let mut g = Collection::new(ctx, layout.clone(), |_| 0u64).unwrap();
+                let mut r = dstreams_core::IStream::open(ctx, &p, &layout, "f").unwrap();
+                for _ in 0..6 {
+                    r.read().unwrap();
+                    r.extract_collection(&mut g).unwrap();
+                    ctx.advance(VTime::from_millis(12)); // consume/compute
+                }
+                r.close().unwrap();
+                ctx.now().saturating_since(t0)
+            };
+            let pipe_t = {
+                let t0 = ctx.now();
+                let mut g = Collection::new(ctx, layout.clone(), |_| 0u64).unwrap();
+                let mut r = IStream::open(ctx, &p, &layout, "f").unwrap();
+                r.start(true).unwrap();
+                for i in 0..6 {
+                    r.read().unwrap();
+                    r.extract_collection(&mut g).unwrap();
+                    ctx.advance(VTime::from_millis(12)); // consume/compute
+                    for (gid, v) in g.iter() {
+                        assert_eq!(*v, gid as u64, "round {i}");
+                    }
+                }
+                assert!(r.at_end());
+                r.close().unwrap();
+                ctx.now().saturating_since(t0)
+            };
+            assert!(
+                pipe_t + VTime::from_millis(5 * 8) <= sync_t,
+                "read-ahead {pipe_t} should be well under synchronous {sync_t}"
+            );
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn pool_depth_bounds_in_flight_writes() {
+        let pfs = Pfs::in_memory(2);
+        let p = pfs.clone();
+        Machine::run(MachineConfig::functional(2), move |ctx| {
+            let layout = Layout::dense(4, 2, DistKind::Block).unwrap();
+            let c = Collection::new(ctx, layout.clone(), |g| g as u8).unwrap();
+            let mut s = OStream::create_with(
+                ctx,
+                &p,
+                &layout,
+                "f",
+                StreamOptions::default(),
+                PipelineOptions { depth: 2 },
+            )
+            .unwrap();
+            for round in 0..5 {
+                s.insert_collection(&c).unwrap();
+                s.write().unwrap();
+                assert!(s.in_flight() <= 2, "round {round}: {}", s.in_flight());
+            }
+            assert_eq!(s.in_flight(), 2);
+            s.flush().unwrap();
+            assert_eq!(s.in_flight(), 0);
+            s.close().unwrap();
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn zero_depth_is_rejected() {
+        let pfs = Pfs::in_memory(1);
+        let p = pfs.clone();
+        Machine::run(MachineConfig::functional(1), move |ctx| {
+            let layout = Layout::dense(2, 1, DistKind::Block).unwrap();
+            let r = OStream::create_with(
+                ctx,
+                &p,
+                &layout,
+                "f",
+                StreamOptions::default(),
+                PipelineOptions { depth: 0 },
+            );
+            assert!(matches!(
+                r,
+                Err(StreamError::StateViolation { op: "open", .. })
+            ));
+        })
+        .unwrap();
+    }
+}

@@ -19,6 +19,7 @@
 
 pub mod driver;
 pub mod methods;
+pub mod overlap;
 pub mod physics;
 pub mod segment;
 pub mod solver;
@@ -30,6 +31,7 @@ pub use driver::{
     PhaseBreakdown, Platform, SizeResult,
 };
 pub use methods::IoMethod;
+pub use overlap::{calibrate_compute, run_checkpoint, run_checkpoint_traced, OverlapSpec};
 pub use segment::Segment;
 pub use solver::{gegenbauer, Field, ScfSolver};
 pub use tables::{all_tables, run_table, run_table_traced, TableResult, TableSpec};

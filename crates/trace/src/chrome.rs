@@ -160,6 +160,38 @@ fn event_to_value(e: &Event) -> Value {
             m.push(("args".into(), Value::Obj(vec![])));
             Value::Obj(m)
         }
+        EventKind::AsyncSubmit {
+            op_id,
+            cost_ns,
+            completion_ns,
+            queue_depth,
+        } => instant(
+            "async.submit",
+            "async",
+            e,
+            vec![
+                ("op_id".into(), Value::Int(*op_id as i64)),
+                ("cost_ns".into(), Value::Int(*cost_ns as i64)),
+                ("completion_ns".into(), Value::Int(*completion_ns as i64)),
+                ("queue_depth".into(), Value::Int(*queue_depth as i64)),
+            ],
+        ),
+        EventKind::AsyncComplete {
+            op_id,
+            cost_ns,
+            stall_ns,
+            overlap_ns,
+        } => complete(
+            "async.wait",
+            "async",
+            e,
+            *stall_ns,
+            vec![
+                ("op_id".into(), Value::Int(*op_id as i64)),
+                ("cost_ns".into(), Value::Int(*cost_ns as i64)),
+                ("overlap_ns".into(), Value::Int(*overlap_ns as i64)),
+            ],
+        ),
     }
 }
 

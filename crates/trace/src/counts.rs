@@ -42,6 +42,15 @@ pub struct OpCounts {
     pub faults_injected: BTreeMap<&'static str, u64>,
     /// Transient-failure retries performed by the PFS client.
     pub pfs_retries: u64,
+    /// Asynchronous operations submitted to rank pending queues.
+    pub async_ops: u64,
+    /// Total deferred cost of retired asynchronous operations, in
+    /// virtual nanoseconds.
+    pub async_cost_ns: u64,
+    /// Virtual time ranks idled waiting for async completions.
+    pub async_stall_ns: u64,
+    /// Portion of the deferred cost hidden behind rank progress.
+    pub async_overlap_ns: u64,
 }
 
 impl OpCounts {
@@ -97,9 +106,35 @@ impl OpCounts {
                     c.pfs_retries += 1;
                 }
                 EventKind::PhaseBegin { .. } | EventKind::PhaseEnd { .. } => {}
+                EventKind::AsyncSubmit { .. } => {
+                    c.async_ops += 1;
+                }
+                EventKind::AsyncComplete {
+                    cost_ns,
+                    stall_ns,
+                    overlap_ns,
+                    ..
+                } => {
+                    c.async_cost_ns += cost_ns;
+                    c.async_stall_ns += stall_ns;
+                    c.async_overlap_ns += overlap_ns;
+                }
             }
         }
         c
+    }
+
+    /// Fraction of the deferred asynchronous I/O cost that was hidden
+    /// behind rank progress (compute or other work) instead of being
+    /// waited out: `async_overlap_ns / async_cost_ns`. `0.0` when the
+    /// trace contains no retired asynchronous operations — a fully
+    /// synchronous run neither hides nor stalls.
+    pub fn overlap_efficiency(&self) -> f64 {
+        if self.async_cost_ns == 0 {
+            0.0
+        } else {
+            self.async_overlap_ns as f64 / self.async_cost_ns as f64
+        }
     }
 
     /// Total rank-entries into collectives of any kind.
@@ -163,6 +198,23 @@ impl OpCounts {
                 ),
             ),
             ("pfs_retries".into(), Value::Int(self.pfs_retries as i64)),
+            ("async_ops".into(), Value::Int(self.async_ops as i64)),
+            (
+                "async_cost_ns".into(),
+                Value::Int(self.async_cost_ns as i64),
+            ),
+            (
+                "async_stall_ns".into(),
+                Value::Int(self.async_stall_ns as i64),
+            ),
+            (
+                "async_overlap_ns".into(),
+                Value::Int(self.async_overlap_ns as i64),
+            ),
+            (
+                "overlap_efficiency".into(),
+                Value::Num(self.overlap_efficiency()),
+            ),
         ])
     }
 }

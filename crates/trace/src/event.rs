@@ -122,6 +122,13 @@ pub enum StreamPhase {
     Data,
     /// All-to-all routing of a conforming read to owners.
     Route,
+    /// Overlap span of a write-behind flush: opens at `write_begin`,
+    /// closes when `write_end` retires the in-flight record. Compute
+    /// that executes inside this span is hidden behind the flush.
+    WriteBehind,
+    /// Overlap span of a read-ahead: opens at `prefetch`, closes when
+    /// the consuming `read` installs the prefetched record.
+    ReadAhead,
 }
 
 impl StreamPhase {
@@ -133,6 +140,8 @@ impl StreamPhase {
             StreamPhase::SizeTable => "size_table",
             StreamPhase::Data => "data",
             StreamPhase::Route => "route",
+            StreamPhase::WriteBehind => "write_behind",
+            StreamPhase::ReadAhead => "read_ahead",
         }
     }
 }
@@ -258,6 +267,32 @@ pub enum EventKind {
     PhaseEnd {
         /// Which phase.
         phase: StreamPhase,
+    },
+    /// An asynchronous operation entered this rank's pending queue: its
+    /// deferred cost will elapse in the background while the rank keeps
+    /// computing.
+    AsyncSubmit {
+        /// Per-rank id of the pending operation.
+        op_id: u64,
+        /// Deferred service cost, in virtual nanoseconds.
+        cost_ns: u64,
+        /// Virtual time at which the operation completes.
+        completion_ns: u64,
+        /// Queue depth (this operation included) right after submission.
+        queue_depth: u32,
+    },
+    /// This rank waited for (or observed the completion of) a pending
+    /// asynchronous operation. `stall_ns + overlap_ns` may fall short of
+    /// the operation's cost when queueing delayed its start.
+    AsyncComplete {
+        /// Per-rank id of the retired operation.
+        op_id: u64,
+        /// The operation's deferred cost, repeated for stall accounting.
+        cost_ns: u64,
+        /// Virtual time this rank idled waiting for the completion.
+        stall_ns: u64,
+        /// Portion of the cost hidden behind the rank's own progress.
+        overlap_ns: u64,
     },
 }
 

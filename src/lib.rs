@@ -6,6 +6,8 @@
 //! * [`pfs`] — parallel file system with calibrated platform cost models;
 //! * [`collections`] — pC++-style distributed collections;
 //! * [`core`] — the d/streams library itself;
+//! * [`pipeline`] — asynchronous split-collective I/O (write-behind,
+//!   read-ahead, deterministic compute/I-O overlap);
 //! * [`scf`] — the SCF benchmark that regenerates the paper's tables;
 //! * [`trace`] — structured event tracing (Chrome trace export, op counts).
 //!
@@ -16,6 +18,7 @@ pub use dstreams_collections as collections;
 pub use dstreams_core as core;
 pub use dstreams_machine as machine;
 pub use dstreams_pfs as pfs;
+pub use dstreams_pipeline as pipeline;
 pub use dstreams_scf as scf;
 pub use dstreams_trace as trace;
 

@@ -296,3 +296,102 @@ proptest! {
         .unwrap();
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    /// Pipelining moves virtual time, never bytes: a write-behind run and
+    /// a synchronous run over the same inserts produce byte-identical
+    /// files, and a read-ahead reader reproduces every element.
+    #[test]
+    fn pipelined_and_synchronous_runs_are_element_identical(
+        n in 1usize..24,
+        nprocs in 1usize..5,
+        kind in dist_strategy(),
+        records in 1usize..5,
+        depth in 1usize..4,
+        seed in any::<u8>(),
+    ) {
+        use dstreams::pipeline::{OStream as PipeO, IStream as PipeI, PipelineOptions};
+
+        let file_bytes = |pipelined: bool| {
+            let pfs = Pfs::in_memory(nprocs);
+            let p = pfs.clone();
+            Machine::run(MachineConfig::functional(nprocs), move |ctx| {
+                let layout = Layout::dense(n, nprocs, kind).unwrap();
+                let opts = dstreams::core::StreamOptions::default();
+                if pipelined {
+                    let mut s = PipeO::create_with(
+                        ctx, &p, &layout, "pp", opts, PipelineOptions { depth },
+                    ).unwrap();
+                    for rec in 0..records {
+                        let g = Collection::new(ctx, layout.clone(), |i| {
+                            blob_for(i, seed.wrapping_add(rec as u8), 9)
+                        }).unwrap();
+                        s.insert_collection(&g).unwrap();
+                        s.write().unwrap();
+                    }
+                    s.close().unwrap();
+                } else {
+                    let mut s = OStream::create(ctx, &p, &layout, "pp").unwrap();
+                    for rec in 0..records {
+                        let g = Collection::new(ctx, layout.clone(), |i| {
+                            blob_for(i, seed.wrapping_add(rec as u8), 9)
+                        }).unwrap();
+                        s.insert_collection(&g).unwrap();
+                        s.write().unwrap();
+                    }
+                    s.close().unwrap();
+                }
+                let fh = p.open(false, "pp", dstreams::pfs::OpenMode::Read).unwrap();
+                let mut bytes = vec![0u8; fh.len() as usize];
+                fh.read_at(ctx, 0, &mut bytes).unwrap();
+                bytes
+            })
+            .unwrap()
+            .remove(0)
+        };
+        let sync = file_bytes(false);
+        let pipe = file_bytes(true);
+        prop_assert_eq!(sync, pipe);
+
+        // Read the pipelined file back with read-ahead: identity holds.
+        let pfs = Pfs::in_memory(nprocs);
+        let p = pfs.clone();
+        Machine::run(MachineConfig::functional(nprocs), move |ctx| {
+            let layout = Layout::dense(n, nprocs, kind).unwrap();
+            let opts = dstreams::core::StreamOptions::default();
+            let mut s = PipeO::create_with(
+                ctx, &p, &layout, "pp", opts, PipelineOptions { depth },
+            ).unwrap();
+            for rec in 0..records {
+                let g = Collection::new(ctx, layout.clone(), |i| {
+                    blob_for(i, seed.wrapping_add(rec as u8), 9)
+                }).unwrap();
+                s.insert_collection(&g).unwrap();
+                s.write().unwrap();
+            }
+            s.close().unwrap();
+
+            let mut r = PipeI::open(ctx, &p, &layout, "pp").unwrap();
+            r.start(true).unwrap();
+            for rec in 0..records {
+                let mut g = Collection::new(ctx, layout.clone(), |_| Blob::default()).unwrap();
+                r.read().unwrap();
+                r.extract_collection(&mut g).unwrap();
+                for (gid, e) in g.iter() {
+                    assert_eq!(
+                        e,
+                        &blob_for(gid, seed.wrapping_add(rec as u8), 9),
+                        "record {rec} element {gid}"
+                    );
+                }
+            }
+            r.close().unwrap();
+        })
+        .unwrap();
+    }
+}

@@ -282,3 +282,142 @@ fn unchecked_same_width_misuse_is_the_documented_hazard() {
     })
     .unwrap();
 }
+
+// ---- split-collective (asynchronous pipeline) orders ----
+
+#[test]
+fn write_begin_twice_without_new_inserts_is_empty() {
+    // write_begin consumes the interleave group, so an immediate second
+    // write_begin has nothing to flush.
+    let pfs = Pfs::in_memory(2);
+    let p = pfs.clone();
+    Machine::run(MachineConfig::functional(2), move |ctx| {
+        let l = layout(6, 2);
+        let g = Collection::new(ctx, l.clone(), |i| i as u32).unwrap();
+        let mut s = OStream::create(ctx, &p, &l, "f").unwrap();
+        s.insert_collection(&g).unwrap();
+        let pending = s.write_begin().unwrap();
+        assert!(matches!(s.write_begin(), Err(StreamError::EmptyWrite)));
+        s.write_end(pending).unwrap();
+        s.close().unwrap();
+    })
+    .unwrap();
+}
+
+#[test]
+fn close_with_a_flush_in_flight_is_a_state_violation() {
+    // The raw core stream refuses to close over an un-retired flush; the
+    // pipeline wrapper's close drains its pool and succeeds.
+    let pfs = Pfs::in_memory(2);
+    let p = pfs.clone();
+    Machine::run(MachineConfig::functional(2), move |ctx| {
+        let l = layout(6, 2);
+        let g = Collection::new(ctx, l.clone(), |i| i as u32).unwrap();
+        let mut s = OStream::create(ctx, &p, &l, "f").unwrap();
+        s.insert_collection(&g).unwrap();
+        let pending = s.write_begin().unwrap();
+        assert_eq!(s.writes_in_flight(), 1);
+        let err = s.close().unwrap_err();
+        assert!(matches!(
+            err,
+            StreamError::StateViolation { op: "close", .. }
+        ));
+
+        let mut s2 = dstreams::pipeline::OStream::create(ctx, &p, &l, "f2").unwrap();
+        for _ in 0..3 {
+            s2.insert_collection(&g).unwrap();
+            s2.write().unwrap();
+        }
+        assert!(s2.in_flight() > 0);
+        s2.close().unwrap(); // drains the pool
+
+        drop(pending); // the refused close left the flush to leak here
+    })
+    .unwrap();
+}
+
+#[test]
+fn two_flushes_in_flight_match_two_synchronous_writes() {
+    // With fresh inserts between them, two write_begins may be in flight
+    // at once; the file must be byte-identical to the synchronous order.
+    let write = |split: bool| {
+        let pfs = Pfs::in_memory(2);
+        let p = pfs.clone();
+        Machine::run(MachineConfig::functional(2), move |ctx| {
+            let l = layout(6, 2);
+            let mut s = OStream::create(ctx, &p, &l, "f").unwrap();
+            let a = Collection::new(ctx, l.clone(), |i| i as u32).unwrap();
+            let b = Collection::new(ctx, l.clone(), |i| (i * 10) as u32).unwrap();
+            if split {
+                s.insert_collection(&a).unwrap();
+                let p1 = s.write_begin().unwrap();
+                s.insert_collection(&b).unwrap();
+                let p2 = s.write_begin().unwrap();
+                assert_eq!(s.writes_in_flight(), 2);
+                s.write_end(p1).unwrap();
+                s.write_end(p2).unwrap();
+            } else {
+                s.insert_collection(&a).unwrap();
+                s.write().unwrap();
+                s.insert_collection(&b).unwrap();
+                s.write().unwrap();
+            }
+            s.close().unwrap();
+            let fh = p.open(false, "f", OpenMode::Read).unwrap();
+            let mut bytes = vec![0u8; fh.len() as usize];
+            fh.read_at(ctx, 0, &mut bytes).unwrap();
+            bytes
+        })
+        .unwrap()
+        .remove(0)
+    };
+    assert_eq!(write(false), write(true));
+}
+
+#[test]
+fn extract_with_a_prefetch_in_flight_is_a_state_violation() {
+    // prefetch starts the collective read but does not make the record
+    // current: extract still requires read().
+    let pfs = Pfs::in_memory(2);
+    write_simple(&pfs, 2, 6, "f");
+    let p = pfs.clone();
+    Machine::run(MachineConfig::functional(2), move |ctx| {
+        let l = layout(6, 2);
+        let mut g = Collection::new(ctx, l.clone(), |_| 0u32).unwrap();
+        let mut r = IStream::open(ctx, &p, &l, "f").unwrap();
+        assert!(r.prefetch().unwrap());
+        assert!(r.prefetch_in_flight());
+        let err = r.extract_collection(&mut g).unwrap_err();
+        assert!(matches!(
+            err,
+            StreamError::StateViolation { op: "extract", .. }
+        ));
+        // A second prefetch, and skipping over the in-flight record, are
+        // also misorderings.
+        assert!(matches!(
+            r.prefetch(),
+            Err(StreamError::StateViolation { op: "prefetch", .. })
+        ));
+        assert!(matches!(
+            r.skip_record(),
+            Err(StreamError::StateViolation {
+                op: "skip_record",
+                ..
+            })
+        ));
+        // Consuming with the other read mode is refused (the spans were
+        // chosen for sorted routing).
+        assert!(matches!(
+            r.unsorted_read(),
+            Err(StreamError::StateViolation {
+                op: "unsorted_read",
+                ..
+            })
+        ));
+        // The right mode consumes it and the stream is usable again.
+        r.read().unwrap();
+        r.extract_collection(&mut g).unwrap();
+        r.close().unwrap();
+    })
+    .unwrap();
+}
