@@ -11,6 +11,8 @@
 //!   paper's tables and the ablations of its design choices
 //!   deterministically.
 
+#![forbid(unsafe_code)]
+
 use std::time::Duration;
 
 use dstreams_machine::{Machine, MachineConfig, VTime};

@@ -17,6 +17,7 @@
 //! Elements may be of *variable size* (e.g. particle lists of differing
 //! lengths) — the situation pC++/streams was designed for.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod alignment;

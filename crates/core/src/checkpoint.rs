@@ -209,10 +209,10 @@ impl CheckpointManager {
                 Err(_) => continue, // damaged generation: fall back
             }
         }
-        Err(StreamError::StateViolation {
-            op: "restore",
-            why: format!("no readable checkpoint under prefix {:?}", self.prefix),
-        })
+        Err(StreamError::violation(
+            "restore",
+            format!("no readable checkpoint under prefix {:?}", self.prefix),
+        ))
     }
 
     /// Restore one specific generation.

@@ -105,6 +105,18 @@ pub enum StreamError {
     Machine(MachineError),
 }
 
+impl StreamError {
+    /// Canonical constructor for Fig. 2 state-machine violations: every
+    /// site reports the primitive it guards (`op`) and a present-tense
+    /// explanation of why the call is illegal right now (`why`).
+    pub fn violation(op: &'static str, why: impl Into<String>) -> Self {
+        StreamError::StateViolation {
+            op,
+            why: why.into(),
+        }
+    }
+}
+
 impl fmt::Display for StreamError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

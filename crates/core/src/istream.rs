@@ -250,10 +250,10 @@ impl<'a> IStream<'a> {
                 self.ctx.emit_with(|| EventKind::PhaseEnd {
                     phase: StreamPhase::ReadAhead,
                 });
-                return Err(StreamError::StateViolation {
-                    op: if sorted { "read" } else { "unsorted_read" },
-                    why: "the prefetched record was fetched with the other read mode".into(),
-                });
+                return Err(StreamError::violation(
+                    if sorted { "read" } else { "unsorted_read" },
+                    "the prefetched record was fetched with the other read mode",
+                ));
             }
             return self.finish_prefetched(p);
         }
@@ -300,10 +300,14 @@ impl<'a> IStream<'a> {
 
     fn prefetch_impl(&mut self, sorted: bool) -> Result<bool, StreamError> {
         if self.prefetched.is_some() {
-            return Err(StreamError::StateViolation {
-                op: "prefetch",
-                why: "a prefetched record is already in flight".into(),
-            });
+            return Err(StreamError::violation(
+                if sorted {
+                    "prefetch"
+                } else {
+                    "prefetch_unsorted"
+                },
+                "a prefetched record is already in flight",
+            ));
         }
         self.ctx.emit_with(|| EventKind::PhaseBegin {
             phase: StreamPhase::ReadAhead,
@@ -342,6 +346,15 @@ impl<'a> IStream<'a> {
     /// Whether a prefetched record is in flight.
     pub fn prefetch_in_flight(&self) -> bool {
         self.prefetched.is_some()
+    }
+
+    /// Extract calls still owed on the buffered record (0 when no record
+    /// is buffered or every insert has been matched by an extract).
+    pub fn extracts_remaining(&self) -> usize {
+        self.current
+            .as_ref()
+            .map(|rec| (rec.header.n_inserts - rec.extracts_done) as usize)
+            .unwrap_or(0)
     }
 
     /// Consume a prefetched record: retire the collective read's handle
@@ -656,10 +669,10 @@ impl<'a> IStream<'a> {
     /// the records that belong to the others.
     pub fn skip_record(&mut self) -> Result<(), StreamError> {
         if self.prefetched.is_some() {
-            return Err(StreamError::StateViolation {
-                op: "skip_record",
-                why: "a prefetched record is in flight — consume it first".into(),
-            });
+            return Err(StreamError::violation(
+                "skip_record",
+                "a prefetched record is in flight — consume it first",
+            ));
         }
         if let Some(rec) = &self.current {
             if rec.extracts_done < rec.header.n_inserts {
@@ -690,9 +703,11 @@ impl<'a> IStream<'a> {
         c: &mut Collection<T>,
         f: impl Fn(&mut T, &mut Extractor<'_>) -> Result<(), StreamError>,
     ) -> Result<(), StreamError> {
-        let rec = self.current.as_mut().ok_or(StreamError::StateViolation {
-            op: "extract",
-            why: "no record buffered — call read() or unsorted_read() first".into(),
+        let rec = self.current.as_mut().ok_or_else(|| {
+            StreamError::violation(
+                "extract",
+                "no record buffered — call read() or unsorted_read() first",
+            )
         })?;
         if rec.extracts_done >= rec.header.n_inserts {
             return Err(StreamError::ExtractCountExceeded {
@@ -732,13 +747,13 @@ impl<'a> IStream<'a> {
         }
         if let Some(rec) = &self.current {
             if rec.extracts_done < rec.header.n_inserts {
-                return Err(StreamError::StateViolation {
-                    op: "close",
-                    why: format!(
+                return Err(StreamError::violation(
+                    "close",
+                    format!(
                         "{} extracts missing from the buffered record",
                         rec.header.n_inserts - rec.extracts_done
                     ),
-                });
+                ));
             }
         }
         Ok(())

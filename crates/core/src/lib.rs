@@ -61,6 +61,7 @@
 //! * **replicated-local I/O** ([`LocalFile`]): node-0-only physical I/O
 //!   with broadcast on read (§4.2).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod checkpoint;

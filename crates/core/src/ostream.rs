@@ -145,10 +145,10 @@ impl<'a> OStream<'a> {
             )));
         }
         if opts.smp_single_buffer && ctx.memory_model() != MemoryModel::Shared {
-            return Err(StreamError::StateViolation {
-                op: "open",
-                why: "single-buffer mode requires a shared-memory machine".into(),
-            });
+            return Err(StreamError::violation(
+                "open",
+                "single-buffer mode requires a shared-memory machine",
+            ));
         }
         let fh = pfs.open(ctx.is_root(), name, OpenMode::Create)?;
         let scratch = opts
@@ -352,12 +352,11 @@ impl<'a> OStream<'a> {
     /// plain write has no collective cost to defer.
     pub fn write_begin(&mut self) -> Result<PendingWrite, StreamError> {
         if self.scratch.is_some() {
-            return Err(StreamError::StateViolation {
-                op: "write_begin",
-                why: "split-collective writes require per-node buffers \
-                      (single-buffer SMP mode is synchronous-only)"
-                    .into(),
-            });
+            return Err(StreamError::violation(
+                "write_begin",
+                "split-collective writes require per-node buffers \
+                 (single-buffer SMP mode is synchronous-only)",
+            ));
         }
         let (mode, header, file_prefix, local_sizes, data) = self.stage_record()?;
         self.ctx.emit_with(|| EventKind::PhaseBegin {
@@ -709,19 +708,19 @@ impl<'a> OStream<'a> {
     /// surfaces the missing-write bug instead of dropping data).
     pub fn close(self) -> Result<(), StreamError> {
         if self.n_inserts > 0 {
-            return Err(StreamError::StateViolation {
-                op: "close",
-                why: format!("{} inserts pending without a write()", self.n_inserts),
-            });
+            return Err(StreamError::violation(
+                "close",
+                format!("{} inserts pending without a write()", self.n_inserts),
+            ));
         }
         if self.in_flight > 0 {
-            return Err(StreamError::StateViolation {
-                op: "close",
-                why: format!(
+            return Err(StreamError::violation(
+                "close",
+                format!(
                     "{} split-collective writes in flight without write_end()",
                     self.in_flight
                 ),
-            });
+            ));
         }
         Ok(())
     }

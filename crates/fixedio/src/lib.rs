@@ -17,6 +17,7 @@
 //! bookkeeping exists for. `tests/baseline_comparison.rs` at the workspace
 //! root demonstrates the boundary in both directions.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod chameleon;

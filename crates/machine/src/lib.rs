@@ -33,6 +33,7 @@
 //! assert!(results.iter().all(|(t, _)| *t == 6));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod collectives;

@@ -17,6 +17,7 @@
 //! * two backends: in-memory (virtual-time benchmarks) and real-disk
 //!   (wall-clock Criterion benchmarks).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod checksum;

@@ -52,6 +52,7 @@
 //! .unwrap();
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::collections::VecDeque;
@@ -118,10 +119,10 @@ impl<'a> OStream<'a> {
         pipeline: PipelineOptions,
     ) -> Result<Self, StreamError> {
         if pipeline.depth == 0 {
-            return Err(StreamError::StateViolation {
-                op: "open",
-                why: "pipeline depth must be at least 1".into(),
-            });
+            return Err(StreamError::violation(
+                "open",
+                "pipeline depth must be at least 1",
+            ));
         }
         Ok(OStream {
             inner: dstreams_core::OStream::create_with(ctx, pfs, layout, name, opts)?,
@@ -259,10 +260,10 @@ impl<'a> IStream<'a> {
 
     fn read_impl(&mut self, sorted: bool) -> Result<(), StreamError> {
         if self.sorted == Some(!sorted) && self.inner.prefetch_in_flight() {
-            return Err(StreamError::StateViolation {
-                op: if sorted { "read" } else { "unsorted_read" },
-                why: "read-ahead already committed to the other read mode".into(),
-            });
+            return Err(StreamError::violation(
+                if sorted { "read" } else { "unsorted_read" },
+                "read-ahead already committed to the other read mode",
+            ));
         }
         self.sorted = Some(sorted);
         if sorted {

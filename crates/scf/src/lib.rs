@@ -15,6 +15,7 @@
 //! * the benchmark [`driver`] and the paper's table definitions
 //!   ([`tables`]) with published values embedded for comparison.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod driver;

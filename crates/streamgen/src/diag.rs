@@ -1,0 +1,267 @@
+//! Structured diagnostics: severity, stable code, and source span.
+//!
+//! Semantic *errors* (duplicate names, bad length fields, use before
+//! declaration) abort generation. *Warnings* flag declarations that
+//! generate but deserve programmer attention:
+//!
+//! * `pointer-without-hook` — a raw-pointer field with no registered
+//!   hook is silently omitted from the stream (the paper's comment-hook
+//!   situation);
+//! * `unused-hook` — a `--hook Class.field` registration that matches no
+//!   raw-pointer field (typo, or the declaration changed);
+//! * `zero-size-record` — a class that streams no bytes at all, so every
+//!   element of a collection of it inserts nothing.
+//!
+//! `stream-gen --deny-warnings` promotes warnings to failure.
+
+use std::fmt;
+
+use crate::ast::{FieldKind, Program};
+use crate::codegen::{GenOptions, Hook};
+use crate::lexer::GenError;
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Generation proceeds; `--deny-warnings` turns it into a failure.
+    Warning,
+    /// Generation is refused.
+    Error,
+}
+
+/// Stable machine-readable code for a diagnostic class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiagCode {
+    /// Lexer or parser rejection.
+    Parse,
+    /// Semantic rule violation (see [`crate::sema::check`]).
+    Sema,
+    /// Raw-pointer field with no registered hook: omitted from the stream.
+    PointerWithoutHook,
+    /// A registered hook that matches no raw-pointer field.
+    UnusedHook,
+    /// A class whose records carry zero bytes.
+    ZeroSizeRecord,
+}
+
+impl DiagCode {
+    /// The stable kebab-case name printed in brackets.
+    pub fn name(self) -> &'static str {
+        match self {
+            DiagCode::Parse => "parse",
+            DiagCode::Sema => "sema",
+            DiagCode::PointerWithoutHook => "pointer-without-hook",
+            DiagCode::UnusedHook => "unused-hook",
+            DiagCode::ZeroSizeRecord => "zero-size-record",
+        }
+    }
+}
+
+/// One diagnostic with severity, code, and source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Warning or error.
+    pub severity: Severity,
+    /// Diagnostic class.
+    pub code: DiagCode,
+    /// 1-based source line (0 = no position, e.g. an unused hook).
+    pub line: u32,
+    /// Human-readable message.
+    pub msg: String,
+}
+
+impl Diagnostic {
+    /// Wrap a lexer/parser/sema error.
+    pub fn error(code: DiagCode, e: GenError) -> Self {
+        Diagnostic {
+            severity: Severity::Error,
+            code,
+            line: e.line,
+            msg: e.msg,
+        }
+    }
+
+    fn warning(code: DiagCode, line: u32, msg: String) -> Self {
+        Diagnostic {
+            severity: Severity::Warning,
+            code,
+            line,
+            msg,
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sev = match self.severity {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        };
+        write!(f, "{sev}[{}]", self.code.name())?;
+        if self.line > 0 {
+            write!(f, " line {}", self.line)?;
+        }
+        write!(f, ": {}", self.msg)
+    }
+}
+
+impl std::error::Error for Diagnostic {}
+
+/// Lint a valid program against the generation options, returning all
+/// warnings (never errors — run [`crate::sema::check`] first).
+pub fn lint(program: &Program, opts: &GenOptions) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut hook_used = vec![false; opts.hooks.len()];
+
+    for class in &program.classes {
+        let mut streams_anything = false;
+        for field in &class.fields {
+            match &field.kind {
+                FieldKind::RawPointer => {
+                    match opts
+                        .hooks
+                        .iter()
+                        .position(|h| h.class == class.name && h.field == field.name)
+                    {
+                        Some(i) => {
+                            hook_used[i] = true;
+                            // A hooked pointer streams whatever the
+                            // programmer's hook methods stream.
+                            streams_anything = true;
+                        }
+                        None => out.push(Diagnostic::warning(
+                            DiagCode::PointerWithoutHook,
+                            field.line,
+                            format!(
+                                "field `{field}` of class `{class}` is a raw pointer \
+                                 with no size information and no hook; it is omitted \
+                                 from the stream (register `--hook {class}.{field}` and \
+                                 implement the `insert_{snake}`/`extract_{snake}` \
+                                 methods to stream it)",
+                                field = field.name,
+                                class = class.name,
+                                snake = crate::codegen::snake_case(&field.name),
+                            ),
+                        )),
+                    }
+                }
+                FieldKind::Scalar | FieldKind::DynArray { .. } | FieldKind::FixedArray(_) => {
+                    streams_anything = true;
+                }
+            }
+        }
+        if !streams_anything {
+            out.push(Diagnostic::warning(
+                DiagCode::ZeroSizeRecord,
+                class.line,
+                format!(
+                    "class `{}` streams no bytes at all — every insertion of it is \
+                     a no-op and extraction cannot distinguish its elements",
+                    class.name
+                ),
+            ));
+        }
+    }
+
+    for (hook, used) in opts.hooks.iter().zip(&hook_used) {
+        if !used {
+            out.push(Diagnostic::warning(
+                DiagCode::UnusedHook,
+                0,
+                format!(
+                    "hook `{}.{}` matches no raw-pointer field in the input",
+                    hook.class, hook.field
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Re-export target for [`Hook`] parsing errors in the CLI.
+pub fn parse_hook(spec: &str) -> Result<Hook, String> {
+    match spec.split_once('.') {
+        Some((class, field)) if !class.is_empty() && !field.is_empty() => Ok(Hook {
+            class: class.to_string(),
+            field: field.to_string(),
+        }),
+        _ => Err(format!(
+            "bad hook spec `{spec}`: expected `Class.field`, e.g. `Node.next`"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn lint_src(src: &str, hooks: &[(&str, &str)]) -> Vec<Diagnostic> {
+        let opts = GenOptions {
+            hooks: hooks
+                .iter()
+                .map(|(c, f)| Hook {
+                    class: c.to_string(),
+                    field: f.to_string(),
+                })
+                .collect(),
+            ..GenOptions::default()
+        };
+        lint(&parse(src).unwrap(), &opts)
+    }
+
+    #[test]
+    fn clean_program_has_no_warnings() {
+        assert!(lint_src("class A { int x; };", &[]).is_empty());
+    }
+
+    #[test]
+    fn unhooked_pointer_warns_with_span() {
+        let diags = lint_src("class Node { int v;\nNode * next; };", &[]);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, DiagCode::PointerWithoutHook);
+        assert_eq!(diags[0].line, 2);
+        assert!(diags[0].msg.contains("`next`"), "{}", diags[0]);
+        assert!(diags[0]
+            .to_string()
+            .starts_with("warning[pointer-without-hook] line 2"));
+    }
+
+    #[test]
+    fn hooked_pointer_is_quiet() {
+        assert!(lint_src("class Node { int v; Node * next; };", &[("Node", "next")]).is_empty());
+    }
+
+    #[test]
+    fn unused_hook_warns() {
+        let diags = lint_src("class Node { int v; };", &[("Node", "next")]);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, DiagCode::UnusedHook);
+        assert_eq!(diags[0].line, 0);
+    }
+
+    #[test]
+    fn zero_size_record_warns() {
+        let diags = lint_src("class Empty { };", &[]);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, DiagCode::ZeroSizeRecord);
+
+        // All-pointer classes are zero-size too (plus the pointer warning).
+        let diags = lint_src("class P { P * next; };", &[]);
+        let codes: Vec<_> = diags.iter().map(|d| d.code).collect();
+        assert!(codes.contains(&DiagCode::PointerWithoutHook));
+        assert!(codes.contains(&DiagCode::ZeroSizeRecord));
+
+        // A hooked pointer counts as streamed content.
+        assert!(lint_src("class P { P * next; };", &[("P", "next")]).is_empty());
+    }
+
+    #[test]
+    fn hook_specs_parse() {
+        let h = parse_hook("Node.next").unwrap();
+        assert_eq!((h.class.as_str(), h.field.as_str()), ("Node", "next"));
+        assert!(parse_hook("Node").is_err());
+        assert!(parse_hook(".x").is_err());
+        assert!(parse_hook("A.").is_err());
+    }
+}

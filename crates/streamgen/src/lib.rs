@@ -20,22 +20,26 @@
 //! assert!(code.contains("impl dstreams_core::StreamData for Position"));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ast;
 pub mod codegen;
+pub mod diag;
 pub mod lexer;
 pub mod parser;
 pub mod sema;
 
 pub use ast::{ClassDecl, ElemTy, Field, FieldKind, PrimTy, Program};
-pub use codegen::{generate, snake_case, GenOptions};
+pub use codegen::{generate, snake_case, GenOptions, Hook};
+pub use diag::{lint, parse_hook, DiagCode, Diagnostic, Severity};
 pub use lexer::GenError;
 pub use parser::parse;
 pub use sema::check;
 
 /// Parse, check, and generate in one call. Returns the generated Rust
-/// source, or every diagnostic found.
+/// source, or every error found (warnings are dropped — use
+/// [`generate_checked`] to see them).
 pub fn generate_from_source(
     src: &str,
     opts: GenOptions,
@@ -47,4 +51,29 @@ pub fn generate_from_source(
         return Err(errs);
     }
     Ok(generate(&program, opts, source_name))
+}
+
+/// Parse, check, lint, and generate. On success returns the generated
+/// source plus any warnings; on failure returns every diagnostic found
+/// (errors and warnings), so the caller can print them all at once.
+pub fn generate_checked(
+    src: &str,
+    opts: GenOptions,
+    source_name: &str,
+) -> Result<(String, Vec<Diagnostic>), Vec<Diagnostic>> {
+    let program = match parse(src) {
+        Ok(p) => p,
+        Err(e) => return Err(vec![Diagnostic::error(DiagCode::Parse, e)]),
+    };
+    let errs = check(&program);
+    let warnings = lint(&program, &opts);
+    if !errs.is_empty() {
+        let mut all: Vec<Diagnostic> = errs
+            .into_iter()
+            .map(|e| Diagnostic::error(DiagCode::Sema, e))
+            .collect();
+        all.extend(warnings);
+        return Err(all);
+    }
+    Ok((generate(&program, opts, source_name), warnings))
 }

@@ -2,17 +2,30 @@
 //!
 //! ```text
 //! stream-gen INPUT.pcxx [-o OUTPUT.rs] [--impls-only]
+//!            [--hook Class.field]... [--deny-warnings]
 //! ```
+//!
+//! Diagnostics go to stderr as `severity[code] line N: message`. Errors
+//! always fail the run; warnings (unhooked pointers, unused hooks,
+//! zero-size records) fail it only under `--deny-warnings`.
 
 use std::io::Write as _;
 use std::process::ExitCode;
 
-use dstreams_streamgen::{generate_from_source, GenOptions};
+use dstreams_streamgen::{generate_checked, parse_hook, GenOptions};
+
+fn usage() {
+    eprintln!(
+        "usage: stream-gen INPUT.pcxx [-o OUTPUT.rs] [--impls-only] \
+         [--hook Class.field]... [--deny-warnings]"
+    );
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut input: Option<String> = None;
     let mut output: Option<String> = None;
+    let mut deny_warnings = false;
     let mut opts = GenOptions::default();
     let mut i = 0;
     while i < args.len() {
@@ -22,8 +35,23 @@ fn main() -> ExitCode {
                 i += 1;
             }
             "--impls-only" => opts.emit_structs = false,
+            "--deny-warnings" => deny_warnings = true,
+            "--hook" => {
+                let Some(spec) = args.get(i + 1) else {
+                    eprintln!("stream-gen: --hook needs a Class.field argument");
+                    return ExitCode::from(2);
+                };
+                match parse_hook(spec) {
+                    Ok(h) => opts.hooks.push(h),
+                    Err(e) => {
+                        eprintln!("stream-gen: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+                i += 1;
+            }
             "-h" | "--help" => {
-                eprintln!("usage: stream-gen INPUT.pcxx [-o OUTPUT.rs] [--impls-only]");
+                usage();
                 return ExitCode::SUCCESS;
             }
             other if input.is_none() => input = Some(other.to_string()),
@@ -35,7 +63,7 @@ fn main() -> ExitCode {
         i += 1;
     }
     let Some(input) = input else {
-        eprintln!("usage: stream-gen INPUT.pcxx [-o OUTPUT.rs] [--impls-only]");
+        usage();
         return ExitCode::from(2);
     };
     let src = match std::fs::read_to_string(&input) {
@@ -45,8 +73,18 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match generate_from_source(&src, opts, &input) {
-        Ok(code) => {
+    match generate_checked(&src, opts, &input) {
+        Ok((code, warnings)) => {
+            for w in &warnings {
+                eprintln!("stream-gen: {input}: {w}");
+            }
+            if deny_warnings && !warnings.is_empty() {
+                eprintln!(
+                    "stream-gen: {input}: {} warning(s) denied (--deny-warnings)",
+                    warnings.len()
+                );
+                return ExitCode::FAILURE;
+            }
             match output {
                 Some(path) => {
                     if let Err(e) = std::fs::write(&path, code) {
@@ -64,9 +102,9 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
-        Err(errs) => {
-            for e in errs {
-                eprintln!("stream-gen: {input}: {e}");
+        Err(diags) => {
+            for d in diags {
+                eprintln!("stream-gen: {input}: {d}");
             }
             ExitCode::FAILURE
         }

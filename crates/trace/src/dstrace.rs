@@ -1,0 +1,600 @@
+//! Full-fidelity trace serialization (the `.dstrace.json` format).
+//!
+//! The Chrome export in [`crate::chrome`] is lossy by design — it targets a
+//! viewer, not a tool. This module serializes a [`Trace`] so that every
+//! field of every [`EventKind`] survives a round trip, which is what the
+//! `dsverify` analyzer consumes: examples write a trace with
+//! [`to_events_json`], the analyzer reads it back with
+//! [`parse_events_json`] and sees exactly the events the runtime emitted.
+//!
+//! The format is a single JSON object:
+//!
+//! ```json
+//! {
+//!   "format": "dstrace",
+//!   "version": 1,
+//!   "nprocs": 4,
+//!   "events": [
+//!     {"rank": 0, "vtime_ns": 120, "seq": 3, "kind": "collective",
+//!      "op": "barrier", "root": null, "bytes": 0},
+//!     ...
+//!   ]
+//! }
+//! ```
+
+use crate::event::{
+    CollOp, CollectiveRegime, Event, EventKind, FaultKind, IndependentRegime, PfsOp, StreamPhase,
+};
+use crate::json::{self, ParseError, Value};
+use crate::sink::Trace;
+
+/// Format version written by [`to_events_json`]; [`parse_events_json`]
+/// rejects anything newer.
+pub const FORMAT_VERSION: i64 = 1;
+
+/// Serialize a trace with every event field intact.
+pub fn to_events_json(trace: &Trace) -> String {
+    let events: Vec<Value> = trace.events.iter().map(event_to_value).collect();
+    Value::Obj(vec![
+        ("format".into(), Value::Str("dstrace".into())),
+        ("version".into(), Value::Int(FORMAT_VERSION)),
+        ("nprocs".into(), Value::Int(trace.nprocs as i64)),
+        ("events".into(), Value::Arr(events)),
+    ])
+    .to_json_pretty()
+}
+
+/// Parse a document produced by [`to_events_json`] back into a [`Trace`].
+pub fn parse_events_json(input: &str) -> Result<Trace, ParseError> {
+    let doc = json::parse(input)?;
+    let fail = |message: &str| ParseError {
+        offset: 0,
+        message: message.to_string(),
+    };
+    if doc.get("format").and_then(Value::as_str) != Some("dstrace") {
+        return Err(fail("not a dstrace document (missing format: \"dstrace\")"));
+    }
+    match doc.get("version").and_then(Value::as_i64) {
+        Some(v) if v <= FORMAT_VERSION => {}
+        Some(v) => return Err(fail(&format!("unsupported dstrace version {v}"))),
+        None => return Err(fail("missing dstrace version")),
+    }
+    let nprocs = doc
+        .get("nprocs")
+        .and_then(Value::as_i64)
+        .filter(|&n| n >= 0)
+        .ok_or_else(|| fail("missing or negative nprocs"))? as usize;
+    let raw_events = doc
+        .get("events")
+        .and_then(Value::as_array)
+        .ok_or_else(|| fail("missing events array"))?;
+    let mut events = Vec::with_capacity(raw_events.len());
+    for (i, ev) in raw_events.iter().enumerate() {
+        events
+            .push(event_from_value(ev).map_err(|message| fail(&format!("event {i}: {message}")))?);
+    }
+    Ok(Trace { nprocs, events })
+}
+
+fn event_to_value(event: &Event) -> Value {
+    let mut members = vec![
+        ("rank".into(), Value::Int(event.rank as i64)),
+        ("vtime_ns".into(), u64_value(event.vtime_ns)),
+        ("seq".into(), u64_value(event.seq)),
+    ];
+    members.extend(kind_members(&event.kind));
+    Value::Obj(members)
+}
+
+/// `u64` values can exceed `i64::MAX` (e.g. sentinel seeds); render those
+/// as decimal strings so nothing is silently truncated.
+fn u64_value(v: u64) -> Value {
+    match i64::try_from(v) {
+        Ok(i) => Value::Int(i),
+        Err(_) => Value::Str(v.to_string()),
+    }
+}
+
+fn kind_members(kind: &EventKind) -> Vec<(String, Value)> {
+    let tag = |name: &str| ("kind".to_string(), Value::Str(name.to_string()));
+    match kind {
+        EventKind::MsgSend {
+            to,
+            tag: msg_tag,
+            bytes,
+            collective,
+        } => vec![
+            tag("msg_send"),
+            ("to".into(), Value::Int(*to as i64)),
+            ("tag".into(), Value::Int(i64::from(*msg_tag))),
+            ("bytes".into(), u64_value(*bytes)),
+            ("collective".into(), Value::Bool(*collective)),
+        ],
+        EventKind::MsgRecv {
+            from,
+            tag: msg_tag,
+            bytes,
+            collective,
+        } => vec![
+            tag("msg_recv"),
+            ("from".into(), Value::Int(*from as i64)),
+            ("tag".into(), Value::Int(i64::from(*msg_tag))),
+            ("bytes".into(), u64_value(*bytes)),
+            ("collective".into(), Value::Bool(*collective)),
+        ],
+        EventKind::Collective { op, root, bytes } => vec![
+            tag("collective"),
+            ("op".into(), Value::Str(op.name().into())),
+            (
+                "root".into(),
+                root.map_or(Value::Null, |r| Value::Int(r as i64)),
+            ),
+            ("bytes".into(), u64_value(*bytes)),
+        ],
+        EventKind::PfsIndependent {
+            op,
+            file,
+            offset,
+            bytes,
+            regime,
+            cost_ns,
+        } => vec![
+            tag("pfs_independent"),
+            ("op".into(), Value::Str(op.name().into())),
+            ("file".into(), Value::Str(file.clone())),
+            ("offset".into(), u64_value(*offset)),
+            ("bytes".into(), u64_value(*bytes)),
+            ("regime".into(), Value::Str(regime.name().into())),
+            ("cost_ns".into(), u64_value(*cost_ns)),
+        ],
+        EventKind::PfsCollective {
+            op,
+            file,
+            offset,
+            bytes,
+            total_bytes,
+            share_bytes,
+            regime,
+            cost_ns,
+        } => vec![
+            tag("pfs_collective"),
+            ("op".into(), Value::Str(op.name().into())),
+            ("file".into(), Value::Str(file.clone())),
+            ("offset".into(), u64_value(*offset)),
+            ("bytes".into(), u64_value(*bytes)),
+            ("total_bytes".into(), u64_value(*total_bytes)),
+            ("share_bytes".into(), u64_value(*share_bytes)),
+            ("regime".into(), Value::Str(regime.name().into())),
+            ("cost_ns".into(), u64_value(*cost_ns)),
+        ],
+        EventKind::FaultInjected {
+            kind,
+            op_index,
+            file,
+            bytes_kept,
+        } => vec![
+            tag("fault_injected"),
+            ("fault".into(), Value::Str(kind.name().into())),
+            ("op_index".into(), u64_value(*op_index)),
+            ("file".into(), Value::Str(file.clone())),
+            ("bytes_kept".into(), u64_value(*bytes_kept)),
+        ],
+        EventKind::PfsRetry {
+            op_index,
+            attempt,
+            backoff_ns,
+        } => vec![
+            tag("pfs_retry"),
+            ("op_index".into(), u64_value(*op_index)),
+            ("attempt".into(), Value::Int(i64::from(*attempt))),
+            ("backoff_ns".into(), u64_value(*backoff_ns)),
+        ],
+        EventKind::PhaseBegin { phase } => vec![
+            tag("phase_begin"),
+            ("phase".into(), Value::Str(phase.name().into())),
+        ],
+        EventKind::PhaseEnd { phase } => vec![
+            tag("phase_end"),
+            ("phase".into(), Value::Str(phase.name().into())),
+        ],
+        EventKind::AsyncSubmit {
+            op_id,
+            cost_ns,
+            completion_ns,
+            queue_depth,
+        } => vec![
+            tag("async_submit"),
+            ("op_id".into(), u64_value(*op_id)),
+            ("cost_ns".into(), u64_value(*cost_ns)),
+            ("completion_ns".into(), u64_value(*completion_ns)),
+            ("queue_depth".into(), Value::Int(i64::from(*queue_depth))),
+        ],
+        EventKind::AsyncComplete {
+            op_id,
+            cost_ns,
+            stall_ns,
+            overlap_ns,
+        } => vec![
+            tag("async_complete"),
+            ("op_id".into(), u64_value(*op_id)),
+            ("cost_ns".into(), u64_value(*cost_ns)),
+            ("stall_ns".into(), u64_value(*stall_ns)),
+            ("overlap_ns".into(), u64_value(*overlap_ns)),
+        ],
+    }
+}
+
+fn event_from_value(v: &Value) -> Result<Event, String> {
+    let rank = field_usize(v, "rank")?;
+    let vtime_ns = field_u64(v, "vtime_ns")?;
+    let seq = field_u64(v, "seq")?;
+    let kind_name = v
+        .get("kind")
+        .and_then(Value::as_str)
+        .ok_or("missing kind")?;
+    let kind = match kind_name {
+        "msg_send" => EventKind::MsgSend {
+            to: field_usize(v, "to")?,
+            tag: field_u32(v, "tag")?,
+            bytes: field_u64(v, "bytes")?,
+            collective: field_bool(v, "collective")?,
+        },
+        "msg_recv" => EventKind::MsgRecv {
+            from: field_usize(v, "from")?,
+            tag: field_u32(v, "tag")?,
+            bytes: field_u64(v, "bytes")?,
+            collective: field_bool(v, "collective")?,
+        },
+        "collective" => EventKind::Collective {
+            op: coll_op(field_str(v, "op")?)?,
+            root: match v.get("root") {
+                None | Some(Value::Null) => None,
+                Some(r) => Some(
+                    r.as_i64()
+                        .filter(|&r| r >= 0)
+                        .ok_or("bad collective root")? as usize,
+                ),
+            },
+            bytes: field_u64(v, "bytes")?,
+        },
+        "pfs_independent" => EventKind::PfsIndependent {
+            op: pfs_op(field_str(v, "op")?)?,
+            file: field_str(v, "file")?.to_string(),
+            offset: field_u64(v, "offset")?,
+            bytes: field_u64(v, "bytes")?,
+            regime: independent_regime(field_str(v, "regime")?)?,
+            cost_ns: field_u64(v, "cost_ns")?,
+        },
+        "pfs_collective" => EventKind::PfsCollective {
+            op: pfs_op(field_str(v, "op")?)?,
+            file: field_str(v, "file")?.to_string(),
+            offset: field_u64(v, "offset")?,
+            bytes: field_u64(v, "bytes")?,
+            total_bytes: field_u64(v, "total_bytes")?,
+            share_bytes: field_u64(v, "share_bytes")?,
+            regime: collective_regime(field_str(v, "regime")?)?,
+            cost_ns: field_u64(v, "cost_ns")?,
+        },
+        "fault_injected" => EventKind::FaultInjected {
+            kind: fault_kind(field_str(v, "fault")?)?,
+            op_index: field_u64(v, "op_index")?,
+            file: field_str(v, "file")?.to_string(),
+            bytes_kept: field_u64(v, "bytes_kept")?,
+        },
+        "pfs_retry" => EventKind::PfsRetry {
+            op_index: field_u64(v, "op_index")?,
+            attempt: field_u32(v, "attempt")?,
+            backoff_ns: field_u64(v, "backoff_ns")?,
+        },
+        "phase_begin" => EventKind::PhaseBegin {
+            phase: stream_phase(field_str(v, "phase")?)?,
+        },
+        "phase_end" => EventKind::PhaseEnd {
+            phase: stream_phase(field_str(v, "phase")?)?,
+        },
+        "async_submit" => EventKind::AsyncSubmit {
+            op_id: field_u64(v, "op_id")?,
+            cost_ns: field_u64(v, "cost_ns")?,
+            completion_ns: field_u64(v, "completion_ns")?,
+            queue_depth: field_u32(v, "queue_depth")?,
+        },
+        "async_complete" => EventKind::AsyncComplete {
+            op_id: field_u64(v, "op_id")?,
+            cost_ns: field_u64(v, "cost_ns")?,
+            stall_ns: field_u64(v, "stall_ns")?,
+            overlap_ns: field_u64(v, "overlap_ns")?,
+        },
+        other => return Err(format!("unknown event kind `{other}`")),
+    };
+    Ok(Event {
+        rank,
+        vtime_ns,
+        seq,
+        kind,
+    })
+}
+
+fn field_str<'a>(v: &'a Value, key: &str) -> Result<&'a str, String> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("missing string field `{key}`"))
+}
+
+fn field_u64(v: &Value, key: &str) -> Result<u64, String> {
+    match v.get(key) {
+        Some(Value::Int(i)) if *i >= 0 => Ok(*i as u64),
+        // Values past i64::MAX were written as decimal strings.
+        Some(Value::Str(s)) => s
+            .parse::<u64>()
+            .map_err(|_| format!("bad u64 string in field `{key}`")),
+        _ => Err(format!("missing u64 field `{key}`")),
+    }
+}
+
+fn field_u32(v: &Value, key: &str) -> Result<u32, String> {
+    u32::try_from(field_u64(v, key)?).map_err(|_| format!("field `{key}` exceeds u32"))
+}
+
+fn field_usize(v: &Value, key: &str) -> Result<usize, String> {
+    usize::try_from(field_u64(v, key)?).map_err(|_| format!("field `{key}` exceeds usize"))
+}
+
+fn field_bool(v: &Value, key: &str) -> Result<bool, String> {
+    match v.get(key) {
+        Some(Value::Bool(b)) => Ok(*b),
+        _ => Err(format!("missing bool field `{key}`")),
+    }
+}
+
+fn coll_op(name: &str) -> Result<CollOp, String> {
+    const ALL: [CollOp; 11] = [
+        CollOp::Barrier,
+        CollOp::Broadcast,
+        CollOp::Gather,
+        CollOp::AllGather,
+        CollOp::Scatter,
+        CollOp::AllToAll,
+        CollOp::Reduce,
+        CollOp::AllReduce,
+        CollOp::Scan,
+        CollOp::ExclusiveScan,
+        CollOp::MaxTime,
+    ];
+    ALL.into_iter()
+        .find(|op| op.name() == name)
+        .ok_or_else(|| format!("unknown collective op `{name}`"))
+}
+
+fn pfs_op(name: &str) -> Result<PfsOp, String> {
+    match name {
+        "read" => Ok(PfsOp::Read),
+        "write" => Ok(PfsOp::Write),
+        other => Err(format!("unknown pfs op `{other}`")),
+    }
+}
+
+fn independent_regime(name: &str) -> Result<IndependentRegime, String> {
+    match name {
+        "cached" => Ok(IndependentRegime::Cached),
+        "disk" => Ok(IndependentRegime::Disk),
+        other => Err(format!("unknown independent regime `{other}`")),
+    }
+}
+
+fn collective_regime(name: &str) -> Result<CollectiveRegime, String> {
+    match name {
+        "streaming" => Ok(CollectiveRegime::Streaming),
+        "cache_knee" => Ok(CollectiveRegime::CacheKnee),
+        other => Err(format!("unknown collective regime `{other}`")),
+    }
+}
+
+fn fault_kind(name: &str) -> Result<FaultKind, String> {
+    match name {
+        "transient" => Ok(FaultKind::Transient),
+        "torn" => Ok(FaultKind::Torn),
+        "crash" => Ok(FaultKind::Crash),
+        other => Err(format!("unknown fault kind `{other}`")),
+    }
+}
+
+fn stream_phase(name: &str) -> Result<StreamPhase, String> {
+    const ALL: [StreamPhase; 7] = [
+        StreamPhase::Pack,
+        StreamPhase::Metadata,
+        StreamPhase::SizeTable,
+        StreamPhase::Data,
+        StreamPhase::Route,
+        StreamPhase::WriteBehind,
+        StreamPhase::ReadAhead,
+    ];
+    ALL.into_iter()
+        .find(|p| p.name() == name)
+        .ok_or_else(|| format!("unknown stream phase `{name}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        let mut seq = 0;
+        let mut ev = |rank: usize, vtime_ns: u64, kind: EventKind| {
+            seq += 1;
+            Event {
+                rank,
+                vtime_ns,
+                seq,
+                kind,
+            }
+        };
+        let events = vec![
+            ev(
+                0,
+                10,
+                EventKind::MsgSend {
+                    to: 1,
+                    tag: 77,
+                    bytes: 1024,
+                    collective: false,
+                },
+            ),
+            ev(
+                0,
+                12,
+                EventKind::Collective {
+                    op: CollOp::AllReduce,
+                    root: None,
+                    bytes: 8,
+                },
+            ),
+            ev(
+                0,
+                13,
+                EventKind::Collective {
+                    op: CollOp::Broadcast,
+                    root: Some(0),
+                    bytes: 16,
+                },
+            ),
+            ev(
+                0,
+                20,
+                EventKind::PfsIndependent {
+                    op: PfsOp::Write,
+                    file: "out \"quoted\".ds".into(),
+                    offset: 0,
+                    bytes: 4096,
+                    regime: IndependentRegime::Cached,
+                    cost_ns: 900,
+                },
+            ),
+            ev(
+                0,
+                30,
+                EventKind::PfsCollective {
+                    op: PfsOp::Read,
+                    file: "in.ds".into(),
+                    offset: 16,
+                    bytes: 2048,
+                    total_bytes: 4096,
+                    share_bytes: 2048,
+                    regime: CollectiveRegime::CacheKnee,
+                    cost_ns: 1200,
+                },
+            ),
+            ev(
+                1,
+                11,
+                EventKind::MsgRecv {
+                    from: 0,
+                    tag: 77,
+                    bytes: 1024,
+                    collective: true,
+                },
+            ),
+            ev(
+                1,
+                15,
+                EventKind::FaultInjected {
+                    kind: FaultKind::Torn,
+                    op_index: 3,
+                    file: "out.ds".into(),
+                    bytes_kept: 100,
+                },
+            ),
+            ev(
+                1,
+                16,
+                EventKind::PfsRetry {
+                    op_index: 3,
+                    attempt: 2,
+                    backoff_ns: 5000,
+                },
+            ),
+            ev(
+                1,
+                17,
+                EventKind::PhaseBegin {
+                    phase: StreamPhase::WriteBehind,
+                },
+            ),
+            ev(
+                1,
+                18,
+                EventKind::PhaseEnd {
+                    phase: StreamPhase::WriteBehind,
+                },
+            ),
+            ev(
+                1,
+                19,
+                EventKind::AsyncSubmit {
+                    op_id: 7,
+                    cost_ns: 100,
+                    completion_ns: u64::MAX - 1,
+                    queue_depth: 2,
+                },
+            ),
+            ev(
+                1,
+                25,
+                EventKind::AsyncComplete {
+                    op_id: 7,
+                    cost_ns: 100,
+                    stall_ns: 40,
+                    overlap_ns: 60,
+                },
+            ),
+        ];
+        Trace { nprocs: 2, events }
+    }
+
+    #[test]
+    fn every_event_kind_round_trips() {
+        let trace = sample_trace();
+        let text = to_events_json(&trace);
+        let back = parse_events_json(&text).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        assert_eq!(
+            to_events_json(&sample_trace()),
+            to_events_json(&sample_trace())
+        );
+    }
+
+    #[test]
+    fn rejects_foreign_documents() {
+        assert!(parse_events_json("{}").is_err());
+        assert!(parse_events_json("[]").is_err());
+        assert!(
+            parse_events_json(r#"{"format":"dstrace","version":99,"nprocs":1,"events":[]}"#)
+                .is_err()
+        );
+        assert!(parse_events_json(
+            r#"{"format":"dstrace","version":1,"nprocs":1,"events":[{"rank":0,"vtime_ns":0,"seq":0,"kind":"nope"}]}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn u64_values_past_i64_survive() {
+        let trace = sample_trace();
+        let back = parse_events_json(&to_events_json(&trace)).unwrap();
+        match &back
+            .events
+            .iter()
+            .find(|e| matches!(e.kind, EventKind::AsyncSubmit { .. }))
+            .unwrap()
+            .kind
+        {
+            EventKind::AsyncSubmit { completion_ns, .. } => {
+                assert_eq!(*completion_ns, u64::MAX - 1);
+            }
+            _ => unreachable!(),
+        }
+    }
+}

@@ -11,10 +11,12 @@
 //! into a shared [`TraceSink`] carried by the machine configuration, and
 //! pay exactly one branch per potential event when tracing is disabled.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod chrome;
 pub mod counts;
+pub mod dstrace;
 pub mod event;
 pub mod json;
 pub mod sink;

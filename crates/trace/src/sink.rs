@@ -108,6 +108,17 @@ impl Trace {
     pub fn to_chrome_json(&self) -> String {
         crate::chrome::to_chrome_json(self)
     }
+
+    /// Export with every event field intact (the `dstrace` format the
+    /// `dsverify` analyzer reads).
+    pub fn to_events_json(&self) -> String {
+        crate::dstrace::to_events_json(self)
+    }
+
+    /// Parse a document produced by [`Trace::to_events_json`].
+    pub fn from_events_json(input: &str) -> Result<Trace, crate::json::ParseError> {
+        crate::dstrace::parse_events_json(input)
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,760 @@
+//! Trace-based static analysis: collective matching, async pairing,
+//! seal ordering, and divergence hazards over deterministic traces.
+//!
+//! The d/streams contract is SPMD: every rank calls the stream
+//! collectives together, in the same order, with conforming arguments.
+//! The runtime's deterministic trace records exactly what each rank did,
+//! so violations of that discipline — the class of bug MPI-checker-style
+//! tools hunt — are decidable after the fact by a pass over the merged
+//! event log. [`analyze`] runs four rules:
+//!
+//! * **collective matching** — each rank's sequence of collective
+//!   operations must agree elementwise in kind and root. A crash fault
+//!   on any rank relaxes the rule to the common prefix (the survivors
+//!   legitimately stop short or diverge into recovery).
+//! * **async pairing** — every `AsyncSubmit` must be retired by an
+//!   `AsyncComplete` on the same rank (unless the rank crashed), and no
+//!   completion may appear without a submission.
+//! * **seal ordering** — a record's commit seal must not reach the file
+//!   before the record data it covers: a seal written with a completion
+//!   time earlier than the preceding collective data write's completion
+//!   is a crash-consistency hazard (a crash in between would leave a
+//!   sealed-but-torn record).
+//! * **message pairing** — point-to-point sends and receives must match
+//!   up per `(from, to, tag)` channel; unmatched traffic is the
+//!   signature of a hold-and-wait deadlock or a rank waiting on a peer
+//!   that never spoke.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use dstreams_core::RecordSeal;
+use dstreams_trace::{CollOp, Event, EventKind, FaultKind, PfsOp, Trace};
+
+/// Which analysis rule produced a hazard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// Cross-rank collective sequences disagree.
+    CollectiveMatching,
+    /// An async submission was never retired, or a completion had no
+    /// submission.
+    AsyncPairing,
+    /// A commit seal completed before the record data it covers.
+    SealOrdering,
+    /// Point-to-point sends and receives do not pair up.
+    MessagePairing,
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Rule::CollectiveMatching => "collective-matching",
+            Rule::AsyncPairing => "async-pairing",
+            Rule::SealOrdering => "seal-ordering",
+            Rule::MessagePairing => "message-pairing",
+        })
+    }
+}
+
+/// One violation found in a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hazard {
+    /// The rule that fired.
+    pub rule: Rule,
+    /// Rank the hazard is attributed to, when it belongs to one.
+    pub rank: Option<usize>,
+    /// Human-readable description with the offending values.
+    pub detail: String,
+}
+
+impl fmt::Display for Hazard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.rank {
+            Some(r) => write!(f, "[{}] rank {}: {}", self.rule, r, self.detail),
+            None => write!(f, "[{}] {}", self.rule, self.detail),
+        }
+    }
+}
+
+/// What [`analyze`] covered and found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Report {
+    /// Ranks in the analyzed trace.
+    pub nprocs: usize,
+    /// Events analyzed.
+    pub events: usize,
+    /// Collective rounds that matched across all participating ranks.
+    pub collectives_matched: usize,
+    /// Async submit/complete pairs retired cleanly.
+    pub async_pairs: usize,
+    /// Commit seals whose ordering was checked.
+    pub seals_checked: usize,
+    /// Ranks that crashed (rules are relaxed for them).
+    pub crashed_ranks: Vec<usize>,
+    /// All hazards found, in rule order.
+    pub hazards: Vec<Hazard>,
+}
+
+impl Report {
+    /// True when no rule fired.
+    pub fn clean(&self) -> bool {
+        self.hazards.is_empty()
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} events on {} ranks: {} collective rounds matched, \
+             {} async pairs, {} seals checked",
+            self.events,
+            self.nprocs,
+            self.collectives_matched,
+            self.async_pairs,
+            self.seals_checked
+        )?;
+        if !self.crashed_ranks.is_empty() {
+            writeln!(f, "crashed ranks (rules relaxed): {:?}", self.crashed_ranks)?;
+        }
+        if self.hazards.is_empty() {
+            write!(f, "no hazards")
+        } else {
+            for h in &self.hazards {
+                writeln!(f, "{h}")?;
+            }
+            write!(f, "{} hazard(s)", self.hazards.len())
+        }
+    }
+}
+
+/// A collective call as one rank saw it: kind plus root argument.
+type CollCall = (CollOp, Option<usize>);
+
+fn per_rank_events(trace: &Trace) -> Vec<Vec<&Event>> {
+    let mut lanes: Vec<Vec<&Event>> = vec![Vec::new(); trace.nprocs];
+    for ev in &trace.events {
+        if ev.rank < trace.nprocs {
+            lanes[ev.rank].push(ev);
+        }
+    }
+    lanes
+}
+
+fn crashed_ranks(trace: &Trace) -> Vec<usize> {
+    let mut out: Vec<usize> = trace
+        .events
+        .iter()
+        .filter(|e| {
+            matches!(
+                e.kind,
+                EventKind::FaultInjected {
+                    kind: FaultKind::Crash,
+                    ..
+                }
+            )
+        })
+        .map(|e| e.rank)
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Run all four rules over a trace.
+pub fn analyze(trace: &Trace) -> Report {
+    let lanes = per_rank_events(trace);
+    let crashed = crashed_ranks(trace);
+    let mut report = Report {
+        nprocs: trace.nprocs,
+        events: trace.events.len(),
+        collectives_matched: 0,
+        async_pairs: 0,
+        seals_checked: 0,
+        crashed_ranks: crashed.clone(),
+        hazards: Vec::new(),
+    };
+    check_collectives(&lanes, &crashed, &mut report);
+    check_async_pairing(&lanes, &crashed, &mut report);
+    check_seal_ordering(&lanes, &mut report);
+    check_message_pairing(trace, &crashed, &mut report);
+    report
+}
+
+fn coll_name(c: &CollCall) -> String {
+    match c.1 {
+        Some(root) => format!("{}(root={root})", c.0.name()),
+        None => c.0.name().to_string(),
+    }
+}
+
+fn check_collectives(lanes: &[Vec<&Event>], crashed: &[usize], report: &mut Report) {
+    let seqs: Vec<Vec<CollCall>> = lanes
+        .iter()
+        .map(|lane| {
+            lane.iter()
+                .filter_map(|e| match &e.kind {
+                    EventKind::Collective { op, root, .. } => Some((*op, *root)),
+                    _ => None,
+                })
+                .collect()
+        })
+        .collect();
+    let any_crash = !crashed.is_empty();
+    let max_len = seqs.iter().map(Vec::len).max().unwrap_or(0);
+    for i in 0..max_len {
+        // Ranks that have an i-th collective must agree on what it is.
+        let present: Vec<(usize, CollCall)> = seqs
+            .iter()
+            .enumerate()
+            .filter_map(|(r, s)| s.get(i).map(|c| (r, *c)))
+            .collect();
+        let reference = present[0].1;
+        if present.iter().any(|(_, c)| *c != reference) {
+            // Divergence: group ranks by what they called — the
+            // hold-and-wait picture of who is stuck waiting for whom.
+            let mut groups: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+            for (r, c) in &present {
+                groups.entry(coll_name(c)).or_default().push(*r);
+            }
+            for (r, s) in seqs.iter().enumerate() {
+                if s.get(i).is_none() {
+                    groups.entry("<no collective>".into()).or_default().push(r);
+                }
+            }
+            let picture = groups
+                .iter()
+                .map(|(call, ranks)| format!("{call} on ranks {ranks:?}"))
+                .collect::<Vec<_>>()
+                .join("; ");
+            report.hazards.push(Hazard {
+                rule: Rule::CollectiveMatching,
+                rank: None,
+                detail: format!(
+                    "collective round {i} diverges — {picture}; each group blocks \
+                     waiting for the others (hold-and-wait)"
+                ),
+            });
+            // Past a divergence the sequences no longer line up; further
+            // elementwise comparison would only cascade noise.
+            return;
+        }
+        if present.len() < seqs.len() {
+            // Some rank ran out of collectives at this round.
+            if any_crash {
+                // Survivor shortfall after a crash is expected; stop at
+                // the common prefix.
+                return;
+            }
+            let missing: Vec<usize> = seqs
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.get(i).is_none())
+                .map(|(r, _)| r)
+                .collect();
+            report.hazards.push(Hazard {
+                rule: Rule::CollectiveMatching,
+                rank: None,
+                detail: format!(
+                    "collective round {i} ({}) missing on ranks {missing:?} — \
+                     the participating ranks block forever",
+                    coll_name(&reference)
+                ),
+            });
+            return;
+        }
+        report.collectives_matched += 1;
+    }
+}
+
+fn check_async_pairing(lanes: &[Vec<&Event>], crashed: &[usize], report: &mut Report) {
+    for (rank, lane) in lanes.iter().enumerate() {
+        let mut pending: BTreeMap<u64, u64> = BTreeMap::new(); // op_id -> submit vtime
+        for e in lane {
+            match &e.kind {
+                EventKind::AsyncSubmit { op_id, .. } => {
+                    pending.insert(*op_id, e.vtime_ns);
+                }
+                EventKind::AsyncComplete { op_id, .. } => {
+                    if pending.remove(op_id).is_none() {
+                        report.hazards.push(Hazard {
+                            rule: Rule::AsyncPairing,
+                            rank: Some(rank),
+                            detail: format!(
+                                "AsyncComplete for op {op_id} at t={} has no matching \
+                                 AsyncSubmit",
+                                e.vtime_ns
+                            ),
+                        });
+                    } else {
+                        report.async_pairs += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if !pending.is_empty() && !crashed.contains(&rank) {
+            for (op_id, t) in &pending {
+                report.hazards.push(Hazard {
+                    rule: Rule::AsyncPairing,
+                    rank: Some(rank),
+                    detail: format!(
+                        "AsyncSubmit for op {op_id} at t={t} was never retired by an \
+                         AsyncComplete (leaked write_begin / prefetch handle?)"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Completion time of a PFS event: an asynchronous operation completes
+/// at its submission record's `completion_ns` (the runtime emits the
+/// `AsyncSubmit` immediately before the PFS event it defers, at the same
+/// instant); a synchronous one is already complete when its event is
+/// emitted — the runtime advances the clock by the modeled cost first.
+fn completion_ns(prev: Option<&Event>, ev: &Event) -> u64 {
+    if let Some(p) = prev {
+        if let EventKind::AsyncSubmit { completion_ns, .. } = p.kind {
+            if p.vtime_ns == ev.vtime_ns {
+                return completion_ns;
+            }
+        }
+    }
+    ev.vtime_ns
+}
+
+fn check_seal_ordering(lanes: &[Vec<&Event>], report: &mut Report) {
+    let seal_len = RecordSeal::LEN as u64;
+    for (rank, lane) in lanes.iter().enumerate() {
+        // file -> completion time of the latest collective data write.
+        let mut data_done: BTreeMap<&str, u64> = BTreeMap::new();
+        for (i, e) in lane.iter().enumerate() {
+            let prev = if i > 0 { Some(lane[i - 1]) } else { None };
+            match &e.kind {
+                EventKind::PfsCollective {
+                    op: PfsOp::Write,
+                    file,
+                    ..
+                } => {
+                    let done = completion_ns(prev, e);
+                    let slot = data_done.entry(file.as_str()).or_insert(0);
+                    *slot = (*slot).max(done);
+                }
+                EventKind::PfsIndependent {
+                    op: PfsOp::Write,
+                    file,
+                    bytes,
+                    ..
+                } if *bytes == seal_len => {
+                    // A seal-sized independent write following collective
+                    // data on the same file is a record commit seal.
+                    if let Some(&data) = data_done.get(file.as_str()) {
+                        report.seals_checked += 1;
+                        let seal = completion_ns(prev, e);
+                        if seal < data {
+                            report.hazards.push(Hazard {
+                                rule: Rule::SealOrdering,
+                                rank: Some(rank),
+                                detail: format!(
+                                    "seal on \"{file}\" completes at t={seal} before its \
+                                     record data completes at t={data} — a crash in \
+                                     between leaves a sealed torn record"
+                                ),
+                            });
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+fn check_message_pairing(trace: &Trace, crashed: &[usize], report: &mut Report) {
+    // (from, to, tag) -> (sends, recvs)
+    let mut channels: BTreeMap<(usize, usize, u32), (u64, u64)> = BTreeMap::new();
+    for e in &trace.events {
+        match &e.kind {
+            EventKind::MsgSend { to, tag, .. } => {
+                channels.entry((e.rank, *to, *tag)).or_insert((0, 0)).0 += 1;
+            }
+            EventKind::MsgRecv { from, tag, .. } => {
+                channels.entry((*from, e.rank, *tag)).or_insert((0, 0)).1 += 1;
+            }
+            _ => {}
+        }
+    }
+    for ((from, to, tag), (sends, recvs)) in channels {
+        if sends == recvs {
+            continue;
+        }
+        if crashed.contains(&from) || crashed.contains(&to) {
+            continue;
+        }
+        let (rank, what) = if sends > recvs {
+            (to, format!("{} send(s) never received", sends - recvs))
+        } else {
+            (from, format!("{} receive(s) never sent", recvs - sends))
+        };
+        report.hazards.push(Hazard {
+            rule: Rule::MessagePairing,
+            rank: Some(rank),
+            detail: format!(
+                "channel {from}->{to} tag {tag}: {sends} sends vs {recvs} receives \
+                 ({what}) — a rank is waiting on a peer that never spoke"
+            ),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dstreams_trace::{CollectiveRegime, IndependentRegime};
+
+    fn ev(rank: usize, vtime_ns: u64, seq: u64, kind: EventKind) -> Event {
+        Event {
+            rank,
+            vtime_ns,
+            seq,
+            kind,
+        }
+    }
+
+    fn coll(rank: usize, t: u64, seq: u64, op: CollOp, root: Option<usize>) -> Event {
+        ev(rank, t, seq, EventKind::Collective { op, root, bytes: 8 })
+    }
+
+    fn trace(nprocs: usize, events: Vec<Event>) -> Trace {
+        Trace { nprocs, events }
+    }
+
+    #[test]
+    fn matching_collectives_are_clean() {
+        let t = trace(
+            2,
+            vec![
+                coll(0, 10, 0, CollOp::Barrier, None),
+                coll(1, 10, 0, CollOp::Barrier, None),
+                coll(0, 20, 1, CollOp::Reduce, Some(0)),
+                coll(1, 20, 1, CollOp::Reduce, Some(0)),
+            ],
+        );
+        let r = analyze(&t);
+        assert!(r.clean(), "{r}");
+        assert_eq!(r.collectives_matched, 2);
+    }
+
+    #[test]
+    fn mismatched_collective_kind_is_flagged_with_groups() {
+        let t = trace(
+            3,
+            vec![
+                coll(0, 10, 0, CollOp::Barrier, None),
+                coll(1, 10, 0, CollOp::Barrier, None),
+                coll(2, 10, 0, CollOp::Barrier, None),
+                coll(0, 20, 1, CollOp::AllReduce, None),
+                coll(1, 20, 1, CollOp::Broadcast, Some(0)),
+                coll(2, 20, 1, CollOp::AllReduce, None),
+            ],
+        );
+        let r = analyze(&t);
+        assert_eq!(r.collectives_matched, 1);
+        assert_eq!(r.hazards.len(), 1);
+        let h = &r.hazards[0];
+        assert_eq!(h.rule, Rule::CollectiveMatching);
+        assert!(h.detail.contains("round 1"), "{h}");
+        assert!(h.detail.contains("all_reduce on ranks [0, 2]"), "{h}");
+        assert!(h.detail.contains("broadcast(root=0) on ranks [1]"), "{h}");
+    }
+
+    #[test]
+    fn mismatched_root_is_flagged() {
+        let t = trace(
+            2,
+            vec![
+                coll(0, 10, 0, CollOp::Broadcast, Some(0)),
+                coll(1, 10, 0, CollOp::Broadcast, Some(1)),
+            ],
+        );
+        let r = analyze(&t);
+        assert_eq!(r.hazards.len(), 1);
+        assert_eq!(r.hazards[0].rule, Rule::CollectiveMatching);
+    }
+
+    #[test]
+    fn collective_shortfall_without_crash_is_flagged() {
+        let t = trace(
+            2,
+            vec![
+                coll(0, 10, 0, CollOp::Barrier, None),
+                coll(1, 10, 0, CollOp::Barrier, None),
+                coll(0, 20, 1, CollOp::Barrier, None),
+            ],
+        );
+        let r = analyze(&t);
+        assert_eq!(r.hazards.len(), 1);
+        assert!(r.hazards[0].detail.contains("missing on ranks [1]"));
+    }
+
+    #[test]
+    fn collective_shortfall_after_crash_is_excused() {
+        let t = trace(
+            2,
+            vec![
+                coll(0, 10, 0, CollOp::Barrier, None),
+                coll(1, 10, 0, CollOp::Barrier, None),
+                ev(
+                    1,
+                    15,
+                    1,
+                    EventKind::FaultInjected {
+                        kind: FaultKind::Crash,
+                        op_index: 3,
+                        file: "s".into(),
+                        bytes_kept: 0,
+                    },
+                ),
+                coll(0, 20, 1, CollOp::Barrier, None),
+            ],
+        );
+        let r = analyze(&t);
+        assert!(r.clean(), "{r}");
+        assert_eq!(r.crashed_ranks, vec![1]);
+    }
+
+    #[test]
+    fn unmatched_async_submit_is_flagged() {
+        let t = trace(
+            1,
+            vec![ev(
+                0,
+                10,
+                0,
+                EventKind::AsyncSubmit {
+                    op_id: 7,
+                    cost_ns: 100,
+                    completion_ns: 110,
+                    queue_depth: 1,
+                },
+            )],
+        );
+        let r = analyze(&t);
+        assert_eq!(r.hazards.len(), 1);
+        assert_eq!(r.hazards[0].rule, Rule::AsyncPairing);
+        assert!(r.hazards[0].detail.contains("op 7"));
+    }
+
+    #[test]
+    fn complete_without_submit_is_flagged_even_after_crash() {
+        let t = trace(
+            1,
+            vec![
+                ev(
+                    0,
+                    5,
+                    0,
+                    EventKind::FaultInjected {
+                        kind: FaultKind::Crash,
+                        op_index: 0,
+                        file: "s".into(),
+                        bytes_kept: 0,
+                    },
+                ),
+                ev(
+                    0,
+                    10,
+                    1,
+                    EventKind::AsyncComplete {
+                        op_id: 3,
+                        cost_ns: 10,
+                        stall_ns: 0,
+                        overlap_ns: 10,
+                    },
+                ),
+            ],
+        );
+        let r = analyze(&t);
+        assert_eq!(r.hazards.len(), 1);
+        assert_eq!(r.hazards[0].rule, Rule::AsyncPairing);
+    }
+
+    #[test]
+    fn paired_async_ops_are_clean() {
+        let t = trace(
+            1,
+            vec![
+                ev(
+                    0,
+                    10,
+                    0,
+                    EventKind::AsyncSubmit {
+                        op_id: 1,
+                        cost_ns: 100,
+                        completion_ns: 110,
+                        queue_depth: 1,
+                    },
+                ),
+                ev(
+                    0,
+                    50,
+                    1,
+                    EventKind::AsyncComplete {
+                        op_id: 1,
+                        cost_ns: 100,
+                        stall_ns: 60,
+                        overlap_ns: 40,
+                    },
+                ),
+            ],
+        );
+        let r = analyze(&t);
+        assert!(r.clean(), "{r}");
+        assert_eq!(r.async_pairs, 1);
+    }
+
+    fn data_write(rank: usize, t: u64, seq: u64, file: &str, cost: u64) -> Event {
+        ev(
+            rank,
+            t,
+            seq,
+            EventKind::PfsCollective {
+                op: PfsOp::Write,
+                file: file.into(),
+                offset: 0,
+                bytes: 4096,
+                total_bytes: 4096,
+                share_bytes: 4096,
+                regime: CollectiveRegime::Streaming,
+                cost_ns: cost,
+            },
+        )
+    }
+
+    fn seal_write(rank: usize, t: u64, seq: u64, file: &str, cost: u64) -> Event {
+        ev(
+            rank,
+            t,
+            seq,
+            EventKind::PfsIndependent {
+                op: PfsOp::Write,
+                file: file.into(),
+                offset: 4096,
+                bytes: RecordSeal::LEN as u64,
+                regime: IndependentRegime::Cached,
+                cost_ns: cost,
+            },
+        )
+    }
+
+    #[test]
+    fn seal_after_data_is_clean() {
+        let t = trace(
+            1,
+            vec![
+                data_write(0, 110, 0, "s", 100), // sync: done when emitted
+                seal_write(0, 120, 1, "s", 5),   // done at 120 >= 110
+            ],
+        );
+        let r = analyze(&t);
+        assert!(r.clean(), "{r}");
+        assert_eq!(r.seals_checked, 1);
+    }
+
+    #[test]
+    fn seal_completing_before_async_data_is_flagged() {
+        let t = trace(
+            1,
+            vec![
+                ev(
+                    0,
+                    10,
+                    0,
+                    EventKind::AsyncSubmit {
+                        op_id: 1,
+                        cost_ns: 1000,
+                        completion_ns: 1010,
+                        queue_depth: 1,
+                    },
+                ),
+                data_write(0, 10, 1, "s", 1000), // async: done at 1010
+                seal_write(0, 20, 2, "s", 5),    // sync: done at 20 < 1010
+                ev(
+                    0,
+                    1010,
+                    3,
+                    EventKind::AsyncComplete {
+                        op_id: 1,
+                        cost_ns: 1000,
+                        stall_ns: 990,
+                        overlap_ns: 10,
+                    },
+                ),
+            ],
+        );
+        let r = analyze(&t);
+        assert_eq!(r.hazards.len(), 1);
+        assert_eq!(r.hazards[0].rule, Rule::SealOrdering);
+        assert!(
+            r.hazards[0].detail.contains("torn record"),
+            "{}",
+            r.hazards[0]
+        );
+    }
+
+    #[test]
+    fn unmatched_send_is_flagged() {
+        let t = trace(
+            2,
+            vec![ev(
+                0,
+                10,
+                0,
+                EventKind::MsgSend {
+                    to: 1,
+                    tag: 42,
+                    bytes: 64,
+                    collective: false,
+                },
+            )],
+        );
+        let r = analyze(&t);
+        assert_eq!(r.hazards.len(), 1);
+        assert_eq!(r.hazards[0].rule, Rule::MessagePairing);
+        assert_eq!(r.hazards[0].rank, Some(1));
+    }
+
+    #[test]
+    fn matched_messages_are_clean() {
+        let t = trace(
+            2,
+            vec![
+                ev(
+                    0,
+                    10,
+                    0,
+                    EventKind::MsgSend {
+                        to: 1,
+                        tag: 42,
+                        bytes: 64,
+                        collective: false,
+                    },
+                ),
+                ev(
+                    1,
+                    12,
+                    0,
+                    EventKind::MsgRecv {
+                        from: 0,
+                        tag: 42,
+                        bytes: 64,
+                        collective: false,
+                    },
+                ),
+            ],
+        );
+        let r = analyze(&t);
+        assert!(r.clean(), "{r}");
+    }
+}

@@ -1,0 +1,59 @@
+//! `dsverify` — static analysis over d/streams trace files.
+//!
+//! ```text
+//! dsverify TRACE.json [TRACE.json ...]
+//! ```
+//!
+//! Each argument is a `.dstrace.json` file (the portable event-log
+//! format produced by `Trace::to_events_json`, e.g. via the examples'
+//! `DSTREAMS_TRACE_OUT` environment variable). Every file is checked for
+//! collective-matching, async-pairing, seal-ordering, and
+//! message-pairing hazards.
+//!
+//! Exit status: 0 when every trace is clean, 1 when any hazard was
+//! found, 2 on usage, I/O, or parse errors.
+
+use std::process::ExitCode;
+
+use dstreams_trace::Trace;
+use dstreams_verify::analyze;
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() || paths.iter().any(|p| p == "-h" || p == "--help") {
+        eprintln!("usage: dsverify TRACE.json [TRACE.json ...]");
+        eprintln!("checks d/streams trace files for protocol hazards;");
+        eprintln!("exits 0 = clean, 1 = hazards found, 2 = bad input");
+        return ExitCode::from(2);
+    }
+    let mut hazards = 0usize;
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("dsverify: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let trace = match Trace::from_events_json(&text) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("dsverify: {path}: parse error: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let report = analyze(&trace);
+        println!("== {path}");
+        println!("{report}");
+        hazards += report.hazards.len();
+    }
+    if hazards > 0 {
+        eprintln!(
+            "dsverify: {hazards} hazard(s) across {} trace(s)",
+            paths.len()
+        );
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,720 @@
+//! Typestate d/stream wrappers: the Fig. 2 automaton in the type system.
+//!
+//! The dynamic API in `dstreams-core` enforces the paper's state machine
+//! at run time — an illegal call order surfaces as
+//! [`StreamError::StateViolation`]. The wrappers here move that check to
+//! compile time: each protocol state is a distinct type parameter, every
+//! transition consumes the stream and returns it in its successor state,
+//! and an illegal transition is simply *not a method* of the current
+//! state's type. The mapping to the paper's Figure 2:
+//!
+//! ```text
+//! output:  open ──► Empty ──insert──► Loaded ──insert──► Loaded
+//!                     │                 │  │
+//!                   close             write write_begin
+//!                     ▼                 │  └──► Flushing ──write_end──► Empty
+//!                   (done)              └─────────────────────────────► Empty
+//!
+//! input:   open ──► ReadReady ──read/unsorted_read──► Extracting ──extract*──► Extracting
+//!              ▲        │  │                              │
+//!              │      close prefetch/prefetch_unsorted  finish (all extracts done)
+//!              │        │  └──► PrefetchedSorted/Unsorted ──read──► Extracting
+//!              └────────┴──────────────────────────────────────────────┘
+//! ```
+//!
+//! What the types rule out (each is a `compile_fail` doctest below):
+//! insert after `write_begin`, `write` or `close` with the group in the
+//! wrong state, unmatched `write_begin`/`write_end`, extract before a
+//! read, a second `prefetch` while one is in flight, consuming a
+//! prefetch with the mismatched read mode, and skipping over an
+//! in-flight prefetch. Data-dependent conditions (end of stream, extract
+//! counts, layout mismatches) remain runtime `Result`s — the dynamic API
+//! stays available for code that needs data-dependent call orders (e.g.
+//! a variable number of writes in flight).
+//!
+//! The wrappers are zero-cost: each state is a zero-sized marker except
+//! [`Flushing`], which holds the in-flight [`PendingWrite`] so that the
+//! only way back to [`Empty`] is the matching `write_end`.
+//!
+//! # Illegal orders rejected at compile time
+//!
+//! Insert after `write_begin` (the group is already being flushed):
+//!
+//! ```compile_fail
+//! use dstreams_collections::Collection;
+//! use dstreams_verify::typestate::{Flushing, OStream};
+//! fn misuse(s: OStream<'_, Flushing>, c: &Collection<u32>) {
+//!     let _ = s.insert_collection(c);
+//! }
+//! ```
+//!
+//! Double `close` (the first close consumed the stream):
+//!
+//! ```compile_fail
+//! use dstreams_verify::typestate::{Empty, OStream};
+//! fn misuse(s: OStream<'_, Empty>) {
+//!     let _ = s.close();
+//!     let _ = s.close();
+//! }
+//! ```
+//!
+//! `close` with inserts pending (a loaded group must be written first):
+//!
+//! ```compile_fail
+//! use dstreams_verify::typestate::{Loaded, OStream};
+//! fn misuse(s: OStream<'_, Loaded>) {
+//!     let _ = s.close();
+//! }
+//! ```
+//!
+//! `close` with a split-collective write in flight:
+//!
+//! ```compile_fail
+//! use dstreams_verify::typestate::{Flushing, OStream};
+//! fn misuse(s: OStream<'_, Flushing>) {
+//!     let _ = s.close();
+//! }
+//! ```
+//!
+//! `write_end` without a matching `write_begin`:
+//!
+//! ```compile_fail
+//! use dstreams_verify::typestate::{Empty, OStream};
+//! fn misuse(s: OStream<'_, Empty>) {
+//!     let _ = s.write_end();
+//! }
+//! ```
+//!
+//! Double `write_end` (the flush was already retired):
+//!
+//! ```compile_fail
+//! use dstreams_verify::typestate::{Flushing, OStream};
+//! fn misuse(s: OStream<'_, Flushing>) {
+//!     let s = s.write_end();
+//!     let _ = s.write_end();
+//! }
+//! ```
+//!
+//! `write` with no pending inserts (Fig. 2 requires `insert⁺` first):
+//!
+//! ```compile_fail
+//! use dstreams_verify::typestate::{Empty, OStream};
+//! fn misuse(s: OStream<'_, Empty>) {
+//!     let _ = s.write();
+//! }
+//! ```
+//!
+//! Extract before any read buffered a record:
+//!
+//! ```compile_fail
+//! use dstreams_collections::Collection;
+//! use dstreams_verify::typestate::{IStream, ReadReady};
+//! fn misuse(s: IStream<'_, ReadReady>, c: &mut Collection<u32>) {
+//!     let _ = s.extract_collection(c);
+//! }
+//! ```
+//!
+//! A second `prefetch` while one is in flight:
+//!
+//! ```compile_fail
+//! use dstreams_verify::typestate::{IStream, PrefetchedSorted};
+//! fn misuse(s: IStream<'_, PrefetchedSorted>) {
+//!     let _ = s.prefetch();
+//! }
+//! ```
+//!
+//! Consuming a sorted prefetch with `unsorted_read`:
+//!
+//! ```compile_fail
+//! use dstreams_verify::typestate::{IStream, PrefetchedSorted};
+//! fn misuse(s: IStream<'_, PrefetchedSorted>) {
+//!     let _ = s.unsorted_read();
+//! }
+//! ```
+//!
+//! Skipping a record while a prefetch is in flight:
+//!
+//! ```compile_fail
+//! use dstreams_verify::typestate::{IStream, PrefetchedSorted};
+//! fn misuse(s: IStream<'_, PrefetchedSorted>) {
+//!     let _ = s.skip_record();
+//! }
+//! ```
+//!
+//! Reading the next record while the current one still owes extracts:
+//!
+//! ```compile_fail
+//! use dstreams_verify::typestate::{Extracting, IStream};
+//! fn misuse(s: IStream<'_, Extracting>) {
+//!     let _ = s.read();
+//! }
+//! ```
+
+use dstreams_collections::{Collection, Layout};
+use dstreams_core::{Extractor, Inserter, PendingWrite, StreamData, StreamError, StreamOptions};
+use dstreams_machine::NodeCtx;
+use dstreams_pfs::Pfs;
+
+mod sealed {
+    pub trait Sealed {}
+}
+
+/// Protocol states of a typestate [`OStream`].
+pub trait OState: sealed::Sealed {}
+
+/// Protocol states of a typestate [`IStream`].
+pub trait IState: sealed::Sealed {}
+
+/// Output state: the interleave group is empty — the stream may take
+/// inserts or close.
+pub struct Empty;
+
+/// Output state: at least one insert is pending — the stream may take
+/// more inserts or flush the group with `write`/`write_begin`.
+pub struct Loaded;
+
+/// Output state: a split-collective write is in flight. Holds the
+/// [`PendingWrite`] so the only way forward is the matching
+/// [`OStream::write_end`].
+pub struct Flushing {
+    pending: PendingWrite,
+}
+
+impl sealed::Sealed for Empty {}
+impl sealed::Sealed for Loaded {}
+impl sealed::Sealed for Flushing {}
+impl OState for Empty {}
+impl OState for Loaded {}
+impl OState for Flushing {}
+
+/// States that may accept an insert (Fig. 2 allows `insert` from the
+/// open state and after previous inserts — not during a flush).
+pub trait Insertable: OState {}
+impl Insertable for Empty {}
+impl Insertable for Loaded {}
+
+/// Input state: no record is buffered — the stream may read, prefetch,
+/// skip, or close.
+pub struct ReadReady;
+
+/// Input state: a record is buffered and owes extracts.
+pub struct Extracting;
+
+/// Input state: a record fetched by [`IStream::prefetch`] is in flight;
+/// only a sorted [`IStream::read`] (or `close`) may consume it.
+pub struct PrefetchedSorted;
+
+/// Input state: a record fetched by [`IStream::prefetch_unsorted`] is in
+/// flight; only [`IStream::unsorted_read`] (or `close`) may consume it.
+pub struct PrefetchedUnsorted;
+
+impl sealed::Sealed for ReadReady {}
+impl sealed::Sealed for Extracting {}
+impl sealed::Sealed for PrefetchedSorted {}
+impl sealed::Sealed for PrefetchedUnsorted {}
+impl IState for ReadReady {}
+impl IState for Extracting {}
+impl IState for PrefetchedSorted {}
+impl IState for PrefetchedUnsorted {}
+
+/// States from which an input stream may close: anywhere except
+/// mid-extraction (finish the record first).
+pub trait ICloseable: IState {}
+impl ICloseable for ReadReady {}
+impl ICloseable for PrefetchedSorted {}
+impl ICloseable for PrefetchedUnsorted {}
+
+/// A typestate output d/stream: [`dstreams_core::OStream`] wrapped so
+/// that Fig. 2's output automaton is enforced by the compiler.
+///
+/// A runtime error from the underlying stream (layout mismatch,
+/// interleave mismatch, PFS failure) consumes the wrapper — the protocol
+/// offers no legal continuation after a failed collective.
+pub struct OStream<'a, S: OState> {
+    inner: dstreams_core::OStream<'a>,
+    state: S,
+}
+
+impl<'a> OStream<'a, Empty> {
+    /// Open an output stream in the [`Empty`] state. Collective.
+    pub fn create(
+        ctx: &'a NodeCtx,
+        pfs: &Pfs,
+        layout: &Layout,
+        name: &str,
+    ) -> Result<Self, StreamError> {
+        Ok(OStream {
+            inner: dstreams_core::OStream::create(ctx, pfs, layout, name)?,
+            state: Empty,
+        })
+    }
+
+    /// [`OStream::create`] with explicit options.
+    pub fn create_with(
+        ctx: &'a NodeCtx,
+        pfs: &Pfs,
+        layout: &Layout,
+        name: &str,
+        opts: StreamOptions,
+    ) -> Result<Self, StreamError> {
+        Ok(OStream {
+            inner: dstreams_core::OStream::create_with(ctx, pfs, layout, name, opts)?,
+            state: Empty,
+        })
+    }
+
+    /// The d/stream `close` primitive. Only an [`Empty`] stream closes:
+    /// pending inserts or an in-flight flush are compile errors here,
+    /// so this cannot raise a state violation.
+    pub fn close(self) -> Result<(), StreamError> {
+        self.inner.close()
+    }
+}
+
+impl<'a, S: OState> OStream<'a, S> {
+    /// The stream's layout.
+    pub fn layout(&self) -> &Layout {
+        self.inner.layout()
+    }
+
+    /// Records written so far through this stream.
+    pub fn records_written(&self) -> usize {
+        self.inner.records_written()
+    }
+}
+
+impl<'a, S: Insertable> OStream<'a, S> {
+    /// Insert an entire collection (`s << g`): the stream is [`Loaded`]
+    /// afterwards.
+    pub fn insert_collection<T: StreamData>(
+        self,
+        c: &Collection<T>,
+    ) -> Result<OStream<'a, Loaded>, StreamError> {
+        let OStream { mut inner, .. } = self;
+        inner.insert_collection(c)?;
+        Ok(OStream {
+            inner,
+            state: Loaded,
+        })
+    }
+
+    /// Insert a projection of each element (`s << g.field`).
+    pub fn insert_with<T>(
+        self,
+        c: &Collection<T>,
+        f: impl Fn(&T, &mut Inserter<'_>),
+    ) -> Result<OStream<'a, Loaded>, StreamError> {
+        let OStream { mut inner, .. } = self;
+        inner.insert_with(c, f)?;
+        Ok(OStream {
+            inner,
+            state: Loaded,
+        })
+    }
+}
+
+impl<'a> OStream<'a, Loaded> {
+    /// Flush the interleave group as one write record (the d/stream
+    /// `write` primitive). Collective. [`Loaded`] guarantees at least
+    /// one pending insert, so `EmptyWrite` is unreachable.
+    pub fn write(self) -> Result<OStream<'a, Empty>, StreamError> {
+        let OStream { mut inner, .. } = self;
+        inner.write()?;
+        Ok(OStream {
+            inner,
+            state: Empty,
+        })
+    }
+
+    /// Begin a split-collective write. The returned [`Flushing`] stream
+    /// holds the pending handle: the *only* path back to [`Empty`] is
+    /// the matching [`OStream::write_end`], so unmatched begin/end pairs
+    /// cannot be expressed. Collective.
+    pub fn write_begin(self) -> Result<OStream<'a, Flushing>, StreamError> {
+        let OStream { mut inner, .. } = self;
+        let pending = inner.write_begin()?;
+        Ok(OStream {
+            inner,
+            state: Flushing { pending },
+        })
+    }
+}
+
+impl<'a> OStream<'a, Flushing> {
+    /// Retire the in-flight split-collective write. Collective cost
+    /// accounting happens here; the stream returns to [`Empty`].
+    pub fn write_end(self) -> Result<OStream<'a, Empty>, StreamError> {
+        let OStream { mut inner, state } = self;
+        inner.write_end(state.pending)?;
+        Ok(OStream {
+            inner,
+            state: Empty,
+        })
+    }
+}
+
+/// Outcome of a typestate read: either a record is buffered and the
+/// stream owes extracts, or the file is exhausted and the stream is
+/// still [`ReadReady`] (to skip/close).
+pub enum ReadOutcome<'a> {
+    /// A record was buffered; extract it.
+    Record(IStream<'a, Extracting>),
+    /// End of stream: no record remained.
+    End(IStream<'a, ReadReady>),
+}
+
+/// Outcome of a typestate prefetch: a record is in flight, or the file
+/// is exhausted (prefetch past the end is a no-op in Fig. 2's async
+/// extension, not an error).
+pub enum Fetched<'a, S: IState> {
+    /// A record is in flight; consume it with the matching read mode.
+    InFlight(IStream<'a, S>),
+    /// End of stream: nothing left to fetch.
+    End(IStream<'a, ReadReady>),
+}
+
+/// Outcome of a typestate `skip_record`.
+pub enum Skipped<'a> {
+    /// A record was skipped; the cursor moved past it.
+    Next(IStream<'a, ReadReady>),
+    /// End of stream: no record remained to skip.
+    End(IStream<'a, ReadReady>),
+}
+
+/// A typestate input d/stream: [`dstreams_core::IStream`] wrapped so
+/// that Fig. 2's input automaton is enforced by the compiler.
+pub struct IStream<'a, S: IState> {
+    inner: dstreams_core::IStream<'a>,
+    // Zero-sized state marker: carried only for the type parameter, so
+    // nothing ever reads it (unlike OStream's Flushing, which holds the
+    // in-flight handle).
+    #[allow(dead_code)]
+    state: S,
+}
+
+impl<'a> IStream<'a, ReadReady> {
+    /// Open an input stream in the [`ReadReady`] state. Collective.
+    pub fn open(
+        ctx: &'a NodeCtx,
+        pfs: &Pfs,
+        layout: &Layout,
+        name: &str,
+    ) -> Result<Self, StreamError> {
+        Ok(IStream {
+            inner: dstreams_core::IStream::open(ctx, pfs, layout, name)?,
+            state: ReadReady,
+        })
+    }
+
+    /// Whether the file has another record after the current position.
+    pub fn at_end(&self) -> bool {
+        self.inner.at_end()
+    }
+
+    /// The d/stream `read` primitive: buffer the next record with
+    /// elements routed to their owners. End of stream is an outcome,
+    /// not an error. Collective.
+    pub fn read(self) -> Result<ReadOutcome<'a>, StreamError> {
+        let IStream { mut inner, .. } = self;
+        match inner.read() {
+            Ok(()) => Ok(ReadOutcome::Record(IStream {
+                inner,
+                state: Extracting,
+            })),
+            Err(StreamError::EndOfStream) => Ok(ReadOutcome::End(IStream {
+                inner,
+                state: ReadReady,
+            })),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// The d/stream `unsortedRead` primitive (no routing). Collective.
+    pub fn unsorted_read(self) -> Result<ReadOutcome<'a>, StreamError> {
+        let IStream { mut inner, .. } = self;
+        match inner.unsorted_read() {
+            Ok(()) => Ok(ReadOutcome::Record(IStream {
+                inner,
+                state: Extracting,
+            })),
+            Err(StreamError::EndOfStream) => Ok(ReadOutcome::End(IStream {
+                inner,
+                state: ReadReady,
+            })),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Begin a read-ahead for a sorted consumer. At most one prefetch is
+    /// in flight — a second is a compile error on the returned state.
+    /// Collective.
+    pub fn prefetch(self) -> Result<Fetched<'a, PrefetchedSorted>, StreamError> {
+        let IStream { mut inner, .. } = self;
+        match inner.prefetch() {
+            Ok(true) => Ok(Fetched::InFlight(IStream {
+                inner,
+                state: PrefetchedSorted,
+            })),
+            Ok(false) => Ok(Fetched::End(IStream {
+                inner,
+                state: ReadReady,
+            })),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Begin a read-ahead for an unsorted consumer. Collective.
+    pub fn prefetch_unsorted(self) -> Result<Fetched<'a, PrefetchedUnsorted>, StreamError> {
+        let IStream { mut inner, .. } = self;
+        match inner.prefetch_unsorted() {
+            Ok(true) => Ok(Fetched::InFlight(IStream {
+                inner,
+                state: PrefetchedUnsorted,
+            })),
+            Ok(false) => Ok(Fetched::End(IStream {
+                inner,
+                state: ReadReady,
+            })),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Skip the next record without buffering its data. Collective.
+    pub fn skip_record(self) -> Result<Skipped<'a>, StreamError> {
+        let IStream { mut inner, .. } = self;
+        match inner.skip_record() {
+            Ok(()) => Ok(Skipped::Next(IStream {
+                inner,
+                state: ReadReady,
+            })),
+            Err(StreamError::EndOfStream) => Ok(Skipped::End(IStream {
+                inner,
+                state: ReadReady,
+            })),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+impl<'a> IStream<'a, PrefetchedSorted> {
+    /// Consume the in-flight sorted prefetch (the only read mode this
+    /// state offers — the mismatch is a compile error). Collective.
+    pub fn read(self) -> Result<IStream<'a, Extracting>, StreamError> {
+        let IStream { mut inner, .. } = self;
+        inner.read()?;
+        Ok(IStream {
+            inner,
+            state: Extracting,
+        })
+    }
+}
+
+impl<'a> IStream<'a, PrefetchedUnsorted> {
+    /// Consume the in-flight unsorted prefetch. Collective.
+    pub fn unsorted_read(self) -> Result<IStream<'a, Extracting>, StreamError> {
+        let IStream { mut inner, .. } = self;
+        inner.unsorted_read()?;
+        Ok(IStream {
+            inner,
+            state: Extracting,
+        })
+    }
+}
+
+impl<'a> IStream<'a, Extracting> {
+    /// Extract an entire collection (`s >> g`). Extract counts are
+    /// data-dependent (the record says how many inserts it holds), so
+    /// over-extraction stays a runtime error.
+    pub fn extract_collection<T: StreamData>(
+        mut self,
+        c: &mut Collection<T>,
+    ) -> Result<Self, StreamError> {
+        self.inner.extract_collection(c)?;
+        Ok(self)
+    }
+
+    /// Extract a projection of each element (`s >> g.field`).
+    pub fn extract_with<T>(
+        mut self,
+        c: &mut Collection<T>,
+        f: impl Fn(&mut T, &mut Extractor<'_>) -> Result<(), StreamError>,
+    ) -> Result<Self, StreamError> {
+        self.inner.extract_with(c, f)?;
+        Ok(self)
+    }
+
+    /// Extract calls still owed on the buffered record.
+    pub fn extracts_remaining(&self) -> usize {
+        self.inner.extracts_remaining()
+    }
+
+    /// Declare the record fully consumed and return to [`ReadReady`].
+    /// Errors with [`StreamError::UnconsumedData`] if extracts are still
+    /// owed (the count is data-dependent, so this check is runtime).
+    pub fn finish(self) -> Result<IStream<'a, ReadReady>, StreamError> {
+        let remaining = self.inner.extracts_remaining();
+        if remaining > 0 {
+            return Err(StreamError::UnconsumedData {
+                extracts_remaining: remaining,
+            });
+        }
+        let IStream { inner, .. } = self;
+        Ok(IStream {
+            inner,
+            state: ReadReady,
+        })
+    }
+}
+
+impl<'a, S: IState> IStream<'a, S> {
+    /// The reader layout.
+    pub fn layout(&self) -> &Layout {
+        self.inner.layout()
+    }
+}
+
+impl<'a, S: ICloseable> IStream<'a, S> {
+    /// The d/stream `close` primitive. A mid-extraction close is a
+    /// compile error ([`IStream::finish`] the record first); an
+    /// in-flight prefetch is drained, as in the dynamic API.
+    pub fn close(self) -> Result<(), StreamError> {
+        self.inner.close()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dstreams_collections::DistKind;
+    use dstreams_machine::{Machine, MachineConfig};
+
+    #[test]
+    fn full_protocol_round_trip() {
+        let pfs = Pfs::in_memory(2);
+        let p = pfs.clone();
+        Machine::run(MachineConfig::functional(2), move |ctx| {
+            let layout = Layout::dense(6, 2, DistKind::Block).unwrap();
+            let c = Collection::new(ctx, layout.clone(), |g| g as u32).unwrap();
+
+            // Output: insert, write, insert, split write, close.
+            let s = OStream::create(ctx, &p, &layout, "ts").unwrap();
+            let s = s.insert_collection(&c).unwrap();
+            let s = s.insert_collection(&c).unwrap();
+            let s = s.write().unwrap();
+            let s = s.insert_collection(&c).unwrap();
+            let s = s.write_begin().unwrap();
+            let s = s.write_end().unwrap();
+            assert_eq!(s.records_written(), 2);
+            s.close().unwrap();
+
+            // Input: read-extract-finish, prefetch-read-extract-finish,
+            // then the end-of-stream outcomes.
+            let mut g = Collection::new(ctx, layout.clone(), |_| 0u32).unwrap();
+            let r = IStream::open(ctx, &p, &layout, "ts").unwrap();
+            let r = match r.read().unwrap() {
+                ReadOutcome::Record(r) => r,
+                ReadOutcome::End(_) => panic!("record expected"),
+            };
+            let r = r.extract_collection(&mut g).unwrap();
+            assert_eq!(r.extracts_remaining(), 1);
+            let r = r.extract_collection(&mut g).unwrap();
+            let r = r.finish().unwrap();
+            for (i, v) in g.iter() {
+                assert_eq!(*v, i as u32);
+            }
+            let r = match r.prefetch().unwrap() {
+                Fetched::InFlight(r) => r,
+                Fetched::End(_) => panic!("second record expected"),
+            };
+            let r = r.read().unwrap();
+            let r = r.extract_collection(&mut g).unwrap();
+            let r = r.finish().unwrap();
+            let r = match r.prefetch().unwrap() {
+                Fetched::End(r) => r,
+                Fetched::InFlight(_) => panic!("stream exhausted"),
+            };
+            let r = match r.read().unwrap() {
+                ReadOutcome::End(r) => r,
+                ReadOutcome::Record(_) => panic!("stream exhausted"),
+            };
+            r.close().unwrap();
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn finish_with_extracts_owed_is_a_runtime_error() {
+        let pfs = Pfs::in_memory(1);
+        let p = pfs.clone();
+        Machine::run(MachineConfig::functional(1), move |ctx| {
+            let layout = Layout::dense(4, 1, DistKind::Block).unwrap();
+            let c = Collection::new(ctx, layout.clone(), |g| g as u32).unwrap();
+            let s = OStream::create(ctx, &p, &layout, "f").unwrap();
+            let s = s.insert_collection(&c).unwrap();
+            let s = s.insert_collection(&c).unwrap();
+            s.write().unwrap().close().unwrap();
+
+            let mut g = Collection::new(ctx, layout.clone(), |_| 0u32).unwrap();
+            let r = IStream::open(ctx, &p, &layout, "f").unwrap();
+            let ReadOutcome::Record(r) = r.read().unwrap() else {
+                panic!("record expected");
+            };
+            let r = r.extract_collection(&mut g).unwrap();
+            assert!(matches!(
+                r.finish(),
+                Err(StreamError::UnconsumedData {
+                    extracts_remaining: 1
+                })
+            ));
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn unsorted_prefetch_round_trip() {
+        let pfs = Pfs::in_memory(2);
+        let p = pfs.clone();
+        Machine::run(MachineConfig::functional(2), move |ctx| {
+            let layout = Layout::dense(8, 2, DistKind::Cyclic).unwrap();
+            let c = Collection::new(ctx, layout.clone(), |g| g as u64).unwrap();
+            let s = OStream::create(ctx, &p, &layout, "u").unwrap();
+            let s = s.insert_collection(&c).unwrap();
+            s.write().unwrap().close().unwrap();
+
+            let mut g = Collection::new(ctx, layout.clone(), |_| 0u64).unwrap();
+            let r = IStream::open(ctx, &p, &layout, "u").unwrap();
+            let Fetched::InFlight(r) = r.prefetch_unsorted().unwrap() else {
+                panic!("record expected");
+            };
+            let r = r.unsorted_read().unwrap();
+            let r = r.extract_collection(&mut g).unwrap();
+            r.finish().unwrap().close().unwrap();
+            // Unsorted: values intact, assignment arbitrary — check the
+            // multiset via a sum.
+            let local: u64 = g.iter().map(|(_, v)| *v).sum();
+            let total = ctx.all_reduce(local, |a, b| a + b).unwrap();
+            assert_eq!(total, (0..8).sum::<u64>());
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn close_drains_an_in_flight_prefetch() {
+        let pfs = Pfs::in_memory(1);
+        let p = pfs.clone();
+        Machine::run(MachineConfig::functional(1), move |ctx| {
+            let layout = Layout::dense(4, 1, DistKind::Block).unwrap();
+            let c = Collection::new(ctx, layout.clone(), |g| g as u32).unwrap();
+            let s = OStream::create(ctx, &p, &layout, "d").unwrap();
+            let s = s.insert_collection(&c).unwrap();
+            s.write().unwrap().close().unwrap();
+
+            let r = IStream::open(ctx, &p, &layout, "d").unwrap();
+            let Fetched::InFlight(r) = r.prefetch().unwrap() else {
+                panic!("record expected");
+            };
+            r.close().unwrap();
+        })
+        .unwrap();
+    }
+}

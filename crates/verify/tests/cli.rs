@@ -1,0 +1,116 @@
+//! End-to-end tests of the `dsverify` binary and the analyzer over
+//! negative trace fixtures and real runtime traces.
+
+use std::process::Command;
+
+use dstreams_collections::{Collection, DistKind, Layout};
+use dstreams_core::OStream;
+use dstreams_machine::{Machine, MachineConfig};
+use dstreams_pfs::Pfs;
+use dstreams_trace::{Trace, TraceSink};
+use dstreams_verify::{analyze, Rule};
+
+fn fixture(name: &str) -> String {
+    format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn load(name: &str) -> Trace {
+    let text = std::fs::read_to_string(fixture(name)).unwrap();
+    Trace::from_events_json(&text).unwrap()
+}
+
+#[test]
+fn mismatched_collective_fixture_is_flagged() {
+    let report = analyze(&load("mismatched_collective.dstrace.json"));
+    assert_eq!(report.hazards.len(), 1, "{report}");
+    let h = &report.hazards[0];
+    assert_eq!(h.rule, Rule::CollectiveMatching);
+    assert!(h.detail.contains("all_reduce on ranks [0, 2]"), "{h}");
+    assert!(h.detail.contains("broadcast(root=0) on ranks [1]"), "{h}");
+}
+
+#[test]
+fn unmatched_write_begin_fixture_is_flagged() {
+    let report = analyze(&load("unmatched_write_begin.dstrace.json"));
+    assert_eq!(report.hazards.len(), 1, "{report}");
+    let h = &report.hazards[0];
+    assert_eq!(h.rule, Rule::AsyncPairing);
+    assert_eq!(h.rank, Some(0));
+    assert!(h.detail.contains("never retired"), "{h}");
+    // Rank 1 retired its flush, so exactly one pair was counted.
+    assert_eq!(report.async_pairs, 1);
+}
+
+#[test]
+fn dsverify_flags_fixtures_and_exits_nonzero() {
+    let out = Command::new(env!("CARGO_BIN_EXE_dsverify"))
+        .arg(fixture("mismatched_collective.dstrace.json"))
+        .arg(fixture("unmatched_write_begin.dstrace.json"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("collective-matching"), "{stdout}");
+    assert!(stdout.contains("async-pairing"), "{stdout}");
+}
+
+#[test]
+fn dsverify_usage_and_bad_input_exit_2() {
+    let no_args = Command::new(env!("CARGO_BIN_EXE_dsverify"))
+        .output()
+        .unwrap();
+    assert_eq!(no_args.status.code(), Some(2));
+
+    let dir = std::env::temp_dir().join("dsverify-bad-input");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.dstrace.json");
+    std::fs::write(&bad, "{\"format\": \"other\"}").unwrap();
+    let parse_err = Command::new(env!("CARGO_BIN_EXE_dsverify"))
+        .arg(&bad)
+        .output()
+        .unwrap();
+    assert_eq!(parse_err.status.code(), Some(2), "{parse_err:?}");
+}
+
+/// A real traced run, exported through the portable JSON format and
+/// re-analyzed: the runtime's own protocol discipline must be clean.
+#[test]
+fn real_traced_run_round_trips_clean_through_dsverify() {
+    let nprocs = 2;
+    let sink = TraceSink::new(nprocs);
+    let pfs = Pfs::in_memory(nprocs);
+    let p = pfs.clone();
+    Machine::run(
+        MachineConfig::functional(nprocs).traced(sink.clone()),
+        move |ctx| {
+            let layout = Layout::dense(8, ctx.nprocs(), DistKind::Block).unwrap();
+            let c = Collection::new(ctx, layout.clone(), |g| g as u64).unwrap();
+            let mut s = OStream::create(ctx, &p, &layout, "clean").unwrap();
+            // One blocking and one split-collective record.
+            s.insert_collection(&c).unwrap();
+            s.write().unwrap();
+            s.insert_collection(&c).unwrap();
+            let pending = s.write_begin().unwrap();
+            s.write_end(pending).unwrap();
+            s.close().unwrap();
+        },
+    )
+    .unwrap();
+    let json = sink.take().to_events_json();
+
+    let dir = std::env::temp_dir().join("dsverify-clean-run");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("clean.dstrace.json");
+    std::fs::write(&path, &json).unwrap();
+
+    let reparsed = Trace::from_events_json(&json).unwrap();
+    let report = analyze(&reparsed);
+    assert!(report.clean(), "{report}");
+    assert!(report.async_pairs >= 1, "{report}");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_dsverify"))
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+}

@@ -15,11 +15,16 @@
 //! Faults replay bit-identically for a given seed, so every run of this
 //! example prints the same story. Run with:
 //! `cargo run --example fault_injection`
+//!
+//! Set `DSTREAMS_TRACE_OUT=<prefix>` to dump each act's event log as
+//! `<prefix>-act{1,2,3}.dstrace.json`, ready for `dsverify` (act 2
+//! contains the injected crash, which the analyzer's rules excuse).
 
 use dstreams::collections::{Collection, DistKind, Layout};
 use dstreams::core::CheckpointManager;
 use dstreams::machine::{FaultPlan, Machine, MachineConfig};
 use dstreams::pfs::Pfs;
+use dstreams::trace::TraceSink;
 
 const NPROCS: usize = 4;
 const N: usize = 16;
@@ -58,6 +63,26 @@ fn run_checkpoints(pfs: &Pfs, config: MachineConfig) -> Vec<(Vec<u64>, Option<St
     .unwrap()
 }
 
+/// When `DSTREAMS_TRACE_OUT` is set, attach a fresh sink to `config` and
+/// return it so [`dump_trace`] can write the act's event log.
+fn trace_act(config: MachineConfig) -> (MachineConfig, Option<TraceSink>) {
+    match std::env::var("DSTREAMS_TRACE_OUT") {
+        Ok(_) => {
+            let sink = TraceSink::new(NPROCS);
+            (config.traced(sink.clone()), Some(sink))
+        }
+        Err(_) => (config, None),
+    }
+}
+
+fn dump_trace(act: u32, sink: Option<TraceSink>) {
+    if let (Ok(prefix), Some(sink)) = (std::env::var("DSTREAMS_TRACE_OUT"), sink) {
+        let path = format!("{prefix}-act{act}.dstrace.json");
+        std::fs::write(&path, sink.take().to_events_json()).unwrap();
+        println!("  trace: {path}");
+    }
+}
+
 fn main() {
     // ---- act 1: transient faults are retried to success -----------------
     println!("act 1: transient faults (fail once, succeed on retry)");
@@ -65,7 +90,9 @@ fn main() {
     let plan = FaultPlan::seeded(SEED)
         .transient_at(0, 2)
         .transient_at(1, 1);
-    let out = run_checkpoints(&pfs, MachineConfig::functional(NPROCS).with_faults(plan));
+    let (config, sink) = trace_act(MachineConfig::functional(NPROCS).with_faults(plan));
+    let out = run_checkpoints(&pfs, config);
+    dump_trace(1, sink);
     assert!(out.iter().all(|(s, e)| s == &vec![1, 2, 3] && e.is_none()));
     println!("  all 3 generations saved despite 2 injected transients\n");
 
@@ -73,7 +100,9 @@ fn main() {
     println!("act 2: power cut — rank 0 dies at its 9th PFS operation");
     let pfs = Pfs::in_memory(NPROCS);
     let plan = FaultPlan::seeded(SEED).crash_at(0, 8);
-    let out = run_checkpoints(&pfs, MachineConfig::functional(NPROCS).with_faults(plan));
+    let (config, sink) = trace_act(MachineConfig::functional(NPROCS).with_faults(plan));
+    let out = run_checkpoints(&pfs, config);
+    dump_trace(2, sink);
     for (rank, (saved, err)) in out.iter().enumerate() {
         println!(
             "  rank {rank}: saved generations {saved:?}, then: {}",
@@ -89,7 +118,8 @@ fn main() {
     // ---- act 3: restart recovers the newest sealed generation -----------
     println!("\nact 3: restart on the surviving files");
     let p = pfs.clone();
-    let restored = Machine::run(MachineConfig::functional(NPROCS), move |ctx| {
+    let (config, sink) = trace_act(MachineConfig::functional(NPROCS));
+    let restored = Machine::run(config, move |ctx| {
         let mgr = CheckpointManager::new("ck", 2);
         let mut grid = Collection::new(ctx, layout(), |_| 0u64).unwrap();
         let generation = mgr.restore_latest(ctx, &p, &layout(), &mut grid).unwrap();
@@ -99,6 +129,7 @@ fn main() {
         generation
     })
     .unwrap()[0];
+    dump_trace(3, sink);
     println!("  restored generation {restored}, element-exact");
     assert!(restored >= newest_durable);
     println!("\nfault_injection: crash consistency verified (seed {SEED:#x})");

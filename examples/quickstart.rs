@@ -7,8 +7,12 @@
 //! `examples/checkpoint_restart.rs` for reading on a different machine.
 //!
 //! Run with: `cargo run --example quickstart`
+//!
+//! Set `DSTREAMS_TRACE_OUT=<prefix>` to dump the run's event log as
+//! `<prefix>.dstrace.json`, ready for `dsverify`.
 
 use dstreams::prelude::*;
+use dstreams::trace::TraceSink;
 use dstreams_core::impl_stream_data;
 
 /// The paper's element class: a variable-sized list of particles.
@@ -43,7 +47,14 @@ fn main() {
     let pfs = Pfs::new(NPROCS, DiskModel::paragon_pfs(), Backend::Memory);
     let p = pfs.clone();
 
-    Machine::run(MachineConfig::paragon(NPROCS), move |ctx| {
+    let trace_prefix = std::env::var("DSTREAMS_TRACE_OUT").ok();
+    let sink = trace_prefix.as_ref().map(|_| TraceSink::new(NPROCS));
+    let mut config = MachineConfig::paragon(NPROCS);
+    if let Some(s) = &sink {
+        config = config.traced(s.clone());
+    }
+
+    Machine::run(config, move |ctx| {
         // Processors P; Distribution d(12, &P, CYCLIC); Align a(12, ...);
         let layout = Layout::dense(N, NPROCS, DistKind::Cyclic).unwrap();
 
@@ -106,4 +117,10 @@ fn main() {
         }
     })
     .unwrap();
+
+    if let (Some(prefix), Some(sink)) = (trace_prefix, sink) {
+        let path = format!("{prefix}.dstrace.json");
+        std::fs::write(&path, sink.take().to_events_json()).unwrap();
+        println!("  trace: {path}");
+    }
 }

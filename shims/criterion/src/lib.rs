@@ -4,6 +4,8 @@
 //! mean time per iteration — enough to compile and smoke-run `cargo bench`
 //! without the real dependency.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 /// Benchmark harness entry point.

@@ -8,6 +8,8 @@
 //! disconnected channel as ready (its receive completes immediately with
 //! an error).
 
+#![forbid(unsafe_code)]
+
 pub mod channel {
     use std::collections::VecDeque;
     use std::sync::{Arc, Condvar, Mutex};

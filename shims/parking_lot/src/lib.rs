@@ -7,6 +7,8 @@
 //! guards directly (no poisoning — a poisoned std lock is unwrapped into
 //! its inner value, matching parking_lot's panic-transparent behavior).
 
+#![forbid(unsafe_code)]
+
 use std::sync::{
     Mutex as StdMutex, MutexGuard, PoisonError, RwLock as StdRwLock, RwLockReadGuard,
     RwLockWriteGuard,

@@ -9,6 +9,8 @@
 //!   reproduces on every run without a persistence file;
 //! * `ProptestConfig` only carries `cases`.
 
+#![forbid(unsafe_code)]
+
 pub mod strategy {
     use crate::test_runner::TestRng;
 

@@ -7,6 +7,8 @@
 //! seeds explicitly and only depends on determinism, not on specific
 //! values.
 
+#![forbid(unsafe_code)]
+
 /// Low-level source of random 64-bit words.
 pub trait RngCore {
     /// Next 64 random bits.

@@ -9,10 +9,14 @@
 //! * [`pipeline`] — asynchronous split-collective I/O (write-behind,
 //!   read-ahead, deterministic compute/I-O overlap);
 //! * [`scf`] — the SCF benchmark that regenerates the paper's tables;
-//! * [`trace`] — structured event tracing (Chrome trace export, op counts).
+//! * [`trace`] — structured event tracing (Chrome trace export, op counts);
+//! * [`verify`] — protocol verification: typestate wrappers, Fig. 2 model
+//!   checking, and the `dsverify` trace analyzer.
 //!
 //! See the repository README for a quickstart and `DESIGN.md` for the
 //! system inventory.
+
+#![forbid(unsafe_code)]
 
 pub use dstreams_collections as collections;
 pub use dstreams_core as core;
@@ -21,6 +25,7 @@ pub use dstreams_pfs as pfs;
 pub use dstreams_pipeline as pipeline;
 pub use dstreams_scf as scf;
 pub use dstreams_trace as trace;
+pub use dstreams_verify as verify;
 
 /// Convenience prelude with the types most programs need.
 pub mod prelude {

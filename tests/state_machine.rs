@@ -6,6 +6,7 @@ use dstreams::collections::{Collection, DistKind, Layout};
 use dstreams::core::{IStream, OStream, StreamError};
 use dstreams::machine::{Machine, MachineConfig};
 use dstreams::pfs::{OpenMode, Pfs};
+use proptest::prelude::*;
 
 fn layout(n: usize, np: usize) -> Layout {
     Layout::dense(n, np, DistKind::Block).unwrap()
@@ -420,4 +421,179 @@ fn extract_with_a_prefetch_in_flight_is_a_state_violation() {
         r.close().unwrap();
     })
     .unwrap();
+}
+
+#[test]
+fn prefetch_unsorted_violations_report_their_own_op_name() {
+    // The unsorted prefetch must not masquerade as `prefetch` in its
+    // diagnostics: a doubled prefetch names `prefetch_unsorted`, and a
+    // sorted read over an unsorted prefetch names `read`.
+    let pfs = Pfs::in_memory(2);
+    write_simple(&pfs, 2, 6, "f");
+    let p = pfs.clone();
+    Machine::run(MachineConfig::functional(2), move |ctx| {
+        let l = layout(6, 2);
+        let mut g = Collection::new(ctx, l.clone(), |_| 0u32).unwrap();
+        let mut r = IStream::open(ctx, &p, &l, "f").unwrap();
+        assert!(r.prefetch_unsorted().unwrap());
+        assert!(matches!(
+            r.prefetch_unsorted(),
+            Err(StreamError::StateViolation {
+                op: "prefetch_unsorted",
+                ..
+            })
+        ));
+        // Each violation names the primitive that was *attempted*.
+        assert!(matches!(
+            r.prefetch(),
+            Err(StreamError::StateViolation { op: "prefetch", .. })
+        ));
+        assert!(matches!(
+            r.read(),
+            Err(StreamError::StateViolation { op: "read", .. })
+        ));
+        r.unsorted_read().unwrap();
+        r.extract_collection(&mut g).unwrap();
+        r.close().unwrap();
+    })
+    .unwrap();
+}
+
+// ---- exhaustive model-checking corpus (crates/verify) ----
+//
+// Every op sequence up to the stated depth is driven through both the
+// Figure 2 reference automaton and the real stream; any accept/reject
+// disagreement, wrong rejection class, or panic fails the check. The
+// ostream alphabet includes the split-collective write_begin/write_end,
+// so the asynchronous API is covered at the same depth as the
+// synchronous one.
+
+#[test]
+fn ostream_matches_the_reference_automaton_to_depth_6() {
+    let report = dstreams::verify::check_ostream_parity(1, 6, false).unwrap();
+    assert!(report.sequences > 5_000, "{report:?}");
+    assert!(report.rejections > 0, "{report:?}");
+}
+
+#[test]
+fn ostream_parity_holds_on_multiple_ranks() {
+    dstreams::verify::check_ostream_parity(2, 4, false).unwrap();
+    dstreams::verify::check_ostream_parity(3, 3, false).unwrap();
+}
+
+#[test]
+fn ostream_parity_holds_under_smp_single_buffer() {
+    dstreams::verify::check_ostream_parity(2, 3, true).unwrap();
+}
+
+#[test]
+fn istream_matches_the_reference_automaton_to_depth_6() {
+    let report = dstreams::verify::check_istream_parity(1, 6).unwrap();
+    assert!(report.sequences > 50_000, "{report:?}");
+    assert!(report.rejections > 0, "{report:?}");
+}
+
+#[test]
+fn istream_parity_holds_on_multiple_ranks() {
+    dstreams::verify::check_istream_parity(2, 4).unwrap();
+}
+
+// ---- randomized misuse: arbitrary op sequences must never panic ----
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        ..ProptestConfig::default()
+    })]
+
+    /// Any sequence of ostream primitives — legal or not — produces
+    /// `Ok` or a typed `StreamError`, never a panic or a hang, and the
+    /// stream stays usable after every rejection.
+    #[test]
+    fn random_ostream_op_sequences_never_panic(
+        np in 1usize..4,
+        ops in proptest::collection::vec(0u8..4, 0..24),
+    ) {
+        let pfs = Pfs::in_memory(np);
+        let p = pfs.clone();
+        Machine::run(MachineConfig::functional(np), move |ctx| {
+            let l = layout(2 * np, np);
+            let g = Collection::new(ctx, l.clone(), |i| i as u32).unwrap();
+            let mut s = OStream::create(ctx, &p, &l, "rand").unwrap();
+            let mut pending = std::collections::VecDeque::new();
+            for op in &ops {
+                match op {
+                    0 => {
+                        let _ = s.insert_collection(&g);
+                    }
+                    1 => {
+                        let _ = s.write();
+                    }
+                    2 => {
+                        if let Ok(h) = s.write_begin() {
+                            pending.push_back(h);
+                        }
+                    }
+                    _ => {
+                        if let Some(h) = pending.pop_front() {
+                            let _ = s.write_end(h);
+                        }
+                    }
+                }
+            }
+            while let Some(h) = pending.pop_front() {
+                let _ = s.write_end(h);
+            }
+            let _ = s.close();
+        })
+        .unwrap();
+    }
+
+    /// The istream twin: arbitrary read/extract/prefetch/skip orders over
+    /// a real multi-record file never panic, whatever they return.
+    #[test]
+    fn random_istream_op_sequences_never_panic(
+        np in 1usize..4,
+        ops in proptest::collection::vec(0u8..6, 0..24),
+    ) {
+        let pfs = Pfs::in_memory(np);
+        let p = pfs.clone();
+        Machine::run(MachineConfig::functional(np), move |ctx| {
+            let l = layout(2 * np, np);
+            let g = Collection::new(ctx, l.clone(), |i| i as u32).unwrap();
+            let mut s = OStream::create(ctx, &p, &l, "rand").unwrap();
+            for _ in 0..2 {
+                s.insert_collection(&g).unwrap();
+                s.write().unwrap();
+            }
+            s.close().unwrap();
+
+            let mut h = Collection::new(ctx, l.clone(), |_| 0u32).unwrap();
+            let mut r = IStream::open(ctx, &p, &l, "rand").unwrap();
+            for op in &ops {
+                match op {
+                    0 => {
+                        let _ = r.read();
+                    }
+                    1 => {
+                        let _ = r.unsorted_read();
+                    }
+                    2 => {
+                        let _ = r.extract_collection(&mut h);
+                    }
+                    3 => {
+                        let _ = r.prefetch();
+                    }
+                    4 => {
+                        let _ = r.prefetch_unsorted();
+                    }
+                    _ => {
+                        let _ = r.skip_record();
+                    }
+                }
+            }
+            let _ = r.close();
+        })
+        .unwrap();
+    }
 }
