@@ -581,6 +581,13 @@ impl<'a> OStream<'a> {
                 let data_span = crate::phase::span(self.ctx, StreamPhase::Data);
                 let (_, digests) = self.fh.write_ordered_summed(self.ctx, &block)?;
                 drop(data_span);
+                // Under collective buffering a peer's power-cut completes
+                // the collective on the survivors (the aggregation layer's
+                // closing crash-flag all-reduce); the record must then stay
+                // unsealed so recovery truncates it away.
+                if self.fh.take_peer_crashed() {
+                    return Ok(());
+                }
                 if self.ctx.is_root() {
                     // Record digest in file order: metadata, then rank 0's
                     // data (hashed locally — its collective block includes
@@ -607,6 +614,11 @@ impl<'a> OStream<'a> {
                 let data_span = crate::phase::span(self.ctx, StreamPhase::Data);
                 let (_, data_digests) = self.fh.write_ordered_summed(self.ctx, data)?;
                 drop(data_span);
+                // Sticky across both collectives of this record; see the
+                // gathered arm.
+                if self.fh.take_peer_crashed() {
+                    return Ok(());
+                }
                 if self.ctx.is_root() {
                     let mut digest = ChunkSum::of(&meta[prefix_len..]);
                     for d in &meta_digests[1..] {

@@ -124,6 +124,38 @@ impl CpuModel {
     }
 }
 
+/// Two-phase collective buffering configuration.
+///
+/// When attached to a [`MachineConfig`], the PFS collective operations
+/// funnel data through a deterministic subset of ranks — the I/O
+/// *aggregators* — instead of every rank issuing its own file-system
+/// operation. Non-aggregators ship their blocks to the aggregator that
+/// owns the destination file domain over the ordinary message layer;
+/// aggregators coalesce the pieces into large stripe-aligned operations.
+/// File contents and record layout are bit-identical to the direct path;
+/// only the physical I/O schedule (and thus the modeled cost) changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CollectiveConfig {
+    /// Number of ranks acting as I/O aggregators. Clamped to
+    /// `1..=nprocs` at use; `aggregators == nprocs` degenerates to one
+    /// file domain per rank (still stripe-aligned).
+    pub aggregators: usize,
+    /// Align file-domain boundaries down to multiples of the disk
+    /// model's stripe size, using data sieving (read-modify-write) for
+    /// the unaligned head of the written span.
+    pub stripe_align: bool,
+}
+
+impl CollectiveConfig {
+    /// The deterministic set of aggregator ranks for a machine of
+    /// `nprocs` ranks: `aggregators` ranks spread evenly, always
+    /// including rank 0.
+    pub fn aggregator_ranks(&self, nprocs: usize) -> Vec<usize> {
+        let n = self.aggregators.clamp(1, nprocs.max(1));
+        (0..n).map(|k| k * nprocs / n).collect()
+    }
+}
+
 /// Full configuration of a simulated machine run.
 #[derive(Debug, Clone)]
 pub struct MachineConfig {
@@ -148,6 +180,10 @@ pub struct MachineConfig {
     /// layer consults it per logical file operation; when `None` no fault
     /// state is even allocated and every check is a single branch.
     pub faults: Option<crate::fault::FaultPlan>,
+    /// Optional two-phase collective buffering. When set, PFS collective
+    /// operations route through aggregator ranks; when `None` every rank
+    /// performs its own file-system operation (the direct path).
+    pub collective: Option<CollectiveConfig>,
 }
 
 impl MachineConfig {
@@ -162,6 +198,7 @@ impl MachineConfig {
             seed: 0x5eed,
             trace: None,
             faults: None,
+            collective: None,
         }
     }
 
@@ -175,6 +212,7 @@ impl MachineConfig {
             seed: 0x5eed,
             trace: None,
             faults: None,
+            collective: None,
         }
     }
 
@@ -188,6 +226,7 @@ impl MachineConfig {
             seed: 0x5eed,
             trace: None,
             faults: None,
+            collective: None,
         }
     }
 
@@ -201,6 +240,7 @@ impl MachineConfig {
             seed: 0x5eed,
             trace: None,
             faults: None,
+            collective: None,
         }
     }
 
@@ -214,6 +254,12 @@ impl MachineConfig {
     /// Attach a deterministic fault schedule (builder style).
     pub fn with_faults(mut self, plan: crate::fault::FaultPlan) -> Self {
         self.faults = Some(plan);
+        self
+    }
+
+    /// Route PFS collectives through aggregator ranks (builder style).
+    pub fn with_collective(mut self, cc: CollectiveConfig) -> Self {
+        self.collective = Some(cc);
         self
     }
 
@@ -261,6 +307,24 @@ mod tests {
         assert!(
             CpuModel::sgi_challenge().memcpy_ns_per_byte < CpuModel::paragon().memcpy_ns_per_byte
         );
+    }
+
+    #[test]
+    fn aggregator_ranks_are_deterministic_and_clamped() {
+        let cc = CollectiveConfig {
+            aggregators: 4,
+            stripe_align: true,
+        };
+        assert_eq!(cc.aggregator_ranks(16), vec![0, 4, 8, 12]);
+        // Uneven split still spreads and keeps rank 0.
+        assert_eq!(cc.aggregator_ranks(6), vec![0, 1, 3, 4]);
+        // More aggregators than ranks clamps to one per rank.
+        assert_eq!(cc.aggregator_ranks(2), vec![0, 1]);
+        let one = CollectiveConfig {
+            aggregators: 0,
+            stripe_align: false,
+        };
+        assert_eq!(one.aggregator_ranks(8), vec![0]);
     }
 
     #[test]

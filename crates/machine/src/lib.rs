@@ -47,11 +47,11 @@ pub mod shared;
 pub mod time;
 pub mod wire;
 
-pub use config::{CpuModel, MachineConfig, MemoryModel, NetModel};
+pub use config::{CollectiveConfig, CpuModel, MachineConfig, MemoryModel, NetModel};
 pub use error::MachineError;
 pub use fault::{FaultDecision, FaultPlan, FaultSpec};
 pub use machine::Machine;
-pub use message::Tag;
+pub use message::{Tag, AGG_SHUTTLE_TAG};
 pub use node::{AsyncOp, CollectiveScope, NodeCtx};
 pub use shared::{SharedBuffer, SharedRegion};
 pub use time::{VTime, VirtualClock};

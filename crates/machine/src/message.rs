@@ -21,6 +21,13 @@ pub type Tag = u32;
 /// Tag namespace reserved by the built-in collectives.
 pub const COLLECTIVE_TAG_BASE: Tag = 0x8000_0000;
 
+/// Tag used by the collective-buffering aggregation layer to shuttle
+/// record payloads between ranks and their file-domain aggregators. Lives
+/// at the top of the collective namespace so shuttle traffic is counted
+/// as collective messages and can never collide with sequential
+/// collective tags (which would need ~2^31 collective rounds to wrap).
+pub const AGG_SHUTTLE_TAG: Tag = COLLECTIVE_TAG_BASE | 0x7fff_fffe;
+
 /// A message in flight: payload plus the virtual time at which it reaches
 /// the receiver (already including latency and per-byte transfer time).
 #[derive(Debug)]

@@ -1,0 +1,836 @@
+//! Two-phase collective buffering (aggregator I/O).
+//!
+//! When a [`dstreams_machine::CollectiveConfig`] is present on the
+//! machine, the ordered collectives in [`crate::FileHandle`] route
+//! through this module instead of issuing one physical transfer per
+//! rank. A deterministic subset of ranks — the *aggregators* — each
+//! owns a contiguous *file domain* of the region the collective
+//! touches. Non-aggregators ship their blocks (or receive their spans)
+//! over the ordinary message layer in a *shuttle* phase, and each
+//! aggregator then issues a single coalesced, optionally
+//! stripe-aligned, `write_at`/`read_at` against storage. Unaligned
+//! region heads are handled by *data sieving*: the aggregator reads the
+//! stripe head back and rewrites the whole span as one aligned
+//! operation.
+//!
+//! The result is byte-identical to the direct path — same file image,
+//! same per-rank offsets, same returned digests — but the physical
+//! operation count drops from `nprocs` to the number of aggregators,
+//! which is where the latency term of the collective cost model lives.
+//! Shuttle traffic is visible in traces as `AggShuttle` events (paired
+//! send/receive halves; `dsverify` checks their conservation).
+//!
+//! Fault composition mirrors the direct path:
+//!
+//! * **Transient** faults are retired at the head of the operation.
+//! * **Torn** writes ship the persisted prefix zero-padded to full
+//!   length — byte-identical to the direct path, whose unwritten suffix
+//!   of freshly appended space reads back as zeros.
+//! * **Crash** (power-cut): the blocking *read* dies on entry exactly
+//!   like the direct path. Writes (and begin-variant reads) keep the
+//!   crashed rank participating through the coordination so peers and
+//!   aggregators are not stranded mid-shuttle; the closing crash-flag
+//!   all-reduce then tells every survivor the record must not be sealed
+//!   (surfaced through [`FileHandle::take_peer_crashed`] or
+//!   [`crate::IoHandle::peer_crashed`]), crashed aggregators are
+//!   excluded from domain ownership, and the rank is marked dead at the
+//!   end. A surviving aggregator re-covers the dead rank's file domain
+//!   on the next collective, because domains are recomputed from the
+//!   live set every operation.
+
+use std::borrow::Cow;
+
+use dstreams_machine::wire::{frame_blocks, unframe_blocks};
+use dstreams_machine::{
+    CollectiveConfig, FaultDecision, MachineError, NodeCtx, VTime, AGG_SHUTTLE_TAG,
+};
+use dstreams_trace::{CollectiveRegime, EventKind, FaultKind, PfsOp};
+
+use crate::checksum::ChunkSum;
+use crate::error::PfsError;
+use crate::file::{decode_u64, FileHandle};
+use crate::nonblocking::IoHandle;
+
+/// What an aggregated ordered read hands back: this rank's bytes, their
+/// per-chunk digests, and the deferred-cost handle in begin mode.
+type ReadOutcome = (Vec<u8>, Vec<ChunkSum>, Option<IoHandle>);
+
+/// The configured aggregator ranks minus the ranks whose transfer this
+/// operation power-cuts. Every rank computes the same set from the
+/// exchanged crash flags, so domain ownership never diverges.
+fn live_aggregators(cc: CollectiveConfig, nprocs: usize, crashed: &[bool]) -> Vec<usize> {
+    cc.aggregator_ranks(nprocs)
+        .into_iter()
+        .filter(|&r| !crashed[r])
+        .collect()
+}
+
+/// Monotone domain boundaries: `ndomains + 1` offsets partitioning
+/// `[lo, hi)` into near-equal contiguous file domains, with interior
+/// boundaries snapped *down* to stripe multiples when `align` is set.
+/// Snapping can collapse a boundary onto its predecessor (an empty
+/// domain) but never reorders them.
+fn domain_bounds(lo: u64, hi: u64, ndomains: usize, stripe: u64, align: bool) -> Vec<u64> {
+    let total = hi - lo;
+    let mut bounds = Vec::with_capacity(ndomains + 1);
+    bounds.push(lo);
+    for k in 1..ndomains as u64 {
+        let mut cut = lo + (k as u128 * total as u128 / ndomains as u128) as u64;
+        if align && stripe > 1 {
+            cut = cut / stripe * stripe;
+        }
+        let prev = *bounds.last().expect("bounds start non-empty");
+        bounds.push(cut.clamp(prev, hi));
+    }
+    if ndomains > 0 {
+        bounds.push(hi);
+    }
+    bounds
+}
+
+/// Non-empty intersection of two half-open intervals.
+fn isect(a0: u64, a1: u64, b0: u64, b1: u64) -> Option<(u64, u64)> {
+    let s = a0.max(b0);
+    let e = a1.min(b1);
+    (s < e).then_some((s, e))
+}
+
+/// Physical span `(start, len)` an aggregator writes for the logical
+/// domain `[d0, d1)`. With alignment on, an unaligned domain start is
+/// extended down to its stripe boundary (the sieve head that gets read
+/// back and rewritten). Only the *first* domain of an append can start
+/// unaligned — interior boundaries are stripe-snapped — and its start
+/// is the old end of file, so the sieve head always exists on disk.
+fn physical_write_span(d0: u64, d1: u64, stripe: u64, align: bool) -> (u64, u64) {
+    if d1 <= d0 {
+        return (d0, 0);
+    }
+    let p0 = if align { d0 / stripe * stripe } else { d0 };
+    (p0, d1 - p0)
+}
+
+/// Physical span `(start, len)` an aggregator reads for the logical
+/// domain `[d0, d1)`: stripe-extended outward when alignment is on,
+/// then clipped to the current file length (bytes past EOF read as
+/// zeros in the logical domain).
+fn physical_read_span(d0: u64, d1: u64, stripe: u64, align: bool, file_len: u64) -> (u64, u64) {
+    if d1 <= d0 {
+        return (d0.min(file_len), 0);
+    }
+    let (mut p0, mut p1) = (d0, d1);
+    if align {
+        p0 = d0 / stripe * stripe;
+        p1 = d1.div_ceil(stripe) * stripe;
+    }
+    p1 = p1.min(file_len);
+    p0 = p0.min(p1);
+    (p0, p1 - p0)
+}
+
+impl FileHandle {
+    /// Aggregated [`FileHandle::write_ordered_summed`].
+    pub(crate) fn agg_write_ordered_summed(
+        &self,
+        ctx: &NodeCtx,
+        cc: CollectiveConfig,
+        block: &[u8],
+    ) -> Result<(u64, Vec<ChunkSum>), PfsError> {
+        let (off, digests, _handle) = self.agg_write_ordered(ctx, cc, block, false)?;
+        Ok((off, digests))
+    }
+
+    /// Aggregated [`FileHandle::write_ordered_begin_summed`].
+    pub(crate) fn agg_write_ordered_begin_summed(
+        &self,
+        ctx: &NodeCtx,
+        cc: CollectiveConfig,
+        block: &[u8],
+    ) -> Result<(u64, Vec<ChunkSum>, IoHandle), PfsError> {
+        let (off, digests, handle) = self.agg_write_ordered(ctx, cc, block, true)?;
+        Ok((off, digests, handle.expect("begin mode returns a handle")))
+    }
+
+    /// Aggregated [`FileHandle::read_ordered_summed`].
+    pub(crate) fn agg_read_ordered_summed(
+        &self,
+        ctx: &NodeCtx,
+        cc: CollectiveConfig,
+        offset: u64,
+        len: usize,
+    ) -> Result<(Vec<u8>, Vec<ChunkSum>), PfsError> {
+        let (buf, digests, _handle) = self.agg_read_ordered(ctx, cc, offset, len, false)?;
+        Ok((buf, digests))
+    }
+
+    /// Aggregated [`FileHandle::read_ordered_begin_summed`].
+    pub(crate) fn agg_read_ordered_begin_summed(
+        &self,
+        ctx: &NodeCtx,
+        cc: CollectiveConfig,
+        offset: u64,
+        len: usize,
+    ) -> Result<(Vec<u8>, Vec<ChunkSum>, IoHandle), PfsError> {
+        let (buf, digests, handle) = self.agg_read_ordered(ctx, cc, offset, len, true)?;
+        Ok((buf, digests, handle.expect("begin mode returns a handle")))
+    }
+
+    fn agg_write_ordered(
+        &self,
+        ctx: &NodeCtx,
+        cc: CollectiveConfig,
+        block: &[u8],
+        begin: bool,
+    ) -> Result<(u64, Vec<ChunkSum>, Option<IoHandle>), PfsError> {
+        let _scope = ctx.collective_scope();
+        let op = ctx.next_pfs_op();
+        let fate = self.collective_fate(ctx, op, Some(block.len()))?;
+        ctx.barrier()?;
+
+        // Fault disclosure and the effective bytes this rank ships. A
+        // torn or power-cut transfer ships its persisted prefix
+        // zero-padded to full length — byte-identical to the direct
+        // path, whose unwritten suffix of freshly appended space reads
+        // back as zeros. The crashed rank keeps participating so the
+        // aggregators it intersects are not stranded mid-shuttle.
+        let my_crash = matches!(fate, FaultDecision::Crash { .. });
+        let eff: Cow<'_, [u8]> = match fate {
+            FaultDecision::Proceed | FaultDecision::Transient => Cow::Borrowed(block),
+            FaultDecision::Torn { keep } => {
+                let keep = keep.min(block.len());
+                self.emit_fault(ctx, FaultKind::Torn, op, keep as u64);
+                let mut v = block[..keep].to_vec();
+                v.resize(block.len(), 0);
+                Cow::Owned(v)
+            }
+            FaultDecision::Crash { keep } => {
+                let k = keep.unwrap_or(0).min(block.len());
+                self.emit_fault(ctx, FaultKind::Crash, op, k as u64);
+                let mut v = block[..k].to_vec();
+                v.resize(block.len(), 0);
+                Cow::Owned(v)
+            }
+        };
+
+        // Size/digest/crash-flag exchange; rank 0 supplies the append
+        // base. The digest is of the full intended block even for a
+        // torn transfer (torn writes are silent; seal verification
+        // catches them later) — identical to the direct path.
+        let my_sum = ChunkSum::of(block);
+        let mut contrib = Vec::with_capacity(25);
+        contrib.extend_from_slice(&(block.len() as u64).to_le_bytes());
+        contrib.extend_from_slice(&my_sum.hash().to_le_bytes());
+        contrib.extend_from_slice(&my_sum.rpow().to_le_bytes());
+        contrib.push(my_crash as u8);
+        let gathered = ctx.gather(0, contrib)?;
+        let plan = if ctx.is_root() {
+            let frames = gathered.expect("root gathers");
+            let base = self.file.len();
+            let mut blocks = Vec::with_capacity(frames.len() + 1);
+            blocks.push(base.to_le_bytes().to_vec());
+            for frame in &frames {
+                if frame.len() != 25 {
+                    return Err(PfsError::CollectiveMismatch(
+                        "aggregated write: malformed size/digest frame".into(),
+                    ));
+                }
+                blocks.push(frame.clone());
+            }
+            frame_blocks(&blocks)
+        } else {
+            Vec::new()
+        };
+        let plan = ctx.broadcast(0, plan)?;
+        let parts = unframe_blocks(&plan).ok_or_else(|| {
+            PfsError::CollectiveMismatch("aggregated write: malformed plan".into())
+        })?;
+        let nprocs = ctx.nprocs();
+        if parts.len() != nprocs + 1 {
+            return Err(PfsError::CollectiveMismatch(
+                "aggregated write: plan size mismatch".into(),
+            ));
+        }
+        let base = decode_u64(&parts[0], "aggregated write plan base")?;
+        let mut sizes = Vec::with_capacity(nprocs);
+        let mut digests = Vec::with_capacity(nprocs);
+        let mut crashed = Vec::with_capacity(nprocs);
+        for frame in &parts[1..] {
+            if frame.len() != 25 {
+                return Err(PfsError::CollectiveMismatch(
+                    "aggregated write: malformed plan frame".into(),
+                ));
+            }
+            sizes.push(decode_u64(&frame[..8], "aggregated write plan size")?);
+            digests.push(ChunkSum::from_parts(
+                decode_u64(&frame[8..16], "aggregated write plan digest hash")?,
+                decode_u64(&frame[16..24], "aggregated write plan digest rpow")?,
+            ));
+            crashed.push(frame[24] != 0);
+        }
+        if sizes[ctx.rank()] != block.len() as u64 {
+            return Err(PfsError::CollectiveMismatch(
+                "aggregated write: my block size desynchronized".into(),
+            ));
+        }
+        let mut offsets = Vec::with_capacity(nprocs);
+        let mut acc = base;
+        for &s in &sizes {
+            offsets.push(acc);
+            acc += s;
+        }
+        let total = acc - base;
+        let me = ctx.rank();
+        let my_off = offsets[me];
+
+        // File-domain assignment over the appended region, from the
+        // live aggregator set — recomputed every operation, so a
+        // surviving aggregator re-covers a dead peer's domain.
+        let live = live_aggregators(cc, nprocs, &crashed);
+        let stripe = self.pfs.model.stripe_bytes.max(1);
+        let bounds = domain_bounds(base, base + total, live.len(), stripe, cc.stripe_align);
+
+        // Shuttle phase, sends first: every rank slices its block
+        // across the domains in ascending order. Sends never block, so
+        // draining all sends before any receive is deadlock-free.
+        for (k, &owner) in live.iter().enumerate() {
+            if owner == me {
+                continue;
+            }
+            if let Some((s, e)) = isect(
+                my_off,
+                my_off + block.len() as u64,
+                bounds[k],
+                bounds[k + 1],
+            ) {
+                ctx.send(
+                    owner,
+                    AGG_SHUTTLE_TAG,
+                    &eff[(s - my_off) as usize..(e - my_off) as usize],
+                )?;
+                ctx.emit_with(|| EventKind::AggShuttle {
+                    outgoing: true,
+                    peer: owner,
+                    bytes: e - s,
+                    file: self.file.name().to_string(),
+                });
+            }
+        }
+
+        // Aggregator side: receive the intersecting slices (ascending
+        // source rank — each (source, owner) pair carries exactly one
+        // slice), assemble the domain, and issue one coalesced write,
+        // sieving the unaligned head of the appended region.
+        let my_domain = live.iter().position(|&r| r == me);
+        if let Some(k) = my_domain {
+            let (d0, d1) = (bounds[k], bounds[k + 1]);
+            let mut dom = vec![0u8; (d1 - d0) as usize];
+            for (r, (&r_off, &r_size)) in offsets.iter().zip(&sizes).enumerate() {
+                if let Some((s, e)) = isect(r_off, r_off + r_size, d0, d1) {
+                    let dst = &mut dom[(s - d0) as usize..(e - d0) as usize];
+                    if r == me {
+                        dst.copy_from_slice(&eff[(s - my_off) as usize..(e - my_off) as usize]);
+                    } else {
+                        let piece = ctx.recv(r, AGG_SHUTTLE_TAG)?;
+                        if piece.len() as u64 != e - s {
+                            return Err(PfsError::CollectiveMismatch(
+                                "aggregated write: shuttle slice size mismatch".into(),
+                            ));
+                        }
+                        ctx.emit_with(|| EventKind::AggShuttle {
+                            outgoing: false,
+                            peer: r,
+                            bytes: e - s,
+                            file: self.file.name().to_string(),
+                        });
+                        dst.copy_from_slice(&piece);
+                    }
+                }
+            }
+            if d1 > d0 {
+                let (p0, _plen) = physical_write_span(d0, d1, stripe, cc.stripe_align);
+                if p0 < d0 {
+                    // Data sieving: the appended region starts
+                    // mid-stripe; read the stripe head back and rewrite
+                    // the whole span as one aligned operation.
+                    let mut head = vec![0u8; (d0 - p0) as usize];
+                    self.file
+                        .storage
+                        .lock()
+                        .read_at(p0, &mut head, self.file.name())?;
+                    head.extend_from_slice(&dom);
+                    dom = head;
+                }
+                self.file
+                    .storage
+                    .lock()
+                    .write_at(p0, &dom, self.file.name())?;
+            }
+        }
+
+        // Cost and trace accounting: one parallel operation across the
+        // live aggregators' physical spans. Every rank computes the
+        // same spans from the plan, so clocks stay in lockstep.
+        let mut spans = Vec::with_capacity(live.len());
+        let (mut phys_total, mut phys_max) = (0u64, 0u64);
+        for k in 0..live.len() {
+            let (p0, plen) = physical_write_span(bounds[k], bounds[k + 1], stripe, cc.stripe_align);
+            phys_total += plen;
+            phys_max = phys_max.max(plen);
+            spans.push((p0, plen));
+        }
+        let nlive = live.len();
+        let cost = if nlive == 0 {
+            VTime::ZERO
+        } else {
+            self.pfs.model.collective_cost(phys_total, phys_max, nlive)
+        };
+        if let Some(k) = my_domain {
+            let (p0, plen) = spans[k];
+            ctx.emit_with(|| EventKind::PfsCollective {
+                op: PfsOp::Write,
+                file: self.file.name().to_string(),
+                offset: p0,
+                bytes: plen,
+                total_bytes: total,
+                share_bytes: total / nprocs as u64,
+                stripes: self.pfs.model.stripes_touched(p0, plen),
+                regime: if self.pfs.model.collective_knee(phys_max) {
+                    CollectiveRegime::CacheKnee
+                } else {
+                    CollectiveRegime::Streaming
+                },
+                cost_ns: cost.as_nanos(),
+            });
+            self.account_collective(ctx, total);
+        }
+        let async_op = if begin {
+            Some(ctx.async_submit(if my_crash { VTime::ZERO } else { cost }))
+        } else {
+            if !my_crash {
+                ctx.advance(cost);
+            }
+            None
+        };
+
+        // Closing crash-flag all-reduce: replaces the direct path's
+        // bare barrier and tells every survivor whether the record this
+        // collective wrote may be sealed.
+        let any_crash = ctx.all_reduce(my_crash as u64, |a, b| a | b)?;
+        if begin {
+            let deferred = if my_crash {
+                ctx.fault_mark_dead();
+                Some(MachineError::RankCrashed { rank: me }.into())
+            } else {
+                None
+            };
+            let handle = IoHandle::new(
+                async_op.expect("begin mode submitted"),
+                deferred,
+                any_crash != 0,
+            );
+            Ok((my_off, digests, Some(handle)))
+        } else {
+            if any_crash != 0 && !my_crash {
+                self.agg_peer_crash.set(true);
+            }
+            if my_crash {
+                ctx.fault_mark_dead();
+                return Err(MachineError::RankCrashed { rank: me }.into());
+            }
+            Ok((my_off, digests, None))
+        }
+    }
+
+    fn agg_read_ordered(
+        &self,
+        ctx: &NodeCtx,
+        cc: CollectiveConfig,
+        offset: u64,
+        len: usize,
+        begin: bool,
+    ) -> Result<ReadOutcome, PfsError> {
+        let _scope = ctx.collective_scope();
+        let op = ctx.next_pfs_op();
+        let fate = self.collective_fate(ctx, op, None)?;
+        let my_crash = matches!(fate, FaultDecision::Crash { .. });
+        if my_crash {
+            self.emit_fault(ctx, FaultKind::Crash, op, 0);
+            if !begin {
+                // Power cut on entry: identical to the direct blocking
+                // read — peers block in the opening barrier and observe
+                // PeerGone when the thread unwinds.
+                ctx.fault_mark_dead();
+                return Err(MachineError::RankCrashed { rank: ctx.rank() }.into());
+            }
+        }
+        ctx.barrier()?;
+
+        // Span/crash-flag exchange.
+        let nprocs = ctx.nprocs();
+        let me = ctx.rank();
+        let mut contrib = Vec::with_capacity(17);
+        contrib.extend_from_slice(&offset.to_le_bytes());
+        contrib.extend_from_slice(&(len as u64).to_le_bytes());
+        contrib.push(my_crash as u8);
+        let frames = ctx.all_gather(contrib)?;
+        let mut offs = Vec::with_capacity(nprocs);
+        let mut lens = Vec::with_capacity(nprocs);
+        let mut crashed = Vec::with_capacity(nprocs);
+        for frame in &frames {
+            if frame.len() != 17 {
+                return Err(PfsError::CollectiveMismatch(
+                    "aggregated read: malformed span frame".into(),
+                ));
+            }
+            offs.push(decode_u64(&frame[..8], "aggregated read span offset")?);
+            lens.push(decode_u64(&frame[8..16], "aggregated read span len")?);
+            crashed.push(frame[16] != 0);
+        }
+        let file_len = self.file.len();
+        // A span past EOF fails like the direct read: the rank keeps
+        // participating (empty digest) and surfaces the error after the
+        // exchanges, so peers are never stranded.
+        let my_fail = len > 0 && offset + len as u64 > file_len;
+
+        // Domains partition the union of the requested spans.
+        let (mut lo, mut hi) = (u64::MAX, 0u64);
+        for r in 0..nprocs {
+            if lens[r] > 0 {
+                lo = lo.min(offs[r]);
+                hi = hi.max(offs[r] + lens[r]);
+            }
+        }
+        if hi <= lo {
+            lo = 0;
+            hi = 0;
+        }
+        let total: u64 = lens.iter().sum();
+        let live = live_aggregators(cc, nprocs, &crashed);
+        let stripe = self.pfs.model.stripe_bytes.max(1);
+        let bounds = domain_bounds(lo, hi, live.len(), stripe, cc.stripe_align);
+        let my_domain = live.iter().position(|&r| r == me);
+        let mut spans = Vec::with_capacity(live.len());
+        for k in 0..live.len() {
+            spans.push(physical_read_span(
+                bounds[k],
+                bounds[k + 1],
+                stripe,
+                cc.stripe_align,
+                file_len,
+            ));
+        }
+
+        // Aggregator side: one coalesced (stripe-extended, EOF-clipped)
+        // physical read per domain, then ship each requester the slice
+        // of its span this domain owns (ascending requester rank).
+        // Bytes past EOF stay zero in the logical domain.
+        let mut dom = Vec::new();
+        if let Some(k) = my_domain {
+            let (d0, d1) = (bounds[k], bounds[k + 1]);
+            dom = vec![0u8; (d1 - d0) as usize];
+            let (p0, plen) = spans[k];
+            if plen > 0 {
+                let mut phys = vec![0u8; plen as usize];
+                self.file
+                    .storage
+                    .lock()
+                    .read_at(p0, &mut phys, self.file.name())?;
+                if let Some((s, e)) = isect(p0, p0 + plen, d0, d1) {
+                    dom[(s - d0) as usize..(e - d0) as usize]
+                        .copy_from_slice(&phys[(s - p0) as usize..(e - p0) as usize]);
+                }
+            }
+            for r in 0..nprocs {
+                if r == me {
+                    continue;
+                }
+                if let Some((s, e)) = isect(offs[r], offs[r] + lens[r], d0, d1) {
+                    ctx.send(
+                        r,
+                        AGG_SHUTTLE_TAG,
+                        &dom[(s - d0) as usize..(e - d0) as usize],
+                    )?;
+                    ctx.emit_with(|| EventKind::AggShuttle {
+                        outgoing: true,
+                        peer: r,
+                        bytes: e - s,
+                        file: self.file.name().to_string(),
+                    });
+                }
+            }
+        }
+
+        // Requester side: assemble the span from the domain owners in
+        // ascending domain order. Each (owner, requester) pair carries
+        // exactly one slice, so per-channel FIFO delivery suffices.
+        let mut buf = vec![0u8; len];
+        for (k, &owner) in live.iter().enumerate() {
+            if let Some((s, e)) = isect(offset, offset + len as u64, bounds[k], bounds[k + 1]) {
+                let dst = &mut buf[(s - offset) as usize..(e - offset) as usize];
+                if owner == me {
+                    let d0 = bounds[k];
+                    dst.copy_from_slice(&dom[(s - d0) as usize..(e - d0) as usize]);
+                } else {
+                    let piece = ctx.recv(owner, AGG_SHUTTLE_TAG)?;
+                    if piece.len() as u64 != e - s {
+                        return Err(PfsError::CollectiveMismatch(
+                            "aggregated read: shuttle slice size mismatch".into(),
+                        ));
+                    }
+                    ctx.emit_with(|| EventKind::AggShuttle {
+                        outgoing: false,
+                        peer: owner,
+                        bytes: e - s,
+                        file: self.file.name().to_string(),
+                    });
+                    dst.copy_from_slice(&piece);
+                }
+            }
+        }
+
+        // Digest exchange: every rank's digest of the bytes it received
+        // — the same values the direct path's size exchange carries, so
+        // seal verification folds identically.
+        let my_sum = if my_fail {
+            ChunkSum::EMPTY
+        } else {
+            ChunkSum::of(&buf)
+        };
+        let mut dig = Vec::with_capacity(16);
+        dig.extend_from_slice(&my_sum.hash().to_le_bytes());
+        dig.extend_from_slice(&my_sum.rpow().to_le_bytes());
+        let dig_frames = ctx.all_gather(dig)?;
+        let mut digests = Vec::with_capacity(nprocs);
+        for frame in &dig_frames {
+            if frame.len() != 16 {
+                return Err(PfsError::CollectiveMismatch(
+                    "aggregated read: malformed digest frame".into(),
+                ));
+            }
+            digests.push(ChunkSum::from_parts(
+                decode_u64(&frame[..8], "aggregated read digest hash")?,
+                decode_u64(&frame[8..16], "aggregated read digest rpow")?,
+            ));
+        }
+        if my_fail {
+            return Err(PfsError::OutOfBounds {
+                file: self.file.name().to_string(),
+                offset,
+                len,
+                size: file_len,
+            });
+        }
+
+        let nlive = live.len();
+        let (mut phys_total, mut phys_max) = (0u64, 0u64);
+        for &(_, plen) in &spans {
+            phys_total += plen;
+            phys_max = phys_max.max(plen);
+        }
+        let cost = if nlive == 0 {
+            VTime::ZERO
+        } else {
+            self.pfs.model.collective_cost(phys_total, phys_max, nlive)
+        };
+        if let Some(k) = my_domain {
+            let (p0, plen) = spans[k];
+            ctx.emit_with(|| EventKind::PfsCollective {
+                op: PfsOp::Read,
+                file: self.file.name().to_string(),
+                offset: p0,
+                bytes: plen,
+                total_bytes: total,
+                share_bytes: total / nprocs as u64,
+                stripes: self.pfs.model.stripes_touched(p0, plen),
+                regime: if self.pfs.model.collective_knee(phys_max) {
+                    CollectiveRegime::CacheKnee
+                } else {
+                    CollectiveRegime::Streaming
+                },
+                cost_ns: cost.as_nanos(),
+            });
+            self.account_collective(ctx, total);
+        }
+        if begin {
+            let async_op = ctx.async_submit(if my_crash { VTime::ZERO } else { cost });
+            let deferred = if my_crash {
+                ctx.fault_mark_dead();
+                Some(MachineError::RankCrashed { rank: me }.into())
+            } else {
+                None
+            };
+            Ok((buf, digests, Some(IoHandle::new(async_op, deferred, false))))
+        } else {
+            ctx.advance(cost);
+            Ok((buf, digests, None))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pfs::{OpenMode, Pfs};
+    use crate::DiskModel;
+    use dstreams_machine::{Machine, MachineConfig};
+
+    #[test]
+    fn domain_bounds_partition_and_stay_monotone() {
+        let b = domain_bounds(100, 1100, 4, 1, false);
+        assert_eq!(b, vec![100, 350, 600, 850, 1100]);
+        // Aligned: interior cuts snap down to stripe multiples.
+        let b = domain_bounds(100, 1100, 4, 256, true);
+        assert_eq!(b.first(), Some(&100));
+        assert_eq!(b.last(), Some(&1100));
+        for w in b.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        for &cut in &b[1..b.len() - 1] {
+            assert!(cut % 256 == 0 || cut == 1100);
+        }
+        // Degenerate: tiny region, many domains — empty tails allowed.
+        let b = domain_bounds(0, 3, 8, 64, true);
+        assert_eq!(b.len(), 9);
+        assert_eq!(*b.last().unwrap(), 3);
+    }
+
+    #[test]
+    fn physical_spans_extend_and_clip() {
+        // Write: unaligned start extends down (sieve head).
+        assert_eq!(physical_write_span(100, 300, 64, true), (64, 236));
+        assert_eq!(physical_write_span(128, 300, 64, true), (128, 172));
+        assert_eq!(physical_write_span(100, 300, 64, false), (100, 200));
+        assert_eq!(physical_write_span(100, 100, 64, true), (100, 0));
+        // Read: extends both ways, clipped to EOF.
+        assert_eq!(physical_read_span(100, 300, 64, true, 1000), (64, 256));
+        assert_eq!(physical_read_span(100, 300, 64, true, 200), (64, 136));
+        assert_eq!(physical_read_span(500, 600, 64, true, 200), (200, 0));
+        assert_eq!(physical_read_span(100, 100, 64, true, 1000), (100, 0));
+    }
+
+    #[test]
+    fn live_aggregators_skip_crashed_ranks() {
+        let cc = CollectiveConfig {
+            aggregators: 4,
+            stripe_align: true,
+        };
+        let mut crashed = vec![false; 16];
+        assert_eq!(live_aggregators(cc, 16, &crashed), vec![0, 4, 8, 12]);
+        crashed[4] = true;
+        assert_eq!(live_aggregators(cc, 16, &crashed), vec![0, 8, 12]);
+    }
+
+    /// The aggregated path must produce the same file image and the
+    /// same per-rank offsets/digests as the direct path.
+    #[test]
+    fn aggregated_write_matches_direct_byte_for_byte() {
+        let run = |collective: Option<CollectiveConfig>| {
+            let pfs = Pfs::new(6, DiskModel::paragon_pfs(), crate::Backend::Memory);
+            let p = pfs.clone();
+            let mut cfg = MachineConfig::functional(6);
+            cfg.collective = collective;
+            let per_rank = Machine::run(cfg, move |ctx| {
+                let fh = p.open(ctx.is_root(), "f", OpenMode::Create).unwrap();
+                let mut outs = Vec::new();
+                for round in 0..3u8 {
+                    // Uneven blocks, including an empty one.
+                    let n = if ctx.rank() == 2 && round == 1 {
+                        0
+                    } else {
+                        37 * (ctx.rank() + 1) + round as usize
+                    };
+                    let block: Vec<u8> = (0..n)
+                        .map(|i| (i as u8) ^ (ctx.rank() as u8) ^ round)
+                        .collect();
+                    let (off, digests) = fh.write_ordered_summed(ctx, &block).unwrap();
+                    assert!(!fh.take_peer_crashed());
+                    outs.push((off, digests));
+                }
+                outs
+            })
+            .unwrap();
+            let size = pfs.file_size("f").unwrap() as usize;
+            let p2 = pfs.clone();
+            let bytes = Machine::run(MachineConfig::functional(1), move |ctx| {
+                let fh = p2.open(false, "f", OpenMode::Read).unwrap();
+                let mut buf = vec![0u8; size];
+                fh.read_at(ctx, 0, &mut buf).unwrap();
+                buf
+            })
+            .unwrap()[0]
+                .clone();
+            (per_rank, bytes)
+        };
+        let direct = run(None);
+        for aggs in [1, 2, 3, 6] {
+            let aggregated = run(Some(CollectiveConfig {
+                aggregators: aggs,
+                stripe_align: true,
+            }));
+            assert_eq!(direct, aggregated, "aggregators = {aggs}");
+        }
+    }
+
+    /// Aggregated reads return the same bytes and digests as direct.
+    #[test]
+    fn aggregated_read_matches_direct() {
+        let run = |collective: Option<CollectiveConfig>| {
+            let pfs = Pfs::new(4, DiskModel::paragon_pfs(), crate::Backend::Memory);
+            let p = pfs.clone();
+            let mut cfg = MachineConfig::functional(4);
+            cfg.collective = collective;
+            Machine::run(cfg, move |ctx| {
+                let fh = p.open(ctx.is_root(), "f", OpenMode::Create).unwrap();
+                let block: Vec<u8> = (0..200u32)
+                    .map(|i| (i as u8).wrapping_mul(ctx.rank() as u8 + 3))
+                    .collect();
+                fh.write_ordered(ctx, &block).unwrap();
+                // Read back a shifted, uneven decomposition.
+                let len = if ctx.rank() == 3 { 0 } else { 150 + ctx.rank() };
+                let off = 31 * ctx.rank() as u64;
+                fh.read_ordered_summed(ctx, off, len).unwrap()
+            })
+            .unwrap()
+        };
+        let direct = run(None);
+        for aggs in [1, 3, 4] {
+            let aggregated = run(Some(CollectiveConfig {
+                aggregators: aggs,
+                stripe_align: true,
+            }));
+            assert_eq!(direct, aggregated, "aggregators = {aggs}");
+        }
+    }
+
+    /// Aggregation cuts the physical operation count to the aggregator
+    /// count and coalesces stripes.
+    #[test]
+    fn aggregation_reduces_physical_ops() {
+        let run = |collective: Option<CollectiveConfig>| {
+            let pfs = Pfs::new(8, DiskModel::paragon_pfs(), crate::Backend::Memory);
+            let p = pfs.clone();
+            let sink = dstreams_trace::TraceSink::new(8);
+            let mut cfg = MachineConfig::paragon(8).traced(sink.clone());
+            cfg.collective = collective;
+            let times = Machine::run(cfg, move |ctx| {
+                let fh = p.open(ctx.is_root(), "f", OpenMode::Create).unwrap();
+                fh.write_ordered(ctx, &[7u8; 128]).unwrap();
+                ctx.now()
+            })
+            .unwrap();
+            let counts = sink.take().op_counts();
+            (counts.pfs_collective_ops, counts.stripes_touched, times[0])
+        };
+        let (direct_ops, direct_stripes, direct_t) = run(None);
+        let (agg_ops, agg_stripes, agg_t) = run(Some(CollectiveConfig {
+            aggregators: 2,
+            stripe_align: true,
+        }));
+        assert_eq!(direct_ops, 8);
+        assert_eq!(agg_ops, 2);
+        assert!(agg_stripes <= direct_stripes);
+        assert!(
+            agg_t < direct_t,
+            "aggregated {agg_t:?} vs direct {direct_t:?}"
+        );
+    }
+}

@@ -65,6 +65,10 @@ pub struct FileHandle {
     pub(crate) pos: Cell<u64>,
     /// Per-handle record counter for M_RECORD-style access.
     pub(crate) record_seq: Cell<u64>,
+    /// Sticky flag set by an aggregated blocking collective write when a
+    /// peer's transfer was cut by a power-cut; the stream layer polls it
+    /// (via [`FileHandle::take_peer_crashed`]) to skip the commit seal.
+    pub(crate) agg_peer_crash: Cell<bool>,
     /// Marker making the handle `!Send`/`!Sync`.
     pub(crate) _not_send: std::marker::PhantomData<*const ()>,
 }
@@ -93,6 +97,18 @@ impl FileHandle {
     /// Whether the file is empty.
     pub fn is_empty(&self) -> bool {
         self.file.is_empty()
+    }
+
+    /// Consume the peer-crash flag left behind by an aggregated blocking
+    /// collective write. True when some rank's transfer in the last such
+    /// write was cut by a power-cut: the survivors completed the
+    /// collective (the aggregation layer's closing crash-flag all-reduce
+    /// replaces the bare barrier), but the record covering it must not be
+    /// sealed — recovery truncates to the sealed prefix. Always false on
+    /// the direct (non-aggregated) path, where a collective-write
+    /// power-cut strands the peers with `PeerGone` instead.
+    pub fn take_peer_crashed(&self) -> bool {
+        self.agg_peer_crash.replace(false)
     }
 
     // ---- independent operations (the "unbuffered" path) -------------------
@@ -433,6 +449,9 @@ impl FileHandle {
         ctx: &NodeCtx,
         block: &[u8],
     ) -> Result<(u64, Vec<ChunkSum>), PfsError> {
+        if let Some(cc) = ctx.config().collective {
+            return self.agg_write_ordered_summed(ctx, cc, block);
+        }
         // One logical PFS operation: its internal coordination (barriers,
         // size gather, plan broadcast) is plumbing, not API collectives.
         let _scope = ctx.collective_scope();
@@ -536,6 +555,7 @@ impl FileHandle {
             bytes: block.len() as u64,
             total_bytes: total,
             share_bytes: total / ctx.nprocs() as u64,
+            stripes: self.pfs.model.stripes_touched(my_off, block.len() as u64),
             regime: if self.pfs.model.collective_knee(max_block) {
                 CollectiveRegime::CacheKnee
             } else {
@@ -573,6 +593,9 @@ impl FileHandle {
         offset: u64,
         len: usize,
     ) -> Result<(Vec<u8>, Vec<ChunkSum>), PfsError> {
+        if let Some(cc) = ctx.config().collective {
+            return self.agg_read_ordered_summed(ctx, cc, offset, len);
+        }
         let _scope = ctx.collective_scope();
         let op = ctx.next_pfs_op();
         if let FaultDecision::Crash { .. } = self.collective_fate(ctx, op, None)? {
@@ -638,6 +661,7 @@ impl FileHandle {
             bytes: len as u64,
             total_bytes: total,
             share_bytes: total / ctx.nprocs() as u64,
+            stripes: self.pfs.model.stripes_touched(offset, len as u64),
             regime: if self.pfs.model.collective_knee(max_block) {
                 CollectiveRegime::CacheKnee
             } else {

@@ -78,6 +78,11 @@ pub struct DiskModel {
     pub node_cache_bytes: u64,
     /// Slow (post-knee) collective rate, ns per byte.
     pub coll_slow_ns_per_byte: f64,
+    /// Physical stripe unit of the parallel file system: the granularity
+    /// at which data is dealt across I/O nodes. Collective operations
+    /// report how many distinct stripes they touched, and the aggregation
+    /// layer aligns file-domain boundaries to this unit.
+    pub stripe_bytes: u64,
 }
 
 impl DiskModel {
@@ -99,6 +104,7 @@ impl DiskModel {
             coll_bw_gamma: 0.0,
             node_cache_bytes: u64::MAX,
             coll_slow_ns_per_byte: 0.0,
+            stripe_bytes: 64 * 1024,
         }
     }
 
@@ -134,6 +140,8 @@ impl DiskModel {
             // node-level buffering and collapses throughput ~10x.
             node_cache_bytes: 2 * 1024 * 1024,
             coll_slow_ns_per_byte: 1e9 / (0.45 * 1024.0 * 1024.0),
+            // PFS dealt files across I/O nodes in 64 KB stripe units.
+            stripe_bytes: 64 * 1024,
         }
     }
 
@@ -160,6 +168,8 @@ impl DiskModel {
             coll_bw_gamma: 0.74,
             node_cache_bytes: u64::MAX,
             coll_slow_ns_per_byte: 1e9 / (11.0 * 1024.0 * 1024.0),
+            // Local XFS-class FS: extent-sized allocation units.
+            stripe_bytes: 64 * 1024,
         }
     }
 
@@ -182,7 +192,19 @@ impl DiskModel {
             coll_bw_gamma: 0.1,
             node_cache_bytes: 4 * 1024 * 1024,
             coll_slow_ns_per_byte: 1e9 / (0.8 * 1024.0 * 1024.0),
+            stripe_bytes: 32 * 1024,
         }
+    }
+
+    /// Number of distinct stripes a transfer of `bytes` starting at
+    /// `offset` touches (0 for an empty transfer).
+    pub fn stripes_touched(&self, offset: u64, bytes: u64) -> u64 {
+        if bytes == 0 {
+            return 0;
+        }
+        let stripe = self.stripe_bytes.max(1);
+        let last = offset + bytes - 1;
+        last / stripe - offset / stripe + 1
     }
 
     /// Regime of an independent op, given the file's current size on this
@@ -311,6 +333,19 @@ mod tests {
             slow.as_nanos() > 3 * fast.as_nanos(),
             "Table 1 vs 2 anomaly: {slow} vs {fast}"
         );
+    }
+
+    #[test]
+    fn stripe_counting_spans_boundaries() {
+        let m = DiskModel::paragon_pfs();
+        let s = m.stripe_bytes;
+        assert_eq!(m.stripes_touched(0, 0), 0);
+        assert_eq!(m.stripes_touched(0, 1), 1);
+        assert_eq!(m.stripes_touched(0, s), 1);
+        assert_eq!(m.stripes_touched(0, s + 1), 2);
+        // A 2-byte write straddling a boundary touches both stripes.
+        assert_eq!(m.stripes_touched(s - 1, 2), 2);
+        assert_eq!(m.stripes_touched(3 * s, 2 * s), 2);
     }
 
     #[test]

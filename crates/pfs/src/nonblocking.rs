@@ -63,6 +63,15 @@ pub struct IoHandle {
 }
 
 impl IoHandle {
+    /// Assemble a handle (used by the aggregation layer's begin-variants).
+    pub(crate) fn new(op: AsyncOp, deferred: Option<PfsError>, peer_crashed: bool) -> Self {
+        IoHandle {
+            op,
+            deferred,
+            peer_crashed,
+        }
+    }
+
     /// Virtual time at which the deferred service cost completes.
     pub fn completion(&self) -> VTime {
         self.op.completion()
@@ -250,6 +259,9 @@ impl FileHandle {
         ctx: &NodeCtx,
         block: &[u8],
     ) -> Result<(u64, Vec<ChunkSum>, IoHandle), PfsError> {
+        if let Some(cc) = ctx.config().collective {
+            return self.agg_write_ordered_begin_summed(ctx, cc, block);
+        }
         let _scope = ctx.collective_scope();
         let op = ctx.next_pfs_op();
         let fate = self.collective_fate(ctx, op, Some(block.len()))?;
@@ -362,6 +374,7 @@ impl FileHandle {
             bytes: block.len() as u64,
             total_bytes: total,
             share_bytes: total / ctx.nprocs() as u64,
+            stripes: self.pfs.model.stripes_touched(my_off, block.len() as u64),
             regime: if self.pfs.model.collective_knee(max_block) {
                 CollectiveRegime::CacheKnee
             } else {
@@ -403,6 +416,9 @@ impl FileHandle {
         offset: u64,
         len: usize,
     ) -> Result<(Vec<u8>, Vec<ChunkSum>, IoHandle), PfsError> {
+        if let Some(cc) = ctx.config().collective {
+            return self.agg_read_ordered_begin_summed(ctx, cc, offset, len);
+        }
         let _scope = ctx.collective_scope();
         let op = ctx.next_pfs_op();
         let fate = self.collective_fate(ctx, op, None)?;
@@ -463,6 +479,7 @@ impl FileHandle {
             bytes: len as u64,
             total_bytes: total,
             share_bytes: total / ctx.nprocs() as u64,
+            stripes: self.pfs.model.stripes_touched(offset, len as u64),
             regime: if self.pfs.model.collective_knee(max_block) {
                 CollectiveRegime::CacheKnee
             } else {

@@ -356,6 +356,63 @@ mod tests {
     }
 
     #[test]
+    fn pipelining_composes_with_collective_buffering() {
+        use dstreams_machine::CollectiveConfig;
+        // Write-behind flushes routed through aggregator ranks must still
+        // produce the synchronous direct-path file, byte for byte, and a
+        // read-ahead reader under the same aggregated configuration must
+        // reproduce every element.
+        let write = |collective: Option<CollectiveConfig>, pipelined: bool| {
+            let pfs = Pfs::in_memory(4);
+            let p = pfs.clone();
+            let mut cfg = MachineConfig::functional(4);
+            if let Some(cc) = collective {
+                cfg = cfg.with_collective(cc);
+            }
+            Machine::run(cfg, move |ctx| {
+                let layout = Layout::dense(12, 4, DistKind::Cyclic).unwrap();
+                let c = Collection::new(ctx, layout.clone(), |g| vec![g as u8; g % 5]).unwrap();
+                if pipelined {
+                    let mut s = OStream::create(ctx, &p, &layout, "f").unwrap();
+                    for _ in 0..5 {
+                        s.insert_collection(&c).unwrap();
+                        s.write().unwrap();
+                    }
+                    s.close().unwrap();
+
+                    let mut g = Collection::new(ctx, layout.clone(), |_| Vec::<u8>::new()).unwrap();
+                    let mut r = IStream::open(ctx, &p, &layout, "f").unwrap();
+                    r.start(true).unwrap();
+                    for _ in 0..5 {
+                        r.read().unwrap();
+                        r.extract_collection(&mut g).unwrap();
+                        for (gid, v) in g.iter() {
+                            assert_eq!(v, &vec![gid as u8; gid % 5]);
+                        }
+                    }
+                    r.close().unwrap();
+                } else {
+                    let mut s = dstreams_core::OStream::create(ctx, &p, &layout, "f").unwrap();
+                    for _ in 0..5 {
+                        s.insert_collection(&c).unwrap();
+                        s.write().unwrap();
+                    }
+                    s.close().unwrap();
+                }
+            })
+            .unwrap();
+            read_file_bytes(&pfs, "f")
+        };
+        let cc = CollectiveConfig {
+            aggregators: 2,
+            stripe_align: true,
+        };
+        let base = write(None, false);
+        assert_eq!(base, write(Some(cc), true), "aggregated write-behind");
+        assert_eq!(base, write(Some(cc), false), "aggregated synchronous");
+    }
+
+    #[test]
     fn write_behind_hides_flush_cost_behind_compute() {
         use dstreams_machine::VTime;
         let run = |pipelined: bool| {

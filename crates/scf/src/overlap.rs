@@ -19,7 +19,7 @@
 //! compute per iteration ≈ flush cost, the pipelined loop approaches 2×.
 
 use dstreams_collections::{Collection, DistKind, Layout};
-use dstreams_machine::{Machine, VTime};
+use dstreams_machine::{CollectiveConfig, Machine, VTime};
 use dstreams_pfs::{Backend, Pfs};
 use dstreams_pipeline::PipelineOptions;
 use dstreams_trace::{Trace, TraceSink};
@@ -50,6 +50,10 @@ pub struct OverlapSpec {
     pub pipelined: bool,
     /// Write-behind pool depth (ignored when not pipelined).
     pub depth: usize,
+    /// Route the checkpoint collectives through this many aggregator
+    /// ranks (stripe-aligned collective buffering); `None` keeps the
+    /// direct one-operation-per-rank path.
+    pub aggregators: Option<usize>,
 }
 
 impl OverlapSpec {
@@ -63,6 +67,7 @@ impl OverlapSpec {
             compute: VTime::ZERO,
             pipelined: false,
             depth: 2,
+            aggregators: None,
         }
     }
 }
@@ -87,6 +92,12 @@ fn run_checkpoint_inner(spec: OverlapSpec, trace: Option<TraceSink>) -> Result<f
     let pfs = Pfs::new(spec.nprocs, spec.platform.disk(), Backend::Memory);
     let mut config = spec.platform.machine(spec.nprocs);
     config.trace = trace;
+    if let Some(aggregators) = spec.aggregators {
+        config = config.with_collective(CollectiveConfig {
+            aggregators,
+            stripe_align: true,
+        });
+    }
     let times = Machine::run(config, |ctx| -> Result<VTime, ScfError> {
         let cfg = ScfConfig::paper(spec.n_segments);
         let layout = Layout::dense(cfg.n_segments, spec.nprocs, DistKind::Block)?;
@@ -210,6 +221,24 @@ mod tests {
             speedup >= 1.5,
             "speedup {speedup} (sync {sync}, pipe {pipe})"
         );
+    }
+
+    #[test]
+    fn aggregated_checkpoints_validate_with_fewer_pfs_ops() {
+        let mut spec = OverlapSpec::paragon(4, 32, 3);
+        spec.compute = VTime::from_millis(5);
+        let (_, direct) = run_checkpoint_traced(spec).unwrap();
+        spec.aggregators = Some(1);
+        let (_, agg) = run_checkpoint_traced(spec).unwrap();
+        let d = direct.op_counts();
+        let a = agg.op_counts();
+        assert!(
+            a.pfs_collective_ops < d.pfs_collective_ops,
+            "aggregation must shrink the physical op count ({} vs {})",
+            a.pfs_collective_ops,
+            d.pfs_collective_ops
+        );
+        assert!(a.agg_shuttles > 0, "no shuttle traffic was recorded");
     }
 
     #[test]

@@ -105,6 +105,7 @@ fn event_to_value(e: &Event) -> Value {
             bytes,
             total_bytes,
             share_bytes,
+            stripes,
             regime,
             cost_ns,
         } => complete(
@@ -118,7 +119,27 @@ fn event_to_value(e: &Event) -> Value {
                 ("bytes".into(), Value::Int(*bytes as i64)),
                 ("total_bytes".into(), Value::Int(*total_bytes as i64)),
                 ("share_bytes".into(), Value::Int(*share_bytes as i64)),
+                ("stripes".into(), Value::Int(*stripes as i64)),
                 ("regime".into(), Value::Str(regime.name().into())),
+            ],
+        ),
+        EventKind::AggShuttle {
+            outgoing,
+            peer,
+            bytes,
+            file,
+        } => instant(
+            if *outgoing {
+                "agg.shuttle_out"
+            } else {
+                "agg.shuttle_in"
+            },
+            "agg",
+            e,
+            vec![
+                ("peer".into(), Value::Int(*peer as i64)),
+                ("bytes".into(), Value::Int(*bytes as i64)),
+                ("file".into(), Value::Str(file.clone())),
             ],
         ),
         EventKind::FaultInjected {

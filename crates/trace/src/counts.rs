@@ -33,6 +33,14 @@ pub struct OpCounts {
     pub pfs_collective_ops: u64,
     /// Per-rank accounting shares of collective PFS operations.
     pub pfs_collective_bytes: u64,
+    /// Distinct disk stripes touched by collective PFS operations
+    /// (summed over rank-entries; direct-path ops count their own span).
+    pub stripes_touched: u64,
+    /// Aggregation shuttle transfers (counted on the shipping side only,
+    /// so the number is transfers, not trace records).
+    pub agg_shuttles: u64,
+    /// Bytes carried by aggregation shuttle transfers.
+    pub agg_shuttle_bytes: u64,
     /// Actual bytes written to files by this machine (independent writes
     /// plus per-rank collective write contributions).
     pub bytes_written: u64,
@@ -90,13 +98,23 @@ impl OpCounts {
                     op,
                     bytes,
                     share_bytes,
+                    stripes,
                     ..
                 } => {
                     c.pfs_collective_ops += 1;
                     c.pfs_collective_bytes += share_bytes;
+                    c.stripes_touched += stripes;
                     match op {
                         PfsOp::Write => c.bytes_written += bytes,
                         PfsOp::Read => c.bytes_read += bytes,
+                    }
+                }
+                EventKind::AggShuttle {
+                    outgoing, bytes, ..
+                } => {
+                    if *outgoing {
+                        c.agg_shuttles += 1;
+                        c.agg_shuttle_bytes += bytes;
                     }
                 }
                 EventKind::FaultInjected { kind, .. } => {
@@ -182,6 +200,15 @@ impl OpCounts {
             (
                 "pfs_collective_bytes".into(),
                 Value::Int(self.pfs_collective_bytes as i64),
+            ),
+            (
+                "stripes_touched".into(),
+                Value::Int(self.stripes_touched as i64),
+            ),
+            ("agg_shuttles".into(), Value::Int(self.agg_shuttles as i64)),
+            (
+                "agg_shuttle_bytes".into(),
+                Value::Int(self.agg_shuttle_bytes as i64),
             ),
             (
                 "bytes_written".into(),
@@ -282,8 +309,27 @@ mod tests {
                     bytes: 60,
                     total_bytes: 120,
                     share_bytes: 60,
+                    stripes: 2,
                     regime: CollectiveRegime::Streaming,
                     cost_ns: 5,
+                },
+            ),
+            at(
+                5,
+                EventKind::AggShuttle {
+                    outgoing: true,
+                    peer: 1,
+                    bytes: 30,
+                    file: "f".into(),
+                },
+            ),
+            at(
+                6,
+                EventKind::AggShuttle {
+                    outgoing: false,
+                    peer: 0,
+                    bytes: 30,
+                    file: "f".into(),
                 },
             ),
         ];
@@ -296,6 +342,10 @@ mod tests {
         assert_eq!(c.pfs_disk_regime_ops, 1);
         assert_eq!(c.pfs_collective_ops, 1);
         assert_eq!(c.pfs_collective_bytes, 60);
+        assert_eq!(c.stripes_touched, 2);
+        // Only the outgoing side counts as a shuttle transfer.
+        assert_eq!(c.agg_shuttles, 1);
+        assert_eq!(c.agg_shuttle_bytes, 30);
         assert_eq!(c.bytes_written, 100);
         assert_eq!(c.bytes_read, 60);
         assert!(!c.is_empty());

@@ -154,6 +154,7 @@ fn kind_members(kind: &EventKind) -> Vec<(String, Value)> {
             bytes,
             total_bytes,
             share_bytes,
+            stripes,
             regime,
             cost_ns,
         } => vec![
@@ -164,8 +165,21 @@ fn kind_members(kind: &EventKind) -> Vec<(String, Value)> {
             ("bytes".into(), u64_value(*bytes)),
             ("total_bytes".into(), u64_value(*total_bytes)),
             ("share_bytes".into(), u64_value(*share_bytes)),
+            ("stripes".into(), u64_value(*stripes)),
             ("regime".into(), Value::Str(regime.name().into())),
             ("cost_ns".into(), u64_value(*cost_ns)),
+        ],
+        EventKind::AggShuttle {
+            outgoing,
+            peer,
+            bytes,
+            file,
+        } => vec![
+            tag("agg_shuttle"),
+            ("outgoing".into(), Value::Bool(*outgoing)),
+            ("peer".into(), Value::Int(*peer as i64)),
+            ("bytes".into(), u64_value(*bytes)),
+            ("file".into(), Value::Str(file.clone())),
         ],
         EventKind::FaultInjected {
             kind,
@@ -272,8 +286,16 @@ fn event_from_value(v: &Value) -> Result<Event, String> {
             bytes: field_u64(v, "bytes")?,
             total_bytes: field_u64(v, "total_bytes")?,
             share_bytes: field_u64(v, "share_bytes")?,
+            // Absent in documents written before the field existed.
+            stripes: field_u64_or(v, "stripes", 0)?,
             regime: collective_regime(field_str(v, "regime")?)?,
             cost_ns: field_u64(v, "cost_ns")?,
+        },
+        "agg_shuttle" => EventKind::AggShuttle {
+            outgoing: field_bool(v, "outgoing")?,
+            peer: field_usize(v, "peer")?,
+            bytes: field_u64(v, "bytes")?,
+            file: field_str(v, "file")?.to_string(),
         },
         "fault_injected" => EventKind::FaultInjected {
             kind: fault_kind(field_str(v, "fault")?)?,
@@ -328,6 +350,13 @@ fn field_u64(v: &Value, key: &str) -> Result<u64, String> {
             .parse::<u64>()
             .map_err(|_| format!("bad u64 string in field `{key}`")),
         _ => Err(format!("missing u64 field `{key}`")),
+    }
+}
+
+fn field_u64_or(v: &Value, key: &str, default: u64) -> Result<u64, String> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(default),
+        _ => field_u64(v, key),
     }
 }
 
@@ -479,8 +508,19 @@ mod tests {
                     bytes: 2048,
                     total_bytes: 4096,
                     share_bytes: 2048,
+                    stripes: 3,
                     regime: CollectiveRegime::CacheKnee,
                     cost_ns: 1200,
+                },
+            ),
+            ev(
+                0,
+                31,
+                EventKind::AggShuttle {
+                    outgoing: true,
+                    peer: 1,
+                    bytes: 512,
+                    file: "in.ds".into(),
                 },
             ),
             ev(
@@ -578,6 +618,20 @@ mod tests {
             r#"{"format":"dstrace","version":1,"nprocs":1,"events":[{"rank":0,"vtime_ns":0,"seq":0,"kind":"nope"}]}"#
         )
         .is_err());
+    }
+
+    #[test]
+    fn pfs_collective_without_stripes_parses_as_zero() {
+        let doc = r#"{"format":"dstrace","version":1,"nprocs":1,"events":[
+            {"rank":0,"vtime_ns":5,"seq":0,"kind":"pfs_collective",
+             "op":"write","file":"f","offset":0,"bytes":8,
+             "total_bytes":8,"share_bytes":8,"regime":"streaming",
+             "cost_ns":1}]}"#;
+        let trace = parse_events_json(doc).unwrap();
+        match &trace.events[0].kind {
+            EventKind::PfsCollective { stripes, .. } => assert_eq!(*stripes, 0),
+            _ => unreachable!(),
+        }
     }
 
     #[test]

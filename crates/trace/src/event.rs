@@ -233,10 +233,28 @@ pub enum EventKind {
         /// The per-rank accounting share (`total_bytes / nprocs`, matching
         /// the PFS stats counters exactly).
         share_bytes: u64,
+        /// Distinct stripe-sized stripes (disk model `stripe_bytes`) the
+        /// physical transfer touched. Zero when the rank moved no bytes.
+        stripes: u64,
         /// Cost regime the model charged.
         regime: CollectiveRegime,
         /// Modeled cost in virtual nanoseconds.
         cost_ns: u64,
+    },
+    /// Collective-buffering shuttle: a record payload slice moving between
+    /// a rank and the aggregator that owns its file domain. Emitted on
+    /// both endpoints (`outgoing` on the shipper, incoming on the
+    /// aggregator); self-owned slices move by local copy and emit nothing.
+    AggShuttle {
+        /// True on the rank shipping data to an aggregator; false on the
+        /// aggregator claiming it.
+        outgoing: bool,
+        /// The other endpoint's rank.
+        peer: usize,
+        /// Payload bytes shuttled.
+        bytes: u64,
+        /// File the slice belongs to.
+        file: String,
     },
     /// An injected fault fired on a file operation of this rank.
     FaultInjected {

@@ -6,7 +6,7 @@
 //! The runtime's deterministic trace records exactly what each rank did,
 //! so violations of that discipline — the class of bug MPI-checker-style
 //! tools hunt — are decidable after the fact by a pass over the merged
-//! event log. [`analyze`] runs four rules:
+//! event log. [`analyze`] runs five rules:
 //!
 //! * **collective matching** — each rank's sequence of collective
 //!   operations must agree elementwise in kind and root. A crash fault
@@ -24,6 +24,14 @@
 //!   up per `(from, to, tag)` channel; unmatched traffic is the
 //!   signature of a hold-and-wait deadlock or a rank waiting on a peer
 //!   that never spoke.
+//! * **shuttle conservation** — collective-buffering shuttle traffic
+//!   (`AggShuttle` events) must conserve per directed pair: every byte a
+//!   rank ships toward an aggregator must be claimed by a matching
+//!   receive on that aggregator, and vice versa. A leak means an
+//!   aggregator dropped (or invented) part of someone's block — data
+//!   silently missing from the coalesced physical write. The rule is
+//!   silent on traces with no shuttle traffic (direct, non-aggregated
+//!   runs) and relaxed for crashed endpoints.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -43,6 +51,9 @@ pub enum Rule {
     SealOrdering,
     /// Point-to-point sends and receives do not pair up.
     MessagePairing,
+    /// Collective-buffering shuttle traffic does not conserve between a
+    /// source rank and its aggregator.
+    ShuttleConservation,
 }
 
 impl fmt::Display for Rule {
@@ -52,6 +63,7 @@ impl fmt::Display for Rule {
             Rule::AsyncPairing => "async-pairing",
             Rule::SealOrdering => "seal-ordering",
             Rule::MessagePairing => "message-pairing",
+            Rule::ShuttleConservation => "shuttle-conservation",
         })
     }
 }
@@ -161,7 +173,7 @@ fn crashed_ranks(trace: &Trace) -> Vec<usize> {
     out
 }
 
-/// Run all four rules over a trace.
+/// Run all five rules over a trace.
 pub fn analyze(trace: &Trace) -> Report {
     let lanes = per_rank_events(trace);
     let crashed = crashed_ranks(trace);
@@ -178,6 +190,7 @@ pub fn analyze(trace: &Trace) -> Report {
     check_async_pairing(&lanes, &crashed, &mut report);
     check_seal_ordering(&lanes, &mut report);
     check_message_pairing(trace, &crashed, &mut report);
+    check_shuttle_conservation(trace, &crashed, &mut report);
     report
 }
 
@@ -408,6 +421,47 @@ fn check_message_pairing(trace: &Trace, crashed: &[usize], report: &mut Report) 
     }
 }
 
+fn check_shuttle_conservation(trace: &Trace, crashed: &[usize], report: &mut Report) {
+    // (source, aggregator) -> (sent count, sent bytes, recv count, recv bytes)
+    let mut pairs: BTreeMap<(usize, usize), (u64, u64, u64, u64)> = BTreeMap::new();
+    for e in &trace.events {
+        if let EventKind::AggShuttle {
+            outgoing,
+            peer,
+            bytes,
+            ..
+        } = &e.kind
+        {
+            if *outgoing {
+                let slot = pairs.entry((e.rank, *peer)).or_insert((0, 0, 0, 0));
+                slot.0 += 1;
+                slot.1 += bytes;
+            } else {
+                let slot = pairs.entry((*peer, e.rank)).or_insert((0, 0, 0, 0));
+                slot.2 += 1;
+                slot.3 += bytes;
+            }
+        }
+    }
+    for ((src, dst), (sends, sent, recvs, recvd)) in pairs {
+        if sends == recvs && sent == recvd {
+            continue;
+        }
+        if crashed.contains(&src) || crashed.contains(&dst) {
+            continue;
+        }
+        report.hazards.push(Hazard {
+            rule: Rule::ShuttleConservation,
+            rank: Some(dst),
+            detail: format!(
+                "shuttle {src}->{dst}: {sends} send(s)/{sent} B shipped vs \
+                 {recvs} receive(s)/{recvd} B claimed — the aggregator \
+                 dropped or invented part of rank {src}'s block"
+            ),
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -626,6 +680,7 @@ mod tests {
                 bytes: 4096,
                 total_bytes: 4096,
                 share_bytes: 4096,
+                stripes: 1,
                 regime: CollectiveRegime::Streaming,
                 cost_ns: cost,
             },
@@ -723,6 +778,80 @@ mod tests {
         assert_eq!(r.hazards.len(), 1);
         assert_eq!(r.hazards[0].rule, Rule::MessagePairing);
         assert_eq!(r.hazards[0].rank, Some(1));
+    }
+
+    fn shuttle(rank: usize, t: u64, seq: u64, outgoing: bool, peer: usize, bytes: u64) -> Event {
+        ev(
+            rank,
+            t,
+            seq,
+            EventKind::AggShuttle {
+                outgoing,
+                peer,
+                bytes,
+                file: "s".into(),
+            },
+        )
+    }
+
+    #[test]
+    fn conserved_shuttles_are_clean() {
+        let t = trace(
+            2,
+            vec![
+                shuttle(1, 10, 0, true, 0, 512),
+                shuttle(0, 12, 0, false, 1, 512),
+            ],
+        );
+        let r = analyze(&t);
+        assert!(r.clean(), "{r}");
+    }
+
+    #[test]
+    fn leaked_shuttle_send_is_flagged() {
+        let t = trace(2, vec![shuttle(1, 10, 0, true, 0, 512)]);
+        let r = analyze(&t);
+        assert_eq!(r.hazards.len(), 1);
+        assert_eq!(r.hazards[0].rule, Rule::ShuttleConservation);
+        assert_eq!(r.hazards[0].rank, Some(0));
+        assert!(r.hazards[0].detail.contains("1->0"), "{}", r.hazards[0]);
+    }
+
+    #[test]
+    fn shuttle_byte_mismatch_is_flagged_even_when_counts_agree() {
+        let t = trace(
+            2,
+            vec![
+                shuttle(1, 10, 0, true, 0, 512),
+                shuttle(0, 12, 0, false, 1, 500),
+            ],
+        );
+        let r = analyze(&t);
+        assert_eq!(r.hazards.len(), 1);
+        assert_eq!(r.hazards[0].rule, Rule::ShuttleConservation);
+    }
+
+    #[test]
+    fn shuttle_leak_on_crashed_endpoint_is_excused() {
+        let t = trace(
+            2,
+            vec![
+                shuttle(1, 10, 0, true, 0, 512),
+                ev(
+                    1,
+                    15,
+                    1,
+                    EventKind::FaultInjected {
+                        kind: FaultKind::Crash,
+                        op_index: 3,
+                        file: "s".into(),
+                        bytes_kept: 0,
+                    },
+                ),
+            ],
+        );
+        let r = analyze(&t);
+        assert!(r.clean(), "{r}");
     }
 
     #[test]

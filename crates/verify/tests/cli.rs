@@ -5,7 +5,7 @@ use std::process::Command;
 
 use dstreams_collections::{Collection, DistKind, Layout};
 use dstreams_core::OStream;
-use dstreams_machine::{Machine, MachineConfig};
+use dstreams_machine::{CollectiveConfig, Machine, MachineConfig};
 use dstreams_pfs::Pfs;
 use dstreams_trace::{Trace, TraceSink};
 use dstreams_verify::{analyze, Rule};
@@ -42,16 +42,30 @@ fn unmatched_write_begin_fixture_is_flagged() {
 }
 
 #[test]
+fn leaked_agg_shuttle_fixture_is_flagged() {
+    let report = analyze(&load("leaked_agg_shuttle.dstrace.json"));
+    assert_eq!(report.hazards.len(), 1, "{report}");
+    let h = &report.hazards[0];
+    assert_eq!(h.rule, Rule::ShuttleConservation);
+    // The hazard points at the aggregator that dropped the payload.
+    assert_eq!(h.rank, Some(0));
+    assert!(h.detail.contains("1->0"), "{h}");
+    assert!(h.detail.contains("4096 B shipped"), "{h}");
+}
+
+#[test]
 fn dsverify_flags_fixtures_and_exits_nonzero() {
     let out = Command::new(env!("CARGO_BIN_EXE_dsverify"))
         .arg(fixture("mismatched_collective.dstrace.json"))
         .arg(fixture("unmatched_write_begin.dstrace.json"))
+        .arg(fixture("leaked_agg_shuttle.dstrace.json"))
         .output()
         .unwrap();
     assert_eq!(out.status.code(), Some(1), "{out:?}");
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(stdout.contains("collective-matching"), "{stdout}");
     assert!(stdout.contains("async-pairing"), "{stdout}");
+    assert!(stdout.contains("shuttle-conservation"), "{stdout}");
 }
 
 #[test]
@@ -113,4 +127,43 @@ fn real_traced_run_round_trips_clean_through_dsverify() {
         .output()
         .unwrap();
     assert_eq!(out.status.code(), Some(0), "{out:?}");
+}
+
+/// The aggregated (collective-buffering) runtime path, traced and
+/// re-analyzed: real shuttle traffic is conserved, so the new rule stays
+/// silent on a healthy run — the leak fixture above is discriminating.
+#[test]
+fn aggregated_traced_run_round_trips_clean_through_dsverify() {
+    let nprocs = 4;
+    let sink = TraceSink::new(nprocs);
+    let pfs = Pfs::in_memory(nprocs);
+    let p = pfs.clone();
+    Machine::run(
+        MachineConfig::functional(nprocs)
+            .traced(sink.clone())
+            .with_collective(CollectiveConfig {
+                aggregators: 2,
+                stripe_align: true,
+            }),
+        move |ctx| {
+            let layout = Layout::dense(16, ctx.nprocs(), DistKind::Block).unwrap();
+            let c = Collection::new(ctx, layout.clone(), |g| g as u64).unwrap();
+            let mut s = OStream::create(ctx, &p, &layout, "agg_clean").unwrap();
+            s.insert_collection(&c).unwrap();
+            s.write().unwrap();
+            s.close().unwrap();
+        },
+    )
+    .unwrap();
+    let json = sink.take().to_events_json();
+    let reparsed = Trace::from_events_json(&json).unwrap();
+    assert!(
+        reparsed
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, dstreams_trace::EventKind::AggShuttle { .. })),
+        "the aggregated run never shipped a shuttle"
+    );
+    let report = analyze(&reparsed);
+    assert!(report.clean(), "{report}");
 }

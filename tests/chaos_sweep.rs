@@ -19,7 +19,7 @@
 
 use dstreams::collections::{Collection, DistKind, Layout};
 use dstreams::core::{CheckpointManager, IStream, OStream};
-use dstreams::machine::{FaultPlan, Machine, MachineConfig};
+use dstreams::machine::{CollectiveConfig, FaultPlan, Machine, MachineConfig};
 use dstreams::pfs::Pfs;
 use dstreams::trace::chrome::to_chrome_json;
 use dstreams::trace::TraceSink;
@@ -267,6 +267,110 @@ fn torn_writes_never_pass_off_corrupt_data_as_good() {
     assert!(
         caught > 0,
         "no torn write was ever detected — vacuous sweep"
+    );
+}
+
+/// With two ranks and one aggregator, rank 0 is the aggregator (and
+/// root) and rank 1 a pure compute rank — the sweep crashes both kinds.
+fn aggregated() -> CollectiveConfig {
+    CollectiveConfig {
+        aggregators: 1,
+        stripe_align: true,
+    }
+}
+
+#[test]
+fn aggregated_crash_sweep_recovers_newest_sealed_generation() {
+    let clean = checkpoint_run(
+        &Pfs::in_memory(NPROCS),
+        MachineConfig::functional(NPROCS).with_collective(aggregated()),
+    );
+    assert_eq!(clean[0].0, vec![1, 2, 3]);
+    assert!(clean[0].2.is_none(), "clean run failed: {:?}", clean[0].2);
+    let total_ops = clean.iter().map(|(_, n, _)| *n).max().unwrap();
+    assert!(total_ops > 0);
+
+    let seed = fault_seed();
+    let mut crashed_runs = 0;
+    for rank in 0..NPROCS {
+        for k in 0..total_ops {
+            let pfs = Pfs::in_memory(NPROCS);
+            let plan = FaultPlan::seeded(seed ^ ((rank as u64) << 32) ^ k).crash_at(rank, k);
+            let out = checkpoint_run(
+                &pfs,
+                MachineConfig::functional(NPROCS)
+                    .with_faults(plan)
+                    .with_collective(aggregated()),
+            );
+            if out.iter().any(|(_, _, e)| e.is_some()) {
+                crashed_runs += 1;
+            }
+
+            let restored = restore_run(&pfs, k);
+            assert!(
+                restored.windows(2).all(|w| w[0] == w[1]),
+                "aggregated crash of rank {rank} at op {k}: ranks disagree on the \
+                 restored generation: {restored:?}"
+            );
+            // A generation is durable only once *every* rank finished its
+            // save: a peer crash makes survivors complete the collective
+            // but suppresses the commit seal, so a save that returned Ok
+            // on the survivors alone may legitimately be truncated away.
+            let durable = out
+                .iter()
+                .map(|(completed, _, _)| completed.last().copied())
+                .min()
+                .flatten();
+            if let Some(gen) = durable {
+                match restored[0] {
+                    Some(r) => assert!(
+                        r >= gen,
+                        "crash of rank {rank} at op {k}: restored generation {r} is \
+                         older than the everywhere-completed {gen}"
+                    ),
+                    None => panic!(
+                        "crash of rank {rank} at op {k}: nothing restored though \
+                         generation {gen} completed on every rank"
+                    ),
+                }
+            }
+        }
+    }
+    assert!(crashed_runs > 0, "the sweep never actually crashed a run");
+}
+
+#[test]
+fn aggregated_runs_trace_byte_identically_per_seed() {
+    let clean = checkpoint_run(
+        &Pfs::in_memory(NPROCS),
+        MachineConfig::functional(NPROCS).with_collective(aggregated()),
+    );
+    // Crash the *compute* rank mid-run: the aggregator survives and must
+    // deterministically absorb the zero-padded shuttle traffic.
+    let k = clean[1].1 / 2;
+    let seed = fault_seed();
+    let run = || {
+        let sink = TraceSink::new(NPROCS);
+        let pfs = Pfs::in_memory(NPROCS);
+        let plan = FaultPlan::seeded(seed).crash_at(1, k);
+        let _ = checkpoint_run(
+            &pfs,
+            MachineConfig::functional(NPROCS)
+                .with_faults(plan)
+                .with_collective(aggregated())
+                .traced(sink.clone()),
+        );
+        to_chrome_json(&sink.take())
+    };
+    let a = run();
+    assert_eq!(a, run(), "same fault seed must replay bit-identically");
+    assert!(
+        a.contains("agg.shuttle_out") && a.contains("agg.shuttle_in"),
+        "the aggregated path never shipped a shuttle"
+    );
+    assert!(
+        a.contains("fault.crash"),
+        "the injected crash never reached the trace layer"
     );
 }
 

@@ -17,7 +17,7 @@
 //!   op counts agree exactly with the PFS statistics counters.
 
 use dstreams::collections::{Collection, DistKind, Layout};
-use dstreams::core::{IStream, MetaMode, MetaPolicy, OStream, StreamOptions};
+use dstreams::core::{IStream, LocalFile, MetaMode, MetaPolicy, OStream, StreamOptions};
 use dstreams::machine::{Machine, MachineConfig};
 use dstreams::pfs::Pfs;
 use dstreams::trace::{CollOp, EventKind, PfsOp, StreamPhase, Trace, TraceSink};
@@ -293,6 +293,72 @@ fn smp_single_buffer_writes_each_record_exactly_once() {
         }
     }
     assert_eq!(collective_writes(&t), 0);
+}
+
+#[test]
+fn replicated_local_io_has_one_writer_and_broadcast_reads() {
+    const NPROCS: usize = 4;
+    const PARAMS: &[u8] = b"nbody=1000;dt=0.01;steps=64";
+    let sink = TraceSink::new(NPROCS);
+    let pfs = Pfs::in_memory(NPROCS);
+    let p = pfs.clone();
+    Machine::run(
+        MachineConfig::functional(NPROCS).traced(sink.clone()),
+        move |ctx| {
+            let mut f = LocalFile::create(ctx, &p, "params").unwrap();
+            f.write(PARAMS).unwrap();
+            let mut r = LocalFile::open(ctx, &p, "params").unwrap();
+            assert_eq!(r.read(PARAMS.len()).unwrap(), PARAMS);
+        },
+    )
+    .unwrap();
+    let t = sink.take();
+
+    // §4.2: "local data is output and input by only one node" — the
+    // whole run performs exactly one physical write and one physical
+    // read, both from rank 0, each moving the full replicated block.
+    let ind: Vec<_> = t
+        .events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::PfsIndependent { op, bytes, .. } => Some((e.rank, op, bytes)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        ind,
+        vec![
+            (0, PfsOp::Write, PARAMS.len() as u64),
+            (0, PfsOp::Read, PARAMS.len() as u64),
+        ],
+        "replicated I/O must touch the file exactly twice, from rank 0 only"
+    );
+    assert_eq!(collective_writes(&t), 0, "no collective writes at all");
+
+    // "For input, the data is broadcast to the rest of the nodes after
+    // it is read": one broadcast (entered by every rank), whose payload
+    // reaches each of the other NPROCS-1 ranks exactly once — the
+    // binomial tree moves NPROCS-1 payload-sized messages in total.
+    assert_eq!(collective_entries(&t, CollOp::Broadcast), NPROCS);
+    let mut fed: Vec<usize> = t
+        .events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::MsgSend {
+                to,
+                bytes,
+                collective: true,
+                ..
+            } if bytes as usize > PARAMS.len() => Some(to),
+            _ => None,
+        })
+        .collect();
+    fed.sort_unstable();
+    assert_eq!(
+        fed,
+        (1..NPROCS).collect::<Vec<_>>(),
+        "the broadcast must feed every non-root rank exactly once"
+    );
 }
 
 /// One full traced write+read roundtrip on a fresh machine and PFS;
