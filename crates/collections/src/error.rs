@@ -4,6 +4,8 @@ use std::fmt;
 
 use dstreams_machine::MachineError;
 
+use crate::layout::LayoutDescriptor;
+
 /// Errors raised by distribution / collection operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CollectionError {
@@ -33,6 +35,17 @@ pub enum CollectionError {
     },
     /// A distribution was constructed with invalid parameters.
     BadDistribution(String),
+    /// An operation does not support the collection's placement. Carries
+    /// the offending layout (as it would appear in a file header) so
+    /// callers can report or switch on the exact shape that was rejected.
+    UnsupportedPlacement {
+        /// The rejected layout.
+        layout: LayoutDescriptor,
+        /// The operation that rejected it.
+        operation: &'static str,
+        /// What the operation requires of a placement.
+        requirement: String,
+    },
     /// Two collections expected to be aligned are not.
     AlignmentMismatch(String),
     /// Machine-level failure inside a collection collective.
@@ -60,6 +73,16 @@ impl fmt::Display for CollectionError {
                 "element {index} is owned by rank {owner}, accessed from rank {rank}"
             ),
             CollectionError::BadDistribution(msg) => write!(f, "bad distribution: {msg}"),
+            CollectionError::UnsupportedPlacement {
+                layout,
+                operation,
+                requirement,
+            } => write!(
+                f,
+                "{operation} does not support this placement ({requirement}): \
+                 dist code {} param {} over {} ranks, {} elements",
+                layout.dist_code, layout.dist_param, layout.nprocs, layout.n_elements
+            ),
             CollectionError::AlignmentMismatch(msg) => write!(f, "alignment mismatch: {msg}"),
             CollectionError::Machine(e) => write!(f, "machine error in collection op: {e}"),
         }

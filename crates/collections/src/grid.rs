@@ -33,6 +33,25 @@ pub struct GridRow<T> {
 /// above and below this rank's contiguous range (`None` at grid edges).
 pub type RowHalo<T> = (Option<Vec<T>>, Option<Vec<T>>);
 
+/// Halo of one contiguous run of locally-owned rows, as returned by
+/// [`Grid2d::exchange_run_halos`]. Under CYCLIC(k) placement a rank owns
+/// many runs of `k` rows each; every run gets its own halo.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunHalo<T> {
+    /// Global index of the run's first row.
+    pub first_row: usize,
+    /// Global index of the run's last row (inclusive).
+    pub last_row: usize,
+    /// Up to `width` rows immediately above the run, in increasing row
+    /// order (the last entry is row `first_row - 1`); truncated at the
+    /// grid edge.
+    pub above: Vec<Vec<T>>,
+    /// Up to `width` rows immediately below the run, in increasing row
+    /// order (the first entry is row `last_row + 1`); truncated at the
+    /// grid edge.
+    pub below: Vec<Vec<T>>,
+}
+
 /// A distributed 2-D grid: rows placed over ranks, cells local to a row.
 #[derive(Debug)]
 pub struct Grid2d<T> {
@@ -126,23 +145,90 @@ impl<T> Grid2d<T> {
     }
 }
 
+impl<T> Grid2d<T> {
+    fn unsupported(&self, operation: &'static str, requirement: String) -> CollectionError {
+        CollectionError::UnsupportedPlacement {
+            layout: self.coll.layout().descriptor(),
+            operation,
+            requirement,
+        }
+    }
+
+    /// The guaranteed length of every non-final contiguous row run under
+    /// the grid's placement — the largest halo width `exchange_run_halos`
+    /// can serve from a single neighboring run.
+    fn run_quantum(&self) -> Result<usize, CollectionError> {
+        let dist = self.coll.layout().distribution();
+        Ok(match dist.kind() {
+            DistKind::Block => dist.len().div_ceil(dist.nprocs()).max(1),
+            DistKind::Cyclic => 1,
+            DistKind::BlockCyclic(k) => k,
+            DistKind::Composed2d(_) => {
+                return Err(self.unsupported(
+                    "halo exchange",
+                    "row placement must be 1-D (BLOCK or CYCLIC(k))".into(),
+                ))
+            }
+        })
+    }
+}
+
 impl<T: Wire + Clone + Default> Grid2d<T> {
     /// Exchange boundary rows between neighboring ranks — the halo a
     /// vertical stencil needs. Requires BLOCK row placement (each rank
-    /// owns one contiguous row range, so "neighbor" is well defined).
+    /// owns one contiguous row range, so a single `(above, below)` pair
+    /// describes its whole boundary); for CYCLIC(k) placements use
+    /// [`Grid2d::exchange_run_halos`], which returns a halo per run.
     ///
     /// Returns `(above, below)`: the last row of the preceding rank's
     /// range and the first row of the following rank's, `None` at the
     /// grid edges. Collective.
     pub fn exchange_row_halo(&self, ctx: &NodeCtx) -> Result<RowHalo<T>, CollectionError> {
         if self.coll.layout().distribution().kind() != DistKind::Block {
-            return Err(CollectionError::BadDistribution(
-                "halo exchange requires BLOCK row placement".into(),
+            return Err(self.unsupported(
+                "exchange_row_halo",
+                "BLOCK row placement (one contiguous run per rank); \
+                 use exchange_run_halos for CYCLIC(k) rows"
+                    .into(),
             ));
         }
-        // A rank's range is empty when rows < nprocs; ranks without rows
-        // forward nothing but still participate (all_gather keeps the
-        // call collective and handles skipping empty ranks naturally).
+        let mut runs = self.exchange_run_halos(ctx, 1)?;
+        Ok(match runs.pop() {
+            Some(run) => (
+                run.above.into_iter().next_back(),
+                run.below.into_iter().next(),
+            ),
+            None => (None, None),
+        })
+    }
+
+    /// Exchange halos of `width` rows around every contiguous run of
+    /// locally-owned rows. Supports BLOCK and CYCLIC(k) row placement
+    /// with `k >= width` (every non-final run then spans a full block of
+    /// `k` rows, so each side of a halo comes from exactly one
+    /// neighboring run). Collective; ranks without rows still
+    /// participate and receive an empty vector.
+    pub fn exchange_run_halos(
+        &self,
+        ctx: &NodeCtx,
+        width: usize,
+    ) -> Result<Vec<RunHalo<T>>, CollectionError> {
+        if width == 0 {
+            return Err(CollectionError::BadDistribution(
+                "halo width must be at least 1".into(),
+            ));
+        }
+        let quantum = self.run_quantum()?;
+        if width > quantum {
+            return Err(self.unsupported(
+                "exchange_run_halos",
+                format!(
+                    "halo width {width} exceeds the placement's run length \
+                     {quantum}; CYCLIC(k) rows need k >= width"
+                ),
+            ));
+        }
+
         let encode = |row: &GridRow<T>| -> Vec<u8> {
             let mut buf = Vec::new();
             for c in &row.cells {
@@ -176,82 +262,124 @@ impl<T: Wire + Clone + Default> Grid2d<T> {
             Ok(out)
         };
 
-        // Share each rank's (first_row_id, first_row, last_row_id,
-        // last_row) and pick neighbors by global row index — robust to
-        // empty ranks without pairwise-messaging gymnastics (halo data is
-        // small: two rows per rank).
+        // Split the local rows into contiguous runs of global ids; note
+        // each run's position in local storage (local order == id order).
+        let ids = self.coll.global_ids();
+        let mut runs: Vec<(usize, usize)> = Vec::new(); // (local start, len)
+        for (slot, &id) in ids.iter().enumerate() {
+            match runs.last_mut() {
+                Some(&mut (start, ref mut len)) if ids[start] + *len == id => *len += 1,
+                _ => runs.push((slot, 1)),
+            }
+        }
+
+        // Advertise each run's boundary rows: its first and last
+        // min(width, run_len) rows. Every rank gathers every
+        // advertisement and slices out what its own runs need — robust
+        // to empty ranks, and small (halo data only, not whole runs).
+        let push_rows = |mine: &mut Vec<u8>, rows: &[GridRow<T>]| {
+            mine.extend_from_slice(&(rows.len() as u32).to_le_bytes());
+            for row in rows {
+                let e = encode(row);
+                mine.extend_from_slice(&(e.len() as u64).to_le_bytes());
+                mine.extend_from_slice(&e);
+            }
+        };
         let mut mine = Vec::new();
-        if self.coll.local_len() > 0 {
-            let ids = self.coll.global_ids();
-            let first = &self.coll.local()[0];
-            let last = &self.coll.local()[self.coll.local_len() - 1];
-            mine.extend_from_slice(&(ids[0] as u64).to_le_bytes());
-            let fe = encode(first);
-            mine.extend_from_slice(&(fe.len() as u64).to_le_bytes());
-            mine.extend_from_slice(&fe);
-            mine.extend_from_slice(&(ids[ids.len() - 1] as u64).to_le_bytes());
-            let le = encode(last);
-            mine.extend_from_slice(&(le.len() as u64).to_le_bytes());
-            mine.extend_from_slice(&le);
+        mine.extend_from_slice(&(runs.len() as u32).to_le_bytes());
+        for &(start, len) in &runs {
+            let w = width.min(len);
+            mine.extend_from_slice(&(ids[start] as u64).to_le_bytes());
+            mine.extend_from_slice(&((ids[start] + len - 1) as u64).to_le_bytes());
+            push_rows(&mut mine, &self.coll.local()[start..start + w]);
+            push_rows(&mut mine, &self.coll.local()[start + len - w..start + len]);
         }
         let all = ctx.all_gather(mine)?;
 
-        // Decode every rank's boundary advertisement.
+        // Decode every rank's advertisements, keyed by run boundary ids.
         struct Adv {
             first_id: usize,
-            first: Vec<u8>,
             last_id: usize,
-            last: Vec<u8>,
+            first: Vec<Vec<u8>>,
+            last: Vec<Vec<u8>>,
         }
         let mut advs: Vec<Adv> = Vec::new();
         for buf in &all {
-            if buf.is_empty() {
-                continue;
-            }
-            let u64_at = |pos: &mut usize| -> u64 {
+            let mut pos = 0usize;
+            let u32_at = |pos: &mut usize| -> usize {
+                let v = u32::from_le_bytes(buf[*pos..*pos + 4].try_into().expect("4 bytes"));
+                *pos += 4;
+                v as usize
+            };
+            let u64_at = |pos: &mut usize| -> usize {
                 let v = u64::from_le_bytes(buf[*pos..*pos + 8].try_into().expect("8 bytes"));
                 *pos += 8;
-                v
+                v as usize
             };
-            let mut pos = 0usize;
-            let first_id = u64_at(&mut pos) as usize;
-            let flen = u64_at(&mut pos) as usize;
-            let first = buf[pos..pos + flen].to_vec();
-            pos += flen;
-            let last_id = u64_at(&mut pos) as usize;
-            let llen = u64_at(&mut pos) as usize;
-            let last = buf[pos..pos + llen].to_vec();
-            advs.push(Adv {
-                first_id,
-                first,
-                last_id,
-                last,
-            });
+            let take_rows = |pos: &mut usize| -> Vec<Vec<u8>> {
+                let n = u32_at(pos);
+                (0..n)
+                    .map(|_| {
+                        let len = u64_at(pos);
+                        let raw = buf[*pos..*pos + len].to_vec();
+                        *pos += len;
+                        raw
+                    })
+                    .collect()
+            };
+            let n_runs = u32_at(&mut pos);
+            for _ in 0..n_runs {
+                let first_id = u64_at(&mut pos);
+                let last_id = u64_at(&mut pos);
+                let first = take_rows(&mut pos);
+                let last = take_rows(&mut pos);
+                advs.push(Adv {
+                    first_id,
+                    last_id,
+                    first,
+                    last,
+                });
+            }
         }
 
-        let (mut above, mut below) = (None, None);
-        if self.coll.local_len() > 0 {
-            let ids = self.coll.global_ids();
-            let my_first = ids[0];
-            let my_last = ids[ids.len() - 1];
-            if my_first > 0 {
-                let want = my_first - 1;
-                if let Some(a) = advs.iter().find(|a| a.last_id == want) {
-                    above = Some(decode(&a.last)?);
-                } else if let Some(a) = advs.iter().find(|a| a.first_id == want) {
-                    above = Some(decode(&a.first)?);
+        // Assemble each local run's halo. Because width <= quantum and
+        // every non-final run spans a full quantum, each side lies
+        // entirely within the single adjacent run.
+        let missing =
+            || CollectionError::BadDistribution("halo: missing neighbor advertisement".into());
+        let mut out = Vec::with_capacity(runs.len());
+        for &(start, len) in &runs {
+            let (first_id, last_id) = (ids[start], ids[start] + len - 1);
+            let mut above = Vec::new();
+            if first_id > 0 {
+                let w = width.min(first_id);
+                let donor = advs
+                    .iter()
+                    .find(|a| a.last_id + 1 == first_id)
+                    .ok_or_else(missing)?;
+                for raw in &donor.last[donor.last.len() - w..] {
+                    above.push(decode(raw)?);
                 }
             }
-            if my_last + 1 < self.rows {
-                let want = my_last + 1;
-                if let Some(a) = advs.iter().find(|a| a.first_id == want) {
-                    below = Some(decode(&a.first)?);
-                } else if let Some(a) = advs.iter().find(|a| a.last_id == want) {
-                    below = Some(decode(&a.last)?);
+            let mut below = Vec::new();
+            if last_id + 1 < self.rows {
+                let w = width.min(self.rows - last_id - 1);
+                let donor = advs
+                    .iter()
+                    .find(|a| a.first_id == last_id + 1)
+                    .ok_or_else(missing)?;
+                for raw in &donor.first[..w] {
+                    below.push(decode(raw)?);
                 }
             }
+            out.push(RunHalo {
+                first_row: first_id,
+                last_row: last_id,
+                above,
+                below,
+            });
         }
-        Ok((above, below))
+        Ok(out)
     }
 }
 
@@ -349,10 +477,83 @@ mod tests {
     fn halo_requires_block_placement() {
         Machine::run(MachineConfig::functional(2), |ctx| {
             let grid = Grid2d::new(ctx, 6, DistKind::Cyclic, |_| 1, |_, _| 0i32).unwrap();
-            assert!(matches!(
-                grid.exchange_row_halo(ctx),
-                Err(CollectionError::BadDistribution(_))
-            ));
+            // The single-pair API still wants BLOCK, but now says so with
+            // the offending layout attached...
+            match grid.exchange_row_halo(ctx) {
+                Err(CollectionError::UnsupportedPlacement {
+                    layout,
+                    operation,
+                    requirement,
+                }) => {
+                    assert_eq!(layout, grid.as_collection().layout().descriptor());
+                    assert_eq!(layout.dist_code, DistKind::Cyclic.code());
+                    assert_eq!(operation, "exchange_row_halo");
+                    assert!(requirement.contains("exchange_run_halos"), "{requirement}");
+                }
+                other => panic!("expected UnsupportedPlacement, got {other:?}"),
+            }
+            // ...and the run-based API serves CYCLIC rows at width 1 but
+            // rejects widths beyond the placement's run length.
+            let halos = grid.exchange_run_halos(ctx, 1).unwrap();
+            assert_eq!(halos.len(), 3);
+            match grid.exchange_run_halos(ctx, 2) {
+                Err(CollectionError::UnsupportedPlacement { requirement, .. }) => {
+                    assert!(requirement.contains("k >= width"), "{requirement}");
+                }
+                other => panic!("expected UnsupportedPlacement, got {other:?}"),
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn run_halos_deliver_neighbor_rows_under_cyclic_k() {
+        // 12 rows dealt CYCLIC(3) over up to 3 ranks; width up to k.
+        for np in [1usize, 2, 3] {
+            for width in [1usize, 2, 3] {
+                Machine::run(MachineConfig::functional(np), move |ctx| {
+                    let grid = Grid2d::new(
+                        ctx,
+                        12,
+                        DistKind::BlockCyclic(3),
+                        |_| 2,
+                        |i, j| (i * 2 + j) as i64,
+                    )
+                    .unwrap();
+                    let row = |i: usize| vec![(i * 2) as i64, (i * 2 + 1) as i64];
+                    let halos = grid.exchange_run_halos(ctx, width).unwrap();
+                    let mut seen_rows = 0usize;
+                    for h in &halos {
+                        // Runs are maximal contiguous stretches: blocks of
+                        // k on a real grid, the whole grid on one rank.
+                        let run_len = h.last_row - h.first_row + 1;
+                        assert_eq!(run_len, if np == 1 { 12 } else { 3 });
+                        seen_rows += run_len;
+                        let want_above: Vec<_> = (h.first_row.saturating_sub(width)..h.first_row)
+                            .map(row)
+                            .collect();
+                        let want_below: Vec<_> = (h.last_row + 1..(h.last_row + 1 + width).min(12))
+                            .map(row)
+                            .collect();
+                        assert_eq!(h.above, want_above, "np {np} width {width}");
+                        assert_eq!(h.below, want_below, "np {np} width {width}");
+                    }
+                    assert_eq!(seen_rows, grid.as_collection().local_len());
+                })
+                .unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn run_halos_match_row_halo_under_block() {
+        Machine::run(MachineConfig::functional(3), |ctx| {
+            let grid = Grid2d::new(ctx, 8, DistKind::Block, |_| 1, |i, _| i as u32).unwrap();
+            let (above, below) = grid.exchange_row_halo(ctx).unwrap();
+            let halos = grid.exchange_run_halos(ctx, 1).unwrap();
+            assert_eq!(halos.len(), 1);
+            assert_eq!(above.as_ref(), halos[0].above.last());
+            assert_eq!(below.as_ref(), halos[0].below.first());
         })
         .unwrap();
     }

@@ -108,13 +108,25 @@ impl Layout {
 
     /// Local slot (position within the owner's storage) of element `i`.
     pub fn local_slot(&self, i: usize) -> Result<usize, CollectionError> {
+        Ok(self.place(i)?.1)
+    }
+
+    /// Closed-form placement of element `i`: `(owning rank, local slot)`.
+    /// O(1) for dense identity-aligned layouts (the streaming common
+    /// case); falls back to a scan for sparse alignments, whose local
+    /// slots are not a closed-form function of the template.
+    pub fn place(&self, i: usize) -> Result<(usize, usize), CollectionError> {
         self.check(i)?;
+        if self.align == Alignment::identity() && self.dist.len() == self.n_elements {
+            return self.dist.place(i);
+        }
         let owner = self.owner(i)?;
-        Ok(self
+        let slot = self
             .local_elements(owner)
             .iter()
             .position(|&e| e == i)
-            .expect("element is in its owner's list"))
+            .expect("element is in its owner's list");
+        Ok((owner, slot))
     }
 
     fn check(&self, i: usize) -> Result<(), CollectionError> {

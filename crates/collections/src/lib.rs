@@ -29,7 +29,9 @@ pub mod layout;
 
 pub use alignment::Alignment;
 pub use collection::Collection;
-pub use distribution::{DistKind, Distribution};
+pub use distribution::{
+    composed_local_count, composed_place, Axis, Composed2d, DistKind, Distribution,
+};
 pub use error::CollectionError;
-pub use grid::{Grid2d, GridRow, RowHalo};
+pub use grid::{Grid2d, GridRow, RowHalo, RunHalo};
 pub use layout::{Layout, LayoutDescriptor};

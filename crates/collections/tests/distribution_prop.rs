@@ -2,7 +2,9 @@
 //! owner map must be a partition, local slots dense and monotone, and
 //! descriptors must roundtrip, for arbitrary parameters.
 
-use dstreams_collections::{Alignment, DistKind, Distribution, Layout, LayoutDescriptor};
+use dstreams_collections::{
+    Alignment, Composed2d, DistKind, Distribution, Layout, LayoutDescriptor,
+};
 use proptest::prelude::*;
 
 fn kind_strategy() -> impl Strategy<Value = DistKind> {
@@ -48,6 +50,7 @@ proptest! {
             DistKind::Block => len.div_ceil(nprocs),
             DistKind::Cyclic => 1,
             DistKind::BlockCyclic(k) => k,
+            DistKind::Composed2d(_) => unreachable!("kind_strategy is 1-D"),
         };
         let counts: Vec<usize> = (0..nprocs).map(|r| d.local_count(r)).collect();
         let max = *counts.iter().max().unwrap();
@@ -91,6 +94,43 @@ proptest! {
         let dist = Distribution::new(template, nprocs, kind).unwrap();
         let align = Alignment::affine(stride, offset).unwrap();
         let layout = Layout::new(n, dist, align).unwrap();
+        let bytes = layout.descriptor().encode();
+        let d2 = LayoutDescriptor::decode(&bytes).unwrap();
+        prop_assert_eq!(Layout::from_descriptor(&d2).unwrap(), layout);
+    }
+
+    #[test]
+    fn composed_2d_owner_map_is_a_partition(
+        rows in 1usize..6,
+        cols in 0usize..8,
+        grid_rows in 1usize..4,
+        grid_cols in 1usize..4,
+        row_k in 0u8..4,
+        col_k in 0u8..4,
+    ) {
+        let len = rows * cols;
+        let nprocs = grid_rows * grid_cols;
+        let kind = DistKind::Composed2d(Composed2d {
+            rows: rows as u32,
+            grid_rows: grid_rows as u16,
+            row_k,
+            col_k,
+        });
+        let d = Distribution::new(len, nprocs, kind).unwrap();
+        let mut counts = vec![0usize; nprocs];
+        for t in 0..len {
+            let (o, l) = d.place(t).unwrap();
+            prop_assert!(o < nprocs);
+            prop_assert_eq!(l, counts[o], "cell {}", t);
+            counts[o] += 1;
+        }
+        for (r, &c) in counts.iter().enumerate() {
+            prop_assert_eq!(c, d.local_count(r));
+        }
+        prop_assert_eq!(counts.iter().sum::<usize>(), len);
+
+        // And the packed descriptor round-trips through the wire format.
+        let layout = Layout::dense(len, nprocs, kind).unwrap();
         let bytes = layout.descriptor().encode();
         let d2 = LayoutDescriptor::decode(&bytes).unwrap();
         prop_assert_eq!(Layout::from_descriptor(&d2).unwrap(), layout);

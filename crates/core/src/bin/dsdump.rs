@@ -2,19 +2,25 @@
 //!
 //! ```text
 //! dsdump FILE...
+//! dsdump --layout FILE...
 //! dsdump --recover FILE...
 //! dsdump --dstrace TRACE.json...
 //! ```
 //!
 //! Works on files produced by the real-disk PFS backend (or any byte-exact
-//! copy of a d/stream file). With `--recover` each file is scanned for its
-//! last commit-sealed record and, when the tail record is torn (a crash
-//! landed mid-write), truncated back to the sealed prefix — the on-disk
-//! analogue of the torn-tail detection `IStream::open` performs. With
-//! `--dstrace` the arguments are instead Chrome `trace_event` JSON files
-//! captured by the tracing layer (e.g. `tables trace`), and dsdump prints
-//! a per-rank summary of the recorded events: message and collective
-//! counts, PFS traffic, and stream-phase virtual time.
+//! copy of a d/stream file). With `--layout` each record's stored
+//! distribution/layout descriptor is printed in full (template extent,
+//! distribution kind and parameter, writer machine size, alignment) and
+//! dsdump exits nonzero when a header's layout is inconsistent with its
+//! record table — the check a cross-shape reader relies on before
+//! planning a redistribution. With `--recover` each file is scanned for
+//! its last commit-sealed record and, when the tail record is torn (a
+//! crash landed mid-write), truncated back to the sealed prefix — the
+//! on-disk analogue of the torn-tail detection `IStream::open` performs.
+//! With `--dstrace` the arguments are instead Chrome `trace_event` JSON
+//! files captured by the tracing layer (e.g. `tables trace`), and dsdump
+//! prints a per-rank summary of the recorded events: message and
+//! collective counts, PFS traffic, and stream-phase virtual time.
 
 use std::process::ExitCode;
 
@@ -24,9 +30,12 @@ fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let dstrace = args.iter().any(|a| a == "--dstrace");
     let recover = args.iter().any(|a| a == "--recover");
-    args.retain(|a| a != "--dstrace" && a != "--recover");
-    if args.is_empty() || args.iter().any(|a| a == "-h" || a == "--help") || (dstrace && recover) {
+    let layout = args.iter().any(|a| a == "--layout");
+    args.retain(|a| a != "--dstrace" && a != "--recover" && a != "--layout");
+    let modes = usize::from(dstrace) + usize::from(recover) + usize::from(layout);
+    if args.is_empty() || args.iter().any(|a| a == "-h" || a == "--help") || modes > 1 {
         eprintln!("usage: dsdump FILE...");
+        eprintln!("       dsdump --layout FILE...");
         eprintln!("       dsdump --recover FILE...");
         eprintln!("       dsdump --dstrace TRACE.json...");
         return ExitCode::from(2);
@@ -63,6 +72,7 @@ fn main() -> ExitCode {
         }
         match std::fs::read(path) {
             Ok(bytes) => match dstreams_core::inspect_bytes(&bytes) {
+                Ok(summary) if layout => print!("{}", summary.render_layouts(path)),
                 Ok(summary) => print!("{}", summary.render(path)),
                 Err(e) => {
                     // Distinguish a crash-torn tail (recoverable, exit 3)

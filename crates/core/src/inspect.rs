@@ -160,6 +160,20 @@ pub fn inspect_bytes(bytes: &[u8]) -> Result<FileSummary, StreamError> {
     let mut pos = FileHeader::LEN as u64;
     while pos < bytes.len() as u64 {
         let (summary, next) = parse_record(bytes, pos, records.len(), sealed)?;
+        // The stored placement must describe this record. Checked here
+        // rather than in `parse_record` so that `recovery_scan` still
+        // counts such a record as sealed: its data and seal are intact,
+        // only the metadata is inconsistent, and truncating it away
+        // would destroy good data.
+        if summary.layout.len() != summary.n_elements {
+            return Err(StreamError::CorruptRecord(format!(
+                "record {}: layout descriptor covers {} element(s) but the record \
+                 table lists {} — the stored placement cannot describe this record",
+                summary.index,
+                summary.layout.len(),
+                summary.n_elements
+            )));
+        }
         records.push(summary);
         pos = next;
     }
@@ -248,6 +262,38 @@ impl FileSummary {
                 d.len(),
                 r.meta_mode,
                 if r.sealed { ", sealed" } else { "" },
+            );
+        }
+        out
+    }
+
+    /// Render a per-record report of the stored layout descriptors — what
+    /// `dsdump --layout` prints. Every wire-descriptor field is shown
+    /// (template, distribution kind and parameter, writer machine size,
+    /// alignment), so a reader planning a cross-machine-size open can see
+    /// the writer-side placement without opening the stream.
+    pub fn render_layouts(&self, name: &str) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{name}: {} record(s), stored writer layout(s):",
+            self.records.len()
+        );
+        for r in &self.records {
+            let d = r.layout.distribution();
+            let a = r.layout.alignment();
+            let _ = writeln!(
+                out,
+                "  record {}: {} elements over a {}-cell template, {:?} across {} procs, \
+                 align stride {} offset {}",
+                r.index,
+                r.n_elements,
+                d.len(),
+                d.kind(),
+                r.layout.nprocs(),
+                a.stride,
+                a.offset,
             );
         }
         out
@@ -372,6 +418,60 @@ mod tests {
             inspect_bytes(&flipped),
             Err(StreamError::CorruptRecord(msg)) if msg.contains("checksum")
         ));
+    }
+
+    #[test]
+    fn inspect_rejects_layout_inconsistent_with_record_table() {
+        let pfs = Pfs::in_memory(2);
+        let p = pfs.clone();
+        Machine::run(MachineConfig::functional(2), move |ctx| {
+            let layout = Layout::dense(6, 2, DistKind::Cyclic).unwrap();
+            let g = Collection::new(ctx, layout.clone(), |i| i as u32).unwrap();
+            let mut s = OStream::create(ctx, &p, &layout, "ly").unwrap();
+            s.insert_collection(&g).unwrap();
+            s.write().unwrap();
+            s.close().unwrap();
+        })
+        .unwrap();
+        let mut bytes = file_bytes(&pfs, "ly");
+        assert!(inspect_bytes(&bytes).is_ok());
+        // Shrink the stored descriptor's element count (header offset 24
+        // is the descriptor's n_elements field): still a decodable
+        // layout, but one that cannot describe this record's 6-entry
+        // size table.
+        let desc_n = FileHeader::LEN + 24;
+        bytes[desc_n..desc_n + 8].copy_from_slice(&5u64.to_le_bytes());
+        // Re-seal so the checksum agrees: the inconsistency must be
+        // caught structurally, not via the integrity check.
+        let data_end = bytes.len() - RecordSeal::LEN;
+        let digest = ChunkSum::of(&bytes[FileHeader::LEN..data_end]);
+        bytes[data_end + 12..data_end + 20].copy_from_slice(&digest.hash().to_le_bytes());
+        assert!(matches!(
+            inspect_bytes(&bytes),
+            Err(StreamError::CorruptRecord(msg)) if msg.contains("layout descriptor")
+        ));
+    }
+
+    #[test]
+    fn layout_report_prints_every_descriptor_field() {
+        let pfs = Pfs::in_memory(3);
+        let p = pfs.clone();
+        Machine::run(MachineConfig::functional(3), move |ctx| {
+            let layout = Layout::dense(9, 3, DistKind::BlockCyclic(2)).unwrap();
+            let g = Collection::new(ctx, layout.clone(), |i| i as u16).unwrap();
+            let mut s = OStream::create(ctx, &p, &layout, "lr").unwrap();
+            s.insert_collection(&g).unwrap();
+            s.write().unwrap();
+            s.close().unwrap();
+        })
+        .unwrap();
+        let summary = inspect_bytes(&file_bytes(&pfs, "lr")).unwrap();
+        let report = summary.render_layouts("lr");
+        assert!(report.contains("9 elements"), "{report}");
+        assert!(report.contains("9-cell template"), "{report}");
+        assert!(report.contains("BlockCyclic(2)"), "{report}");
+        assert!(report.contains("3 procs"), "{report}");
+        assert!(report.contains("stride 1 offset 0"), "{report}");
     }
 
     #[test]

@@ -19,6 +19,7 @@ use dstreams_collections::{Collection, Layout};
 use dstreams_machine::wire::{frame_blocks, unframe_blocks};
 use dstreams_machine::NodeCtx;
 use dstreams_pfs::{ChunkSum, FileHandle, IoHandle, OpenMode, Pfs};
+use dstreams_redist::{DistView, RedistPlan};
 use dstreams_trace::{EventKind, StreamPhase};
 
 use crate::data::{Extractor, StreamData};
@@ -27,11 +28,32 @@ use crate::format::{
     build_file_map, decode_sizes, encode_sizes, FileEntry, FileHeader, RecordHeader, RecordSeal,
 };
 
-/// State of the record currently buffered in an input stream.
+/// How a sorted read routes file-order elements to their owners under
+/// the reader's layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReadStrategy {
+    /// Two-phase redistribution planner: every rank reads the span the
+    /// planner assigns it, then a provably minimal schedule of unframed
+    /// transfers moves only the elements that must change ranks. The
+    /// default.
+    #[default]
+    Planned,
+    /// The historical baseline: balanced contiguous reads followed by a
+    /// per-element framed all-to-all (8 bytes of id per element, one
+    /// exchange buffer per rank pair regardless of need). Kept for
+    /// differential testing and as the benchmark's comparison point.
+    Naive,
+}
+
+/// State of the record currently buffered in an input stream: one flat
+/// buffer plus a slot-ordered segment table, so views and extraction
+/// never re-pack element bytes.
 struct InRecord {
     header: RecordHeader,
-    /// Per local slot: the element's bytes.
-    element_data: Vec<Vec<u8>>,
+    /// All local element bytes, segmented by `segs`.
+    data: Vec<u8>,
+    /// Per local slot: `(offset, len)` of the element inside `data`.
+    segs: Vec<(usize, usize)>,
     /// Per local slot: extraction cursor.
     element_pos: Vec<usize>,
     /// Per local slot: the element identity (global index for sorted
@@ -57,6 +79,9 @@ struct Prefetched {
     digests: Vec<ChunkSum>,
     handle: IoHandle,
     sorted: bool,
+    /// The redistribution schedule (planned sorted reads only), with the
+    /// target `(rank, slot)` of every file-order entry.
+    plan: Option<(RedistPlan, Vec<(usize, usize)>)>,
 }
 
 /// An input d/stream bound to one file and the *reader's* layout.
@@ -71,6 +96,8 @@ pub struct IStream<'a> {
     current: Option<InRecord>,
     /// Read-ahead record in flight, if any.
     prefetched: Option<Prefetched>,
+    /// Routing strategy for sorted reads.
+    strategy: ReadStrategy,
 }
 
 impl<'a> IStream<'a> {
@@ -80,11 +107,26 @@ impl<'a> IStream<'a> {
     /// a file whose tail record was torn by a crash is reported as
     /// [`StreamError::TornTail`] on every rank instead of surfacing later
     /// as a bewildering decode failure mid-read.
+    ///
+    /// Sorted reads route through the redistribution planner
+    /// ([`ReadStrategy::Planned`]); use [`IStream::open_with`] to pick a
+    /// different strategy.
     pub fn open(
         ctx: &'a NodeCtx,
         pfs: &Pfs,
         layout: &Layout,
         name: &str,
+    ) -> Result<Self, StreamError> {
+        Self::open_with(ctx, pfs, layout, name, ReadStrategy::default())
+    }
+
+    /// [`IStream::open`] with an explicit sorted-read routing strategy.
+    pub fn open_with(
+        ctx: &'a NodeCtx,
+        pfs: &Pfs,
+        layout: &Layout,
+        name: &str,
+        strategy: ReadStrategy,
     ) -> Result<Self, StreamError> {
         if layout.nprocs() != ctx.nprocs() {
             return Err(StreamError::LayoutMismatch(format!(
@@ -154,6 +196,7 @@ impl<'a> IStream<'a> {
             sealed: version >= 2,
             current: None,
             prefetched: None,
+            strategy,
         })
     }
 
@@ -262,15 +305,26 @@ impl<'a> IStream<'a> {
         let (header, seal, sizes, file_map, data_base) = self.fetch_metadata()?;
 
         // --- parallel read 2: the data, then (for sorted reads) routing ----
-        let (lo, hi) = self.element_range(file_map.len(), sorted);
+        // Under the planned strategy the planner picks the conforming
+        // spans (so that cross-rank traffic is minimal); otherwise the
+        // balanced split of the naive/unsorted paths applies.
+        let plan = if sorted && self.strategy == ReadStrategy::Planned {
+            Some(self.build_plan(&header, &file_map)?)
+        } else {
+            None
+        };
+        let (lo, hi) = match &plan {
+            Some((p, _)) => p.span(self.ctx.rank()),
+            None => self.element_range(file_map.len(), sorted),
+        };
         let (off, len) = Self::span(&file_map, data_base, lo, hi);
         let data_span = crate::phase::span(self.ctx, StreamPhase::Data);
         let (raw, data_digests) = self.fh.read_ordered_summed(self.ctx, off, len)?;
         drop(data_span);
-        let rec = if sorted {
-            self.route_sorted(&header, &file_map, lo, hi, &raw)?
-        } else {
-            self.deal_unsorted(&header, &file_map, lo, hi, &raw)?
+        let rec = match (&plan, sorted) {
+            (Some((p, places)), _) => self.route_planned(&header, &file_map, p, places, &raw)?,
+            (None, true) => self.route_sorted(&header, &file_map, lo, hi, &raw)?,
+            (None, false) => self.deal_unsorted(&header, &file_map, lo, hi, &raw)?,
         };
 
         self.verify_seal(&header, seal.as_ref(), &sizes, &data_digests)?;
@@ -322,7 +376,15 @@ impl<'a> IStream<'a> {
             }
             Err(e) => return Err(e),
         };
-        let (lo, hi) = self.element_range(file_map.len(), sorted);
+        let plan = if sorted && self.strategy == ReadStrategy::Planned {
+            Some(self.build_plan(&header, &file_map)?)
+        } else {
+            None
+        };
+        let (lo, hi) = match &plan {
+            Some((p, _)) => p.span(self.ctx.rank()),
+            None => self.element_range(file_map.len(), sorted),
+        };
         let (off, len) = Self::span(&file_map, data_base, lo, hi);
         let data_span = crate::phase::span(self.ctx, StreamPhase::Data);
         let (raw, digests, handle) = self.fh.read_ordered_begin_summed(self.ctx, off, len)?;
@@ -339,6 +401,7 @@ impl<'a> IStream<'a> {
             digests,
             handle,
             sorted,
+            plan,
         });
         Ok(true)
     }
@@ -362,10 +425,12 @@ impl<'a> IStream<'a> {
     /// route/deal and verify exactly as the synchronous path does.
     fn finish_prefetched(&mut self, p: Prefetched) -> Result<(), StreamError> {
         p.handle.wait(self.ctx)?;
-        let rec = if p.sorted {
-            self.route_sorted(&p.header, &p.file_map, p.lo, p.hi, &p.raw)?
-        } else {
-            self.deal_unsorted(&p.header, &p.file_map, p.lo, p.hi, &p.raw)?
+        let rec = match (&p.plan, p.sorted) {
+            (Some((plan, places)), _) => {
+                self.route_planned(&p.header, &p.file_map, plan, places, &p.raw)?
+            }
+            (None, true) => self.route_sorted(&p.header, &p.file_map, p.lo, p.hi, &p.raw)?,
+            (None, false) => self.deal_unsorted(&p.header, &p.file_map, p.lo, p.hi, &p.raw)?,
         };
         self.verify_seal(&p.header, p.seal.as_ref(), &p.sizes, &p.digests)?;
         self.cursor = p.data_base + p.header.data_len + self.seal_len();
@@ -560,6 +625,94 @@ impl<'a> IStream<'a> {
         (data_base + start, (end - start) as usize)
     }
 
+    /// Compute the redistribution schedule for the record described by
+    /// `header`/`file_map`: writer layout from the self-describing
+    /// header, target layout from the stream. Deterministic from data
+    /// every rank already holds, so the plan never travels.
+    fn build_plan(
+        &self,
+        header: &RecordHeader,
+        file_map: &[FileEntry],
+    ) -> Result<(RedistPlan, Vec<(usize, usize)>), StreamError> {
+        let writer_layout = Layout::from_descriptor(&header.layout)?;
+        let sizes: Vec<u64> = file_map.iter().map(|e| e.size).collect();
+        let gids: Vec<usize> = file_map.iter().map(|e| e.global_id).collect();
+        let (plan, places) = dstreams_redist::plan_for_layouts(
+            self.ctx.nprocs(),
+            &writer_layout,
+            &self.layout,
+            &sizes,
+            &gids,
+        )?;
+        Ok((plan, places))
+    }
+
+    /// Phase 2 of a planned sorted read: run the redistribution schedule,
+    /// landing every element this rank owns directly in its slot of one
+    /// flat buffer. Only mismatched bytes cross ranks, with no framing.
+    fn route_planned(
+        &mut self,
+        header: &RecordHeader,
+        file_map: &[FileEntry],
+        plan: &RedistPlan,
+        places: &[(usize, usize)],
+        raw: &[u8],
+    ) -> Result<InRecord, StreamError> {
+        let rank = self.ctx.rank();
+        let route_span = crate::phase::span(self.ctx, StreamPhase::Route);
+        let local_ids = self.layout.local_elements(rank);
+
+        // Slot-ordered segment table over one flat buffer.
+        let mut slot_sizes = vec![0usize; local_ids.len()];
+        for (e, &(r, slot)) in places.iter().enumerate() {
+            if r == rank {
+                slot_sizes[slot] = file_map[e].size as usize;
+            }
+        }
+        let mut segs = Vec::with_capacity(slot_sizes.len());
+        let mut off = 0usize;
+        for &len in &slot_sizes {
+            segs.push((off, len));
+            off += len;
+        }
+        let mut data = vec![0u8; off];
+
+        let sizes: Vec<u64> = file_map.iter().map(|e| e.size).collect();
+        let file = self.fh.file().name().to_string();
+        dstreams_redist::execute(self.ctx, plan, &sizes, raw, &file, |e, bytes| {
+            let (owner, slot) = places[e];
+            debug_assert_eq!(owner, rank);
+            let (o, l) = segs[slot];
+            debug_assert_eq!(l, bytes.len());
+            data[o..o + l].copy_from_slice(bytes);
+        })
+        .map_err(|e| match e {
+            dstreams_redist::ExecError::Machine(m) => StreamError::Machine(m),
+            payload @ dstreams_redist::ExecError::Payload { .. } => {
+                StreamError::CorruptRecord(payload.to_string())
+            }
+        })?;
+        // Retained intervals were charged by the executor; pay for
+        // placing what arrived over the wire.
+        let recv_bytes: u64 = plan
+            .messages()
+            .iter()
+            .filter(|t| t.dst == rank)
+            .map(|t| t.bytes)
+            .sum();
+        self.ctx.charge_memcpy(recv_bytes as usize);
+        drop(route_span);
+
+        Ok(InRecord {
+            header: header.clone(),
+            element_pos: vec![0; segs.len()],
+            element_ids: local_ids,
+            data,
+            segs,
+            extracts_done: 0,
+        })
+    }
+
     /// Route file-order elements `[lo, hi)` (read into `raw`) to their
     /// owners under the reader layout — phase 2 of a sorted read.
     fn route_sorted(
@@ -610,26 +763,24 @@ impl<'a> IStream<'a> {
                 element_data[slot] = Some(data.clone());
             }
         }
-        let element_data: Vec<Vec<u8>> = element_data
-            .into_iter()
-            .enumerate()
-            .map(|(slot, d)| {
-                d.ok_or_else(|| {
-                    StreamError::CorruptRecord(format!(
-                        "sorted read: no data for local slot {slot}"
-                    ))
-                })
-            })
-            .collect::<Result<_, _>>()?;
-        self.ctx
-            .charge_memcpy(element_data.iter().map(|d| d.len()).sum());
+        let mut data = Vec::new();
+        let mut segs = Vec::with_capacity(element_data.len());
+        for (slot, d) in element_data.into_iter().enumerate() {
+            let d = d.ok_or_else(|| {
+                StreamError::CorruptRecord(format!("sorted read: no data for local slot {slot}"))
+            })?;
+            segs.push((data.len(), d.len()));
+            data.extend_from_slice(&d);
+        }
+        self.ctx.charge_memcpy(data.len());
         drop(route_span);
 
         Ok(InRecord {
             header: header.clone(),
-            element_pos: vec![0; element_data.len()],
+            element_pos: vec![0; segs.len()],
             element_ids: local_ids,
-            element_data,
+            data,
+            segs,
             extracts_done: 0,
         })
     }
@@ -645,20 +796,21 @@ impl<'a> IStream<'a> {
         raw: &[u8],
     ) -> Result<InRecord, StreamError> {
         let base_off = if lo < hi { file_map[lo].offset } else { 0 };
-        let mut element_data = Vec::with_capacity(hi - lo);
+        let mut segs = Vec::with_capacity(hi - lo);
         let mut element_ids = Vec::with_capacity(hi - lo);
         for e in &file_map[lo..hi] {
             let rel = (e.offset - base_off) as usize;
-            element_data.push(raw[rel..rel + e.size as usize].to_vec());
+            segs.push((rel, e.size as usize));
             element_ids.push(e.global_id);
         }
         self.ctx.charge_memcpy(raw.len());
 
         Ok(InRecord {
             header: header.clone(),
-            element_pos: vec![0; element_data.len()],
+            element_pos: vec![0; segs.len()],
             element_ids,
-            element_data,
+            data: raw.to_vec(),
+            segs,
             extracts_done: 0,
         })
     }
@@ -723,8 +875,13 @@ impl<'a> IStream<'a> {
         let mut moved = 0usize;
         for (slot, (_gid, elem)) in c.iter_mut().enumerate() {
             let id = rec.element_ids[slot];
-            let mut ext =
-                Extractor::new(&rec.element_data[slot], rec.element_pos[slot], id, checked);
+            let (off, len) = rec.segs[slot];
+            let mut ext = Extractor::new(
+                &rec.data[off..off + len],
+                rec.element_pos[slot],
+                id,
+                checked,
+            );
             f(elem, &mut ext)?;
             moved += ext.pos() - rec.element_pos[slot];
             rec.element_pos[slot] = ext.pos();
@@ -732,6 +889,33 @@ impl<'a> IStream<'a> {
         self.ctx.charge_memcpy(moved);
         rec.extracts_done += 1;
         Ok(())
+    }
+
+    /// A zero-copy segmented view of the buffered record: every local
+    /// element's bytes and global id, borrowed straight from the stream's
+    /// internal buffer. The view is what [`crate::OStream::write_view`]
+    /// consumes to re-export a record without re-serializing it.
+    ///
+    /// Taking a view accounts for the record's content wholesale, so it
+    /// discharges the record's remaining extract obligation — a viewed
+    /// record can be followed by the next `read` (or `close`) directly.
+    pub fn view(&mut self) -> Result<DistView<'_>, StreamError> {
+        let rec = self.current.as_mut().ok_or_else(|| {
+            StreamError::violation(
+                "view",
+                "no record buffered — call read() or unsorted_read() first",
+            )
+        })?;
+        rec.extracts_done = rec.header.n_inserts;
+        let rec = &*rec;
+        DistView::new(&rec.data, &rec.segs, &rec.element_ids)
+            .map_err(|e| StreamError::CorruptRecord(e.to_string()))
+    }
+
+    /// Extracts performed so far on the buffered record (for mirrors of
+    /// the record via [`IStream::view`], which bypasses extraction).
+    pub fn record_inserts(&self) -> Option<u32> {
+        self.current.as_ref().map(|rec| rec.header.n_inserts)
     }
 
     /// The d/stream `close` primitive; errors if a buffered record still

@@ -79,6 +79,6 @@ pub use data::{from_bytes, to_bytes, Extractor, Inserter, Prim, StreamData};
 pub use error::StreamError;
 pub use format::{FileHeader, MetaMode, RecordHeader, RecordSeal};
 pub use inspect::{inspect_bytes, recovery_scan, FileSummary, RecordSummary, RecoveryReport};
-pub use istream::IStream;
+pub use istream::{IStream, ReadStrategy};
 pub use localio::LocalFile;
 pub use ostream::{MetaPolicy, OStream, PendingWrite, StreamOptions};

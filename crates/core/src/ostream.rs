@@ -12,6 +12,7 @@ use dstreams_collections::Collection;
 use dstreams_collections::Layout;
 use dstreams_machine::{MemoryModel, NodeCtx, SharedBuffer};
 use dstreams_pfs::{ChunkSum, FileHandle, IoHandle, OpenMode, Pfs};
+use dstreams_redist::DistView;
 use dstreams_trace::{EventKind, StreamPhase};
 
 use crate::data::{Inserter, StreamData};
@@ -246,11 +247,35 @@ impl<'a> OStream<'a> {
         if self.n_inserts == 0 {
             return Err(StreamError::EmptyWrite);
         }
-        let n = self.layout.len();
         let local_sizes: Vec<u64> = self.group.iter().map(|b| b.len() as u64).collect();
         let local_bytes: u64 = local_sizes.iter().sum();
         let data_len = self.ctx.all_reduce(local_bytes, |a, b| a + b)?;
 
+        // Pack this rank's data block: local elements in slot order, insert
+        // chunks already interleaved per element.
+        let pack = crate::phase::span(self.ctx, StreamPhase::Pack);
+        let mut data = Vec::with_capacity(local_bytes as usize);
+        for chunk in &self.group {
+            data.extend_from_slice(chunk);
+        }
+        self.ctx.charge_memcpy(data.len());
+        drop(pack);
+
+        let (mode, header, file_prefix) = self.stage_header(self.n_inserts, data_len)?;
+        Ok((mode, header, file_prefix, local_sizes, data))
+    }
+
+    /// The layout- and file-level half of staging a record: pick the
+    /// metadata mode, build the record header, and (for a still-empty
+    /// file) the root's d/stream file-header prefix. Shared by the
+    /// insert-buffer path ([`OStream::stage_record`]) and the zero-copy
+    /// view path ([`OStream::write_view`]).
+    fn stage_header(
+        &mut self,
+        n_inserts: u32,
+        data_len: u64,
+    ) -> Result<(MetaMode, RecordHeader, Vec<u8>), StreamError> {
+        let n = self.layout.len();
         let mode = match self.opts.meta_policy {
             MetaPolicy::Auto { small_threshold } => {
                 if n < small_threshold {
@@ -264,7 +289,7 @@ impl<'a> OStream<'a> {
 
         let header = RecordHeader {
             n_elements: n as u64,
-            n_inserts: self.n_inserts,
+            n_inserts,
             flags: if self.opts.checked {
                 RecordHeader::FLAG_CHECKED
             } else {
@@ -274,16 +299,6 @@ impl<'a> OStream<'a> {
             layout: self.layout.descriptor(),
             data_len,
         };
-
-        // Pack this rank's data block: local elements in slot order, insert
-        // chunks already interleaved per element.
-        let pack = crate::phase::span(self.ctx, StreamPhase::Pack);
-        let mut data = Vec::with_capacity(local_bytes as usize);
-        for chunk in &self.group {
-            data.extend_from_slice(chunk);
-        }
-        self.ctx.charge_memcpy(data.len());
-        drop(pack);
 
         // If the file is still empty (consistent across ranks thanks to
         // the barrier at the head of every collective PFS op), the root
@@ -306,7 +321,7 @@ impl<'a> OStream<'a> {
         } else {
             Vec::new()
         };
-        Ok((mode, header, file_prefix, local_sizes, data))
+        Ok((mode, header, file_prefix))
     }
 
     /// Reset the interleave group after a record has been emitted (or
@@ -330,6 +345,62 @@ impl<'a> OStream<'a> {
             self.write_per_node(mode, &header, file_prefix, &local_sizes, &data)?;
         }
         self.finish_record();
+        Ok(())
+    }
+
+    /// Emit one record whose data comes straight from a [`DistView`] —
+    /// the zero-copy re-export path. The view's per-slot bytes are the
+    /// already-serialized insert group of some earlier record (typically
+    /// [`crate::IStream::view`] on a record just read), so no `insert`
+    /// pass and no re-serialization happen; when the view's segments tile
+    /// their buffer contiguously, even the pack copy is skipped and the
+    /// borrowed buffer goes to the I/O layer directly. `n_inserts` must
+    /// be the insert count the viewed bytes were built with (readers
+    /// enforce extract/insert parity per record). Collective.
+    pub fn write_view(&mut self, view: &DistView<'_>, n_inserts: u32) -> Result<(), StreamError> {
+        if self.n_inserts != 0 {
+            return Err(StreamError::violation(
+                "write_view",
+                "the interleave group already holds inserted data — write it first",
+            ));
+        }
+        if n_inserts == 0 {
+            return Err(StreamError::EmptyWrite);
+        }
+        let local_ids = self.layout.local_elements(self.ctx.rank());
+        if view.len() != local_ids.len()
+            || (0..view.len()).any(|slot| view.id(slot) != local_ids[slot])
+        {
+            return Err(StreamError::LayoutMismatch(
+                "view elements are not this rank's elements in slot order".into(),
+            ));
+        }
+        let local_sizes = view.sizes();
+        let local_bytes: u64 = local_sizes.iter().sum();
+        let data_len = self.ctx.all_reduce(local_bytes, |a, b| a + b)?;
+        let (mode, header, file_prefix) = self.stage_header(n_inserts, data_len)?;
+
+        let gathered;
+        let data: &[u8] = match view.as_contiguous() {
+            Some(bytes) => bytes,
+            None => {
+                let pack = crate::phase::span(self.ctx, StreamPhase::Pack);
+                let mut buf = Vec::with_capacity(local_bytes as usize);
+                for (_id, bytes) in view.iter() {
+                    buf.extend_from_slice(bytes);
+                }
+                self.ctx.charge_memcpy(buf.len());
+                drop(pack);
+                gathered = buf;
+                &gathered
+            }
+        };
+        if let Some(scratch) = self.scratch.clone() {
+            self.write_smp(&scratch, &header, file_prefix, &local_sizes, data)?;
+        } else {
+            self.write_per_node(mode, &header, file_prefix, &local_sizes, data)?;
+        }
+        self.records_written += 1;
         Ok(())
     }
 

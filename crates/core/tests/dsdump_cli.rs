@@ -4,9 +4,9 @@
 use std::process::Command;
 
 use dstreams_collections::{Collection, DistKind, Layout};
-use dstreams_core::OStream;
+use dstreams_core::{FileHeader, OStream, RecordSeal};
 use dstreams_machine::{Machine, MachineConfig};
-use dstreams_pfs::{Backend, DiskModel, Pfs};
+use dstreams_pfs::{Backend, ChunkSum, DiskModel, Pfs};
 
 #[test]
 fn dsdump_reads_real_files() {
@@ -106,6 +106,70 @@ fn dsdump_reads_real_files() {
         "plain corruption (not a torn tail) must exit 1"
     );
     assert!(String::from_utf8(out.stderr).unwrap().contains("magic"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn dsdump_layout_prints_descriptors_and_rejects_inconsistent_headers() {
+    let dir = std::env::temp_dir().join(format!("dsdump-layout-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let pfs = Pfs::new(2, DiskModel::instant(), Backend::Disk(dir.clone()));
+    let p = pfs.clone();
+    Machine::run(MachineConfig::functional(2), move |ctx| {
+        let layout = Layout::dense(6, 2, DistKind::BlockCyclic(2)).unwrap();
+        let g = Collection::new(ctx, layout.clone(), |i| i as u64).unwrap();
+        let mut s = OStream::create(ctx, &p, &layout, "layout.dstream").unwrap();
+        s.insert_collection(&g).unwrap();
+        s.write().unwrap();
+        s.close().unwrap();
+    })
+    .unwrap();
+
+    let path = dir.join("layout.dstream");
+    let out = Command::new(env!("CARGO_BIN_EXE_dsdump"))
+        .arg("--layout")
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let report = String::from_utf8(out.stdout).unwrap();
+    assert!(report.contains("stored writer layout(s)"), "{report}");
+    assert!(report.contains("6 elements"), "{report}");
+    assert!(report.contains("6-cell template"), "{report}");
+    assert!(report.contains("BlockCyclic(2)"), "{report}");
+    assert!(report.contains("2 procs"), "{report}");
+    assert!(report.contains("align stride 1 offset 0"), "{report}");
+
+    // Corrupt-header fixture: shrink the descriptor's element count (a
+    // still-decodable layout) and re-seal so only the layout/record-table
+    // inconsistency can be the reason for rejection.
+    let mut bytes = std::fs::read(&path).unwrap();
+    let desc_n = FileHeader::LEN + 24;
+    bytes[desc_n..desc_n + 8].copy_from_slice(&5u64.to_le_bytes());
+    let data_end = bytes.len() - RecordSeal::LEN;
+    let digest = ChunkSum::of(&bytes[FileHeader::LEN..data_end]);
+    bytes[data_end + 12..data_end + 20].copy_from_slice(&digest.hash().to_le_bytes());
+    let bad = dir.join("inconsistent.dstream");
+    std::fs::write(&bad, &bytes).unwrap();
+    for flags in [&["--layout"][..], &[][..]] {
+        let out = Command::new(env!("CARGO_BIN_EXE_dsdump"))
+            .args(flags)
+            .arg(&bad)
+            .output()
+            .unwrap();
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "layout inconsistent with the record table must exit 1 ({flags:?})"
+        );
+        let err = String::from_utf8(out.stderr).unwrap();
+        assert!(err.contains("layout descriptor"), "{err}");
+        assert!(err.contains("5 element(s)"), "{err}");
+    }
     let _ = std::fs::remove_dir_all(&dir);
 }
 

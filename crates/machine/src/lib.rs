@@ -51,7 +51,7 @@ pub use config::{CollectiveConfig, CpuModel, MachineConfig, MemoryModel, NetMode
 pub use error::MachineError;
 pub use fault::{FaultDecision, FaultPlan, FaultSpec};
 pub use machine::Machine;
-pub use message::{Tag, AGG_SHUTTLE_TAG};
+pub use message::{Tag, AGG_SHUTTLE_TAG, REDIST_SHUTTLE_TAG};
 pub use node::{AsyncOp, CollectiveScope, NodeCtx};
 pub use shared::{SharedBuffer, SharedRegion};
 pub use time::{VTime, VirtualClock};

@@ -28,6 +28,12 @@ pub const COLLECTIVE_TAG_BASE: Tag = 0x8000_0000;
 /// collective tags (which would need ~2^31 collective rounds to wrap).
 pub const AGG_SHUTTLE_TAG: Tag = COLLECTIVE_TAG_BASE | 0x7fff_fffe;
 
+/// Tag used by the redistribution planner to shuttle coalesced element
+/// runs between reader ranks and the ranks that own those elements under
+/// the target layout. Sits just below [`AGG_SHUTTLE_TAG`] at the top of
+/// the collective namespace for the same non-collision reasons.
+pub const REDIST_SHUTTLE_TAG: Tag = COLLECTIVE_TAG_BASE | 0x7fff_fffd;
+
 /// A message in flight: payload plus the virtual time at which it reaches
 /// the receiver (already including latency and per-byte transfer time).
 #[derive(Debug)]

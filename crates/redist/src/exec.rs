@@ -1,0 +1,160 @@
+//! Schedule executor: runs a [`RedistPlan`] over the message layer.
+//!
+//! Every rank computes the identical plan from the identical record
+//! metadata, so the wire carries **payload bytes only** — no per-element
+//! ids, no length framing, no padding. The measured shuttle traffic is
+//! therefore equal to [`RedistPlan::lower_bound`] by construction, and
+//! the benchmark and differential sweep assert exactly that.
+//!
+//! Ordering is send-all-then-receive: sends never block in the machine
+//! model (unbounded channels), so posting every outgoing transfer before
+//! the first receive is deadlock-free, and receiving in the plan's
+//! deterministic `(src, dst)` order keeps traces reproducible. A crashed
+//! peer surfaces as [`MachineError::PeerGone`] from the receive — the
+//! error propagates instead of hanging, which is what lets a reader
+//! fall back to sealed-prefix semantics under fault injection.
+
+use std::fmt;
+
+use dstreams_machine::{MachineError, NodeCtx, REDIST_SHUTTLE_TAG};
+use dstreams_trace::EventKind;
+
+use crate::plan::RedistPlan;
+
+/// Failures while executing a redistribution schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The message layer failed (peer crashed, timeout, ...).
+    Machine(MachineError),
+    /// A peer delivered a payload whose length disagrees with the plan —
+    /// both sides derive the plan from the same header, so this means
+    /// the metadata the ranks read was not, in fact, identical.
+    Payload {
+        /// Sending rank.
+        from: usize,
+        /// Bytes the plan says the transfer carries.
+        expected: u64,
+        /// Bytes that actually arrived.
+        got: u64,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Machine(e) => write!(f, "redistribution transport failed: {e}"),
+            ExecError::Payload {
+                from,
+                expected,
+                got,
+            } => write!(
+                f,
+                "redistribution payload from rank {from} carried {got} bytes, plan says {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExecError::Machine(e) => Some(e),
+            ExecError::Payload { .. } => None,
+        }
+    }
+}
+
+impl From<MachineError> for ExecError {
+    fn from(e: MachineError) -> Self {
+        ExecError::Machine(e)
+    }
+}
+
+/// Execute `plan` on the calling rank.
+///
+/// * `sizes` — file-order sizes of **all** elements in the record (every
+///   rank has them from the size table).
+/// * `raw` — the bytes this rank read in phase 1: the file-order
+///   concatenation of its span `plan.span(ctx.rank())`.
+/// * `file` — name stamped into the `RedistShuttle` trace events.
+/// * `place` — called exactly once per element this rank ends up owning,
+///   with the element's file-order index and its payload bytes, whether
+///   it arrived over the wire or was retained locally.
+pub fn execute(
+    ctx: &NodeCtx,
+    plan: &RedistPlan,
+    sizes: &[u64],
+    raw: &[u8],
+    file: &str,
+    mut place: impl FnMut(usize, &[u8]),
+) -> Result<(), ExecError> {
+    let rank = ctx.rank();
+    let (lo, hi) = plan.span(rank);
+
+    // Byte offset of each span element inside `raw`.
+    let mut offs = Vec::with_capacity(hi - lo + 1);
+    let mut acc = 0usize;
+    for size in &sizes[lo..hi] {
+        offs.push(acc);
+        acc += *size as usize;
+    }
+    offs.push(acc);
+    debug_assert_eq!(acc, raw.len(), "raw buffer must hold exactly the span");
+    let slice_of = |e: usize| -> &[u8] { &raw[offs[e - lo]..offs[e + 1 - lo]] };
+
+    // Post every outgoing transfer before the first receive.
+    for t in plan.messages().iter().filter(|t| t.src == rank) {
+        let mut payload = Vec::with_capacity(t.bytes as usize);
+        for iv in &t.intervals {
+            payload.extend_from_slice(&raw[offs[iv.start - lo]..offs[iv.start + iv.len - lo]]);
+        }
+        debug_assert_eq!(payload.len() as u64, t.bytes);
+        ctx.send(t.dst, REDIST_SHUTTLE_TAG, &payload)?;
+        ctx.emit_with(|| EventKind::RedistShuttle {
+            outgoing: true,
+            peer: t.dst,
+            bytes: t.bytes,
+            elements: t.elements,
+            file: file.to_string(),
+        });
+    }
+
+    // Locally-retained intervals: memmoves, never messages.
+    for t in plan.retained().iter().filter(|t| t.src == rank) {
+        for iv in &t.intervals {
+            for e in iv.start..iv.start + iv.len {
+                place(e, slice_of(e));
+            }
+        }
+        ctx.charge_memcpy(t.bytes as usize);
+    }
+
+    // Receive incoming transfers in the plan's deterministic order.
+    for t in plan.messages().iter().filter(|t| t.dst == rank) {
+        let payload = ctx.recv(t.src, REDIST_SHUTTLE_TAG)?;
+        if payload.len() as u64 != t.bytes {
+            return Err(ExecError::Payload {
+                from: t.src,
+                expected: t.bytes,
+                got: payload.len() as u64,
+            });
+        }
+        let mut cursor = 0usize;
+        for iv in &t.intervals {
+            for (e, size) in sizes.iter().enumerate().skip(iv.start).take(iv.len) {
+                let len = *size as usize;
+                place(e, &payload[cursor..cursor + len]);
+                cursor += len;
+            }
+        }
+        ctx.emit_with(|| EventKind::RedistShuttle {
+            outgoing: false,
+            peer: t.src,
+            bytes: t.bytes,
+            elements: t.elements,
+            file: file.to_string(),
+        });
+    }
+
+    Ok(())
+}

@@ -1,0 +1,189 @@
+//! Zero-copy segmented views over distributed element buffers.
+//!
+//! A [`DistView`] borrows one flat byte buffer plus a segment table and
+//! exposes the elements a rank holds without re-packing them. Both
+//! stream endpoints hand these out: an `IStream` lends a view of the
+//! record it just read, and an `OStream` can consume a view directly,
+//! skipping the per-element gather copy when the segments already tile
+//! the buffer contiguously.
+
+use std::fmt;
+
+/// A segment table entry didn't fit inside the borrowed buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ViewError {
+    /// Local slot of the offending segment.
+    pub slot: usize,
+    /// Claimed byte offset.
+    pub offset: usize,
+    /// Claimed byte length.
+    pub len: usize,
+    /// Actual buffer length.
+    pub buf_len: usize,
+}
+
+impl fmt::Display for ViewError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "view segment {} ({} bytes at offset {}) escapes its {}-byte buffer",
+            self.slot, self.len, self.offset, self.buf_len
+        )
+    }
+}
+
+impl std::error::Error for ViewError {}
+
+/// A borrowed, segmented view of the elements one rank holds.
+///
+/// `segs[slot] = (offset, len)` locates the element in local slot
+/// `slot` inside `data`; `ids[slot]` is its global id. Nothing is
+/// copied: the view lives exactly as long as the buffer it borrows.
+#[derive(Debug, Clone, Copy)]
+pub struct DistView<'a> {
+    data: &'a [u8],
+    segs: &'a [(usize, usize)],
+    ids: &'a [usize],
+}
+
+impl<'a> DistView<'a> {
+    /// Borrow a view over `data`, validating that every segment lies
+    /// within the buffer and that the tables agree in length.
+    ///
+    /// # Panics
+    /// If `segs` and `ids` differ in length (a caller bug, not data
+    /// corruption — corrupt offsets report [`ViewError`] instead).
+    pub fn new(
+        data: &'a [u8],
+        segs: &'a [(usize, usize)],
+        ids: &'a [usize],
+    ) -> Result<DistView<'a>, ViewError> {
+        assert_eq!(segs.len(), ids.len(), "one global id per segment");
+        for (slot, &(offset, len)) in segs.iter().enumerate() {
+            let end = offset.checked_add(len);
+            if end.is_none() || end.unwrap() > data.len() {
+                return Err(ViewError {
+                    slot,
+                    offset,
+                    len,
+                    buf_len: data.len(),
+                });
+            }
+        }
+        Ok(DistView { data, segs, ids })
+    }
+
+    /// Number of local elements.
+    pub fn len(&self) -> usize {
+        self.segs.len()
+    }
+
+    /// Whether the view holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.segs.is_empty()
+    }
+
+    /// Global id of the element in local slot `slot`.
+    pub fn id(&self, slot: usize) -> usize {
+        self.ids[slot]
+    }
+
+    /// Packed bytes of the element in local slot `slot` — a borrow into
+    /// the underlying buffer, valid for the view's whole lifetime.
+    pub fn element(&self, slot: usize) -> &'a [u8] {
+        let (off, len) = self.segs[slot];
+        &self.data[off..off + len]
+    }
+
+    /// Total payload bytes across all local elements.
+    pub fn total_bytes(&self) -> u64 {
+        self.segs.iter().map(|&(_, len)| len as u64).sum()
+    }
+
+    /// Per-slot element sizes, in slot order.
+    pub fn sizes(&self) -> Vec<u64> {
+        self.segs.iter().map(|&(_, len)| len as u64).collect()
+    }
+
+    /// Whether the segments tile the buffer contiguously from offset 0
+    /// in slot order — the condition under which a writer can hand the
+    /// whole buffer to the I/O layer without any gather copy.
+    pub fn is_contiguous(&self) -> bool {
+        let mut expect = 0usize;
+        for &(off, len) in self.segs {
+            if off != expect {
+                return false;
+            }
+            expect += len;
+        }
+        expect == self.data.len()
+    }
+
+    /// The full underlying buffer, when [`Self::is_contiguous`] holds.
+    pub fn as_contiguous(&self) -> Option<&'a [u8]> {
+        if self.is_contiguous() {
+            Some(self.data)
+        } else {
+            None
+        }
+    }
+
+    /// Iterate `(global_id, element_bytes)` pairs in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &'a [u8])> + '_ {
+        (0..self.len()).map(move |s| (self.id(s), self.element(s)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn view_exposes_segments_without_copying() {
+        let data = b"aabbbccccdd".to_vec();
+        let segs = [(0usize, 2usize), (2, 3), (5, 4), (9, 2)];
+        let ids = [7usize, 1, 4, 2];
+        let v = DistView::new(&data, &segs, &ids).unwrap();
+        assert_eq!(v.len(), 4);
+        assert_eq!(v.element(1), b"bbb");
+        assert_eq!(v.id(1), 1);
+        assert_eq!(v.total_bytes(), 11);
+        assert!(v.is_contiguous());
+        assert_eq!(v.as_contiguous().unwrap(), &data[..]);
+        let pairs: Vec<(usize, &[u8])> = v.iter().collect();
+        assert_eq!(pairs[2], (4usize, &b"cccc"[..]));
+        assert_eq!(v.sizes(), vec![2, 3, 4, 2]);
+    }
+
+    #[test]
+    fn gaps_or_reordering_break_contiguity_but_not_access() {
+        let data = b"xxyyzz".to_vec();
+        // Slot order 0 -> bytes at 4, slot 1 -> bytes at 0: reordered.
+        let segs = [(4usize, 2usize), (0, 2)];
+        let ids = [0usize, 1];
+        let v = DistView::new(&data, &segs, &ids).unwrap();
+        assert!(!v.is_contiguous());
+        assert!(v.as_contiguous().is_none());
+        assert_eq!(v.element(0), b"zz");
+        assert_eq!(v.element(1), b"xx");
+    }
+
+    #[test]
+    fn out_of_bounds_segment_is_rejected() {
+        let data = [0u8; 4];
+        let segs = [(2usize, 3usize)];
+        let ids = [0usize];
+        let err = DistView::new(&data, &segs, &ids).unwrap_err();
+        assert_eq!(err.slot, 0);
+        assert_eq!(err.buf_len, 4);
+        assert!(err.to_string().contains("escapes"));
+    }
+
+    #[test]
+    fn empty_view_is_contiguous() {
+        let v = DistView::new(&[], &[], &[]).unwrap();
+        assert!(v.is_empty());
+        assert!(v.is_contiguous());
+        assert_eq!(v.total_bytes(), 0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests for the redistribution planner.
+//!
+//! The headline property: the DP restricted to ownership-run boundaries
+//! finds the true minimum over **all** conforming contiguous span
+//! partitions — checked here against exhaustive enumeration on small
+//! instances, which is exactly the slide-argument the planner's
+//! minimality claim rests on.
+
+use dstreams_redist::RedistPlan;
+use proptest::prelude::*;
+
+/// Minimum moved bytes over every monotone span partition, by brute
+/// force: enumerate all boundary vectors 0 <= b1 <= ... <= b_{P-1} <= n.
+fn brute_force_min(nprocs: usize, sizes: &[u64], dst: &[usize]) -> u64 {
+    fn rec(p: usize, lo: usize, nprocs: usize, sizes: &[u64], dst: &[usize]) -> u64 {
+        let n = sizes.len();
+        if p == nprocs - 1 {
+            // Last rank takes [lo, n).
+            return (lo..n).filter(|&e| dst[e] != p).map(|e| sizes[e]).sum();
+        }
+        let mut best = u64::MAX;
+        for hi in lo..=n {
+            let own: u64 = (lo..hi).filter(|&e| dst[e] != p).map(|e| sizes[e]).sum();
+            let rest = rec(p + 1, hi, nprocs, sizes, dst);
+            best = best.min(own + rest);
+        }
+        best
+    }
+    rec(0, 0, nprocs, sizes, dst)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// The run-boundary DP matches exhaustive search over all span
+    /// partitions — the planner's lower bound really is the minimum.
+    #[test]
+    fn dp_matches_brute_force_minimum(
+        nprocs in 1usize..4,
+        elems in proptest::collection::vec((0u64..9, 0usize..4), 0..9),
+    ) {
+        let sizes: Vec<u64> = elems.iter().map(|&(s, _)| s).collect();
+        let dst: Vec<usize> = elems.iter().map(|&(_, d)| d % nprocs).collect();
+        let plan = RedistPlan::new(nprocs, &sizes, &dst);
+        prop_assert_eq!(plan.lower_bound(), brute_force_min(nprocs, &sizes, &dst));
+    }
+
+    /// Structural invariants: spans partition [0, n), transfers cover
+    /// every element exactly once toward its stated destination, and
+    /// message bytes sum to the lower bound.
+    #[test]
+    fn plan_is_a_consistent_schedule(
+        nprocs in 1usize..6,
+        elems in proptest::collection::vec((0u64..20, 0usize..6), 0..24),
+    ) {
+        let sizes: Vec<u64> = elems.iter().map(|&(s, _)| s).collect();
+        let dst: Vec<usize> = elems.iter().map(|&(_, d)| d % nprocs).collect();
+        let n = sizes.len();
+        let plan = RedistPlan::new(nprocs, &sizes, &dst);
+
+        // Spans are monotone and tile [0, n).
+        let mut expect = 0usize;
+        for p in 0..nprocs {
+            let (lo, hi) = plan.span(p);
+            prop_assert_eq!(lo, expect);
+            prop_assert!(hi >= lo);
+            expect = hi;
+        }
+        prop_assert_eq!(expect, n);
+
+        // Each element is scheduled exactly once, from its reader's span,
+        // toward dst[e]; retained transfers have src == dst.
+        let mut count = vec![0u32; n];
+        for t in plan.messages() {
+            prop_assert_ne!(t.src, t.dst);
+        }
+        for t in plan.messages().iter().chain(plan.retained()) {
+            let (lo, hi) = plan.span(t.src);
+            let mut bytes = 0u64;
+            let mut elements = 0u64;
+            for iv in &t.intervals {
+                prop_assert!(iv.start >= lo && iv.start + iv.len <= hi);
+                let mut iv_bytes = 0u64;
+                for e in iv.start..iv.start + iv.len {
+                    count[e] += 1;
+                    prop_assert_eq!(dst[e], t.dst);
+                    iv_bytes += sizes[e];
+                }
+                prop_assert_eq!(iv.bytes, iv_bytes);
+                bytes += iv_bytes;
+                elements += iv.len as u64;
+            }
+            prop_assert_eq!(t.bytes, bytes);
+            prop_assert_eq!(t.elements, elements);
+        }
+        prop_assert!(count.iter().all(|&c| c == 1));
+        let msg_bytes: u64 = plan.messages().iter().map(|t| t.bytes).sum();
+        prop_assert_eq!(msg_bytes, plan.lower_bound());
+    }
+
+    /// When the destination map is already grouped in rank order (the
+    /// same-layout read), the plan is message-free.
+    #[test]
+    fn grouped_destinations_need_no_messages(
+        nprocs in 1usize..6,
+        counts in proptest::collection::vec(0usize..5, 1..6),
+    ) {
+        let mut dst = Vec::new();
+        for (p, &c) in counts.iter().enumerate().take(nprocs) {
+            dst.extend(std::iter::repeat_n(p, c));
+        }
+        let sizes: Vec<u64> = dst.iter().map(|&d| 1 + d as u64).collect();
+        let plan = RedistPlan::new(nprocs, &sizes, &dst);
+        prop_assert!(plan.is_identity());
+        prop_assert_eq!(plan.lower_bound(), 0);
+    }
+}

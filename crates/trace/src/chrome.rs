@@ -142,6 +142,27 @@ fn event_to_value(e: &Event) -> Value {
                 ("file".into(), Value::Str(file.clone())),
             ],
         ),
+        EventKind::RedistShuttle {
+            outgoing,
+            peer,
+            bytes,
+            elements,
+            file,
+        } => instant(
+            if *outgoing {
+                "redist.shuttle_out"
+            } else {
+                "redist.shuttle_in"
+            },
+            "redist",
+            e,
+            vec![
+                ("peer".into(), Value::Int(*peer as i64)),
+                ("bytes".into(), Value::Int(*bytes as i64)),
+                ("elements".into(), Value::Int(*elements as i64)),
+                ("file".into(), Value::Str(file.clone())),
+            ],
+        ),
         EventKind::FaultInjected {
             kind,
             op_index,

@@ -41,6 +41,13 @@ pub struct OpCounts {
     pub agg_shuttles: u64,
     /// Bytes carried by aggregation shuttle transfers.
     pub agg_shuttle_bytes: u64,
+    /// Redistribution shuttle transfers (counted on the sending side
+    /// only, so the number is transfers, not trace records).
+    pub redist_shuttles: u64,
+    /// Bytes carried by redistribution shuttle transfers.
+    pub redist_shuttle_bytes: u64,
+    /// Elements carried by redistribution shuttle transfers.
+    pub redist_shuttle_elements: u64,
     /// Actual bytes written to files by this machine (independent writes
     /// plus per-rank collective write contributions).
     pub bytes_written: u64,
@@ -115,6 +122,18 @@ impl OpCounts {
                     if *outgoing {
                         c.agg_shuttles += 1;
                         c.agg_shuttle_bytes += bytes;
+                    }
+                }
+                EventKind::RedistShuttle {
+                    outgoing,
+                    bytes,
+                    elements,
+                    ..
+                } => {
+                    if *outgoing {
+                        c.redist_shuttles += 1;
+                        c.redist_shuttle_bytes += bytes;
+                        c.redist_shuttle_elements += elements;
                     }
                 }
                 EventKind::FaultInjected { kind, .. } => {
@@ -209,6 +228,18 @@ impl OpCounts {
             (
                 "agg_shuttle_bytes".into(),
                 Value::Int(self.agg_shuttle_bytes as i64),
+            ),
+            (
+                "redist_shuttles".into(),
+                Value::Int(self.redist_shuttles as i64),
+            ),
+            (
+                "redist_shuttle_bytes".into(),
+                Value::Int(self.redist_shuttle_bytes as i64),
+            ),
+            (
+                "redist_shuttle_elements".into(),
+                Value::Int(self.redist_shuttle_elements as i64),
             ),
             (
                 "bytes_written".into(),
@@ -332,6 +363,26 @@ mod tests {
                     file: "f".into(),
                 },
             ),
+            at(
+                7,
+                EventKind::RedistShuttle {
+                    outgoing: true,
+                    peer: 1,
+                    bytes: 44,
+                    elements: 3,
+                    file: "f".into(),
+                },
+            ),
+            at(
+                8,
+                EventKind::RedistShuttle {
+                    outgoing: false,
+                    peer: 0,
+                    bytes: 44,
+                    elements: 3,
+                    file: "f".into(),
+                },
+            ),
         ];
         let c = OpCounts::from_events(&events);
         assert_eq!(c.p2p_messages, 1);
@@ -346,6 +397,9 @@ mod tests {
         // Only the outgoing side counts as a shuttle transfer.
         assert_eq!(c.agg_shuttles, 1);
         assert_eq!(c.agg_shuttle_bytes, 30);
+        assert_eq!(c.redist_shuttles, 1);
+        assert_eq!(c.redist_shuttle_bytes, 44);
+        assert_eq!(c.redist_shuttle_elements, 3);
         assert_eq!(c.bytes_written, 100);
         assert_eq!(c.bytes_read, 60);
         assert!(!c.is_empty());

@@ -181,6 +181,20 @@ fn kind_members(kind: &EventKind) -> Vec<(String, Value)> {
             ("bytes".into(), u64_value(*bytes)),
             ("file".into(), Value::Str(file.clone())),
         ],
+        EventKind::RedistShuttle {
+            outgoing,
+            peer,
+            bytes,
+            elements,
+            file,
+        } => vec![
+            tag("redist_shuttle"),
+            ("outgoing".into(), Value::Bool(*outgoing)),
+            ("peer".into(), Value::Int(*peer as i64)),
+            ("bytes".into(), u64_value(*bytes)),
+            ("elements".into(), u64_value(*elements)),
+            ("file".into(), Value::Str(file.clone())),
+        ],
         EventKind::FaultInjected {
             kind,
             op_index,
@@ -295,6 +309,13 @@ fn event_from_value(v: &Value) -> Result<Event, String> {
             outgoing: field_bool(v, "outgoing")?,
             peer: field_usize(v, "peer")?,
             bytes: field_u64(v, "bytes")?,
+            file: field_str(v, "file")?.to_string(),
+        },
+        "redist_shuttle" => EventKind::RedistShuttle {
+            outgoing: field_bool(v, "outgoing")?,
+            peer: field_usize(v, "peer")?,
+            bytes: field_u64(v, "bytes")?,
+            elements: field_u64(v, "elements")?,
             file: field_str(v, "file")?.to_string(),
         },
         "fault_injected" => EventKind::FaultInjected {
@@ -520,6 +541,17 @@ mod tests {
                     outgoing: true,
                     peer: 1,
                     bytes: 512,
+                    file: "in.ds".into(),
+                },
+            ),
+            ev(
+                0,
+                32,
+                EventKind::RedistShuttle {
+                    outgoing: true,
+                    peer: 1,
+                    bytes: 768,
+                    elements: 5,
                     file: "in.ds".into(),
                 },
             ),

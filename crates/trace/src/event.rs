@@ -256,6 +256,24 @@ pub enum EventKind {
         /// File the slice belongs to.
         file: String,
     },
+    /// Redistribution shuttle: one coalesced run of record elements
+    /// moving between a reader rank and the rank that owns those
+    /// elements under the target layout. Emitted on both endpoints
+    /// (`outgoing` on the sender, incoming on the receiver); locally
+    /// retained runs move by memmove and emit nothing.
+    RedistShuttle {
+        /// True on the rank sending data; false on the rank claiming it.
+        outgoing: bool,
+        /// The other endpoint's rank.
+        peer: usize,
+        /// Payload bytes shuttled (data only — the plan is computed
+        /// redundantly on every rank, so no framing travels).
+        bytes: u64,
+        /// Elements carried by this shuttle.
+        elements: u64,
+        /// File the record belongs to.
+        file: String,
+    },
     /// An injected fault fired on a file operation of this rank.
     FaultInjected {
         /// Fault class.

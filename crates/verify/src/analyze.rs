@@ -32,6 +32,13 @@
 //!   silently missing from the coalesced physical write. The rule is
 //!   silent on traces with no shuttle traffic (direct, non-aggregated
 //!   runs) and relaxed for crashed endpoints.
+//! * **redist conservation** — redistribution shuttle traffic
+//!   (`RedistShuttle` events) must conserve per directed pair in bytes
+//!   *and* elements: every element a reader rank ships toward its owner
+//!   under the target layout must be claimed by exactly one matching
+//!   receive. A mismatch means the two-phase planner's executor lost,
+//!   duplicated or mis-sliced element data mid-shuffle. Silent on traces
+//!   without redistribution traffic; relaxed for crashed endpoints.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -54,6 +61,9 @@ pub enum Rule {
     /// Collective-buffering shuttle traffic does not conserve between a
     /// source rank and its aggregator.
     ShuttleConservation,
+    /// Redistribution shuttle traffic does not conserve between a reader
+    /// rank and the owner it shipped elements to.
+    RedistConservation,
 }
 
 impl fmt::Display for Rule {
@@ -64,6 +74,7 @@ impl fmt::Display for Rule {
             Rule::SealOrdering => "seal-ordering",
             Rule::MessagePairing => "message-pairing",
             Rule::ShuttleConservation => "shuttle-conservation",
+            Rule::RedistConservation => "redist-conservation",
         })
     }
 }
@@ -173,7 +184,7 @@ fn crashed_ranks(trace: &Trace) -> Vec<usize> {
     out
 }
 
-/// Run all five rules over a trace.
+/// Run all six rules over a trace.
 pub fn analyze(trace: &Trace) -> Report {
     let lanes = per_rank_events(trace);
     let crashed = crashed_ranks(trace);
@@ -191,6 +202,7 @@ pub fn analyze(trace: &Trace) -> Report {
     check_seal_ordering(&lanes, &mut report);
     check_message_pairing(trace, &crashed, &mut report);
     check_shuttle_conservation(trace, &crashed, &mut report);
+    check_redist_conservation(trace, &crashed, &mut report);
     report
 }
 
@@ -457,6 +469,48 @@ fn check_shuttle_conservation(trace: &Trace, crashed: &[usize], report: &mut Rep
                 "shuttle {src}->{dst}: {sends} send(s)/{sent} B shipped vs \
                  {recvs} receive(s)/{recvd} B claimed — the aggregator \
                  dropped or invented part of rank {src}'s block"
+            ),
+        });
+    }
+}
+
+fn check_redist_conservation(trace: &Trace, crashed: &[usize], report: &mut Report) {
+    // (src, dst) -> (sent bytes, sent elements, recv bytes, recv elements)
+    let mut pairs: BTreeMap<(usize, usize), (u64, u64, u64, u64)> = BTreeMap::new();
+    for e in &trace.events {
+        if let EventKind::RedistShuttle {
+            outgoing,
+            peer,
+            bytes,
+            elements,
+            ..
+        } = &e.kind
+        {
+            if *outgoing {
+                let slot = pairs.entry((e.rank, *peer)).or_insert((0, 0, 0, 0));
+                slot.0 += bytes;
+                slot.1 += elements;
+            } else {
+                let slot = pairs.entry((*peer, e.rank)).or_insert((0, 0, 0, 0));
+                slot.2 += bytes;
+                slot.3 += elements;
+            }
+        }
+    }
+    for ((src, dst), (sent, sent_el, recvd, recvd_el)) in pairs {
+        if sent == recvd && sent_el == recvd_el {
+            continue;
+        }
+        if crashed.contains(&src) || crashed.contains(&dst) {
+            continue;
+        }
+        report.hazards.push(Hazard {
+            rule: Rule::RedistConservation,
+            rank: Some(dst),
+            detail: format!(
+                "redistribution {src}->{dst}: {sent_el} element(s)/{sent} B \
+                 shipped vs {recvd_el} element(s)/{recvd} B claimed — the \
+                 shuffle lost or duplicated element data"
             ),
         });
     }
@@ -845,6 +899,92 @@ mod tests {
                         kind: FaultKind::Crash,
                         op_index: 3,
                         file: "s".into(),
+                        bytes_kept: 0,
+                    },
+                ),
+            ],
+        );
+        let r = analyze(&t);
+        assert!(r.clean(), "{r}");
+    }
+
+    fn redist(
+        rank: usize,
+        t: u64,
+        seq: u64,
+        outgoing: bool,
+        peer: usize,
+        bytes: u64,
+        elements: u64,
+    ) -> Event {
+        ev(
+            rank,
+            t,
+            seq,
+            EventKind::RedistShuttle {
+                outgoing,
+                peer,
+                bytes,
+                elements,
+                file: "r".into(),
+            },
+        )
+    }
+
+    #[test]
+    fn conserved_redistribution_is_clean() {
+        let t = trace(
+            3,
+            vec![
+                redist(0, 10, 0, true, 2, 96, 4),
+                redist(2, 12, 0, false, 0, 96, 4),
+                redist(1, 10, 0, true, 2, 8, 1),
+                redist(2, 14, 1, false, 1, 8, 1),
+            ],
+        );
+        let r = analyze(&t);
+        assert!(r.clean(), "{r}");
+    }
+
+    #[test]
+    fn lost_redistribution_transfer_is_flagged() {
+        let t = trace(2, vec![redist(1, 10, 0, true, 0, 96, 4)]);
+        let r = analyze(&t);
+        assert_eq!(r.hazards.len(), 1);
+        assert_eq!(r.hazards[0].rule, Rule::RedistConservation);
+        assert_eq!(r.hazards[0].rank, Some(0));
+        assert!(r.hazards[0].detail.contains("1->0"), "{}", r.hazards[0]);
+    }
+
+    #[test]
+    fn redistribution_element_mismatch_is_flagged_even_when_bytes_agree() {
+        // Same byte total, different element counts: a mis-sliced payload.
+        let t = trace(
+            2,
+            vec![
+                redist(1, 10, 0, true, 0, 96, 4),
+                redist(0, 12, 0, false, 1, 96, 3),
+            ],
+        );
+        let r = analyze(&t);
+        assert_eq!(r.hazards.len(), 1);
+        assert_eq!(r.hazards[0].rule, Rule::RedistConservation);
+    }
+
+    #[test]
+    fn redistribution_leak_on_crashed_endpoint_is_excused() {
+        let t = trace(
+            2,
+            vec![
+                redist(1, 10, 0, true, 0, 96, 4),
+                ev(
+                    0,
+                    15,
+                    0,
+                    EventKind::FaultInjected {
+                        kind: FaultKind::Crash,
+                        op_index: 3,
+                        file: "r".into(),
                         bytes_kept: 0,
                     },
                 ),

@@ -4,7 +4,7 @@
 use std::process::Command;
 
 use dstreams_collections::{Collection, DistKind, Layout};
-use dstreams_core::OStream;
+use dstreams_core::{IStream, OStream};
 use dstreams_machine::{CollectiveConfig, Machine, MachineConfig};
 use dstreams_pfs::Pfs;
 use dstreams_trace::{Trace, TraceSink};
@@ -54,11 +54,26 @@ fn leaked_agg_shuttle_fixture_is_flagged() {
 }
 
 #[test]
+fn lost_redist_transfer_fixture_is_flagged() {
+    let report = analyze(&load("lost_redist_transfer.dstrace.json"));
+    assert_eq!(report.hazards.len(), 1, "{report}");
+    let h = &report.hazards[0];
+    assert_eq!(h.rule, Rule::RedistConservation);
+    // The hazard points at the receiver whose claim disagrees: rank 2
+    // shipped 4 elements toward rank 0, which claimed only 3.
+    assert_eq!(h.rank, Some(0));
+    assert!(h.detail.contains("2->0"), "{h}");
+    assert!(h.detail.contains("4 element(s)/512 B"), "{h}");
+    assert!(h.detail.contains("3 element(s)/512 B"), "{h}");
+}
+
+#[test]
 fn dsverify_flags_fixtures_and_exits_nonzero() {
     let out = Command::new(env!("CARGO_BIN_EXE_dsverify"))
         .arg(fixture("mismatched_collective.dstrace.json"))
         .arg(fixture("unmatched_write_begin.dstrace.json"))
         .arg(fixture("leaked_agg_shuttle.dstrace.json"))
+        .arg(fixture("lost_redist_transfer.dstrace.json"))
         .output()
         .unwrap();
     assert_eq!(out.status.code(), Some(1), "{out:?}");
@@ -66,6 +81,7 @@ fn dsverify_flags_fixtures_and_exits_nonzero() {
     assert!(stdout.contains("collective-matching"), "{stdout}");
     assert!(stdout.contains("async-pairing"), "{stdout}");
     assert!(stdout.contains("shuttle-conservation"), "{stdout}");
+    assert!(stdout.contains("redist-conservation"), "{stdout}");
 }
 
 #[test]
@@ -163,6 +179,51 @@ fn aggregated_traced_run_round_trips_clean_through_dsverify() {
             .iter()
             .any(|e| matches!(e.kind, dstreams_trace::EventKind::AggShuttle { .. })),
         "the aggregated run never shipped a shuttle"
+    );
+    let report = analyze(&reparsed);
+    assert!(report.clean(), "{report}");
+}
+
+/// A cross-distribution planned read, traced and re-analyzed: live
+/// redistribution shuttle traffic conserves per pair, so the new rule
+/// stays silent on a healthy run — the lost-transfer fixture above is
+/// discriminating, not vacuous.
+#[test]
+fn cross_shape_read_round_trips_clean_through_dsverify() {
+    let nprocs = 4;
+    let sink = TraceSink::new(nprocs);
+    let pfs = Pfs::in_memory(nprocs);
+    let p = pfs.clone();
+    Machine::run(
+        MachineConfig::functional(nprocs).traced(sink.clone()),
+        move |ctx| {
+            let wlayout = Layout::dense(24, ctx.nprocs(), DistKind::Block).unwrap();
+            let c = Collection::new(ctx, wlayout.clone(), |g| g as u64).unwrap();
+            let mut s = OStream::create(ctx, &p, &wlayout, "xshape").unwrap();
+            s.insert_collection(&c).unwrap();
+            s.write().unwrap();
+            s.close().unwrap();
+
+            let rlayout = Layout::dense(24, ctx.nprocs(), DistKind::Cyclic).unwrap();
+            let mut g = Collection::new(ctx, rlayout.clone(), |_| 0u64).unwrap();
+            let mut r = IStream::open(ctx, &p, &rlayout, "xshape").unwrap();
+            r.read().unwrap();
+            r.extract_collection(&mut g).unwrap();
+            r.close().unwrap();
+            for (gid, v) in g.iter() {
+                assert_eq!(*v, gid as u64);
+            }
+        },
+    )
+    .unwrap();
+    let json = sink.take().to_events_json();
+    let reparsed = Trace::from_events_json(&json).unwrap();
+    assert!(
+        reparsed
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, dstreams_trace::EventKind::RedistShuttle { .. })),
+        "the cross-distribution read never shuttled an element"
     );
     let report = analyze(&reparsed);
     assert!(report.clean(), "{report}");

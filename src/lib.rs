@@ -8,6 +8,8 @@
 //! * [`core`] — the d/streams library itself;
 //! * [`pipeline`] — asynchronous split-collective I/O (write-behind,
 //!   read-ahead, deterministic compute/I-O overlap);
+//! * [`redist`] — distribution views and the two-phase redistribution
+//!   planner for cross-shape reads;
 //! * [`scf`] — the SCF benchmark that regenerates the paper's tables;
 //! * [`trace`] — structured event tracing (Chrome trace export, op counts);
 //! * [`verify`] — protocol verification: typestate wrappers, Fig. 2 model
@@ -23,6 +25,7 @@ pub use dstreams_core as core;
 pub use dstreams_machine as machine;
 pub use dstreams_pfs as pfs;
 pub use dstreams_pipeline as pipeline;
+pub use dstreams_redist as redist;
 pub use dstreams_scf as scf;
 pub use dstreams_trace as trace;
 pub use dstreams_verify as verify;
@@ -31,8 +34,10 @@ pub use dstreams_verify as verify;
 pub mod prelude {
     pub use dstreams_collections::{Alignment, Collection, DistKind, Distribution, Layout};
     pub use dstreams_core::{
-        IStream, LocalFile, MetaMode, MetaPolicy, OStream, StreamData, StreamError, StreamOptions,
+        IStream, LocalFile, MetaMode, MetaPolicy, OStream, ReadStrategy, StreamData, StreamError,
+        StreamOptions,
     };
     pub use dstreams_machine::{Machine, MachineConfig, NodeCtx, VTime};
     pub use dstreams_pfs::{Backend, DiskModel, OpenMode, Pfs};
+    pub use dstreams_redist::{DistView, RedistPlan};
 }

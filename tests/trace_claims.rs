@@ -17,7 +17,9 @@
 //!   op counts agree exactly with the PFS statistics counters.
 
 use dstreams::collections::{Collection, DistKind, Layout};
-use dstreams::core::{IStream, LocalFile, MetaMode, MetaPolicy, OStream, StreamOptions};
+use dstreams::core::{
+    IStream, LocalFile, MetaMode, MetaPolicy, OStream, ReadStrategy, StreamOptions,
+};
 use dstreams::machine::{Machine, MachineConfig};
 use dstreams::pfs::Pfs;
 use dstreams::trace::{CollOp, EventKind, PfsOp, StreamPhase, Trace, TraceSink};
@@ -138,27 +140,46 @@ fn unsorted_read_moves_no_point_to_point_messages() {
     assert_eq!(phase_begins(&unsorted, StreamPhase::Route), 0);
 
     // Contrast: the sorted read under the changed distribution must
-    // route, so the claim above is discriminating, not vacuous.
-    let sink = TraceSink::new(NPROCS);
-    let p = pfs.clone();
-    Machine::run(
-        MachineConfig::functional(NPROCS).traced(sink.clone()),
-        move |ctx| {
-            let layout = Layout::dense(N, NPROCS, DistKind::Cyclic).unwrap();
-            let mut g = Collection::new(ctx, layout.clone(), |_| Blob::default()).unwrap();
-            let mut r = IStream::open(ctx, &p, &layout, "unsorted_claim").unwrap();
-            r.read().unwrap();
-            r.extract_collection(&mut g).unwrap();
-            r.close().unwrap();
-            for (gid, e) in g.iter() {
-                assert_eq!(e, &blob_for(gid, 7));
+    // route, so the claim above is discriminating, not vacuous. Under
+    // the default planned strategy routing appears as redistribution
+    // shuttle traffic; under the naive baseline, as an all-to-all.
+    for strategy in [ReadStrategy::Planned, ReadStrategy::Naive] {
+        let sink = TraceSink::new(NPROCS);
+        let p = pfs.clone();
+        Machine::run(
+            MachineConfig::functional(NPROCS).traced(sink.clone()),
+            move |ctx| {
+                let layout = Layout::dense(N, NPROCS, DistKind::Cyclic).unwrap();
+                let mut g = Collection::new(ctx, layout.clone(), |_| Blob::default()).unwrap();
+                let mut r =
+                    IStream::open_with(ctx, &p, &layout, "unsorted_claim", strategy).unwrap();
+                r.read().unwrap();
+                r.extract_collection(&mut g).unwrap();
+                r.close().unwrap();
+                for (gid, e) in g.iter() {
+                    assert_eq!(e, &blob_for(gid, 7));
+                }
+            },
+        )
+        .unwrap();
+        let sorted = sink.take();
+        let shuttles = sorted
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::RedistShuttle { outgoing: true, .. }))
+            .count();
+        match strategy {
+            ReadStrategy::Planned => {
+                assert_eq!(collective_entries(&sorted, CollOp::AllToAll), 0);
+                assert!(shuttles > 0, "planned cross-distribution read must shuttle");
             }
-        },
-    )
-    .unwrap();
-    let sorted = sink.take();
-    assert_eq!(collective_entries(&sorted, CollOp::AllToAll), NPROCS);
-    assert_eq!(phase_begins(&sorted, StreamPhase::Route), NPROCS);
+            ReadStrategy::Naive => {
+                assert_eq!(collective_entries(&sorted, CollOp::AllToAll), NPROCS);
+                assert_eq!(shuttles, 0);
+            }
+        }
+        assert_eq!(phase_begins(&sorted, StreamPhase::Route), NPROCS);
+    }
 }
 
 /// Write `records` records of `n` blobs with the given metadata mode,
