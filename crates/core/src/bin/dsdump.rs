@@ -138,6 +138,9 @@ struct RankStats {
     pfs_bytes: u64,
     pfs_time_us: f64,
     last_ts_us: f64,
+    retransmits: u64,
+    dup_dropped: u64,
+    suspects: u64,
 }
 
 /// Event counts per Chrome-trace event name, in first-seen order.
@@ -190,6 +193,12 @@ fn summarize_trace(events: &[Value]) -> Result<(Vec<RankStats>, NameCounts), Str
                 }
             }
             "collective" => r.collectives += 1,
+            "fault" => match name {
+                "msg.retransmit" => r.retransmits += 1,
+                "msg.dup_dropped" => r.dup_dropped += 1,
+                "msg.suspect" => r.suspects += 1,
+                _ => {}
+            },
             "pfs" => {
                 if name.starts_with("pfs.coll_") {
                     r.pfs_collective += 1;
@@ -248,6 +257,29 @@ fn render_dstrace(path: &str, text: &str) -> Result<String, String> {
             r.pfs_bytes,
             r.last_ts_us / 1000.0
         ));
+    }
+    // Reliability traffic (retransmits, dedup-dropped duplicates,
+    // suspected peers) only appears when a message-fault plan was live —
+    // keep fault-free summaries unchanged.
+    let (rt, dd, sp) = ranks.iter().fold((0u64, 0u64, 0u64), |acc, r| {
+        (
+            acc.0 + r.retransmits,
+            acc.1 + r.dup_dropped,
+            acc.2 + r.suspects,
+        )
+    });
+    if rt + dd + sp > 0 {
+        out.push_str(&format!(
+            "  reliability: {rt} retransmit(s), {dd} duplicate(s) dropped, {sp} peer suspicion(s)\n"
+        ));
+        for (rank, r) in ranks.iter().enumerate() {
+            if r.retransmits + r.dup_dropped + r.suspects > 0 {
+                out.push_str(&format!(
+                    "    rank {rank}: {} retransmit(s), {} dup(s) dropped, {} suspicion(s)\n",
+                    r.retransmits, r.dup_dropped, r.suspects
+                ));
+            }
+        }
     }
     out.push_str("  events by name:\n");
     for (name, count) in &by_name {

@@ -174,6 +174,82 @@ fn dsdump_layout_prints_descriptors_and_rejects_inconsistent_headers() {
 }
 
 #[test]
+fn dsdump_dstrace_surfaces_reliability_counters() {
+    use dstreams_machine::{FaultPlan, MsgFaultPlan};
+    use dstreams_trace::chrome::to_chrome_json;
+    use dstreams_trace::TraceSink;
+
+    // A fault-free trace summary must stay free of reliability noise.
+    let quiet = TraceSink::new(2);
+    Machine::run(MachineConfig::functional(2).traced(quiet.clone()), |ctx| {
+        if ctx.rank() == 0 {
+            ctx.send(1, 5, b"hello").unwrap();
+        } else {
+            ctx.recv(0, 5).unwrap();
+        }
+        ctx.barrier().unwrap();
+    })
+    .unwrap();
+
+    // A chaos run exercises retransmits and dedup; the summary must
+    // surface both the totals and the per-rank breakdown.
+    let noisy = TraceSink::new(2);
+    let plan =
+        FaultPlan::default().with_msg(MsgFaultPlan::seeded(7).drop_ppm(200_000).dup_ppm(200_000));
+    Machine::run(
+        MachineConfig::functional(2)
+            .with_faults(plan)
+            .traced(noisy.clone()),
+        |ctx| {
+            for round in 0..32u32 {
+                if ctx.rank() == 0 {
+                    ctx.send(1, round, b"payload").unwrap();
+                } else {
+                    ctx.recv(0, round).unwrap();
+                }
+            }
+            ctx.barrier().unwrap();
+        },
+    )
+    .unwrap();
+
+    let dir = std::env::temp_dir().join(format!("dsdump-dstrace-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let quiet_path = dir.join("quiet.json");
+    let noisy_path = dir.join("noisy.json");
+    std::fs::write(&quiet_path, to_chrome_json(&quiet.take())).unwrap();
+    std::fs::write(&noisy_path, to_chrome_json(&noisy.take())).unwrap();
+
+    let out = Command::new(env!("CARGO_BIN_EXE_dsdump"))
+        .arg("--dstrace")
+        .arg(&quiet_path)
+        .arg(&noisy_path)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let report = String::from_utf8(out.stdout).unwrap();
+    let (quiet_part, noisy_part) = report.split_once("noisy.json").unwrap();
+    assert!(
+        !quiet_part.contains("reliability:"),
+        "fault-free summary grew a reliability line: {quiet_part}"
+    );
+    assert!(noisy_part.contains("reliability:"), "{noisy_part}");
+    assert!(noisy_part.contains("retransmit(s)"), "{noisy_part}");
+    assert!(noisy_part.contains("duplicate(s) dropped"), "{noisy_part}");
+    assert!(
+        noisy_part.contains("rank 0:") || noisy_part.contains("rank 1:"),
+        "per-rank reliability breakdown missing: {noisy_part}"
+    );
+    assert!(noisy_part.contains("msg.retransmit"), "{noisy_part}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn dsdump_usage_exits_2() {
     let out = Command::new(env!("CARGO_BIN_EXE_dsdump")).output().unwrap();
     assert_eq!(out.status.code(), Some(2));

@@ -19,6 +19,230 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::time::VTime;
+
+/// Splitmix64 finalizer — the workspace's standard bit mixer. Message
+/// fates are *stateless* functions of this hash, so a decision depends
+/// only on `(seed, src, dst, seq, attempt)` and never on the order in
+/// which threads happen to ask: replays are bit-identical regardless of
+/// scheduling.
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// A permanent, deterministic cut of one directed message edge: every
+/// data-plane message from `src` to `dst` whose per-edge *data* sequence
+/// number is `>= from_seq` is lost on every attempt. Control-plane
+/// traffic (collective legs) is never cut — like a crashed rank, an
+/// unreachable one still participates in the coordination collectives so
+/// survivors learn about it instead of hanging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeCut {
+    /// Sending rank of the cut edge.
+    pub src: usize,
+    /// Receiving rank of the cut edge.
+    pub dst: usize,
+    /// First per-edge data-message index that is lost (0 = from the
+    /// start).
+    pub from_seq: u64,
+}
+
+/// Fate of one delivery attempt of one message, decided statelessly from
+/// the plan seed and the message coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MsgFate {
+    /// Deliver normally.
+    Deliver,
+    /// Lose this attempt; the sender retransmits after a backoff.
+    Drop,
+    /// Deliver twice — the receive-side dedup filter must discard the
+    /// second copy.
+    Duplicate,
+    /// Deliver once, `extra_ns` later than the cost model says.
+    Delay {
+        /// Extra in-flight virtual time, in nanoseconds.
+        extra_ns: u64,
+    },
+    /// Deliver, but physically hand the envelope to the receiver *after*
+    /// the sender's next wire operation — an in-network overtake that the
+    /// receive-side sequence buffer must undo.
+    Reorder,
+}
+
+/// The seeded message-fault dimension of a [`FaultPlan`]: per-`(src,
+/// dst, seq)` drop / duplicate / delay / reorder decisions plus
+/// permanent edge cuts and rank kills, all bit-identically replayable.
+///
+/// Probabilities are expressed in parts per million of *delivery
+/// attempts*. A dropped attempt is retransmitted by the reliability
+/// layer under virtual-time exponential backoff until it is delivered or
+/// `max_attempts` is exhausted — at which point the sender declares the
+/// peer suspect and the edge behaves like a [`EdgeCut`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MsgFaultPlan {
+    /// Seed for the stateless fate hash. Independent of the machine and
+    /// PFS fault seeds so message chaos can be swept separately.
+    pub seed: u64,
+    /// Probability (ppm) that a delivery attempt is dropped.
+    pub drop_ppm: u32,
+    /// Probability (ppm) that a message is delivered twice.
+    pub dup_ppm: u32,
+    /// Probability (ppm) that a message is delayed in flight.
+    pub delay_ppm: u32,
+    /// Probability (ppm) that a message overtakes the sender's next one.
+    pub reorder_ppm: u32,
+    /// Upper bound on the extra in-flight delay, in nanoseconds.
+    pub max_delay_ns: u64,
+    /// Delivery attempts (first try included) before the sender gives up
+    /// and suspects the peer. Clamped to at least 1.
+    pub max_attempts: u32,
+    /// Base retransmit timeout; attempt `k` backs off `base_rto << k`.
+    pub base_rto: VTime,
+    /// Permanent deterministic edge cuts (data plane only).
+    pub cut: Vec<EdgeCut>,
+    /// Ranks whose *every* data-plane edge (in and out) is cut once the
+    /// edge's data-message index reaches the paired threshold — the
+    /// message-layer analogue of a power cut: the rank survives but its
+    /// payload traffic is unreachable.
+    pub killed: Vec<(usize, u64)>,
+}
+
+impl Default for MsgFaultPlan {
+    fn default() -> Self {
+        MsgFaultPlan {
+            seed: 0,
+            drop_ppm: 0,
+            dup_ppm: 0,
+            delay_ppm: 0,
+            reorder_ppm: 0,
+            max_delay_ns: 50_000,
+            max_attempts: 8,
+            base_rto: VTime::from_micros(100),
+            cut: Vec::new(),
+            killed: Vec::new(),
+        }
+    }
+}
+
+impl MsgFaultPlan {
+    /// An otherwise-empty plan with the given fate-hash seed.
+    pub fn seeded(seed: u64) -> Self {
+        MsgFaultPlan {
+            seed,
+            ..MsgFaultPlan::default()
+        }
+    }
+
+    /// Set the drop probability in parts per million (builder style).
+    pub fn drop_ppm(mut self, ppm: u32) -> Self {
+        self.drop_ppm = ppm;
+        self
+    }
+
+    /// Set the duplicate probability in ppm (builder style).
+    pub fn dup_ppm(mut self, ppm: u32) -> Self {
+        self.dup_ppm = ppm;
+        self
+    }
+
+    /// Set the delay probability in ppm (builder style).
+    pub fn delay_ppm(mut self, ppm: u32) -> Self {
+        self.delay_ppm = ppm;
+        self
+    }
+
+    /// Set the reorder probability in ppm (builder style).
+    pub fn reorder_ppm(mut self, ppm: u32) -> Self {
+        self.reorder_ppm = ppm;
+        self
+    }
+
+    /// Cut the directed edge `src -> dst` from data message `from_seq`
+    /// on (builder style).
+    pub fn cut_edge(mut self, src: usize, dst: usize, from_seq: u64) -> Self {
+        self.cut.push(EdgeCut { src, dst, from_seq });
+        self
+    }
+
+    /// Kill `rank`'s data-plane connectivity once each of its edges has
+    /// carried `from_seq` data messages (builder style).
+    pub fn kill_at(mut self, rank: usize, from_seq: u64) -> Self {
+        self.killed.push((rank, from_seq));
+        self
+    }
+
+    /// True when the plan can never perturb a message.
+    pub fn is_inert(&self) -> bool {
+        self.drop_ppm == 0
+            && self.dup_ppm == 0
+            && self.delay_ppm == 0
+            && self.reorder_ppm == 0
+            && self.cut.is_empty()
+            && self.killed.is_empty()
+    }
+
+    /// Whether the data-plane edge `src -> dst` is cut at data-message
+    /// index `data_seq` (by an explicit cut or a rank kill).
+    pub fn edge_cut(&self, src: usize, dst: usize, data_seq: u64) -> bool {
+        self.cut
+            .iter()
+            .any(|c| c.src == src && c.dst == dst && data_seq >= c.from_seq)
+            || self
+                .killed
+                .iter()
+                .any(|&(r, from)| (r == src || r == dst) && data_seq >= from)
+    }
+
+    /// Stateless fate of delivery attempt `attempt` of the `seq`-th
+    /// message on edge `src -> dst`. Drop applies per attempt (so a
+    /// retransmit of a dropped message usually succeeds); duplicate,
+    /// delay and reorder are decided once per message, on the attempt
+    /// that is actually delivered.
+    pub fn fate(&self, src: usize, dst: usize, seq: u64, attempt: u32) -> MsgFate {
+        let h = mix64(
+            self.seed
+                ^ mix64(
+                    (src as u64)
+                        .wrapping_mul(0x9e3779b97f4a7c15)
+                        .wrapping_add((dst as u64).wrapping_mul(0xd1b54a32d192ed03))
+                        .wrapping_add(seq.wrapping_mul(0x2545f4914f6cdd1d))
+                        .wrapping_add(u64::from(attempt)),
+                ),
+        );
+        let roll = (h % 1_000_000) as u32;
+        if roll < self.drop_ppm {
+            return MsgFate::Drop;
+        }
+        let roll = roll - self.drop_ppm;
+        if roll < self.dup_ppm {
+            return MsgFate::Duplicate;
+        }
+        let roll = roll - self.dup_ppm;
+        if roll < self.delay_ppm {
+            let extra = if self.max_delay_ns == 0 {
+                0
+            } else {
+                (h >> 20) % self.max_delay_ns + 1
+            };
+            return MsgFate::Delay { extra_ns: extra };
+        }
+        let roll = roll - self.delay_ppm;
+        if roll < self.reorder_ppm {
+            return MsgFate::Reorder;
+        }
+        MsgFate::Deliver
+    }
+
+    /// Virtual-time retransmit backoff before attempt `attempt + 1`:
+    /// exponential in the attempt number, capped to avoid shift
+    /// overflow.
+    pub fn rto(&self, attempt: u32) -> VTime {
+        VTime::from_nanos(self.base_rto.as_nanos() << attempt.min(16))
+    }
+}
+
 /// One (rank, operation-index) injection point.
 ///
 /// Operation indices count *logical* PFS operations issued by a rank,
@@ -47,6 +271,12 @@ pub struct FaultPlan {
     /// crashed operation is a write, a seeded-random prefix of it is
     /// persisted first (the torn tail a real power cut leaves behind).
     pub crash: Option<FaultSpec>,
+    /// Optional message-layer fault dimension: seeded drop / duplicate /
+    /// delay / reorder fates plus edge cuts, applied at `NodeCtx::send`
+    /// and survived by the reliability layer. `None` leaves the message
+    /// layer on its legacy perfectly-reliable path, bit-identical to
+    /// runs that predate the reliability machinery.
+    pub msg: Option<MsgFaultPlan>,
 }
 
 impl FaultPlan {
@@ -76,9 +306,18 @@ impl FaultPlan {
         self
     }
 
+    /// Attach the message-fault dimension (builder style).
+    pub fn with_msg(mut self, msg: MsgFaultPlan) -> Self {
+        self.msg = Some(msg);
+        self
+    }
+
     /// True when the plan injects nothing.
     pub fn is_empty(&self) -> bool {
-        self.transient.is_empty() && self.torn.is_empty() && self.crash.is_none()
+        self.transient.is_empty()
+            && self.torn.is_empty()
+            && self.crash.is_none()
+            && self.msg.as_ref().is_none_or(MsgFaultPlan::is_inert)
     }
 }
 
@@ -206,6 +445,73 @@ mod tests {
         assert_eq!(f.decide(5, 0, None), FaultDecision::Transient);
         assert_eq!(f.decide(5, 1, None), FaultDecision::Proceed);
         assert_eq!(f.decide(4, 0, None), FaultDecision::Proceed);
+    }
+
+    #[test]
+    fn msg_fates_are_stateless_and_deterministic() {
+        let plan = MsgFaultPlan::seeded(7)
+            .drop_ppm(250_000)
+            .dup_ppm(100_000)
+            .delay_ppm(100_000)
+            .reorder_ppm(50_000);
+        // Same coordinates, same fate — regardless of query order.
+        let a: Vec<MsgFate> = (0..64).map(|s| plan.fate(0, 1, s, 0)).collect();
+        let b: Vec<MsgFate> = (0..64).rev().map(|s| plan.fate(0, 1, s, 0)).collect();
+        assert_eq!(a, b.into_iter().rev().collect::<Vec<_>>());
+        // Every configured fate class shows up over enough draws.
+        let mut seen = [false; 5];
+        for s in 0..4096 {
+            match plan.fate(2, 3, s, 0) {
+                MsgFate::Deliver => seen[0] = true,
+                MsgFate::Drop => seen[1] = true,
+                MsgFate::Duplicate => seen[2] = true,
+                MsgFate::Delay { extra_ns } => {
+                    assert!(extra_ns >= 1 && extra_ns <= plan.max_delay_ns);
+                    seen[3] = true;
+                }
+                MsgFate::Reorder => seen[4] = true,
+            }
+        }
+        assert_eq!(seen, [true; 5]);
+        // A retransmit re-rolls: some dropped first attempts succeed on
+        // the second.
+        let recovered = (0..4096)
+            .filter(|&s| {
+                plan.fate(0, 1, s, 0) == MsgFate::Drop && plan.fate(0, 1, s, 1) != MsgFate::Drop
+            })
+            .count();
+        assert!(recovered > 0);
+    }
+
+    #[test]
+    fn edge_cuts_and_kills_gate_on_data_seq() {
+        let plan = MsgFaultPlan::seeded(0).cut_edge(1, 2, 3).kill_at(4, 0);
+        assert!(!plan.edge_cut(1, 2, 2));
+        assert!(plan.edge_cut(1, 2, 3));
+        assert!(plan.edge_cut(1, 2, 10));
+        assert!(!plan.edge_cut(2, 1, 10)); // cuts are directed
+        assert!(plan.edge_cut(4, 0, 0)); // killed rank: both directions
+        assert!(plan.edge_cut(0, 4, 0));
+        assert!(!plan.edge_cut(0, 1, 0));
+        assert!(!plan.is_inert());
+        assert!(MsgFaultPlan::seeded(9).is_inert());
+    }
+
+    #[test]
+    fn rto_backs_off_exponentially() {
+        let plan = MsgFaultPlan::default();
+        assert_eq!(plan.rto(1).as_nanos(), 2 * plan.rto(0).as_nanos());
+        assert_eq!(plan.rto(3).as_nanos(), 8 * plan.rto(0).as_nanos());
+        // Capped shift never overflows.
+        let _ = plan.rto(u32::MAX);
+    }
+
+    #[test]
+    fn inert_msg_plans_keep_fault_plan_empty() {
+        let plan = FaultPlan::seeded(1).with_msg(MsgFaultPlan::seeded(2));
+        assert!(plan.is_empty());
+        let plan = FaultPlan::seeded(1).with_msg(MsgFaultPlan::seeded(2).drop_ppm(1));
+        assert!(!plan.is_empty());
     }
 
     #[test]

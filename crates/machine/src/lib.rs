@@ -49,9 +49,9 @@ pub mod wire;
 
 pub use config::{CollectiveConfig, CpuModel, MachineConfig, MemoryModel, NetModel};
 pub use error::MachineError;
-pub use fault::{FaultDecision, FaultPlan, FaultSpec};
+pub use fault::{EdgeCut, FaultDecision, FaultPlan, FaultSpec, MsgFate, MsgFaultPlan};
 pub use machine::Machine;
-pub use message::{Tag, AGG_SHUTTLE_TAG, REDIST_SHUTTLE_TAG};
+pub use message::{Tag, AGG_SHUTTLE_RETRY_BASE, AGG_SHUTTLE_TAG, REDIST_SHUTTLE_TAG};
 pub use node::{AsyncOp, CollectiveScope, NodeCtx};
 pub use shared::{SharedBuffer, SharedRegion};
 pub use time::{VTime, VirtualClock};

@@ -17,8 +17,8 @@ use dstreams_trace::{Event, EventKind, TraceSink};
 
 use crate::config::{MachineConfig, MemoryModel};
 use crate::error::MachineError;
-use crate::fault::{FaultDecision, RankFaults};
-use crate::message::{Envelope, Mailbox, Tag, COLLECTIVE_TAG_BASE};
+use crate::fault::{FaultDecision, MsgFate, MsgFaultPlan, RankFaults};
+use crate::message::{is_data_plane, Envelope, Mailbox, Tag, COLLECTIVE_TAG_BASE};
 use crate::time::{VTime, VirtualClock};
 
 /// Per-rank tracing state: the shared sink plus this rank's event
@@ -31,6 +31,26 @@ struct Tracer {
     /// PFS collective built on machine collectives shows up as *one*
     /// logical operation, not its plumbing.
     coll_depth: Cell<u32>,
+}
+
+/// Sender-side state of the reliable-delivery layer, engaged only when
+/// the fault plan carries a message dimension. On the plan-free path the
+/// machine never touches it, so behavior (and traces) stay bit-identical
+/// to a build without the layer.
+struct MsgLayer {
+    plan: MsgFaultPlan,
+    /// Per-destination data-plane message counters, the coordinate that
+    /// edge cuts and rank kills are keyed to.
+    data_seq: Vec<u64>,
+    /// Destinations the failure detector has declared unreachable.
+    /// Data-plane sends to a suspected peer fail fast; collective legs
+    /// keep flowing so the coordination plane stays live.
+    suspected: Vec<bool>,
+    /// One envelope per destination held back by a `Reorder` fate; it is
+    /// physically handed over at the sender's next wire operation, so
+    /// newer traffic overtakes it and the receiver's sequence buffer has
+    /// a real inversion to undo.
+    held: Vec<Option<Envelope>>,
 }
 
 /// A pending asynchronous operation on a rank's queue: a deferred
@@ -92,6 +112,13 @@ pub struct NodeCtx {
     pfs_ops: Cell<u64>,
     /// Runtime state of the configured fault plan, if any.
     faults: Option<RefCell<RankFaults>>,
+    /// Per-destination wire sequence counters (count every envelope this
+    /// rank sends to each peer, any tag). Always stamped, so the
+    /// receive-side sequence gate is pass-through on the fault-free path.
+    seq_out: RefCell<Vec<u64>>,
+    /// Sender half of the reliable-delivery layer, when message faults
+    /// are configured.
+    msg: Option<RefCell<MsgLayer>>,
     /// This rank's pending asynchronous operations.
     asyncq: RefCell<AsyncQueue>,
 }
@@ -112,6 +139,19 @@ impl NodeCtx {
             .faults
             .clone()
             .map(|plan| RefCell::new(RankFaults::new(plan, rank)));
+        let n = tx.len();
+        let msg = config
+            .faults
+            .as_ref()
+            .and_then(|plan| plan.msg.clone())
+            .map(|plan| {
+                RefCell::new(MsgLayer {
+                    plan,
+                    data_seq: vec![0; n],
+                    suspected: vec![false; n],
+                    held: (0..n).map(|_| None).collect(),
+                })
+            });
         NodeCtx {
             rank,
             config,
@@ -122,6 +162,8 @@ impl NodeCtx {
             tracer,
             pfs_ops: Cell::new(0),
             faults,
+            seq_out: RefCell::new(vec![0; n]),
+            msg,
             asyncq: RefCell::new(AsyncQueue {
                 next_id: 0,
                 tail: VTime::ZERO,
@@ -351,6 +393,16 @@ impl NodeCtx {
     /// stamped on the envelope includes wire latency and per-byte transfer
     /// time. Self-sends are legal and bypass the wire cost (only the send
     /// overhead is charged).
+    ///
+    /// Under a message fault plan this is also the sender half of the
+    /// reliable-delivery layer: seeded `Drop` fates are absorbed by
+    /// ack-timeout retransmission under exponential virtual-time backoff
+    /// (acks ride for free on the reverse path, so the fault-free cost is
+    /// unchanged); `Duplicate` and `Reorder` fates are physically injected
+    /// for the receiver's sequence gate to absorb; and a message dropped
+    /// on every attempt fires the failure detector — the peer is marked
+    /// suspect, a tombstone tells the receiver the edge is dead, and the
+    /// send returns [`MachineError::PeerGone`] instead of hanging.
     pub fn send(&self, to: usize, tag: Tag, payload: &[u8]) -> Result<(), MachineError> {
         self.check_alive()?;
         if to >= self.tx.len() {
@@ -359,7 +411,107 @@ impl NodeCtx {
                 nprocs: self.tx.len(),
             });
         }
+        // Anything held back by a Reorder fate is "in the network": hand
+        // it over before new traffic, except toward `to`, whose held
+        // envelope is overtaken by this send below.
+        self.flush_held(Some(to));
         let net = &self.config.net;
+        if let Some(ml_cell) = self.msg.as_ref().filter(|_| to != self.rank) {
+            let mut ml = ml_cell.borrow_mut();
+            let data = is_data_plane(tag);
+            if data && ml.suspected[to] {
+                // Sticky failure detection: don't re-probe a dead edge.
+                return Err(MachineError::PeerGone { rank: to });
+            }
+            let seq = self.next_msg_seq(to);
+            let cut = data && {
+                let dseq = ml.data_seq[to];
+                ml.data_seq[to] += 1;
+                ml.plan.edge_cut(self.rank, to, dseq)
+            };
+            self.advance(net.send_overhead);
+            let max_attempts = ml.plan.max_attempts.max(1);
+            let mut attempt: u32 = 0;
+            let fate = loop {
+                let f = if cut {
+                    MsgFate::Drop
+                } else {
+                    ml.plan.fate(self.rank, to, seq, attempt)
+                };
+                if f != MsgFate::Drop {
+                    break f;
+                }
+                if attempt + 1 >= max_attempts {
+                    return self.give_up(&mut ml, to, tag, seq, max_attempts);
+                }
+                let backoff = ml.plan.rto(attempt);
+                self.advance(backoff);
+                attempt += 1;
+                self.emit_with(|| EventKind::Retransmit {
+                    to,
+                    tag,
+                    msg_seq: seq,
+                    attempt,
+                    backoff_ns: backoff.as_nanos(),
+                });
+            };
+            let mut arrival = self.now() + net.latency + net.transfer(payload.len());
+            if let MsgFate::Delay { extra_ns } = fate {
+                arrival += VTime::from_nanos(extra_ns);
+            }
+            self.emit_with(|| EventKind::MsgSend {
+                to,
+                tag,
+                bytes: payload.len() as u64,
+                collective: tag & COLLECTIVE_TAG_BASE != 0,
+            });
+            let env = Envelope {
+                from: self.rank,
+                tag,
+                seq,
+                arrival,
+                tombstone: false,
+                payload: payload.to_vec(),
+            };
+            let gone = |_| MachineError::PeerGone { rank: to };
+            match fate {
+                MsgFate::Reorder if ml.held[to].is_none() => {
+                    ml.held[to] = Some(env);
+                }
+                MsgFate::Duplicate => {
+                    let copy = Envelope {
+                        from: env.from,
+                        tag: env.tag,
+                        seq: env.seq,
+                        arrival: env.arrival,
+                        tombstone: false,
+                        payload: env.payload.clone(),
+                    };
+                    self.tx[to].send(env).map_err(gone)?;
+                    // The receiver may consume the first copy and exit
+                    // before this one lands; its dedup filter would have
+                    // discarded the copy anyway, so a closed channel is
+                    // not an error here.
+                    let _ = self.tx[to].send(copy);
+                    if let Some(old) = ml.held[to].take() {
+                        let _ = self.tx[to].send(old);
+                    }
+                }
+                _ => {
+                    self.tx[to].send(env).map_err(gone)?;
+                    // An overtaken envelope was logically delivered when it
+                    // was held; if the receiver exited in the meantime it
+                    // provably never needed it.
+                    if let Some(old) = ml.held[to].take() {
+                        let _ = self.tx[to].send(old);
+                    }
+                }
+            }
+            return Ok(());
+        }
+        // Plan-free (or loopback) path: the classic send, bit-identical
+        // to the machine before the reliability layer existed.
+        let seq = self.next_msg_seq(to);
         self.advance(net.send_overhead);
         let arrival = if to == self.rank {
             self.now()
@@ -369,7 +521,9 @@ impl NodeCtx {
         let env = Envelope {
             from: self.rank,
             tag,
+            seq,
             arrival,
+            tombstone: false,
             payload: payload.to_vec(),
         };
         self.emit_with(|| EventKind::MsgSend {
@@ -383,13 +537,86 @@ impl NodeCtx {
             .map_err(|_| MachineError::PeerGone { rank: to })
     }
 
+    /// Allocate the next wire sequence number for the edge to `to`.
+    fn next_msg_seq(&self, to: usize) -> u64 {
+        let mut s = self.seq_out.borrow_mut();
+        let q = s[to];
+        s[to] += 1;
+        q
+    }
+
+    /// The failure detector has fired: every attempt of message `seq` to
+    /// `to` was dropped. Mark the peer suspect, flush anything held for
+    /// it, deliver a tombstone so the receiver both learns the edge is
+    /// dead and closes the sequence gap, and fail the send.
+    fn give_up(
+        &self,
+        ml: &mut MsgLayer,
+        to: usize,
+        tag: Tag,
+        seq: u64,
+        attempts: u32,
+    ) -> Result<(), MachineError> {
+        ml.suspected[to] = true;
+        if let Some(old) = ml.held[to].take() {
+            let _ = self.tx[to].send(old);
+        }
+        self.emit_with(|| EventKind::SuspectPeer { peer: to, attempts });
+        let tomb = Envelope {
+            from: self.rank,
+            tag,
+            seq,
+            arrival: self.now() + self.config.net.latency,
+            tombstone: true,
+            payload: Vec::new(),
+        };
+        // A closed channel just means the receiver already exited.
+        let _ = self.tx[to].send(tomb);
+        Err(MachineError::PeerGone { rank: to })
+    }
+
+    /// Physically hand over envelopes held back by `Reorder` fates.
+    /// Called at the entry of every wire operation and at context
+    /// teardown, so a held message can never be lost or wedge a receiver.
+    fn flush_held(&self, except: Option<usize>) {
+        if let Some(ml_cell) = &self.msg {
+            let mut ml = ml_cell.borrow_mut();
+            for i in 0..ml.held.len() {
+                if Some(i) == except {
+                    continue;
+                }
+                if let Some(env) = ml.held[i].take() {
+                    let _ = self.tx[i].send(env);
+                }
+            }
+        }
+    }
+
+    /// Emit `DupDropped` events for duplicate deliveries the mailbox
+    /// discarded while serving the last receive.
+    fn drain_dup_log(&self) {
+        let log = self.mailbox.borrow_mut().take_dup_log();
+        for (from, tag, msg_seq) in log {
+            self.emit_with(|| EventKind::DupDropped { from, tag, msg_seq });
+        }
+    }
+
+    /// Whether this run carries a message-fault plan (and therefore the
+    /// reliable-delivery layer and aggregator failover are engaged).
+    pub fn msg_faults_active(&self) -> bool {
+        self.msg.is_some()
+    }
+
     /// Blocking receive of the next message from `from` with `tag`.
     ///
     /// Synchronizes the local clock to the message's arrival time and
     /// charges the receive overhead.
     pub fn recv(&self, from: usize, tag: Tag) -> Result<Vec<u8>, MachineError> {
         self.check_alive()?;
-        let env = self.mailbox.borrow_mut().recv(from, tag)?;
+        self.flush_held(None);
+        let res = self.mailbox.borrow_mut().recv(from, tag);
+        self.drain_dup_log();
+        let env = res?;
         self.sync_to(env.arrival);
         self.advance(self.config.net.recv_overhead);
         self.emit_with(|| EventKind::MsgRecv {
@@ -424,7 +651,10 @@ impl NodeCtx {
     /// use it only where any order is acceptable.
     pub fn recv_any(&self, tag: Tag) -> Result<(usize, Vec<u8>), MachineError> {
         self.check_alive()?;
-        let env = self.mailbox.borrow_mut().recv_any(tag)?;
+        self.flush_held(None);
+        let res = self.mailbox.borrow_mut().recv_any(tag);
+        self.drain_dup_log();
+        let env = res?;
         self.sync_to(env.arrival);
         self.advance(self.config.net.recv_overhead);
         self.emit_with(|| EventKind::MsgRecv {
@@ -441,6 +671,16 @@ impl NodeCtx {
         let seq = self.coll_seq.get();
         self.coll_seq.set(seq.wrapping_add(1));
         crate::message::COLLECTIVE_TAG_BASE | (seq & 0x7fff_ffff)
+    }
+}
+
+impl Drop for NodeCtx {
+    fn drop(&mut self) {
+        // Teardown flush: an envelope held back by a Reorder fate was
+        // logically sent (its MsgSend is already in the trace) — hand it
+        // over so a receiver can't wedge on a message the sender merely
+        // postponed past its last wire operation.
+        self.flush_held(None);
     }
 }
 
@@ -573,6 +813,105 @@ mod tests {
             }
         })
         .unwrap();
+    }
+
+    #[test]
+    fn chaos_soup_delivers_exactly_once_in_order() {
+        use crate::fault::{FaultPlan, MsgFaultPlan};
+        let mut cfg = MachineConfig::functional(2);
+        cfg = cfg.with_faults(
+            FaultPlan::seeded(7).with_msg(
+                MsgFaultPlan::seeded(0xC0FFEE)
+                    .drop_ppm(200_000)
+                    .dup_ppm(120_000)
+                    .delay_ppm(120_000)
+                    .reorder_ppm(120_000),
+            ),
+        );
+        let n = 200u64;
+        Machine::run(cfg, |ctx| {
+            if ctx.rank() == 0 {
+                for i in 0..n {
+                    ctx.send_val(1, 7, &i).unwrap();
+                }
+            } else {
+                // Exactly once, in per-edge order, despite drops, dups,
+                // delays and reorders on the wire.
+                for i in 0..n {
+                    assert_eq!(ctx.recv_val::<u64>(0, 7).unwrap(), i);
+                }
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn chaos_soup_replays_bit_identically() {
+        use crate::fault::{FaultPlan, MsgFaultPlan};
+        let run = || {
+            let mut cfg = MachineConfig::functional(3);
+            cfg = cfg.with_faults(
+                FaultPlan::seeded(7)
+                    .with_msg(MsgFaultPlan::seeded(99).drop_ppm(150_000).dup_ppm(150_000)),
+            );
+            Machine::run(cfg, |ctx| {
+                let mut acc = ctx.rank() as u64;
+                for round in 0..20u64 {
+                    let peer = (ctx.rank() + 1) % ctx.nprocs();
+                    let prev = (ctx.rank() + ctx.nprocs() - 1) % ctx.nprocs();
+                    ctx.send_val(peer, 3, &acc).unwrap();
+                    acc = acc.wrapping_mul(31) ^ ctx.recv_val::<u64>(prev, 3).unwrap() ^ round;
+                }
+                (acc, ctx.now())
+            })
+            .unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn cut_edge_fails_fast_on_both_sides_without_hanging() {
+        use crate::fault::{FaultPlan, MsgFaultPlan};
+        let mut cfg = MachineConfig::functional(2);
+        cfg = cfg
+            .with_faults(FaultPlan::seeded(1).with_msg(MsgFaultPlan::seeded(1).cut_edge(0, 1, 0)));
+        Machine::run(cfg, |ctx| {
+            if ctx.rank() == 0 {
+                let err = ctx.send(1, 7, b"lost").unwrap_err();
+                assert_eq!(err, MachineError::PeerGone { rank: 1 });
+                // Sticky suspicion: the dead edge fails fast from now on.
+                let err = ctx.send(1, 8, b"again").unwrap_err();
+                assert_eq!(err, MachineError::PeerGone { rank: 1 });
+            } else {
+                // The tombstone converts a would-be hang into PeerGone.
+                let err = ctx.recv(0, 7).unwrap_err();
+                assert_eq!(err, MachineError::PeerGone { rank: 0 });
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn collectives_survive_a_data_plane_cut() {
+        use crate::fault::{FaultPlan, MsgFaultPlan};
+        let mut cfg = MachineConfig::functional(4);
+        cfg = cfg.with_faults(
+            FaultPlan::seeded(1).with_msg(
+                MsgFaultPlan::seeded(5)
+                    .drop_ppm(100_000)
+                    .cut_edge(0, 1, 0)
+                    .cut_edge(1, 0, 0),
+            ),
+        );
+        let sums = Machine::run(cfg, |ctx| {
+            // The 0<->1 data edges are severed, but collective legs are
+            // exempt from cuts (and retransmission absorbs drops), so the
+            // coordination plane still completes machine-wide.
+            ctx.barrier().unwrap();
+            ctx.all_reduce(ctx.rank() as u64, |a, b| a + b).unwrap()
+        })
+        .unwrap();
+        assert_eq!(sums, vec![6, 6, 6, 6]);
     }
 
     #[test]

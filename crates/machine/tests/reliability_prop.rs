@@ -1,0 +1,77 @@
+//! No-regression property: with message faults disabled, the reliable
+//! delivery layer must be invisible. Three configurations — no fault plan
+//! at all (the pre-reliability code path), an empty [`FaultPlan`], and a
+//! fault plan carrying an *inert* [`MsgFaultPlan`] (the reliable path
+//! engaged, every fate `Deliver`) — must produce byte-identical traces
+//! and bit-identical virtual clocks for arbitrary SPMD programs.
+
+use dstreams_machine::{FaultPlan, Machine, MachineConfig, MsgFaultPlan, VTime};
+use dstreams_trace::TraceSink;
+use proptest::prelude::*;
+
+/// Run a small but wire-heavy SPMD program and return the portable trace
+/// JSON plus each rank's final virtual clock.
+fn traced_run(
+    nprocs: usize,
+    salt: u8,
+    len: usize,
+    faults: Option<FaultPlan>,
+) -> (String, Vec<VTime>) {
+    let sink = TraceSink::new(nprocs);
+    let mut config = MachineConfig::paragon(nprocs).traced(sink.clone());
+    if let Some(plan) = faults {
+        config = config.with_faults(plan);
+    }
+    let clocks = Machine::run(config, move |ctx| {
+        let me = ctx.rank();
+        let n = ctx.nprocs();
+        // Point-to-point ring with tag traffic in both directions.
+        let next = (me + 1) % n;
+        let prev = (me + n - 1) % n;
+        let payload: Vec<u8> = (0..len).map(|k| salt ^ (me + k) as u8).collect();
+        if n > 1 {
+            ctx.send(next, 7, &payload).unwrap();
+            let got = ctx.recv(prev, 7).unwrap();
+            assert_eq!(got.len(), len);
+            ctx.send(prev, 9, &payload).unwrap();
+            ctx.recv(next, 9).unwrap();
+        }
+        // Collectives ride the same edges in the reserved tag space.
+        ctx.barrier().unwrap();
+        let total = ctx.all_reduce(me as u64 + 1, |a, b| a + b).unwrap();
+        assert_eq!(total, (n as u64 * (n as u64 + 1)) / 2);
+        ctx.all_gather(vec![salt; 1 + me % 3]).unwrap();
+        ctx.now()
+    })
+    .unwrap();
+    (sink.take().to_events_json(), clocks)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn disabled_message_faults_leave_traces_byte_identical(
+        nprocs in 1usize..6,
+        salt in any::<u8>(),
+        len in 0usize..96,
+        seed in any::<u64>(),
+    ) {
+        let (base_json, base_clocks) = traced_run(nprocs, salt, len, None);
+
+        // An attached-but-empty fault plan must not perturb anything.
+        let (empty_json, empty_clocks) =
+            traced_run(nprocs, salt, len, Some(FaultPlan::default()));
+        prop_assert_eq!(&base_json, &empty_json, "empty FaultPlan changed the trace");
+        prop_assert_eq!(&base_clocks, &empty_clocks);
+
+        // An inert message plan engages the reliable-delivery machinery
+        // (sequence stamping, dedup gate, fate rolls) but every fate is
+        // Deliver — the wire behavior must stay byte-identical to the
+        // pre-reliability path.
+        let inert = FaultPlan::default().with_msg(MsgFaultPlan::seeded(seed));
+        let (inert_json, inert_clocks) = traced_run(nprocs, salt, len, Some(inert));
+        prop_assert_eq!(&base_json, &inert_json, "inert MsgFaultPlan changed the trace");
+        prop_assert_eq!(&base_clocks, &inert_clocks);
+    }
+}

@@ -42,7 +42,8 @@ use std::borrow::Cow;
 
 use dstreams_machine::wire::{frame_blocks, unframe_blocks};
 use dstreams_machine::{
-    CollectiveConfig, FaultDecision, MachineError, NodeCtx, VTime, AGG_SHUTTLE_TAG,
+    CollectiveConfig, FaultDecision, MachineError, NodeCtx, VTime, AGG_SHUTTLE_RETRY_BASE,
+    AGG_SHUTTLE_TAG,
 };
 use dstreams_trace::{CollectiveRegime, EventKind, FaultKind, PfsOp};
 
@@ -63,6 +64,58 @@ fn live_aggregators(cc: CollectiveConfig, nprocs: usize, crashed: &[bool]) -> Ve
         .into_iter()
         .filter(|&r| !crashed[r])
         .collect()
+}
+
+/// Failover election: the configured aggregator set with every crashed
+/// rank dropped (exactly like [`live_aggregators`]) and every *suspect*
+/// rank deterministically replaced by the next usable rank scanning
+/// forward (mod nprocs). With no suspects this equals
+/// [`live_aggregators`], so engaging failover never changes the
+/// fault-free domain assignment.
+fn elect_aggregators(
+    cc: CollectiveConfig,
+    nprocs: usize,
+    crashed: &[bool],
+    excluded: &[bool],
+) -> Vec<usize> {
+    let mut taken = vec![false; nprocs];
+    let mut out = Vec::new();
+    for r in cc.aggregator_ranks(nprocs) {
+        if crashed[r] {
+            continue;
+        }
+        if !excluded[r] && !taken[r] {
+            taken[r] = true;
+            out.push(r);
+            continue;
+        }
+        for d in 1..nprocs {
+            let c = (r + d) % nprocs;
+            if !crashed[c] && !excluded[c] && !taken[c] {
+                taken[c] = true;
+                out.push(c);
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Pack a per-rank suspicion bitmask into little-endian bytes for the
+/// failover suspicion exchange.
+fn pack_mask(bits: &[bool]) -> Vec<u8> {
+    let mut m = vec![0u8; bits.len().div_ceil(8)];
+    for (r, &b) in bits.iter().enumerate() {
+        if b {
+            m[r / 8] |= 1 << (r % 8);
+        }
+    }
+    m
+}
+
+/// Read bit `r` of a packed suspicion mask.
+fn mask_bit(m: &[u8], r: usize) -> bool {
+    m.get(r / 8).is_some_and(|byte| byte & (1 << (r % 8)) != 0)
 }
 
 /// Monotone domain boundaries: `ndomains + 1` offsets partitioning
@@ -284,67 +337,162 @@ impl FileHandle {
         // File-domain assignment over the appended region, from the
         // live aggregator set — recomputed every operation, so a
         // surviving aggregator re-covers a dead peer's domain.
-        let live = live_aggregators(cc, nprocs, &crashed);
+        //
+        // Under a message fault plan the shuttle phase additionally runs
+        // inside a failover loop: a send that hits a dead edge records
+        // the unreachable owner as a *suspect* instead of failing the
+        // operation, every rank exchanges its suspicions over the
+        // collective plane (which edge cuts never sever), the domains
+        // are re-elected with suspects replaced by promotion, and all
+        // slices are re-shipped on a fresh per-round tag. The loop
+        // settles when a round surfaces no new suspect; sealed records
+        // are therefore byte-identical to the fault-free run. A record
+        // that genuinely cannot be completed — a killed rank's data is
+        // unreachable from everyone — ends with `data_lost` set, which
+        // folds into the closing flag exchange so the record is never
+        // sealed.
+        let failover = ctx.msg_faults_active();
         let stripe = self.pfs.model.stripe_bytes.max(1);
-        let bounds = domain_bounds(base, base + total, live.len(), stripe, cc.stripe_align);
-
-        // Shuttle phase, sends first: every rank slices its block
-        // across the domains in ascending order. Sends never block, so
-        // draining all sends before any receive is deadlock-free.
-        for (k, &owner) in live.iter().enumerate() {
-            if owner == me {
-                continue;
+        let mut excluded = vec![false; nprocs];
+        let mut round: u32 = 0;
+        let (live, bounds, my_dom, data_lost) = loop {
+            let live = if failover {
+                elect_aggregators(cc, nprocs, &crashed, &excluded)
+            } else {
+                live_aggregators(cc, nprocs, &crashed)
+            };
+            let bounds = domain_bounds(base, base + total, live.len(), stripe, cc.stripe_align);
+            if failover && live.is_empty() {
+                break (live, bounds, None, true);
             }
-            if let Some((s, e)) = isect(
-                my_off,
-                my_off + block.len() as u64,
-                bounds[k],
-                bounds[k + 1],
-            ) {
-                ctx.send(
-                    owner,
-                    AGG_SHUTTLE_TAG,
-                    &eff[(s - my_off) as usize..(e - my_off) as usize],
-                )?;
-                ctx.emit_with(|| EventKind::AggShuttle {
-                    outgoing: true,
-                    peer: owner,
-                    bytes: e - s,
-                    file: self.file.name().to_string(),
-                });
-            }
-        }
+            let tag = if round == 0 {
+                AGG_SHUTTLE_TAG
+            } else {
+                AGG_SHUTTLE_RETRY_BASE + round
+            };
+            let mut suspects = vec![false; nprocs];
 
-        // Aggregator side: receive the intersecting slices (ascending
-        // source rank — each (source, owner) pair carries exactly one
-        // slice), assemble the domain, and issue one coalesced write,
-        // sieving the unaligned head of the appended region.
-        let my_domain = live.iter().position(|&r| r == me);
-        if let Some(k) = my_domain {
-            let (d0, d1) = (bounds[k], bounds[k + 1]);
-            let mut dom = vec![0u8; (d1 - d0) as usize];
-            for (r, (&r_off, &r_size)) in offsets.iter().zip(&sizes).enumerate() {
-                if let Some((s, e)) = isect(r_off, r_off + r_size, d0, d1) {
-                    let dst = &mut dom[(s - d0) as usize..(e - d0) as usize];
-                    if r == me {
-                        dst.copy_from_slice(&eff[(s - my_off) as usize..(e - my_off) as usize]);
-                    } else {
-                        let piece = ctx.recv(r, AGG_SHUTTLE_TAG)?;
-                        if piece.len() as u64 != e - s {
-                            return Err(PfsError::CollectiveMismatch(
-                                "aggregated write: shuttle slice size mismatch".into(),
-                            ));
-                        }
-                        ctx.emit_with(|| EventKind::AggShuttle {
-                            outgoing: false,
-                            peer: r,
+            // Shuttle phase, sends first: every rank slices its block
+            // across the domains in ascending order. Sends never block,
+            // so draining all sends before any receive is deadlock-free.
+            for (k, &owner) in live.iter().enumerate() {
+                if owner == me {
+                    continue;
+                }
+                if let Some((s, e)) = isect(
+                    my_off,
+                    my_off + block.len() as u64,
+                    bounds[k],
+                    bounds[k + 1],
+                ) {
+                    match ctx.send(
+                        owner,
+                        tag,
+                        &eff[(s - my_off) as usize..(e - my_off) as usize],
+                    ) {
+                        Ok(()) => ctx.emit_with(|| EventKind::AggShuttle {
+                            outgoing: true,
+                            peer: owner,
                             bytes: e - s,
                             file: self.file.name().to_string(),
-                        });
-                        dst.copy_from_slice(&piece);
+                        }),
+                        Err(MachineError::PeerGone { rank }) if failover => {
+                            suspects[rank] = true;
+                        }
+                        Err(err) => return Err(err.into()),
                     }
                 }
             }
+
+            // Aggregator side: receive the intersecting slices
+            // (ascending source rank — each (source, owner) pair
+            // carries exactly one slice per round) and assemble the
+            // domain.
+            let my_domain = live.iter().position(|&r| r == me);
+            let mut dom = None;
+            if let Some(k) = my_domain {
+                let (d0, d1) = (bounds[k], bounds[k + 1]);
+                let mut d = vec![0u8; (d1 - d0) as usize];
+                for (r, (&r_off, &r_size)) in offsets.iter().zip(&sizes).enumerate() {
+                    if let Some((s, e)) = isect(r_off, r_off + r_size, d0, d1) {
+                        let dst = &mut d[(s - d0) as usize..(e - d0) as usize];
+                        if r == me {
+                            dst.copy_from_slice(&eff[(s - my_off) as usize..(e - my_off) as usize]);
+                        } else {
+                            match ctx.recv(r, tag) {
+                                Ok(piece) => {
+                                    if piece.len() as u64 != e - s {
+                                        return Err(PfsError::CollectiveMismatch(
+                                            "aggregated write: shuttle slice size mismatch".into(),
+                                        ));
+                                    }
+                                    ctx.emit_with(|| EventKind::AggShuttle {
+                                        outgoing: false,
+                                        peer: r,
+                                        bytes: e - s,
+                                        file: self.file.name().to_string(),
+                                    });
+                                    dst.copy_from_slice(&piece);
+                                }
+                                Err(MachineError::PeerGone { .. }) if failover => {
+                                    // The sender that gave up on this
+                                    // edge is reporting *us* suspect in
+                                    // the exchange below; leave the hole
+                                    // — either the domain moves to a
+                                    // reachable owner next round, or the
+                                    // record goes unsealed.
+                                }
+                                Err(err) => return Err(err.into()),
+                            }
+                        }
+                    }
+                }
+                dom = Some(d);
+            }
+            if !failover {
+                break (
+                    live,
+                    bounds,
+                    my_domain.map(|k| (k, dom.expect("owner domain"))),
+                    false,
+                );
+            }
+
+            // Suspicion exchange over the collective plane, which edge
+            // cuts and kills never sever — every rank leaves with the
+            // same verdict, so the next election cannot diverge.
+            let verdicts = ctx.all_gather(pack_mask(&suspects))?;
+            let mut news = false;
+            for v in &verdicts {
+                for (r, ex) in excluded.iter_mut().enumerate() {
+                    if mask_bit(v, r) && !*ex {
+                        *ex = true;
+                        news = true;
+                    }
+                }
+            }
+            if !news {
+                break (
+                    live,
+                    bounds,
+                    my_domain.map(|k| (k, dom.expect("owner domain"))),
+                    false,
+                );
+            }
+            round += 1;
+            if round as usize > nprocs {
+                // Belt and braces: every extra round excluded at least
+                // one more rank, so this bound is unreachable — but a
+                // bounded loop is a theorem the reader needn't prove.
+                break (live, bounds, None, true);
+            }
+        };
+
+        // Physical phase: one coalesced write per settled domain owner,
+        // sieving the unaligned head of the appended region.
+        let my_domain = my_dom.as_ref().map(|&(k, _)| k);
+        if let Some((k, mut dom)) = my_dom {
+            let (d0, d1) = (bounds[k], bounds[k + 1]);
             if d1 > d0 {
                 let (p0, _plen) = physical_write_span(d0, d1, stripe, cc.stripe_align);
                 if p0 < d0 {
@@ -411,10 +559,14 @@ impl FileHandle {
             None
         };
 
-        // Closing crash-flag all-reduce: replaces the direct path's
-        // bare barrier and tells every survivor whether the record this
-        // collective wrote may be sealed.
-        let any_crash = ctx.all_reduce(my_crash as u64, |a, b| a | b)?;
+        // Closing flag all-reduce: replaces the direct path's bare
+        // barrier and tells every survivor whether the record this
+        // collective wrote may be sealed. Bit 0: some rank power-cut
+        // its transfer. Bit 1: the shuttle lost data — a slice stayed
+        // unreachable even after failover. (All ranks compute the same
+        // `data_lost` from the exchanged suspicions, so the bit is
+        // redundant but cheap insurance against divergence.)
+        let flags = ctx.all_reduce(my_crash as u64 | ((data_lost as u64) << 1), |a, b| a | b)?;
         if begin {
             let deferred = if my_crash {
                 ctx.fault_mark_dead();
@@ -425,11 +577,11 @@ impl FileHandle {
             let handle = IoHandle::new(
                 async_op.expect("begin mode submitted"),
                 deferred,
-                any_crash != 0,
+                flags != 0,
             );
             Ok((my_off, digests, Some(handle)))
         } else {
-            if any_crash != 0 && !my_crash {
+            if flags != 0 && !my_crash {
                 self.agg_peer_crash.set(true);
             }
             if my_crash {
@@ -799,6 +951,142 @@ mod tests {
             }));
             assert_eq!(direct, aggregated, "aggregators = {aggs}");
         }
+    }
+
+    #[test]
+    fn elect_aggregators_promotes_past_suspects() {
+        let cc = CollectiveConfig {
+            aggregators: 2,
+            stripe_align: true,
+        };
+        let none = vec![false; 4];
+        // No suspects: identical to the plain live set.
+        assert_eq!(
+            elect_aggregators(cc, 4, &none, &none),
+            live_aggregators(cc, 4, &none)
+        );
+        // A suspect aggregator is replaced by the next usable rank.
+        let mut ex = vec![false; 4];
+        ex[2] = true;
+        assert_eq!(elect_aggregators(cc, 4, &none, &ex), vec![0, 3]);
+        // Promotion never double-elects: with 0 and 1 unusable, both
+        // configured aggregators land on distinct survivors.
+        let mut ex = vec![false; 4];
+        ex[0] = true;
+        ex[1] = true;
+        let cc1 = CollectiveConfig {
+            aggregators: 2,
+            stripe_align: true,
+        };
+        let got = elect_aggregators(cc1, 4, &none, &ex);
+        assert_eq!(got.len(), 2);
+        assert!(got.iter().all(|&r| r == 2 || r == 3));
+        assert_ne!(got[0], got[1]);
+        // Everyone unusable: no aggregators at all.
+        let all = vec![true; 4];
+        assert!(elect_aggregators(cc, 4, &none, &all).is_empty());
+        // Crashed configured ranks are dropped, not replaced (matching
+        // live_aggregators), so fault-free images never shift.
+        let mut crashed = vec![false; 4];
+        crashed[2] = true;
+        assert_eq!(elect_aggregators(cc, 4, &crashed, &none), vec![0]);
+    }
+
+    #[test]
+    fn suspicion_masks_round_trip() {
+        let bits = vec![
+            true, false, false, true, false, true, true, false, true, false,
+        ];
+        let m = pack_mask(&bits);
+        for (r, &b) in bits.iter().enumerate() {
+            assert_eq!(mask_bit(&m, r), b);
+        }
+        assert!(!mask_bit(&m, 99));
+    }
+
+    /// Failover tentpole: a data edge into an aggregator is severed
+    /// mid-stream, the domain is re-elected to a reachable rank, unacked
+    /// slices are replayed, and the durable file stays byte-identical to
+    /// the fault-free run — with the record still sealable.
+    #[test]
+    fn aggregator_failover_keeps_file_byte_identical() {
+        use dstreams_machine::{FaultPlan, MsgFaultPlan};
+        let run = |msg: Option<MsgFaultPlan>| {
+            let pfs = Pfs::new(4, DiskModel::paragon_pfs(), crate::Backend::Memory);
+            let p = pfs.clone();
+            let mut cfg = MachineConfig::functional(4);
+            cfg.collective = Some(CollectiveConfig {
+                aggregators: 2,
+                stripe_align: true,
+            });
+            if let Some(m) = msg {
+                cfg = cfg.with_faults(FaultPlan::seeded(3).with_msg(m));
+            }
+            let per_rank = Machine::run(cfg, move |ctx| {
+                let fh = p.open(ctx.is_root(), "f", OpenMode::Create).unwrap();
+                let mut outs = Vec::new();
+                for round in 0..3u8 {
+                    let block: Vec<u8> = (0..100)
+                        .map(|i| (i as u8).wrapping_mul(7) ^ (ctx.rank() as u8) ^ round)
+                        .collect();
+                    let out = fh.write_ordered_summed(ctx, &block).unwrap();
+                    assert!(!fh.take_peer_crashed(), "sealable record expected");
+                    outs.push(out);
+                }
+                outs
+            })
+            .unwrap();
+            let size = pfs.file_size("f").unwrap() as usize;
+            let p2 = pfs.clone();
+            let bytes = Machine::run(MachineConfig::functional(1), move |ctx| {
+                let fh = p2.open(false, "f", OpenMode::Read).unwrap();
+                let mut buf = vec![0u8; size];
+                fh.read_at(ctx, 0, &mut buf).unwrap();
+                buf
+            })
+            .unwrap()[0]
+                .clone();
+            (per_rank, bytes)
+        };
+        let clean = run(None);
+        // Rank 3 feeds aggregator 2's domain; severing that edge forces
+        // a re-election (2 is replaced by promotion) and a full replay.
+        let failed_over = run(Some(MsgFaultPlan::seeded(11).cut_edge(3, 2, 0)));
+        assert_eq!(clean, failed_over);
+        // Chaos soup without cuts: retransmission and the sequence gate
+        // absorb everything, same bytes, same offsets, same digests.
+        let chaotic = run(Some(
+            MsgFaultPlan::seeded(77)
+                .drop_ppm(150_000)
+                .dup_ppm(100_000)
+                .delay_ppm(100_000)
+                .reorder_ppm(100_000),
+        ));
+        assert_eq!(clean, chaotic);
+    }
+
+    /// A killed rank's block is unreachable from everyone: the write
+    /// still completes machine-wide in bounded time (no hang), but the
+    /// record is reported unsealable on every rank.
+    #[test]
+    fn killed_rank_write_completes_unsealed() {
+        use dstreams_machine::{FaultPlan, MsgFaultPlan};
+        let pfs = Pfs::new(4, DiskModel::paragon_pfs(), crate::Backend::Memory);
+        let p = pfs.clone();
+        let mut cfg = MachineConfig::functional(4);
+        cfg.collective = Some(CollectiveConfig {
+            aggregators: 2,
+            stripe_align: true,
+        });
+        cfg = cfg.with_faults(FaultPlan::seeded(3).with_msg(MsgFaultPlan::seeded(5).kill_at(1, 0)));
+        let flags = Machine::run(cfg, move |ctx| {
+            let fh = p.open(ctx.is_root(), "f", OpenMode::Create).unwrap();
+            let block = vec![ctx.rank() as u8 + 1; 64];
+            fh.write_ordered_summed(ctx, &block).unwrap();
+            fh.take_peer_crashed()
+        })
+        .unwrap();
+        assert_eq!(flags, vec![true; 4], "every rank must suppress the seal");
     }
 
     /// Aggregation cuts the physical operation count to the aggregator

@@ -192,6 +192,43 @@ fn event_to_value(e: &Event) -> Value {
                 ("backoff_ns".into(), Value::Int(*backoff_ns as i64)),
             ],
         ),
+        EventKind::Retransmit {
+            to,
+            tag,
+            msg_seq,
+            attempt,
+            backoff_ns,
+        } => instant(
+            "msg.retransmit",
+            "fault",
+            e,
+            vec![
+                ("to".into(), Value::Int(*to as i64)),
+                ("tag".into(), Value::Int(*tag as i64)),
+                ("msg_seq".into(), Value::Int(*msg_seq as i64)),
+                ("attempt".into(), Value::Int(*attempt as i64)),
+                ("backoff_ns".into(), Value::Int(*backoff_ns as i64)),
+            ],
+        ),
+        EventKind::DupDropped { from, tag, msg_seq } => instant(
+            "msg.dup_dropped",
+            "fault",
+            e,
+            vec![
+                ("from".into(), Value::Int(*from as i64)),
+                ("tag".into(), Value::Int(*tag as i64)),
+                ("msg_seq".into(), Value::Int(*msg_seq as i64)),
+            ],
+        ),
+        EventKind::SuspectPeer { peer, attempts } => instant(
+            "msg.suspect",
+            "fault",
+            e,
+            vec![
+                ("peer".into(), Value::Int(*peer as i64)),
+                ("attempts".into(), Value::Int(*attempts as i64)),
+            ],
+        ),
         EventKind::PhaseBegin { phase } => {
             let mut m = base(phase.name(), "B", "stream", e);
             m.push(("args".into(), Value::Obj(vec![])));

@@ -57,6 +57,13 @@ pub struct OpCounts {
     pub faults_injected: BTreeMap<&'static str, u64>,
     /// Transient-failure retries performed by the PFS client.
     pub pfs_retries: u64,
+    /// Message retransmits performed by the reliable-delivery layer.
+    pub retransmits: u64,
+    /// Duplicate deliveries discarded by the receive-side dedup filter.
+    pub dup_dropped: u64,
+    /// Peers declared unreachable by the failure detector (one per
+    /// `SuspectPeer` event; a rank may suspect several peers).
+    pub suspected_peers: u64,
     /// Asynchronous operations submitted to rank pending queues.
     pub async_ops: u64,
     /// Total deferred cost of retired asynchronous operations, in
@@ -141,6 +148,15 @@ impl OpCounts {
                 }
                 EventKind::PfsRetry { .. } => {
                     c.pfs_retries += 1;
+                }
+                EventKind::Retransmit { .. } => {
+                    c.retransmits += 1;
+                }
+                EventKind::DupDropped { .. } => {
+                    c.dup_dropped += 1;
+                }
+                EventKind::SuspectPeer { .. } => {
+                    c.suspected_peers += 1;
                 }
                 EventKind::PhaseBegin { .. } | EventKind::PhaseEnd { .. } => {}
                 EventKind::AsyncSubmit { .. } => {
@@ -256,6 +272,12 @@ impl OpCounts {
                 ),
             ),
             ("pfs_retries".into(), Value::Int(self.pfs_retries as i64)),
+            ("retransmits".into(), Value::Int(self.retransmits as i64)),
+            ("dup_dropped".into(), Value::Int(self.dup_dropped as i64)),
+            (
+                "suspected_peers".into(),
+                Value::Int(self.suspected_peers as i64),
+            ),
             ("async_ops".into(), Value::Int(self.async_ops as i64)),
             (
                 "async_cost_ns".into(),

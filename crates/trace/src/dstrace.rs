@@ -217,6 +217,35 @@ fn kind_members(kind: &EventKind) -> Vec<(String, Value)> {
             ("attempt".into(), Value::Int(i64::from(*attempt))),
             ("backoff_ns".into(), u64_value(*backoff_ns)),
         ],
+        EventKind::Retransmit {
+            to,
+            tag: msg_tag,
+            msg_seq,
+            attempt,
+            backoff_ns,
+        } => vec![
+            tag("retransmit"),
+            ("to".into(), Value::Int(*to as i64)),
+            ("tag".into(), Value::Int(i64::from(*msg_tag))),
+            ("msg_seq".into(), u64_value(*msg_seq)),
+            ("attempt".into(), Value::Int(i64::from(*attempt))),
+            ("backoff_ns".into(), u64_value(*backoff_ns)),
+        ],
+        EventKind::DupDropped {
+            from,
+            tag: msg_tag,
+            msg_seq,
+        } => vec![
+            tag("dup_dropped"),
+            ("from".into(), Value::Int(*from as i64)),
+            ("tag".into(), Value::Int(i64::from(*msg_tag))),
+            ("msg_seq".into(), u64_value(*msg_seq)),
+        ],
+        EventKind::SuspectPeer { peer, attempts } => vec![
+            tag("suspect_peer"),
+            ("peer".into(), Value::Int(*peer as i64)),
+            ("attempts".into(), Value::Int(i64::from(*attempts))),
+        ],
         EventKind::PhaseBegin { phase } => vec![
             tag("phase_begin"),
             ("phase".into(), Value::Str(phase.name().into())),
@@ -328,6 +357,22 @@ fn event_from_value(v: &Value) -> Result<Event, String> {
             op_index: field_u64(v, "op_index")?,
             attempt: field_u32(v, "attempt")?,
             backoff_ns: field_u64(v, "backoff_ns")?,
+        },
+        "retransmit" => EventKind::Retransmit {
+            to: field_usize(v, "to")?,
+            tag: field_u32(v, "tag")?,
+            msg_seq: field_u64(v, "msg_seq")?,
+            attempt: field_u32(v, "attempt")?,
+            backoff_ns: field_u64(v, "backoff_ns")?,
+        },
+        "dup_dropped" => EventKind::DupDropped {
+            from: field_usize(v, "from")?,
+            tag: field_u32(v, "tag")?,
+            msg_seq: field_u64(v, "msg_seq")?,
+        },
+        "suspect_peer" => EventKind::SuspectPeer {
+            peer: field_usize(v, "peer")?,
+            attempts: field_u32(v, "attempts")?,
         },
         "phase_begin" => EventKind::PhaseBegin {
             phase: stream_phase(field_str(v, "phase")?)?,
@@ -582,6 +627,34 @@ mod tests {
                     op_index: 3,
                     attempt: 2,
                     backoff_ns: 5000,
+                },
+            ),
+            ev(
+                1,
+                16,
+                EventKind::Retransmit {
+                    to: 0,
+                    tag: 77,
+                    msg_seq: 9,
+                    attempt: 1,
+                    backoff_ns: 2500,
+                },
+            ),
+            ev(
+                1,
+                16,
+                EventKind::DupDropped {
+                    from: 0,
+                    tag: 77,
+                    msg_seq: 4,
+                },
+            ),
+            ev(
+                1,
+                16,
+                EventKind::SuspectPeer {
+                    peer: 0,
+                    attempts: 8,
                 },
             ),
             ev(

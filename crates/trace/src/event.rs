@@ -274,6 +274,40 @@ pub enum EventKind {
         /// File the record belongs to.
         file: String,
     },
+    /// The reliable-delivery layer re-sent a message whose previous
+    /// attempt was dropped by the injected message-fault plan. Emitted on
+    /// the sender after the virtual-time retransmit backoff elapsed.
+    Retransmit {
+        /// Destination rank of the unacknowledged message.
+        to: usize,
+        /// Message tag.
+        tag: u32,
+        /// Per-edge message sequence number.
+        msg_seq: u64,
+        /// Attempt number now being sent (1 = first retransmit).
+        attempt: u32,
+        /// Virtual-time backoff charged before this attempt, in ns.
+        backoff_ns: u64,
+    },
+    /// The receive-side dedup filter discarded a duplicate delivery (a
+    /// message whose per-edge sequence number had already been accepted).
+    DupDropped {
+        /// Source rank of the duplicate.
+        from: usize,
+        /// Message tag.
+        tag: u32,
+        /// Per-edge message sequence number of the duplicate.
+        msg_seq: u64,
+    },
+    /// The failure detector gave up on a peer: every retransmit attempt
+    /// was lost, so the sender declares the edge dead and converts the
+    /// silence into the `PeerGone` path instead of retrying forever.
+    SuspectPeer {
+        /// The peer now considered unreachable.
+        peer: usize,
+        /// Delivery attempts made before giving up.
+        attempts: u32,
+    },
     /// An injected fault fired on a file operation of this rank.
     FaultInjected {
         /// Fault class.

@@ -6,7 +6,7 @@
 //! The runtime's deterministic trace records exactly what each rank did,
 //! so violations of that discipline — the class of bug MPI-checker-style
 //! tools hunt — are decidable after the fact by a pass over the merged
-//! event log. [`analyze`] runs five rules:
+//! event log. [`analyze`] runs eight rules:
 //!
 //! * **collective matching** — each rank's sequence of collective
 //!   operations must agree elementwise in kind and root. A crash fault
@@ -39,6 +39,18 @@
 //!   receive. A mismatch means the two-phase planner's executor lost,
 //!   duplicated or mis-sliced element data mid-shuffle. Silent on traces
 //!   without redistribution traffic; relaxed for crashed endpoints.
+//! * **duplicate suppression** — no channel may claim more receives than
+//!   sends. The reliable-delivery layer logs a successful `MsgSend` only
+//!   once per message even when the fault plan duplicates it on the
+//!   wire, so a surplus receive means the dedup filter let a duplicate
+//!   through to the program. This rule is *not* crash-excused: a
+//!   consumed duplicate is wrong no matter who died.
+//! * **retransmit accounting** — an edge that logged `Retransmit`
+//!   events must have resolved: either a delivery eventually succeeded
+//!   (a `MsgSend` on that edge) or the failure detector gave up (a
+//!   `SuspectPeer` naming the destination). Retransmits with neither
+//!   outcome are unacked-but-counted: the counters claim recovery work
+//!   whose message neither arrived nor was declared lost.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -64,6 +76,12 @@ pub enum Rule {
     /// Redistribution shuttle traffic does not conserve between a reader
     /// rank and the owner it shipped elements to.
     RedistConservation,
+    /// A channel claimed more receives than sends: the dedup filter let
+    /// a duplicate delivery through to the program.
+    DuplicateSuppression,
+    /// An edge logged retransmits that neither succeeded (`MsgSend`)
+    /// nor were abandoned (`SuspectPeer`).
+    RetransmitAccounting,
 }
 
 impl fmt::Display for Rule {
@@ -75,6 +93,8 @@ impl fmt::Display for Rule {
             Rule::MessagePairing => "message-pairing",
             Rule::ShuttleConservation => "shuttle-conservation",
             Rule::RedistConservation => "redist-conservation",
+            Rule::DuplicateSuppression => "duplicate-suppression",
+            Rule::RetransmitAccounting => "retransmit-accounting",
         })
     }
 }
@@ -184,7 +204,7 @@ fn crashed_ranks(trace: &Trace) -> Vec<usize> {
     out
 }
 
-/// Run all six rules over a trace.
+/// Run all eight rules over a trace.
 pub fn analyze(trace: &Trace) -> Report {
     let lanes = per_rank_events(trace);
     let crashed = crashed_ranks(trace);
@@ -203,6 +223,8 @@ pub fn analyze(trace: &Trace) -> Report {
     check_message_pairing(trace, &crashed, &mut report);
     check_shuttle_conservation(trace, &crashed, &mut report);
     check_redist_conservation(trace, &crashed, &mut report);
+    check_duplicate_suppression(trace, &mut report);
+    check_retransmit_accounting(trace, &mut report);
     report
 }
 
@@ -511,6 +533,73 @@ fn check_redist_conservation(trace: &Trace, crashed: &[usize], report: &mut Repo
                 "redistribution {src}->{dst}: {sent_el} element(s)/{sent} B \
                  shipped vs {recvd_el} element(s)/{recvd} B claimed — the \
                  shuffle lost or duplicated element data"
+            ),
+        });
+    }
+}
+
+fn check_duplicate_suppression(trace: &Trace, report: &mut Report) {
+    // (from, to, tag) -> (sends, recvs). Deliberately NOT crash-excused:
+    // the reliable layer records one MsgSend per successful delivery, so
+    // recvs > sends means a wire duplicate reached the program — wrong
+    // regardless of any later crash on either endpoint.
+    let mut channels: BTreeMap<(usize, usize, u32), (u64, u64)> = BTreeMap::new();
+    for e in &trace.events {
+        match &e.kind {
+            EventKind::MsgSend { to, tag, .. } => {
+                channels.entry((e.rank, *to, *tag)).or_insert((0, 0)).0 += 1;
+            }
+            EventKind::MsgRecv { from, tag, .. } => {
+                channels.entry((*from, e.rank, *tag)).or_insert((0, 0)).1 += 1;
+            }
+            _ => {}
+        }
+    }
+    for ((from, to, tag), (sends, recvs)) in channels {
+        if recvs <= sends {
+            continue;
+        }
+        report.hazards.push(Hazard {
+            rule: Rule::DuplicateSuppression,
+            rank: Some(to),
+            detail: format!(
+                "channel {from}->{to} tag {tag}: {recvs} receives for only \
+                 {sends} send(s) — {} duplicate delivery(ies) slipped past \
+                 the dedup filter into the program",
+                recvs - sends
+            ),
+        });
+    }
+}
+
+fn check_retransmit_accounting(trace: &Trace, report: &mut Report) {
+    // (sender, dest) -> (retransmits, successful sends, suspicions).
+    let mut edges: BTreeMap<(usize, usize), (u64, u64, u64)> = BTreeMap::new();
+    for e in &trace.events {
+        match &e.kind {
+            EventKind::Retransmit { to, .. } => {
+                edges.entry((e.rank, *to)).or_insert((0, 0, 0)).0 += 1;
+            }
+            EventKind::MsgSend { to, .. } => {
+                edges.entry((e.rank, *to)).or_insert((0, 0, 0)).1 += 1;
+            }
+            EventKind::SuspectPeer { peer, .. } => {
+                edges.entry((e.rank, *peer)).or_insert((0, 0, 0)).2 += 1;
+            }
+            _ => {}
+        }
+    }
+    for ((from, to), (retransmits, sends, suspects)) in edges {
+        if retransmits == 0 || sends > 0 || suspects > 0 {
+            continue;
+        }
+        report.hazards.push(Hazard {
+            rule: Rule::RetransmitAccounting,
+            rank: Some(from),
+            detail: format!(
+                "edge {from}->{to}: {retransmits} retransmit(s) counted but \
+                 no delivery ever succeeded and the failure detector never \
+                 gave up — the retry either hung or its counter was forged"
             ),
         });
     }
@@ -1025,5 +1114,170 @@ mod tests {
         );
         let r = analyze(&t);
         assert!(r.clean(), "{r}");
+    }
+
+    fn send(rank: usize, t: u64, seq: u64, to: usize, tag: u32) -> Event {
+        ev(
+            rank,
+            t,
+            seq,
+            EventKind::MsgSend {
+                to,
+                tag,
+                bytes: 64,
+                collective: false,
+            },
+        )
+    }
+
+    fn recv(rank: usize, t: u64, seq: u64, from: usize, tag: u32) -> Event {
+        ev(
+            rank,
+            t,
+            seq,
+            EventKind::MsgRecv {
+                from,
+                tag,
+                bytes: 64,
+                collective: false,
+            },
+        )
+    }
+
+    #[test]
+    fn surplus_receive_is_a_duplicate_suppression_hazard() {
+        let t = trace(
+            2,
+            vec![
+                send(0, 10, 0, 1, 42),
+                recv(1, 12, 0, 0, 42),
+                recv(1, 14, 1, 0, 42),
+            ],
+        );
+        let r = analyze(&t);
+        // Message pairing also fires (1 send vs 2 recvs), but the
+        // duplicate-suppression verdict must be present and name the
+        // consumer.
+        let dup: Vec<&Hazard> = r
+            .hazards
+            .iter()
+            .filter(|h| h.rule == Rule::DuplicateSuppression)
+            .collect();
+        assert_eq!(dup.len(), 1);
+        assert_eq!(dup[0].rank, Some(1));
+        assert!(dup[0].detail.contains("duplicate"), "{}", dup[0]);
+    }
+
+    #[test]
+    fn duplicate_suppression_is_not_crash_excused() {
+        let t = trace(
+            2,
+            vec![
+                send(0, 10, 0, 1, 7),
+                recv(1, 12, 0, 0, 7),
+                recv(1, 14, 1, 0, 7),
+                ev(
+                    0,
+                    20,
+                    1,
+                    EventKind::FaultInjected {
+                        kind: FaultKind::Crash,
+                        op_index: 0,
+                        file: "s".into(),
+                        bytes_kept: 0,
+                    },
+                ),
+            ],
+        );
+        let r = analyze(&t);
+        assert!(
+            r.hazards
+                .iter()
+                .any(|h| h.rule == Rule::DuplicateSuppression),
+            "crash must not excuse a consumed duplicate: {r}"
+        );
+    }
+
+    fn retransmit(rank: usize, t: u64, seq: u64, to: usize, attempt: u32) -> Event {
+        ev(
+            rank,
+            t,
+            seq,
+            EventKind::Retransmit {
+                to,
+                tag: 42,
+                msg_seq: 0,
+                attempt,
+                backoff_ns: 1_000,
+            },
+        )
+    }
+
+    #[test]
+    fn retransmit_followed_by_delivery_is_clean() {
+        let t = trace(
+            2,
+            vec![
+                retransmit(0, 10, 0, 1, 1),
+                send(0, 12, 1, 1, 42),
+                recv(1, 14, 0, 0, 42),
+            ],
+        );
+        let r = analyze(&t);
+        assert!(r.clean(), "{r}");
+    }
+
+    #[test]
+    fn retransmit_ending_in_suspicion_is_clean() {
+        let t = trace(
+            2,
+            vec![
+                retransmit(0, 10, 0, 1, 1),
+                retransmit(0, 20, 1, 1, 2),
+                ev(
+                    0,
+                    30,
+                    2,
+                    EventKind::SuspectPeer {
+                        peer: 1,
+                        attempts: 3,
+                    },
+                ),
+            ],
+        );
+        let r = analyze(&t);
+        assert!(r.clean(), "{r}");
+    }
+
+    #[test]
+    fn unresolved_retransmit_is_flagged() {
+        let t = trace(2, vec![retransmit(0, 10, 0, 1, 1)]);
+        let r = analyze(&t);
+        assert_eq!(r.hazards.len(), 1);
+        assert_eq!(r.hazards[0].rule, Rule::RetransmitAccounting);
+        assert_eq!(r.hazards[0].rank, Some(0));
+        assert!(r.hazards[0].detail.contains("0->1"), "{}", r.hazards[0]);
+    }
+
+    #[test]
+    fn suspicion_on_a_different_edge_does_not_resolve_a_retransmit() {
+        let t = trace(
+            3,
+            vec![
+                retransmit(0, 10, 0, 1, 1),
+                ev(
+                    0,
+                    30,
+                    1,
+                    EventKind::SuspectPeer {
+                        peer: 2,
+                        attempts: 3,
+                    },
+                ),
+            ],
+        );
+        let r = analyze(&t);
+        assert_eq!(r.hazards.len(), 1);
+        assert_eq!(r.hazards[0].rule, Rule::RetransmitAccounting);
     }
 }

@@ -68,12 +68,49 @@ fn lost_redist_transfer_fixture_is_flagged() {
 }
 
 #[test]
+fn duplicate_shuttle_delivery_fixture_is_flagged() {
+    let report = analyze(&load("duplicate_shuttle_delivery.dstrace.json"));
+    // The double claim trips the dedup rule, and its knock-on effects
+    // (surplus point-to-point receive, non-conserved shuttle bytes) trip
+    // the pairing and conservation rules too.
+    let dup: Vec<_> = report
+        .hazards
+        .iter()
+        .filter(|h| h.rule == Rule::DuplicateSuppression)
+        .collect();
+    assert_eq!(dup.len(), 1, "{report}");
+    assert_eq!(dup[0].rank, Some(0));
+    assert!(dup[0].detail.contains("1->0"), "{}", dup[0]);
+    assert!(dup[0].detail.contains("2 receives"), "{}", dup[0]);
+    assert!(
+        report
+            .hazards
+            .iter()
+            .any(|h| h.rule == Rule::ShuttleConservation),
+        "{report}"
+    );
+}
+
+#[test]
+fn unacked_retransmit_fixture_is_flagged() {
+    let report = analyze(&load("unacked_retransmit.dstrace.json"));
+    assert_eq!(report.hazards.len(), 1, "{report}");
+    let h = &report.hazards[0];
+    assert_eq!(h.rule, Rule::RetransmitAccounting);
+    assert_eq!(h.rank, Some(1));
+    assert!(h.detail.contains("1->0"), "{h}");
+    assert!(h.detail.contains("3 retransmit(s)"), "{h}");
+}
+
+#[test]
 fn dsverify_flags_fixtures_and_exits_nonzero() {
     let out = Command::new(env!("CARGO_BIN_EXE_dsverify"))
         .arg(fixture("mismatched_collective.dstrace.json"))
         .arg(fixture("unmatched_write_begin.dstrace.json"))
         .arg(fixture("leaked_agg_shuttle.dstrace.json"))
         .arg(fixture("lost_redist_transfer.dstrace.json"))
+        .arg(fixture("duplicate_shuttle_delivery.dstrace.json"))
+        .arg(fixture("unacked_retransmit.dstrace.json"))
         .output()
         .unwrap();
     assert_eq!(out.status.code(), Some(1), "{out:?}");
@@ -82,6 +119,8 @@ fn dsverify_flags_fixtures_and_exits_nonzero() {
     assert!(stdout.contains("async-pairing"), "{stdout}");
     assert!(stdout.contains("shuttle-conservation"), "{stdout}");
     assert!(stdout.contains("redist-conservation"), "{stdout}");
+    assert!(stdout.contains("duplicate-suppression"), "{stdout}");
+    assert!(stdout.contains("retransmit-accounting"), "{stdout}");
 }
 
 #[test]
