@@ -20,6 +20,7 @@
 
 use std::io::Write as _;
 
+use dstreams_bench::percentile::Percentiles;
 use dstreams_collections::{Collection, DistKind, Layout};
 use dstreams_core::CheckpointManager;
 use dstreams_machine::{CollectiveConfig, FaultPlan, Machine, MachineConfig, MsgFaultPlan};
@@ -39,10 +40,14 @@ struct Run {
     retransmits: u64,
     dup_dropped: u64,
     suspected_peers: u64,
+    save_p50_s: f64,
+    save_p99_s: f64,
 }
 
 /// Multi-generation aggregated checkpoint write; returns the slowest
-/// rank's modeled time plus the reliability counters from the trace.
+/// rank's modeled time, the reliability counters from the trace, and the
+/// distribution of per-record save durations across all ranks — chaos
+/// should widen the tail, not just shift the mean.
 fn workload(nprocs: usize, elements: usize, records: u64, msg: Option<MsgFaultPlan>) -> Run {
     let pfs = Pfs::new(nprocs, DiskModel::paragon_pfs(), Backend::Memory);
     let sink = TraceSink::new(nprocs);
@@ -56,26 +61,33 @@ fn workload(nprocs: usize, elements: usize, records: u64, msg: Option<MsgFaultPl
         config = config.with_faults(FaultPlan::default().with_msg(msg));
     }
     let p = pfs.clone();
-    let vtime_ns = Machine::run(config, move |ctx| {
+    let per_rank = Machine::run(config, move |ctx| {
         let layout = Layout::dense(elements, nprocs, DistKind::Block).unwrap();
         let mgr = CheckpointManager::new("deg", 2);
         let mut g = Collection::new(ctx, layout.clone(), |i| i as u64).unwrap();
+        let mut save_ns = Vec::with_capacity(records as usize);
         for step in 1..=records {
             g.apply(|v| *v += 1000);
+            let before = ctx.now();
             mgr.save(ctx, &p, &g, step).unwrap();
+            save_ns.push(ctx.now().as_nanos() - before.as_nanos());
         }
-        ctx.now().as_nanos()
+        (ctx.now().as_nanos(), save_ns)
     })
-    .expect("degradation workload")
-    .into_iter()
-    .max()
-    .unwrap();
+    .expect("degradation workload");
+    let vtime_ns = per_rank.iter().map(|(t, _)| *t).max().unwrap();
+    let mut saves = Percentiles::new();
+    for (_, durations) in &per_rank {
+        saves.extend(durations.iter().copied());
+    }
     let counts = sink.take().op_counts();
     Run {
         vtime_s: vtime_ns as f64 / 1e9,
         retransmits: counts.retransmits,
         dup_dropped: counts.dup_dropped,
         suspected_peers: counts.suspected_peers,
+        save_p50_s: saves.p50().unwrap_or(0) as f64 / 1e9,
+        save_p99_s: saves.p99().unwrap_or(0) as f64 / 1e9,
     }
 }
 
@@ -91,6 +103,8 @@ fn row_json(label: &str, drop_ppm: u32, run: &Run, overhead: f64) -> Value {
             "suspected_peers".into(),
             Value::Int(run.suspected_peers as i64),
         ),
+        ("save_p50_s".into(), Value::Num(run.save_p50_s)),
+        ("save_p99_s".into(), Value::Num(run.save_p99_s)),
     ])
 }
 

@@ -13,8 +13,10 @@
 
 use std::io::Write as _;
 
+use dstreams_bench::percentile::Percentiles;
 use dstreams_scf::{calibrate_compute, run_checkpoint, run_checkpoint_traced, OverlapSpec};
 use dstreams_trace::json::Value;
+use dstreams_trace::EventKind;
 
 /// The speedup every full-size configuration must clear.
 const SPEEDUP_FLOOR: f64 = 1.5;
@@ -28,6 +30,8 @@ struct Row {
     sync_s: f64,
     pipelined_s: f64,
     overlap_efficiency: f64,
+    stall_p50_ns: u64,
+    stall_p99_ns: u64,
 }
 
 impl Row {
@@ -50,6 +54,8 @@ impl Row {
                 "overlap_efficiency".into(),
                 Value::Num(self.overlap_efficiency),
             ),
+            ("stall_p50_ns".into(), Value::Int(self.stall_p50_ns as i64)),
+            ("stall_p99_ns".into(), Value::Int(self.stall_p99_ns as i64)),
         ])
     }
 }
@@ -60,6 +66,13 @@ fn run_config(nprocs: usize, n_segments: usize, iterations: usize) -> Row {
     let sync_s = run_checkpoint(spec).expect("synchronous run");
     spec.pipelined = true;
     let (pipelined_s, trace) = run_checkpoint_traced(spec).expect("pipelined run");
+    // Distribution of how long ranks actually blocked waiting for async
+    // write-behind to retire — the tail is what the speedup hides.
+    let mut stalls = Percentiles::new();
+    stalls.extend(trace.events.iter().filter_map(|e| match e.kind {
+        EventKind::AsyncComplete { stall_ns, .. } => Some(stall_ns),
+        _ => None,
+    }));
     Row {
         nprocs,
         n_segments,
@@ -69,6 +82,8 @@ fn run_config(nprocs: usize, n_segments: usize, iterations: usize) -> Row {
         sync_s,
         pipelined_s,
         overlap_efficiency: trace.op_counts().overlap_efficiency(),
+        stall_p50_ns: stalls.p50().unwrap_or(0),
+        stall_p99_ns: stalls.p99().unwrap_or(0),
     }
 }
 
@@ -91,22 +106,32 @@ fn main() {
 
     println!("SCF checkpoint loop, Intel Paragon preset, simulated seconds:\n");
     println!(
-        "{:<8}{:>10}{:>8}{:>12}{:>12}{:>10}{:>10}",
-        "procs", "segments", "iters", "sync", "pipelined", "speedup", "overlap"
+        "{:<8}{:>10}{:>8}{:>12}{:>12}{:>10}{:>10}{:>12}{:>12}",
+        "procs",
+        "segments",
+        "iters",
+        "sync",
+        "pipelined",
+        "speedup",
+        "overlap",
+        "stall p50",
+        "stall p99"
     );
     let mut rows = Vec::new();
     let mut violations = Vec::new();
     for &(nprocs, n_segments, iterations) in configs {
         let row = run_config(nprocs, n_segments, iterations);
         println!(
-            "{:<8}{:>10}{:>8}{:>12.3}{:>12.3}{:>9.2}x{:>9.1}%",
+            "{:<8}{:>10}{:>8}{:>12.3}{:>12.3}{:>9.2}x{:>9.1}%{:>10.1}us{:>10.1}us",
             row.nprocs,
             row.n_segments,
             row.iterations,
             row.sync_s,
             row.pipelined_s,
             row.speedup(),
-            100.0 * row.overlap_efficiency
+            100.0 * row.overlap_efficiency,
+            row.stall_p50_ns as f64 / 1e3,
+            row.stall_p99_ns as f64 / 1e3
         );
         if row.speedup() < SPEEDUP_FLOOR {
             violations.push(format!(

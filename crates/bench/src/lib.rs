@@ -13,6 +13,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod percentile;
+
 use std::time::Duration;
 
 use dstreams_machine::{Machine, MachineConfig, VTime};

@@ -1,0 +1,155 @@
+//! Streaming-friendly percentile accumulator shared by the benches.
+//!
+//! All benches report latency distributions the same way: collect `u64`
+//! samples (nanoseconds, usually), then read off p50/p90/p99 with the
+//! nearest-rank method.  Centralising the arithmetic here keeps the
+//! reported numbers comparable across `service`, `pipeline`, and
+//! `degradation`, and gives the definition a single set of unit tests.
+
+/// Accumulates `u64` samples and answers nearest-rank percentile queries.
+///
+/// The accumulator is deliberately simple: it keeps every sample.  Bench
+/// sample counts are in the tens of thousands at most, so exact answers
+/// are cheaper than the bookkeeping of a sketch.
+#[derive(Debug, Default, Clone)]
+pub struct Percentiles {
+    samples: Vec<u64>,
+    sorted: bool,
+}
+
+impl Percentiles {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, sample: u64) {
+        self.samples.push(sample);
+        self.sorted = false;
+    }
+
+    /// Adds every sample from an iterator.
+    pub fn extend<I: IntoIterator<Item = u64>>(&mut self, samples: I) {
+        self.samples.extend(samples);
+        self.sorted = false;
+    }
+
+    /// Number of samples collected so far.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples have been collected.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Nearest-rank percentile: the smallest sample such that at least
+    /// `p` percent of the data is at or below it.  `p` is clamped to
+    /// `[0, 100]`; returns `None` when no samples have been collected.
+    pub fn percentile(&mut self, p: f64) -> Option<u64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let n = self.samples.len();
+        // Nearest rank: ceil(p/100 * n), 1-based; clamp to [1, n].
+        let rank = ((p / 100.0) * n as f64).ceil() as usize;
+        let rank = rank.clamp(1, n);
+        Some(self.samples[rank - 1])
+    }
+
+    /// Median (50th percentile).
+    pub fn p50(&mut self) -> Option<u64> {
+        self.percentile(50.0)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&mut self) -> Option<u64> {
+        self.percentile(90.0)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&mut self) -> Option<u64> {
+        self.percentile(99.0)
+    }
+
+    /// Largest sample seen, `None` when empty.
+    pub fn max(&mut self) -> Option<u64> {
+        self.percentile(100.0)
+    }
+
+    /// Arithmetic mean rounded to the nearest integer, `None` when empty.
+    pub fn mean(&self) -> Option<u64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let total: u128 = self.samples.iter().map(|&s| u128::from(s)).sum();
+        let n = self.samples.len() as u128;
+        Some(((total + n / 2) / n) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_1_to_100_hits_the_textbook_answers() {
+        let mut p = Percentiles::new();
+        p.extend(1..=100);
+        assert_eq!(p.p50(), Some(50));
+        assert_eq!(p.p90(), Some(90));
+        assert_eq!(p.p99(), Some(99));
+        assert_eq!(p.max(), Some(100));
+        assert_eq!(p.percentile(0.0), Some(1));
+        assert_eq!(p.mean(), Some(51)); // 50.5 rounds up
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted_internally() {
+        let mut p = Percentiles::new();
+        p.extend([30, 10, 50, 20, 40]);
+        assert_eq!(p.p50(), Some(30));
+        assert_eq!(p.percentile(100.0), Some(50));
+        // Pushing after a query invalidates the cached sort.
+        p.push(5);
+        assert_eq!(p.percentile(0.0), Some(5));
+    }
+
+    #[test]
+    fn single_sample_answers_every_percentile() {
+        let mut p = Percentiles::new();
+        p.push(42);
+        assert_eq!(p.p50(), Some(42));
+        assert_eq!(p.p99(), Some(42));
+        assert_eq!(p.percentile(0.0), Some(42));
+        assert_eq!(p.mean(), Some(42));
+    }
+
+    #[test]
+    fn empty_accumulator_returns_none() {
+        let mut p = Percentiles::new();
+        assert!(p.is_empty());
+        assert_eq!(p.p50(), None);
+        assert_eq!(p.mean(), None);
+    }
+
+    #[test]
+    fn skewed_distribution_separates_the_tail() {
+        // 99 fast samples and one slow outlier: p50 stays low, p99 does
+        // not reach the outlier until it is within the top 1%.
+        let mut p = Percentiles::new();
+        p.extend(std::iter::repeat_n(10, 99));
+        p.push(1_000_000);
+        assert_eq!(p.p50(), Some(10));
+        assert_eq!(p.p90(), Some(10));
+        assert_eq!(p.p99(), Some(10));
+        assert_eq!(p.max(), Some(1_000_000));
+    }
+}

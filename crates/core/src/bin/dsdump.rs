@@ -17,11 +17,15 @@
 //! its last commit-sealed record and, when the tail record is torn (a
 //! crash landed mid-write), truncated back to the sealed prefix — the
 //! on-disk analogue of the torn-tail detection `IStream::open` performs.
-//! With `--dstrace` the arguments are instead Chrome `trace_event` JSON
-//! files captured by the tracing layer (e.g. `tables trace`), and dsdump
+//! With `--dstrace` the arguments are instead trace captures — either
+//! Chrome `trace_event` JSON (e.g. `tables trace`) or the native
+//! `.dstrace.json` format `DSTREAMS_TRACE_OUT` writes — and dsdump
 //! prints a per-rank summary of the recorded events: message and
-//! collective counts, PFS traffic, and stream-phase virtual time.
+//! collective counts, PFS traffic, and stream-phase virtual time. Traces
+//! captured from the serving layer additionally get a per-tenant session
+//! summary: op counts, shed counts, and the working-set cache hit rate.
 
+use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 use dstreams_trace::json::{self, Value};
@@ -146,6 +150,70 @@ struct RankStats {
 /// Event counts per Chrome-trace event name, in first-seen order.
 type NameCounts = Vec<(String, u64)>;
 
+/// Per-tenant serving-layer tallies for one trace file.
+///
+/// Session and cache events are decision-ledger entries the service
+/// replays identically on every rank, so the summary reads a single
+/// lane (rank 0) rather than multiplying every count by nprocs.
+#[derive(Default, Clone)]
+struct TenantStats {
+    class: String,
+    admitted: u64,
+    done_ok: u64,
+    done_failed: u64,
+    shed: u64,
+    /// Completed-op counts by op name, in first-seen order.
+    ops: Vec<(String, u64)>,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+fn summarize_tenants(events: &[Value]) -> BTreeMap<i64, TenantStats> {
+    let mut tenants: BTreeMap<i64, TenantStats> = BTreeMap::new();
+    for ev in events {
+        if ev.get("tid").and_then(Value::as_i64) != Some(0) {
+            continue;
+        }
+        let cat = ev.get("cat").and_then(Value::as_str).unwrap_or("");
+        if cat != "session" && cat != "cache" {
+            continue;
+        }
+        let args = match ev.get("args") {
+            Some(a) => a,
+            None => continue,
+        };
+        let tenant = match args.get("tenant").and_then(Value::as_i64) {
+            Some(t) => t,
+            None => continue,
+        };
+        let name = ev.get("name").and_then(Value::as_str).unwrap_or("");
+        let t = tenants.entry(tenant).or_default();
+        if let Some(class) = args.get("class").and_then(Value::as_str) {
+            t.class = class.to_string();
+        }
+        match name {
+            "session.admit" => t.admitted += 1,
+            "session.shed" => t.shed += 1,
+            "session.done" => {
+                if args.get("ok").and_then(Value::as_bool).unwrap_or(false) {
+                    t.done_ok += 1;
+                } else {
+                    t.done_failed += 1;
+                }
+                let op = args.get("op").and_then(Value::as_str).unwrap_or("?");
+                match t.ops.iter_mut().find(|(n, _)| n == op) {
+                    Some((_, c)) => *c += 1,
+                    None => t.ops.push((op.to_string(), 1)),
+                }
+            }
+            "cache.hit" => t.cache_hits += 1,
+            "cache.miss" => t.cache_misses += 1,
+            _ => {}
+        }
+    }
+    tenants
+}
+
 fn summarize_trace(events: &[Value]) -> Result<(Vec<RankStats>, NameCounts), String> {
     let mut ranks: Vec<RankStats> = Vec::new();
     let mut by_name: NameCounts = Vec::new();
@@ -215,11 +283,21 @@ fn summarize_trace(events: &[Value]) -> Result<(Vec<RankStats>, NameCounts), Str
 }
 
 fn render_dstrace(path: &str, text: &str) -> Result<String, String> {
-    let doc = json::parse(text).map_err(|e| format!("not a trace JSON file: {e}"))?;
+    let mut doc = json::parse(text).map_err(|e| format!("not a trace JSON file: {e}"))?;
+    if doc.get("traceEvents").is_none()
+        && doc.get("format").and_then(Value::as_str) == Some("dstrace")
+    {
+        // A native `.dstrace.json` capture (DSTREAMS_TRACE_OUT /
+        // dsverify's input format): convert through the Chrome exporter
+        // so both spellings of a trace get the same summary.
+        let trace = dstreams_trace::dstrace::parse_events_json(text).map_err(|e| e.to_string())?;
+        let chrome = dstreams_trace::chrome::to_chrome_json(&trace);
+        doc = json::parse(&chrome).map_err(|e| format!("internal chrome conversion: {e}"))?;
+    }
     let events = doc
         .get("traceEvents")
         .and_then(Value::as_array)
-        .ok_or("no traceEvents array — is this a Chrome trace?")?;
+        .ok_or("no traceEvents array — is this a Chrome trace or a .dstrace.json capture?")?;
     let nprocs = doc
         .get("otherData")
         .and_then(|o| o.get("nprocs"))
@@ -279,6 +357,42 @@ fn render_dstrace(path: &str, text: &str) -> Result<String, String> {
                     r.retransmits, r.dup_dropped, r.suspects
                 ));
             }
+        }
+    }
+    // Serving-layer session summary: only traces captured from the
+    // multi-tenant service carry `session`/`cache` events, so plain
+    // machine traces keep their old summaries byte-for-byte.
+    let tenants = summarize_tenants(events);
+    if !tenants.is_empty() {
+        out.push_str("  sessions by tenant (rank 0 lane; identical on every rank):\n");
+        for (tenant, t) in &tenants {
+            let ops = if t.ops.is_empty() {
+                "-".to_string()
+            } else {
+                t.ops
+                    .iter()
+                    .map(|(n, c)| format!("{n}={c}"))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            };
+            let lookups = t.cache_hits + t.cache_misses;
+            let cache = if lookups == 0 {
+                "no cache lookups".to_string()
+            } else {
+                format!(
+                    "cache {}/{lookups} hits ({:.1}%)",
+                    t.cache_hits,
+                    t.cache_hits as f64 / lookups as f64 * 100.0
+                )
+            };
+            out.push_str(&format!(
+                "    tenant {tenant} ({}): {} admitted, {} ok, {} failed, {} shed; ops {ops}; {cache}\n",
+                if t.class.is_empty() { "?" } else { &t.class },
+                t.admitted,
+                t.done_ok,
+                t.done_failed,
+                t.shed,
+            ));
         }
     }
     out.push_str("  events by name:\n");

@@ -11,6 +11,20 @@
 //! retention, and restart from the *newest readable* generation (a
 //! generation whose write was interrupted simply fails validation and the
 //! previous one is used).
+//!
+//! # Recovery API
+//!
+//! Crash recovery is a first-class, fully public entry point (it used to
+//! be reachable only through the `dsdump --recover` binary on real
+//! files). [`CheckpointManager::recover`] scans every generation under
+//! the manager's prefix with [`crate::recovery_scan`], truncates torn
+//! tail records back to their sealed prefix in place, removes
+//! generations with no sealed data at all, and reseats the manifest on
+//! the survivors. It is collective (every rank must call it) and
+//! deterministic: rank 0 does the scanning and repair, then broadcasts
+//! one verdict per generation so all ranks return an identical
+//! [`RecoveryOutcome`]. Multi-tenant services drive this per tenant
+//! prefix — one tenant's recovery never touches another's files.
 
 use dstreams_collections::{Collection, Layout};
 use dstreams_machine::NodeCtx;
@@ -23,6 +37,7 @@ use crate::localio::LocalFile;
 use crate::ostream::{OStream, StreamOptions};
 
 /// Manages a rotating series of checkpoint files `<prefix>.<generation>`.
+#[derive(Debug, Clone)]
 pub struct CheckpointManager {
     prefix: String,
     /// How many recent generations to keep (older files are removed).
@@ -31,6 +46,36 @@ pub struct CheckpointManager {
 }
 
 const MANIFEST_MAGIC: &[u8; 8] = b"DSCKPT1\0";
+
+/// Per-generation verdicts broadcast by [`CheckpointManager::recover`].
+const VERDICT_INTACT: u8 = 0;
+const VERDICT_TRUNCATED: u8 = 1;
+const VERDICT_REMOVED: u8 = 2;
+const VERDICT_UNREADABLE: u8 = 3;
+
+/// What a [`CheckpointManager::recover`] pass found and did. Identical
+/// on every rank.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryOutcome {
+    /// Every generation examined, oldest first.
+    pub scanned: Vec<u64>,
+    /// Generations whose torn tail was truncated back to the sealed
+    /// prefix (the committed records survive).
+    pub truncated: Vec<u64>,
+    /// Generations removed because nothing in them was ever sealed.
+    pub removed: Vec<u64>,
+    /// Generations the scanner could not interpret; left untouched.
+    pub unreadable: Vec<u64>,
+    /// Newest generation known to hold sealed data after the pass.
+    pub newest_sealed: Option<u64>,
+}
+
+impl RecoveryOutcome {
+    /// True when no generation needed repair (and none was unreadable).
+    pub fn clean(&self) -> bool {
+        self.truncated.is_empty() && self.removed.is_empty() && self.unreadable.is_empty()
+    }
+}
 
 /// Rank-consistent existence check. `Pfs::exists` alone is racy in SPMD
 /// code: a fast rank's subsequent `open(Create)` can register the file
@@ -215,6 +260,90 @@ impl CheckpointManager {
         ))
     }
 
+    /// Scan every generation under this prefix for crash damage and
+    /// repair it in place. Collective; returns the same
+    /// [`RecoveryOutcome`] on every rank.
+    ///
+    /// Per generation, rank 0 reads the file image and runs
+    /// [`crate::recovery_scan`]:
+    ///
+    /// * intact (no torn tail) — left alone;
+    /// * torn tail after at least one sealed record — truncated back to
+    ///   `sealed_bytes`, restoring the committed prefix;
+    /// * torn with *zero* sealed records — removed (nothing in it ever
+    ///   committed);
+    /// * unreadable (bad magic / foreign version) — left alone and
+    ///   reported, never destroyed on a guess.
+    ///
+    /// The manifest is then rewritten to list only the surviving
+    /// generations, so a stale manifest cannot resurrect a removed file.
+    pub fn recover(&self, ctx: &NodeCtx, pfs: &Pfs) -> Result<RecoveryOutcome, StreamError> {
+        let scanned = self.generations(ctx, pfs)?;
+        // Rank 0 scans and repairs, then broadcasts one verdict byte per
+        // generation so every rank derives the identical outcome.
+        let verdicts = if ctx.is_root() {
+            scanned
+                .iter()
+                .map(|&g| self.recover_one_root(ctx, pfs, g))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let verdicts = ctx.broadcast(0, verdicts)?;
+        let mut out = RecoveryOutcome {
+            scanned: scanned.clone(),
+            ..RecoveryOutcome::default()
+        };
+        let mut survivors = Vec::new();
+        for (&generation, &verdict) in scanned.iter().zip(&verdicts) {
+            match verdict {
+                VERDICT_INTACT | VERDICT_TRUNCATED => {
+                    if verdict == VERDICT_TRUNCATED {
+                        out.truncated.push(generation);
+                    }
+                    survivors.push(generation);
+                    out.newest_sealed = Some(out.newest_sealed.unwrap_or(0).max(generation));
+                }
+                VERDICT_REMOVED => out.removed.push(generation),
+                _ => out.unreadable.push(generation),
+            }
+        }
+        self.write_manifest(ctx, pfs, &survivors)?;
+        Ok(out)
+    }
+
+    /// Root-only: scan and repair one generation, returning its verdict.
+    fn recover_one_root(&self, ctx: &NodeCtx, pfs: &Pfs, generation: u64) -> u8 {
+        let name = self.file_for(generation);
+        let bytes = match self.read_image_root(ctx, pfs, &name) {
+            Some(b) => b,
+            None => return VERDICT_UNREADABLE,
+        };
+        match crate::inspect::recovery_scan(&bytes) {
+            Ok(report) if !report.torn => VERDICT_INTACT,
+            Ok(report) if report.sealed_records > 0 => {
+                match pfs.truncate_file(&name, report.sealed_bytes) {
+                    Ok(()) => VERDICT_TRUNCATED,
+                    Err(_) => VERDICT_UNREADABLE,
+                }
+            }
+            Ok(_) => match pfs.remove(&name) {
+                Ok(()) => VERDICT_REMOVED,
+                Err(_) => VERDICT_UNREADABLE,
+            },
+            Err(_) => VERDICT_UNREADABLE,
+        }
+    }
+
+    /// Root-only whole-file read (None when missing or unreadable).
+    fn read_image_root(&self, ctx: &NodeCtx, pfs: &Pfs, name: &str) -> Option<Vec<u8>> {
+        let fh = pfs.open(false, name, OpenMode::Read).ok()?;
+        let size = pfs.file_size(name).ok()?;
+        let mut buf = vec![0u8; usize::try_from(size).ok()?];
+        fh.read_at(ctx, 0, &mut buf).ok()?;
+        Some(buf)
+    }
+
     /// Restore one specific generation.
     pub fn try_restore<T: StreamData + Default>(
         &self,
@@ -362,6 +491,127 @@ mod tests {
             for (gid, v) in g.iter() {
                 assert_eq!(*v, gid as i64 - 5);
             }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn recover_truncates_a_torn_tail_in_place() {
+        let pfs = Pfs::in_memory(2);
+        let p = pfs.clone();
+        Machine::run(MachineConfig::functional(2), move |ctx| {
+            let l = layout(8, 2);
+            let mgr = CheckpointManager::new("rk", 3);
+            let g = Collection::new(ctx, l.clone(), |i| i as u64 * 3).unwrap();
+            mgr.save(ctx, &p, &g, 1).unwrap();
+            mgr.save(ctx, &p, &g, 2).unwrap();
+
+            // Simulate a crash mid-write: append torn garbage past the
+            // sealed records of generation 2.
+            ctx.barrier().unwrap();
+            if ctx.is_root() {
+                let size = p.file_size("rk.2").unwrap();
+                let fh = p.open(false, "rk.2", OpenMode::Read).unwrap();
+                fh.write_at(ctx, size, b"torn-garbage-tail").unwrap();
+            }
+            ctx.barrier().unwrap();
+
+            let out = mgr.recover(ctx, &p).unwrap();
+            assert_eq!(out.scanned, vec![1, 2]);
+            assert_eq!(out.truncated, vec![2]);
+            assert!(out.removed.is_empty() && out.unreadable.is_empty());
+            assert_eq!(out.newest_sealed, Some(2));
+            assert!(!out.clean());
+
+            // The truncated generation restores byte-exact.
+            let mut restored = Collection::new(ctx, l.clone(), |_| 0u64).unwrap();
+            assert_eq!(mgr.restore_latest(ctx, &p, &l, &mut restored).unwrap(), 2);
+            for (gid, v) in restored.iter() {
+                assert_eq!(*v, gid as u64 * 3);
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn recover_removes_generations_with_nothing_sealed() {
+        let pfs = Pfs::in_memory(2);
+        let p = pfs.clone();
+        Machine::run(MachineConfig::functional(2), move |ctx| {
+            let l = layout(4, 2);
+            let mgr = CheckpointManager::new("rz", 3);
+            let g = Collection::new(ctx, l.clone(), |i| i as u32).unwrap();
+            mgr.save(ctx, &p, &g, 1).unwrap();
+
+            // Generation 2 crashed after the header, before any record
+            // sealed: a sealed-format header followed by torn bytes.
+            ctx.barrier().unwrap();
+            if ctx.is_root() {
+                let fh = p.open(false, "rz.1", OpenMode::Read).unwrap();
+                let mut header = vec![0u8; crate::format::FileHeader::LEN];
+                fh.read_at(ctx, 0, &mut header).unwrap();
+                let fh2 = p
+                    .open(true, "rz.2", dstreams_pfs::OpenMode::Create)
+                    .unwrap();
+                header.extend_from_slice(b"half-a-record");
+                fh2.write_at(ctx, 0, &header).unwrap();
+            }
+            ctx.barrier().unwrap();
+
+            let out = mgr.recover(ctx, &p).unwrap();
+            assert_eq!(out.scanned, vec![1, 2]);
+            assert_eq!(out.removed, vec![2]);
+            assert_eq!(out.newest_sealed, Some(1));
+            assert!(!p.exists("rz.2"));
+            // The reseated manifest no longer lists the removed file.
+            assert_eq!(mgr.generations(ctx, &p).unwrap(), vec![1]);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn recover_leaves_unreadable_files_alone() {
+        let pfs = Pfs::in_memory(2);
+        let p = pfs.clone();
+        Machine::run(MachineConfig::functional(2), move |ctx| {
+            let l = layout(4, 2);
+            let mgr = CheckpointManager::new("ru", 3);
+            let g = Collection::new(ctx, l.clone(), |i| i as u16).unwrap();
+            mgr.save(ctx, &p, &g, 1).unwrap();
+
+            // A file under the prefix with a foreign magic: not ours to
+            // destroy on a guess.
+            ctx.barrier().unwrap();
+            if ctx.is_root() {
+                let fh = p
+                    .open(true, "ru.2", dstreams_pfs::OpenMode::Create)
+                    .unwrap();
+                fh.write_at(ctx, 0, b"NOTADSTREAMFILE").unwrap();
+            }
+            ctx.barrier().unwrap();
+
+            let out = mgr.recover(ctx, &p).unwrap();
+            assert_eq!(out.unreadable, vec![2]);
+            assert!(p.exists("ru.2"), "unreadable files are preserved");
+            assert_eq!(out.newest_sealed, Some(1));
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn recover_on_a_clean_namespace_is_a_no_op() {
+        let pfs = Pfs::in_memory(2);
+        let p = pfs.clone();
+        Machine::run(MachineConfig::functional(2), move |ctx| {
+            let l = layout(4, 2);
+            let mgr = CheckpointManager::new("rc", 2);
+            let g = Collection::new(ctx, l.clone(), |i| i as u64).unwrap();
+            mgr.save(ctx, &p, &g, 1).unwrap();
+            mgr.save(ctx, &p, &g, 2).unwrap();
+            let out = mgr.recover(ctx, &p).unwrap();
+            assert!(out.clean());
+            assert_eq!(out.scanned, vec![1, 2]);
+            assert_eq!(out.newest_sealed, Some(2));
         })
         .unwrap();
     }

@@ -74,7 +74,7 @@ pub mod localio;
 pub mod ostream;
 pub(crate) mod phase;
 
-pub use checkpoint::CheckpointManager;
+pub use checkpoint::{CheckpointManager, RecoveryOutcome};
 pub use data::{from_bytes, to_bytes, Extractor, Inserter, Prim, StreamData};
 pub use error::StreamError;
 pub use format::{FileHeader, MetaMode, RecordHeader, RecordSeal};

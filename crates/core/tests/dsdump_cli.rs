@@ -246,6 +246,109 @@ fn dsdump_dstrace_surfaces_reliability_counters() {
         "per-rank reliability breakdown missing: {noisy_part}"
     );
     assert!(noisy_part.contains("msg.retransmit"), "{noisy_part}");
+    // Neither trace came from the serving layer, so neither summary may
+    // grow a tenant section.
+    assert!(!report.contains("sessions by tenant"), "{report}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn dsdump_dstrace_summarizes_service_sessions_per_tenant() {
+    use dstreams_serve::{
+        generate, run_service, OpMix, QosLevel, ServiceConfig, TenantProfile, TrafficSpec,
+    };
+    use dstreams_trace::chrome::to_chrome_json;
+    use dstreams_trace::TraceSink;
+
+    let nprocs = 2;
+    let pfs = Pfs::in_memory(nprocs);
+    let sink = TraceSink::new(nprocs);
+    let cfg = ServiceConfig::for_model(pfs.model());
+    let tenants = vec![
+        TenantProfile {
+            tenant: 1,
+            class: QosLevel::Premium,
+            elements: 8,
+        },
+        TenantProfile {
+            tenant: 2,
+            class: QosLevel::BestEffort,
+            elements: 8,
+        },
+    ];
+    let arrivals = generate(
+        &TrafficSpec {
+            seed: 0xD5D0,
+            sessions: 8,
+            ops_per_session: 4,
+            mean_session_gap_ns: 10_000,
+            mean_interarrival_ns: 40_000,
+            zipf_s: 0.8,
+            mix: OpMix::read_mostly(),
+        },
+        &tenants,
+    );
+    let p = pfs.clone();
+    Machine::run(
+        MachineConfig::functional(nprocs).traced(sink.clone()),
+        move |ctx| run_service(ctx, &p, &cfg, &tenants, &arrivals).unwrap(),
+    )
+    .unwrap();
+
+    let dir = std::env::temp_dir().join(format!("dsdump-sessions-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = sink.take();
+    let path = dir.join("service.json");
+    std::fs::write(&path, to_chrome_json(&trace)).unwrap();
+    // The same capture in the native .dstrace.json spelling
+    // (DSTREAMS_TRACE_OUT's format) must summarize identically.
+    let native_path = dir.join("service.dstrace.json");
+    std::fs::write(
+        &native_path,
+        dstreams_trace::dstrace::to_events_json(&trace),
+    )
+    .unwrap();
+
+    let out = Command::new(env!("CARGO_BIN_EXE_dsdump"))
+        .arg("--dstrace")
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let report = String::from_utf8(out.stdout).unwrap();
+    assert!(report.contains("sessions by tenant"), "{report}");
+    assert!(report.contains("tenant 1 (premium):"), "{report}");
+    assert!(report.contains("tenant 2 (best_effort):"), "{report}");
+    assert!(report.contains("admitted"), "{report}");
+    assert!(report.contains("ops "), "{report}");
+    assert!(report.contains("cache "), "{report}");
+    // The tenant lines must account for real work: at least one op ran
+    // and the cache saw lookups with a computable hit rate.
+    assert!(report.contains("read="), "{report}");
+    assert!(report.contains("%"), "{report}");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_dsdump"))
+        .arg("--dstrace")
+        .arg(&native_path)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "native dstrace format rejected: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let native_report = String::from_utf8(out.stdout).unwrap();
+    // Identical summaries modulo the header's file path.
+    assert_eq!(
+        report.split_once('\n').unwrap().1,
+        native_report.split_once('\n').unwrap().1,
+        "chrome and native captures of the same trace must summarize identically"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -431,6 +431,23 @@ impl NodeCtx {
         let _scope = self.collective_scope();
         self.all_reduce(self.now(), VTime::max)
     }
+
+    /// Synchronize every rank's virtual clock to the machine-wide maximum
+    /// and return it: [`NodeCtx::max_time`] followed by
+    /// [`NodeCtx::sync_to`] on each rank.
+    ///
+    /// This is the scheduling hook session-oriented layers lean on: a
+    /// deterministic scheduler that picks the next queued request from
+    /// shared state must make that decision at an identical `now()` on
+    /// every rank, or the ranks diverge and their collectives deadlock.
+    /// Calling `sync_clocks` at each decision point restores lockstep
+    /// after per-rank work (skewed PFS costs, uneven compute) without the
+    /// extra message round a full barrier would add.
+    pub fn sync_clocks(&self) -> Result<VTime, MachineError> {
+        let t = self.max_time()?;
+        self.sync_to(t);
+        Ok(t)
+    }
 }
 
 #[cfg(test)]
@@ -438,6 +455,22 @@ mod tests {
     use super::*;
     use crate::config::MachineConfig;
     use crate::machine::Machine;
+
+    #[test]
+    fn sync_clocks_aligns_every_rank_to_the_machine_max() {
+        let times = Machine::run(MachineConfig::functional(4), |ctx| {
+            ctx.advance(VTime::from_millis(ctx.rank() as u64));
+            let t = ctx.sync_clocks().unwrap();
+            assert_eq!(ctx.now(), t, "clock must land exactly on the max");
+            t
+        })
+        .unwrap();
+        // Functional config: collectives are free, so the max is exactly
+        // the slowest rank's advance and all ranks agree on it.
+        for t in &times {
+            assert_eq!(*t, VTime::from_millis(3));
+        }
+    }
 
     #[test]
     fn barrier_synchronizes_clocks() {

@@ -200,6 +200,29 @@ impl Pfs {
         }
     }
 
+    /// Truncate a file to `len` bytes, dropping everything past that
+    /// point. Lengths at or beyond the current size are a no-op — this
+    /// never grows a file.
+    ///
+    /// This is the crash-recovery primitive: after `recovery_scan` finds
+    /// a torn tail record, truncating back to `sealed_bytes` restores the
+    /// committed prefix (what `dsdump --recover` does to real files).
+    /// Like [`Pfs::remove`] it is a namespace-level metadata operation —
+    /// no model cost is charged. SPMD caveat: have one rank decide and
+    /// truncate, then broadcast the outcome (the
+    /// `dstreams_core::checkpoint` recovery driver does exactly that).
+    pub fn truncate_file(&self, name: &str, len: u64) -> Result<(), PfsError> {
+        let obj = self
+            .shared
+            .files
+            .lock()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| PfsError::NotFound(name.to_string()))?;
+        let result = obj.storage.lock().truncate_to(len);
+        result
+    }
+
     /// Whether a file exists.
     ///
     /// SPMD caveat: this samples shared state without synchronization. If

@@ -156,14 +156,24 @@ impl Storage {
 
     /// Truncate to zero length.
     pub fn truncate(&mut self) -> Result<(), PfsError> {
+        self.truncate_to(0)
+    }
+
+    /// Truncate to `len` bytes, dropping everything past that point (the
+    /// sealed-prefix recovery primitive). Lengths at or beyond the
+    /// current size are a no-op — truncation never grows a file.
+    pub fn truncate_to(&mut self, len: u64) -> Result<(), PfsError> {
+        if len >= self.len() {
+            return Ok(());
+        }
         match self {
             Storage::Mem(v) => {
-                v.clear();
+                v.truncate(len as usize);
                 Ok(())
             }
             Storage::Disk { file, size, .. } => {
-                file.set_len(0)?;
-                *size = 0;
+                file.set_len(len)?;
+                *size = len;
                 Ok(())
             }
         }
@@ -211,6 +221,20 @@ mod tests {
     #[test]
     fn mem_storage_roundtrips() {
         roundtrip(Storage::new_mem());
+    }
+
+    #[test]
+    fn truncate_to_keeps_the_prefix_and_never_grows() {
+        let mut s = Storage::new_mem();
+        s.write_at(0, b"sealed-data-torn-tail", "t").unwrap();
+        s.truncate_to(11).unwrap();
+        assert_eq!(s.len(), 11);
+        let mut buf = vec![0u8; 11];
+        s.read_at(0, &mut buf, "t").unwrap();
+        assert_eq!(&buf, b"sealed-data");
+        // At-or-past-size is a no-op, not growth.
+        s.truncate_to(999).unwrap();
+        assert_eq!(s.len(), 11);
     }
 
     #[test]

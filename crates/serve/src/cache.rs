@@ -1,0 +1,267 @@
+//! Working-set read cache keyed on the cache-knee cost model.
+//!
+//! The disk model distinguishes reads that fit in the node cache
+//! (cheap, `Regime::Cached`) from those that spill past the knee
+//! (expensive, `Regime::Disk`). The service's read cache mirrors that
+//! boundary: a sealed generation is cacheable only while its *logical*
+//! record footprint stays at or under the knee — entries past it bypass
+//! the cache entirely, because the model already says re-reading them is
+//! disk-bound and holding them would evict many small hot entries.
+//!
+//! Sizing decisions use logical byte counts (total record payload),
+//! never per-rank slices, so every rank makes the identical hit, insert,
+//! and eviction decision — the cache is part of the deterministic
+//! lockstep state of the service loop.
+
+use std::collections::BTreeMap;
+
+/// Geometry of the working-set cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total payload bytes the cache may hold. Zero disables the cache.
+    pub capacity_bytes: u64,
+    /// Cacheability knee: entries whose logical footprint exceeds this
+    /// are never cached (they are disk-bound under the cost model).
+    pub max_entry_bytes: u64,
+}
+
+/// Cache key: a sealed checkpoint generation of one tenant.
+pub type CacheKey = (u32, u64);
+
+#[derive(Debug, Clone)]
+struct Entry {
+    /// The rank-local element values of the cached generation.
+    values: Vec<u64>,
+    /// Logical (whole-collection) footprint charged against capacity.
+    bytes: u64,
+    /// Monotone LRU tick of the last touch.
+    last_use: u64,
+}
+
+/// Monotone counters describing cache behaviour over a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries admitted.
+    pub insertions: u64,
+    /// Entries LRU-evicted to make room.
+    pub evictions: u64,
+    /// Entries removed because their file was resealed or recovered.
+    pub invalidations: u64,
+    /// Payload bytes served from hits.
+    pub hit_bytes: u64,
+}
+
+/// An LRU cache of recently read checkpoint generations, bounded by
+/// logical bytes and gated by the cache-knee.
+#[derive(Debug)]
+pub struct WorkingSetCache {
+    cfg: CacheConfig,
+    entries: BTreeMap<CacheKey, Entry>,
+    used_bytes: u64,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl WorkingSetCache {
+    /// An empty cache with the given geometry.
+    pub fn new(cfg: CacheConfig) -> WorkingSetCache {
+        WorkingSetCache {
+            cfg,
+            entries: BTreeMap::new(),
+            used_bytes: 0,
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Look up a generation. A hit refreshes its LRU position and
+    /// returns the cached rank-local values.
+    pub fn get(&mut self, key: CacheKey) -> Option<Vec<u64>> {
+        self.tick += 1;
+        match self.entries.get_mut(&key) {
+            Some(e) => {
+                e.last_use = self.tick;
+                self.stats.hits += 1;
+                self.stats.hit_bytes += e.bytes;
+                Some(e.values.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// True when an entry of `logical_bytes` may be cached at all —
+    /// the knee test, without touching any counter.
+    pub fn admits(&self, logical_bytes: u64) -> bool {
+        self.cfg.capacity_bytes > 0
+            && logical_bytes <= self.cfg.max_entry_bytes
+            && logical_bytes <= self.cfg.capacity_bytes
+    }
+
+    /// Insert a generation just read from the PFS. Returns the keys
+    /// LRU-evicted to make room (empty when nothing was evicted), or
+    /// `None` when the entry is past the knee and was not cached.
+    pub fn insert(
+        &mut self,
+        key: CacheKey,
+        values: Vec<u64>,
+        logical_bytes: u64,
+    ) -> Option<Vec<CacheKey>> {
+        if !self.admits(logical_bytes) {
+            return None;
+        }
+        self.remove(key);
+        let mut evicted = Vec::new();
+        while self.used_bytes + logical_bytes > self.cfg.capacity_bytes {
+            let coldest = self
+                .entries
+                .iter()
+                .min_by_key(|(k, e)| (e.last_use, **k))
+                .map(|(k, _)| *k)?;
+            self.remove(coldest);
+            self.stats.evictions += 1;
+            evicted.push(coldest);
+        }
+        self.tick += 1;
+        self.entries.insert(
+            key,
+            Entry {
+                values,
+                bytes: logical_bytes,
+                last_use: self.tick,
+            },
+        );
+        self.used_bytes += logical_bytes;
+        self.stats.insertions += 1;
+        Some(evicted)
+    }
+
+    /// Drop one generation (reseal, prune, recovery). Returns true when
+    /// an entry was actually removed.
+    pub fn invalidate(&mut self, key: CacheKey) -> bool {
+        if self.remove(key) {
+            self.stats.invalidations += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Drop every generation of `tenant` (e.g. after recovery rewrote
+    /// its namespace). Returns the invalidated keys.
+    pub fn invalidate_tenant(&mut self, tenant: u32) -> Vec<CacheKey> {
+        let keys: Vec<CacheKey> = self
+            .entries
+            .range((tenant, 0)..=(tenant, u64::MAX))
+            .map(|(k, _)| *k)
+            .collect();
+        for k in &keys {
+            self.remove(*k);
+            self.stats.invalidations += 1;
+        }
+        keys
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Payload bytes currently held.
+    pub fn used_bytes(&self) -> u64 {
+        self.used_bytes
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn remove(&mut self, key: CacheKey) -> bool {
+        match self.entries.remove(&key) {
+            Some(e) => {
+                self.used_bytes -= e.bytes;
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(capacity: u64, knee: u64) -> WorkingSetCache {
+        WorkingSetCache::new(CacheConfig {
+            capacity_bytes: capacity,
+            max_entry_bytes: knee,
+        })
+    }
+
+    #[test]
+    fn hit_returns_the_inserted_values() {
+        let mut c = cache(1024, 512);
+        assert!(c.get((1, 0)).is_none());
+        c.insert((1, 0), vec![10, 20], 16).unwrap();
+        assert_eq!(c.get((1, 0)), Some(vec![10, 20]));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (1, 1, 1));
+        assert_eq!(s.hit_bytes, 16);
+    }
+
+    #[test]
+    fn entries_past_the_knee_bypass_the_cache() {
+        let mut c = cache(4096, 512);
+        assert!(c.insert((1, 0), vec![1], 513).is_none());
+        assert!(c.is_empty());
+        assert!(!c.admits(513));
+        assert!(c.admits(512));
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        let mut c = cache(300, 300);
+        c.insert((1, 0), vec![1], 100).unwrap();
+        c.insert((1, 1), vec![2], 100).unwrap();
+        c.insert((1, 2), vec![3], 100).unwrap();
+        // Touch (1, 0) so (1, 1) becomes the coldest.
+        assert!(c.get((1, 0)).is_some());
+        let evicted = c.insert((2, 0), vec![4], 100).unwrap();
+        assert_eq!(evicted, vec![(1, 1)]);
+        assert!(c.get((1, 0)).is_some());
+        assert_eq!(c.used_bytes(), 300);
+    }
+
+    #[test]
+    fn invalidation_removes_entries_and_counts() {
+        let mut c = cache(1024, 512);
+        c.insert((1, 0), vec![1], 8).unwrap();
+        c.insert((1, 1), vec![2], 8).unwrap();
+        c.insert((2, 0), vec![3], 8).unwrap();
+        assert!(c.invalidate((1, 0)));
+        assert!(!c.invalidate((1, 0)), "already gone");
+        assert_eq!(c.invalidate_tenant(1), vec![(1, 1)]);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.stats().invalidations, 2);
+        assert!(c.get((2, 0)).is_some(), "other tenants untouched");
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = cache(0, 512);
+        assert!(c.insert((1, 0), vec![1], 8).is_none());
+        assert!(c.get((1, 0)).is_none());
+    }
+}

@@ -1,0 +1,54 @@
+//! A multi-tenant stream *service* over d/streams.
+//!
+//! The paper's library binds one SPMD program to its files; ViPIOS-style
+//! I/O servers instead multiplex many client sessions onto shared
+//! parallel-I/O resources. This crate builds that serving layer on top
+//! of everything below it — `machine` (deterministic SPMD simulation),
+//! `pfs` (cost-modeled parallel file system), `core` (d/streams and
+//! checkpoints) — without giving up the repository's invariants: every
+//! run is a deterministic virtual-time simulation, every decision is
+//! identical on every rank, chaos plans and trace replay keep working.
+//!
+//! The pieces:
+//!
+//! * [`Session`] — a typestate handle per tenant
+//!   (`Detached -> Attached`) whose `write`/`read`/`recover` drive the
+//!   existing [`dstreams_core::CheckpointManager`] streams on the
+//!   client's behalf;
+//! * [`Scheduler`] — admission control (per-tenant token buckets,
+//!   bounded per-class queues, `Overloaded` shedding — never a hang)
+//!   plus deficit-round-robin fairness across QoS classes;
+//! * [`WorkingSetCache`] — a read cache keyed on the cache-knee cost
+//!   model: records at or under the per-node knee are cacheable, cold
+//!   generations are LRU-evicted, and resealing a file invalidates it;
+//! * [`traffic`] — a seeded synthetic traffic generator (op mixes,
+//!   Zipf tenant skew) feeding [`run_service`], the deterministic
+//!   service loop every rank executes in lockstep.
+//!
+//! All scheduling and cache decisions are functions of virtual time and
+//! logical sizes that every rank observes identically (the loop calls
+//! [`dstreams_machine::NodeCtx::sync_clocks`] at each decision point),
+//! so the service is an ordinary deterministic vtime actor: the same
+//! seed yields the same admissions, hits, evictions, and latencies on
+//! every run and every rank.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod qos;
+pub mod sched;
+pub mod service;
+pub mod session;
+pub mod traffic;
+
+pub use cache::{CacheConfig, CacheStats, WorkingSetCache};
+pub use qos::{ClassPolicy, ServiceConfig, TenantProfile};
+pub use sched::{Request, Scheduler, TokenBucket};
+pub use service::{run_service, Disposition, RequestOutcome, ServiceReport};
+pub use session::{element_value, Attached, Detached, ReadResult, Session};
+pub use traffic::{generate, peak_concurrency, Arrival, OpMix, TrafficSpec};
+
+// The service vocabulary (ops, classes, shed reasons) lives in the trace
+// crate so traces are self-describing; re-export it as the public spelling.
+pub use dstreams_trace::{QosLevel, ServeOp, ShedReason};

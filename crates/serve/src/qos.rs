@@ -1,0 +1,119 @@
+//! QoS classes, per-class policies, and the service configuration.
+
+use dstreams_pfs::DiskModel;
+use dstreams_trace::QosLevel;
+
+use crate::cache::CacheConfig;
+
+/// Admission and scheduling policy for one QoS class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassPolicy {
+    /// Deficit-round-robin weight: requests this class may serve per
+    /// scheduler rotation while others wait (minimum 1).
+    pub weight: u64,
+    /// Bounded queue length; arrivals past it are shed with `QueueFull`.
+    pub queue_cap: usize,
+    /// Token-bucket refill rate per *tenant* of this class, in requests
+    /// per virtual second. Zero disables rate limiting.
+    pub rate_per_s: u64,
+    /// Token-bucket capacity (burst size), in requests.
+    pub burst: u64,
+}
+
+impl ClassPolicy {
+    /// The repository-wide default policy for a class: premium gets the
+    /// largest scheduler share and headroom, best-effort the smallest
+    /// queue and the tightest rate.
+    pub fn default_for(class: QosLevel) -> ClassPolicy {
+        match class {
+            QosLevel::Premium => ClassPolicy {
+                weight: 8,
+                queue_cap: 256,
+                rate_per_s: 0,
+                burst: 64,
+            },
+            QosLevel::Standard => ClassPolicy {
+                weight: 3,
+                queue_cap: 128,
+                rate_per_s: 0,
+                burst: 32,
+            },
+            QosLevel::BestEffort => ClassPolicy {
+                weight: 1,
+                queue_cap: 64,
+                rate_per_s: 2_000,
+                burst: 16,
+            },
+        }
+    }
+}
+
+/// Full service configuration: one policy per QoS class, the retention
+/// depth sessions checkpoint with, and the working-set cache geometry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Policy for [`QosLevel::Premium`].
+    pub premium: ClassPolicy,
+    /// Policy for [`QosLevel::Standard`].
+    pub standard: ClassPolicy,
+    /// Policy for [`QosLevel::BestEffort`].
+    pub best_effort: ClassPolicy,
+    /// Checkpoint generations each tenant session retains.
+    pub keep: usize,
+    /// Working-set read-cache geometry.
+    pub cache: CacheConfig,
+}
+
+impl ServiceConfig {
+    /// Defaults with the cache sized from a disk model: total capacity
+    /// is the shared I/O cache, and a record is cacheable only while its
+    /// footprint stays at or under the per-node cache knee — past the
+    /// knee the model charges disk rates anyway, so caching it would
+    /// claim a benefit the cost model says does not exist.
+    pub fn for_model(model: &DiskModel) -> ServiceConfig {
+        ServiceConfig {
+            premium: ClassPolicy::default_for(QosLevel::Premium),
+            standard: ClassPolicy::default_for(QosLevel::Standard),
+            best_effort: ClassPolicy::default_for(QosLevel::BestEffort),
+            keep: 2,
+            cache: CacheConfig {
+                capacity_bytes: model.io_cache_bytes,
+                max_entry_bytes: model.node_cache_bytes,
+            },
+        }
+    }
+
+    /// The policy for `class`.
+    pub fn class(&self, class: QosLevel) -> &ClassPolicy {
+        match class {
+            QosLevel::Premium => &self.premium,
+            QosLevel::Standard => &self.standard,
+            QosLevel::BestEffort => &self.best_effort,
+        }
+    }
+}
+
+/// One tenant of the service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantProfile {
+    /// Tenant id (also the checkpoint file-name prefix, `t<id>`).
+    pub tenant: u32,
+    /// QoS class every session of this tenant runs under.
+    pub class: QosLevel,
+    /// Elements in the tenant's distributed collection.
+    pub elements: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn premium_outweighs_best_effort() {
+        let cfg = ServiceConfig::for_model(&DiskModel::paragon_pfs());
+        assert!(cfg.class(QosLevel::Premium).weight > cfg.class(QosLevel::BestEffort).weight);
+        assert!(cfg.premium.queue_cap > cfg.best_effort.queue_cap);
+        assert_eq!(cfg.cache.capacity_bytes, 4 * 1024 * 1024);
+        assert_eq!(cfg.cache.max_entry_bytes, 2 * 1024 * 1024);
+    }
+}

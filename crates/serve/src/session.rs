@@ -1,0 +1,376 @@
+//! Typestate session handles: one tenant's view of the service.
+//!
+//! A session starts [`Detached`] — it knows its tenant but has touched
+//! nothing. [`Session::attach`] scans the tenant's checkpoint namespace
+//! (a collective) and yields an [`Attached`] handle whose `write`,
+//! `read`, and `recover` drive the underlying
+//! [`CheckpointManager`] streams. The typestate makes "operate before
+//! open" unrepresentable: only `Session<Attached>` has I/O methods.
+//!
+//! The cache passed into `read`/`write`/`recover` is rank-local state
+//! (each rank caches its own slice of the values), but every sizing and
+//! admission decision inside it uses *logical* whole-collection bytes,
+//! so all ranks hit, miss, and evict in lockstep.
+
+use dstreams_collections::{Collection, DistKind, Layout};
+use dstreams_core::{CheckpointManager, RecoveryOutcome, StreamError};
+use dstreams_machine::NodeCtx;
+use dstreams_pfs::{Pfs, Regime};
+use dstreams_trace::{CacheOutcome, EventKind};
+
+use crate::cache::WorkingSetCache;
+use crate::qos::TenantProfile;
+
+/// Marker state: the session has not yet attached to its namespace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Detached;
+
+/// State of an attached session: the sealed generations it knows about
+/// and the next generation number it will write.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attached {
+    sealed: Vec<u64>,
+    next_gen: u64,
+}
+
+/// Result of a successful session read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadResult {
+    /// Generation that was read (the newest sealed one).
+    pub generation: u64,
+    /// This rank's element values, in global-id order.
+    pub local_values: Vec<u64>,
+    /// True when the values came from the working-set cache.
+    pub from_cache: bool,
+}
+
+/// A per-tenant session handle in typestate `S`.
+#[derive(Debug)]
+pub struct Session<S> {
+    tenant: u32,
+    elements: usize,
+    mgr: CheckpointManager,
+    keep: usize,
+    state: S,
+}
+
+/// The deterministic element value of `(tenant, generation, global_id)` —
+/// what a session writes and what a correct read must return.
+pub fn element_value(tenant: u32, generation: u64, global_id: usize) -> u64 {
+    u64::from(tenant)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(generation.wrapping_mul(0x2545_F491_4F6C_DD1D))
+        .wrapping_add(global_id as u64)
+}
+
+impl Session<Detached> {
+    /// A detached handle for one tenant. `keep` is the checkpoint
+    /// retention depth.
+    pub fn new(profile: &TenantProfile, keep: usize) -> Session<Detached> {
+        Session {
+            tenant: profile.tenant,
+            elements: profile.elements,
+            mgr: CheckpointManager::new(&format!("t{}", profile.tenant), keep),
+            keep: keep.max(1),
+            state: Detached,
+        }
+    }
+
+    /// Attach: scan the tenant's namespace (a collective) and move to
+    /// the `Attached` state.
+    pub fn attach(self, ctx: &NodeCtx, pfs: &Pfs) -> Result<Session<Attached>, StreamError> {
+        let sealed = self.mgr.generations(ctx, pfs)?;
+        let next_gen = sealed.last().map_or(1, |g| g + 1);
+        Ok(Session {
+            tenant: self.tenant,
+            elements: self.elements,
+            mgr: self.mgr,
+            keep: self.keep,
+            state: Attached { sealed, next_gen },
+        })
+    }
+}
+
+impl Session<Attached> {
+    /// The tenant this session serves.
+    pub fn tenant(&self) -> u32 {
+        self.tenant
+    }
+
+    /// Sealed generations this session knows about, oldest first.
+    pub fn sealed(&self) -> &[u64] {
+        &self.state.sealed
+    }
+
+    /// Logical payload footprint of one generation, the cache-admission
+    /// size: whole-collection bytes, identical on every rank.
+    pub fn logical_bytes(&self) -> u64 {
+        (self.elements as u64) * 8
+    }
+
+    fn file_of(&self, generation: u64) -> String {
+        format!("t{}.{}", self.tenant, generation)
+    }
+
+    fn layout(&self, ctx: &NodeCtx) -> Result<Layout, StreamError> {
+        Ok(Layout::dense(self.elements, ctx.nprocs(), DistKind::Block)?)
+    }
+
+    /// Write (checkpoint) a fresh generation. Stale cache entries — the
+    /// generations the manager prunes past the retention depth — are
+    /// invalidated. Returns the new generation number.
+    pub fn write(
+        &mut self,
+        ctx: &NodeCtx,
+        pfs: &Pfs,
+        cache: &mut WorkingSetCache,
+    ) -> Result<u64, StreamError> {
+        let generation = self.state.next_gen;
+        self.state.next_gen += 1;
+        let layout = self.layout(ctx)?;
+        let tenant = self.tenant;
+        let grid = Collection::new(ctx, layout, |i| element_value(tenant, generation, i))?;
+        self.mgr.save(ctx, pfs, &grid, generation)?;
+        // Mirror the manager's pruning in the sealed list and the cache.
+        self.state.sealed.push(generation);
+        while self.state.sealed.len() > self.keep {
+            let pruned = self.state.sealed.remove(0);
+            self.drop_cached(ctx, cache, pruned);
+        }
+        // A rewritten generation number (possible after recovery trimmed
+        // the namespace) must never serve its old bytes.
+        self.drop_cached(ctx, cache, generation);
+        Ok(generation)
+    }
+
+    /// Read the newest sealed generation, serving from the working-set
+    /// cache when it holds a live entry. Returns `Ok(None)` when the
+    /// tenant has no sealed generation yet.
+    pub fn read(
+        &mut self,
+        ctx: &NodeCtx,
+        pfs: &Pfs,
+        cache: &mut WorkingSetCache,
+    ) -> Result<Option<ReadResult>, StreamError> {
+        let Some(&generation) = self.state.sealed.last() else {
+            return Ok(None);
+        };
+        let key = (self.tenant, generation);
+        let logical = self.logical_bytes();
+        if let Some(local_values) = cache.get(key) {
+            // A hit touches no file: charge the model's cached-regime
+            // cost for this rank's slice and emit the hit.
+            let local_bytes = local_values.len() * 8;
+            ctx.advance(pfs.model().independent_cost(local_bytes, Regime::Cached, 1));
+            ctx.emit_with(|| EventKind::CacheAccess {
+                tenant: self.tenant,
+                file: self.file_of(generation),
+                outcome: CacheOutcome::Hit,
+                bytes: logical,
+            });
+            return Ok(Some(ReadResult {
+                generation,
+                local_values,
+                from_cache: true,
+            }));
+        }
+        ctx.emit_with(|| EventKind::CacheAccess {
+            tenant: self.tenant,
+            file: self.file_of(generation),
+            outcome: CacheOutcome::Miss,
+            bytes: logical,
+        });
+        let layout = self.layout(ctx)?;
+        let mut grid = Collection::new(ctx, layout.clone(), |_| 0u64)?;
+        self.mgr
+            .try_restore(ctx, pfs, &layout, &mut grid, generation)?;
+        let local_values: Vec<u64> = grid.local().to_vec();
+        if let Some(evicted) = cache.insert(key, local_values.clone(), logical) {
+            for victim in evicted {
+                ctx.emit_with(|| EventKind::CacheAccess {
+                    tenant: victim.0,
+                    file: format!("t{}.{}", victim.0, victim.1),
+                    outcome: CacheOutcome::Evict,
+                    bytes: 0,
+                });
+            }
+            ctx.emit_with(|| EventKind::CacheAccess {
+                tenant: self.tenant,
+                file: self.file_of(generation),
+                outcome: CacheOutcome::Insert,
+                bytes: logical,
+            });
+        }
+        Ok(Some(ReadResult {
+            generation,
+            local_values,
+            from_cache: false,
+        }))
+    }
+
+    /// Run namespace recovery (torn tails truncated, hopeless files
+    /// removed) and refresh this session's view. Every cached entry of
+    /// the tenant is invalidated — recovery may have rewritten the files
+    /// under them.
+    pub fn recover(
+        &mut self,
+        ctx: &NodeCtx,
+        pfs: &Pfs,
+        cache: &mut WorkingSetCache,
+    ) -> Result<RecoveryOutcome, StreamError> {
+        let outcome = self.mgr.recover(ctx, pfs)?;
+        let gone: Vec<u64> = outcome
+            .removed
+            .iter()
+            .chain(outcome.unreadable.iter())
+            .copied()
+            .collect();
+        self.state.sealed = outcome
+            .scanned
+            .iter()
+            .copied()
+            .filter(|g| !gone.contains(g))
+            .collect();
+        if let Some(max) = outcome.scanned.last() {
+            self.state.next_gen = self.state.next_gen.max(max + 1);
+        }
+        for key in cache.invalidate_tenant(self.tenant) {
+            ctx.emit_with(|| EventKind::CacheAccess {
+                tenant: key.0,
+                file: format!("t{}.{}", key.0, key.1),
+                outcome: CacheOutcome::Invalidate,
+                bytes: 0,
+            });
+        }
+        Ok(outcome)
+    }
+
+    fn drop_cached(&self, ctx: &NodeCtx, cache: &mut WorkingSetCache, generation: u64) {
+        if cache.invalidate((self.tenant, generation)) {
+            ctx.emit_with(|| EventKind::CacheAccess {
+                tenant: self.tenant,
+                file: self.file_of(generation),
+                outcome: CacheOutcome::Invalidate,
+                bytes: 0,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheConfig;
+    use dstreams_machine::{Machine, MachineConfig};
+    use dstreams_trace::QosLevel;
+
+    fn profile(tenant: u32) -> TenantProfile {
+        TenantProfile {
+            tenant,
+            class: QosLevel::Standard,
+            elements: 8,
+        }
+    }
+
+    fn cache() -> WorkingSetCache {
+        WorkingSetCache::new(CacheConfig {
+            capacity_bytes: 4096,
+            max_entry_bytes: 1024,
+        })
+    }
+
+    #[test]
+    fn write_then_read_roundtrips_and_second_read_hits() {
+        let pfs = Pfs::in_memory(2);
+        let p = pfs.clone();
+        Machine::run(MachineConfig::functional(2), move |ctx| {
+            let mut c = cache();
+            let mut s = Session::new(&profile(5), 2).attach(ctx, &p).unwrap();
+            assert!(s.read(ctx, &p, &mut c).unwrap().is_none(), "nothing yet");
+            let generation = s.write(ctx, &p, &mut c).unwrap();
+            assert_eq!(generation, 1);
+
+            let cold = s.read(ctx, &p, &mut c).unwrap().unwrap();
+            assert!(!cold.from_cache);
+            let warm = s.read(ctx, &p, &mut c).unwrap().unwrap();
+            assert!(warm.from_cache, "second read must hit");
+            assert_eq!(cold.local_values, warm.local_values, "byte-identical");
+            assert_eq!(c.stats().hits, 1);
+            assert_eq!(c.stats().misses, 1, "only the cold read missed");
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn pruned_generations_are_invalidated() {
+        let pfs = Pfs::in_memory(2);
+        let p = pfs.clone();
+        Machine::run(MachineConfig::functional(2), move |ctx| {
+            let mut c = cache();
+            let mut s = Session::new(&profile(6), 2).attach(ctx, &p).unwrap();
+            s.write(ctx, &p, &mut c).unwrap();
+            s.read(ctx, &p, &mut c).unwrap(); // caches generation 1
+            s.write(ctx, &p, &mut c).unwrap();
+            s.write(ctx, &p, &mut c).unwrap(); // prunes generation 1
+            assert_eq!(s.sealed(), &[2, 3]);
+            assert_eq!(c.stats().invalidations, 1, "pruned entry dropped");
+            let r = s.read(ctx, &p, &mut c).unwrap().unwrap();
+            assert_eq!(r.generation, 3);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn reattach_resumes_generation_numbering() {
+        let pfs = Pfs::in_memory(2);
+        let p = pfs.clone();
+        Machine::run(MachineConfig::functional(2), move |ctx| {
+            let mut c = cache();
+            let mut s = Session::new(&profile(7), 3).attach(ctx, &p).unwrap();
+            s.write(ctx, &p, &mut c).unwrap();
+            s.write(ctx, &p, &mut c).unwrap();
+            let s2 = Session::new(&profile(7), 3).attach(ctx, &p).unwrap();
+            assert_eq!(s2.sealed(), &[1, 2]);
+            let mut s2 = s2;
+            assert_eq!(s2.write(ctx, &p, &mut c).unwrap(), 3);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn recover_refreshes_the_sealed_view() {
+        let pfs = Pfs::in_memory(2);
+        let p = pfs.clone();
+        Machine::run(MachineConfig::functional(2), move |ctx| {
+            let mut c = cache();
+            let mut s = Session::new(&profile(8), 2).attach(ctx, &p).unwrap();
+            s.write(ctx, &p, &mut c).unwrap();
+            s.read(ctx, &p, &mut c).unwrap();
+            let outcome = s.recover(ctx, &p, &mut c).unwrap();
+            assert!(outcome.clean());
+            assert_eq!(s.sealed(), &[1]);
+            assert_eq!(c.stats().invalidations, 1, "recovery flushes the tenant");
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn read_values_match_the_written_generation() {
+        let pfs = Pfs::in_memory(3);
+        let p = pfs.clone();
+        Machine::run(MachineConfig::functional(3), move |ctx| {
+            let mut c = cache();
+            let mut s = Session::new(&profile(9), 2).attach(ctx, &p).unwrap();
+            let generation = s.write(ctx, &p, &mut c).unwrap();
+            let r = s.read(ctx, &p, &mut c).unwrap().unwrap();
+            let layout = Layout::dense(8, ctx.nprocs(), DistKind::Block).unwrap();
+            let mine = layout.local_elements(ctx.rank());
+            let want: Vec<u64> = mine
+                .iter()
+                .map(|&g| element_value(9, generation, g))
+                .collect();
+            assert_eq!(r.local_values, want);
+        })
+        .unwrap();
+    }
+}

@@ -1,0 +1,319 @@
+//! Seeded synthetic traffic: sessions with configurable op mixes and a
+//! Zipf-skewed tenant popularity distribution.
+//!
+//! The generator is pure: the same spec and tenant set produce the same
+//! arrival schedule every time, on every rank. The service loop runs it
+//! once per rank with the same seed, so all ranks see the identical
+//! workload without any communication.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use dstreams_trace::{QosLevel, ServeOp};
+
+use crate::qos::TenantProfile;
+
+/// Relative weights of the operations a session performs after opening.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpMix {
+    /// Weight of checkpoint writes.
+    pub write: u32,
+    /// Weight of reads of the newest sealed generation.
+    pub read: u32,
+    /// Weight of namespace recovery scans.
+    pub recover: u32,
+}
+
+impl OpMix {
+    /// A read-mostly mix typical of a serving tier.
+    pub fn read_mostly() -> OpMix {
+        OpMix {
+            write: 2,
+            read: 7,
+            recover: 1,
+        }
+    }
+
+    fn pick(&self, rng: &mut StdRng) -> ServeOp {
+        let total = u64::from(self.write) + u64::from(self.read) + u64::from(self.recover);
+        assert!(total > 0, "OpMix must have at least one non-zero weight");
+        let roll = rng.gen_range(0..total);
+        if roll < u64::from(self.write) {
+            ServeOp::Write
+        } else if roll < u64::from(self.write) + u64::from(self.read) {
+            ServeOp::Read
+        } else {
+            ServeOp::Recover
+        }
+    }
+}
+
+/// Shape of a synthetic workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficSpec {
+    /// RNG seed; equal seeds yield equal schedules.
+    pub seed: u64,
+    /// Number of sessions to generate.
+    pub sessions: usize,
+    /// Operations per session after the opening `Open`.
+    pub ops_per_session: usize,
+    /// Mean gap between *session starts* (uniform in `[0, 2 * mean]`),
+    /// ns. Small values pack sessions close together, driving up how
+    /// many are live concurrently.
+    pub mean_session_gap_ns: u64,
+    /// Mean gap between consecutive operations *within* a session
+    /// (uniform in `[0, 2 * mean]`), ns. Large values stretch each
+    /// session's lifetime, also driving up concurrency.
+    pub mean_interarrival_ns: u64,
+    /// Zipf exponent for tenant popularity (0.0 = uniform; larger skews
+    /// traffic toward the first tenants in the slice).
+    pub zipf_s: f64,
+    /// Op mix within each session.
+    pub mix: OpMix,
+}
+
+/// One scheduled request, ready to feed the service loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival {
+    /// Virtual arrival time in nanoseconds.
+    pub at_ns: u64,
+    /// Unique id, assigned in schedule order.
+    pub request_id: u64,
+    /// Index of the session this request belongs to (generation order).
+    pub session: u32,
+    /// Tenant the request belongs to.
+    pub tenant: u32,
+    /// The tenant's QoS class.
+    pub class: QosLevel,
+    /// Requested operation.
+    pub op: ServeOp,
+}
+
+/// Zipf sampler over tenant indices: weight of rank `k` (0-based) is
+/// `1 / (k + 1)^s`.
+#[derive(Debug)]
+struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(n: usize, s: f64) -> Zipf {
+        assert!(n > 0, "need at least one tenant");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut sum = 0.0;
+        for k in 0..n {
+            sum += 1.0 / ((k + 1) as f64).powf(s);
+            cumulative.push(sum);
+        }
+        Zipf { cumulative }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let u = rng.gen_range(0.0..1.0) * total;
+        self.cumulative
+            .iter()
+            .position(|&c| u < c)
+            .unwrap_or(self.cumulative.len() - 1)
+    }
+}
+
+/// Generate the arrival schedule for `spec` over `tenants`, sorted by
+/// time with request ids assigned in schedule order.
+pub fn generate(spec: &TrafficSpec, tenants: &[TenantProfile]) -> Vec<Arrival> {
+    assert!(!tenants.is_empty(), "need at least one tenant");
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let zipf = Zipf::new(tenants.len(), spec.zipf_s);
+    let mut arrivals = Vec::new();
+    let mut start_ns = 0u64;
+    for session in 0..spec.sessions {
+        start_ns += gap(&mut rng, spec.mean_session_gap_ns);
+        let t = tenants[zipf.sample(&mut rng)];
+        let session = session as u32;
+        let mut at_ns = start_ns;
+        push(&mut arrivals, at_ns, session, t, ServeOp::Open);
+        for _ in 0..spec.ops_per_session {
+            at_ns += gap(&mut rng, spec.mean_interarrival_ns);
+            let op = spec.mix.pick(&mut rng);
+            push(&mut arrivals, at_ns, session, t, op);
+        }
+    }
+    // Interleave sessions into one service-order schedule. The sort key
+    // includes the provisional id so equal timestamps order stably and
+    // identically everywhere.
+    arrivals.sort_by_key(|a| (a.at_ns, a.request_id));
+    for (i, a) in arrivals.iter_mut().enumerate() {
+        a.request_id = i as u64;
+    }
+    arrivals
+}
+
+fn gap(rng: &mut StdRng, mean_ns: u64) -> u64 {
+    if mean_ns == 0 {
+        0
+    } else {
+        rng.gen_range(0..=2 * mean_ns)
+    }
+}
+
+fn push(arrivals: &mut Vec<Arrival>, at_ns: u64, session: u32, t: TenantProfile, op: ServeOp) {
+    let provisional = arrivals.len() as u64;
+    arrivals.push(Arrival {
+        at_ns,
+        request_id: provisional,
+        session,
+        tenant: t.tenant,
+        class: t.class,
+        op,
+    });
+}
+
+/// Peak number of sessions live at once: sweep session intervals
+/// `[first arrival, last arrival]` and report the maximum overlap.
+pub fn peak_concurrency(arrivals: &[Arrival]) -> usize {
+    use std::collections::BTreeMap;
+    let mut spans: BTreeMap<u32, (u64, u64)> = BTreeMap::new();
+    for a in arrivals {
+        let span = spans.entry(a.session).or_insert((a.at_ns, a.at_ns));
+        span.0 = span.0.min(a.at_ns);
+        span.1 = span.1.max(a.at_ns);
+    }
+    // Sessions are live on the closed interval [start, end], so the
+    // close edge sits at end + 1: two sessions sharing an instant
+    // overlap, while one starting right after another ends does not.
+    let mut edges: Vec<(u64, i64)> = Vec::with_capacity(spans.len() * 2);
+    for (start, end) in spans.values() {
+        edges.push((*start, 1));
+        edges.push((end + 1, -1));
+    }
+    edges.sort_unstable();
+    let mut live = 0i64;
+    let mut peak = 0i64;
+    for (_, delta) in edges {
+        live += delta;
+        peak = peak.max(live);
+    }
+    peak as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tenants() -> Vec<TenantProfile> {
+        vec![
+            TenantProfile {
+                tenant: 1,
+                class: QosLevel::Premium,
+                elements: 8,
+            },
+            TenantProfile {
+                tenant: 2,
+                class: QosLevel::Standard,
+                elements: 8,
+            },
+            TenantProfile {
+                tenant: 3,
+                class: QosLevel::BestEffort,
+                elements: 8,
+            },
+        ]
+    }
+
+    fn spec() -> TrafficSpec {
+        TrafficSpec {
+            seed: 42,
+            sessions: 50,
+            ops_per_session: 4,
+            mean_session_gap_ns: 1_000,
+            mean_interarrival_ns: 1_000,
+            zipf_s: 1.2,
+            mix: OpMix::read_mostly(),
+        }
+    }
+
+    #[test]
+    fn schedules_are_deterministic_and_sorted() {
+        let a = generate(&spec(), &tenants());
+        let b = generate(&spec(), &tenants());
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 50 * 5);
+        assert!(a.windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
+        for (i, arr) in a.iter().enumerate() {
+            assert_eq!(arr.request_id, i as u64);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&spec(), &tenants());
+        let mut s2 = spec();
+        s2.seed = 43;
+        let b = generate(&s2, &tenants());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn zipf_skews_toward_the_head_tenant() {
+        let mut s = spec();
+        s.sessions = 400;
+        let a = generate(&s, &tenants());
+        let count = |t: u32| a.iter().filter(|x| x.tenant == t).count();
+        assert!(
+            count(1) > 2 * count(3),
+            "s=1.2 should make tenant 1 much hotter than tenant 3: {} vs {}",
+            count(1),
+            count(3)
+        );
+    }
+
+    #[test]
+    fn every_session_opens_before_operating() {
+        let a = generate(&spec(), &tenants());
+        let opens = a.iter().filter(|x| x.op == ServeOp::Open).count();
+        assert_eq!(opens, 50);
+    }
+
+    #[test]
+    fn tight_session_gaps_drive_up_concurrency() {
+        // Sessions start almost together but each lives a long time:
+        // nearly all of them must be live at once.
+        let mut s = spec();
+        s.sessions = 64;
+        s.mean_session_gap_ns = 1;
+        s.mean_interarrival_ns = 1_000_000;
+        let a = generate(&s, &tenants());
+        assert!(
+            peak_concurrency(&a) >= 60,
+            "expected most of 64 sessions concurrent, got {}",
+            peak_concurrency(&a)
+        );
+
+        // Widely spaced, short sessions barely overlap.
+        s.mean_session_gap_ns = 1_000_000;
+        s.mean_interarrival_ns = 1;
+        let b = generate(&s, &tenants());
+        assert!(
+            peak_concurrency(&b) <= 8,
+            "expected little overlap, got {}",
+            peak_concurrency(&b)
+        );
+    }
+
+    #[test]
+    fn peak_concurrency_counts_exact_overlap() {
+        let t = TenantProfile {
+            tenant: 1,
+            class: QosLevel::Premium,
+            elements: 4,
+        };
+        let mut a = Vec::new();
+        // Session 0 spans [0, 10], session 1 spans [5, 20], session 2
+        // starts at 11 — right after session 0 ends.
+        push(&mut a, 0, 0, t, ServeOp::Open);
+        push(&mut a, 10, 0, t, ServeOp::Read);
+        push(&mut a, 5, 1, t, ServeOp::Open);
+        push(&mut a, 20, 1, t, ServeOp::Read);
+        push(&mut a, 11, 2, t, ServeOp::Open);
+        assert_eq!(peak_concurrency(&a), 2);
+    }
+}

@@ -1,0 +1,147 @@
+//! Property tests of the service layer.
+//!
+//! 1. Starvation-freedom: under any admission sequence, every admitted
+//!    request is served, exactly once, within the deficit-round-robin
+//!    bound `(k / w + 2) * W` — `k` its queue position at admission,
+//!    `w` its class weight, `W` the sum of all weights.
+//! 2. Cache transparency: for any interleaving of session operations,
+//!    every read returns byte-identical values whether the working-set
+//!    cache is enabled or disabled, and always the exact deterministic
+//!    contents of the generation it names.
+
+use dstreams_machine::{Machine, MachineConfig};
+use dstreams_pfs::DiskModel;
+use dstreams_pfs::Pfs;
+use dstreams_serve::{
+    element_value, CacheConfig, QosLevel, Request, Scheduler, ServeOp, ServiceConfig, Session,
+    TenantProfile, WorkingSetCache,
+};
+use proptest::prelude::*;
+
+fn class_of(code: u8) -> QosLevel {
+    match code % 3 {
+        0 => QosLevel::Premium,
+        1 => QosLevel::Standard,
+        _ => QosLevel::BestEffort,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn admitted_requests_are_served_within_the_drr_bound(
+        offers in proptest::collection::vec((any::<u8>(), 0u32..40), 1..200),
+    ) {
+        let cfg = ServiceConfig::for_model(&DiskModel::instant());
+        let mut sched = Scheduler::new(&cfg);
+        // (request_id, class, position at admission)
+        let mut admitted = Vec::new();
+        for (i, (code, tenant)) in offers.iter().enumerate() {
+            let class = class_of(*code);
+            let req = Request {
+                request_id: i as u64,
+                tenant: *tenant,
+                class,
+                op: ServeOp::Read,
+                arrival_ns: 0,
+            };
+            if let Ok(pos) = sched.offer(req, 0) {
+                admitted.push((i as u64, class, pos as u64));
+            }
+        }
+
+        let total_weight = sched.total_weight();
+        let mut order = Vec::new();
+        while let Some(r) = sched.dequeue() {
+            order.push(r.request_id);
+        }
+
+        // Served exactly once each, nothing lost, nothing invented.
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), order.len(), "duplicate service");
+        prop_assert_eq!(order.len(), admitted.len(), "lost or phantom requests");
+
+        for (id, class, pos) in &admitted {
+            let served_at = order.iter().position(|r| r == id).expect("served") as u64;
+            let w = sched.weight_of(*class);
+            let bound = (pos / w + 2) * total_weight;
+            prop_assert!(
+                served_at <= bound,
+                "request {} (class {:?}, pos {}) served after {} others, bound {}",
+                id, class, pos, served_at, bound
+            );
+        }
+    }
+
+    #[test]
+    fn cached_reads_are_byte_identical_to_uncached_reads(
+        ops in proptest::collection::vec((0u32..2, 0u8..8), 1..20),
+        elements in 1usize..12,
+    ) {
+        // Run the identical op sequence twice: once with the cache on,
+        // once with it disabled. Reads must return identical values.
+        let run = |cache_cfg: CacheConfig| {
+            let pfs = Pfs::in_memory(2);
+            let p = pfs.clone();
+            let ops = ops.clone();
+            let reads = Machine::run(MachineConfig::functional(2), move |ctx| {
+                let mut cache = WorkingSetCache::new(cache_cfg);
+                let mut sessions = Vec::new();
+                for t in 0..2u32 {
+                    let profile = TenantProfile {
+                        tenant: 10 + t,
+                        class: QosLevel::Standard,
+                        elements,
+                    };
+                    sessions.push(Session::new(&profile, 2).attach(ctx, &p).unwrap());
+                }
+                let mut reads: Vec<(u64, Vec<u64>)> = Vec::new();
+                for (t, op) in &ops {
+                    let s = &mut sessions[*t as usize];
+                    match op {
+                        0..=2 => {
+                            s.write(ctx, &p, &mut cache).unwrap();
+                        }
+                        3..=6 => {
+                            if let Some(r) = s.read(ctx, &p, &mut cache).unwrap() {
+                                // Every read — hit or miss — must carry the
+                                // generation's deterministic contents.
+                                for (slot, v) in r.local_values.iter().enumerate() {
+                                    let gid = expected_gid(ctx.rank(), elements, slot);
+                                    assert_eq!(
+                                        *v,
+                                        element_value(s.tenant(), r.generation, gid),
+                                        "stale or corrupt read"
+                                    );
+                                }
+                                reads.push((r.generation, r.local_values));
+                            }
+                        }
+                        _ => {
+                            s.recover(ctx, &p, &mut cache).unwrap();
+                        }
+                    }
+                }
+                reads
+            })
+            .unwrap();
+            reads
+        };
+
+        let cached = run(CacheConfig { capacity_bytes: 4096, max_entry_bytes: 4096 });
+        let uncached = run(CacheConfig { capacity_bytes: 0, max_entry_bytes: 0 });
+        prop_assert_eq!(cached, uncached, "cache changed observable reads");
+    }
+}
+
+/// Global id of local slot `slot` on `rank` under a dense block layout
+/// of `elements` over 2 ranks.
+fn expected_gid(rank: usize, elements: usize, slot: usize) -> usize {
+    use dstreams_collections::{DistKind, Layout};
+    Layout::dense(elements, 2, DistKind::Block)
+        .unwrap()
+        .local_elements(rank)[slot]
+}

@@ -271,6 +271,77 @@ fn event_to_value(e: &Event) -> Value {
                 ("overlap_ns".into(), Value::Int(*overlap_ns as i64)),
             ],
         ),
+        EventKind::SessionAdmit {
+            request_id,
+            tenant,
+            class,
+            op,
+            queue_depth,
+        } => instant(
+            "session.admit",
+            "session",
+            e,
+            vec![
+                ("request_id".into(), Value::Int(*request_id as i64)),
+                ("tenant".into(), Value::Int(i64::from(*tenant))),
+                ("class".into(), Value::Str(class.name().into())),
+                ("op".into(), Value::Str(op.name().into())),
+                ("queue_depth".into(), Value::Int(i64::from(*queue_depth))),
+            ],
+        ),
+        EventKind::SessionShed {
+            request_id,
+            tenant,
+            class,
+            op,
+            reason,
+        } => instant(
+            "session.shed",
+            "session",
+            e,
+            vec![
+                ("request_id".into(), Value::Int(*request_id as i64)),
+                ("tenant".into(), Value::Int(i64::from(*tenant))),
+                ("class".into(), Value::Str(class.name().into())),
+                ("op".into(), Value::Str(op.name().into())),
+                ("reason".into(), Value::Str(reason.name().into())),
+            ],
+        ),
+        EventKind::SessionDone {
+            request_id,
+            tenant,
+            class,
+            op,
+            latency_ns,
+            ok,
+        } => instant(
+            "session.done",
+            "session",
+            e,
+            vec![
+                ("request_id".into(), Value::Int(*request_id as i64)),
+                ("tenant".into(), Value::Int(i64::from(*tenant))),
+                ("class".into(), Value::Str(class.name().into())),
+                ("op".into(), Value::Str(op.name().into())),
+                ("latency_ns".into(), Value::Int(*latency_ns as i64)),
+                ("ok".into(), Value::Bool(*ok)),
+            ],
+        ),
+        EventKind::CacheAccess {
+            tenant,
+            file,
+            outcome,
+            bytes,
+        } => instant(
+            &format!("cache.{}", outcome.name()),
+            "cache",
+            e,
+            vec![
+                ("tenant".into(), Value::Int(i64::from(*tenant))),
+                ("file".into(), Value::Str(file.clone())),
+                ("bytes".into(), Value::Int(*bytes as i64)),
+            ],
+        ),
     }
 }
 

@@ -3,7 +3,7 @@
 
 use std::collections::BTreeMap;
 
-use crate::event::{Event, EventKind, IndependentRegime, PfsOp};
+use crate::event::{CacheOutcome, Event, EventKind, IndependentRegime, PfsOp};
 
 /// Aggregated operation counts for one trace.
 ///
@@ -73,6 +73,26 @@ pub struct OpCounts {
     pub async_stall_ns: u64,
     /// Portion of the deferred cost hidden behind rank progress.
     pub async_overlap_ns: u64,
+    /// Session requests admitted by the service scheduler.
+    pub sessions_admitted: u64,
+    /// Session requests rejected at admission, keyed by shed-reason name.
+    pub sessions_shed: BTreeMap<&'static str, u64>,
+    /// Served session requests that retired successfully.
+    pub sessions_completed: u64,
+    /// Served session requests that retired with a failure.
+    pub sessions_failed: u64,
+    /// Working-set cache reads served from the cache.
+    pub cache_hits: u64,
+    /// Working-set cache reads that went to the PFS.
+    pub cache_misses: u64,
+    /// Records installed in the working-set cache.
+    pub cache_insertions: u64,
+    /// Records LRU-evicted from the working-set cache.
+    pub cache_evictions: u64,
+    /// Records discarded because their file was resealed or pruned.
+    pub cache_invalidations: u64,
+    /// Logical bytes served from the working-set cache.
+    pub cache_hit_bytes: u64,
 }
 
 impl OpCounts {
@@ -172,6 +192,29 @@ impl OpCounts {
                     c.async_stall_ns += stall_ns;
                     c.async_overlap_ns += overlap_ns;
                 }
+                EventKind::SessionAdmit { .. } => {
+                    c.sessions_admitted += 1;
+                }
+                EventKind::SessionShed { reason, .. } => {
+                    *c.sessions_shed.entry(reason.name()).or_insert(0) += 1;
+                }
+                EventKind::SessionDone { ok, .. } => {
+                    if *ok {
+                        c.sessions_completed += 1;
+                    } else {
+                        c.sessions_failed += 1;
+                    }
+                }
+                EventKind::CacheAccess { outcome, bytes, .. } => match outcome {
+                    CacheOutcome::Hit => {
+                        c.cache_hits += 1;
+                        c.cache_hit_bytes += bytes;
+                    }
+                    CacheOutcome::Miss => c.cache_misses += 1,
+                    CacheOutcome::Insert => c.cache_insertions += 1,
+                    CacheOutcome::Evict => c.cache_evictions += 1,
+                    CacheOutcome::Invalidate => c.cache_invalidations += 1,
+                },
             }
         }
         c
@@ -188,6 +231,23 @@ impl OpCounts {
         } else {
             self.async_overlap_ns as f64 / self.async_cost_ns as f64
         }
+    }
+
+    /// Fraction of working-set cache lookups served from the cache:
+    /// `cache_hits / (cache_hits + cache_misses)`. `0.0` when the trace
+    /// contains no cache lookups.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let lookups = self.cache_hits + self.cache_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / lookups as f64
+        }
+    }
+
+    /// Session requests shed at admission, summed over reasons.
+    pub fn total_sessions_shed(&self) -> u64 {
+        self.sessions_shed.values().sum()
     }
 
     /// Total rank-entries into collectives of any kind.
@@ -295,6 +355,46 @@ impl OpCounts {
                 "overlap_efficiency".into(),
                 Value::Num(self.overlap_efficiency()),
             ),
+            (
+                "sessions_admitted".into(),
+                Value::Int(self.sessions_admitted as i64),
+            ),
+            (
+                "sessions_shed".into(),
+                Value::Obj(
+                    self.sessions_shed
+                        .iter()
+                        .map(|(k, v)| (k.to_string(), Value::Int(*v as i64)))
+                        .collect(),
+                ),
+            ),
+            (
+                "sessions_completed".into(),
+                Value::Int(self.sessions_completed as i64),
+            ),
+            (
+                "sessions_failed".into(),
+                Value::Int(self.sessions_failed as i64),
+            ),
+            ("cache_hits".into(), Value::Int(self.cache_hits as i64)),
+            ("cache_misses".into(), Value::Int(self.cache_misses as i64)),
+            (
+                "cache_insertions".into(),
+                Value::Int(self.cache_insertions as i64),
+            ),
+            (
+                "cache_evictions".into(),
+                Value::Int(self.cache_evictions as i64),
+            ),
+            (
+                "cache_invalidations".into(),
+                Value::Int(self.cache_invalidations as i64),
+            ),
+            (
+                "cache_hit_bytes".into(),
+                Value::Int(self.cache_hit_bytes as i64),
+            ),
+            ("cache_hit_rate".into(), Value::Num(self.cache_hit_rate())),
         ])
     }
 }
@@ -431,5 +531,122 @@ mod tests {
     #[test]
     fn empty_trace_is_empty_counts() {
         assert!(OpCounts::from_events(&[]).is_empty());
+    }
+
+    #[test]
+    fn session_and_cache_events_are_counted() {
+        use crate::event::{QosLevel, ServeOp, ShedReason};
+        let events = vec![
+            at(
+                0,
+                EventKind::SessionAdmit {
+                    request_id: 1,
+                    tenant: 3,
+                    class: QosLevel::Premium,
+                    op: ServeOp::Read,
+                    queue_depth: 2,
+                },
+            ),
+            at(
+                1,
+                EventKind::SessionDone {
+                    request_id: 1,
+                    tenant: 3,
+                    class: QosLevel::Premium,
+                    op: ServeOp::Read,
+                    latency_ns: 900,
+                    ok: true,
+                },
+            ),
+            at(
+                2,
+                EventKind::SessionShed {
+                    request_id: 2,
+                    tenant: 9,
+                    class: QosLevel::BestEffort,
+                    op: ServeOp::Write,
+                    reason: ShedReason::QueueFull,
+                },
+            ),
+            at(
+                3,
+                EventKind::SessionAdmit {
+                    request_id: 3,
+                    tenant: 9,
+                    class: QosLevel::Standard,
+                    op: ServeOp::Recover,
+                    queue_depth: 0,
+                },
+            ),
+            at(
+                4,
+                EventKind::SessionDone {
+                    request_id: 3,
+                    tenant: 9,
+                    class: QosLevel::Standard,
+                    op: ServeOp::Recover,
+                    latency_ns: 50,
+                    ok: false,
+                },
+            ),
+            at(
+                5,
+                EventKind::CacheAccess {
+                    tenant: 3,
+                    file: "t3.1".into(),
+                    outcome: CacheOutcome::Miss,
+                    bytes: 64,
+                },
+            ),
+            at(
+                6,
+                EventKind::CacheAccess {
+                    tenant: 3,
+                    file: "t3.1".into(),
+                    outcome: CacheOutcome::Insert,
+                    bytes: 64,
+                },
+            ),
+            at(
+                7,
+                EventKind::CacheAccess {
+                    tenant: 3,
+                    file: "t3.1".into(),
+                    outcome: CacheOutcome::Hit,
+                    bytes: 64,
+                },
+            ),
+            at(
+                8,
+                EventKind::CacheAccess {
+                    tenant: 3,
+                    file: "t3.1".into(),
+                    outcome: CacheOutcome::Evict,
+                    bytes: 64,
+                },
+            ),
+            at(
+                9,
+                EventKind::CacheAccess {
+                    tenant: 3,
+                    file: "t3.1".into(),
+                    outcome: CacheOutcome::Invalidate,
+                    bytes: 64,
+                },
+            ),
+        ];
+        let c = OpCounts::from_events(&events);
+        assert_eq!(c.sessions_admitted, 2);
+        assert_eq!(c.sessions_shed.get("queue_full"), Some(&1));
+        assert_eq!(c.total_sessions_shed(), 1);
+        assert_eq!(c.sessions_completed, 1);
+        assert_eq!(c.sessions_failed, 1);
+        assert_eq!(c.cache_hits, 1);
+        assert_eq!(c.cache_misses, 1);
+        assert_eq!(c.cache_insertions, 1);
+        assert_eq!(c.cache_evictions, 1);
+        assert_eq!(c.cache_invalidations, 1);
+        assert_eq!(c.cache_hit_bytes, 64);
+        assert!((c.cache_hit_rate() - 0.5).abs() < 1e-12);
     }
 }

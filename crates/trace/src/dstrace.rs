@@ -23,7 +23,8 @@
 //! ```
 
 use crate::event::{
-    CollOp, CollectiveRegime, Event, EventKind, FaultKind, IndependentRegime, PfsOp, StreamPhase,
+    CacheOutcome, CollOp, CollectiveRegime, Event, EventKind, FaultKind, IndependentRegime, PfsOp,
+    QosLevel, ServeOp, ShedReason, StreamPhase,
 };
 use crate::json::{self, ParseError, Value};
 use crate::sink::Trace;
@@ -278,6 +279,62 @@ fn kind_members(kind: &EventKind) -> Vec<(String, Value)> {
             ("stall_ns".into(), u64_value(*stall_ns)),
             ("overlap_ns".into(), u64_value(*overlap_ns)),
         ],
+        EventKind::SessionAdmit {
+            request_id,
+            tenant,
+            class,
+            op,
+            queue_depth,
+        } => vec![
+            tag("session_admit"),
+            ("request_id".into(), u64_value(*request_id)),
+            ("tenant".into(), Value::Int(i64::from(*tenant))),
+            ("class".into(), Value::Str(class.name().into())),
+            ("op".into(), Value::Str(op.name().into())),
+            ("queue_depth".into(), Value::Int(i64::from(*queue_depth))),
+        ],
+        EventKind::SessionShed {
+            request_id,
+            tenant,
+            class,
+            op,
+            reason,
+        } => vec![
+            tag("session_shed"),
+            ("request_id".into(), u64_value(*request_id)),
+            ("tenant".into(), Value::Int(i64::from(*tenant))),
+            ("class".into(), Value::Str(class.name().into())),
+            ("op".into(), Value::Str(op.name().into())),
+            ("reason".into(), Value::Str(reason.name().into())),
+        ],
+        EventKind::SessionDone {
+            request_id,
+            tenant,
+            class,
+            op,
+            latency_ns,
+            ok,
+        } => vec![
+            tag("session_done"),
+            ("request_id".into(), u64_value(*request_id)),
+            ("tenant".into(), Value::Int(i64::from(*tenant))),
+            ("class".into(), Value::Str(class.name().into())),
+            ("op".into(), Value::Str(op.name().into())),
+            ("latency_ns".into(), u64_value(*latency_ns)),
+            ("ok".into(), Value::Bool(*ok)),
+        ],
+        EventKind::CacheAccess {
+            tenant,
+            file,
+            outcome,
+            bytes,
+        } => vec![
+            tag("cache_access"),
+            ("tenant".into(), Value::Int(i64::from(*tenant))),
+            ("file".into(), Value::Str(file.clone())),
+            ("outcome".into(), Value::Str(outcome.name().into())),
+            ("bytes".into(), u64_value(*bytes)),
+        ],
     }
 }
 
@@ -392,6 +449,34 @@ fn event_from_value(v: &Value) -> Result<Event, String> {
             stall_ns: field_u64(v, "stall_ns")?,
             overlap_ns: field_u64(v, "overlap_ns")?,
         },
+        "session_admit" => EventKind::SessionAdmit {
+            request_id: field_u64(v, "request_id")?,
+            tenant: field_u32(v, "tenant")?,
+            class: qos_level(field_str(v, "class")?)?,
+            op: serve_op(field_str(v, "op")?)?,
+            queue_depth: field_u32(v, "queue_depth")?,
+        },
+        "session_shed" => EventKind::SessionShed {
+            request_id: field_u64(v, "request_id")?,
+            tenant: field_u32(v, "tenant")?,
+            class: qos_level(field_str(v, "class")?)?,
+            op: serve_op(field_str(v, "op")?)?,
+            reason: shed_reason(field_str(v, "reason")?)?,
+        },
+        "session_done" => EventKind::SessionDone {
+            request_id: field_u64(v, "request_id")?,
+            tenant: field_u32(v, "tenant")?,
+            class: qos_level(field_str(v, "class")?)?,
+            op: serve_op(field_str(v, "op")?)?,
+            latency_ns: field_u64(v, "latency_ns")?,
+            ok: field_bool(v, "ok")?,
+        },
+        "cache_access" => EventKind::CacheAccess {
+            tenant: field_u32(v, "tenant")?,
+            file: field_str(v, "file")?.to_string(),
+            outcome: cache_outcome(field_str(v, "outcome")?)?,
+            bytes: field_u64(v, "bytes")?,
+        },
         other => return Err(format!("unknown event kind `{other}`")),
     };
     Ok(Event {
@@ -491,6 +576,46 @@ fn fault_kind(name: &str) -> Result<FaultKind, String> {
         "crash" => Ok(FaultKind::Crash),
         other => Err(format!("unknown fault kind `{other}`")),
     }
+}
+
+fn serve_op(name: &str) -> Result<ServeOp, String> {
+    const ALL: [ServeOp; 4] = [
+        ServeOp::Open,
+        ServeOp::Write,
+        ServeOp::Read,
+        ServeOp::Recover,
+    ];
+    ALL.into_iter()
+        .find(|op| op.name() == name)
+        .ok_or_else(|| format!("unknown serve op `{name}`"))
+}
+
+fn qos_level(name: &str) -> Result<QosLevel, String> {
+    const ALL: [QosLevel; 3] = [QosLevel::Premium, QosLevel::Standard, QosLevel::BestEffort];
+    ALL.into_iter()
+        .find(|c| c.name() == name)
+        .ok_or_else(|| format!("unknown qos class `{name}`"))
+}
+
+fn shed_reason(name: &str) -> Result<ShedReason, String> {
+    match name {
+        "queue_full" => Ok(ShedReason::QueueFull),
+        "rate_limited" => Ok(ShedReason::RateLimited),
+        other => Err(format!("unknown shed reason `{other}`")),
+    }
+}
+
+fn cache_outcome(name: &str) -> Result<CacheOutcome, String> {
+    const ALL: [CacheOutcome; 5] = [
+        CacheOutcome::Hit,
+        CacheOutcome::Miss,
+        CacheOutcome::Insert,
+        CacheOutcome::Evict,
+        CacheOutcome::Invalidate,
+    ];
+    ALL.into_iter()
+        .find(|o| o.name() == name)
+        .ok_or_else(|| format!("unknown cache outcome `{name}`"))
 }
 
 fn stream_phase(name: &str) -> Result<StreamPhase, String> {
@@ -689,6 +814,50 @@ mod tests {
                     cost_ns: 100,
                     stall_ns: 40,
                     overlap_ns: 60,
+                },
+            ),
+            ev(
+                0,
+                40,
+                EventKind::SessionAdmit {
+                    request_id: 901,
+                    tenant: 12,
+                    class: QosLevel::Premium,
+                    op: ServeOp::Read,
+                    queue_depth: 3,
+                },
+            ),
+            ev(
+                0,
+                41,
+                EventKind::SessionShed {
+                    request_id: 902,
+                    tenant: 13,
+                    class: QosLevel::BestEffort,
+                    op: ServeOp::Write,
+                    reason: ShedReason::RateLimited,
+                },
+            ),
+            ev(
+                0,
+                45,
+                EventKind::SessionDone {
+                    request_id: 901,
+                    tenant: 12,
+                    class: QosLevel::Premium,
+                    op: ServeOp::Read,
+                    latency_ns: 5000,
+                    ok: true,
+                },
+            ),
+            ev(
+                1,
+                46,
+                EventKind::CacheAccess {
+                    tenant: 12,
+                    file: "t12.4".into(),
+                    outcome: CacheOutcome::Hit,
+                    bytes: 4096,
                 },
             ),
         ];

@@ -169,6 +169,104 @@ impl FaultKind {
     }
 }
 
+/// Which session-level operation a service request asked for (the
+/// serve-layer verbs multiplexed onto the underlying d/streams).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServeOp {
+    /// Attach a tenant session to the service.
+    Open,
+    /// Checkpoint a new generation of the tenant's collection.
+    Write,
+    /// Read the tenant's newest sealed generation.
+    Read,
+    /// Scan the tenant's namespace for torn tails and truncate them.
+    Recover,
+}
+
+impl ServeOp {
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ServeOp::Open => "open",
+            ServeOp::Write => "write",
+            ServeOp::Read => "read",
+            ServeOp::Recover => "recover",
+        }
+    }
+}
+
+/// Quality-of-service class of a tenant session. Classes map to
+/// deficit-round-robin weights and admission-control budgets in the
+/// service scheduler; the trace only records the label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum QosLevel {
+    /// Latency-sensitive tenants: largest scheduler share.
+    Premium,
+    /// The default class.
+    Standard,
+    /// Batch/background tenants: served from leftover capacity.
+    BestEffort,
+}
+
+impl QosLevel {
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            QosLevel::Premium => "premium",
+            QosLevel::Standard => "standard",
+            QosLevel::BestEffort => "best_effort",
+        }
+    }
+}
+
+/// Why admission control rejected a request instead of queueing it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShedReason {
+    /// The class's bounded queue was full.
+    QueueFull,
+    /// The tenant's token bucket was empty (rate limit).
+    RateLimited,
+}
+
+impl ShedReason {
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ShedReason::QueueFull => "queue_full",
+            ShedReason::RateLimited => "rate_limited",
+        }
+    }
+}
+
+/// What the working-set read cache did for one access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CacheOutcome {
+    /// A read was served from the cache.
+    Hit,
+    /// A read missed and went to the PFS.
+    Miss,
+    /// A record was installed in the cache after a miss.
+    Insert,
+    /// A cold record was evicted to make room (LRU order).
+    Evict,
+    /// A cached record was discarded because its file was resealed,
+    /// pruned, or recovered.
+    Invalidate,
+}
+
+impl CacheOutcome {
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::Miss => "miss",
+            CacheOutcome::Insert => "insert",
+            CacheOutcome::Evict => "evict",
+            CacheOutcome::Invalidate => "invalidate",
+        }
+    }
+}
+
 /// What happened.
 #[derive(Debug, Clone, PartialEq)]
 pub enum EventKind {
@@ -363,6 +461,66 @@ pub enum EventKind {
         stall_ns: u64,
         /// Portion of the cost hidden behind the rank's own progress.
         overlap_ns: u64,
+    },
+    /// The service scheduler dequeued an admitted session request and
+    /// began serving it. Every admit is paired with exactly one
+    /// [`EventKind::SessionDone`] carrying the same `request_id` (the
+    /// session-isolation rule `dsverify` checks).
+    SessionAdmit {
+        /// Service-wide request id (unique per request, all ranks agree).
+        request_id: u64,
+        /// Tenant the session belongs to.
+        tenant: u32,
+        /// The tenant's QoS class.
+        class: QosLevel,
+        /// Operation requested.
+        op: ServeOp,
+        /// Requests still queued across all classes right after this
+        /// dequeue.
+        queue_depth: u32,
+    },
+    /// Admission control rejected a session request (`Overloaded`): the
+    /// request was never queued and must never be served.
+    SessionShed {
+        /// Service-wide request id of the rejected request.
+        request_id: u64,
+        /// Tenant the session belongs to.
+        tenant: u32,
+        /// The tenant's QoS class.
+        class: QosLevel,
+        /// Operation requested.
+        op: ServeOp,
+        /// Why the request was shed.
+        reason: ShedReason,
+    },
+    /// A served session request retired (successfully or not).
+    SessionDone {
+        /// Service-wide request id, pairing with the admit.
+        request_id: u64,
+        /// Tenant the session belongs to.
+        tenant: u32,
+        /// The tenant's QoS class.
+        class: QosLevel,
+        /// Operation served.
+        op: ServeOp,
+        /// Virtual time from arrival to completion, in ns.
+        latency_ns: u64,
+        /// False when the underlying stream operation failed.
+        ok: bool,
+    },
+    /// Working-set read-cache activity on this rank. A `Hit` on a file
+    /// requires a live `Insert` for the same file with no intervening
+    /// `Evict`/`Invalidate` and no PFS write to that file since (the
+    /// cache-coherence rule `dsverify` checks).
+    CacheAccess {
+        /// Tenant whose record was accessed.
+        tenant: u32,
+        /// The cached file (one sealed checkpoint generation).
+        file: String,
+        /// What the cache did.
+        outcome: CacheOutcome,
+        /// Logical record bytes involved.
+        bytes: u64,
     },
 }
 

@@ -23,6 +23,7 @@ pub mod sink;
 
 pub use counts::OpCounts;
 pub use event::{
-    CollOp, CollectiveRegime, Event, EventKind, FaultKind, IndependentRegime, PfsOp, StreamPhase,
+    CacheOutcome, CollOp, CollectiveRegime, Event, EventKind, FaultKind, IndependentRegime, PfsOp,
+    QosLevel, ServeOp, ShedReason, StreamPhase,
 };
 pub use sink::{Trace, TraceSink};

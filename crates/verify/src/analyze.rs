@@ -6,7 +6,7 @@
 //! The runtime's deterministic trace records exactly what each rank did,
 //! so violations of that discipline — the class of bug MPI-checker-style
 //! tools hunt — are decidable after the fact by a pass over the merged
-//! event log. [`analyze`] runs eight rules:
+//! event log. [`analyze`] runs ten rules:
 //!
 //! * **collective matching** — each rank's sequence of collective
 //!   operations must agree elementwise in kind and root. A crash fault
@@ -51,6 +51,18 @@
 //!   `SuspectPeer` naming the destination). Retransmits with neither
 //!   outcome are unacked-but-counted: the counters claim recovery work
 //!   whose message neither arrived nor was declared lost.
+//! * **session isolation** — the service layer's admission ledger must
+//!   balance per rank: every `SessionAdmit` is resolved by exactly one
+//!   `SessionDone` with the same request id (relaxed when a crash
+//!   aborted the run), no request completes twice or out of thin air,
+//!   and — never excused — a request the admission controller *shed*
+//!   must not be served: a `SessionDone` for a shed id means one
+//!   tenant's rejected work ran anyway, breaking isolation.
+//! * **cache coherence** — a working-set cache `hit` may only be served
+//!   from an entry that is still live: inserted on this rank, not since
+//!   evicted or invalidated, and with no PFS write to the underlying
+//!   file in between. A stale hit silently returns bytes that no longer
+//!   match the file — wrong no matter who crashed, so never excused.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -82,6 +94,14 @@ pub enum Rule {
     /// An edge logged retransmits that neither succeeded (`MsgSend`)
     /// nor were abandoned (`SuspectPeer`).
     RetransmitAccounting,
+    /// The session ledger does not balance: an admitted request never
+    /// completed, completed twice, completed without being admitted, or
+    /// — worst — a shed request was served anyway.
+    SessionIsolation,
+    /// A cache hit was served from an entry that was never inserted,
+    /// was already evicted or invalidated, or whose file was rewritten
+    /// after the insert.
+    CacheCoherence,
 }
 
 impl fmt::Display for Rule {
@@ -95,6 +115,8 @@ impl fmt::Display for Rule {
             Rule::RedistConservation => "redist-conservation",
             Rule::DuplicateSuppression => "duplicate-suppression",
             Rule::RetransmitAccounting => "retransmit-accounting",
+            Rule::SessionIsolation => "session-isolation",
+            Rule::CacheCoherence => "cache-coherence",
         })
     }
 }
@@ -132,7 +154,12 @@ pub struct Report {
     pub async_pairs: usize,
     /// Commit seals whose ordering was checked.
     pub seals_checked: usize,
-    /// Ranks that crashed (rules are relaxed for them).
+    /// Session admit/done pairs that balanced cleanly.
+    pub session_requests: usize,
+    /// Cache hits whose liveness was checked.
+    pub cache_hits_checked: usize,
+    /// Ranks that crashed or were declared dead by a peer's failure
+    /// detector (rules are relaxed for them).
     pub crashed_ranks: Vec<usize>,
     /// All hazards found, in rule order.
     pub hazards: Vec<Hazard>,
@@ -150,12 +177,15 @@ impl fmt::Display for Report {
         writeln!(
             f,
             "{} events on {} ranks: {} collective rounds matched, \
-             {} async pairs, {} seals checked",
+             {} async pairs, {} seals checked, {} session requests, \
+             {} cache hits checked",
             self.events,
             self.nprocs,
             self.collectives_matched,
             self.async_pairs,
-            self.seals_checked
+            self.seals_checked,
+            self.session_requests,
+            self.cache_hits_checked
         )?;
         if !self.crashed_ranks.is_empty() {
             writeln!(f, "crashed ranks (rules relaxed): {:?}", self.crashed_ranks)?;
@@ -188,23 +218,25 @@ fn crashed_ranks(trace: &Trace) -> Vec<usize> {
     let mut out: Vec<usize> = trace
         .events
         .iter()
-        .filter(|e| {
-            matches!(
-                e.kind,
-                EventKind::FaultInjected {
-                    kind: FaultKind::Crash,
-                    ..
-                }
-            )
+        .filter_map(|e| match e.kind {
+            EventKind::FaultInjected {
+                kind: FaultKind::Crash,
+                ..
+            } => Some(e.rank),
+            // A `SuspectPeer` means the failure detector exhausted every
+            // retransmit and declared the peer's edge dead — for protocol
+            // accounting that peer is as gone as a crashed rank (e.g. a
+            // message-plane `kill_at` never emits a storage Crash event).
+            EventKind::SuspectPeer { peer, .. } => Some(peer),
+            _ => None,
         })
-        .map(|e| e.rank)
         .collect();
     out.sort_unstable();
     out.dedup();
     out
 }
 
-/// Run all eight rules over a trace.
+/// Run all ten rules over a trace.
 pub fn analyze(trace: &Trace) -> Report {
     let lanes = per_rank_events(trace);
     let crashed = crashed_ranks(trace);
@@ -214,6 +246,8 @@ pub fn analyze(trace: &Trace) -> Report {
         collectives_matched: 0,
         async_pairs: 0,
         seals_checked: 0,
+        session_requests: 0,
+        cache_hits_checked: 0,
         crashed_ranks: crashed.clone(),
         hazards: Vec::new(),
     };
@@ -225,6 +259,8 @@ pub fn analyze(trace: &Trace) -> Report {
     check_redist_conservation(trace, &crashed, &mut report);
     check_duplicate_suppression(trace, &mut report);
     check_retransmit_accounting(trace, &mut report);
+    check_session_isolation(&lanes, &crashed, &mut report);
+    check_cache_coherence(&lanes, &mut report);
     report
 }
 
@@ -605,10 +641,148 @@ fn check_retransmit_accounting(trace: &Trace, report: &mut Report) {
     }
 }
 
+fn check_session_isolation(lanes: &[Vec<&Event>], crashed: &[usize], report: &mut Report) {
+    // Every rank runs the service loop in lockstep and emits its own
+    // copy of the session ledger, so each lane must balance on its own.
+    let any_crash = !crashed.is_empty();
+    for (rank, lane) in lanes.iter().enumerate() {
+        let mut pending: BTreeMap<u64, u64> = BTreeMap::new(); // id -> admit vtime
+        let mut shed: BTreeMap<u64, u64> = BTreeMap::new(); // id -> shed vtime
+        let mut done: BTreeMap<u64, u64> = BTreeMap::new(); // id -> done vtime
+        for e in lane {
+            match &e.kind {
+                EventKind::SessionAdmit { request_id, .. } => {
+                    let duplicate = pending.insert(*request_id, e.vtime_ns).is_some();
+                    if duplicate {
+                        report.hazards.push(Hazard {
+                            rule: Rule::SessionIsolation,
+                            rank: Some(rank),
+                            detail: format!(
+                                "request {request_id} admitted twice (second admit at \
+                                 t={}) — the admission ledger double-counts it",
+                                e.vtime_ns
+                            ),
+                        });
+                    }
+                }
+                EventKind::SessionShed { request_id, .. } => {
+                    shed.insert(*request_id, e.vtime_ns);
+                }
+                EventKind::SessionDone { request_id, .. } => {
+                    if let Some(t) = shed.get(request_id) {
+                        // Never crash-excused: rejected work must stay
+                        // rejected, or shedding is not isolation.
+                        report.hazards.push(Hazard {
+                            rule: Rule::SessionIsolation,
+                            rank: Some(rank),
+                            detail: format!(
+                                "request {request_id} was shed at t={t} but served anyway \
+                                 at t={} — rejected work ran and stole capacity from \
+                                 admitted tenants",
+                                e.vtime_ns
+                            ),
+                        });
+                    } else if pending.remove(request_id).is_some() {
+                        report.session_requests += 1;
+                        done.insert(*request_id, e.vtime_ns);
+                    } else if done.contains_key(request_id) {
+                        report.hazards.push(Hazard {
+                            rule: Rule::SessionIsolation,
+                            rank: Some(rank),
+                            detail: format!(
+                                "request {request_id} completed twice (second completion \
+                                 at t={})",
+                                e.vtime_ns
+                            ),
+                        });
+                    } else {
+                        report.hazards.push(Hazard {
+                            rule: Rule::SessionIsolation,
+                            rank: Some(rank),
+                            detail: format!(
+                                "SessionDone for request {request_id} at t={} was never \
+                                 admitted",
+                                e.vtime_ns
+                            ),
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+        if !any_crash {
+            for (request_id, t) in &pending {
+                report.hazards.push(Hazard {
+                    rule: Rule::SessionIsolation,
+                    rank: Some(rank),
+                    detail: format!(
+                        "request {request_id} admitted at t={t} never completed — \
+                         the service lost it without shedding or aborting"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+fn check_cache_coherence(lanes: &[Vec<&Event>], report: &mut Report) {
+    use dstreams_trace::CacheOutcome;
+    for (rank, lane) in lanes.iter().enumerate() {
+        // Files whose cached entry is live on this rank, with the insert
+        // time (for the hazard message).
+        let mut live: BTreeMap<&str, u64> = BTreeMap::new();
+        for e in lane {
+            match &e.kind {
+                EventKind::CacheAccess { file, outcome, .. } => match outcome {
+                    CacheOutcome::Insert => {
+                        live.insert(file.as_str(), e.vtime_ns);
+                    }
+                    CacheOutcome::Evict | CacheOutcome::Invalidate => {
+                        live.remove(file.as_str());
+                    }
+                    CacheOutcome::Hit => {
+                        report.cache_hits_checked += 1;
+                        if !live.contains_key(file.as_str()) {
+                            // Wrong bytes regardless of crashes: never
+                            // excused.
+                            report.hazards.push(Hazard {
+                                rule: Rule::CacheCoherence,
+                                rank: Some(rank),
+                                detail: format!(
+                                    "cache hit on \"{file}\" at t={} with no live entry \
+                                     — it was never inserted, or was evicted, \
+                                     invalidated, or overwritten since",
+                                    e.vtime_ns
+                                ),
+                            });
+                        }
+                    }
+                    CacheOutcome::Miss => {}
+                },
+                // A write to the underlying file makes any cached copy
+                // stale until a fresh insert.
+                EventKind::PfsCollective {
+                    op: PfsOp::Write,
+                    file,
+                    ..
+                }
+                | EventKind::PfsIndependent {
+                    op: PfsOp::Write,
+                    file,
+                    ..
+                } => {
+                    live.remove(file.as_str());
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dstreams_trace::{CollectiveRegime, IndependentRegime};
+    use dstreams_trace::{CacheOutcome, CollectiveRegime, IndependentRegime};
 
     fn ev(rank: usize, vtime_ns: u64, seq: u64, kind: EventKind) -> Event {
         Event {
@@ -1279,5 +1453,249 @@ mod tests {
         let r = analyze(&t);
         assert_eq!(r.hazards.len(), 1);
         assert_eq!(r.hazards[0].rule, Rule::RetransmitAccounting);
+    }
+
+    use dstreams_trace::{QosLevel, ServeOp, ShedReason};
+
+    fn admit(rank: usize, t: u64, seq: u64, id: u64) -> Event {
+        ev(
+            rank,
+            t,
+            seq,
+            EventKind::SessionAdmit {
+                request_id: id,
+                tenant: 1,
+                class: QosLevel::Standard,
+                op: ServeOp::Read,
+                queue_depth: 1,
+            },
+        )
+    }
+
+    fn shed(rank: usize, t: u64, seq: u64, id: u64) -> Event {
+        ev(
+            rank,
+            t,
+            seq,
+            EventKind::SessionShed {
+                request_id: id,
+                tenant: 1,
+                class: QosLevel::BestEffort,
+                op: ServeOp::Read,
+                reason: ShedReason::QueueFull,
+            },
+        )
+    }
+
+    fn done(rank: usize, t: u64, seq: u64, id: u64) -> Event {
+        ev(
+            rank,
+            t,
+            seq,
+            EventKind::SessionDone {
+                request_id: id,
+                tenant: 1,
+                class: QosLevel::Standard,
+                op: ServeOp::Read,
+                latency_ns: 5,
+                ok: true,
+            },
+        )
+    }
+
+    #[test]
+    fn balanced_session_ledger_is_clean() {
+        let t = trace(
+            1,
+            vec![admit(0, 10, 0, 1), shed(0, 11, 1, 2), done(0, 20, 2, 1)],
+        );
+        let r = analyze(&t);
+        assert!(r.clean(), "{r}");
+        assert_eq!(r.session_requests, 1);
+    }
+
+    #[test]
+    fn serving_a_shed_request_is_flagged_even_after_a_crash() {
+        let t = trace(
+            1,
+            vec![
+                shed(0, 10, 0, 7),
+                done(0, 20, 1, 7),
+                ev(
+                    0,
+                    30,
+                    2,
+                    EventKind::FaultInjected {
+                        kind: FaultKind::Crash,
+                        op_index: 0,
+                        file: "s".into(),
+                        bytes_kept: 0,
+                    },
+                ),
+            ],
+        );
+        let r = analyze(&t);
+        let iso: Vec<&Hazard> = r
+            .hazards
+            .iter()
+            .filter(|h| h.rule == Rule::SessionIsolation)
+            .collect();
+        assert_eq!(iso.len(), 1, "{r}");
+        assert!(iso[0].detail.contains("shed"), "{}", iso[0]);
+        assert!(iso[0].detail.contains("served anyway"), "{}", iso[0]);
+    }
+
+    #[test]
+    fn lost_admitted_request_is_flagged_without_crash_only() {
+        let lost = trace(1, vec![admit(0, 10, 0, 1)]);
+        let r = analyze(&lost);
+        assert_eq!(r.hazards.len(), 1);
+        assert_eq!(r.hazards[0].rule, Rule::SessionIsolation);
+        assert!(r.hazards[0].detail.contains("never completed"));
+
+        let crashed = trace(
+            1,
+            vec![
+                admit(0, 10, 0, 1),
+                ev(
+                    0,
+                    15,
+                    1,
+                    EventKind::FaultInjected {
+                        kind: FaultKind::Crash,
+                        op_index: 0,
+                        file: "s".into(),
+                        bytes_kept: 0,
+                    },
+                ),
+            ],
+        );
+        assert!(analyze(&crashed).clean(), "crash excuses a lost request");
+
+        // A peer declared dead by the failure detector counts as crashed:
+        // message-plane kills never emit a storage Crash event, but the
+        // service's aborted requests are just as excusable.
+        let suspected = trace(
+            2,
+            vec![
+                admit(0, 10, 0, 1),
+                ev(
+                    1,
+                    15,
+                    0,
+                    EventKind::SuspectPeer {
+                        peer: 0,
+                        attempts: 5,
+                    },
+                ),
+            ],
+        );
+        let r = analyze(&suspected);
+        assert_eq!(r.crashed_ranks, vec![0]);
+        assert!(r.clean(), "a suspected peer excuses a lost request: {r}");
+    }
+
+    #[test]
+    fn double_completion_and_phantom_completion_are_flagged() {
+        let t = trace(
+            1,
+            vec![
+                admit(0, 10, 0, 1),
+                done(0, 20, 1, 1),
+                done(0, 21, 2, 1),
+                done(0, 22, 3, 9),
+            ],
+        );
+        let r = analyze(&t);
+        assert_eq!(r.hazards.len(), 2, "{r}");
+        assert!(r.hazards[0].detail.contains("completed twice"));
+        assert!(r.hazards[1].detail.contains("never admitted"));
+    }
+
+    fn cache(rank: usize, t: u64, seq: u64, outcome: CacheOutcome, file: &str) -> Event {
+        ev(
+            rank,
+            t,
+            seq,
+            EventKind::CacheAccess {
+                tenant: 1,
+                file: file.into(),
+                outcome,
+                bytes: 64,
+            },
+        )
+    }
+
+    #[test]
+    fn hit_on_a_live_entry_is_clean() {
+        let t = trace(
+            1,
+            vec![
+                cache(0, 10, 0, CacheOutcome::Miss, "t1.3"),
+                cache(0, 11, 1, CacheOutcome::Insert, "t1.3"),
+                cache(0, 20, 2, CacheOutcome::Hit, "t1.3"),
+            ],
+        );
+        let r = analyze(&t);
+        assert!(r.clean(), "{r}");
+        assert_eq!(r.cache_hits_checked, 1);
+    }
+
+    #[test]
+    fn hit_without_insert_is_flagged() {
+        let t = trace(1, vec![cache(0, 20, 0, CacheOutcome::Hit, "t1.3")]);
+        let r = analyze(&t);
+        assert_eq!(r.hazards.len(), 1);
+        assert_eq!(r.hazards[0].rule, Rule::CacheCoherence);
+        assert!(r.hazards[0].detail.contains("no live entry"));
+    }
+
+    #[test]
+    fn hit_after_invalidation_or_eviction_is_flagged() {
+        for kill in [CacheOutcome::Invalidate, CacheOutcome::Evict] {
+            let t = trace(
+                1,
+                vec![
+                    cache(0, 10, 0, CacheOutcome::Insert, "t1.3"),
+                    cache(0, 15, 1, kill, "t1.3"),
+                    cache(0, 20, 2, CacheOutcome::Hit, "t1.3"),
+                ],
+            );
+            let r = analyze(&t);
+            assert_eq!(r.hazards.len(), 1, "{kill:?}: {r}");
+            assert_eq!(r.hazards[0].rule, Rule::CacheCoherence);
+        }
+    }
+
+    #[test]
+    fn hit_after_an_intervening_file_write_is_flagged() {
+        let t = trace(
+            1,
+            vec![
+                cache(0, 10, 0, CacheOutcome::Insert, "t1.3"),
+                seal_write(0, 15, 1, "t1.3", 5),
+                cache(0, 20, 2, CacheOutcome::Hit, "t1.3"),
+            ],
+        );
+        let r = analyze(&t);
+        assert_eq!(r.hazards.len(), 1, "{r}");
+        assert_eq!(r.hazards[0].rule, Rule::CacheCoherence);
+        assert!(r.hazards[0].detail.contains("t1.3"));
+    }
+
+    #[test]
+    fn reinsert_after_write_makes_hits_clean_again() {
+        let t = trace(
+            1,
+            vec![
+                cache(0, 10, 0, CacheOutcome::Insert, "t1.3"),
+                seal_write(0, 15, 1, "t1.3", 5),
+                cache(0, 16, 2, CacheOutcome::Miss, "t1.3"),
+                cache(0, 17, 3, CacheOutcome::Insert, "t1.3"),
+                cache(0, 20, 4, CacheOutcome::Hit, "t1.3"),
+            ],
+        );
+        let r = analyze(&t);
+        assert!(r.clean(), "{r}");
     }
 }

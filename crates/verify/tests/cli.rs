@@ -103,6 +103,30 @@ fn unacked_retransmit_fixture_is_flagged() {
 }
 
 #[test]
+fn shed_request_served_fixture_is_flagged() {
+    let report = analyze(&load("shed_request_served.dstrace.json"));
+    assert_eq!(report.hazards.len(), 1, "{report}");
+    let h = &report.hazards[0];
+    assert_eq!(h.rule, Rule::SessionIsolation);
+    assert_eq!(h.rank, Some(0));
+    assert!(h.detail.contains("request 7"), "{h}");
+    assert!(h.detail.contains("served anyway"), "{h}");
+    // The legitimately admitted request balanced.
+    assert_eq!(report.session_requests, 1);
+}
+
+#[test]
+fn stale_cache_hit_fixture_is_flagged() {
+    let report = analyze(&load("stale_cache_hit.dstrace.json"));
+    assert_eq!(report.hazards.len(), 1, "{report}");
+    let h = &report.hazards[0];
+    assert_eq!(h.rule, Rule::CacheCoherence);
+    assert_eq!(h.rank, Some(0));
+    assert!(h.detail.contains("t4.2"), "{h}");
+    assert!(h.detail.contains("no live entry"), "{h}");
+}
+
+#[test]
 fn dsverify_flags_fixtures_and_exits_nonzero() {
     let out = Command::new(env!("CARGO_BIN_EXE_dsverify"))
         .arg(fixture("mismatched_collective.dstrace.json"))
@@ -111,6 +135,8 @@ fn dsverify_flags_fixtures_and_exits_nonzero() {
         .arg(fixture("lost_redist_transfer.dstrace.json"))
         .arg(fixture("duplicate_shuttle_delivery.dstrace.json"))
         .arg(fixture("unacked_retransmit.dstrace.json"))
+        .arg(fixture("shed_request_served.dstrace.json"))
+        .arg(fixture("stale_cache_hit.dstrace.json"))
         .output()
         .unwrap();
     assert_eq!(out.status.code(), Some(1), "{out:?}");
@@ -121,6 +147,8 @@ fn dsverify_flags_fixtures_and_exits_nonzero() {
     assert!(stdout.contains("redist-conservation"), "{stdout}");
     assert!(stdout.contains("duplicate-suppression"), "{stdout}");
     assert!(stdout.contains("retransmit-accounting"), "{stdout}");
+    assert!(stdout.contains("session-isolation"), "{stdout}");
+    assert!(stdout.contains("cache-coherence"), "{stdout}");
 }
 
 #[test]
@@ -266,4 +294,76 @@ fn cross_shape_read_round_trips_clean_through_dsverify() {
     );
     let report = analyze(&reparsed);
     assert!(report.clean(), "{report}");
+}
+
+/// A live multi-tenant service run, traced and re-analyzed: the session
+/// ledger balances and every cache hit is live, so the two new rules
+/// stay silent on a healthy run — the shed-served and stale-hit fixtures
+/// above are discriminating, not vacuous.
+#[test]
+fn live_service_trace_round_trips_clean_through_dsverify() {
+    use dstreams_pfs::DiskModel;
+    use dstreams_serve::{run_service, OpMix, QosLevel, ServiceConfig, TenantProfile, TrafficSpec};
+
+    let nprocs = 2;
+    let sink = TraceSink::new(nprocs);
+    let pfs = Pfs::in_memory(nprocs);
+    let p = pfs.clone();
+    Machine::run(
+        MachineConfig::functional(nprocs).traced(sink.clone()),
+        move |ctx| {
+            let cfg = ServiceConfig::for_model(&DiskModel::instant());
+            let tenants = vec![
+                TenantProfile {
+                    tenant: 1,
+                    class: QosLevel::Premium,
+                    elements: 8,
+                },
+                TenantProfile {
+                    tenant: 2,
+                    class: QosLevel::BestEffort,
+                    elements: 8,
+                },
+            ];
+            let arrivals = dstreams_serve::traffic::generate(
+                &TrafficSpec {
+                    seed: 11,
+                    sessions: 25,
+                    ops_per_session: 4,
+                    mean_session_gap_ns: 20_000,
+                    mean_interarrival_ns: 20_000,
+                    zipf_s: 1.0,
+                    mix: OpMix::read_mostly(),
+                },
+                &tenants,
+            );
+            let report = run_service(ctx, &p, &cfg, &tenants, &arrivals).unwrap();
+            assert_eq!(report.aborted, 0);
+            assert!(report.cache.hits > 0, "warm reads must hit");
+        },
+    )
+    .unwrap();
+    let json = sink.take().to_events_json();
+    let reparsed = Trace::from_events_json(&json).unwrap();
+    assert!(
+        reparsed
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, dstreams_trace::EventKind::SessionAdmit { .. })),
+        "the service run never admitted a session"
+    );
+    let report = analyze(&reparsed);
+    assert!(report.clean(), "{report}");
+    assert!(report.session_requests > 0, "{report}");
+    assert!(report.cache_hits_checked > 0, "{report}");
+
+    let dir = std::env::temp_dir().join("dsverify-service-run");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("service.dstrace.json");
+    std::fs::write(&path, &json).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_dsverify"))
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
 }

@@ -11,6 +11,8 @@
 //! * [`redist`] — distribution views and the two-phase redistribution
 //!   planner for cross-shape reads;
 //! * [`scf`] — the SCF benchmark that regenerates the paper's tables;
+//! * [`serve`] — the multi-tenant stream service: typestate sessions,
+//!   admission control with QoS fairness, and the working-set read cache;
 //! * [`trace`] — structured event tracing (Chrome trace export, op counts);
 //! * [`verify`] — protocol verification: typestate wrappers, Fig. 2 model
 //!   checking, and the `dsverify` trace analyzer.
@@ -27,6 +29,7 @@ pub use dstreams_pfs as pfs;
 pub use dstreams_pipeline as pipeline;
 pub use dstreams_redist as redist;
 pub use dstreams_scf as scf;
+pub use dstreams_serve as serve;
 pub use dstreams_trace as trace;
 pub use dstreams_verify as verify;
 

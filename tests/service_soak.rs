@@ -1,0 +1,263 @@
+//! Service soak: the multi-tenant serving layer on an unreliable
+//! transport.
+//!
+//! Where `chaos_soup.rs` soaks the checkpoint library directly, this
+//! sweep drives the *service* — admission control, DRR scheduling, the
+//! working-set cache, and per-tenant sessions — through seeded message
+//! chaos and data-plane kills. The contract under test is the service's
+//! one-line SLO: **shed or recover, never hang**. A recoverable soup
+//! must leave a fully accounted, rank-identical report and a trace every
+//! analyzer rule accepts; a dead rank must abort the remaining work
+//! loudly (every request still gets exactly one outcome) instead of
+//! wedging a collective.
+//!
+//! The message-fault seed honors `DSTREAMS_MSG_SEED` so CI can soak a
+//! seed matrix over the same tests and archive failing seeds.
+
+use dstreams::machine::{CollectiveConfig, FaultPlan, Machine, MachineConfig, MsgFaultPlan};
+use dstreams::pfs::Pfs;
+use dstreams::serve::{
+    generate, run_service, Arrival, OpMix, QosLevel, ServiceConfig, TenantProfile, TrafficSpec,
+};
+use dstreams::trace::{Trace, TraceSink};
+use dstreams::verify::analyze;
+
+const NPROCS: usize = 4;
+
+fn msg_seed() -> u64 {
+    std::env::var("DSTREAMS_MSG_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x5EA5_0AC1)
+}
+
+/// Combined drop + duplicate + delay + reorder soup, heavy enough that
+/// the reliability layer fires constantly under the service workload.
+fn soup(seed: u64) -> MsgFaultPlan {
+    MsgFaultPlan::seeded(seed)
+        .drop_ppm(100_000)
+        .dup_ppm(80_000)
+        .delay_ppm(80_000)
+        .reorder_ppm(80_000)
+}
+
+fn tenants() -> Vec<TenantProfile> {
+    vec![
+        TenantProfile {
+            tenant: 1,
+            class: QosLevel::Premium,
+            elements: 8,
+        },
+        TenantProfile {
+            tenant: 2,
+            class: QosLevel::Standard,
+            elements: 8,
+        },
+        TenantProfile {
+            tenant: 3,
+            class: QosLevel::BestEffort,
+            elements: 8,
+        },
+    ]
+}
+
+fn arrivals() -> Vec<Arrival> {
+    generate(
+        &TrafficSpec {
+            seed: 0xD05E_77E5,
+            sessions: 12,
+            ops_per_session: 3,
+            mean_session_gap_ns: 10_000,
+            mean_interarrival_ns: 40_000,
+            zipf_s: 0.8,
+            mix: OpMix::read_mostly(),
+        },
+        &tenants(),
+    )
+}
+
+/// One rank's report, reduced to a comparable digest.
+type Digest = Vec<(u64, String)>;
+
+fn digest(outcomes: &[(u64, String)]) -> Digest {
+    let mut d = outcomes.to_vec();
+    d.sort();
+    d
+}
+
+/// Run the service under `plan`; per rank: (digest, served, aborted,
+/// outcome count) or the error that stopped the rank.
+#[allow(clippy::type_complexity)]
+fn service_run(
+    plan: Option<MsgFaultPlan>,
+    sink: Option<&TraceSink>,
+) -> Vec<Result<(Digest, u64, u64, usize), String>> {
+    let pfs = Pfs::in_memory(NPROCS);
+    // Aggregated writes route tenant data over the data plane, so
+    // message kills actually bite the service's checkpoint traffic.
+    let mut config = MachineConfig::functional(NPROCS).with_collective(CollectiveConfig {
+        aggregators: 2,
+        stripe_align: true,
+    });
+    if let Some(msg) = plan {
+        config = config.with_faults(FaultPlan::default().with_msg(msg));
+    }
+    if let Some(s) = sink {
+        config = config.traced(s.clone());
+    }
+    let cfg = ServiceConfig::for_model(pfs.model());
+    let tenants = tenants();
+    let arrivals = arrivals();
+    let p = pfs.clone();
+    Machine::run(config, move |ctx| {
+        match run_service(ctx, &p, &cfg, &tenants, &arrivals) {
+            Ok(r) => {
+                let outcomes: Vec<(u64, String)> = r
+                    .outcomes
+                    .iter()
+                    .map(|o| (o.request_id, format!("{:?}", o.disposition)))
+                    .collect();
+                Ok((digest(&outcomes), r.served, r.aborted, r.outcomes.len()))
+            }
+            Err(e) => Err(e.to_string()),
+        }
+    })
+    .expect("the machine itself must survive the soak")
+}
+
+#[test]
+fn message_soup_is_absorbed_with_full_accounting_and_clean_traces() {
+    let total = arrivals().len();
+    let base = msg_seed();
+    for k in 0..2u64 {
+        let seed = base.wrapping_add(k.wrapping_mul(0x9E37_79B9));
+        let sink = TraceSink::new(NPROCS);
+        let out = service_run(Some(soup(seed)), Some(&sink));
+        let first = out[0].as_ref().unwrap_or_else(|e| {
+            panic!("seed {seed:#x}: rank 0 failed under recoverable soup: {e}")
+        });
+        for (rank, r) in out.iter().enumerate() {
+            let (d, _, aborted, n) = r
+                .as_ref()
+                .unwrap_or_else(|e| panic!("seed {seed:#x}: rank {rank} failed: {e}"));
+            assert_eq!(*n, total, "seed {seed:#x}: rank {rank} lost outcomes");
+            assert_eq!(*aborted, 0, "seed {seed:#x}: rank {rank} aborted work");
+            assert_eq!(
+                d, &first.0,
+                "seed {seed:#x}: rank {rank} diverged from rank 0"
+            );
+        }
+        // The live trace must satisfy every analyzer rule — including the
+        // session-isolation ledger and cache-coherence checks, with the
+        // reliability layer's retransmit/dedup noise in the lanes.
+        let trace = Trace::from_events_json(&sink.take().to_events_json()).unwrap();
+        let report = analyze(&trace);
+        assert!(
+            report.clean(),
+            "seed {seed:#x}: soak trace flagged: {report}"
+        );
+        assert!(
+            report.session_requests > 0,
+            "seed {seed:#x}: no sessions checked"
+        );
+    }
+}
+
+#[test]
+fn same_seed_replays_the_same_service_decisions() {
+    let seed = msg_seed();
+    let a = service_run(Some(soup(seed)), None);
+    let b = service_run(Some(soup(seed)), None);
+    assert_eq!(a, b, "seed {seed:#x} must replay identically");
+}
+
+#[test]
+fn killed_rank_degrades_loudly_but_never_hangs() {
+    let total = arrivals().len();
+    let base = msg_seed();
+
+    // Reference: the same machine with the reliability stack engaged but
+    // an inert plan — what the service decides when no fault ever fires.
+    let reference = service_run(Some(MsgFaultPlan::seeded(base)), None);
+    let ref_digest = &reference[0].as_ref().expect("inert plan must succeed").0;
+
+    let mut degraded_runs = 0;
+    let mut clean_runs = 0;
+    for k in [0u64, 8, 64, 1 << 40] {
+        let plan = MsgFaultPlan::seeded(base ^ k).kill_at(0, k);
+        let sink = TraceSink::new(NPROCS);
+        // Finishing at all is the headline assertion: a dead data plane
+        // must convert into failover, failed requests, or a loud abort —
+        // not a wedged collective.
+        let out = service_run(Some(plan), Some(&sink));
+        let mut differs = false;
+        let mut aborted_any = false;
+        for (rank, r) in out.iter().enumerate() {
+            if let Ok((d, _, aborted, n)) = r {
+                assert_eq!(
+                    *n, total,
+                    "kill at {k}: rank {rank} lost outcomes — every request \
+                     gets exactly one disposition even when degrading"
+                );
+                differs |= d != ref_digest;
+                aborted_any |= *aborted > 0;
+            }
+            // An Err rank is acceptable under a kill: it failed loudly.
+        }
+        let errored = out.iter().any(|r| r.is_err());
+        if differs || aborted_any || errored {
+            degraded_runs += 1;
+        } else {
+            clean_runs += 1;
+        }
+        // Whatever happened, the trace must stay explicable: lost
+        // admissions are excused by the suspected-peer relaxation, while
+        // shed-request-served or stale-cache-hit hazards are never
+        // acceptable, dead rank or not.
+        let trace = Trace::from_events_json(&sink.take().to_events_json()).unwrap();
+        let report = analyze(&trace);
+        assert!(report.clean(), "kill at {k}: trace flagged: {report}");
+    }
+    assert!(
+        degraded_runs > 0,
+        "no kill ever perturbed the service — the sweep is vacuous"
+    );
+    assert!(
+        clean_runs > 0,
+        "every kill degraded — the sweep never tested the absorbed path"
+    );
+}
+
+#[test]
+fn fault_free_service_reports_are_identical_and_sheddless_only_by_policy() {
+    let out = service_run(None, None);
+    let first = out[0].as_ref().unwrap();
+    for (rank, r) in out.iter().enumerate() {
+        let (d, served, aborted, n) = r.as_ref().unwrap();
+        assert_eq!(d, &first.0, "rank {rank} diverged without faults");
+        assert_eq!(*aborted, 0);
+        assert_eq!(*n, arrivals().len());
+        assert!(*served > 0);
+    }
+    // Anything not served was shed by explicit policy, never dropped.
+    let shed = first
+        .0
+        .iter()
+        .filter(|(_, d)| d.starts_with("Shed"))
+        .count();
+    assert_eq!(
+        first.1 as usize
+            + shed
+            + first
+                .0
+                .iter()
+                .filter(|(_, d)| d.contains("ok: false"))
+                .count(),
+        arrivals().len(),
+        "served + shed + failed must account for every request"
+    );
+    assert!(
+        !first.0.iter().any(|(_, d)| d.contains("Aborted")),
+        "a fault-free run must never abort a request"
+    );
+}
