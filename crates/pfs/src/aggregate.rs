@@ -395,6 +395,8 @@ impl FileHandle {
                             peer: owner,
                             bytes: e - s,
                             file: self.file.name().to_string(),
+                            op: PfsOp::Write,
+                            offset: Some(s),
                         }),
                         Err(MachineError::PeerGone { rank }) if failover => {
                             suspects[rank] = true;
@@ -431,6 +433,8 @@ impl FileHandle {
                                         peer: r,
                                         bytes: e - s,
                                         file: self.file.name().to_string(),
+                                        op: PfsOp::Write,
+                                        offset: Some(s),
                                     });
                                     dst.copy_from_slice(&piece);
                                 }
@@ -706,6 +710,8 @@ impl FileHandle {
                         peer: r,
                         bytes: e - s,
                         file: self.file.name().to_string(),
+                        op: PfsOp::Read,
+                        offset: Some(s),
                     });
                 }
             }
@@ -733,6 +739,8 @@ impl FileHandle {
                         peer: owner,
                         bytes: e - s,
                         file: self.file.name().to_string(),
+                        op: PfsOp::Read,
+                        offset: Some(s),
                     });
                     dst.copy_from_slice(&piece);
                 }

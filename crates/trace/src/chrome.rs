@@ -128,6 +128,7 @@ fn event_to_value(e: &Event) -> Value {
             peer,
             bytes,
             file,
+            ..
         } => instant(
             if *outgoing {
                 "agg.shuttle_out"

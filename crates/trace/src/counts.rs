@@ -474,6 +474,8 @@ mod tests {
                     peer: 1,
                     bytes: 30,
                     file: "f".into(),
+                    op: PfsOp::Write,
+                    offset: Some(0),
                 },
             ),
             at(
@@ -483,6 +485,8 @@ mod tests {
                     peer: 0,
                     bytes: 30,
                     file: "f".into(),
+                    op: PfsOp::Write,
+                    offset: Some(0),
                 },
             ),
             at(

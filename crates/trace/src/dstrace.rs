@@ -175,12 +175,16 @@ fn kind_members(kind: &EventKind) -> Vec<(String, Value)> {
             peer,
             bytes,
             file,
+            op,
+            offset,
         } => vec![
             tag("agg_shuttle"),
             ("outgoing".into(), Value::Bool(*outgoing)),
             ("peer".into(), Value::Int(*peer as i64)),
             ("bytes".into(), u64_value(*bytes)),
             ("file".into(), Value::Str(file.clone())),
+            ("op".into(), Value::Str(op.name().into())),
+            ("offset".into(), offset.map_or(Value::Null, u64_value)),
         ],
         EventKind::RedistShuttle {
             outgoing,
@@ -396,6 +400,17 @@ fn event_from_value(v: &Value) -> Result<Event, String> {
             peer: field_usize(v, "peer")?,
             bytes: field_u64(v, "bytes")?,
             file: field_str(v, "file")?.to_string(),
+            // Attribution metadata absent in documents written before the
+            // happens-before engine existed; default to a write shuttle with
+            // an unknown interval, which the race detector skips.
+            op: match v.get("op") {
+                None | Some(Value::Null) => PfsOp::Write,
+                _ => pfs_op(field_str(v, "op")?)?,
+            },
+            offset: match v.get("offset") {
+                None | Some(Value::Null) => None,
+                _ => Some(field_u64(v, "offset")?),
+            },
         },
         "redist_shuttle" => EventKind::RedistShuttle {
             outgoing: field_bool(v, "outgoing")?,
@@ -712,6 +727,8 @@ mod tests {
                     peer: 1,
                     bytes: 512,
                     file: "in.ds".into(),
+                    op: PfsOp::Write,
+                    offset: Some(4096),
                 },
             ),
             ev(

@@ -353,6 +353,17 @@ pub enum EventKind {
         bytes: u64,
         /// File the slice belongs to.
         file: String,
+        /// Transfer direction of the *logical* file access the shuttle
+        /// carries: `Write` when the slice is payload headed for the
+        /// aggregator's coalesced write, `Read` when it is file data the
+        /// aggregator read on the requester's behalf.
+        op: PfsOp,
+        /// Absolute file offset the slice lands at (write path) or was
+        /// read from (read path). `None` in traces captured before this
+        /// attribution metadata existed — such shuttles cannot be mapped
+        /// back to a byte interval, and the happens-before race detector
+        /// skips them.
+        offset: Option<u64>,
     },
     /// Redistribution shuttle: one coalesced run of record elements
     /// moving between a reader rank and the rank that owns those

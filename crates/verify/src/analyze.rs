@@ -6,7 +6,7 @@
 //! The runtime's deterministic trace records exactly what each rank did,
 //! so violations of that discipline — the class of bug MPI-checker-style
 //! tools hunt — are decidable after the fact by a pass over the merged
-//! event log. [`analyze`] runs ten rules:
+//! event log. [`analyze`] runs twelve rules:
 //!
 //! * **collective matching** — each rank's sequence of collective
 //!   operations must agree elementwise in kind and root. A crash fault
@@ -63,10 +63,22 @@
 //!   evicted or invalidated, and with no PFS write to the underlying
 //!   file in between. A stale hit silently returns bytes that no longer
 //!   match the file — wrong no matter who crashed, so never excused.
+//! * **hb interval race** — two conflicting file-range accesses (W/W or
+//!   W/R on overlapping byte intervals, with aggregator-coalesced
+//!   writes attributed back to the originating ranks) with no
+//!   happens-before path between them. Every hazard carries a witness:
+//!   the two events and their incomparable vector clocks, a proof that
+//!   no causal chain orders them. Crash-excused.
+//! * **hb coherence** — the cache and session rules re-grounded on
+//!   happens-before order instead of timestamps: a cache hit served
+//!   after the rank causally observed an invalidating write, or a
+//!   `SessionDone` that happens-before another rank's `SessionAdmit`
+//!   of the same request id (the lockstep ledger ran backwards).
 
 use std::collections::BTreeMap;
 use std::fmt;
 
+use crate::hb;
 use dstreams_core::RecordSeal;
 use dstreams_trace::{CollOp, Event, EventKind, FaultKind, PfsOp, Trace};
 
@@ -102,11 +114,35 @@ pub enum Rule {
     /// was already evicted or invalidated, or whose file was rewritten
     /// after the insert.
     CacheCoherence,
+    /// Two conflicting file-range accesses (write/write or write/read
+    /// on overlapping byte intervals) have no happens-before path.
+    HbIntervalRace,
+    /// Happens-before coherence: a cache hit served after causally
+    /// observing an invalidating write, or a session completion that
+    /// causally precedes another rank's admission of the same request.
+    HbCoherence,
 }
 
-impl fmt::Display for Rule {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
+impl Rule {
+    /// Every rule, in the order [`analyze`] runs them.
+    pub const ALL: [Rule; 12] = [
+        Rule::CollectiveMatching,
+        Rule::AsyncPairing,
+        Rule::SealOrdering,
+        Rule::MessagePairing,
+        Rule::ShuttleConservation,
+        Rule::RedistConservation,
+        Rule::DuplicateSuppression,
+        Rule::RetransmitAccounting,
+        Rule::SessionIsolation,
+        Rule::CacheCoherence,
+        Rule::HbIntervalRace,
+        Rule::HbCoherence,
+    ];
+
+    /// The stable kebab-case name (`dsverify --rules` vocabulary).
+    pub fn name(self) -> &'static str {
+        match self {
             Rule::CollectiveMatching => "collective-matching",
             Rule::AsyncPairing => "async-pairing",
             Rule::SealOrdering => "seal-ordering",
@@ -117,7 +153,20 @@ impl fmt::Display for Rule {
             Rule::RetransmitAccounting => "retransmit-accounting",
             Rule::SessionIsolation => "session-isolation",
             Rule::CacheCoherence => "cache-coherence",
-        })
+            Rule::HbIntervalRace => "hb-interval-race",
+            Rule::HbCoherence => "hb-coherence",
+        }
+    }
+
+    /// Parse a rule name as accepted by `dsverify --rules`.
+    pub fn from_name(name: &str) -> Option<Rule> {
+        Rule::ALL.into_iter().find(|r| r.name() == name)
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -130,6 +179,27 @@ pub struct Hazard {
     pub rank: Option<usize>,
     /// Human-readable description with the offending values.
     pub detail: String,
+    /// For HB findings: the two conflicting events and their
+    /// incomparable vector clocks (printed by `dsverify --explain`).
+    pub witness: Option<crate::hb::Witness>,
+}
+
+impl Hazard {
+    /// A hazard with no witness attached.
+    pub fn new(rule: Rule, rank: Option<usize>, detail: String) -> Hazard {
+        Hazard {
+            rule,
+            rank,
+            detail,
+            witness: None,
+        }
+    }
+
+    /// Attach an HB witness.
+    pub fn with_witness(mut self, witness: crate::hb::Witness) -> Hazard {
+        self.witness = Some(witness);
+        self
+    }
 }
 
 impl fmt::Display for Hazard {
@@ -158,6 +228,11 @@ pub struct Report {
     pub session_requests: usize,
     /// Cache hits whose liveness was checked.
     pub cache_hits_checked: usize,
+    /// Byte-interval file accesses the HB race detector checked.
+    pub file_accesses: usize,
+    /// Cross edges the HB engine had to force (zero on well-formed
+    /// traces; nonzero means the trace's own causality is broken).
+    pub forced_hb_edges: usize,
     /// Ranks that crashed or were declared dead by a peer's failure
     /// detector (rules are relaxed for them).
     pub crashed_ranks: Vec<usize>,
@@ -178,15 +253,24 @@ impl fmt::Display for Report {
             f,
             "{} events on {} ranks: {} collective rounds matched, \
              {} async pairs, {} seals checked, {} session requests, \
-             {} cache hits checked",
+             {} cache hits checked, {} file accesses race-checked",
             self.events,
             self.nprocs,
             self.collectives_matched,
             self.async_pairs,
             self.seals_checked,
             self.session_requests,
-            self.cache_hits_checked
+            self.cache_hits_checked,
+            self.file_accesses
         )?;
+        if self.forced_hb_edges > 0 {
+            writeln!(
+                f,
+                "warning: {} happens-before edge(s) forced — the trace's \
+                 causal prerequisites are unsatisfiable",
+                self.forced_hb_edges
+            )?;
+        }
         if !self.crashed_ranks.is_empty() {
             writeln!(f, "crashed ranks (rules relaxed): {:?}", self.crashed_ranks)?;
         }
@@ -236,10 +320,88 @@ fn crashed_ranks(trace: &Trace) -> Vec<usize> {
     out
 }
 
-/// Run all ten rules over a trace.
+/// Everything a rule may look at: the trace, its per-rank lanes, the
+/// crash-excused ranks, and the happens-before index.
+pub struct Ctx<'a> {
+    /// The trace under analysis.
+    pub trace: &'a Trace,
+    /// Per-rank event lanes (events of out-of-range ranks dropped).
+    pub lanes: Vec<Vec<&'a Event>>,
+    /// Ranks that crashed or were declared dead by a failure detector.
+    pub crashed: Vec<usize>,
+    /// Vector clocks for every event.
+    pub hb: hb::HbIndex,
+}
+
+/// One analysis rule: a uniform registration point so `dsverify
+/// --rules` can select subsets and new rules plug in beside the old.
+trait Check {
+    /// The rule this check implements.
+    fn rule(&self) -> Rule;
+    /// Run the check, appending hazards and coverage counters.
+    fn run(&self, cx: &Ctx<'_>, report: &mut Report);
+}
+
+/// Declare a unit-struct check wrapping a free function.
+macro_rules! checks {
+    ($($name:ident => $rule:expr, |$cx:ident, $report:ident| $body:expr;)*) => {
+        $(
+            struct $name;
+            impl Check for $name {
+                fn rule(&self) -> Rule {
+                    $rule
+                }
+                fn run(&self, $cx: &Ctx<'_>, $report: &mut Report) {
+                    $body
+                }
+            }
+        )*
+        fn all_checks() -> Vec<Box<dyn Check>> {
+            vec![$(Box::new($name),)*]
+        }
+    };
+}
+
+checks! {
+    CollectiveMatchingCheck => Rule::CollectiveMatching,
+        |cx, report| check_collectives(&cx.lanes, &cx.crashed, report);
+    AsyncPairingCheck => Rule::AsyncPairing,
+        |cx, report| check_async_pairing(&cx.lanes, &cx.crashed, report);
+    SealOrderingCheck => Rule::SealOrdering,
+        |cx, report| check_seal_ordering(&cx.lanes, report);
+    MessagePairingCheck => Rule::MessagePairing,
+        |cx, report| check_message_pairing(cx.trace, &cx.crashed, report);
+    ShuttleConservationCheck => Rule::ShuttleConservation,
+        |cx, report| check_shuttle_conservation(cx.trace, &cx.crashed, report);
+    RedistConservationCheck => Rule::RedistConservation,
+        |cx, report| check_redist_conservation(cx.trace, &cx.crashed, report);
+    DuplicateSuppressionCheck => Rule::DuplicateSuppression,
+        |cx, report| check_duplicate_suppression(cx.trace, report);
+    RetransmitAccountingCheck => Rule::RetransmitAccounting,
+        |cx, report| check_retransmit_accounting(cx.trace, report);
+    SessionIsolationCheck => Rule::SessionIsolation,
+        |cx, report| check_session_isolation(&cx.lanes, &cx.crashed, report);
+    CacheCoherenceCheck => Rule::CacheCoherence,
+        |cx, report| check_cache_coherence(&cx.lanes, report);
+    HbIntervalRaceCheck => Rule::HbIntervalRace,
+        |cx, report| check_hb_interval_race(cx, report);
+    HbCoherenceCheck => Rule::HbCoherence,
+        |cx, report| check_hb_coherence(cx, report);
+}
+
+/// Run every rule over a trace.
 pub fn analyze(trace: &Trace) -> Report {
-    let lanes = per_rank_events(trace);
-    let crashed = crashed_ranks(trace);
+    analyze_rules(trace, &Rule::ALL)
+}
+
+/// Run a subset of rules over a trace (the `dsverify --rules` path).
+pub fn analyze_rules(trace: &Trace, rules: &[Rule]) -> Report {
+    let cx = Ctx {
+        trace,
+        lanes: per_rank_events(trace),
+        crashed: crashed_ranks(trace),
+        hb: hb::HbIndex::build(trace),
+    };
     let mut report = Report {
         nprocs: trace.nprocs,
         events: trace.events.len(),
@@ -248,20 +410,95 @@ pub fn analyze(trace: &Trace) -> Report {
         seals_checked: 0,
         session_requests: 0,
         cache_hits_checked: 0,
-        crashed_ranks: crashed.clone(),
+        file_accesses: 0,
+        forced_hb_edges: cx.hb.forced_edges(),
+        crashed_ranks: cx.crashed.clone(),
         hazards: Vec::new(),
     };
-    check_collectives(&lanes, &crashed, &mut report);
-    check_async_pairing(&lanes, &crashed, &mut report);
-    check_seal_ordering(&lanes, &mut report);
-    check_message_pairing(trace, &crashed, &mut report);
-    check_shuttle_conservation(trace, &crashed, &mut report);
-    check_redist_conservation(trace, &crashed, &mut report);
-    check_duplicate_suppression(trace, &mut report);
-    check_retransmit_accounting(trace, &mut report);
-    check_session_isolation(&lanes, &crashed, &mut report);
-    check_cache_coherence(&lanes, &mut report);
+    for check in all_checks() {
+        if rules.contains(&check.rule()) {
+            check.run(&cx, &mut report);
+        }
+    }
     report
+}
+
+fn check_hb_interval_race(cx: &Ctx<'_>, report: &mut Report) {
+    let races = hb::find_interval_races(cx.trace, &cx.hb, &cx.crashed);
+    report.file_accesses += races.accesses;
+    for race in races.races {
+        let first = cx.hb.event_ref(cx.trace, race.first);
+        let second = cx.hb.event_ref(cx.trace, race.second);
+        report.hazards.push(
+            Hazard::new(
+                Rule::HbIntervalRace,
+                Some(second.rank),
+                format!(
+                    "\"{}\": {}/{} race on bytes [{}, {}) — rank {}'s {} and \
+                     rank {}'s {} have no happens-before path",
+                    race.file,
+                    race.first_op.name(),
+                    race.second_op.name(),
+                    race.start,
+                    race.end,
+                    first.rank,
+                    race.first_op.name(),
+                    second.rank,
+                    race.second_op.name(),
+                ),
+            )
+            .with_witness(hb::Witness { first, second }),
+        );
+    }
+    if races.suppressed > 0 {
+        report.hazards.push(Hazard::new(
+            Rule::HbIntervalRace,
+            None,
+            format!(
+                "{} further race(s) suppressed past the per-file cap",
+                races.suppressed
+            ),
+        ));
+    }
+}
+
+fn check_hb_coherence(cx: &Ctx<'_>, report: &mut Report) {
+    let found = hb::find_coherence_violations(cx.trace, &cx.hb, &cx.crashed);
+    for stale in found.stale_hits {
+        let first = cx.hb.event_ref(cx.trace, stale.write);
+        let second = cx.hb.event_ref(cx.trace, stale.hit);
+        report.hazards.push(
+            Hazard::new(
+                Rule::HbCoherence,
+                Some(stale.rank),
+                format!(
+                    "cache hit on \"{}\" served from an entry inserted before \
+                     rank {}'s write to the file — the write happens-before \
+                     the hit, so the rank served bytes it had causally \
+                     observed to be stale",
+                    stale.file, first.rank,
+                ),
+            )
+            .with_witness(hb::Witness { first, second }),
+        );
+    }
+    for skew in found.skews {
+        let first = cx.hb.event_ref(cx.trace, skew.done);
+        let second = cx.hb.event_ref(cx.trace, skew.admit);
+        report.hazards.push(
+            Hazard::new(
+                Rule::HbCoherence,
+                Some(second.rank),
+                format!(
+                    "request {} completed on rank {} happens-before its \
+                     admission on rank {} — the lockstep session ledger ran \
+                     backwards",
+                    skew.request_id, first.rank, second.rank,
+                ),
+            )
+            .with_witness(hb::Witness { first, second }),
+        );
+    }
 }
 
 fn coll_name(c: &CollCall) -> String {
@@ -311,6 +548,7 @@ fn check_collectives(lanes: &[Vec<&Event>], crashed: &[usize], report: &mut Repo
                 .collect::<Vec<_>>()
                 .join("; ");
             report.hazards.push(Hazard {
+                witness: None,
                 rule: Rule::CollectiveMatching,
                 rank: None,
                 detail: format!(
@@ -336,6 +574,7 @@ fn check_collectives(lanes: &[Vec<&Event>], crashed: &[usize], report: &mut Repo
                 .map(|(r, _)| r)
                 .collect();
             report.hazards.push(Hazard {
+                witness: None,
                 rule: Rule::CollectiveMatching,
                 rank: None,
                 detail: format!(
@@ -361,6 +600,7 @@ fn check_async_pairing(lanes: &[Vec<&Event>], crashed: &[usize], report: &mut Re
                 EventKind::AsyncComplete { op_id, .. } => {
                     if pending.remove(op_id).is_none() {
                         report.hazards.push(Hazard {
+                            witness: None,
                             rule: Rule::AsyncPairing,
                             rank: Some(rank),
                             detail: format!(
@@ -379,6 +619,7 @@ fn check_async_pairing(lanes: &[Vec<&Event>], crashed: &[usize], report: &mut Re
         if !pending.is_empty() && !crashed.contains(&rank) {
             for (op_id, t) in &pending {
                 report.hazards.push(Hazard {
+                    witness: None,
                     rule: Rule::AsyncPairing,
                     rank: Some(rank),
                     detail: format!(
@@ -437,6 +678,7 @@ fn check_seal_ordering(lanes: &[Vec<&Event>], report: &mut Report) {
                         let seal = completion_ns(prev, e);
                         if seal < data {
                             report.hazards.push(Hazard {
+                                witness: None,
                                 rule: Rule::SealOrdering,
                                 rank: Some(rank),
                                 detail: format!(
@@ -481,6 +723,7 @@ fn check_message_pairing(trace: &Trace, crashed: &[usize], report: &mut Report) 
             (from, format!("{} receive(s) never sent", recvs - sends))
         };
         report.hazards.push(Hazard {
+            witness: None,
             rule: Rule::MessagePairing,
             rank: Some(rank),
             detail: format!(
@@ -521,6 +764,7 @@ fn check_shuttle_conservation(trace: &Trace, crashed: &[usize], report: &mut Rep
             continue;
         }
         report.hazards.push(Hazard {
+            witness: None,
             rule: Rule::ShuttleConservation,
             rank: Some(dst),
             detail: format!(
@@ -563,6 +807,7 @@ fn check_redist_conservation(trace: &Trace, crashed: &[usize], report: &mut Repo
             continue;
         }
         report.hazards.push(Hazard {
+            witness: None,
             rule: Rule::RedistConservation,
             rank: Some(dst),
             detail: format!(
@@ -596,6 +841,7 @@ fn check_duplicate_suppression(trace: &Trace, report: &mut Report) {
             continue;
         }
         report.hazards.push(Hazard {
+            witness: None,
             rule: Rule::DuplicateSuppression,
             rank: Some(to),
             detail: format!(
@@ -630,6 +876,7 @@ fn check_retransmit_accounting(trace: &Trace, report: &mut Report) {
             continue;
         }
         report.hazards.push(Hazard {
+            witness: None,
             rule: Rule::RetransmitAccounting,
             rank: Some(from),
             detail: format!(
@@ -655,6 +902,7 @@ fn check_session_isolation(lanes: &[Vec<&Event>], crashed: &[usize], report: &mu
                     let duplicate = pending.insert(*request_id, e.vtime_ns).is_some();
                     if duplicate {
                         report.hazards.push(Hazard {
+                            witness: None,
                             rule: Rule::SessionIsolation,
                             rank: Some(rank),
                             detail: format!(
@@ -673,6 +921,7 @@ fn check_session_isolation(lanes: &[Vec<&Event>], crashed: &[usize], report: &mu
                         // Never crash-excused: rejected work must stay
                         // rejected, or shedding is not isolation.
                         report.hazards.push(Hazard {
+                            witness: None,
                             rule: Rule::SessionIsolation,
                             rank: Some(rank),
                             detail: format!(
@@ -687,6 +936,7 @@ fn check_session_isolation(lanes: &[Vec<&Event>], crashed: &[usize], report: &mu
                         done.insert(*request_id, e.vtime_ns);
                     } else if done.contains_key(request_id) {
                         report.hazards.push(Hazard {
+                            witness: None,
                             rule: Rule::SessionIsolation,
                             rank: Some(rank),
                             detail: format!(
@@ -697,6 +947,7 @@ fn check_session_isolation(lanes: &[Vec<&Event>], crashed: &[usize], report: &mu
                         });
                     } else {
                         report.hazards.push(Hazard {
+                            witness: None,
                             rule: Rule::SessionIsolation,
                             rank: Some(rank),
                             detail: format!(
@@ -713,6 +964,7 @@ fn check_session_isolation(lanes: &[Vec<&Event>], crashed: &[usize], report: &mu
         if !any_crash {
             for (request_id, t) in &pending {
                 report.hazards.push(Hazard {
+                    witness: None,
                     rule: Rule::SessionIsolation,
                     rank: Some(rank),
                     detail: format!(
@@ -746,6 +998,7 @@ fn check_cache_coherence(lanes: &[Vec<&Event>], report: &mut Report) {
                             // Wrong bytes regardless of crashes: never
                             // excused.
                             report.hazards.push(Hazard {
+                                witness: None,
                                 rule: Rule::CacheCoherence,
                                 rank: Some(rank),
                                 detail: format!(
@@ -1107,6 +1360,8 @@ mod tests {
                 peer,
                 bytes,
                 file: "s".into(),
+                op: PfsOp::Write,
+                offset: Some(0),
             },
         )
     }

@@ -1,50 +1,228 @@
 //! `dsverify` — static analysis over d/streams trace files.
 //!
 //! ```text
-//! dsverify TRACE.json [TRACE.json ...]
+//! dsverify [--rules LIST] [--explain] TRACE.json [TRACE.json ...]
+//! dsverify --diff A.dstrace.json B.dstrace.json
 //! ```
 //!
 //! Each argument is a `.dstrace.json` file (the portable event-log
 //! format produced by `Trace::to_events_json`, e.g. via the examples'
-//! `DSTREAMS_TRACE_OUT` environment variable). Every file is checked for
-//! collective-matching, async-pairing, seal-ordering, and
-//! message-pairing hazards.
+//! `DSTREAMS_TRACE_OUT` environment variable). Every file is checked
+//! against the full rule set of [`dstreams_verify::analyze`]: protocol
+//! discipline (collective matching, async pairing, seal ordering,
+//! message pairing, shuttle/redist conservation, duplicate suppression,
+//! retransmit accounting, session isolation, cache coherence) plus the
+//! happens-before rules (interval race detection and HB coherence)
+//! built on per-rank vector clocks.
 //!
-//! Exit status: 0 when every trace is clean, 1 when any hazard was
-//! found, 2 on usage, I/O, or parse errors.
+//! * `--rules a,b` restricts the run to a comma-separated subset of
+//!   rule names (see `--help` for the vocabulary). Unknown names are a
+//!   usage error.
+//! * `--explain` prints a witness chain under each hazard that carries
+//!   one: the two conflicting events with their incomparable vector
+//!   clocks — a machine-checkable proof that no happens-before path
+//!   orders them.
+//! * `--diff A B` switches to HB-aware structural diff mode: find each
+//!   rank's first divergent event, single out the causally-minimal one
+//!   (no other rank's divergence happens-before it), and print its
+//!   causal frontier — the last event per peer rank the origin depends
+//!   on, provably inside the shared prefix.
+//!
+//! A trace with zero events is a usage error ("nothing analyzed"), not
+//! a clean pass: an empty file proves nothing about the run it claims
+//! to describe.
+//!
+//! Exit status: 0 when every trace is clean (or the diffed traces are
+//! causally identical), 1 when any hazard or divergence was found, 2 on
+//! usage, I/O, parse, or empty-trace errors.
 
 use std::process::ExitCode;
 
 use dstreams_trace::Trace;
-use dstreams_verify::analyze;
+use dstreams_verify::{analyze_rules, diff_traces, Rule};
+
+fn print_help() {
+    eprintln!("usage: dsverify [--rules LIST] [--explain] TRACE.json [TRACE.json ...]");
+    eprintln!("       dsverify --diff A.dstrace.json B.dstrace.json");
+    eprintln!();
+    eprintln!("checks d/streams trace files for protocol hazards;");
+    eprintln!("exits 0 = clean, 1 = hazards/divergence found, 2 = bad input");
+    eprintln!();
+    eprintln!("options:");
+    eprintln!("  --rules LIST  run only the named rules (comma-separated):");
+    for rule in Rule::ALL {
+        eprintln!("                  {}", rule.name());
+    }
+    eprintln!("  --explain     print a witness chain under each hazard that has");
+    eprintln!("                one: the two conflicting events and their");
+    eprintln!("                incomparable vector clocks (proof of no");
+    eprintln!("                happens-before path)");
+    eprintln!("  --diff A B    HB-aware structural diff of two traces: report the");
+    eprintln!("                first causally-divergent event per rank, the");
+    eprintln!("                overall causal origin, and its witness frontier;");
+    eprintln!("                exit 0 iff the traces are causally identical");
+    eprintln!("  -h, --help    show this help");
+}
+
+fn load_trace(path: &str) -> Result<Trace, ExitCode> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("dsverify: {path}: {e}");
+        ExitCode::from(2)
+    })?;
+    let trace = Trace::from_events_json(&text).map_err(|e| {
+        eprintln!("dsverify: {path}: parse error: {e}");
+        ExitCode::from(2)
+    })?;
+    if trace.events.is_empty() {
+        eprintln!("dsverify: {path}: nothing analyzed: trace contains zero events");
+        eprintln!(
+            "dsverify: an empty trace proves nothing about the run; refusing to report it clean"
+        );
+        return Err(ExitCode::from(2));
+    }
+    Ok(trace)
+}
+
+fn run_diff(a_path: &str, b_path: &str) -> ExitCode {
+    let a = match load_trace(a_path) {
+        Ok(t) => t,
+        Err(code) => return code,
+    };
+    let b = match load_trace(b_path) {
+        Ok(t) => t,
+        Err(code) => return code,
+    };
+    let report = diff_traces(&a, &b);
+    println!("== diff {a_path} {b_path}");
+    println!(
+        "trace A: {} event(s) across {} rank(s); trace B: {} event(s) across {} rank(s)",
+        report.events.0, a.nprocs, report.events.1, b.nprocs
+    );
+    if let Some((na, nb)) = report.nprocs_mismatch {
+        println!("rank-count mismatch: trace A has {na} rank(s), trace B has {nb}");
+        println!("no per-rank comparison is possible");
+        eprintln!("dsverify: traces diverge (rank-count mismatch)");
+        return ExitCode::from(1);
+    }
+    if report.identical() {
+        println!("traces are causally identical: every rank's event sequence matches");
+        return ExitCode::SUCCESS;
+    }
+    for (rank, pos) in &report.divergent_ranks {
+        println!("rank {rank}: first structural divergence at lane position {pos}");
+    }
+    if let Some(origin) = &report.origin {
+        println!(
+            "first causally-divergent event: rank {} at lane position {} \
+             (no other rank's divergence happens-before it)",
+            origin.rank, origin.position
+        );
+        match &origin.a {
+            Some(e) => println!("  trace A: {e}"),
+            None => println!("  trace A: (lane ends here)"),
+        }
+        match &origin.b {
+            Some(e) => println!("  trace B: (lane continues) {e}"),
+            None => println!("  trace B: (lane ends here)"),
+        }
+        if origin.frontier.is_empty() {
+            println!("  causal frontier: empty — the event depends on no other rank");
+        } else {
+            println!("  causal frontier (last event per peer rank the origin depends on;");
+            println!("  everything at or before these points is identical in both traces):");
+            for e in &origin.frontier {
+                println!("    {e}");
+            }
+        }
+    }
+    eprintln!("dsverify: traces diverge");
+    ExitCode::from(1)
+}
 
 fn main() -> ExitCode {
-    let paths: Vec<String> = std::env::args().skip(1).collect();
-    if paths.is_empty() || paths.iter().any(|p| p == "-h" || p == "--help") {
-        eprintln!("usage: dsverify TRACE.json [TRACE.json ...]");
-        eprintln!("checks d/streams trace files for protocol hazards;");
-        eprintln!("exits 0 = clean, 1 = hazards found, 2 = bad input");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "-h" || a == "--help") {
+        print_help();
         return ExitCode::from(2);
     }
+
+    let mut rules: Vec<Rule> = Rule::ALL.to_vec();
+    let mut explain = false;
+    let mut diff: Option<(String, String)> = None;
+    let mut paths: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--rules" => {
+                let Some(list) = it.next() else {
+                    eprintln!("dsverify: --rules requires a comma-separated list of rule names");
+                    return ExitCode::from(2);
+                };
+                let mut selected = Vec::new();
+                for name in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+                    match Rule::from_name(name) {
+                        Some(rule) => selected.push(rule),
+                        None => {
+                            eprintln!("dsverify: unknown rule {name:?}; known rules:");
+                            for rule in Rule::ALL {
+                                eprintln!("  {}", rule.name());
+                            }
+                            return ExitCode::from(2);
+                        }
+                    }
+                }
+                if selected.is_empty() {
+                    eprintln!("dsverify: --rules selected no rules");
+                    return ExitCode::from(2);
+                }
+                rules = selected;
+            }
+            "--explain" => explain = true,
+            "--diff" => {
+                let (Some(a), Some(b)) = (it.next(), it.next()) else {
+                    eprintln!("dsverify: --diff requires exactly two trace files");
+                    return ExitCode::from(2);
+                };
+                diff = Some((a, b));
+            }
+            other if other.starts_with("--") => {
+                eprintln!("dsverify: unknown option {other:?} (see --help)");
+                return ExitCode::from(2);
+            }
+            _ => paths.push(arg),
+        }
+    }
+
+    if let Some((a, b)) = diff {
+        if !paths.is_empty() || explain {
+            eprintln!("dsverify: --diff takes exactly two traces and no other inputs");
+            return ExitCode::from(2);
+        }
+        return run_diff(&a, &b);
+    }
+
+    if paths.is_empty() {
+        eprintln!("dsverify: no trace files given (see --help)");
+        return ExitCode::from(2);
+    }
+
     let mut hazards = 0usize;
     for path in &paths {
-        let text = match std::fs::read_to_string(path) {
+        let trace = match load_trace(path) {
             Ok(t) => t,
-            Err(e) => {
-                eprintln!("dsverify: {path}: {e}");
-                return ExitCode::from(2);
-            }
+            Err(code) => return code,
         };
-        let trace = match Trace::from_events_json(&text) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("dsverify: {path}: parse error: {e}");
-                return ExitCode::from(2);
-            }
-        };
-        let report = analyze(&trace);
+        let report = analyze_rules(&trace, &rules);
         println!("== {path}");
         println!("{report}");
+        if explain {
+            for h in report.hazards.iter().filter(|h| h.witness.is_some()) {
+                println!("explain: {}: {}", h.rule, h.detail);
+                if let Some(w) = &h.witness {
+                    println!("{w}");
+                }
+            }
+        }
         hazards += report.hazards.len();
     }
     if hazards > 0 {

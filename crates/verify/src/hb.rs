@@ -1,0 +1,1640 @@
+//! Happens-before engine: per-rank vector clocks derived from trace
+//! events, and the partial-order analyses built on them.
+//!
+//! The rule-by-rule checks in [`crate::analyze`] are pairwise: each
+//! looks at one protocol in isolation and asks whether its ledger
+//! balances. This module asks the stronger question — *could these two
+//! operations have observed each other?* — by reconstructing the
+//! happens-before partial order of the run and stamping every event
+//! with a vector clock (FastTrack/Eraser tradition, applied to our
+//! deterministic `(rank, vtime, seq)` traces).
+//!
+//! ## HB edges (the verification model)
+//!
+//! * **Program order** — events on one rank in `(vtime, seq)` order.
+//! * **Message delivery** — the k-th `MsgSend` on a `(from, to, tag)`
+//!   channel happens-before the k-th `MsgRecv` on that channel. The
+//!   reliable-delivery layer logs exactly one `MsgSend` per logically
+//!   delivered message and resequences per edge (retransmits and
+//!   dropped duplicates appear as `Retransmit`/`DupDropped`, which
+//!   carry no edge), so FIFO count-matching is exact.
+//! * **Shuttle pairing** — the k-th outgoing `AggShuttle` toward a
+//!   peer happens-before the k-th incoming `AggShuttle` from the
+//!   shipper on that peer. Shuttle events annotate the message pair
+//!   they ride, so this mirrors the delivery edge one event later.
+//! * **Collectives as barrier merges** — each rank's i-th
+//!   `Collective` event joins the clocks of every rank that has an
+//!   i-th collective. This over-approximates rooted collectives
+//!   (a broadcast is not a barrier), which can only *hide* races,
+//!   never invent them; the collective-matching rule independently
+//!   verifies the rounds line up.
+//! * **Seal → dependent read** — a record's commit seal (a seal-sized
+//!   independent write) is the self-describing commit point readers
+//!   depend on: every later PFS read of that file joins the clock of
+//!   every seal committed before it in the engine's linearization.
+//! * **Async submit → complete** — same rank, covered by program
+//!   order.
+//!
+//! The engine streams in `O(events × ranks)`: one pass over the
+//! per-rank lanes with a round-robin worklist, each event stamped with
+//! one clock of `nprocs` components. `e ≺ f` then decides in `O(1)`
+//! by the epoch test `clock(f)[rank(e)] ≥ pos(e)`.
+//!
+//! Three analyses layer on the index: a PFS interval race detector
+//! ([`find_interval_races`]), HB-grounded cache/session coherence
+//! ([`find_coherence_violations`]), and an HB-aware structural trace
+//! diff ([`diff_traces`]). Each flagged finding carries a witness —
+//! the two conflicting events plus their incomparable vector clocks,
+//! the absence proof `dsverify --explain` prints.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::Bound;
+
+use dstreams_core::RecordSeal;
+use dstreams_trace::{Event, EventKind, PfsOp, Trace};
+
+/// A reference to one trace event plus its stamped vector clock — the
+/// unit a witness chain is made of.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventRef {
+    /// Rank the event occurred on.
+    pub rank: usize,
+    /// Virtual time of the event.
+    pub vtime_ns: u64,
+    /// Per-rank sequence number.
+    pub seq: u64,
+    /// Short human-readable summary of the event kind.
+    pub what: String,
+    /// The event's vector clock under the HB model.
+    pub clock: Vec<u64>,
+}
+
+impl fmt::Display for EventRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "rank {} t={}.{} {} — clock {:?}",
+            self.rank, self.vtime_ns, self.seq, self.what, self.clock
+        )
+    }
+}
+
+/// The absence proof attached to a flagged race: two conflicting
+/// events whose vector clocks are incomparable (neither component-wise
+/// dominates at the other's own rank), so no happens-before path
+/// orders them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Witness {
+    /// The earlier event in the engine's linearization.
+    pub first: EventRef,
+    /// The later, conflicting event.
+    pub second: EventRef,
+}
+
+impl fmt::Display for Witness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "    witness (incomparable vector clocks):")?;
+        writeln!(f, "      {}", self.first)?;
+        write!(f, "      {}", self.second)
+    }
+}
+
+/// Short summary of an event kind for witnesses and diff output.
+pub fn describe(kind: &EventKind) -> String {
+    match kind {
+        EventKind::MsgSend { to, tag, bytes, .. } => {
+            format!("msg_send to {to} tag {tag} ({bytes} B)")
+        }
+        EventKind::MsgRecv {
+            from, tag, bytes, ..
+        } => {
+            format!("msg_recv from {from} tag {tag} ({bytes} B)")
+        }
+        EventKind::Collective { op, root, .. } => match root {
+            Some(r) => format!("collective {}(root={r})", op.name()),
+            None => format!("collective {}", op.name()),
+        },
+        EventKind::PfsIndependent {
+            op,
+            file,
+            offset,
+            bytes,
+            ..
+        } => format!(
+            "pfs_independent {} \"{file}\" [{offset}, {})",
+            op.name(),
+            offset + bytes
+        ),
+        EventKind::PfsCollective {
+            op,
+            file,
+            offset,
+            bytes,
+            ..
+        } => format!(
+            "pfs_collective {} \"{file}\" [{offset}, {})",
+            op.name(),
+            offset + bytes
+        ),
+        EventKind::AggShuttle {
+            outgoing,
+            peer,
+            bytes,
+            file,
+            op,
+            ..
+        } => format!(
+            "agg_shuttle {} {} {peer} {} \"{file}\" ({bytes} B)",
+            if *outgoing { "to" } else { "from" },
+            if *outgoing { "->" } else { "<-" },
+            op.name()
+        ),
+        EventKind::RedistShuttle {
+            outgoing,
+            peer,
+            bytes,
+            ..
+        } => format!(
+            "redist_shuttle {} {peer} ({bytes} B)",
+            if *outgoing { "to" } else { "from" }
+        ),
+        EventKind::Retransmit { to, attempt, .. } => {
+            format!("retransmit to {to} attempt {attempt}")
+        }
+        EventKind::DupDropped { from, .. } => format!("dup_dropped from {from}"),
+        EventKind::SuspectPeer { peer, .. } => format!("suspect_peer {peer}"),
+        EventKind::FaultInjected { kind, file, .. } => {
+            format!("fault_injected {} \"{file}\"", kind.name())
+        }
+        EventKind::PfsRetry { attempt, .. } => format!("pfs_retry attempt {attempt}"),
+        EventKind::PhaseBegin { phase } => format!("phase_begin {}", phase.name()),
+        EventKind::PhaseEnd { phase } => format!("phase_end {}", phase.name()),
+        EventKind::AsyncSubmit { op_id, .. } => format!("async_submit op {op_id}"),
+        EventKind::AsyncComplete { op_id, .. } => format!("async_complete op {op_id}"),
+        EventKind::SessionAdmit { request_id, .. } => {
+            format!("session_admit request {request_id}")
+        }
+        EventKind::SessionShed { request_id, .. } => {
+            format!("session_shed request {request_id}")
+        }
+        EventKind::SessionDone { request_id, .. } => {
+            format!("session_done request {request_id}")
+        }
+        EventKind::CacheAccess { file, outcome, .. } => {
+            format!("cache_access {} \"{file}\"", outcome.name())
+        }
+    }
+}
+
+/// Per-event vector clocks for one trace: the happens-before index.
+#[derive(Debug, Clone)]
+pub struct HbIndex {
+    nprocs: usize,
+    /// Per-rank lanes of global event indices, `(vtime, seq)` order.
+    lanes: Vec<Vec<usize>>,
+    /// Rank of each event (copied out so HB queries need no trace).
+    ranks: Vec<usize>,
+    /// Stamped vector clock of each event (empty for events whose rank
+    /// is out of range — they take no part in the order).
+    clocks: Vec<Vec<u64>>,
+    /// 1-based per-rank position of each event (0 = unindexed).
+    pos: Vec<u64>,
+    /// Processing order: a linearization consistent with HB.
+    order: Vec<usize>,
+    /// Cross edges the scheduler had to force because the trace's
+    /// prerequisites could not be satisfied (a broken trace; zero on
+    /// anything the runtime actually produced).
+    forced_edges: usize,
+}
+
+/// What the scheduler decided about one lane head.
+enum Step {
+    /// Processed; advance this lane's cursor.
+    Advance,
+    /// Processed a whole collective round; cursors already advanced.
+    Batch,
+    /// Blocked on a cross edge not yet available.
+    Blocked,
+}
+
+impl HbIndex {
+    /// Build the index for a trace. One pass, `O(events × ranks)`.
+    pub fn build(trace: &Trace) -> HbIndex {
+        let n = trace.nprocs;
+        let ne = trace.events.len();
+        let mut lanes: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, e) in trace.events.iter().enumerate() {
+            if e.rank < n {
+                lanes[e.rank].push(i);
+            }
+        }
+        for lane in &mut lanes {
+            lane.sort_by_key(|&i| (trace.events[i].vtime_ns, trace.events[i].seq));
+        }
+
+        // Totals for orphan detection: a receive whose send count is
+        // exhausted (or a collective round nobody else reaches) must
+        // not block forever on a fixture's half-told story.
+        let mut chan_total: BTreeMap<(usize, usize, u32), u64> = BTreeMap::new();
+        let mut shuttle_total: BTreeMap<(usize, usize), u64> = BTreeMap::new();
+        let mut coll_total = vec![0u64; n];
+        for e in &trace.events {
+            if e.rank >= n {
+                continue;
+            }
+            match &e.kind {
+                EventKind::MsgSend { to, tag, .. } => {
+                    *chan_total.entry((e.rank, *to, *tag)).or_insert(0) += 1;
+                }
+                EventKind::AggShuttle {
+                    outgoing: true,
+                    peer,
+                    ..
+                } => {
+                    *shuttle_total.entry((e.rank, *peer)).or_insert(0) += 1;
+                }
+                EventKind::Collective { .. } => coll_total[e.rank] += 1,
+                _ => {}
+            }
+        }
+
+        let seal_len = RecordSeal::LEN as u64;
+        let mut idx = HbIndex {
+            nprocs: n,
+            lanes,
+            ranks: trace.events.iter().map(|e| e.rank).collect(),
+            clocks: vec![Vec::new(); ne],
+            pos: vec![0u64; ne],
+            order: Vec::with_capacity(ne),
+            forced_edges: 0,
+        };
+
+        let mut running: Vec<Vec<u64>> = vec![vec![0; n]; n];
+        let mut cursor = vec![0usize; n];
+        let mut sends_done: BTreeMap<(usize, usize, u32), Vec<usize>> = BTreeMap::new();
+        let mut recvs_done: BTreeMap<(usize, usize, u32), u64> = BTreeMap::new();
+        let mut shuttles_out_done: BTreeMap<(usize, usize), Vec<usize>> = BTreeMap::new();
+        let mut shuttles_in_done: BTreeMap<(usize, usize), u64> = BTreeMap::new();
+        let mut coll_done = vec![0u64; n];
+        let mut commit: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+
+        // One non-collective event: tick, join cross edges, stamp.
+        // `force` drops the cross-edge prerequisite (broken traces).
+        let process_one = |idx: &mut HbIndex,
+                           running: &mut Vec<Vec<u64>>,
+                           sends_done: &mut BTreeMap<(usize, usize, u32), Vec<usize>>,
+                           recvs_done: &mut BTreeMap<(usize, usize, u32), u64>,
+                           shuttles_out_done: &mut BTreeMap<(usize, usize), Vec<usize>>,
+                           shuttles_in_done: &mut BTreeMap<(usize, usize), u64>,
+                           commit: &mut BTreeMap<String, Vec<u64>>,
+                           trace: &Trace,
+                           r: usize,
+                           gi: usize| {
+            running[r][r] += 1;
+            match &trace.events[gi].kind {
+                EventKind::MsgRecv { from, tag, .. } => {
+                    let key = (*from, r, *tag);
+                    let k = *recvs_done.get(&key).unwrap_or(&0);
+                    if let Some(sends) = sends_done.get(&key) {
+                        if let Some(&send) = sends.get(k as usize) {
+                            join_into(&mut running[r], &idx.clocks[send]);
+                        }
+                    }
+                    *recvs_done.entry(key).or_insert(0) += 1;
+                }
+                EventKind::AggShuttle {
+                    outgoing: false,
+                    peer,
+                    ..
+                } => {
+                    let key = (*peer, r);
+                    let k = *shuttles_in_done.get(&key).unwrap_or(&0);
+                    if let Some(outs) = shuttles_out_done.get(&key) {
+                        if let Some(&out) = outs.get(k as usize) {
+                            join_into(&mut running[r], &idx.clocks[out]);
+                        }
+                    }
+                    *shuttles_in_done.entry(key).or_insert(0) += 1;
+                }
+                EventKind::PfsIndependent {
+                    op: PfsOp::Read,
+                    file,
+                    ..
+                }
+                | EventKind::PfsCollective {
+                    op: PfsOp::Read,
+                    file,
+                    ..
+                } => {
+                    if let Some(c) = commit.get(file.as_str()) {
+                        join_into(&mut running[r], c);
+                    }
+                }
+                _ => {}
+            }
+            idx.clocks[gi] = running[r].clone();
+            idx.pos[gi] = running[r][r];
+            idx.order.push(gi);
+            match &trace.events[gi].kind {
+                EventKind::MsgSend { to, tag, .. } => {
+                    sends_done.entry((r, *to, *tag)).or_default().push(gi);
+                }
+                EventKind::AggShuttle {
+                    outgoing: true,
+                    peer,
+                    ..
+                } => {
+                    shuttles_out_done.entry((r, *peer)).or_default().push(gi);
+                }
+                EventKind::PfsIndependent {
+                    op: PfsOp::Write,
+                    file,
+                    bytes,
+                    ..
+                } if *bytes == seal_len => {
+                    let slot = commit.entry(file.clone()).or_insert_with(|| vec![0; n]);
+                    join_into(slot, &idx.clocks[gi]);
+                }
+                _ => {}
+            }
+        };
+
+        loop {
+            let mut progressed = false;
+            let mut remaining = false;
+            for r in 0..n {
+                loop {
+                    if cursor[r] >= idx.lanes[r].len() {
+                        break;
+                    }
+                    let gi = idx.lanes[r][cursor[r]];
+                    let step = match &trace.events[gi].kind {
+                        EventKind::MsgRecv { from, tag, .. } => {
+                            let key = (*from, r, *tag);
+                            let k = *recvs_done.get(&key).unwrap_or(&0);
+                            let total = *chan_total.get(&key).unwrap_or(&0);
+                            let have = sends_done.get(&key).map(Vec::len).unwrap_or(0) as u64;
+                            if k >= total || have > k {
+                                Step::Advance
+                            } else {
+                                Step::Blocked
+                            }
+                        }
+                        EventKind::AggShuttle {
+                            outgoing: false,
+                            peer,
+                            ..
+                        } => {
+                            let key = (*peer, r);
+                            let k = *shuttles_in_done.get(&key).unwrap_or(&0);
+                            let total = *shuttle_total.get(&key).unwrap_or(&0);
+                            let have =
+                                shuttles_out_done.get(&key).map(Vec::len).unwrap_or(0) as u64;
+                            if k >= total || have > k {
+                                Step::Advance
+                            } else {
+                                Step::Blocked
+                            }
+                        }
+                        EventKind::Collective { .. } => {
+                            let round = coll_done[r];
+                            let participants: Vec<usize> =
+                                (0..n).filter(|&p| coll_total[p] > round).collect();
+                            let ready = participants.iter().all(|&p| {
+                                coll_done[p] == round
+                                    && cursor[p] < idx.lanes[p].len()
+                                    && matches!(
+                                        trace.events[idx.lanes[p][cursor[p]]].kind,
+                                        EventKind::Collective { .. }
+                                    )
+                            });
+                            if ready {
+                                // Barrier merge: tick every participant,
+                                // stamp them all with the join, and set
+                                // every running clock to it.
+                                for &p in &participants {
+                                    running[p][p] += 1;
+                                }
+                                let mut joined = running[participants[0]].clone();
+                                for &p in &participants[1..] {
+                                    join_into(&mut joined, &running[p]);
+                                }
+                                for &p in &participants {
+                                    let pg = idx.lanes[p][cursor[p]];
+                                    idx.clocks[pg] = joined.clone();
+                                    idx.pos[pg] = joined[p];
+                                    idx.order.push(pg);
+                                    running[p] = joined.clone();
+                                    coll_done[p] += 1;
+                                    cursor[p] += 1;
+                                }
+                                Step::Batch
+                            } else {
+                                Step::Blocked
+                            }
+                        }
+                        _ => Step::Advance,
+                    };
+                    match step {
+                        Step::Advance => {
+                            process_one(
+                                &mut idx,
+                                &mut running,
+                                &mut sends_done,
+                                &mut recvs_done,
+                                &mut shuttles_out_done,
+                                &mut shuttles_in_done,
+                                &mut commit,
+                                trace,
+                                r,
+                                gi,
+                            );
+                            cursor[r] += 1;
+                            progressed = true;
+                        }
+                        Step::Batch => {
+                            progressed = true;
+                        }
+                        Step::Blocked => {
+                            remaining = true;
+                            break;
+                        }
+                    }
+                }
+                if cursor[r] < idx.lanes[r].len() {
+                    remaining = true;
+                }
+            }
+            if !remaining {
+                break;
+            }
+            if !progressed {
+                // Deadlocked trace (impossible for runtime-produced
+                // traces): force the blocked head with the smallest
+                // (vtime, rank, seq) through without its cross edge so
+                // the pass always terminates.
+                let victim = (0..n)
+                    .filter(|&r| cursor[r] < idx.lanes[r].len())
+                    .min_by_key(|&r| {
+                        let e = &trace.events[idx.lanes[r][cursor[r]]];
+                        (e.vtime_ns, r, e.seq)
+                    })
+                    .expect("remaining work implies a blocked lane");
+                let gi = idx.lanes[victim][cursor[victim]];
+                if matches!(trace.events[gi].kind, EventKind::Collective { .. }) {
+                    coll_done[victim] += 1;
+                }
+                process_one(
+                    &mut idx,
+                    &mut running,
+                    &mut sends_done,
+                    &mut recvs_done,
+                    &mut shuttles_out_done,
+                    &mut shuttles_in_done,
+                    &mut commit,
+                    trace,
+                    victim,
+                    gi,
+                );
+                cursor[victim] += 1;
+                idx.forced_edges += 1;
+            }
+        }
+        idx
+    }
+
+    /// Ranks the index covers.
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// Cross edges that had to be forced (zero on well-formed traces).
+    pub fn forced_edges(&self) -> usize {
+        self.forced_edges
+    }
+
+    /// The engine's processing order: a linearization consistent with
+    /// the happens-before partial order.
+    pub fn order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// Per-rank lanes of global event indices in program order.
+    pub fn lanes(&self) -> &[Vec<usize>] {
+        &self.lanes
+    }
+
+    /// The stamped vector clock of event `i` (empty when the event's
+    /// rank was out of range).
+    pub fn clock(&self, i: usize) -> &[u64] {
+        &self.clocks[i]
+    }
+
+    /// `O(1)` epoch test: does event `a` happen strictly before `b`?
+    pub fn happens_before(&self, a: usize, b: usize) -> bool {
+        a != b
+            && self.pos[a] > 0
+            && self.clocks[b].get(self.ranks[a]).copied().unwrap_or(0) >= self.pos[a]
+    }
+
+    /// True when neither event happens-before the other.
+    pub fn concurrent(&self, a: usize, b: usize) -> bool {
+        !self.happens_before(a, b) && !self.happens_before(b, a)
+    }
+
+    /// Witness-ready reference for event `i`.
+    pub fn event_ref(&self, trace: &Trace, i: usize) -> EventRef {
+        let e = &trace.events[i];
+        EventRef {
+            rank: e.rank,
+            vtime_ns: e.vtime_ns,
+            seq: e.seq,
+            what: describe(&e.kind),
+            clock: self.clocks[i].clone(),
+        }
+    }
+}
+
+/// Component-wise maximum, in place.
+fn join_into(dst: &mut [u64], src: &[u64]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = (*d).max(*s);
+    }
+}
+
+/// One byte-interval file access extracted from an event. Aggregated
+/// traffic is attributed back to the originating rank through the
+/// `AggShuttle` op/offset metadata: an outgoing write shuttle is the
+/// origin's logical write of its slice, an incoming read shuttle is
+/// the requester's logical read of its span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileAccess {
+    /// Global index of the event the access belongs to.
+    pub event: usize,
+    /// Rank the access is attributed to.
+    pub rank: usize,
+    /// Read or write.
+    pub op: PfsOp,
+    /// File touched.
+    pub file: String,
+    /// Start of the byte interval (inclusive).
+    pub start: u64,
+    /// End of the byte interval (exclusive).
+    pub end: u64,
+}
+
+/// Extract the file access an event describes, if any. Shuttles
+/// captured before the attribution metadata existed (`offset: None`)
+/// cannot be mapped to an interval and yield nothing.
+pub fn file_access(i: usize, e: &Event) -> Option<FileAccess> {
+    match &e.kind {
+        EventKind::PfsIndependent {
+            op,
+            file,
+            offset,
+            bytes,
+            ..
+        }
+        | EventKind::PfsCollective {
+            op,
+            file,
+            offset,
+            bytes,
+            ..
+        } if *bytes > 0 => Some(FileAccess {
+            event: i,
+            rank: e.rank,
+            op: *op,
+            file: file.clone(),
+            start: *offset,
+            end: offset + bytes,
+        }),
+        EventKind::AggShuttle {
+            outgoing,
+            bytes,
+            file,
+            op,
+            offset: Some(o),
+            ..
+        } if *bytes > 0
+            && ((*outgoing && *op == PfsOp::Write) || (!*outgoing && *op == PfsOp::Read)) =>
+        {
+            Some(FileAccess {
+                event: i,
+                rank: e.rank,
+                op: *op,
+                file: file.clone(),
+                start: *o,
+                end: o + bytes,
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Two conflicting file-range accesses with no happens-before path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Race {
+    /// File both accesses touch.
+    pub file: String,
+    /// Event index of the access processed first.
+    pub first: usize,
+    /// Its direction.
+    pub first_op: PfsOp,
+    /// Event index of the conflicting access.
+    pub second: usize,
+    /// Its direction.
+    pub second_op: PfsOp,
+    /// Overlapping byte interval start.
+    pub start: u64,
+    /// Overlapping byte interval end (exclusive).
+    pub end: u64,
+}
+
+/// What the interval race detector covered and found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RaceReport {
+    /// Races found (capped per file; see `suppressed`).
+    pub races: Vec<Race>,
+    /// Byte-interval accesses checked.
+    pub accesses: usize,
+    /// Races beyond the per-file cap that were not materialized.
+    pub suppressed: usize,
+}
+
+/// Per-file cap on materialized races: one buggy pattern repeated per
+/// round would otherwise bury the report.
+const RACE_CAP_PER_FILE: usize = 4;
+
+struct WriteSeg {
+    end: u64,
+    event: usize,
+}
+
+struct ReadSeg {
+    end: u64,
+    /// Last read per rank (at most `nprocs` entries).
+    readers: Vec<usize>,
+}
+
+#[derive(Default)]
+struct FileStore {
+    writes: BTreeMap<u64, WriteSeg>,
+    reads: BTreeMap<u64, ReadSeg>,
+    reported: usize,
+}
+
+/// Keys of segments in a non-overlapping store intersecting `[s, e)`.
+fn overlapping_keys<S>(map: &BTreeMap<u64, S>, s: u64, e: u64, end_of: fn(&S) -> u64) -> Vec<u64> {
+    let mut keys = Vec::new();
+    if let Some((&k, seg)) = map.range(..=s).next_back() {
+        if end_of(seg) > s {
+            keys.push(k);
+        }
+    }
+    for (&k, _) in map.range((Bound::Excluded(s), Bound::Excluded(e))) {
+        keys.push(k);
+    }
+    keys
+}
+
+/// Flag every pair of conflicting file-range accesses (write/write or
+/// write/read on overlapping byte intervals) with no happens-before
+/// path. Accesses by ranks in `excused` (crashed, or declared dead by
+/// the failure detector) are skipped: a dying rank's tail is
+/// legitimately unordered with the survivors' recovery.
+pub fn find_interval_races(trace: &Trace, idx: &HbIndex, excused: &[usize]) -> RaceReport {
+    let mut stores: BTreeMap<&str, FileStore> = BTreeMap::new();
+    let mut report = RaceReport {
+        races: Vec::new(),
+        accesses: 0,
+        suppressed: 0,
+    };
+    for &gi in idx.order() {
+        let Some(acc) = file_access(gi, &trace.events[gi]) else {
+            continue;
+        };
+        if excused.contains(&acc.rank) {
+            continue;
+        }
+        report.accesses += 1;
+        let store = stores.entry(file_name(&trace.events[gi].kind)).or_default();
+        let (s, e) = (acc.start, acc.end);
+        let flag = |store: &mut FileStore,
+                    races: &mut Vec<Race>,
+                    suppressed: &mut usize,
+                    prev: usize,
+                    prev_op: PfsOp,
+                    os: u64,
+                    oe: u64| {
+            if excused.contains(&trace.events[prev].rank) {
+                return;
+            }
+            if store.reported >= RACE_CAP_PER_FILE {
+                *suppressed += 1;
+                return;
+            }
+            store.reported += 1;
+            races.push(Race {
+                file: acc.file.clone(),
+                first: prev,
+                first_op: prev_op,
+                second: gi,
+                second_op: acc.op,
+                start: os,
+                end: oe,
+            });
+        };
+        // Conflicts against settled writes (W/W or W-then-R).
+        for k in overlapping_keys(&store.writes, s, e, |w| w.end) {
+            let seg = &store.writes[&k];
+            let (os, oe) = (k.max(s), seg.end.min(e));
+            if !idx.happens_before(seg.event, gi) {
+                let prev = seg.event;
+                flag(
+                    store,
+                    &mut report.races,
+                    &mut report.suppressed,
+                    prev,
+                    PfsOp::Write,
+                    os,
+                    oe,
+                );
+            }
+        }
+        match acc.op {
+            PfsOp::Write => {
+                // Conflicts against unsuperseded reads (R-then-W).
+                for k in overlapping_keys(&store.reads, s, e, |r| r.end) {
+                    let seg = store.reads.remove(&k).expect("key from overlap scan");
+                    let (os, oe) = (k.max(s), seg.end.min(e));
+                    for &rev in &seg.readers {
+                        if !idx.happens_before(rev, gi) {
+                            flag(
+                                store,
+                                &mut report.races,
+                                &mut report.suppressed,
+                                rev,
+                                PfsOp::Read,
+                                os,
+                                oe,
+                            );
+                        }
+                    }
+                    if k < s {
+                        store.reads.insert(
+                            k,
+                            ReadSeg {
+                                end: s,
+                                readers: seg.readers.clone(),
+                            },
+                        );
+                    }
+                    if seg.end > e {
+                        store.reads.insert(
+                            e,
+                            ReadSeg {
+                                end: seg.end,
+                                readers: seg.readers,
+                            },
+                        );
+                    }
+                }
+                // The new write supersedes the overlapped coverage.
+                for k in overlapping_keys(&store.writes, s, e, |w| w.end) {
+                    let seg = store.writes.remove(&k).expect("key from overlap scan");
+                    if k < s {
+                        store.writes.insert(
+                            k,
+                            WriteSeg {
+                                end: s,
+                                event: seg.event,
+                            },
+                        );
+                    }
+                    if seg.end > e {
+                        store.writes.insert(
+                            e,
+                            WriteSeg {
+                                end: seg.end,
+                                event: seg.event,
+                            },
+                        );
+                    }
+                }
+                store.writes.insert(s, WriteSeg { end: e, event: gi });
+            }
+            PfsOp::Read => merge_read(&mut store.reads, trace, s, e, gi),
+        }
+    }
+    report
+}
+
+/// Record a read of `[s, e)` in the non-overlapping read store,
+/// splitting segments at the boundaries and replacing this rank's
+/// previous entry on the overlapped coverage.
+fn merge_read(reads: &mut BTreeMap<u64, ReadSeg>, trace: &Trace, s: u64, e: u64, ev: usize) {
+    let me = trace.events[ev].rank;
+    let mut pieces: Vec<(u64, u64, Vec<usize>)> = Vec::new();
+    for k in overlapping_keys(reads, s, e, |r| r.end) {
+        let seg = reads.remove(&k).expect("key from overlap scan");
+        if k < s {
+            reads.insert(
+                k,
+                ReadSeg {
+                    end: s,
+                    readers: seg.readers.clone(),
+                },
+            );
+        }
+        if seg.end > e {
+            reads.insert(
+                e,
+                ReadSeg {
+                    end: seg.end,
+                    readers: seg.readers.clone(),
+                },
+            );
+        }
+        pieces.push((k.max(s), seg.end.min(e), seg.readers));
+    }
+    pieces.sort_unstable_by_key(|p| p.0);
+    let mut cur = s;
+    for (os, oe, mut readers) in pieces {
+        if os > cur {
+            reads.insert(
+                cur,
+                ReadSeg {
+                    end: os,
+                    readers: vec![ev],
+                },
+            );
+        }
+        if let Some(slot) = readers.iter_mut().find(|x| trace.events[**x].rank == me) {
+            *slot = ev;
+        } else {
+            readers.push(ev);
+        }
+        reads.insert(os, ReadSeg { end: oe, readers });
+        cur = oe;
+    }
+    if cur < e {
+        reads.insert(
+            cur,
+            ReadSeg {
+                end: e,
+                readers: vec![ev],
+            },
+        );
+    }
+}
+
+fn file_name(kind: &EventKind) -> &str {
+    match kind {
+        EventKind::PfsIndependent { file, .. }
+        | EventKind::PfsCollective { file, .. }
+        | EventKind::AggShuttle { file, .. } => file.as_str(),
+        _ => "",
+    }
+}
+
+/// A cache hit served from an entry invalidated by a causally earlier
+/// write the serving rank had already (transitively) observed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaleHit {
+    /// Rank that served the hit.
+    pub rank: usize,
+    /// Cached file.
+    pub file: String,
+    /// Event index of the insert that created the entry.
+    pub insert: usize,
+    /// Event index of the invalidating write.
+    pub write: usize,
+    /// Event index of the stale hit.
+    pub hit: usize,
+}
+
+/// A session completion that causally precedes another rank's
+/// admission of the same request — the lockstep service ledger ran
+/// backwards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionSkew {
+    /// The skewed request.
+    pub request_id: u64,
+    /// Event index of the completion.
+    pub done: usize,
+    /// Event index of the admission it precedes.
+    pub admit: usize,
+}
+
+/// What the HB coherence pass covered and found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoherenceReport {
+    /// Stale cache hits under HB order.
+    pub stale_hits: Vec<StaleHit>,
+    /// Session admissions causally after a completion.
+    pub skews: Vec<SessionSkew>,
+    /// Cache hits checked.
+    pub hits_checked: usize,
+}
+
+/// Re-ground the cache-coherence and session-isolation checks on
+/// happens-before order: a hit is stale when *any* rank's write to the
+/// cached file is causally between the insert and the hit (the
+/// timestamp rule only sees same-rank writes), and a request's
+/// completion on one rank must never happen-before its admission on
+/// another. Session skews involving ranks in `excused` are skipped
+/// (recovery legitimately reshuffles the lockstep loop).
+pub fn find_coherence_violations(
+    trace: &Trace,
+    idx: &HbIndex,
+    excused: &[usize],
+) -> CoherenceReport {
+    use dstreams_trace::CacheOutcome;
+    let mut report = CoherenceReport {
+        stale_hits: Vec::new(),
+        skews: Vec::new(),
+        hits_checked: 0,
+    };
+
+    // All write accesses per file, any rank, in linearized order.
+    let mut writes_by_file: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for &gi in idx.order() {
+        if let Some(acc) = file_access(gi, &trace.events[gi]) {
+            if acc.op == PfsOp::Write {
+                writes_by_file.entry(acc.file).or_default().push(gi);
+            }
+        }
+    }
+
+    for lane in idx.lanes() {
+        // file -> insert event of the live entry on this rank.
+        let mut live: BTreeMap<&str, usize> = BTreeMap::new();
+        for &gi in lane {
+            match &trace.events[gi].kind {
+                EventKind::CacheAccess { file, outcome, .. } => match outcome {
+                    CacheOutcome::Insert => {
+                        live.insert(file.as_str(), gi);
+                    }
+                    CacheOutcome::Evict | CacheOutcome::Invalidate => {
+                        live.remove(file.as_str());
+                    }
+                    CacheOutcome::Hit => {
+                        let Some(&ins) = live.get(file.as_str()) else {
+                            // No live entry: the timestamp rule already
+                            // owns this case.
+                            continue;
+                        };
+                        report.hits_checked += 1;
+                        for &w in writes_by_file.get(file.as_str()).into_iter().flatten() {
+                            if !idx.happens_before(w, ins) && idx.happens_before(w, gi) {
+                                report.stale_hits.push(StaleHit {
+                                    rank: trace.events[gi].rank,
+                                    file: file.clone(),
+                                    insert: ins,
+                                    write: w,
+                                    hit: gi,
+                                });
+                                break;
+                            }
+                        }
+                    }
+                    CacheOutcome::Miss => {}
+                },
+                // Same-lane PFS writes invalidate, as in the timestamp
+                // rule; cross-rank writes are what the HB pass adds.
+                EventKind::PfsIndependent {
+                    op: PfsOp::Write,
+                    file,
+                    ..
+                }
+                | EventKind::PfsCollective {
+                    op: PfsOp::Write,
+                    file,
+                    ..
+                } => {
+                    live.remove(file.as_str());
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // request id -> (admit events, done events) across all ranks.
+    let mut sessions: BTreeMap<u64, (Vec<usize>, Vec<usize>)> = BTreeMap::new();
+    for (i, e) in trace.events.iter().enumerate() {
+        match &e.kind {
+            EventKind::SessionAdmit { request_id, .. } => {
+                sessions.entry(*request_id).or_default().0.push(i);
+            }
+            EventKind::SessionDone { request_id, .. } => {
+                sessions.entry(*request_id).or_default().1.push(i);
+            }
+            _ => {}
+        }
+    }
+    for (id, (admits, dones)) in &sessions {
+        for &d in dones {
+            for &a in admits {
+                if trace.events[d].rank == trace.events[a].rank {
+                    continue;
+                }
+                if excused.contains(&trace.events[d].rank)
+                    || excused.contains(&trace.events[a].rank)
+                {
+                    continue;
+                }
+                if idx.happens_before(d, a) {
+                    report.skews.push(SessionSkew {
+                        request_id: *id,
+                        done: d,
+                        admit: a,
+                    });
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Where two traces first causally diverge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Rank whose lane holds the origin event.
+    pub rank: usize,
+    /// 0-based position in that rank's lane.
+    pub position: usize,
+    /// The event trace A has at that position (`None`: lane ended).
+    pub a: Option<EventRef>,
+    /// The event trace B has at that position (`None`: lane ended).
+    pub b: Option<EventRef>,
+    /// The causal frontier: per other rank, the last event the origin
+    /// depends on — provably inside the shared prefix, so everything
+    /// the origin could have observed is identical in both traces.
+    pub frontier: Vec<EventRef>,
+}
+
+/// Result of an HB-aware structural diff of two traces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiffReport {
+    /// `Some((a, b))` when the traces disagree on rank count (no
+    /// per-rank comparison is possible).
+    pub nprocs_mismatch: Option<(usize, usize)>,
+    /// Events in trace A / trace B.
+    pub events: (usize, usize),
+    /// Per rank, the first structurally divergent lane position.
+    pub divergent_ranks: Vec<(usize, usize)>,
+    /// The HB-minimal divergence: the first causally-divergent event —
+    /// no other rank's divergence happens-before it.
+    pub origin: Option<Divergence>,
+}
+
+impl DiffReport {
+    /// True when the traces are structurally identical.
+    pub fn identical(&self) -> bool {
+        self.nprocs_mismatch.is_none() && self.origin.is_none()
+    }
+}
+
+/// HB-aware structural diff: find each rank's first divergent event
+/// (comparing event kinds positionally per lane), then single out the
+/// causally-minimal one and its witness chain. Two same-seed replays
+/// report zero divergence; a seeded fault pinpoints the origin.
+pub fn diff_traces(a: &Trace, b: &Trace) -> DiffReport {
+    if a.nprocs != b.nprocs {
+        return DiffReport {
+            nprocs_mismatch: Some((a.nprocs, b.nprocs)),
+            events: (a.events.len(), b.events.len()),
+            divergent_ranks: Vec::new(),
+            origin: None,
+        };
+    }
+    let ia = HbIndex::build(a);
+    let ib = HbIndex::build(b);
+    let mut divergent: Vec<(usize, usize)> = Vec::new();
+    for r in 0..a.nprocs {
+        let (la, lb) = (&ia.lanes()[r], &ib.lanes()[r]);
+        let shared = la
+            .iter()
+            .zip(lb.iter())
+            .take_while(|(&x, &y)| a.events[x].kind == b.events[y].kind)
+            .count();
+        if shared < la.len() || shared < lb.len() {
+            divergent.push((r, shared));
+        }
+    }
+    if divergent.is_empty() {
+        return DiffReport {
+            nprocs_mismatch: None,
+            events: (a.events.len(), b.events.len()),
+            divergent_ranks: divergent,
+            origin: None,
+        };
+    }
+
+    // The candidate clock: from whichever trace has an event at the
+    // divergent position (prefer A). Frontier entries below each
+    // candidate's position lie in the shared prefix, so clocks from
+    // either trace agree there.
+    let clock_of = |&(r, p): &(usize, usize)| -> Option<(bool, usize)> {
+        if let Some(&gi) = ia.lanes()[r].get(p) {
+            Some((true, gi))
+        } else {
+            ib.lanes()[r].get(p).map(|&gi| (false, gi))
+        }
+    };
+    let dominated = |c: &(usize, usize)| -> bool {
+        let Some((in_a, gi)) = clock_of(c) else {
+            return false;
+        };
+        let clock = if in_a { ia.clock(gi) } else { ib.clock(gi) };
+        divergent
+            .iter()
+            .any(|&(s, p)| (s, p) != *c && clock.get(s).copied().unwrap_or(0) > p as u64)
+    };
+    let &(rank, position) = divergent
+        .iter()
+        .find(|c| !dominated(c))
+        .unwrap_or(&divergent[0]);
+
+    let (in_a, gi) = clock_of(&(rank, position)).expect("divergent lane has an event");
+    let (trace, idx) = if in_a { (a, &ia) } else { (b, &ib) };
+    let clock = idx.clock(gi).to_vec();
+    let mut frontier = Vec::new();
+    for (s, &cnt) in clock.iter().enumerate() {
+        if s == rank || cnt == 0 {
+            continue;
+        }
+        if let Some(&fi) = idx.lanes()[s].get(cnt as usize - 1) {
+            frontier.push(idx.event_ref(trace, fi));
+        }
+    }
+    let origin = Divergence {
+        rank,
+        position,
+        a: ia.lanes()[rank].get(position).map(|&x| ia.event_ref(a, x)),
+        b: ib.lanes()[rank].get(position).map(|&x| ib.event_ref(b, x)),
+        frontier,
+    };
+    DiffReport {
+        nprocs_mismatch: None,
+        events: (a.events.len(), b.events.len()),
+        divergent_ranks: divergent,
+        origin: Some(origin),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dstreams_trace::CollOp;
+
+    fn ev(rank: usize, t: u64, seq: u64, kind: EventKind) -> Event {
+        Event {
+            rank,
+            vtime_ns: t,
+            seq,
+            kind,
+        }
+    }
+
+    fn trace(nprocs: usize, events: Vec<Event>) -> Trace {
+        Trace { nprocs, events }
+    }
+
+    fn send(rank: usize, t: u64, seq: u64, to: usize, tag: u32) -> Event {
+        ev(
+            rank,
+            t,
+            seq,
+            EventKind::MsgSend {
+                to,
+                tag,
+                bytes: 8,
+                collective: false,
+            },
+        )
+    }
+
+    fn recv(rank: usize, t: u64, seq: u64, from: usize, tag: u32) -> Event {
+        ev(
+            rank,
+            t,
+            seq,
+            EventKind::MsgRecv {
+                from,
+                tag,
+                bytes: 8,
+                collective: false,
+            },
+        )
+    }
+
+    fn coll(rank: usize, t: u64, seq: u64) -> Event {
+        ev(
+            rank,
+            t,
+            seq,
+            EventKind::Collective {
+                op: CollOp::Barrier,
+                root: None,
+                bytes: 0,
+            },
+        )
+    }
+
+    fn write(rank: usize, t: u64, seq: u64, file: &str, offset: u64, bytes: u64) -> Event {
+        ev(
+            rank,
+            t,
+            seq,
+            EventKind::PfsIndependent {
+                op: PfsOp::Write,
+                file: file.into(),
+                offset,
+                bytes,
+                regime: dstreams_trace::IndependentRegime::Cached,
+                cost_ns: 10,
+            },
+        )
+    }
+
+    fn read(rank: usize, t: u64, seq: u64, file: &str, offset: u64, bytes: u64) -> Event {
+        ev(
+            rank,
+            t,
+            seq,
+            EventKind::PfsIndependent {
+                op: PfsOp::Read,
+                file: file.into(),
+                offset,
+                bytes,
+                regime: dstreams_trace::IndependentRegime::Cached,
+                cost_ns: 10,
+            },
+        )
+    }
+
+    #[test]
+    fn program_order_is_happens_before() {
+        let t = trace(
+            1,
+            vec![write(0, 10, 0, "f", 0, 8), write(0, 20, 1, "f", 8, 8)],
+        );
+        let idx = HbIndex::build(&t);
+        assert!(idx.happens_before(0, 1));
+        assert!(!idx.happens_before(1, 0));
+        assert!(!idx.concurrent(0, 1));
+    }
+
+    #[test]
+    fn message_edge_orders_across_ranks() {
+        // w(0) ; send(0->1) ; recv(1) ; w(1): the two writes are ordered.
+        let t = trace(
+            2,
+            vec![
+                write(0, 10, 0, "f", 0, 8),
+                send(0, 11, 1, 1, 7),
+                recv(1, 12, 0, 0, 7),
+                write(1, 13, 1, "f", 0, 8),
+            ],
+        );
+        let idx = HbIndex::build(&t);
+        assert!(idx.happens_before(0, 3));
+        assert_eq!(idx.forced_edges(), 0);
+        let races = find_interval_races(&t, &idx, &[]);
+        assert!(races.races.is_empty(), "{races:?}");
+        assert_eq!(races.accesses, 2);
+    }
+
+    #[test]
+    fn unordered_overlapping_writes_race() {
+        let t = trace(
+            2,
+            vec![write(0, 10, 0, "f", 0, 100), write(1, 10, 0, "f", 50, 100)],
+        );
+        let idx = HbIndex::build(&t);
+        assert!(idx.concurrent(0, 1));
+        let report = find_interval_races(&t, &idx, &[]);
+        assert_eq!(report.races.len(), 1, "{report:?}");
+        let race = &report.races[0];
+        assert_eq!((race.start, race.end), (50, 100));
+        assert_eq!(race.first_op, PfsOp::Write);
+        assert_eq!(race.second_op, PfsOp::Write);
+    }
+
+    #[test]
+    fn disjoint_unordered_writes_do_not_race() {
+        let t = trace(
+            2,
+            vec![write(0, 10, 0, "f", 0, 50), write(1, 10, 0, "f", 50, 50)],
+        );
+        let idx = HbIndex::build(&t);
+        let report = find_interval_races(&t, &idx, &[]);
+        assert!(report.races.is_empty(), "{report:?}");
+    }
+
+    #[test]
+    fn barrier_merge_orders_writes() {
+        let t = trace(
+            2,
+            vec![
+                write(0, 10, 0, "f", 0, 100),
+                coll(0, 20, 1),
+                coll(1, 20, 0),
+                write(1, 30, 1, "f", 50, 100),
+            ],
+        );
+        let idx = HbIndex::build(&t);
+        assert!(idx.happens_before(0, 3));
+        let report = find_interval_races(&t, &idx, &[]);
+        assert!(report.races.is_empty(), "{report:?}");
+    }
+
+    #[test]
+    fn unordered_write_read_overlap_races() {
+        let t = trace(
+            2,
+            vec![write(0, 10, 0, "f", 0, 100), read(1, 10, 0, "f", 90, 20)],
+        );
+        let idx = HbIndex::build(&t);
+        let report = find_interval_races(&t, &idx, &[]);
+        assert_eq!(report.races.len(), 1, "{report:?}");
+        assert_eq!((report.races[0].start, report.races[0].end), (90, 100));
+    }
+
+    #[test]
+    fn seal_orders_dependent_read() {
+        // Writer seals (20-byte independent write), reader reads the
+        // sealed data: the seal edge orders them with no message.
+        let seal_len = RecordSeal::LEN as u64;
+        let t = trace(
+            2,
+            vec![
+                write(0, 10, 0, "f", 100, 64),
+                write(0, 20, 1, "f", 0, seal_len),
+                read(1, 30, 0, "f", 100, 64),
+            ],
+        );
+        let idx = HbIndex::build(&t);
+        assert!(idx.happens_before(0, 2), "data write must precede read");
+        let report = find_interval_races(&t, &idx, &[]);
+        assert!(report.races.is_empty(), "{report:?}");
+    }
+
+    #[test]
+    fn read_then_unordered_write_races() {
+        // Reader first in linearization, writer concurrent: R/W race.
+        let t = trace(
+            2,
+            vec![read(0, 10, 0, "f", 0, 64), write(1, 10, 0, "f", 0, 64)],
+        );
+        let idx = HbIndex::build(&t);
+        let report = find_interval_races(&t, &idx, &[]);
+        assert_eq!(report.races.len(), 1, "{report:?}");
+        assert_eq!(report.races[0].first_op, PfsOp::Read);
+        assert_eq!(report.races[0].second_op, PfsOp::Write);
+    }
+
+    #[test]
+    fn crashed_rank_accesses_are_excused() {
+        let t = trace(
+            2,
+            vec![write(0, 10, 0, "f", 0, 100), write(1, 10, 0, "f", 50, 100)],
+        );
+        let idx = HbIndex::build(&t);
+        let report = find_interval_races(&t, &idx, &[1]);
+        assert!(report.races.is_empty(), "{report:?}");
+    }
+
+    #[test]
+    fn shuttle_pairing_orders_logical_and_physical_writes() {
+        // Origin ships its slice (logical write), aggregator claims it
+        // and issues the coalesced physical write: ordered, no race.
+        let t = trace(
+            2,
+            vec![
+                send(0, 10, 0, 1, 900),
+                ev(
+                    0,
+                    10,
+                    1,
+                    EventKind::AggShuttle {
+                        outgoing: true,
+                        peer: 1,
+                        bytes: 64,
+                        file: "f".into(),
+                        op: PfsOp::Write,
+                        offset: Some(128),
+                    },
+                ),
+                recv(1, 12, 0, 0, 900),
+                ev(
+                    1,
+                    12,
+                    1,
+                    EventKind::AggShuttle {
+                        outgoing: false,
+                        peer: 0,
+                        bytes: 64,
+                        file: "f".into(),
+                        op: PfsOp::Write,
+                        offset: Some(128),
+                    },
+                ),
+                write(1, 20, 2, "f", 0, 256),
+            ],
+        );
+        let idx = HbIndex::build(&t);
+        assert!(
+            idx.happens_before(1, 4),
+            "shuttle edge must order the writes"
+        );
+        let report = find_interval_races(&t, &idx, &[]);
+        assert!(report.races.is_empty(), "{report:?}");
+    }
+
+    #[test]
+    fn stale_hit_under_hb_is_found() {
+        use dstreams_trace::CacheOutcome;
+        let cache = |rank: usize, t: u64, seq: u64, outcome: CacheOutcome| {
+            ev(
+                rank,
+                t,
+                seq,
+                EventKind::CacheAccess {
+                    tenant: 1,
+                    file: "f".into(),
+                    outcome,
+                    bytes: 64,
+                },
+            )
+        };
+        // Rank 0 caches f; rank 1 rewrites f and tells rank 0; rank 0
+        // still serves a hit.
+        let t = trace(
+            2,
+            vec![
+                cache(0, 10, 0, CacheOutcome::Insert),
+                write(1, 11, 0, "f", 0, 64),
+                send(1, 12, 1, 0, 5),
+                recv(0, 13, 1, 1, 5),
+                cache(0, 14, 2, CacheOutcome::Hit),
+            ],
+        );
+        let idx = HbIndex::build(&t);
+        let report = find_coherence_violations(&t, &idx, &[]);
+        assert_eq!(report.stale_hits.len(), 1, "{report:?}");
+        assert_eq!(report.stale_hits[0].rank, 0);
+        // Without the message the write is concurrent: unknowable, clean.
+        let t2 = trace(
+            2,
+            vec![
+                cache(0, 10, 0, CacheOutcome::Insert),
+                write(1, 11, 0, "f", 0, 64),
+                cache(0, 14, 2, CacheOutcome::Hit),
+            ],
+        );
+        let idx2 = HbIndex::build(&t2);
+        let report2 = find_coherence_violations(&t2, &idx2, &[]);
+        assert!(report2.stale_hits.is_empty(), "{report2:?}");
+    }
+
+    #[test]
+    fn session_done_before_admit_is_skew() {
+        let admit = |rank: usize, t: u64, seq: u64| {
+            ev(
+                rank,
+                t,
+                seq,
+                EventKind::SessionAdmit {
+                    request_id: 9,
+                    tenant: 1,
+                    class: dstreams_trace::QosLevel::Standard,
+                    op: dstreams_trace::ServeOp::Read,
+                    queue_depth: 1,
+                },
+            )
+        };
+        let done = |rank: usize, t: u64, seq: u64| {
+            ev(
+                rank,
+                t,
+                seq,
+                EventKind::SessionDone {
+                    request_id: 9,
+                    tenant: 1,
+                    class: dstreams_trace::QosLevel::Standard,
+                    op: dstreams_trace::ServeOp::Read,
+                    latency_ns: 10,
+                    ok: true,
+                },
+            )
+        };
+        let t = trace(
+            2,
+            vec![
+                admit(0, 10, 0),
+                done(0, 11, 1),
+                send(0, 12, 2, 1, 3),
+                recv(1, 13, 0, 0, 3),
+                admit(1, 14, 1),
+                done(1, 15, 2),
+            ],
+        );
+        let idx = HbIndex::build(&t);
+        let report = find_coherence_violations(&t, &idx, &[]);
+        assert_eq!(report.skews.len(), 1, "{report:?}");
+        assert_eq!(report.skews[0].request_id, 9);
+    }
+
+    #[test]
+    fn identical_traces_self_diff_clean() {
+        let t = trace(
+            2,
+            vec![
+                write(0, 10, 0, "f", 0, 8),
+                coll(0, 20, 1),
+                coll(1, 20, 0),
+                read(1, 30, 1, "f", 0, 8),
+            ],
+        );
+        let d = diff_traces(&t, &t.clone());
+        assert!(d.identical(), "{d:?}");
+    }
+
+    #[test]
+    fn seeded_divergence_pinpoints_origin() {
+        let base = vec![
+            coll(0, 10, 0),
+            coll(1, 10, 0),
+            write(0, 20, 1, "f", 0, 8),
+            write(1, 20, 1, "f", 8, 8),
+        ];
+        let a = trace(2, base.clone());
+        let mut evs = base;
+        // Rank 1 writes somewhere else after the shared barrier.
+        evs[3] = write(1, 20, 1, "f", 64, 8);
+        let b = trace(2, evs);
+        let d = diff_traces(&a, &b);
+        assert!(!d.identical());
+        let o = d.origin.expect("divergence must have an origin");
+        assert_eq!(o.rank, 1);
+        assert_eq!(o.position, 1, "barrier is shared; write diverges");
+        assert!(o.a.is_some() && o.b.is_some());
+        // The frontier references rank 0's barrier — shared prefix.
+        assert_eq!(o.frontier.len(), 1);
+        assert_eq!(o.frontier[0].rank, 0);
+    }
+
+    #[test]
+    fn diff_flags_nprocs_mismatch() {
+        let a = trace(2, vec![]);
+        let b = trace(3, vec![]);
+        let d = diff_traces(&a, &b);
+        assert!(!d.identical());
+        assert_eq!(d.nprocs_mismatch, Some((2, 3)));
+    }
+
+    #[test]
+    fn diff_flags_truncated_lane() {
+        let a = trace(
+            1,
+            vec![write(0, 10, 0, "f", 0, 8), write(0, 20, 1, "f", 8, 8)],
+        );
+        let b = trace(1, vec![write(0, 10, 0, "f", 0, 8)]);
+        let d = diff_traces(&a, &b);
+        let o = d.origin.expect("truncation is a divergence");
+        assert_eq!((o.rank, o.position), (0, 1));
+        assert!(o.a.is_some());
+        assert!(o.b.is_none());
+    }
+
+    #[test]
+    fn forced_edges_only_on_broken_traces() {
+        // A receive whose send exists but can never be processed first
+        // (the sender itself blocks on a receive from the receiver —
+        // a cycle no real execution can produce).
+        let t = trace(
+            2,
+            vec![
+                recv(0, 10, 0, 1, 1),
+                send(0, 11, 1, 1, 2),
+                recv(1, 10, 0, 0, 2),
+                send(1, 11, 1, 0, 1),
+            ],
+        );
+        let idx = HbIndex::build(&t);
+        assert!(idx.forced_edges() > 0);
+        assert_eq!(idx.order().len(), 4, "every event still gets a clock");
+    }
+
+    #[test]
+    fn empty_trace_builds_empty_index() {
+        let t = trace(2, vec![]);
+        let idx = HbIndex::build(&t);
+        assert_eq!(idx.order().len(), 0);
+        assert_eq!(idx.forced_edges(), 0);
+    }
+}

@@ -17,13 +17,19 @@
 //!   async submit/complete pairing, seal ordering, and divergence
 //!   (hold-and-wait) hazards. The `dsverify` binary runs it on
 //!   `.dstrace.json` files.
+//! * [`hb`] — a happens-before engine (vector clocks in the
+//!   FastTrack/Eraser tradition) powering a PFS interval race
+//!   detector, HB-grounded cache/session coherence, and the
+//!   `dsverify --diff` structural trace diff.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod analyze;
+pub mod hb;
 pub mod model;
 pub mod typestate;
 
-pub use analyze::{analyze, Hazard, Report, Rule};
+pub use analyze::{analyze, analyze_rules, Hazard, Report, Rule};
+pub use hb::{diff_traces, DiffReport, EventRef, HbIndex, Witness};
 pub use model::{check_istream_parity, check_ostream_parity, IStreamOp, OStreamOp, ParityReport};

@@ -367,3 +367,132 @@ fn live_service_trace_round_trips_clean_through_dsverify() {
         .unwrap();
     assert_eq!(out.status.code(), Some(0), "{out:?}");
 }
+
+#[test]
+fn unordered_overlap_write_fixture_is_flagged() {
+    let report = analyze(&load("unordered_overlap_write.dstrace.json"));
+    assert_eq!(report.hazards.len(), 1, "{report}");
+    let h = &report.hazards[0];
+    assert_eq!(h.rule, Rule::HbIntervalRace);
+    assert!(h.detail.contains("write/write race"), "{h}");
+    assert!(h.detail.contains("[50, 100)"), "{h}");
+    assert!(h.witness.is_some(), "{h}");
+}
+
+#[test]
+fn hb_stale_cache_hit_fixture_is_flagged() {
+    let report = analyze(&load("hb_stale_cache_hit.dstrace.json"));
+    assert_eq!(report.hazards.len(), 1, "{report}");
+    let h = &report.hazards[0];
+    assert_eq!(h.rule, Rule::HbCoherence);
+    assert_eq!(h.rank, Some(0));
+    assert!(h.detail.contains("t1.0"), "{h}");
+    assert!(h.witness.is_some(), "{h}");
+}
+
+#[test]
+fn dsverify_explain_prints_witness_chain() {
+    let out = Command::new(env!("CARGO_BIN_EXE_dsverify"))
+        .arg("--explain")
+        .arg(fixture("unordered_overlap_write.dstrace.json"))
+        .arg(fixture("hb_stale_cache_hit.dstrace.json"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("hb-interval-race"), "{stdout}");
+    assert!(stdout.contains("hb-coherence"), "{stdout}");
+    assert!(
+        stdout.contains("witness (incomparable vector clocks)"),
+        "{stdout}"
+    );
+    // Both conflicting events are shown with their vector clocks.
+    assert!(stdout.contains("clock ["), "{stdout}");
+}
+
+#[test]
+fn dsverify_rules_subset_selects_rules() {
+    // With only collective-matching selected, the race fixture is clean.
+    let out = Command::new(env!("CARGO_BIN_EXE_dsverify"))
+        .arg("--rules")
+        .arg("collective-matching")
+        .arg(fixture("unordered_overlap_write.dstrace.json"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+
+    // The race rule alone still flags it.
+    let out = Command::new(env!("CARGO_BIN_EXE_dsverify"))
+        .arg("--rules")
+        .arg("hb-interval-race")
+        .arg(fixture("unordered_overlap_write.dstrace.json"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+
+    // Unknown rule names are a usage error listing the vocabulary.
+    let out = Command::new(env!("CARGO_BIN_EXE_dsverify"))
+        .arg("--rules")
+        .arg("no-such-rule")
+        .arg(fixture("unordered_overlap_write.dstrace.json"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("unknown rule"), "{stderr}");
+    assert!(stderr.contains("hb-interval-race"), "{stderr}");
+}
+
+#[test]
+fn dsverify_empty_trace_exits_2_nothing_analyzed() {
+    let dir = std::env::temp_dir().join("dsverify-empty-trace");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("empty.dstrace.json");
+    std::fs::write(
+        &path,
+        "{\"format\": \"dstrace\", \"version\": 1, \"nprocs\": 2, \"events\": []}",
+    )
+    .unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_dsverify"))
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("nothing analyzed"), "{stderr}");
+}
+
+#[test]
+fn dsverify_diff_identical_traces_exits_0() {
+    let out = Command::new(env!("CARGO_BIN_EXE_dsverify"))
+        .arg("--diff")
+        .arg(fixture("diff_seed_a.dstrace.json"))
+        .arg(fixture("diff_seed_a.dstrace.json"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("causally identical"), "{stdout}");
+}
+
+#[test]
+fn dsverify_diff_seeded_divergence_pinpoints_origin() {
+    let out = Command::new(env!("CARGO_BIN_EXE_dsverify"))
+        .arg("--diff")
+        .arg(fixture("diff_seed_a.dstrace.json"))
+        .arg(fixture("diff_seed_b.dstrace.json"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    // The only divergent lane is rank 1's, at its second event (the
+    // write whose byte count differs between the seeds).
+    assert!(
+        stdout.contains("first causally-divergent event: rank 1 at lane position 1"),
+        "{stdout}"
+    );
+    // The causal frontier names rank 0's barrier — the last event the
+    // origin depends on, provably inside the shared prefix.
+    assert!(stdout.contains("causal frontier"), "{stdout}");
+    assert!(stdout.contains("collective barrier"), "{stdout}");
+}

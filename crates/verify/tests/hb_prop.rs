@@ -1,0 +1,95 @@
+//! Soundness properties of the happens-before engine over live traces.
+//!
+//! Every fault-free run of the real runtime is, by construction, fully
+//! synchronized: collectives order the ranks, the reliable message
+//! layer orders each channel, and shuttle pairing orders aggregation
+//! traffic. Two properties must therefore hold for *arbitrary* program
+//! shapes, not just the hand-picked examples:
+//!
+//! * **race freedom** — the full analyzer (including the HB interval
+//!   race detector and HB coherence rules) reports the trace clean; a
+//!   hazard here is a false positive in the engine, not a bug in the
+//!   runtime.
+//! * **deterministic self-diff** — replaying the same program under the
+//!   same configuration yields a trace that `diff_traces` finds
+//!   causally identical; any reported divergence means either the
+//!   runtime is nondeterministic or the diff invented one.
+
+use dstreams_collections::{Collection, DistKind, Layout};
+use dstreams_core::{IStream, OStream};
+use dstreams_machine::{CollectiveConfig, Machine, MachineConfig};
+use dstreams_pfs::Pfs;
+use dstreams_trace::{Trace, TraceSink};
+use dstreams_verify::{analyze, diff_traces};
+use proptest::prelude::*;
+
+/// One fault-free write-then-read run over the live runtime, returning
+/// the reparsed portable trace.
+fn traced_run(nprocs: usize, elements: usize, cyclic: bool, aggregators: usize) -> Trace {
+    let sink = TraceSink::new(nprocs);
+    let pfs = Pfs::in_memory(nprocs);
+    let p = pfs.clone();
+    let mut config = MachineConfig::functional(nprocs).traced(sink.clone());
+    if aggregators > 0 {
+        config = config.with_collective(CollectiveConfig {
+            aggregators,
+            stripe_align: true,
+        });
+    }
+    let dist = if cyclic {
+        DistKind::Cyclic
+    } else {
+        DistKind::Block
+    };
+    Machine::run(config, move |ctx| {
+        let layout = Layout::dense(elements, ctx.nprocs(), dist).unwrap();
+        let c = Collection::new(ctx, layout.clone(), |g| g as u64).unwrap();
+        let mut s = OStream::create(ctx, &p, &layout, "prop").unwrap();
+        s.insert_collection(&c).unwrap();
+        s.write().unwrap();
+        s.insert_collection(&c).unwrap();
+        let pending = s.write_begin().unwrap();
+        s.write_end(pending).unwrap();
+        s.close().unwrap();
+
+        let mut g = Collection::new(ctx, layout.clone(), |_| 0u64).unwrap();
+        let mut r = IStream::open(ctx, &p, &layout, "prop").unwrap();
+        r.read().unwrap();
+        r.extract_collection(&mut g).unwrap();
+        r.close().unwrap();
+        for (gid, v) in g.iter() {
+            assert_eq!(*v, gid as u64);
+        }
+    })
+    .unwrap();
+    Trace::from_events_json(&sink.take().to_events_json()).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn fault_free_live_traces_are_race_free_and_self_diff_clean(
+        nprocs in 1usize..5,
+        elements in 1usize..40,
+        cyclic in any::<bool>(),
+        agg in 0usize..3,
+    ) {
+        let aggregators = agg.min(nprocs);
+        let trace = traced_run(nprocs, elements, cyclic, aggregators);
+        prop_assert!(!trace.events.is_empty());
+
+        // Race freedom: the full rule set, HB rules included, is clean.
+        let report = analyze(&trace);
+        prop_assert!(report.clean(), "false positive on a live trace: {report}");
+        prop_assert_eq!(report.forced_hb_edges, 0, "HB scheduler forced an edge");
+        prop_assert!(report.file_accesses > 0, "race detector saw no accesses");
+
+        // Deterministic self-diff: a same-configuration replay is
+        // causally identical, and so is the trace against itself.
+        let replay = traced_run(nprocs, elements, cyclic, aggregators);
+        let diff = diff_traces(&trace, &replay);
+        prop_assert!(diff.identical(), "replay diverged: {diff:?}");
+        prop_assert!(diff_traces(&trace, &trace).identical());
+    }
+}

@@ -14,6 +14,11 @@
 //!   replayed locally with one command.
 //! * `DSTREAMS_TRACE_OUT=<prefix>` dumps the run's event log as
 //!   `<prefix>.dstrace.json` for `dsverify` to audit.
+//! * `DSTREAMS_MSG_INERT=1` swaps the chaos plan for an *inert* one
+//!   (same seeded plan machinery, every fate Deliver). The resulting
+//!   trace is the causal reference for `dsverify --diff`: diffing a
+//!   chaotic run against the inert run of the same seed pinpoints the
+//!   first event the transport faults actually perturbed.
 //!
 //! Run with: `cargo run --example message_chaos`
 
@@ -36,13 +41,19 @@ fn msg_seed() -> u64 {
 
 fn main() {
     let seed = msg_seed();
-    let plan = FaultPlan::default().with_msg(
+    let inert = std::env::var("DSTREAMS_MSG_INERT").is_ok_and(|v| v == "1");
+    let msg_plan = if inert {
+        // Reliable path engaged, every fate Deliver: the causal
+        // reference trace for `dsverify --diff`.
+        MsgFaultPlan::seeded(seed)
+    } else {
         MsgFaultPlan::seeded(seed)
             .drop_ppm(100_000)
             .dup_ppm(80_000)
             .delay_ppm(80_000)
-            .reorder_ppm(80_000),
-    );
+            .reorder_ppm(80_000)
+    };
+    let plan = FaultPlan::default().with_msg(msg_plan);
 
     let trace_prefix = std::env::var("DSTREAMS_TRACE_OUT").ok();
     let sink = trace_prefix.as_ref().map(|_| TraceSink::new(NPROCS));
