@@ -5,6 +5,7 @@
 //! dsdump --layout FILE...
 //! dsdump --recover FILE...
 //! dsdump --dstrace TRACE.json...
+//! dsdump --tail MANIFEST.stream...
 //! ```
 //!
 //! Works on files produced by the real-disk PFS backend (or any byte-exact
@@ -24,6 +25,15 @@
 //! collective counts, PFS traffic, and stream-phase virtual time. Traces
 //! captured from the serving layer additionally get a per-tenant session
 //! summary: op counts, shed counts, and the working-set cache hit rate.
+//! With `--tail` the arguments are append-stream manifests (the
+//! `<name>.stream` side file an `AppendStream` producer maintains) and
+//! dsdump prints the stream's segment lifecycle at a glance: sealed vs
+//! open vs compacted segment counts and, per tail reader, the
+//! consumption cursor and its lag behind the sealed frontier. When the
+//! sibling segment files are present their headers are cross-checked
+//! against the manifest (a sealed segment must not carry the
+//! active-append flag, the open segment must) and disagreement exits
+//! nonzero.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -35,13 +45,16 @@ fn main() -> ExitCode {
     let dstrace = args.iter().any(|a| a == "--dstrace");
     let recover = args.iter().any(|a| a == "--recover");
     let layout = args.iter().any(|a| a == "--layout");
-    args.retain(|a| a != "--dstrace" && a != "--recover" && a != "--layout");
-    let modes = usize::from(dstrace) + usize::from(recover) + usize::from(layout);
+    let tail = args.iter().any(|a| a == "--tail");
+    args.retain(|a| a != "--dstrace" && a != "--recover" && a != "--layout" && a != "--tail");
+    let modes =
+        usize::from(dstrace) + usize::from(recover) + usize::from(layout) + usize::from(tail);
     if args.is_empty() || args.iter().any(|a| a == "-h" || a == "--help") || modes > 1 {
         eprintln!("usage: dsdump FILE...");
         eprintln!("       dsdump --layout FILE...");
         eprintln!("       dsdump --recover FILE...");
         eprintln!("       dsdump --dstrace TRACE.json...");
+        eprintln!("       dsdump --tail MANIFEST.stream...");
         return ExitCode::from(2);
     }
     // Exit codes: 0 ok, 1 error, 2 usage, 3 torn tail detected (pass
@@ -51,6 +64,21 @@ fn main() -> ExitCode {
         if recover {
             match recover_file(path) {
                 Ok(report) => print!("{report}"),
+                Err(e) => {
+                    eprintln!("dsdump: {path}: {e}");
+                    status = status.max(1);
+                }
+            }
+            continue;
+        }
+        if tail {
+            match tail_file(path) {
+                Ok((report, consistent)) => {
+                    print!("{report}");
+                    if !consistent {
+                        status = status.max(1);
+                    }
+                }
                 Err(e) => {
                     eprintln!("dsdump: {path}: {e}");
                     status = status.max(1);
@@ -127,6 +155,88 @@ fn recover_file(path: &str) -> Result<String, String> {
         report.sealed_bytes,
         report.sealed_records
     ))
+}
+
+/// Summarize an append-stream manifest: segment lifecycle counts and
+/// per-reader lag, cross-checked against any sibling segment files.
+/// Returns the rendered report and whether the on-disk segment headers
+/// agree with the manifest.
+fn tail_file(path: &str) -> Result<(String, bool), String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read: {e}"))?;
+    let m = dstreams_core::StreamManifest::decode(&bytes).map_err(|e| e.to_string())?;
+    // The stream name is the manifest name minus its `.stream` suffix;
+    // sibling segment files live next to the manifest.
+    let stream = path.strip_suffix(".stream").unwrap_or(path);
+    let sealed_end = m.sealed_end();
+    let mut out = String::new();
+    let mut consistent = true;
+    out.push_str(&format!(
+        "{path}: {} sealed segment(s) ({} bytes, {} record(s)), {} open, {} compacted\n",
+        m.sealed.len(),
+        m.sealed_bytes(),
+        m.sealed.iter().map(|s| s.records).sum::<u64>(),
+        usize::from(m.open_segment.is_some()),
+        m.compacted_before,
+    ));
+    if let Some(open) = m.open_segment {
+        out.push_str(&format!(
+            "  open segment {open} ({})\n",
+            dstreams_core::segment_file_name(stream, open)
+        ));
+    }
+    for s in &m.sealed {
+        out.push_str(&format!(
+            "  sealed segment {} ({}): {} record(s), {} bytes\n",
+            s.index,
+            dstreams_core::segment_file_name(stream, s.index),
+            s.records,
+            s.bytes
+        ));
+    }
+    if m.readers.is_empty() {
+        out.push_str("  no tail readers\n");
+    }
+    for r in &m.readers {
+        let lag = sealed_end.saturating_sub(r.next_segment);
+        out.push_str(&format!(
+            "  reader {}: next segment {}, lag {} segment(s){}\n",
+            r.id,
+            r.next_segment,
+            lag,
+            if r.detached { " (detached)" } else { "" }
+        ));
+    }
+    // Cross-check sibling segment headers when the files are present: a
+    // sealed segment must not claim active-append, the open one must.
+    let header_of = |index: u64| -> Option<dstreams_core::FileHeader> {
+        let seg_path = dstreams_core::segment_file_name(stream, index);
+        let head = std::fs::read(&seg_path).ok()?;
+        dstreams_core::FileHeader::decode(&head).ok()
+    };
+    for s in &m.sealed {
+        if let Some(h) = header_of(s.index) {
+            if h.active_append() {
+                out.push_str(&format!(
+                    "  WARNING: segment {} is sealed in the manifest but its file \
+                     still carries the active-append flag\n",
+                    s.index
+                ));
+                consistent = false;
+            }
+        }
+    }
+    if let Some(open) = m.open_segment {
+        if let Some(h) = header_of(open) {
+            if !h.active_append() {
+                out.push_str(&format!(
+                    "  WARNING: segment {open} is open in the manifest but its file \
+                     does not carry the active-append flag\n"
+                ));
+                consistent = false;
+            }
+        }
+    }
+    Ok((out, consistent))
 }
 
 /// Per-rank tallies accumulated over one trace file.

@@ -44,6 +44,13 @@ pub enum StreamError {
         /// point).
         sealed_bytes: u64,
     },
+    /// The file declares active-append state (an open append-stream
+    /// segment): a producer may still be writing it, so readers must not
+    /// open it and recovery must not truncate it.
+    ActiveAppend {
+        /// The open segment file.
+        file: String,
+    },
     /// `read` was invoked past the last record in the file.
     EndOfStream,
     /// The record holds a different number of elements than the reading
@@ -139,6 +146,12 @@ impl fmt::Display for StreamError {
                 f,
                 "file ends in a torn (unsealed) record; sealed prefix is \
                  {sealed_bytes} bytes — recover by truncating there"
+            ),
+            StreamError::ActiveAppend { file } => write!(
+                f,
+                "\"{file}\" declares active-append state (an open segment a \
+                 producer may still be writing); refusing to read or truncate \
+                 it — seal the segment first"
             ),
             StreamError::EndOfStream => write!(f, "no more records in the d/stream file"),
             StreamError::WrongElementCount { file, stream } => write!(

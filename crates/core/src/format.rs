@@ -60,6 +60,17 @@ impl FileHeader {
     /// Flag bit: stream was written in checked mode.
     pub const FLAG_CHECKED: u32 = 1;
 
+    /// Flag bit: the file is an *open* append-stream segment. Set when
+    /// the segment is created and cleared by the segment seal, so a set
+    /// bit means a producer may still be appending: tail readers must
+    /// not open the file and `recovery_scan` must not truncate it.
+    pub const FLAG_ACTIVE_APPEND: u32 = 2;
+
+    /// Byte offset of the `flags` word inside the encoded header (the
+    /// segment seal clears [`Self::FLAG_ACTIVE_APPEND`] with a 4-byte
+    /// in-place write at this offset).
+    pub const FLAGS_OFFSET: u64 = 12;
+
     /// Encode to bytes.
     pub fn encode(&self) -> Vec<u8> {
         let mut v = Vec::with_capacity(Self::LEN);
@@ -90,6 +101,12 @@ impl FileHeader {
     /// Whether records in this file carry commit seals (version ≥ 2).
     pub fn sealed(&self) -> bool {
         self.version >= 2
+    }
+
+    /// Whether the file declares active-append state (an unsealed
+    /// append-stream segment a producer may still be writing).
+    pub fn active_append(&self) -> bool {
+        self.flags & Self::FLAG_ACTIVE_APPEND != 0
     }
 }
 

@@ -204,10 +204,22 @@ pub struct RecoveryReport {
 ///
 /// Version-1 files carry no seals, so no safe truncation point can be
 /// derived; they are reported as [`StreamError::UnsupportedVersion`].
+///
+/// A file declaring active-append state (an open append-stream segment,
+/// [`FileHeader::FLAG_ACTIVE_APPEND`]) is refused as
+/// [`StreamError::ActiveAppend`]: its tail is not a crash artifact but a
+/// producer mid-append, and truncating it would destroy live data. Seal
+/// the segment (or let the producer's recovery path clear the flag)
+/// before recovering.
 pub fn recovery_scan(bytes: &[u8]) -> Result<RecoveryReport, StreamError> {
     let header = FileHeader::decode(bytes.get(..FileHeader::LEN).ok_or(StreamError::BadMagic)?)?;
     if !header.sealed() {
         return Err(StreamError::UnsupportedVersion(header.version));
+    }
+    if header.active_append() {
+        return Err(StreamError::ActiveAppend {
+            file: "<image>".to_string(),
+        });
     }
     let mut pos = FileHeader::LEN as u64;
     let mut sealed_records = 0usize;

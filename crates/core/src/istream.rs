@@ -142,6 +142,7 @@ impl<'a> IStream<'a> {
             let mut buf = vec![0u8; FileHeader::LEN];
             match fh.read_at(ctx, 0, &mut buf) {
                 Ok(()) => match FileHeader::decode(&buf) {
+                    Ok(h) if h.active_append() => vec![4u8],
                     Ok(h) => {
                         let scan = if h.sealed() {
                             Self::scan_chain(ctx, &fh)
@@ -185,6 +186,13 @@ impl<'a> IStream<'a> {
             Some(3) if verdict.len() == 9 => {
                 let sealed_bytes = u64::from_le_bytes(verdict[1..9].try_into().expect("8 bytes"));
                 return Err(StreamError::TornTail { sealed_bytes });
+            }
+            // The file is an open append-stream segment: a producer may
+            // still be writing it, so a read here would tear a snapshot.
+            Some(4) => {
+                return Err(StreamError::ActiveAppend {
+                    file: name.to_string(),
+                })
             }
             _ => return Err(StreamError::BadMagic),
         };

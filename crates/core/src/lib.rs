@@ -73,6 +73,7 @@ pub mod istream;
 pub mod localio;
 pub mod ostream;
 pub(crate) mod phase;
+pub mod segment;
 
 pub use checkpoint::{CheckpointManager, RecoveryOutcome};
 pub use data::{from_bytes, to_bytes, Extractor, Inserter, Prim, StreamData};
@@ -82,3 +83,6 @@ pub use inspect::{inspect_bytes, recovery_scan, FileSummary, RecordSummary, Reco
 pub use istream::{IStream, ReadStrategy};
 pub use localio::LocalFile;
 pub use ostream::{MetaPolicy, OStream, PendingWrite, StreamOptions};
+pub use segment::{
+    manifest_file_name, segment_file_name, ReaderEntry, SegmentEntry, StreamManifest,
+};

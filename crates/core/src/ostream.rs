@@ -112,6 +112,10 @@ pub struct OStream<'a> {
     version_checked: bool,
     /// Split-collective writes begun but not yet retired by `write_end`.
     in_flight: usize,
+    /// Whether the lazily-written file header declares active-append
+    /// state (an open append-stream segment; cleared by
+    /// [`OStream::seal_segment`]).
+    active_append: bool,
 }
 
 impl<'a> OStream<'a> {
@@ -172,7 +176,104 @@ impl<'a> OStream<'a> {
             records_written: 0,
             version_checked: false,
             in_flight: 0,
+            active_append: false,
         })
+    }
+
+    /// [`OStream::create`] for an *open append-stream segment*: the
+    /// lazily-written file header carries
+    /// [`FileHeader::FLAG_ACTIVE_APPEND`], declaring that a producer may
+    /// still be appending. While the flag is set, `IStream::open`
+    /// refuses the file and `recovery_scan` refuses to truncate it;
+    /// [`OStream::seal_segment`] clears it, turning the segment into a
+    /// consistent snapshot boundary tail readers may consume. Collective.
+    pub fn create_append(
+        ctx: &'a NodeCtx,
+        pfs: &Pfs,
+        layout: &Layout,
+        name: &str,
+    ) -> Result<Self, StreamError> {
+        Self::create_append_with(ctx, pfs, layout, name, StreamOptions::default())
+    }
+
+    /// [`OStream::create_append`] with explicit options.
+    pub fn create_append_with(
+        ctx: &'a NodeCtx,
+        pfs: &Pfs,
+        layout: &Layout,
+        name: &str,
+        opts: StreamOptions,
+    ) -> Result<Self, StreamError> {
+        let mut s = Self::create_with(ctx, pfs, layout, name, opts)?;
+        s.active_append = true;
+        Ok(s)
+    }
+
+    /// Whether this stream writes an active-append (open segment) header.
+    pub fn is_active_append(&self) -> bool {
+        self.active_append
+    }
+
+    /// Seal the segment: clear [`FileHeader::FLAG_ACTIVE_APPEND`] from
+    /// the on-file header with an in-place flags write, making the file
+    /// an ordinary sealed d/stream that readers and recovery may touch.
+    ///
+    /// Every record must already be durable: inserts pending without a
+    /// `write` or split-collective writes still in flight are state
+    /// violations. A segment that never wrote a record gets its (sealed)
+    /// file header here, so even an empty segment closes into a valid,
+    /// readable stream. If a peer crashed during the segment's writes,
+    /// the flag is left set — the torn segment stays quarantined for
+    /// recovery instead of being published to tail readers. Collective.
+    pub fn seal_segment(&mut self) -> Result<(), StreamError> {
+        if !self.active_append {
+            return Err(StreamError::violation(
+                "seal_segment",
+                "the stream was not created in append mode",
+            ));
+        }
+        if self.n_inserts > 0 {
+            return Err(StreamError::violation(
+                "seal_segment",
+                format!("{} inserts pending without a write()", self.n_inserts),
+            ));
+        }
+        if self.in_flight > 0 {
+            return Err(StreamError::violation(
+                "seal_segment",
+                format!(
+                    "{} split-collective writes in flight without write_end()",
+                    self.in_flight
+                ),
+            ));
+        }
+        self.ctx.barrier()?;
+        if self.fh.take_peer_crashed() {
+            // A crashed peer may have left a torn record: keep the
+            // active-append flag so nothing downstream trusts the file.
+            return Ok(());
+        }
+        if self.ctx.is_root() {
+            let flags = if self.opts.checked {
+                FileHeader::FLAG_CHECKED
+            } else {
+                0
+            };
+            if self.fh.is_empty() {
+                let header = FileHeader {
+                    version: FORMAT_VERSION,
+                    flags,
+                }
+                .encode();
+                self.fh.write_at(self.ctx, 0, &header)?;
+            } else {
+                self.fh
+                    .write_at(self.ctx, FileHeader::FLAGS_OFFSET, &flags.to_le_bytes())?;
+            }
+        }
+        self.ctx.barrier()?;
+        self.active_append = false;
+        Ok(())
     }
 
     /// The stream's layout.
@@ -309,13 +410,17 @@ impl<'a> OStream<'a> {
         }
         self.version_checked = true;
         let file_prefix = if self.fh.is_empty() && self.ctx.is_root() {
+            let mut flags = if self.opts.checked {
+                FileHeader::FLAG_CHECKED
+            } else {
+                0
+            };
+            if self.active_append {
+                flags |= FileHeader::FLAG_ACTIVE_APPEND;
+            }
             FileHeader {
                 version: FORMAT_VERSION,
-                flags: if self.opts.checked {
-                    FileHeader::FLAG_CHECKED
-                } else {
-                    0
-                },
+                flags,
             }
             .encode()
         } else {

@@ -353,6 +353,147 @@ fn dsdump_dstrace_summarizes_service_sessions_per_tenant() {
 }
 
 #[test]
+fn dsdump_tail_summarizes_manifests_and_cross_checks_headers() {
+    use dstreams_core::{segment_file_name, ReaderEntry, SegmentEntry, StreamManifest};
+
+    let dir = std::env::temp_dir().join(format!("dsdump-tail-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let manifest = StreamManifest {
+        compacted_before: 1,
+        open_segment: Some(3),
+        sealed: vec![
+            SegmentEntry {
+                index: 1,
+                records: 2,
+                bytes: 100,
+            },
+            SegmentEntry {
+                index: 2,
+                records: 1,
+                bytes: 40,
+            },
+        ],
+        readers: vec![
+            ReaderEntry {
+                id: 1,
+                next_segment: 2,
+                detached: false,
+            },
+            ReaderEntry {
+                id: 2,
+                next_segment: 3,
+                detached: true,
+            },
+        ],
+    };
+    let stream = dir.join("log").to_str().unwrap().to_string();
+    let manifest_path = dir.join("log.stream");
+    std::fs::write(&manifest_path, manifest.encode()).unwrap();
+    // Sibling segment files: sealed ones carry a plain v2 header, the
+    // open one the active-append flag.
+    let sealed_header = FileHeader {
+        version: 2,
+        flags: 0,
+    };
+    let open_header = FileHeader {
+        version: 2,
+        flags: FileHeader::FLAG_ACTIVE_APPEND,
+    };
+    std::fs::write(segment_file_name(&stream, 1), sealed_header.encode()).unwrap();
+    std::fs::write(segment_file_name(&stream, 2), sealed_header.encode()).unwrap();
+    std::fs::write(segment_file_name(&stream, 3), open_header.encode()).unwrap();
+
+    let out = Command::new(env!("CARGO_BIN_EXE_dsdump"))
+        .arg("--tail")
+        .arg(&manifest_path)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let report = String::from_utf8(out.stdout).unwrap();
+    assert!(report.contains("2 sealed segment(s)"), "{report}");
+    assert!(report.contains("140 bytes"), "{report}");
+    assert!(report.contains("1 open"), "{report}");
+    assert!(report.contains("1 compacted"), "{report}");
+    assert!(report.contains("open segment 3"), "{report}");
+    // Reader 1 is one sealed segment behind the frontier (sealed_end 3);
+    // reader 2 is caught up and detached.
+    assert!(
+        report.contains("reader 1: next segment 2, lag 1 segment(s)"),
+        "{report}"
+    );
+    assert!(
+        report.contains("reader 2: next segment 3, lag 0 segment(s) (detached)"),
+        "{report}"
+    );
+    assert!(!report.contains("WARNING"), "{report}");
+
+    // A sealed segment whose file still claims active-append is an
+    // integrity violation: warn and exit 1.
+    std::fs::write(segment_file_name(&stream, 2), open_header.encode()).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_dsdump"))
+        .arg("--tail")
+        .arg(&manifest_path)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let report = String::from_utf8(out.stdout).unwrap();
+    assert!(report.contains("WARNING"), "{report}");
+    assert!(report.contains("active-append flag"), "{report}");
+
+    // Not a manifest at all: exit 1 with a decode diagnostic.
+    let out = Command::new(env!("CARGO_BIN_EXE_dsdump"))
+        .arg("--tail")
+        .arg(segment_file_name(&stream, 1))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8(out.stderr).unwrap().contains("magic"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn dsdump_recover_refuses_active_append_segments() {
+    let dir = std::env::temp_dir().join(format!("dsdump-active-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    // An open segment mid-append: header flags it active, and the file
+    // tail holds bytes a producer may still be committing. Recovery must
+    // refuse to touch it rather than truncate a live stream.
+    let header = FileHeader {
+        version: 2,
+        flags: FileHeader::FLAG_ACTIVE_APPEND,
+    };
+    let mut bytes = header.encode();
+    bytes.extend_from_slice(b"half-written record bytes");
+    let path = dir.join("live.seg000000");
+    std::fs::write(&path, &bytes).unwrap();
+    let before = std::fs::read(&path).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_dsdump"))
+        .arg("--recover")
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "recovery of an active-append segment must fail"
+    );
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("active-append"), "{err}");
+    assert_eq!(
+        std::fs::read(&path).unwrap(),
+        before,
+        "refused recovery must leave the file untouched"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn dsdump_usage_exits_2() {
     let out = Command::new(env!("CARGO_BIN_EXE_dsdump")).output().unwrap();
     assert_eq!(out.status.code(), Some(2));
@@ -362,4 +503,10 @@ fn dsdump_usage_exits_2() {
         .unwrap();
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8(out.stderr).unwrap().contains("usage"));
+    // Modes are mutually exclusive.
+    let out = Command::new(env!("CARGO_BIN_EXE_dsdump"))
+        .args(["--tail", "--recover", "x.stream"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
 }

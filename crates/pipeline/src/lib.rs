@@ -81,12 +81,107 @@ impl Default for PipelineOptions {
     }
 }
 
+/// A bounded window of in-flight split-collective flushes: the depth-N
+/// generalization of the write-behind double buffer.
+///
+/// The window owns up to `depth` [`PendingWrite`]s. Before each new
+/// submission the caller asks [`WriteWindow::make_room`], which retires
+/// the *oldest* flush through the supplied closure only when the window
+/// is full — a *forced retire*, the moment a producer actually stalls on
+/// its own I/O. The window counts those stalls so pipelined writers
+/// ([`OStream`] here, `AppendStream` in `dstreams-unbounded`) can report
+/// backpressure: `forced_retires / submissions` is the fraction of
+/// writes that found the window saturated.
+#[derive(Debug)]
+pub struct WriteWindow {
+    pool: VecDeque<PendingWrite>,
+    depth: usize,
+    submissions: u64,
+    forced_retires: u64,
+}
+
+impl WriteWindow {
+    /// A window admitting up to `depth` concurrent flushes. Depth 0 is
+    /// rejected — a zero-slot window could never accept a write.
+    pub fn new(depth: usize) -> Result<WriteWindow, StreamError> {
+        if depth == 0 {
+            return Err(StreamError::violation(
+                "open",
+                "write-window depth must be at least 1",
+            ));
+        }
+        Ok(WriteWindow {
+            pool: VecDeque::with_capacity(depth),
+            depth,
+            submissions: 0,
+            forced_retires: 0,
+        })
+    }
+
+    /// The window's capacity.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Flushes currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Submissions admitted so far (one per [`WriteWindow::push`]).
+    pub fn submissions(&self) -> u64 {
+        self.submissions
+    }
+
+    /// How many submissions found the window full and had to retire the
+    /// oldest flush first — each one a producer stall.
+    pub fn forced_retires(&self) -> u64 {
+        self.forced_retires
+    }
+
+    /// Ensure one slot is free, retiring the oldest flush through
+    /// `retire` if the window is at depth. Returns whether a retire was
+    /// forced.
+    pub fn make_room(
+        &mut self,
+        retire: impl FnOnce(PendingWrite) -> Result<(), StreamError>,
+    ) -> Result<bool, StreamError> {
+        if self.pool.len() < self.depth {
+            return Ok(false);
+        }
+        let oldest = self.pool.pop_front().expect("non-empty at depth");
+        self.forced_retires += 1;
+        retire(oldest)?;
+        Ok(true)
+    }
+
+    /// Admit a submitted flush into the window. Call
+    /// [`WriteWindow::make_room`] first; pushing past depth is a logic
+    /// error.
+    pub fn push(&mut self, pending: PendingWrite) {
+        debug_assert!(self.pool.len() < self.depth, "push past window depth");
+        self.submissions += 1;
+        self.pool.push_back(pending);
+    }
+
+    /// Retire every in-flight flush, oldest first. Drain retires are not
+    /// counted as forced — the producer chose to wait.
+    pub fn drain(
+        &mut self,
+        mut retire: impl FnMut(PendingWrite) -> Result<(), StreamError>,
+    ) -> Result<(), StreamError> {
+        while let Some(p) = self.pool.pop_front() {
+            retire(p)?;
+        }
+        Ok(())
+    }
+}
+
 /// A write-behind output d/stream: the pipelined drop-in for
 /// [`dstreams_core::OStream`].
 pub struct OStream<'a> {
     inner: dstreams_core::OStream<'a>,
-    pool: VecDeque<PendingWrite>,
-    depth: usize,
+    window: WriteWindow,
 }
 
 impl<'a> OStream<'a> {
@@ -118,16 +213,9 @@ impl<'a> OStream<'a> {
         opts: StreamOptions,
         pipeline: PipelineOptions,
     ) -> Result<Self, StreamError> {
-        if pipeline.depth == 0 {
-            return Err(StreamError::violation(
-                "open",
-                "pipeline depth must be at least 1",
-            ));
-        }
         Ok(OStream {
             inner: dstreams_core::OStream::create_with(ctx, pfs, layout, name, opts)?,
-            pool: VecDeque::with_capacity(pipeline.depth),
-            depth: pipeline.depth,
+            window: WriteWindow::new(pipeline.depth)?,
         })
     }
 
@@ -138,7 +226,13 @@ impl<'a> OStream<'a> {
 
     /// Flushes currently in flight.
     pub fn in_flight(&self) -> usize {
-        self.pool.len()
+        self.window.in_flight()
+    }
+
+    /// How many writes found the pool full and stalled on the oldest
+    /// flush (see [`WriteWindow::forced_retires`]).
+    pub fn forced_retires(&self) -> u64 {
+        self.window.forced_retires()
     }
 
     /// Records written (submitted) so far.
@@ -169,22 +263,18 @@ impl<'a> OStream<'a> {
     /// cost elapses behind subsequent compute. Blocks (retires the
     /// oldest flush) only when the pool is at depth. Collective.
     pub fn write(&mut self) -> Result<(), StreamError> {
-        if self.pool.len() >= self.depth {
-            let oldest = self.pool.pop_front().expect("non-empty at depth");
-            self.inner.write_end(oldest)?;
-        }
-        let pending = self.inner.write_begin()?;
-        self.pool.push_back(pending);
+        let inner = &mut self.inner;
+        self.window.make_room(|p| inner.write_end(p))?;
+        let pending = inner.write_begin()?;
+        self.window.push(pending);
         Ok(())
     }
 
     /// Retire every in-flight flush, oldest first. After this the file's
     /// virtual-time state is identical to a synchronous stream's.
     pub fn flush(&mut self) -> Result<(), StreamError> {
-        while let Some(p) = self.pool.pop_front() {
-            self.inner.write_end(p)?;
-        }
-        Ok(())
+        let inner = &mut self.inner;
+        self.window.drain(|p| inner.write_end(p))
     }
 
     /// Drain the pool and close the stream.
@@ -533,8 +623,12 @@ mod tests {
                 assert!(s.in_flight() <= 2, "round {round}: {}", s.in_flight());
             }
             assert_eq!(s.in_flight(), 2);
+            // Writes 3..5 each found the window full: three forced
+            // retires; the drain in flush() is voluntary and not counted.
+            assert_eq!(s.forced_retires(), 3);
             s.flush().unwrap();
             assert_eq!(s.in_flight(), 0);
+            assert_eq!(s.forced_retires(), 3);
             s.close().unwrap();
         })
         .unwrap();

@@ -1,0 +1,323 @@
+//! In-situ analysis: a tenant tails a simulation's output mid-run.
+//!
+//! The classic post-hoc pattern — simulate, write everything, read it
+//! all back later — doubles the I/O and delays every insight to the end
+//! of the run. The in-situ pattern instead runs the analysis *beside*
+//! the simulation: the producer appends each step's state to an
+//! unbounded append stream ([`dstreams_unbounded::AppendStream`]),
+//! sealing a segment every few steps, while an analysis tenant holds a
+//! [`dstreams_unbounded::TailReader`] on the same stream and consumes
+//! each sealed snapshot between simulation steps. Snapshot isolation
+//! (a tail read never observes an unsealed segment) is exactly what
+//! makes this safe: the analysis sees a consistent step boundary, never
+//! a half-written one, no matter how the two sides interleave.
+//!
+//! [`run_insitu`] is the deterministic SPMD loop every rank executes in
+//! lockstep, like [`crate::run_service`]. Each analysis poll is dressed
+//! as a service request — a `SessionAdmit` when the tenant asks for the
+//! newly sealed data and a `SessionDone` when the reduction completes —
+//! so the session-isolation analyzer rule audits the in-situ tenant
+//! with the same ledger it applies to the multi-tenant service, and the
+//! two streaming rules (`unsealed-tail-read`, `compacted-under-reader`)
+//! audit the producer/reader handshake underneath it.
+
+use dstreams_collections::{Collection, Layout};
+use dstreams_core::StreamError;
+use dstreams_machine::NodeCtx;
+use dstreams_pfs::Pfs;
+use dstreams_trace::{EventKind, QosLevel, ServeOp};
+use dstreams_unbounded::{AppendOptions, AppendStats, AppendStream, TailReader};
+
+/// Shape of one in-situ run.
+#[derive(Debug, Clone)]
+pub struct InSituConfig {
+    /// Stream name the simulation appends to.
+    pub stream: String,
+    /// Simulation steps to run.
+    pub steps: u64,
+    /// Seal a segment (and wake the analysis tenant) every this many
+    /// steps. Must be at least 1.
+    pub seal_every: u64,
+    /// The analysis tenant attaches after this many steps — mid-run, to
+    /// exercise the late-attach path. Steps sealed before the attach are
+    /// analyzed too if retention still holds them.
+    pub attach_after: u64,
+    /// Tenant id the analysis requests are accounted to.
+    pub tenant: u32,
+    /// QoS class of the analysis tenant.
+    pub class: QosLevel,
+    /// Producer options (window depth, retention budget).
+    pub append: AppendOptions,
+}
+
+impl Default for InSituConfig {
+    fn default() -> Self {
+        InSituConfig {
+            stream: "insitu".to_string(),
+            steps: 12,
+            seal_every: 3,
+            attach_after: 3,
+            tenant: 1,
+            class: QosLevel::Standard,
+            append: AppendOptions::default(),
+        }
+    }
+}
+
+/// What an in-situ run did and observed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InSituReport {
+    /// Simulation steps executed.
+    pub steps: u64,
+    /// Segments the producer sealed.
+    pub segments_sealed: u64,
+    /// Segments the analysis tenant consumed.
+    pub segments_analyzed: u64,
+    /// Records (simulation steps) the analysis tenant reduced over.
+    pub records_analyzed: u64,
+    /// Global sum of every element the analysis observed — the
+    /// "analysis result", deterministic for a given config.
+    pub analysis_sum: u64,
+    /// Producer-side counters (appends, window stalls, compactions).
+    pub producer: AppendStats,
+}
+
+/// Run the in-situ loop: simulate, append, seal, and let the analysis
+/// tenant consume each sealed snapshot in the gaps. Collective; every
+/// rank must call it with identical arguments.
+///
+/// The "simulation" is a deterministic stand-in: element `g` holds
+/// `step * 1000 + g` at step `step`, so the analysis sum is a pure
+/// function of the config and replays byte-identically.
+pub fn run_insitu(
+    ctx: &NodeCtx,
+    pfs: &Pfs,
+    layout: &Layout,
+    cfg: &InSituConfig,
+) -> Result<InSituReport, StreamError> {
+    if cfg.seal_every == 0 {
+        return Err(StreamError::violation(
+            "insitu",
+            "seal_every must be at least 1",
+        ));
+    }
+    let mut producer =
+        AppendStream::create_with(ctx, pfs, layout, &cfg.stream, cfg.append.clone())?;
+    let mut tail: Option<TailReader<'_>> = None;
+    let mut report = InSituReport {
+        steps: 0,
+        segments_sealed: 0,
+        segments_analyzed: 0,
+        records_analyzed: 0,
+        analysis_sum: 0,
+        producer: AppendStats::default(),
+    };
+    // Request ids for the analysis tenant's polls, unique per run.
+    let mut request_id = 0u64;
+
+    for step in 0..cfg.steps {
+        // Simulate: produce this step's state and append it.
+        let state = Collection::new(ctx, layout.clone(), move |g| step * 1000 + g as u64)?;
+        producer.insert_collection(&state)?;
+        producer.append()?;
+        report.steps += 1;
+
+        // The analysis tenant comes online mid-run.
+        if tail.is_none() && step + 1 >= cfg.attach_after {
+            tail = Some(TailReader::attach(ctx, pfs, layout, &cfg.stream)?);
+        }
+
+        if (step + 1) % cfg.seal_every == 0 {
+            producer.seal()?;
+            report.segments_sealed += 1;
+            if let Some(reader) = tail.as_mut() {
+                drain_tail(ctx, layout, cfg, reader, &mut request_id, &mut report)?;
+            }
+        }
+    }
+    // Trailing partial segment, then a last analysis pass over it.
+    if producer.open_segment().is_some() {
+        producer.seal()?;
+        report.segments_sealed += 1;
+    }
+    if let Some(reader) = tail.as_mut() {
+        drain_tail(ctx, layout, cfg, reader, &mut request_id, &mut report)?;
+    }
+
+    report.producer = producer.stats();
+    if let Some(reader) = tail.take() {
+        reader.detach()?;
+    }
+    producer.close()?;
+    Ok(report)
+}
+
+/// Consume every currently sealed segment as one admitted analysis
+/// request per segment, reducing the elements into the report.
+fn drain_tail(
+    ctx: &NodeCtx,
+    layout: &Layout,
+    cfg: &InSituConfig,
+    reader: &mut TailReader<'_>,
+    request_id: &mut u64,
+    report: &mut InSituReport,
+) -> Result<(), StreamError> {
+    loop {
+        *request_id += 1;
+        let id = *request_id;
+        ctx.emit_with(|| EventKind::SessionAdmit {
+            request_id: id,
+            tenant: cfg.tenant,
+            class: cfg.class,
+            op: ServeOp::Read,
+            queue_depth: 0,
+        });
+        let t0 = ctx.now();
+        let mut local_sum = 0u64;
+        let mut records = 0u64;
+        let consumed = reader.poll(|is, entry| {
+            let mut g = Collection::new(ctx, layout.clone(), |_| 0u64)?;
+            for _ in 0..entry.records {
+                is.read()?;
+                is.extract_collection(&mut g)?;
+                for (_, v) in g.iter() {
+                    local_sum += *v;
+                }
+                records += 1;
+            }
+            Ok(())
+        })?;
+        // The reduction is global: every rank must report the same sum.
+        let total = global_sum(ctx, if consumed { local_sum } else { 0 })?;
+        let latency_ns = ctx.now().saturating_since(t0).as_nanos();
+        let ok = consumed;
+        ctx.emit_with(|| EventKind::SessionDone {
+            request_id: id,
+            tenant: cfg.tenant,
+            class: cfg.class,
+            op: ServeOp::Read,
+            latency_ns,
+            ok,
+        });
+        if !consumed {
+            // The probe that found the tail caught up still admitted and
+            // completed: the ledger stays balanced.
+            return Ok(());
+        }
+        report.segments_analyzed += 1;
+        report.records_analyzed += records;
+        report.analysis_sum += total;
+    }
+}
+
+/// All-reduce a u64 sum across ranks.
+fn global_sum(ctx: &NodeCtx, local: u64) -> Result<u64, StreamError> {
+    Ok(ctx.all_reduce(local, |a, b| a + b)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dstreams_collections::DistKind;
+    use dstreams_machine::{Machine, MachineConfig};
+    use dstreams_trace::{OpCounts, TraceSink};
+
+    fn expected_sum(steps: u64, elements: u64) -> u64 {
+        // Every step is analyzed exactly once: sum over steps and gids
+        // of step*1000 + g.
+        (0..steps)
+            .map(|s| (0..elements).map(|g| s * 1000 + g).sum::<u64>())
+            .sum()
+    }
+
+    #[test]
+    fn insitu_analysis_sees_every_step_exactly_once() {
+        let np = 2;
+        let sink = TraceSink::new(np);
+        let pfs = Pfs::in_memory(np);
+        let p = pfs.clone();
+        let reports = Machine::run(
+            MachineConfig::functional(np).traced(sink.clone()),
+            move |ctx| {
+                let layout = Layout::dense(6, ctx.nprocs(), DistKind::Block).unwrap();
+                run_insitu(ctx, &p, &layout, &InSituConfig::default()).unwrap()
+            },
+        )
+        .unwrap();
+        // Deterministic and rank-agreed: both ranks compute the same
+        // report, and the sum covers all 12 steps element-exactly.
+        assert_eq!(reports[0], reports[1]);
+        let r = &reports[0];
+        assert_eq!(r.steps, 12);
+        assert_eq!(r.segments_sealed, 4);
+        assert_eq!(r.segments_analyzed, 4);
+        assert_eq!(r.records_analyzed, 12);
+        assert_eq!(r.analysis_sum, expected_sum(12, 6));
+        assert_eq!(r.producer.records_appended, 12);
+
+        // The trace carries both the streaming and the session story.
+        let trace = sink.take();
+        let lane0: Vec<_> = trace
+            .events
+            .iter()
+            .filter(|e| e.rank == 0)
+            .cloned()
+            .collect();
+        let counts = OpCounts::from_events(&lane0);
+        assert_eq!(counts.segments_sealed, 4);
+        assert_eq!(counts.tail_consumes, 4);
+        assert!(counts.sessions_admitted > 0);
+        assert_eq!(
+            counts.sessions_admitted,
+            counts.sessions_completed + counts.sessions_failed
+        );
+    }
+
+    #[test]
+    fn insitu_under_retention_still_analyzes_every_step() {
+        let np = 2;
+        let pfs = Pfs::in_memory(np);
+        let p = pfs.clone();
+        let reports = Machine::run(MachineConfig::functional(np), move |ctx| {
+            let layout = Layout::dense(4, ctx.nprocs(), DistKind::Block).unwrap();
+            let cfg = InSituConfig {
+                steps: 9,
+                seal_every: 2,
+                attach_after: 1,
+                append: AppendOptions {
+                    retention_bytes: Some(1),
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
+            run_insitu(ctx, &p, &layout, &cfg).unwrap()
+        })
+        .unwrap();
+        let r = &reports[0];
+        // 4 full segments + the trailing 1-step segment; the tenant
+        // keeps up, so retention (budget 1 byte) never outruns it.
+        assert_eq!(r.segments_sealed, 5);
+        assert_eq!(r.segments_analyzed, 5);
+        assert_eq!(r.records_analyzed, 9);
+        assert_eq!(r.analysis_sum, expected_sum(9, 4));
+        assert!(r.producer.segments_compacted > 0);
+    }
+
+    #[test]
+    fn insitu_rejects_zero_seal_interval() {
+        let pfs = Pfs::in_memory(1);
+        let p = pfs.clone();
+        Machine::run(MachineConfig::functional(1), move |ctx| {
+            let layout = Layout::dense(2, 1, DistKind::Block).unwrap();
+            let cfg = InSituConfig {
+                seal_every: 0,
+                ..Default::default()
+            };
+            assert!(matches!(
+                run_insitu(ctx, &p, &layout, &cfg),
+                Err(StreamError::StateViolation { op: "insitu", .. })
+            ));
+        })
+        .unwrap();
+    }
+}

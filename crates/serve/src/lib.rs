@@ -23,7 +23,10 @@
 //!   generations are LRU-evicted, and resealing a file invalidates it;
 //! * [`traffic`] — a seeded synthetic traffic generator (op mixes,
 //!   Zipf tenant skew) feeding [`run_service`], the deterministic
-//!   service loop every rank executes in lockstep.
+//!   service loop every rank executes in lockstep;
+//! * [`insitu`] — in-situ analysis: a tenant tails a simulation's
+//!   unbounded append stream mid-run, consuming each sealed snapshot
+//!   between simulation steps under snapshot isolation.
 //!
 //! All scheduling and cache decisions are functions of virtual time and
 //! logical sizes that every rank observes identically (the loop calls
@@ -36,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod insitu;
 pub mod qos;
 pub mod sched;
 pub mod service;
@@ -43,6 +47,7 @@ pub mod session;
 pub mod traffic;
 
 pub use cache::{CacheConfig, CacheStats, WorkingSetCache};
+pub use insitu::{run_insitu, InSituConfig, InSituReport};
 pub use qos::{ClassPolicy, ServiceConfig, TenantProfile};
 pub use sched::{Request, Scheduler, TokenBucket};
 pub use service::{run_service, Disposition, RequestOutcome, ServiceReport};

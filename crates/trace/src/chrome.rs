@@ -343,6 +343,91 @@ fn event_to_value(e: &Event) -> Value {
                 ("bytes".into(), Value::Int(*bytes as i64)),
             ],
         ),
+        EventKind::SegmentSeal {
+            stream,
+            segment,
+            file,
+            records,
+            bytes,
+        } => instant(
+            "segment.seal",
+            "segment",
+            e,
+            vec![
+                ("stream".into(), Value::Str(stream.clone())),
+                ("segment".into(), Value::Int(*segment as i64)),
+                ("file".into(), Value::Str(file.clone())),
+                ("records".into(), Value::Int(*records as i64)),
+                ("bytes".into(), Value::Int(*bytes as i64)),
+            ],
+        ),
+        EventKind::TailAttach {
+            stream,
+            reader,
+            first_segment,
+            sealed,
+        } => instant(
+            "tail.attach",
+            "segment",
+            e,
+            vec![
+                ("stream".into(), Value::Str(stream.clone())),
+                ("reader".into(), Value::Int(i64::from(*reader))),
+                ("first_segment".into(), Value::Int(*first_segment as i64)),
+                ("sealed".into(), Value::Int(*sealed as i64)),
+            ],
+        ),
+        EventKind::TailConsume {
+            stream,
+            reader,
+            segment,
+            file,
+            bytes,
+        } => instant(
+            "tail.consume",
+            "segment",
+            e,
+            vec![
+                ("stream".into(), Value::Str(stream.clone())),
+                ("reader".into(), Value::Int(i64::from(*reader))),
+                ("segment".into(), Value::Int(*segment as i64)),
+                ("file".into(), Value::Str(file.clone())),
+                ("bytes".into(), Value::Int(*bytes as i64)),
+            ],
+        ),
+        EventKind::TailDetach {
+            stream,
+            reader,
+            consumed_through,
+        } => instant(
+            "tail.detach",
+            "segment",
+            e,
+            vec![
+                ("stream".into(), Value::Str(stream.clone())),
+                ("reader".into(), Value::Int(i64::from(*reader))),
+                (
+                    "consumed_through".into(),
+                    Value::Int(*consumed_through as i64),
+                ),
+            ],
+        ),
+        EventKind::Compact {
+            stream,
+            segment,
+            file,
+            bytes,
+        } => instant(
+            "segment.compact",
+            "segment",
+            e,
+            vec![
+                ("stream".into(), Value::Str(stream.clone())),
+                ("segment".into(), Value::Int(*segment as i64)),
+                ("file".into(), Value::Str(file.clone())),
+                ("bytes".into(), Value::Int(*bytes as i64)),
+            ],
+        ),
     }
 }
 

@@ -93,6 +93,22 @@ pub struct OpCounts {
     pub cache_invalidations: u64,
     /// Logical bytes served from the working-set cache.
     pub cache_hit_bytes: u64,
+    /// Segments sealed by append streams.
+    pub segments_sealed: u64,
+    /// Payload bytes committed into sealed segments.
+    pub sealed_bytes: u64,
+    /// Tail readers attached to append streams.
+    pub tail_attaches: u64,
+    /// Sealed segments consumed by tail readers.
+    pub tail_consumes: u64,
+    /// Payload bytes extracted by tail readers.
+    pub tail_consumed_bytes: u64,
+    /// Tail readers that detached.
+    pub tail_detaches: u64,
+    /// Sealed segments reclaimed by retention.
+    pub compactions: u64,
+    /// Payload bytes released by retention.
+    pub compacted_bytes: u64,
 }
 
 impl OpCounts {
@@ -215,6 +231,24 @@ impl OpCounts {
                     CacheOutcome::Evict => c.cache_evictions += 1,
                     CacheOutcome::Invalidate => c.cache_invalidations += 1,
                 },
+                EventKind::SegmentSeal { bytes, .. } => {
+                    c.segments_sealed += 1;
+                    c.sealed_bytes += bytes;
+                }
+                EventKind::TailAttach { .. } => {
+                    c.tail_attaches += 1;
+                }
+                EventKind::TailConsume { bytes, .. } => {
+                    c.tail_consumes += 1;
+                    c.tail_consumed_bytes += bytes;
+                }
+                EventKind::TailDetach { .. } => {
+                    c.tail_detaches += 1;
+                }
+                EventKind::Compact { bytes, .. } => {
+                    c.compactions += 1;
+                    c.compacted_bytes += bytes;
+                }
             }
         }
         c
@@ -395,6 +429,32 @@ impl OpCounts {
                 Value::Int(self.cache_hit_bytes as i64),
             ),
             ("cache_hit_rate".into(), Value::Num(self.cache_hit_rate())),
+            (
+                "segments_sealed".into(),
+                Value::Int(self.segments_sealed as i64),
+            ),
+            ("sealed_bytes".into(), Value::Int(self.sealed_bytes as i64)),
+            (
+                "tail_attaches".into(),
+                Value::Int(self.tail_attaches as i64),
+            ),
+            (
+                "tail_consumes".into(),
+                Value::Int(self.tail_consumes as i64),
+            ),
+            (
+                "tail_consumed_bytes".into(),
+                Value::Int(self.tail_consumed_bytes as i64),
+            ),
+            (
+                "tail_detaches".into(),
+                Value::Int(self.tail_detaches as i64),
+            ),
+            ("compactions".into(), Value::Int(self.compactions as i64)),
+            (
+                "compacted_bytes".into(),
+                Value::Int(self.compacted_bytes as i64),
+            ),
         ])
     }
 }
@@ -652,5 +712,76 @@ mod tests {
         assert_eq!(c.cache_invalidations, 1);
         assert_eq!(c.cache_hit_bytes, 64);
         assert!((c.cache_hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn streaming_events_are_counted() {
+        let events = vec![
+            at(
+                0,
+                EventKind::SegmentSeal {
+                    stream: "log".into(),
+                    segment: 0,
+                    file: "log.seg000000".into(),
+                    records: 2,
+                    bytes: 128,
+                },
+            ),
+            at(
+                1,
+                EventKind::SegmentSeal {
+                    stream: "log".into(),
+                    segment: 1,
+                    file: "log.seg000001".into(),
+                    records: 2,
+                    bytes: 64,
+                },
+            ),
+            at(
+                2,
+                EventKind::TailAttach {
+                    stream: "log".into(),
+                    reader: 1,
+                    first_segment: 0,
+                    sealed: 2,
+                },
+            ),
+            at(
+                3,
+                EventKind::TailConsume {
+                    stream: "log".into(),
+                    reader: 1,
+                    segment: 0,
+                    file: "log.seg000000".into(),
+                    bytes: 128,
+                },
+            ),
+            at(
+                4,
+                EventKind::Compact {
+                    stream: "log".into(),
+                    segment: 0,
+                    file: "log.seg000000".into(),
+                    bytes: 128,
+                },
+            ),
+            at(
+                5,
+                EventKind::TailDetach {
+                    stream: "log".into(),
+                    reader: 1,
+                    consumed_through: 1,
+                },
+            ),
+        ];
+        let c = OpCounts::from_events(&events);
+        assert_eq!(c.segments_sealed, 2);
+        assert_eq!(c.sealed_bytes, 192);
+        assert_eq!(c.tail_attaches, 1);
+        assert_eq!(c.tail_consumes, 1);
+        assert_eq!(c.tail_consumed_bytes, 128);
+        assert_eq!(c.tail_detaches, 1);
+        assert_eq!(c.compactions, 1);
+        assert_eq!(c.compacted_bytes, 128);
     }
 }

@@ -339,6 +339,68 @@ fn kind_members(kind: &EventKind) -> Vec<(String, Value)> {
             ("outcome".into(), Value::Str(outcome.name().into())),
             ("bytes".into(), u64_value(*bytes)),
         ],
+        EventKind::SegmentSeal {
+            stream,
+            segment,
+            file,
+            records,
+            bytes,
+        } => vec![
+            tag("segment_seal"),
+            ("stream".into(), Value::Str(stream.clone())),
+            ("segment".into(), u64_value(*segment)),
+            ("file".into(), Value::Str(file.clone())),
+            ("records".into(), u64_value(*records)),
+            ("bytes".into(), u64_value(*bytes)),
+        ],
+        EventKind::TailAttach {
+            stream,
+            reader,
+            first_segment,
+            sealed,
+        } => vec![
+            tag("tail_attach"),
+            ("stream".into(), Value::Str(stream.clone())),
+            ("reader".into(), Value::Int(i64::from(*reader))),
+            ("first_segment".into(), u64_value(*first_segment)),
+            ("sealed".into(), u64_value(*sealed)),
+        ],
+        EventKind::TailConsume {
+            stream,
+            reader,
+            segment,
+            file,
+            bytes,
+        } => vec![
+            tag("tail_consume"),
+            ("stream".into(), Value::Str(stream.clone())),
+            ("reader".into(), Value::Int(i64::from(*reader))),
+            ("segment".into(), u64_value(*segment)),
+            ("file".into(), Value::Str(file.clone())),
+            ("bytes".into(), u64_value(*bytes)),
+        ],
+        EventKind::TailDetach {
+            stream,
+            reader,
+            consumed_through,
+        } => vec![
+            tag("tail_detach"),
+            ("stream".into(), Value::Str(stream.clone())),
+            ("reader".into(), Value::Int(i64::from(*reader))),
+            ("consumed_through".into(), u64_value(*consumed_through)),
+        ],
+        EventKind::Compact {
+            stream,
+            segment,
+            file,
+            bytes,
+        } => vec![
+            tag("compact"),
+            ("stream".into(), Value::Str(stream.clone())),
+            ("segment".into(), u64_value(*segment)),
+            ("file".into(), Value::Str(file.clone())),
+            ("bytes".into(), u64_value(*bytes)),
+        ],
     }
 }
 
@@ -490,6 +552,37 @@ fn event_from_value(v: &Value) -> Result<Event, String> {
             tenant: field_u32(v, "tenant")?,
             file: field_str(v, "file")?.to_string(),
             outcome: cache_outcome(field_str(v, "outcome")?)?,
+            bytes: field_u64(v, "bytes")?,
+        },
+        "segment_seal" => EventKind::SegmentSeal {
+            stream: field_str(v, "stream")?.to_string(),
+            segment: field_u64(v, "segment")?,
+            file: field_str(v, "file")?.to_string(),
+            records: field_u64(v, "records")?,
+            bytes: field_u64(v, "bytes")?,
+        },
+        "tail_attach" => EventKind::TailAttach {
+            stream: field_str(v, "stream")?.to_string(),
+            reader: field_u32(v, "reader")?,
+            first_segment: field_u64(v, "first_segment")?,
+            sealed: field_u64(v, "sealed")?,
+        },
+        "tail_consume" => EventKind::TailConsume {
+            stream: field_str(v, "stream")?.to_string(),
+            reader: field_u32(v, "reader")?,
+            segment: field_u64(v, "segment")?,
+            file: field_str(v, "file")?.to_string(),
+            bytes: field_u64(v, "bytes")?,
+        },
+        "tail_detach" => EventKind::TailDetach {
+            stream: field_str(v, "stream")?.to_string(),
+            reader: field_u32(v, "reader")?,
+            consumed_through: field_u64(v, "consumed_through")?,
+        },
+        "compact" => EventKind::Compact {
+            stream: field_str(v, "stream")?.to_string(),
+            segment: field_u64(v, "segment")?,
+            file: field_str(v, "file")?.to_string(),
             bytes: field_u64(v, "bytes")?,
         },
         other => return Err(format!("unknown event kind `{other}`")),
@@ -875,6 +968,57 @@ mod tests {
                     file: "t12.4".into(),
                     outcome: CacheOutcome::Hit,
                     bytes: 4096,
+                },
+            ),
+            ev(
+                0,
+                50,
+                EventKind::SegmentSeal {
+                    stream: "log".into(),
+                    segment: 3,
+                    file: "log.seg000003".into(),
+                    records: 4,
+                    bytes: 8192,
+                },
+            ),
+            ev(
+                1,
+                51,
+                EventKind::TailAttach {
+                    stream: "log".into(),
+                    reader: 2,
+                    first_segment: 1,
+                    sealed: 4,
+                },
+            ),
+            ev(
+                1,
+                52,
+                EventKind::TailConsume {
+                    stream: "log".into(),
+                    reader: 2,
+                    segment: 1,
+                    file: "log.seg000001".into(),
+                    bytes: 2048,
+                },
+            ),
+            ev(
+                1,
+                53,
+                EventKind::TailDetach {
+                    stream: "log".into(),
+                    reader: 2,
+                    consumed_through: 2,
+                },
+            ),
+            ev(
+                0,
+                54,
+                EventKind::Compact {
+                    stream: "log".into(),
+                    segment: 0,
+                    file: "log.seg000000".into(),
+                    bytes: 2048,
                 },
             ),
         ];

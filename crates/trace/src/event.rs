@@ -533,6 +533,72 @@ pub enum EventKind {
         /// Logical record bytes involved.
         bytes: u64,
     },
+    /// An append stream sealed a segment: the segment file's record chain
+    /// is complete, its active-append header flag is cleared, and the
+    /// manifest now lists it as a consistent snapshot boundary. Tail
+    /// readers may only open segment files whose seal happens-before the
+    /// read (the snapshot-isolation rule `dsverify` checks).
+    SegmentSeal {
+        /// Append-stream name the segment belongs to.
+        stream: String,
+        /// Segment index within the stream (monotonic from 0).
+        segment: u64,
+        /// The sealed segment's file name.
+        file: String,
+        /// Records committed into the segment.
+        records: u64,
+        /// Payload bytes committed into the segment.
+        bytes: u64,
+    },
+    /// A tail reader attached to an append stream mid-run.
+    TailAttach {
+        /// Append-stream name.
+        stream: String,
+        /// Reader id (unique per stream, all ranks agree).
+        reader: u32,
+        /// First segment index this reader will consume.
+        first_segment: u64,
+        /// Segments sealed at attach time (exclusive upper bound of the
+        /// initially visible window `first_segment..sealed`).
+        sealed: u64,
+    },
+    /// A tail reader finished consuming one sealed segment.
+    TailConsume {
+        /// Append-stream name.
+        stream: String,
+        /// Reader id.
+        reader: u32,
+        /// Segment index consumed.
+        segment: u64,
+        /// The consumed segment's file name.
+        file: String,
+        /// Payload bytes the reader extracted.
+        bytes: u64,
+    },
+    /// A tail reader detached from an append stream; its consumption
+    /// cursor no longer holds back retention.
+    TailDetach {
+        /// Append-stream name.
+        stream: String,
+        /// Reader id.
+        reader: u32,
+        /// One past the last segment index the reader consumed.
+        consumed_through: u64,
+    },
+    /// Retention reclaimed a fully-consumed sealed segment: its file was
+    /// removed from the namespace. Legal only once every attached,
+    /// non-detached reader has consumed past it (the retention-safety
+    /// rule `dsverify` checks).
+    Compact {
+        /// Append-stream name.
+        stream: String,
+        /// Segment index reclaimed.
+        segment: u64,
+        /// The reclaimed segment's file name.
+        file: String,
+        /// Payload bytes released back to the byte budget.
+        bytes: u64,
+    },
 }
 
 /// One observed event: where, when, and what.

@@ -6,7 +6,7 @@
 //! The runtime's deterministic trace records exactly what each rank did,
 //! so violations of that discipline — the class of bug MPI-checker-style
 //! tools hunt — are decidable after the fact by a pass over the merged
-//! event log. [`analyze`] runs twelve rules:
+//! event log. [`analyze`] runs fourteen rules:
 //!
 //! * **collective matching** — each rank's sequence of collective
 //!   operations must agree elementwise in kind and root. A crash fault
@@ -74,6 +74,19 @@
 //!   after the rank causally observed an invalidating write, or a
 //!   `SessionDone` that happens-before another rank's `SessionAdmit`
 //!   of the same request id (the lockstep ledger ran backwards).
+//! * **unsealed tail read** — snapshot isolation for append streams: a
+//!   PFS read of a segment file (any file named by a `SegmentSeal` or
+//!   `TailConsume` event) must be ordered after that segment's seal by
+//!   a happens-before path. A read with no such path may observe bytes
+//!   a producer is still writing — exactly the torn snapshot the seal
+//!   boundary exists to rule out. Crash-excused for the reading rank.
+//! * **compacted under reader** — retention safety for append streams:
+//!   a `Compact` of segment *s* is legal only once every attached,
+//!   non-detached tail reader's cursor has advanced past *s*. Each
+//!   rank's lane carries its own replica of the attach/consume/detach
+//!   ledger, so the rule replays cursors per lane and flags a compact
+//!   that reclaims a segment a live reader still needs, with the
+//!   reader's last cursor movement and the compact as the HB witness.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -121,11 +134,19 @@ pub enum Rule {
     /// observing an invalidating write, or a session completion that
     /// causally precedes another rank's admission of the same request.
     HbCoherence,
+    /// A tail read of a segment file is not ordered after that
+    /// segment's seal — the reader may have observed bytes a producer
+    /// was still writing (snapshot isolation broken).
+    UnsealedTailRead,
+    /// A sealed segment was compacted while an attached tail reader's
+    /// cursor still pointed at or before it — the reader's data was
+    /// reclaimed out from under it (retention safety broken).
+    CompactedUnderReader,
 }
 
 impl Rule {
     /// Every rule, in the order [`analyze`] runs them.
-    pub const ALL: [Rule; 12] = [
+    pub const ALL: [Rule; 14] = [
         Rule::CollectiveMatching,
         Rule::AsyncPairing,
         Rule::SealOrdering,
@@ -138,6 +159,8 @@ impl Rule {
         Rule::CacheCoherence,
         Rule::HbIntervalRace,
         Rule::HbCoherence,
+        Rule::UnsealedTailRead,
+        Rule::CompactedUnderReader,
     ];
 
     /// The stable kebab-case name (`dsverify --rules` vocabulary).
@@ -155,6 +178,8 @@ impl Rule {
             Rule::CacheCoherence => "cache-coherence",
             Rule::HbIntervalRace => "hb-interval-race",
             Rule::HbCoherence => "hb-coherence",
+            Rule::UnsealedTailRead => "unsealed-tail-read",
+            Rule::CompactedUnderReader => "compacted-under-reader",
         }
     }
 
@@ -230,6 +255,11 @@ pub struct Report {
     pub cache_hits_checked: usize,
     /// Byte-interval file accesses the HB race detector checked.
     pub file_accesses: usize,
+    /// PFS reads of segment files checked for a happens-before seal.
+    pub tail_reads_checked: usize,
+    /// `Compact` events checked against live tail-reader cursors
+    /// (counted once per rank lane the event replicates on).
+    pub compactions_checked: usize,
     /// Cross edges the HB engine had to force (zero on well-formed
     /// traces; nonzero means the trace's own causality is broken).
     pub forced_hb_edges: usize,
@@ -253,7 +283,8 @@ impl fmt::Display for Report {
             f,
             "{} events on {} ranks: {} collective rounds matched, \
              {} async pairs, {} seals checked, {} session requests, \
-             {} cache hits checked, {} file accesses race-checked",
+             {} cache hits checked, {} file accesses race-checked, \
+             {} tail reads checked, {} compactions checked",
             self.events,
             self.nprocs,
             self.collectives_matched,
@@ -261,7 +292,9 @@ impl fmt::Display for Report {
             self.seals_checked,
             self.session_requests,
             self.cache_hits_checked,
-            self.file_accesses
+            self.file_accesses,
+            self.tail_reads_checked,
+            self.compactions_checked
         )?;
         if self.forced_hb_edges > 0 {
             writeln!(
@@ -387,6 +420,10 @@ checks! {
         |cx, report| check_hb_interval_race(cx, report);
     HbCoherenceCheck => Rule::HbCoherence,
         |cx, report| check_hb_coherence(cx, report);
+    UnsealedTailReadCheck => Rule::UnsealedTailRead,
+        |cx, report| check_unsealed_tail_read(cx, report);
+    CompactedUnderReaderCheck => Rule::CompactedUnderReader,
+        |cx, report| check_compacted_under_reader(cx, report);
 }
 
 /// Run every rule over a trace.
@@ -411,6 +448,8 @@ pub fn analyze_rules(trace: &Trace, rules: &[Rule]) -> Report {
         session_requests: 0,
         cache_hits_checked: 0,
         file_accesses: 0,
+        tail_reads_checked: 0,
+        compactions_checked: 0,
         forced_hb_edges: cx.hb.forced_edges(),
         crashed_ranks: cx.crashed.clone(),
         hazards: Vec::new(),
@@ -1028,6 +1067,136 @@ fn check_cache_coherence(lanes: &[Vec<&Event>], report: &mut Report) {
                 }
                 _ => {}
             }
+        }
+    }
+}
+
+fn check_unsealed_tail_read(cx: &Ctx<'_>, report: &mut Report) {
+    use std::collections::BTreeSet;
+    // A file is a segment file iff some SegmentSeal or TailConsume
+    // names it — ordinary stream files stay out of scope, so the rule
+    // is silent on non-streaming traces.
+    let mut seals: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    let mut segment_files: BTreeSet<&str> = BTreeSet::new();
+    for (i, e) in cx.trace.events.iter().enumerate() {
+        match &e.kind {
+            EventKind::SegmentSeal { file, .. } => {
+                seals.entry(file.as_str()).or_default().push(i);
+                segment_files.insert(file.as_str());
+            }
+            EventKind::TailConsume { file, .. } => {
+                segment_files.insert(file.as_str());
+            }
+            _ => {}
+        }
+    }
+    if segment_files.is_empty() {
+        return;
+    }
+    for (i, e) in cx.trace.events.iter().enumerate() {
+        let (op, file) = match &e.kind {
+            EventKind::PfsIndependent { op, file, .. } => (*op, file),
+            EventKind::PfsCollective { op, file, .. } => (*op, file),
+            _ => continue,
+        };
+        if op != PfsOp::Read || !segment_files.contains(file.as_str()) {
+            continue;
+        }
+        if cx.crashed.contains(&e.rank) {
+            continue;
+        }
+        report.tail_reads_checked += 1;
+        match seals.get(file.as_str()) {
+            None => {
+                report.hazards.push(Hazard::new(
+                    Rule::UnsealedTailRead,
+                    Some(e.rank),
+                    format!(
+                        "read of segment file \"{file}\" at t={} but the \
+                         segment was never sealed — the reader observed \
+                         bytes a producer may still be writing",
+                        e.vtime_ns
+                    ),
+                ));
+            }
+            Some(seal_idxs) => {
+                if !seal_idxs.iter().any(|&j| cx.hb.happens_before(j, i)) {
+                    let first = cx.hb.event_ref(cx.trace, seal_idxs[0]);
+                    let second = cx.hb.event_ref(cx.trace, i);
+                    report.hazards.push(
+                        Hazard::new(
+                            Rule::UnsealedTailRead,
+                            Some(e.rank),
+                            format!(
+                                "read of segment file \"{file}\" is not ordered \
+                                 after its seal — rank {}'s seal and rank {}'s \
+                                 read have no happens-before path, so the read \
+                                 may have observed an unsealed segment",
+                                first.rank, e.rank
+                            ),
+                        )
+                        .with_witness(hb::Witness { first, second }),
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn check_compacted_under_reader(cx: &Ctx<'_>, report: &mut Report) {
+    // Every rank replays the same manifest transitions, so each lane
+    // carries its own replica of the attach/consume/detach ledger and
+    // must justify its own Compact events. Cursor state per
+    // (rank, stream, reader): next unconsumed segment plus the event
+    // that last moved the cursor (the HB witness anchor).
+    let mut cursors: BTreeMap<(usize, String, u32), (u64, usize)> = BTreeMap::new();
+    for (i, e) in cx.trace.events.iter().enumerate() {
+        match &e.kind {
+            EventKind::TailAttach {
+                stream,
+                reader,
+                first_segment,
+                ..
+            } => {
+                cursors.insert((e.rank, stream.clone(), *reader), (*first_segment, i));
+            }
+            EventKind::TailConsume {
+                stream,
+                reader,
+                segment,
+                ..
+            } => {
+                cursors.insert((e.rank, stream.clone(), *reader), (segment + 1, i));
+            }
+            EventKind::TailDetach { stream, reader, .. } => {
+                cursors.remove(&(e.rank, stream.clone(), *reader));
+            }
+            EventKind::Compact {
+                stream, segment, ..
+            } => {
+                report.compactions_checked += 1;
+                for ((rank, s, reader), (next, at)) in &cursors {
+                    if *rank != e.rank || s != stream || *next > *segment {
+                        continue;
+                    }
+                    let first = cx.hb.event_ref(cx.trace, *at);
+                    let second = cx.hb.event_ref(cx.trace, i);
+                    report.hazards.push(
+                        Hazard::new(
+                            Rule::CompactedUnderReader,
+                            Some(e.rank),
+                            format!(
+                                "segment {segment} of \"{stream}\" compacted \
+                                 while reader {reader}'s cursor was still at \
+                                 segment {next} — retention reclaimed data an \
+                                 attached reader had not consumed"
+                            ),
+                        )
+                        .with_witness(hb::Witness { first, second }),
+                    );
+                }
+            }
+            _ => {}
         }
     }
 }
@@ -1952,5 +2121,219 @@ mod tests {
         );
         let r = analyze(&t);
         assert!(r.clean(), "{r}");
+    }
+
+    fn seg_seal(rank: usize, t: u64, seq: u64, file: &str, segment: u64) -> Event {
+        ev(
+            rank,
+            t,
+            seq,
+            EventKind::SegmentSeal {
+                stream: "s".into(),
+                segment,
+                file: file.into(),
+                records: 4,
+                bytes: 4096,
+            },
+        )
+    }
+
+    fn seg_read(rank: usize, t: u64, seq: u64, file: &str) -> Event {
+        ev(
+            rank,
+            t,
+            seq,
+            EventKind::PfsIndependent {
+                op: PfsOp::Read,
+                file: file.into(),
+                offset: 0,
+                bytes: 4096,
+                regime: IndependentRegime::Cached,
+                cost_ns: 10,
+            },
+        )
+    }
+
+    #[test]
+    fn sealed_tail_read_after_barrier_is_clean() {
+        // Seal on rank 0, barrier round, read on rank 1: the barrier
+        // gives the read a happens-before path from the seal.
+        let t = trace(
+            2,
+            vec![
+                seg_seal(0, 100, 0, "s.seg000000", 0),
+                coll(0, 110, 1, CollOp::Barrier, None),
+                coll(1, 110, 0, CollOp::Barrier, None),
+                seg_read(1, 200, 1, "s.seg000000"),
+            ],
+        );
+        let r = analyze(&t);
+        assert!(r.clean(), "{r}");
+        assert_eq!(r.tail_reads_checked, 1);
+    }
+
+    #[test]
+    fn concurrent_tail_read_is_flagged_with_witness() {
+        // No synchronization between the seal and the read: snapshot
+        // isolation cannot be established, and the witness carries the
+        // two incomparable clocks.
+        let t = trace(
+            2,
+            vec![
+                seg_seal(0, 100, 0, "s.seg000000", 0),
+                seg_read(1, 50, 0, "s.seg000000"),
+            ],
+        );
+        let r = analyze(&t);
+        let hits: Vec<_> = r
+            .hazards
+            .iter()
+            .filter(|h| h.rule == Rule::UnsealedTailRead)
+            .collect();
+        assert_eq!(hits.len(), 1, "{r}");
+        assert_eq!(hits[0].rank, Some(1));
+        assert!(hits[0].detail.contains("no happens-before path"), "{r}");
+        assert!(hits[0].witness.is_some());
+    }
+
+    #[test]
+    fn read_of_never_sealed_segment_is_flagged() {
+        // A TailConsume names the file (so it is in scope as a segment
+        // file) but no SegmentSeal for it exists anywhere.
+        let t = trace(
+            1,
+            vec![
+                ev(
+                    0,
+                    10,
+                    0,
+                    EventKind::TailConsume {
+                        stream: "s".into(),
+                        reader: 1,
+                        segment: 0,
+                        file: "s.seg000000".into(),
+                        bytes: 4096,
+                    },
+                ),
+                seg_read(0, 20, 1, "s.seg000000"),
+            ],
+        );
+        let r = analyze(&t);
+        let hits: Vec<_> = r
+            .hazards
+            .iter()
+            .filter(|h| h.rule == Rule::UnsealedTailRead)
+            .collect();
+        assert_eq!(hits.len(), 1, "{r}");
+        assert!(hits[0].detail.contains("never sealed"), "{r}");
+    }
+
+    #[test]
+    fn compact_under_live_reader_is_flagged() {
+        let t = trace(
+            1,
+            vec![
+                ev(
+                    0,
+                    10,
+                    0,
+                    EventKind::TailAttach {
+                        stream: "s".into(),
+                        reader: 1,
+                        first_segment: 0,
+                        sealed: 2,
+                    },
+                ),
+                ev(
+                    0,
+                    20,
+                    1,
+                    EventKind::Compact {
+                        stream: "s".into(),
+                        segment: 0,
+                        file: "s.seg000000".into(),
+                        bytes: 4096,
+                    },
+                ),
+            ],
+        );
+        let r = analyze(&t);
+        assert_eq!(r.hazards.len(), 1, "{r}");
+        assert_eq!(r.hazards[0].rule, Rule::CompactedUnderReader);
+        assert!(r.hazards[0].detail.contains("reader 1"), "{r}");
+        assert!(r.hazards[0].witness.is_some());
+        assert_eq!(r.compactions_checked, 1);
+    }
+
+    #[test]
+    fn compact_behind_consumed_or_detached_cursors_is_clean() {
+        let t = trace(
+            1,
+            vec![
+                ev(
+                    0,
+                    10,
+                    0,
+                    EventKind::TailAttach {
+                        stream: "s".into(),
+                        reader: 1,
+                        first_segment: 0,
+                        sealed: 2,
+                    },
+                ),
+                ev(
+                    0,
+                    20,
+                    1,
+                    EventKind::TailConsume {
+                        stream: "s".into(),
+                        reader: 1,
+                        segment: 0,
+                        file: "s.seg000000".into(),
+                        bytes: 4096,
+                    },
+                ),
+                ev(
+                    0,
+                    30,
+                    2,
+                    EventKind::Compact {
+                        stream: "s".into(),
+                        segment: 0,
+                        file: "s.seg000000".into(),
+                        bytes: 4096,
+                    },
+                ),
+                ev(
+                    0,
+                    40,
+                    3,
+                    EventKind::TailDetach {
+                        stream: "s".into(),
+                        reader: 1,
+                        consumed_through: 1,
+                    },
+                ),
+                ev(
+                    0,
+                    50,
+                    4,
+                    EventKind::Compact {
+                        stream: "s".into(),
+                        segment: 1,
+                        file: "s.seg000001".into(),
+                        bytes: 4096,
+                    },
+                ),
+            ],
+        );
+        let r = analyze(&t);
+        let hits: Vec<_> = r
+            .hazards
+            .iter()
+            .filter(|h| h.rule == Rule::CompactedUnderReader)
+            .collect();
+        assert!(hits.is_empty(), "{r}");
+        assert_eq!(r.compactions_checked, 2);
     }
 }

@@ -184,6 +184,31 @@ pub fn describe(kind: &EventKind) -> String {
         EventKind::CacheAccess { file, outcome, .. } => {
             format!("cache_access {} \"{file}\"", outcome.name())
         }
+        EventKind::SegmentSeal {
+            stream, segment, ..
+        } => {
+            format!("segment_seal \"{stream}\" segment {segment}")
+        }
+        EventKind::TailAttach {
+            stream,
+            reader,
+            first_segment,
+            ..
+        } => format!("tail_attach \"{stream}\" reader {reader} at segment {first_segment}"),
+        EventKind::TailConsume {
+            stream,
+            reader,
+            segment,
+            ..
+        } => format!("tail_consume \"{stream}\" reader {reader} segment {segment}"),
+        EventKind::TailDetach { stream, reader, .. } => {
+            format!("tail_detach \"{stream}\" reader {reader}")
+        }
+        EventKind::Compact {
+            stream, segment, ..
+        } => {
+            format!("compact \"{stream}\" segment {segment}")
+        }
     }
 }
 

@@ -496,3 +496,113 @@ fn dsverify_diff_seeded_divergence_pinpoints_origin() {
     assert!(stdout.contains("causal frontier"), "{stdout}");
     assert!(stdout.contains("collective barrier"), "{stdout}");
 }
+
+#[test]
+fn unsealed_tail_read_fixture_is_flagged() {
+    let report = analyze(&load("unsealed_tail_read.dstrace.json"));
+    let hits: Vec<_> = report
+        .hazards
+        .iter()
+        .filter(|h| h.rule == Rule::UnsealedTailRead)
+        .collect();
+    assert_eq!(hits.len(), 1, "{report}");
+    assert_eq!(hits[0].rank, Some(1));
+    assert!(
+        hits[0].detail.contains("no happens-before path"),
+        "{report}"
+    );
+    assert!(hits[0].witness.is_some(), "{report}");
+    assert_eq!(report.tail_reads_checked, 1);
+}
+
+#[test]
+fn compacted_under_reader_fixture_is_flagged() {
+    let report = analyze(&load("compacted_under_reader.dstrace.json"));
+    let hits: Vec<_> = report
+        .hazards
+        .iter()
+        .filter(|h| h.rule == Rule::CompactedUnderReader)
+        .collect();
+    assert_eq!(hits.len(), 1, "{report}");
+    assert_eq!(hits[0].rank, Some(0));
+    assert!(hits[0].detail.contains("reader 1"), "{report}");
+    assert!(hits[0].witness.is_some(), "{report}");
+    assert_eq!(report.compactions_checked, 1);
+}
+
+#[test]
+fn dsverify_flags_streaming_fixtures_and_exits_nonzero() {
+    let out = Command::new(env!("CARGO_BIN_EXE_dsverify"))
+        .arg("--explain")
+        .arg(fixture("unsealed_tail_read.dstrace.json"))
+        .arg(fixture("compacted_under_reader.dstrace.json"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("unsealed-tail-read"), "{stdout}");
+    assert!(stdout.contains("compacted-under-reader"), "{stdout}");
+    // --explain prints the incomparable clocks of each witness pair.
+    assert!(stdout.contains("witness"), "{stdout}");
+}
+
+/// A live append-stream run with a tailing reader and retention, traced
+/// and re-analyzed: every tail read has a happens-before path from its
+/// seal and every compact is behind all cursors, so the two streaming
+/// rules stay silent on a healthy run — the fixtures above are
+/// discriminating, not vacuous.
+#[test]
+fn live_streaming_trace_round_trips_clean_through_dsverify() {
+    use dstreams_unbounded::{AppendOptions, AppendStream, TailReader};
+
+    let nprocs = 2;
+    let sink = TraceSink::new(nprocs);
+    let pfs = Pfs::in_memory(nprocs);
+    let p = pfs.clone();
+    Machine::run(
+        MachineConfig::functional(nprocs).traced(sink.clone()),
+        move |ctx| {
+            let lo = Layout::dense(8, ctx.nprocs(), DistKind::Block).unwrap();
+            let opts = AppendOptions {
+                retention_bytes: Some(1),
+                ..Default::default()
+            };
+            let mut s = AppendStream::create_with(ctx, &p, &lo, "live", opts).unwrap();
+            let mut r = TailReader::attach(ctx, &p, &lo, "live").unwrap();
+            for seg in 0..3u64 {
+                let c = Collection::new(ctx, lo.clone(), move |g| seg + g as u64).unwrap();
+                s.insert_collection(&c).unwrap();
+                s.append().unwrap();
+                s.seal().unwrap();
+                assert!(r
+                    .poll(|is, _| {
+                        let mut g = Collection::new(ctx, lo.clone(), |_| 0u64).unwrap();
+                        is.read()?;
+                        is.extract_collection(&mut g)?;
+                        Ok(())
+                    })
+                    .unwrap());
+            }
+            r.detach().unwrap();
+            s.close().unwrap();
+        },
+    )
+    .unwrap();
+    let json = sink.take().to_events_json();
+
+    let reparsed = Trace::from_events_json(&json).unwrap();
+    let report = analyze(&reparsed);
+    assert!(report.clean(), "{report}");
+    assert!(report.tail_reads_checked > 0, "{report}");
+    assert!(report.compactions_checked > 0, "{report}");
+
+    let dir = std::env::temp_dir().join("dsverify-streaming-run");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("streaming.dstrace.json");
+    std::fs::write(&path, &json).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_dsverify"))
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+}

@@ -20,6 +20,7 @@ use dstreams_core::{IStream, OStream};
 use dstreams_machine::{CollectiveConfig, Machine, MachineConfig};
 use dstreams_pfs::Pfs;
 use dstreams_trace::{Trace, TraceSink};
+use dstreams_unbounded::{AppendOptions, AppendStream, TailReader};
 use dstreams_verify::{analyze, diff_traces};
 use proptest::prelude::*;
 
@@ -92,4 +93,81 @@ proptest! {
         prop_assert!(diff.identical(), "replay diverged: {diff:?}");
         prop_assert!(diff_traces(&trace, &trace).identical());
     }
+
+    /// The same soundness contract for the streaming runtime: a
+    /// fault-free producer/tail-reader run — seals, windowed appends,
+    /// mid-run attach, retention — is race-free under the full rule set
+    /// (the two streaming rules included), needs no forced HB edges,
+    /// and replays causally identical.
+    #[test]
+    fn fault_free_streaming_traces_are_race_free_and_self_diff_clean(
+        nprocs in 1usize..4,
+        segments in 1u64..4,
+        records in 1u64..3,
+        depth in 1usize..4,
+        retain in any::<bool>(),
+    ) {
+        let trace = streaming_run(nprocs, segments, records, depth, retain);
+        prop_assert!(!trace.events.is_empty());
+
+        let report = analyze(&trace);
+        prop_assert!(report.clean(), "false positive on a streaming trace: {report}");
+        prop_assert_eq!(report.forced_hb_edges, 0, "HB scheduler forced an edge");
+        prop_assert!(report.tail_reads_checked > 0, "isolation rule saw no reads");
+
+        let replay = streaming_run(nprocs, segments, records, depth, retain);
+        let diff = diff_traces(&trace, &replay);
+        prop_assert!(diff.identical(), "streaming replay diverged: {diff:?}");
+    }
+}
+
+/// One fault-free append-stream run with a tailing reader: `segments`
+/// seals of `records` windowed appends each, the reader polling after
+/// every seal, retention optionally squeezing to a 1-byte budget.
+fn streaming_run(nprocs: usize, segments: u64, records: u64, depth: usize, retain: bool) -> Trace {
+    let sink = TraceSink::new(nprocs);
+    let pfs = Pfs::in_memory(nprocs);
+    let p = pfs.clone();
+    Machine::run(
+        MachineConfig::functional(nprocs).traced(sink.clone()),
+        move |ctx| {
+            let layout = Layout::dense(6, ctx.nprocs(), DistKind::Block).unwrap();
+            let opts = AppendOptions {
+                window_depth: depth,
+                retention_bytes: if retain { Some(1) } else { None },
+                ..Default::default()
+            };
+            let mut s = AppendStream::create_with(ctx, &p, &layout, "hbp", opts).unwrap();
+            let mut r = TailReader::attach(ctx, &p, &layout, "hbp").unwrap();
+            for seg in 0..segments {
+                for rec in 0..records {
+                    let c = Collection::new(ctx, layout.clone(), move |g| {
+                        seg * 1000 + rec * 100 + g as u64
+                    })
+                    .unwrap();
+                    s.insert_collection(&c).unwrap();
+                    s.append().unwrap();
+                }
+                s.seal().unwrap();
+                let got = r
+                    .poll(|is, entry| {
+                        let mut g = Collection::new(ctx, layout.clone(), |_| 0u64).unwrap();
+                        for rec in 0..entry.records {
+                            is.read()?;
+                            is.extract_collection(&mut g)?;
+                            for (gid, v) in g.iter() {
+                                assert_eq!(*v, entry.index * 1000 + rec * 100 + gid as u64);
+                            }
+                        }
+                        Ok(())
+                    })
+                    .unwrap();
+                assert!(got, "sealed segment {seg} was not visible to the tail");
+            }
+            r.detach().unwrap();
+            s.close().unwrap();
+        },
+    )
+    .unwrap();
+    Trace::from_events_json(&sink.take().to_events_json()).unwrap()
 }

@@ -14,6 +14,9 @@
 //! * [`serve`] — the multi-tenant stream service: typestate sessions,
 //!   admission control with QoS fairness, and the working-set read cache;
 //! * [`trace`] — structured event tracing (Chrome trace export, op counts);
+//! * [`unbounded`] — unbounded append streams: continuously sealed
+//!   segments, tailing readers with snapshot isolation, byte-budget
+//!   retention;
 //! * [`verify`] — protocol verification: typestate wrappers, Fig. 2 model
 //!   checking, and the `dsverify` trace analyzer.
 //!
@@ -31,6 +34,7 @@ pub use dstreams_redist as redist;
 pub use dstreams_scf as scf;
 pub use dstreams_serve as serve;
 pub use dstreams_trace as trace;
+pub use dstreams_unbounded as unbounded;
 pub use dstreams_verify as verify;
 
 /// Convenience prelude with the types most programs need.

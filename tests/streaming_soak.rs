@@ -1,0 +1,317 @@
+//! Log-ingest soak: an unbounded append stream on an unreliable
+//! transport, with two tailing readers consuming mid-run.
+//!
+//! Where `chaos_soup.rs` soaks bounded checkpoints and
+//! `service_soak.rs` the serving layer, this sweep drives the streaming
+//! subsystem — continuously sealed segments, depth-N write-behind
+//! windows, mid-run [`TailReader`] attach, and retention compaction —
+//! through seeded message chaos and deterministic data-plane kills. The
+//! contract under test is sealed-snapshot isolation's one-liner: **a
+//! tailing reader sees a contiguous run of sealed segments,
+//! element-exact, never a torn or reclaimed one** — and under an
+//! unrecoverable kill the run degrades loudly (an error on some rank)
+//! instead of wedging a collective or serving garbage.
+//!
+//! The message-fault seed honors `DSTREAMS_MSG_SEED` so CI can soak a
+//! seed matrix over the same tests and archive failing seeds.
+
+use dstreams::collections::{Collection, DistKind, Layout};
+use dstreams::machine::{CollectiveConfig, FaultPlan, Machine, MachineConfig, MsgFaultPlan};
+use dstreams::pfs::Pfs;
+use dstreams::trace::{Trace, TraceSink};
+use dstreams::unbounded::{AppendOptions, AppendStream, TailReader};
+use dstreams::verify::analyze;
+
+const NPROCS: usize = 4;
+const N: usize = 16;
+const SEGMENTS: u64 = 4;
+const RECORDS: u64 = 3;
+/// Reader B attaches after this many segments are sealed (mid-run).
+const LATE_ATTACH: u64 = 2;
+
+fn layout() -> Layout {
+    Layout::dense(N, NPROCS, DistKind::Block).unwrap()
+}
+
+fn msg_seed() -> u64 {
+    std::env::var("DSTREAMS_MSG_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x106_1E57)
+}
+
+/// Combined drop + duplicate + delay + reorder soup at rates high enough
+/// that the reliability layer fires constantly under the manifest's
+/// broadcast/barrier traffic.
+fn soup(seed: u64) -> MsgFaultPlan {
+    MsgFaultPlan::seeded(seed)
+        .drop_ppm(100_000)
+        .dup_ppm(80_000)
+        .delay_ppm(80_000)
+        .reorder_ppm(80_000)
+}
+
+fn aggregated() -> CollectiveConfig {
+    CollectiveConfig {
+        aggregators: 2,
+        stripe_align: true,
+    }
+}
+
+fn expected(seg: u64, rec: u64, gid: usize) -> u64 {
+    seg * 1000 + rec * 100 + gid as u64
+}
+
+/// What one reader observed: the contiguous segment indices it consumed.
+/// Element-exactness is asserted inside the poll closure; the digest
+/// carries only rank-identical facts.
+type Digest = (Vec<u64>, Vec<u64>, u64, u64, u64);
+
+/// Drain everything currently sealed into `seen`, asserting every record
+/// of every consumed segment is element-exact.
+fn drain<'a>(
+    ctx: &'a dstreams::machine::NodeCtx,
+    l: &Layout,
+    reader: &mut TailReader<'a>,
+    seen: &mut Vec<u64>,
+) -> Result<(), dstreams::core::StreamError> {
+    loop {
+        let mut consumed = None;
+        let advanced = reader.poll(|is, entry| {
+            let seg = entry.index;
+            assert_eq!(entry.records, RECORDS, "segment {seg} torn");
+            let mut g = Collection::new(ctx, l.clone(), |_| 0u64)?;
+            for rec in 0..entry.records {
+                is.read()?;
+                is.extract_collection(&mut g)?;
+                for (gid, v) in g.iter() {
+                    assert_eq!(
+                        *v,
+                        expected(seg, rec, gid),
+                        "segment {seg} record {rec} not element-exact"
+                    );
+                }
+            }
+            consumed = Some(seg);
+            Ok(())
+        })?;
+        if !advanced {
+            break;
+        }
+        seen.push(consumed.expect("poll advanced without consuming"));
+    }
+    Ok(())
+}
+
+/// The log-ingest workload: a producer seals `SEGMENTS` segments of
+/// `RECORDS` windowed appends each; reader A tails from the start,
+/// reader B attaches after `LATE_ATTACH` seals. Returns per rank what
+/// each reader saw plus producer counters, or the error that stopped it.
+fn ingest_run(
+    pfs: &Pfs,
+    config: MachineConfig,
+    retention: Option<u64>,
+) -> Vec<Result<Digest, String>> {
+    let p = pfs.clone();
+    Machine::run(config, move |ctx| {
+        let l = layout();
+        let run = || -> Result<Digest, dstreams::core::StreamError> {
+            let opts = AppendOptions {
+                window_depth: 3,
+                retention_bytes: retention,
+                ..Default::default()
+            };
+            let mut s = AppendStream::create_with(ctx, &p, &l, "ingest", opts)?;
+            let mut a = TailReader::attach(ctx, &p, &l, "ingest")?;
+            let mut b = None;
+            let (mut a_seen, mut b_seen) = (Vec::new(), Vec::new());
+            for seg in 0..SEGMENTS {
+                for rec in 0..RECORDS {
+                    let c = Collection::new(ctx, l.clone(), move |g| expected(seg, rec, g))?;
+                    s.insert_collection(&c)?;
+                    s.append()?;
+                }
+                s.seal()?;
+                if seg + 1 == LATE_ATTACH {
+                    b = Some(TailReader::attach(ctx, &p, &l, "ingest")?);
+                }
+                drain(ctx, &l, &mut a, &mut a_seen)?;
+                if let Some(rb) = b.as_mut() {
+                    drain(ctx, &l, rb, &mut b_seen)?;
+                }
+            }
+            let stats = s.stats();
+            a.detach()?;
+            if let Some(rb) = b {
+                rb.detach()?;
+            }
+            s.close()?;
+            Ok((
+                a_seen,
+                b_seen,
+                stats.records_appended,
+                stats.segments_sealed,
+                stats.segments_compacted,
+            ))
+        };
+        run().map_err(|e| e.to_string())
+    })
+    .expect("the machine itself must survive the soak")
+}
+
+fn assert_contiguous_to_end(seen: &[u64], label: &str) {
+    assert!(!seen.is_empty(), "{label}: reader consumed nothing");
+    assert!(
+        seen.windows(2).all(|w| w[1] == w[0] + 1),
+        "{label}: reader skipped a sealed segment: {seen:?}"
+    );
+    assert_eq!(
+        *seen.last().unwrap(),
+        SEGMENTS - 1,
+        "{label}: reader never caught up to the final seal: {seen:?}"
+    );
+}
+
+#[test]
+fn message_soup_never_tears_a_tailed_segment() {
+    let base = msg_seed();
+    for k in 0..2u64 {
+        let seed = base.wrapping_add(k.wrapping_mul(0x9E37_79B9));
+        let label = format!("seed {seed:#x}");
+        let sink = TraceSink::new(NPROCS);
+        let pfs = Pfs::in_memory(NPROCS);
+        let config = MachineConfig::functional(NPROCS)
+            .with_faults(FaultPlan::default().with_msg(soup(seed)))
+            .with_collective(aggregated())
+            .traced(sink.clone());
+        let out = ingest_run(&pfs, config, None);
+        let first = out[0]
+            .as_ref()
+            .unwrap_or_else(|e| panic!("{label}: rank 0 failed under recoverable soup: {e}"));
+        for (rank, r) in out.iter().enumerate() {
+            let d = r
+                .as_ref()
+                .unwrap_or_else(|e| panic!("{label}: rank {rank} failed: {e}"));
+            assert_eq!(d, first, "{label}: rank {rank} diverged from rank 0");
+        }
+        let (a_seen, b_seen, appended, sealed, _) = first;
+        assert_contiguous_to_end(a_seen, &format!("{label} reader A"));
+        assert_contiguous_to_end(b_seen, &format!("{label} reader B"));
+        assert_eq!(a_seen[0], 0, "{label}: reader A attached at the start");
+        assert!(
+            b_seen[0] <= LATE_ATTACH,
+            "{label}: late reader must start at or before its attach seal"
+        );
+        assert_eq!(*appended, SEGMENTS * RECORDS);
+        assert_eq!(*sealed, SEGMENTS);
+        // The live trace must satisfy every analyzer rule — including
+        // unsealed-tail-read and compacted-under-reader, with the
+        // reliability layer's retransmit noise in the lanes.
+        let trace = Trace::from_events_json(&sink.take().to_events_json()).unwrap();
+        let report = analyze(&trace);
+        assert!(report.clean(), "{label}: soak trace flagged: {report}");
+        assert!(report.tail_reads_checked > 0, "{label}: no tail reads seen");
+    }
+}
+
+#[test]
+fn retention_under_chaos_reclaims_only_consumed_segments() {
+    let seed = msg_seed() ^ 0xBEEF;
+    let sink = TraceSink::new(NPROCS);
+    let pfs = Pfs::in_memory(NPROCS);
+    let config = MachineConfig::functional(NPROCS)
+        .with_faults(FaultPlan::default().with_msg(soup(seed)))
+        .with_collective(aggregated())
+        .traced(sink.clone());
+    // A one-byte budget asks retention to reclaim everything it legally
+    // can after every seal; both readers drain fully between seals, so
+    // compaction actually fires — yet neither reader may ever observe a
+    // reclaimed segment (asserted by drain + the analyzer rule).
+    let out = ingest_run(&pfs, config, Some(1));
+    for (rank, r) in out.iter().enumerate() {
+        let (a_seen, b_seen, _, _, compacted) = r
+            .as_ref()
+            .unwrap_or_else(|e| panic!("rank {rank} failed: {e}"));
+        assert_contiguous_to_end(a_seen, "reader A");
+        assert_contiguous_to_end(b_seen, "reader B");
+        assert!(*compacted > 0, "retention never fired — vacuous");
+    }
+    let trace = Trace::from_events_json(&sink.take().to_events_json()).unwrap();
+    let report = analyze(&trace);
+    assert!(report.clean(), "retention soak trace flagged: {report}");
+    assert!(report.compactions_checked > 0, "no compactions audited");
+}
+
+#[test]
+fn same_seed_replays_the_ingest_byte_identically() {
+    let seed = msg_seed();
+    let run = || {
+        let sink = TraceSink::new(NPROCS);
+        let pfs = Pfs::in_memory(NPROCS);
+        let config = MachineConfig::functional(NPROCS)
+            .with_faults(FaultPlan::default().with_msg(soup(seed)))
+            .with_collective(aggregated())
+            .traced(sink.clone());
+        let out = ingest_run(&pfs, config, None);
+        (out, sink.take().to_events_json())
+    };
+    let (out_a, trace_a) = run();
+    let (out_b, trace_b) = run();
+    assert_eq!(out_a, out_b, "seed {seed:#x}: reader views diverged");
+    assert_eq!(
+        trace_a, trace_b,
+        "seed {seed:#x}: traces must replay byte-identically"
+    );
+    assert!(
+        trace_a.contains("segment_seal") && trace_a.contains("tail_consume"),
+        "trace never recorded streaming events — the soak is vacuous"
+    );
+}
+
+#[test]
+fn killed_rank_degrades_loudly_but_never_tears_or_hangs() {
+    let base = msg_seed();
+    let mut degraded_runs = 0;
+    let mut clean_runs = 0;
+    for k in [0u64, 4, 16, 64, 1 << 40] {
+        let label = format!("kill at {k}");
+        let sink = TraceSink::new(NPROCS);
+        let pfs = Pfs::in_memory(NPROCS);
+        let plan = FaultPlan::default().with_msg(MsgFaultPlan::seeded(base ^ k).kill_at(0, k));
+        let config = MachineConfig::functional(NPROCS)
+            .with_faults(plan)
+            .with_collective(aggregated())
+            .traced(sink.clone());
+        // Finishing at all is the headline assertion: a dead data plane
+        // must surface as an error on some rank, never a wedged
+        // collective — and whatever a reader did consume before the cut
+        // was element-exact (asserted inside drain).
+        let out = ingest_run(&pfs, config, None);
+        let errored = out.iter().any(|r| r.is_err());
+        for r in out.iter().flatten() {
+            let (a_seen, ..) = r;
+            assert!(
+                a_seen.windows(2).all(|w| w[1] == w[0] + 1),
+                "{label}: a surviving reader skipped a segment: {a_seen:?}"
+            );
+        }
+        if errored {
+            degraded_runs += 1;
+        } else {
+            clean_runs += 1;
+        }
+        // Dead rank or not, the trace stays explicable: every hazard the
+        // analyzer would flag is either absent or crash-excused.
+        let trace = Trace::from_events_json(&sink.take().to_events_json()).unwrap();
+        let report = analyze(&trace);
+        assert!(report.clean(), "{label}: trace flagged: {report}");
+    }
+    assert!(
+        degraded_runs > 0,
+        "no kill ever stopped the ingest — the sweep is vacuous"
+    );
+    assert!(
+        clean_runs > 0,
+        "every kill was fatal — the sweep never tested the absorbed path"
+    );
+}
